@@ -1,0 +1,42 @@
+//! Criterion bench: proportional processor allocation and plan generation
+//! (phase-2 planning overhead should be negligible next to execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mj_core::generator::{generate, GeneratorInput};
+use mj_core::proportional_counts;
+use mj_core::strategy::Strategy;
+use mj_plan::cardinality::{node_cards, UniformOneToOne};
+use mj_plan::cost::{tree_costs, CostModel};
+use mj_plan::shapes::{build, Shape};
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for ops in [4usize, 9, 31] {
+        let weights: Vec<f64> = (0..ops).map(|i| 1.0 + (i % 7) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("proportional", ops), &weights, |b, w| {
+            b.iter(|| proportional_counts(w, 80).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("plan_generation");
+    let tree = build(Shape::WideBushy, 10).unwrap();
+    let cards = node_cards(&tree, &UniformOneToOne { n: 40_000 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("generate", strategy.label()),
+            &strategy,
+            |b, &s| {
+                b.iter(|| {
+                    let input = GeneratorInput::new(&tree, &cards, &costs, 80);
+                    generate(s, &input).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: simple vs pipelining hash join (§2.3.2).
+//!
+//! Measures one-shot join throughput at several operand sizes. The
+//! pipelining join is expected to be somewhat slower in *total* work (it
+//! maintains two hash tables) — its payoff is earliness, which the
+//! instrumented `mj_join::stats` run quantifies separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mj_relalg::{EquiJoin, Relation};
+use mj_storage::WisconsinGenerator;
+
+fn inputs(n: usize) -> (Relation, Relation, EquiJoin) {
+    let gen = WisconsinGenerator::new(n, 11);
+    let left = gen.generate(0);
+    let right = gen.generate(1);
+    // Regular-query projection for arity-3 compact tuples.
+    let spec = mj_plan::query::regular_join_spec(3);
+    (left, right, spec)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join");
+    for n in [1_000usize, 10_000, 50_000] {
+        let (left, right, spec) = inputs(n);
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::new("simple", n), &n, |b, _| {
+            b.iter(|| mj_join::simple_hash_join(&left, &right, &spec).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pipelining", n), &n, |b, _| {
+            b.iter(|| mj_join::pipelining_hash_join(&left, &right, &spec).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_join_50k");
+    let (left, right, spec) = inputs(50_000);
+    for parts in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("simple", parts), &parts, |b, &parts| {
+            b.iter(|| {
+                mj_join::partitioned_parallel_join(
+                    &left,
+                    &right,
+                    &spec,
+                    parts,
+                    mj_relalg::JoinAlgorithm::Simple,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_partitioned);
+criterion_main!(benches);

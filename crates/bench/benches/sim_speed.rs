@@ -1,0 +1,24 @@
+//! Criterion bench: simulator throughput (a full 40K/80-processor scenario
+//! must stay cheap enough to sweep the whole figure grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mj_core::strategy::Strategy;
+use mj_plan::shapes::Shape;
+use mj_sim::{run_scenario, Scenario, SimParams};
+
+fn bench_sim(c: &mut Criterion) {
+    let params = SimParams::default();
+    let mut group = c.benchmark_group("simulator");
+    for strategy in Strategy::ALL {
+        let scenario = Scenario::paper(Shape::WideBushy, strategy, 40_000, 80);
+        group.bench_with_input(
+            BenchmarkId::new("40k_80p", strategy.label()),
+            &scenario,
+            |b, s| b.iter(|| run_scenario(s, &params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,567 @@
+//! `repro` — regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mj-bench --bin repro -- all
+//! cargo run --release -p mj-bench --bin repro -- fig9 fig14
+//! ```
+//!
+//! Experiments (see DESIGN.md §3 for the index):
+//!   fig3 fig4 fig6 fig7   idealized utilization diagrams (example tree)
+//!   fig5                  right-deep segmentation of a bushy tree
+//!   fig8                  the five query-tree shapes
+//!   fig9..fig13           response-time curves per shape (5K and 40K)
+//!   fig14                 best-response-time table
+//!   costfn                cost-function shape-invariance (44N)
+//!   ablation-mirror       RD with and without tree mirroring (§5)
+//!   ablation-memory       RD vs FP peak hash-table memory (§5)
+//!   ablation-skew         partition balance under Zipf skew (§3.5)
+//!   ablation-pipeline     linear vs bushy pipeline fill delay (§2.3.3)
+//!   real                  the four strategies on the real threaded engine
+//!
+//! CSV series are written to results/.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mj_bench::{format_table, paper_processor_counts, simulate_tree, sweep, write_csv, PAPER_SIZES};
+use mj_core::example::{example_cards, example_tree, example_weights};
+use mj_core::generator::{generate, GeneratorInput};
+use mj_core::strategy::Strategy;
+use mj_exec::{run_plan, ExecConfig, QueryBinding};
+use mj_plan::cardinality::{node_cards, UniformOneToOne};
+use mj_plan::cost::{tree_costs, CostModel, TreeCosts};
+use mj_plan::segment::segments;
+use mj_plan::shapes::{build, Shape};
+use mj_plan::transform::right_orient;
+use mj_plan::{query, render};
+use mj_sim::{
+    peak_bytes_per_processor, render_gantt, run_scenario, simulate, Scenario, SimParams,
+};
+use mj_storage::{skew, Catalog, WisconsinGenerator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "costfn", "ablation-twophase", "ablation-optimizers",
+            "ablation-mirror", "ablation-memory", "ablation-skew", "ablation-pipeline", "real",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for exp in wanted {
+        let t0 = Instant::now();
+        match exp {
+            "fig3" => utilization_figure(Strategy::SP, "Figure 3: Sequential Parallel (SP)"),
+            "fig4" => utilization_figure(Strategy::SE, "Figure 4: Synchronous Execution (SE)"),
+            "fig5" => fig5_segments(),
+            "fig6" => utilization_figure(Strategy::RD, "Figure 6: Segmented Right-Deep (RD)"),
+            "fig7" => utilization_figure(Strategy::FP, "Figure 7: Full Parallel (FP)"),
+            "fig8" => fig8_shapes(),
+            "fig9" => response_figure(Shape::LeftLinear, 9),
+            "fig10" => response_figure(Shape::LeftBushy, 10),
+            "fig11" => response_figure(Shape::WideBushy, 11),
+            "fig12" => response_figure(Shape::RightBushy, 12),
+            "fig13" => response_figure(Shape::RightLinear, 13),
+            "fig14" => fig14_best(),
+            "costfn" => costfn_invariance(),
+            "ablation-twophase" => ablation_twophase(),
+            "ablation-optimizers" => ablation_optimizers(),
+            "ablation-mirror" => ablation_mirror(),
+            "ablation-memory" => ablation_memory(),
+            "ablation-skew" => ablation_skew(),
+            "ablation-pipeline" => ablation_pipeline(),
+            "real" => real_engine(),
+            other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
+        }
+        eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+/// The Fig. 2 example tree with its paper weights, planned and simulated
+/// with zero overheads on 10 processors — the idealized diagrams.
+fn utilization_figure(strategy: Strategy, title: &str) {
+    let (tree, joins) = example_tree();
+    let weights = example_weights();
+    let mut per_join = vec![0.0; tree.nodes().len()];
+    let mut total = 0.0;
+    for (id, w) in &weights {
+        per_join[*id] = *w;
+        total += *w;
+    }
+    let costs = TreeCosts { per_join, total };
+    let cards = example_cards(2000);
+    let input = GeneratorInput::new(&tree, &cards, &costs, 10);
+    let plan = generate(strategy, &input).expect("example plan");
+    let result = simulate(&plan, &SimParams::idealized()).expect("simulate");
+    println!("== {title} ==");
+    println!("(idealized: zero startup/coordination overhead, 10 processors, Fig. 2 tree)");
+    print!(
+        "{}",
+        render_gantt(&plan, &result, 64, |j| joins
+            .label(j)
+            .map(|l| char::from_digit(l, 10).unwrap()))
+    );
+}
+
+fn fig5_segments() {
+    println!("== Figure 5: a bushy tree and its right-deep segments ==");
+    let tree = build(Shape::RightBushy, 10).expect("tree");
+    let seg = segments(&tree);
+    println!(
+        "{}",
+        render::render_with(&tree, |id| seg.seg_of[id].map(|s| format!("segment {s}")))
+    );
+    for (i, s) in seg.segments.iter().enumerate() {
+        println!(
+            "segment {i}: joins {:?} (pipeline bottom->top), depends on {:?}",
+            s.joins, seg.deps[i]
+        );
+    }
+    println!("waves (concurrent groups): {:?}", seg.waves());
+}
+
+fn fig8_shapes() {
+    println!("== Figure 8: query shapes used in the experiments ==");
+    for shape in Shape::ALL {
+        let tree = build(shape, 10).expect("shape");
+        println!("--- {shape} (depth {}, right spine {}) ---", tree.depth(), tree.right_spine_len());
+        println!("{}", render::render(&tree));
+    }
+}
+
+/// One response-time figure: the four strategies over the processor sweep,
+/// 5K panel then 40K panel.
+fn response_figure(shape: Shape, fig_no: u32) {
+    let params = SimParams::default();
+    println!("== Figure {fig_no}: {shape} query tree — simulated response times (s) ==");
+    for tuples in PAPER_SIZES {
+        let pts = sweep(shape, tuples, &params).expect("sweep");
+        let procs = paper_processor_counts(tuples);
+        let mut rows = Vec::new();
+        let mut csv_rows = Vec::new();
+        for &p in &procs {
+            let mut row = vec![p.to_string()];
+            let mut csv_row = vec![p.to_string()];
+            for strategy in Strategy::ALL {
+                let pt = pts
+                    .iter()
+                    .find(|x| x.processors == p && x.strategy == strategy)
+                    .expect("grid cell");
+                row.push(format!("{:.2}", pt.seconds));
+                csv_row.push(format!("{:.4}", pt.seconds));
+            }
+            rows.push(row);
+            csv_rows.push(csv_row);
+        }
+        println!("--- {}K tuples/relation ---", tuples / 1000);
+        println!("{}", format_table(&["procs", "SP", "SE", "RD", "FP"], &rows));
+        let path = format!(
+            "results/fig{fig_no}_{}k.csv",
+            tuples / 1000
+        );
+        write_csv(&path, &["procs", "SP", "SE", "RD", "FP"], &csv_rows).expect("csv");
+        println!("[series written to {path}]");
+    }
+}
+
+/// Figure 14: best response time per (shape, size) with its argmin.
+fn fig14_best() {
+    let params = SimParams::default();
+    println!("== Figure 14: best response times (s) over all strategies and processor counts ==");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for shape in Shape::ALL {
+        let mut row = vec![shape.label().to_string()];
+        let mut csv_row = vec![shape.label().to_string()];
+        for tuples in PAPER_SIZES {
+            let pts = sweep(shape, tuples, &params).expect("sweep");
+            let best = pts
+                .iter()
+                .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+                .expect("non-empty");
+            row.push(format!("{:.1} ({}{})", best.seconds, best.strategy, best.processors));
+            csv_row.push(format!("{:.4}", best.seconds));
+            csv_row.push(format!("{}{}", best.strategy, best.processors));
+        }
+        rows.push(row);
+        csv_rows.push(csv_row);
+    }
+    println!("{}", format_table(&["shape", "5K best", "40K best"], &rows));
+    write_csv(
+        "results/fig14.csv",
+        &["shape", "best_5k_s", "best_5k_cfg", "best_40k_s", "best_40k_cfg"],
+        &csv_rows,
+    )
+    .expect("csv");
+    println!("[table written to results/fig14.csv]");
+    println!("(paper: 5K best 5.2-10.1s, 40K best 26-34s; bushy shapes give the best minima)");
+}
+
+/// §4.1/§4.3: every shape of the regular query has the same total cost.
+fn costfn_invariance() {
+    println!("== Cost-function invariance: total cost of the regular 10-relation query ==");
+    let mut rows = Vec::new();
+    for n in [5_000u64, 40_000] {
+        for shape in Shape::ALL {
+            let tree = build(shape, 10).expect("shape");
+            let cards = node_cards(&tree, &UniformOneToOne { n });
+            let costs = tree_costs(&tree, &cards, &CostModel::default());
+            rows.push(vec![
+                format!("{}K", n / 1000),
+                shape.label().to_string(),
+                format!("{:.0}", costs.total),
+                format!("{:.1}N", costs.total / n as f64),
+            ]);
+        }
+    }
+    println!("{}", format_table(&["size", "shape", "total cost (units)", "per N"], &rows));
+    println!("(the paper's premise: all trees cost 44N, so response-time differences are pure parallelization)");
+}
+
+/// §1.2: the paper adopts two-phase optimization from \[HoS91\] — phase 1
+/// minimizes total cost ignoring parallelism — while \[SrE93\] disputes the
+/// premise. For the regular query the dispute is maximal: *every* tree has
+/// total cost 44N, so phase 1 cannot distinguish shapes at all, yet their
+/// best parallelizations differ. This ablation quantifies the regret of
+/// letting phase 1 pick blindly versus a joint search over
+/// (shape, strategy, processors) with the simulator as cost oracle.
+fn ablation_twophase() {
+    let params = SimParams::default();
+    println!("== Ablation: two-phase optimization vs joint (shape x strategy x procs) search ==");
+    let mut rows = Vec::new();
+    for tuples in PAPER_SIZES {
+        // Phase 1: the classical bushy DP. All regular-query trees tie on
+        // total cost, so it returns an arbitrary minimal tree.
+        let graph = mj_plan::QueryGraph::regular_chain(10, tuples).expect("chain");
+        let phase1 = mj_plan::optimize_bushy(&graph, &CostModel::default()).expect("dp");
+        let procs = paper_processor_counts(tuples);
+        let mut two_phase = f64::INFINITY;
+        let mut two_phase_cfg = String::new();
+        for &p in &procs {
+            for strategy in Strategy::ALL {
+                let (_, sim) = simulate_tree(&phase1.tree, strategy, tuples, p, &params)
+                    .expect("sim");
+                if sim.response_time < two_phase {
+                    two_phase = sim.response_time;
+                    two_phase_cfg = format!("{strategy}{p}");
+                }
+            }
+        }
+        // Joint: additionally search the five shapes.
+        let mut joint = f64::INFINITY;
+        let mut joint_cfg = String::new();
+        for shape in Shape::ALL {
+            for pt in sweep(shape, tuples, &params).expect("sweep") {
+                if pt.seconds < joint {
+                    joint = pt.seconds;
+                    joint_cfg = format!("{} {}{}", shape.label(), pt.strategy, pt.processors);
+                }
+            }
+        }
+        rows.push(vec![
+            format!("{}K", tuples / 1000),
+            format!("depth {}, spine {}", phase1.tree.depth(), phase1.tree.right_spine_len()),
+            format!("{two_phase:.1}s ({two_phase_cfg})"),
+            format!("{joint:.1}s ({joint_cfg})"),
+            format!("{:.0}%", 100.0 * (two_phase / joint - 1.0)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["size", "phase-1 tree", "two-phase best", "joint best", "regret"],
+            &rows
+        )
+    );
+    println!("(phase 1 cannot rank the regular query's trees — all cost 44N — so the tree it");
+    println!(" happens to return determines how much the two-phase shortcut leaves on the table)");
+}
+
+/// Phase-1 optimizer quality and cost on queries where tree choice
+/// matters: exhaustive bushy DP (optimum), System-R linear DP, greedy,
+/// random-restart iterative improvement, simulated annealing, and a
+/// random tree as the floor.
+fn ablation_optimizers() {
+    use mj_plan::{
+        greedy_tree, iterative_improvement, optimize_bushy, optimize_linear, random_tree,
+        simulated_annealing, AnnealingOptions, IterativeOptions, QueryGraph,
+    };
+    println!("== Ablation: phase-1 optimizers on a skewed chain and a star query ==");
+    let cm = CostModel::default();
+
+    let mut skewed = QueryGraph::new();
+    for i in 0..12usize {
+        skewed.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50);
+    }
+    for i in 0..11usize {
+        skewed.add_edge(i, i + 1, 1e-2).expect("edge");
+    }
+    let mut star = QueryGraph::new();
+    let fact = star.add_relation("fact", 2_000_000);
+    for d in 0..8usize {
+        let dim = star.add_relation(format!("dim{d}"), 200 + 100 * d as u64);
+        star.add_edge(fact, dim, 1e-4).expect("edge");
+    }
+
+    let mut rows = Vec::new();
+    for (name, graph) in [("skewed chain (12)", &skewed), ("star (1+8)", &star)] {
+        let optimum = optimize_bushy(graph, &cm).expect("dp").total_cost;
+        let timed = |label: &str, plan: mj_plan::optimize::OptimizedPlan, us: f64| {
+            vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.3e}", plan.total_cost),
+                format!("{:.2}x", plan.total_cost / optimum),
+                format!("{us:.0} us"),
+            ]
+        };
+        let t = Instant::now();
+        let dp = optimize_bushy(graph, &cm).expect("dp");
+        rows.push(timed("bushy DP (optimum)", dp, t.elapsed().as_secs_f64() * 1e6));
+        let t = Instant::now();
+        let lin = optimize_linear(graph, &cm).expect("linear dp");
+        rows.push(timed("linear DP", lin, t.elapsed().as_secs_f64() * 1e6));
+        let t = Instant::now();
+        let gr = greedy_tree(graph, &cm).expect("greedy");
+        rows.push(timed("greedy", gr, t.elapsed().as_secs_f64() * 1e6));
+        let t = Instant::now();
+        let ii = iterative_improvement(graph, &cm, IterativeOptions::default()).expect("ii");
+        rows.push(timed("iterative improvement", ii, t.elapsed().as_secs_f64() * 1e6));
+        let t = Instant::now();
+        let sa = simulated_annealing(graph, &cm, AnnealingOptions::default()).expect("sa");
+        rows.push(timed("simulated annealing", sa, t.elapsed().as_secs_f64() * 1e6));
+        let t = Instant::now();
+        let rnd = random_tree(graph, &cm, 1).expect("random");
+        rows.push(timed("random tree", rnd, t.elapsed().as_secs_f64() * 1e6));
+    }
+    println!(
+        "{}",
+        format_table(&["query", "optimizer", "total cost", "vs optimum", "time"], &rows)
+    );
+}
+
+/// §5: "it is possible without cost penalty to mirror (parts of) a query to
+/// make it more right-oriented, so that in practice RD is expected to work
+/// quite well."
+fn ablation_mirror() {
+    let params = SimParams::default();
+    println!("== Ablation: RD with and without right-orienting transform (40K tuples) ==");
+    let mut rows = Vec::new();
+    for shape in [Shape::LeftLinear, Shape::LeftBushy, Shape::WideBushy] {
+        let tree = build(shape, 10).expect("shape");
+        let oriented = right_orient(&tree);
+        for procs in [40usize, 80] {
+            let (_, plain) =
+                simulate_tree(&tree, Strategy::RD, 40_000, procs, &params).expect("sim");
+            let (_, mirrored) =
+                simulate_tree(&oriented, Strategy::RD, 40_000, procs, &params).expect("sim");
+            rows.push(vec![
+                shape.label().to_string(),
+                procs.to_string(),
+                format!("{:.2}", plain.response_time),
+                format!("{:.2}", mirrored.response_time),
+                format!("{:.2}x", plain.response_time / mirrored.response_time),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(&["shape", "procs", "RD as-is (s)", "RD mirrored (s)", "speedup"], &rows)
+    );
+}
+
+/// §5: "RD uses less memory than FP because only one hash-table needs to
+/// be built."
+fn ablation_memory() {
+    let params = SimParams::default();
+    println!("== Ablation: peak hash-table bytes per processor, RD vs FP ==");
+    let mut rows = Vec::new();
+    for tuples in PAPER_SIZES {
+        for shape in [Shape::RightBushy, Shape::WideBushy, Shape::RightLinear] {
+            let mut cells = vec![format!("{}K", tuples / 1000), shape.label().to_string()];
+            let mut values = Vec::new();
+            for strategy in [Strategy::RD, Strategy::FP] {
+                let scenario = Scenario::paper(shape, strategy, tuples, 40);
+                let r = run_scenario(&scenario, &params).expect("scenario");
+                let peak = peak_bytes_per_processor(&r.plan, &r.sim, &params);
+                values.push(peak);
+                cells.push(format!("{:.0} KB", peak / 1024.0));
+            }
+            cells.push(format!("{:.2}x", values[1] / values[0]));
+            rows.push(cells);
+        }
+    }
+    println!(
+        "{}",
+        format_table(&["size", "shape", "RD peak", "FP peak", "FP/RD"], &rows)
+    );
+}
+
+/// §3.5 assumes non-skewed partitioning; quantify what Zipf skew does to
+/// hash-partition balance (the load-balance premise of every strategy).
+fn ablation_skew() {
+    println!("== Ablation: hash-partition balance under Zipf-skewed join keys ==");
+    let n = 40_000usize;
+    let parts = 16usize;
+    let mut rows = Vec::new();
+    for theta in [0.0f64, 0.3, 0.6, 0.9, 1.2] {
+        let keys = skew::zipf_keys(n, n, theta, 7);
+        let mut counts = vec![0usize; parts];
+        for &k in &keys {
+            counts[mj_relalg::hash::bucket_of(k, parts)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let avg = n as f64 / parts as f64;
+        rows.push(vec![
+            format!("{theta:.1}"),
+            format!("{:.3}", skew::top_key_fraction(&keys)),
+            format!("{:.2}", max / avg),
+            format!("{:.1}%", 100.0 * (1.0 - avg / max)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["theta", "top-key share", "max/avg fragment", "idle at barrier"],
+            &rows
+        )
+    );
+    println!("(at theta >= 0.9 one fragment dominates: the proportional-allocation premise breaks)");
+
+    // End-to-end: the same imbalance applied per operation in the
+    // simulator (wide bushy, 40K, 80 processors). SP partitions every
+    // operand over all 80 processors, so it suffers the largest factor;
+    // FP's ~9-processor buckets stay best balanced.
+    println!();
+    println!("-- response time under Zipf skew (wide bushy, 40K tuples, 80 processors) --");
+    let params = SimParams::default();
+    let tree = build(Shape::WideBushy, 10).expect("shape");
+    let cards = node_cards(&tree, &UniformOneToOne { n: 40_000 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let mut base = Vec::new();
+    let mut rows = Vec::new();
+    for theta in [0.0f64, 0.3, 0.6, 0.9, 1.2] {
+        let mut row = vec![format!("{theta:.1}")];
+        for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+            let input = GeneratorInput::new(&tree, &cards, &costs, 80);
+            let plan = generate(strategy, &input).expect("plan");
+            let model = mj_sim::SkewModel::zipf(theta, 40_000);
+            let rt = mj_sim::simulate_skewed(&plan, &params, &model)
+                .expect("simulate")
+                .response_time;
+            if theta == 0.0 {
+                base.push(rt);
+                row.push(format!("{rt:.1}s"));
+            } else {
+                row.push(format!("{rt:.1}s ({:.2}x)", rt / base[i]));
+            }
+        }
+        rows.push(row);
+    }
+    println!("{}", format_table(&["theta", "SP", "SE", "RD", "FP"], &rows));
+    println!("(slowdown vs theta=0: wide partitioning amplifies skew — SP and RD's spine degrade");
+    println!(" ~5x at theta=1.2 while FP's narrow private buckets hold at 3x, flipping the ranking)");
+}
+
+/// §2.3.3: a linear-pipeline step costs a constant delay; a bushy step
+/// costs a delay proportional to operand size.
+///
+/// Measured by response-time differencing with the per-join processor
+/// budget held constant (5 processors per join), so the added stage brings
+/// its own capacity and the difference isolates the *step delay*:
+/// lengthening a right-linear FP pipeline by one join adds a roughly
+/// constant delay regardless of operand size, while adding a level to a
+/// balanced bushy FP tree (joins of two intermediates) adds a delay that
+/// scales with the operand size, because a bushy join's output ramp is the
+/// product of its input ramps.
+fn ablation_pipeline() {
+    let params = SimParams::default();
+    const PROCS_PER_JOIN: usize = 5;
+    println!("== Ablation: per-step pipeline delay, linear vs bushy (FP, 5 procs/join) ==");
+
+    // Linear: response time of a k-join right-linear pipeline.
+    let rt_linear = |k: usize, n: u64| -> f64 {
+        let tree = build(Shape::RightLinear, k + 1).expect("relations >= 2");
+        simulate_tree(&tree, Strategy::FP, n, PROCS_PER_JOIN * k, &params)
+            .expect("sim")
+            .1
+            .response_time
+    };
+    // Bushy: response time of a balanced tree over 2^d relations (depth d).
+    let rt_bushy = |d: u32, n: u64| -> f64 {
+        let tree = build(Shape::WideBushy, 1usize << d).expect("power of two");
+        let joins = (1usize << d) - 1;
+        simulate_tree(&tree, Strategy::FP, n, PROCS_PER_JOIN * joins, &params)
+            .expect("sim")
+            .1
+            .response_time
+    };
+
+    let mut rows = Vec::new();
+    for n in [5_000u64, 10_000, 20_000, 40_000] {
+        let lin_step = (rt_linear(9, n) - rt_linear(5, n)) / 4.0;
+        let bushy_step = rt_bushy(3, n) - rt_bushy(2, n);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", lin_step),
+            format!("{:.2}", bushy_step),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["tuples/rel", "linear step (s)", "bushy level (s)"],
+            &rows
+        )
+    );
+    println!("(linear step stays ~constant; the bushy level grows with operand size — [WiA93])");
+}
+
+/// The four strategies on the real threaded engine (host-scale sanity).
+fn real_engine() {
+    println!("== Real engine: 10-relation regular query, n=2000, 4 logical processors ==");
+    let catalog = Arc::new(Catalog::new());
+    let n = 2000usize;
+    let gen = WisconsinGenerator::new(n, 42);
+    for (name, rel) in gen.generate_named("R", 10) {
+        catalog.register(name, rel);
+    }
+    let mut rows = Vec::new();
+    let mut reference: HashMap<Shape, mj_relalg::Relation> = HashMap::new();
+    for shape in [Shape::LeftLinear, Shape::WideBushy, Shape::RightLinear] {
+        let tree = build(shape, 10).expect("shape");
+        let xra = query::to_xra(&tree, 3, mj_relalg::JoinAlgorithm::Simple);
+        reference.insert(shape, xra.eval(catalog.as_ref()).expect("oracle"));
+        for strategy in Strategy::ALL {
+            let cards = node_cards(&tree, &UniformOneToOne { n: n as u64 });
+            let costs = tree_costs(&tree, &cards, &CostModel::default());
+            let mut input = GeneratorInput::new(&tree, &cards, &costs, 4);
+            input.allow_oversubscribe = true;
+            let plan = generate(strategy, &input).expect("plan");
+            let binding = QueryBinding::regular(&tree, catalog.as_ref()).expect("binding");
+            let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())
+                .expect("run");
+            let ok = outcome.relation.multiset_eq(&reference[&shape]);
+            rows.push(vec![
+                shape.label().to_string(),
+                strategy.label().to_string(),
+                format!("{:.1} ms", outcome.elapsed.as_secs_f64() * 1e3),
+                outcome.metrics.processes.to_string(),
+                outcome.metrics.streams.to_string(),
+                outcome.relation.len().to_string(),
+                if ok { "ok".into() } else { "MISMATCH".into() },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &["shape", "strategy", "elapsed", "processes", "streams", "result", "vs oracle"],
+            &rows
+        )
+    );
+}

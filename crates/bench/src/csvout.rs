@@ -1,0 +1,38 @@
+//! CSV output for the regenerated figures (plot-ready series).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a CSV file, creating parent directories as needed.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_round_trips() {
+        let dir = std::env::temp_dir().join("mj-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

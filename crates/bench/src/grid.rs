@@ -1,0 +1,105 @@
+//! Experiment sweep drivers over the paper's grid.
+
+use mj_core::generator::{generate, GeneratorInput};
+use mj_core::plan_ir::ParallelPlan;
+use mj_core::strategy::Strategy;
+use mj_plan::cardinality::{node_cards, UniformOneToOne};
+use mj_plan::cost::{tree_costs, CostModel};
+use mj_plan::shapes::Shape;
+use mj_plan::tree::JoinTree;
+use mj_relalg::Result;
+use mj_sim::{run_scenario, simulate, Scenario, SimParams, SimResult};
+
+/// The two problem sizes of §4.2 (tuples per relation).
+pub const PAPER_SIZES: [u64; 2] = [5_000, 40_000];
+
+/// The processor counts swept for a problem size: "For the 5K experiment,
+/// the number of processors used is varied from 20 to 80; for the 40K
+/// experiment we use 30 to 80 processors" (§4.2).
+pub fn paper_processor_counts(tuples: u64) -> Vec<usize> {
+    if tuples <= 5_000 {
+        vec![20, 30, 40, 50, 60, 70, 80]
+    } else {
+        vec![30, 40, 50, 60, 70, 80]
+    }
+}
+
+/// One measured grid point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Tree shape.
+    pub shape: Shape,
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Tuples per relation.
+    pub tuples: u64,
+    /// Processors used.
+    pub processors: usize,
+    /// Simulated response time in seconds.
+    pub seconds: f64,
+}
+
+/// Runs the full paper grid for one shape and size: all strategies at all
+/// paper processor counts.
+pub fn sweep(shape: Shape, tuples: u64, params: &SimParams) -> Result<Vec<SweepPoint>> {
+    let mut out = Vec::new();
+    for &processors in paper_processor_counts(tuples).iter() {
+        for strategy in Strategy::ALL {
+            let scenario = Scenario::paper(shape, strategy, tuples, processors);
+            let r = run_scenario(&scenario, params)?;
+            out.push(SweepPoint {
+                shape,
+                strategy,
+                tuples,
+                processors,
+                seconds: r.response_time,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Plans and simulates an arbitrary tree (used by the mirroring ablation,
+/// where the tree is a transform rather than a named shape).
+pub fn simulate_tree(
+    tree: &JoinTree,
+    strategy: Strategy,
+    tuples: u64,
+    processors: usize,
+    params: &SimParams,
+) -> Result<(ParallelPlan, SimResult)> {
+    let cards = node_cards(tree, &UniformOneToOne { n: tuples });
+    let costs = tree_costs(tree, &cards, &CostModel::default());
+    let input = GeneratorInput::new(tree, &cards, &costs, processors);
+    let plan = generate(strategy, &input)?;
+    let sim = simulate(&plan, params)?;
+    Ok((plan, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_grids_match_the_paper() {
+        assert_eq!(paper_processor_counts(5_000), vec![20, 30, 40, 50, 60, 70, 80]);
+        assert_eq!(paper_processor_counts(40_000), vec![30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn small_sweep_produces_all_cells() {
+        // Tiny tuples keep this fast; structure is what matters.
+        let pts = sweep(Shape::WideBushy, 5_000, &SimParams::default()).unwrap();
+        assert_eq!(pts.len(), 7 * 4);
+        assert!(pts.iter().all(|p| p.seconds > 0.0));
+    }
+
+    #[test]
+    fn simulate_tree_round_trips() {
+        let tree = mj_plan::shapes::build(Shape::RightLinear, 5).unwrap();
+        let (plan, sim) =
+            simulate_tree(&tree, Strategy::RD, 1000, 12, &SimParams::default()).unwrap();
+        assert_eq!(plan.ops.len(), 4);
+        assert!(sim.response_time > 0.0);
+    }
+}

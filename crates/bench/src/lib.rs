@@ -1,0 +1,16 @@
+//! Benchmark and reproduction harness support.
+//!
+//! The `repro` binary regenerates every figure and table of the paper's
+//! evaluation (see DESIGN.md for the experiment index); this library holds
+//! the shared sweep drivers, ASCII table rendering, and CSV output used by
+//! the binary and the Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod csvout;
+pub mod grid;
+
+pub use ascii::format_table;
+pub use csvout::write_csv;
+pub use grid::{paper_processor_counts, simulate_tree, sweep, SweepPoint, PAPER_SIZES};

@@ -1,0 +1,187 @@
+//! The paper's running example: the 5-way join tree of Fig. 2.
+//!
+//! Five relations, four joins. The joins are labeled with their *relative
+//! work*: the top join has weight 1, the join below it weight 5 ("the
+//! second join operation from the top needs five times the computation
+//! time of the top join operation"), and the two bottom joins weights 3
+//! and 4. Figures 3, 4, 6 and 7 show idealized 10-processor utilization
+//! diagrams for this tree under SP, SE, RD and FP; the reproduction
+//! regenerates them from this module plus the zero-overhead simulator.
+
+use std::collections::HashMap;
+
+use mj_plan::tree::{JoinTree, NodeId};
+
+/// Builds the Fig. 2 example tree:
+///
+/// ```text
+///        J1 (weight 1)
+///       /  \
+///     Ra    J5 (weight 5)
+///          /  \
+///        J4    J3 (weight 3)
+///       /  \     \
+///     Rb    Rc   Rd, Re
+/// ```
+///
+/// i.e. `J1 = Ra ⋈ J5`, `J5 = J4 ⋈ J3`, `J4 = Rb ⋈ Rc`, `J3 = Rd ⋈ Re`.
+/// This orientation reproduces every schedule the paper draws: SP runs
+/// 4, 3, 5, 1 sequentially (Fig. 3); SE runs {3 ∥ 4}, then 5, then 1
+/// (Fig. 4); RD finds the segments `[4]` and `[3, 5, 1]` (Fig. 6); FP runs
+/// everything at once (Fig. 7).
+pub fn example_tree() -> (JoinTree, ExampleJoins) {
+    let mut b = JoinTree::builder();
+    let ra = b.leaf("Ra");
+    let rb = b.leaf("Rb");
+    let rc = b.leaf("Rc");
+    let rd = b.leaf("Rd");
+    let re = b.leaf("Re");
+    let j4 = b.join(rb, rc);
+    let j3 = b.join(rd, re);
+    let j5 = b.join(j4, j3);
+    let j1 = b.join(ra, j5);
+    let tree = b.build(j1).expect("example tree is valid");
+    (tree, ExampleJoins { j1, j3, j4, j5 })
+}
+
+/// Node ids of the example joins, named as in the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct ExampleJoins {
+    /// Top join (weight 1).
+    pub j1: NodeId,
+    /// Lower-right join (weight 3).
+    pub j3: NodeId,
+    /// Lower-left join (weight 4).
+    pub j4: NodeId,
+    /// Middle join (weight 5).
+    pub j5: NodeId,
+}
+
+impl ExampleJoins {
+    /// The paper's label (1, 3, 4, 5) for a join node id, if it is one of
+    /// the example joins.
+    pub fn label(&self, node: NodeId) -> Option<u32> {
+        if node == self.j1 {
+            Some(1)
+        } else if node == self.j3 {
+            Some(3)
+        } else if node == self.j4 {
+            Some(4)
+        } else if node == self.j5 {
+            Some(5)
+        } else {
+            None
+        }
+    }
+}
+
+/// The relative work of each example join, keyed by node id — the numbers
+/// printed next to the joins in Fig. 2. (The labels double as weights.)
+pub fn example_weights() -> HashMap<NodeId, f64> {
+    let (_, joins) = example_tree();
+    HashMap::from([
+        (joins.j1, 1.0),
+        (joins.j3, 3.0),
+        (joins.j4, 4.0),
+        (joins.j5, 5.0),
+    ])
+}
+
+/// Per-node cardinalities that make each join's *consumed volume* (the sum
+/// of its operand cardinalities — what the backends actually charge time
+/// for) proportional to its Fig. 2 label, in units of `scale` tuples.
+///
+/// The labels fix four equations over the operand sizes:
+///
+/// ```text
+/// J4:  |Rb| + |Rc|          = 4        Rb = Rc = 2
+/// J3:  |Rd| + |Re|          = 3        Rd = Re = 1.5
+/// J5:  |out4| + |out3|      = 5        out4 = out3 = 2.5
+/// J1:  |Ra| + |out5|        = 1        Ra = out5 = 0.5
+/// ```
+///
+/// With these cardinalities the zero-overhead simulator regenerates the
+/// paper's idealized utilization diagrams: SP's phases have widths 4:3:5:1
+/// (Fig. 3) and FP's per-join durations are nearly equal because the
+/// allocator hands each join processors proportional to its weight
+/// (Fig. 7).
+pub fn example_cards(scale: u64) -> Vec<u64> {
+    let (tree, joins) = example_tree();
+    let mut cards = vec![0u64; tree.nodes().len()];
+    let u = |x: f64| (x * scale as f64).round() as u64;
+    let (ra, _) = tree.children(joins.j1).expect("J1 is a join");
+    let (rb, rc) = tree.children(joins.j4).expect("J4 is a join");
+    let (rd, re) = tree.children(joins.j3).expect("J3 is a join");
+    cards[ra] = u(0.5);
+    cards[rb] = u(2.0);
+    cards[rc] = u(2.0);
+    cards[rd] = u(1.5);
+    cards[re] = u(1.5);
+    cards[joins.j4] = u(2.5);
+    cards[joins.j3] = u(2.5);
+    cards[joins.j5] = u(0.5);
+    cards[joins.j1] = u(0.5);
+    cards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_plan::segment::segments;
+
+    #[test]
+    fn tree_shape_matches_figure_2() {
+        let (tree, joins) = example_tree();
+        assert_eq!(tree.join_count(), 4);
+        assert_eq!(tree.leaf_count(), 5);
+        assert_eq!(tree.root(), joins.j1);
+        let (l, r) = tree.children(joins.j1).unwrap();
+        assert!(tree.is_leaf(l), "J1's left operand is the base relation Ra");
+        assert_eq!(r, joins.j5);
+        let (l5, r5) = tree.children(joins.j5).unwrap();
+        assert_eq!(l5, joins.j4);
+        assert_eq!(r5, joins.j3);
+    }
+
+    #[test]
+    fn segmentation_matches_figure_6() {
+        let (tree, joins) = example_tree();
+        let seg = segments(&tree);
+        assert_eq!(seg.segments.len(), 2);
+        // The root segment pipelines 3 -> 5 -> 1; J4 is its own segment.
+        let root_seg = seg.seg_of[joins.j1].unwrap();
+        assert_eq!(seg.segments[root_seg].joins, vec![joins.j3, joins.j5, joins.j1]);
+        let j4_seg = seg.seg_of[joins.j4].unwrap();
+        assert_eq!(seg.segments[j4_seg].joins, vec![joins.j4]);
+        // J4's segment runs first (Fig. 6: all processors on join 4).
+        assert_eq!(seg.waves(), vec![vec![j4_seg], vec![root_seg]]);
+    }
+
+    #[test]
+    fn weights_match_labels() {
+        let (_, joins) = example_tree();
+        let w = example_weights();
+        assert_eq!(w[&joins.j1], 1.0);
+        assert_eq!(w[&joins.j3], 3.0);
+        assert_eq!(w[&joins.j4], 4.0);
+        assert_eq!(w[&joins.j5], 5.0);
+        assert_eq!(joins.label(joins.j5), Some(5));
+        assert_eq!(joins.label(0), None, "leaves have no label");
+    }
+
+    #[test]
+    fn example_cards_reproduce_the_weights() {
+        // A join's consumed volume (left card + right card) must be
+        // proportional to its Fig. 2 label.
+        let (tree, joins) = example_tree();
+        let cards = example_cards(1000);
+        let consumed = |j: NodeId| {
+            let (l, r) = tree.children(j).unwrap();
+            cards[l] + cards[r]
+        };
+        assert_eq!(consumed(joins.j1), 1000);
+        assert_eq!(consumed(joins.j3), 3000);
+        assert_eq!(consumed(joins.j4), 4000);
+        assert_eq!(consumed(joins.j5), 5000);
+    }
+}

@@ -1,0 +1,115 @@
+//! Full Parallel (FP) plan generation (§3.4, [WiA91, WAF91]).
+//!
+//! "The idea behind this strategy is to allocate each join-operation to a
+//! private (set of) processors, so that all join-operations in the schedule
+//! are executed in parallel. … The available processors are distributed
+//! over all join-operations proportionally to the amount of work in each
+//! operation. Each join-operation starts working as soon as input is
+//! available." Every edge between joins is a live pipeline, in both
+//! directions, courtesy of the pipelining hash join.
+
+use mj_relalg::Result;
+
+use crate::plan_ir::{ParallelPlan, ProcId};
+use crate::strategy::Strategy;
+
+use super::{allocate_groups, GeneratorInput, PlanBuilder};
+
+pub(crate) fn generate(input: &GeneratorInput<'_>) -> Result<ParallelPlan> {
+    let mut b = PlanBuilder::new(input);
+    let joins = input.tree.joins_bottom_up();
+    let weights: Vec<f64> = joins.iter().map(|&j| input.costs.per_join[j]).collect();
+    let pool: Vec<ProcId> = (0..input.processors).collect();
+    let (groups, shared) = allocate_groups(&weights, &pool, input.allow_oversubscribe)?;
+    b.oversubscribed = shared;
+    let algorithm = Strategy::FP.join_algorithm();
+
+    for (&join, procs) in joins.iter().zip(&groups) {
+        let (l, r) = input.tree.children(join).expect("join node");
+        // Both operands pipeline: intermediates stream live, bases scan.
+        let left = b.operand(l, true);
+        let right = b.operand(r, true);
+        b.push_op(join, algorithm, procs.clone(), left, right, Vec::new());
+    }
+    Ok(b.finish(Strategy::FP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::fixture;
+    use super::super::{generate as gen, GeneratorInput};
+    use crate::plan_ir::OperandSource;
+    use crate::strategy::Strategy;
+    use mj_plan::shapes::Shape;
+    use mj_relalg::JoinAlgorithm;
+    use std::collections::HashSet;
+
+    #[test]
+    fn private_disjoint_processor_sets_partition_the_machine() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 40);
+        let plan = gen(Strategy::FP, &input).unwrap();
+        crate::validate::validate_plan(&plan).unwrap();
+        let mut seen = HashSet::new();
+        for op in &plan.ops {
+            assert!(op.start_after.is_empty(), "everything starts at once");
+            assert_eq!(op.algorithm, JoinAlgorithm::Pipelining);
+            for &p in &op.procs {
+                assert!(seen.insert(p), "processor {p} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 40, "all processors used");
+    }
+
+    #[test]
+    fn all_intermediate_edges_are_live_streams() {
+        let (tree, cards, costs) = fixture(Shape::RightBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 20);
+        let plan = gen(Strategy::FP, &input).unwrap();
+        for op in &plan.ops {
+            for operand in [&op.left, &op.right] {
+                assert!(
+                    !matches!(operand, OperandSource::Materialized { .. }),
+                    "FP never materializes"
+                );
+            }
+        }
+        // 9 joins, 10 leaves: 8 join-to-join edges, all pipelined.
+        assert_eq!(plan.stats().pipeline_edges, 8);
+    }
+
+    #[test]
+    fn allocation_is_proportional_to_work() {
+        // Left-linear: the first join (two base operands) costs 4N; the
+        // others (intermediate left operand) cost 5N. Degrees must be
+        // within one processor of proportional.
+        let (tree, cards, costs) = fixture(Shape::LeftLinear, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 44);
+        let plan = gen(Strategy::FP, &input).unwrap();
+        let joins = tree.joins_bottom_up();
+        let first = plan.op_for_join(joins[0]).unwrap().degree();
+        let later = plan.op_for_join(joins[3]).unwrap().degree();
+        assert_eq!(first, 4);
+        assert_eq!(later, 5);
+    }
+
+    #[test]
+    fn needs_one_processor_per_join_unless_shared() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let strict = GeneratorInput::new(&tree, &cards, &costs, 5);
+        assert!(gen(Strategy::FP, &strict).is_err());
+        let mut relaxed = GeneratorInput::new(&tree, &cards, &costs, 5);
+        relaxed.allow_oversubscribe = true;
+        let plan = gen(Strategy::FP, &relaxed).unwrap();
+        assert!(plan.oversubscribed);
+        crate::validate::validate_plan(&plan).unwrap();
+    }
+
+    #[test]
+    fn exactly_nine_processors_gives_one_each() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 9);
+        let plan = gen(Strategy::FP, &input).unwrap();
+        assert!(plan.ops.iter().all(|op| op.degree() == 1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Synchronous Execution (SE) plan generation (§3.2, \[CYW92\]).
+//!
+//! "The idea is to execute independent subtrees in the join tree
+//! independently in parallel. A join operation is started only after its
+//! operands are ready. … allocating a number of processors to a subtree
+//! that produces an operand, that is proportional to the total amount of
+//! work in the subtree. In this way, operands are supposed to be available
+//! at the same time so that no processors have to wait."
+//!
+//! For linear trees there are no independent subtrees and SE degenerates to
+//! SP — the coincidence visible in Figs. 9 and 13.
+
+use mj_plan::tree::NodeId;
+use mj_relalg::Result;
+
+use crate::plan_ir::{OpId, ParallelPlan, ProcId};
+use crate::strategy::Strategy;
+
+use super::{allocate_groups, GeneratorInput, PlanBuilder};
+
+pub(crate) fn generate(input: &GeneratorInput<'_>) -> Result<ParallelPlan> {
+    let mut b = PlanBuilder::new(input);
+    // Total work per subtree, used to balance sibling allocations.
+    let subtree_work = compute_subtree_work(input);
+    let pool: Vec<ProcId> = (0..input.processors).collect();
+    schedule(&mut b, input.tree.root(), &pool, &subtree_work, &mut Vec::new())?;
+    Ok(b.finish(Strategy::SE))
+}
+
+fn compute_subtree_work(input: &GeneratorInput<'_>) -> Vec<f64> {
+    let tree = input.tree;
+    let mut work = vec![0.0; tree.nodes().len()];
+    for (id, _) in tree.nodes().iter().enumerate() {
+        if let Some((l, r)) = tree.children(id) {
+            work[id] = work[l] + work[r] + input.costs.per_join[id];
+        }
+    }
+    work
+}
+
+/// Schedules the subtree rooted at `node` on `pool`, returning the op that
+/// produces its result (None for leaves). `barrier` carries ops that must
+/// precede anything scheduled by this call (used when sibling subtrees are
+/// forced sequential on a too-small pool).
+fn schedule(
+    b: &mut PlanBuilder<'_>,
+    node: NodeId,
+    pool: &[ProcId],
+    subtree_work: &[f64],
+    barrier: &mut Vec<OpId>,
+) -> Result<Option<OpId>> {
+    let Some((l, r)) = b.input.tree.children(node) else {
+        return Ok(None); // leaf
+    };
+    let l_join = !b.input.tree.is_leaf(l);
+    let r_join = !b.input.tree.is_leaf(r);
+
+    let mut deps = barrier.clone();
+    match (l_join, r_join) {
+        (false, false) => {}
+        (true, false) => {
+            if let Some(op) = schedule(b, l, pool, subtree_work, barrier)? {
+                deps.push(op);
+            }
+        }
+        (false, true) => {
+            if let Some(op) = schedule(b, r, pool, subtree_work, barrier)? {
+                deps.push(op);
+            }
+        }
+        (true, true) => {
+            // Independent subtrees: split the pool proportionally to their
+            // total work [CYW92]. With a single processor in the pool the
+            // subtrees run sequentially instead.
+            if pool.len() >= 2 {
+                let (groups, _) = allocate_groups(
+                    &[subtree_work[l], subtree_work[r]],
+                    pool,
+                    false,
+                )?;
+                if let Some(op) = schedule(b, l, &groups[0], subtree_work, barrier)? {
+                    deps.push(op);
+                }
+                if let Some(op) = schedule(b, r, &groups[1], subtree_work, barrier)? {
+                    deps.push(op);
+                }
+            } else {
+                let mut seq_barrier = barrier.clone();
+                if let Some(op) = schedule(b, l, pool, subtree_work, &mut seq_barrier)? {
+                    seq_barrier.push(op);
+                    deps.push(op);
+                }
+                if let Some(op) = schedule(b, r, pool, subtree_work, &mut seq_barrier)? {
+                    deps.push(op);
+                }
+            }
+        }
+    }
+
+    // The join itself runs on the whole pool of this call once its operand
+    // subtrees are done. Never pipelined: operands are materialized.
+    let left = b.operand(l, false);
+    let right = b.operand(r, false);
+    let algorithm = Strategy::SE.join_algorithm();
+    let id = b.push_op(node, algorithm, pool.to_vec(), left, right, deps);
+    Ok(Some(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::fixture;
+    use super::super::{generate as gen, GeneratorInput};
+    use crate::strategy::Strategy;
+    use mj_plan::shapes::Shape;
+
+    #[test]
+    fn linear_trees_degenerate_to_sp() {
+        for shape in [Shape::LeftLinear, Shape::RightLinear] {
+            let (tree, cards, costs) = fixture(shape, 10, 100);
+            let input = GeneratorInput::new(&tree, &cards, &costs, 40);
+            let se = gen(Strategy::SE, &input).unwrap();
+            let sp = gen(Strategy::SP, &input).unwrap();
+            // Same structure: every op on all processors, strictly chained.
+            assert_eq!(se.ops.len(), sp.ops.len(), "{shape}");
+            for op in &se.ops {
+                assert_eq!(op.degree(), 40, "{shape}");
+            }
+            assert_eq!(se.stats().operation_processes, sp.stats().operation_processes);
+            assert_eq!(se.stats().pipeline_edges, 0);
+        }
+    }
+
+    #[test]
+    fn wide_bushy_splits_processors_between_independent_subtrees() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 40);
+        let plan = gen(Strategy::SE, &input).unwrap();
+        crate::validate::validate_plan(&plan).unwrap();
+        // The root's two child subtrees must be scheduled on disjoint,
+        // smaller pools.
+        let (l, r) = tree.children(tree.root()).unwrap();
+        let l_op = plan.op_for_join(l).unwrap();
+        let r_op = plan.op_for_join(r).unwrap();
+        assert!(l_op.degree() < 40 && r_op.degree() < 40);
+        assert!(l_op.procs.iter().all(|p| !r_op.procs.contains(p)), "disjoint pools");
+        // The root join runs on everything.
+        assert_eq!(plan.sink().degree(), 40);
+    }
+
+    #[test]
+    fn allocation_tracks_subtree_work() {
+        // Root of the wide bushy tree over 10 relations: left subtree holds
+        // 8 relations (7 joins), right subtree 2 relations (1 join); the
+        // left pool must be substantially larger.
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 40);
+        let plan = gen(Strategy::SE, &input).unwrap();
+        let (l, r) = tree.children(tree.root()).unwrap();
+        let l_deg = plan.op_for_join(l).unwrap().degree();
+        let r_deg = plan.op_for_join(r).unwrap().degree();
+        assert!(l_deg > 2 * r_deg, "left {l_deg} vs right {r_deg}");
+    }
+
+    #[test]
+    fn single_processor_falls_back_to_sequential_siblings() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 6, 10);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 1);
+        let plan = gen(Strategy::SE, &input).unwrap();
+        crate::validate::validate_plan(&plan).unwrap();
+        assert_eq!(plan.ops.len(), 5);
+    }
+
+    #[test]
+    fn join_starts_only_after_operands_ready() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 20);
+        let plan = gen(Strategy::SE, &input).unwrap();
+        for op in &plan.ops {
+            for operand in [&op.left, &op.right] {
+                if let Some(p) = operand.producer() {
+                    assert!(
+                        op.start_after.contains(&p),
+                        "op{} does not wait for producer op{p}",
+                        op.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Sequential Parallel (SP) plan generation (§3.1).
+//!
+//! "The constituent joins are executed sequentially in parallel, using all
+//! available processors for each join operation." No inter-operator
+//! parallelism, no pipelining, and no cost function: every join gets the
+//! whole machine, one after another, in bottom-up dependency order.
+//! Intermediates are materialized and refragmented between joins — which is
+//! exactly what makes SP pay `joins × P` process startups and `P × P`
+//! streams per redistribution at scale.
+
+use mj_relalg::Result;
+
+use crate::plan_ir::{ParallelPlan, ProcId};
+use crate::strategy::Strategy;
+
+use super::{GeneratorInput, PlanBuilder};
+
+pub(crate) fn generate(input: &GeneratorInput<'_>) -> Result<ParallelPlan> {
+    let mut b = PlanBuilder::new(input);
+    let all_procs: Vec<ProcId> = (0..input.processors).collect();
+    let algorithm = Strategy::SP.join_algorithm();
+
+    let mut prev = None;
+    for join in input.tree.joins_bottom_up() {
+        let (l, r) = input.tree.children(join).expect("join node");
+        // Children are materialized (never pipelined) under SP.
+        let left = b.operand(l, false);
+        let right = b.operand(r, false);
+        // A strict chain: each join starts only when the previous finished.
+        let start_after = prev.map(|p| vec![p]).unwrap_or_default();
+        let id = b.push_op(join, algorithm, all_procs.clone(), left, right, start_after);
+        prev = Some(id);
+    }
+    Ok(b.finish(Strategy::SP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::fixture;
+    use super::super::{generate as gen, GeneratorInput};
+    use crate::plan_ir::OperandSource;
+    use crate::strategy::Strategy;
+    use mj_plan::shapes::Shape;
+    use mj_relalg::JoinAlgorithm;
+
+    #[test]
+    fn every_join_uses_all_processors_sequentially() {
+        let (tree, cards, costs) = fixture(Shape::LeftLinear, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 80);
+        let plan = gen(Strategy::SP, &input).unwrap();
+        assert_eq!(plan.ops.len(), 9);
+        for (i, op) in plan.ops.iter().enumerate() {
+            assert_eq!(op.degree(), 80);
+            assert_eq!(op.algorithm, JoinAlgorithm::Simple);
+            if i == 0 {
+                assert!(op.start_after.is_empty());
+            } else {
+                assert_eq!(op.start_after, vec![i - 1], "strict chain");
+            }
+            // SP never pipelines.
+            assert!(!matches!(op.left, OperandSource::Stream { .. }));
+            assert!(!matches!(op.right, OperandSource::Stream { .. }));
+        }
+    }
+
+    #[test]
+    fn startup_and_stream_counts_match_the_paper() {
+        // §4.4: "for the 80 processor case, 800 operation processes need to
+        // be initialized" (10-join tree in the paper counts the store op;
+        // our 9 joins x 80 = 720) and "the refragmentation of one operand
+        // generates 6400 tuple streams".
+        let (tree, cards, costs) = fixture(Shape::LeftLinear, 10, 100);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 80);
+        let plan = gen(Strategy::SP, &input).unwrap();
+        let stats = plan.stats();
+        assert_eq!(stats.operation_processes, 9 * 80);
+        // Left-linear: 8 joins consume one materialized operand each.
+        assert_eq!(stats.tuple_streams, 8 * 80 * 80);
+        assert_eq!(stats.pipeline_edges, 0);
+    }
+
+    #[test]
+    fn shape_insensitive_process_counts() {
+        // SP's structure is the same for every shape: the paper observes
+        // its curves barely move across Figs. 9-13.
+        let mut counts = Vec::new();
+        for shape in Shape::ALL {
+            let (tree, cards, costs) = fixture(shape, 10, 100);
+            let input = GeneratorInput::new(&tree, &cards, &costs, 40);
+            let plan = gen(Strategy::SP, &input).unwrap();
+            counts.push(plan.stats().operation_processes);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn works_on_one_processor() {
+        let (tree, cards, costs) = fixture(Shape::WideBushy, 5, 10);
+        let input = GeneratorInput::new(&tree, &cards, &costs, 1);
+        let plan = gen(Strategy::SP, &input).unwrap();
+        assert!(plan.ops.iter().all(|op| op.degree() == 1));
+        crate::validate::validate_plan(&plan).unwrap();
+    }
+}

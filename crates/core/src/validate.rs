@@ -1,0 +1,219 @@
+//! Structural validation of parallel plans.
+//!
+//! Every generated plan must satisfy the invariants both backends rely on;
+//! validation failures indicate generator bugs, so the engine and the
+//! simulator validate plans up front rather than misbehaving downstream.
+
+use std::collections::HashSet;
+
+use mj_plan::tree::TreeNode;
+use mj_relalg::{RelalgError, Result};
+
+use crate::plan_ir::{OperandSource, ParallelPlan};
+
+/// Checks a plan's structural invariants:
+///
+/// 1. exactly one op per join node of the tree, topologically ordered;
+/// 2. operands wired to the correct children (base names match leaves,
+///    producers match join children);
+/// 3. materialized producers are in `start_after`;
+/// 4. all processor ids are in range and every op has at least one;
+/// 5. ops that may run concurrently (neither transitively ordered after
+///    the other) use disjoint processors — unless the plan declares
+///    oversubscription;
+/// 6. `start_after` references earlier ops only.
+pub fn validate_plan(plan: &ParallelPlan) -> Result<()> {
+    let tree = &plan.tree;
+    tree.validate()?;
+    if plan.ops.len() != tree.join_count() {
+        return Err(RelalgError::InvalidPlan(format!(
+            "plan has {} ops for {} joins",
+            plan.ops.len(),
+            tree.join_count()
+        )));
+    }
+
+    let deps = plan.transitive_deps();
+    let mut join_seen = HashSet::new();
+    for (idx, op) in plan.ops.iter().enumerate() {
+        if op.id != idx {
+            return Err(RelalgError::InvalidPlan(format!("op {idx} has id {}", op.id)));
+        }
+        if !join_seen.insert(op.join) {
+            return Err(RelalgError::InvalidPlan(format!("join {} scheduled twice", op.join)));
+        }
+        let Some((l, r)) = tree.children(op.join) else {
+            return Err(RelalgError::InvalidPlan(format!("op {idx} targets a leaf")));
+        };
+        check_operand(plan, idx, &op.left, l, &deps[idx])?;
+        check_operand(plan, idx, &op.right, r, &deps[idx])?;
+        if op.procs.is_empty() {
+            return Err(RelalgError::InvalidPlan(format!("op {idx} has no processors")));
+        }
+        if let Some(&bad) = op.procs.iter().find(|&&p| p >= plan.processors) {
+            return Err(RelalgError::InvalidPlan(format!(
+                "op {idx} uses processor {bad} >= {}",
+                plan.processors
+            )));
+        }
+        for &d in &op.start_after {
+            if d >= idx {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "op {idx} starts after non-earlier op {d}"
+                )));
+            }
+        }
+    }
+
+    // Concurrency-disjointness.
+    if !plan.oversubscribed {
+        for a in 0..plan.ops.len() {
+            for b in a + 1..plan.ops.len() {
+                let ordered = deps[b].contains(&a) || deps[a].contains(&b);
+                if ordered {
+                    continue;
+                }
+                let pa: HashSet<_> = plan.ops[a].procs.iter().collect();
+                if plan.ops[b].procs.iter().any(|p| pa.contains(p)) {
+                    return Err(RelalgError::InvalidPlan(format!(
+                        "concurrent ops {a} and {b} share processors"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_operand(
+    plan: &ParallelPlan,
+    op_idx: usize,
+    operand: &OperandSource,
+    child: mj_plan::tree::NodeId,
+    transitive_deps: &[usize],
+) -> Result<()> {
+    let tree = &plan.tree;
+    match (operand, &tree.nodes()[child]) {
+        (OperandSource::Base { relation }, TreeNode::Leaf { relation: expected }) => {
+            if relation != expected {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "op {op_idx} scans `{relation}` but the tree expects `{expected}`"
+                )));
+            }
+            Ok(())
+        }
+        (OperandSource::Base { .. }, TreeNode::Join { .. }) => Err(RelalgError::InvalidPlan(
+            format!("op {op_idx} scans a base relation where a join feeds in"),
+        )),
+        (src, TreeNode::Leaf { .. }) => Err(RelalgError::InvalidPlan(format!(
+            "op {op_idx} wires {src:?} where the tree has a leaf"
+        ))),
+        (src, TreeNode::Join { .. }) => {
+            let from = src.producer().expect("non-base source has a producer");
+            if from >= plan.ops.len() {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "op {op_idx} consumes unknown op {from}"
+                )));
+            }
+            if plan.ops[from].join != child {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "op {op_idx} consumes op {from} which evaluates join {}, expected {child}",
+                    plan.ops[from].join
+                )));
+            }
+            if matches!(src, OperandSource::Materialized { .. })
+                && !transitive_deps.contains(&from)
+            {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "op {op_idx} reads materialized op {from} without waiting for it"
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorInput};
+    use crate::strategy::Strategy;
+    use mj_plan::cardinality::{node_cards, UniformOneToOne};
+    use mj_plan::cost::{tree_costs, CostModel};
+    use mj_plan::shapes::{build, Shape};
+
+    fn valid_plan() -> ParallelPlan {
+        let tree = build(Shape::WideBushy, 6, ).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n: 100 });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let input = GeneratorInput::new(&tree, &cards, &costs, 12);
+        generate(Strategy::FP, &input).unwrap()
+    }
+
+    #[test]
+    fn generated_plans_validate() {
+        validate_plan(&valid_plan()).unwrap();
+    }
+
+    #[test]
+    fn detects_shared_processors_between_concurrent_ops() {
+        let mut plan = valid_plan();
+        // Make two concurrent ops share processor 0.
+        plan.ops[0].procs = vec![0];
+        plan.ops[1].procs = vec![0];
+        assert!(validate_plan(&plan).is_err());
+        // Declaring oversubscription silences the check.
+        plan.oversubscribed = true;
+        validate_plan(&plan).unwrap();
+    }
+
+    #[test]
+    fn detects_wrong_base_relation() {
+        let mut plan = valid_plan();
+        for op in &mut plan.ops {
+            if let OperandSource::Base { relation } = &mut op.left {
+                *relation = "WRONG".into();
+                break;
+            }
+        }
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn detects_missing_materialization_barrier() {
+        let mut plan = valid_plan();
+        // Turn a stream edge into a materialized edge without adding the
+        // dependency.
+        for op in &mut plan.ops {
+            let right = op.right.clone();
+            if let OperandSource::Stream { from } = right {
+                op.right = OperandSource::Materialized { from };
+                op.start_after.retain(|&d| d != from);
+                break;
+            }
+        }
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn detects_out_of_range_processor() {
+        let mut plan = valid_plan();
+        plan.ops[0].procs.push(10_000);
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn detects_empty_processor_set() {
+        let mut plan = valid_plan();
+        plan.ops[0].procs.clear();
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn detects_forward_dependency() {
+        let mut plan = valid_plan();
+        let last = plan.ops.len() - 1;
+        plan.ops[0].start_after.push(last);
+        assert!(validate_plan(&plan).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Query bindings: the logical join specs and schemas a plan needs to
+//! actually execute.
+//!
+//! The [`mj_core::plan_ir::ParallelPlan`] is purely structural (which join
+//! runs where); the *binding* supplies what each join computes: its
+//! [`EquiJoin`] spec and the schema of every tree node, resolved against a
+//! catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mj_plan::query::regular_join_spec;
+use mj_plan::tree::{JoinTree, NodeId, TreeNode};
+use mj_relalg::{EquiJoin, RelalgError, RelationProvider, Result, Schema};
+
+/// Join specs and node schemas for one query tree.
+#[derive(Clone, Debug)]
+pub struct QueryBinding {
+    specs: HashMap<NodeId, EquiJoin>,
+    schemas: Vec<Arc<Schema>>,
+}
+
+impl QueryBinding {
+    /// Builds a binding by assigning each join node the spec returned by
+    /// `spec_for`, validating keys and projections bottom-up.
+    pub fn new(
+        tree: &JoinTree,
+        provider: &dyn RelationProvider,
+        mut spec_for: impl FnMut(NodeId, &Schema, &Schema) -> EquiJoin,
+    ) -> Result<Self> {
+        let mut specs = HashMap::new();
+        let mut schemas: Vec<Option<Arc<Schema>>> = vec![None; tree.nodes().len()];
+        for (id, node) in tree.nodes().iter().enumerate() {
+            match node {
+                TreeNode::Leaf { relation } => {
+                    schemas[id] = Some(provider.relation(relation)?.schema().clone());
+                }
+                TreeNode::Join { left, right } => {
+                    let ls = schemas[*left].clone().expect("children before parents");
+                    let rs = schemas[*right].clone().expect("children before parents");
+                    let spec = spec_for(id, &ls, &rs);
+                    spec.validate(&ls, &rs)?;
+                    schemas[id] = Some(Arc::new(spec.output_schema(&ls, &rs)?));
+                    specs.insert(id, spec);
+                }
+            }
+        }
+        Ok(QueryBinding {
+            specs,
+            schemas: schemas.into_iter().map(|s| s.expect("all filled")).collect(),
+        })
+    }
+
+    /// The binding for the paper's regular Wisconsin query: every join on
+    /// `unique1`, re-keying projection (§4.1). Requires all relations to
+    /// share one arity.
+    pub fn regular(tree: &JoinTree, provider: &dyn RelationProvider) -> Result<Self> {
+        // Determine the common arity from the first leaf.
+        let first = tree
+            .leaves_in_order()
+            .first()
+            .map(|n| n.to_string())
+            .ok_or_else(|| RelalgError::InvalidPlan("tree has no leaves".into()))?;
+        let arity = provider.relation(&first)?.schema().arity();
+        Self::new(tree, provider, |_, _, _| regular_join_spec(arity))
+    }
+
+    /// The join spec of a join node.
+    pub fn spec(&self, join: NodeId) -> Result<&EquiJoin> {
+        self.specs
+            .get(&join)
+            .ok_or_else(|| RelalgError::InvalidPlan(format!("no spec for join {join}")))
+    }
+
+    /// The output schema of any tree node.
+    pub fn schema(&self, node: NodeId) -> Result<&Arc<Schema>> {
+        self.schemas
+            .get(node)
+            .ok_or(RelalgError::IndexOutOfBounds { index: node, arity: self.schemas.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_plan::shapes::{build, Shape};
+    use mj_relalg::{Attribute, Relation, Tuple};
+    use std::collections::HashMap as Map;
+
+    fn provider(k: usize) -> Map<String, Arc<Relation>> {
+        let schema =
+            Schema::new(vec![Attribute::int("unique1"), Attribute::int("unique2"), Attribute::int("filler")])
+                .shared();
+        let mut m = Map::new();
+        for i in 0..k {
+            let tuples = (0..10).map(|v| Tuple::from_ints(&[v, v, v])).collect();
+            m.insert(format!("R{i}"), Arc::new(Relation::new_unchecked(schema.clone(), tuples)));
+        }
+        m
+    }
+
+    #[test]
+    fn regular_binding_covers_all_joins() {
+        let tree = build(Shape::WideBushy, 6).unwrap();
+        let p = provider(6);
+        let b = QueryBinding::regular(&tree, &p).unwrap();
+        for j in tree.joins_bottom_up() {
+            assert!(b.spec(j).is_ok());
+            assert_eq!(b.schema(j).unwrap().arity(), 3, "regular query preserves arity");
+        }
+        for id in 0..tree.nodes().len() {
+            assert!(b.schema(id).is_ok());
+        }
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let tree = build(Shape::LeftLinear, 4).unwrap();
+        let p = provider(2); // R2, R3 missing
+        assert!(QueryBinding::regular(&tree, &p).is_err());
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let tree = build(Shape::LeftLinear, 3).unwrap();
+        let p = provider(3);
+        let out = QueryBinding::new(&tree, &p, |_, _, _| {
+            EquiJoin::new(99, 0, mj_relalg::Projection::new(vec![0]))
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let tree = build(Shape::LeftLinear, 3).unwrap();
+        let p = provider(3);
+        let b = QueryBinding::regular(&tree, &p).unwrap();
+        assert!(b.spec(0).is_err(), "leaves have no spec");
+        assert!(b.schema(999).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+/// A deterministic fault-injection point: the chosen operation-process
+/// instance fails at startup instead of running. Used to test that the
+/// engine tears a running dataflow down cleanly — producers into dead
+/// consumers error out instead of blocking, downstream operations are
+/// never spawned, and the first error is reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailPoint {
+    /// Plan op id whose instance fails.
+    pub op: usize,
+    /// Instance index within the op (0-based).
+    pub instance: usize,
+}
+
+/// Tunables of the threaded engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Tuples per channel message (amortizes channel overhead).
+    pub batch_size: usize,
+    /// Channel capacity in *batches*; bounds memory and provides the
+    /// backpressure a real pipeline has.
+    pub channel_capacity: usize,
+    /// Optional artificial per-operation-process startup cost, for
+    /// demonstrating the paper's startup trade-off on hardware where real
+    /// initialization is too cheap to observe.
+    pub startup_cost: Option<Duration>,
+    /// Optional fault injection (tests only).
+    pub fail: Option<FailPoint>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { batch_size: 256, channel_capacity: 16, startup_cost: None, fail: None }
+    }
+}
+
+impl ExecConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.channel_capacity == 0 {
+            return Err("channel_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ExecConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        let mut c = ExecConfig::default();
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExecConfig::default();
+        c.channel_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,496 @@
+//! Plan interpretation: spawn operation processes, wire streams, schedule
+//! phases, collect the result.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use mj_core::plan_ir::{OperandSource, ParallelPlan};
+use mj_core::validate::validate_plan;
+use mj_relalg::{
+    JoinAlgorithm, RelalgError, Relation, RelationProvider, Result, Tuple,
+};
+use mj_storage::{hash_partition, FragmentStore};
+use parking_lot::Mutex;
+
+use crate::binding::QueryBinding;
+use crate::config::ExecConfig;
+use crate::metrics::{InstanceStats, Metrics};
+use crate::operator::{run_pipelining_instance, run_simple_instance, OutputPort};
+use crate::source::Source;
+use crate::stream::{operand_channels, Msg, Router};
+
+/// The result of executing a plan.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// The query result (the root join's output).
+    pub relation: Relation,
+    /// Response time: scheduling start to last operation process exit
+    /// (the paper's metric; initial data fragmentation is setup, not
+    /// response time, matching §4.1's pre-fragmented starting state).
+    pub elapsed: Duration,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+/// Executes `plan` against the relations in `provider`.
+pub fn run_plan(
+    plan: &ParallelPlan,
+    binding: &QueryBinding,
+    provider: &dyn RelationProvider,
+    config: &ExecConfig,
+) -> Result<ExecOutcome> {
+    config.validate().map_err(RelalgError::InvalidPlan)?;
+    validate_plan(plan)?;
+    let n_ops = plan.ops.len();
+
+    // --- Setup (not timed): ideal base fragmentation per §4.1. ---
+    // side_fragments[(op, side)] = per-instance base fragments.
+    let mut base_fragments: HashMap<(usize, usize), Vec<Arc<Relation>>> = HashMap::new();
+    for op in &plan.ops {
+        let spec = binding.spec(op.join)?;
+        for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+            if let OperandSource::Base { relation } = operand {
+                let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+                let rel = provider.relation(relation)?;
+                let frags = hash_partition(&rel, op.degree(), key_col)?
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+                base_fragments.insert((op.id, side), frags);
+            }
+        }
+    }
+
+    // Stream channels, created up front (receivers taken at consumer
+    // spawn, senders at producer spawn).
+    let mut stream_rx: HashMap<(usize, usize), Vec<Receiver<Msg>>> = HashMap::new();
+    // Producer op -> (senders, consumer key column).
+    let mut out_stream: HashMap<usize, (Vec<Sender<Msg>>, usize)> = HashMap::new();
+    // Producer op -> consumer uses materialization.
+    let mut out_materialized: Vec<bool> = vec![false; n_ops];
+    for op in &plan.ops {
+        let spec = binding.spec(op.join)?;
+        for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+            let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+            match operand {
+                OperandSource::Stream { from } => {
+                    let (txs, rxs) = operand_channels(op.degree(), config.channel_capacity);
+                    stream_rx.insert((op.id, side), rxs);
+                    if out_stream.insert(*from, (txs, key_col)).is_some() {
+                        return Err(RelalgError::InvalidPlan(format!(
+                            "op {from} has multiple stream consumers"
+                        )));
+                    }
+                }
+                OperandSource::Materialized { from } => {
+                    out_materialized[*from] = true;
+                }
+                OperandSource::Base { .. } => {}
+            }
+        }
+    }
+
+    let store = Arc::new(FragmentStore::new(plan.processors));
+    let sink_buffer: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
+    let root_join = plan.tree.root();
+
+    // --- Scheduling (timed). ---
+    let started = Instant::now();
+    let (done_tx, done_rx) = mpsc::channel::<(usize, Result<InstanceStats>)>();
+
+    let mut deps_remaining: Vec<usize> = plan.ops.iter().map(|o| o.start_after.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+    for op in &plan.ops {
+        for &d in &op.start_after {
+            dependents[d].push(op.id);
+        }
+    }
+
+    let mut metrics = Metrics::new(n_ops);
+    metrics.streams = plan.stats().tuple_streams;
+    let mut handles = Vec::new();
+    let mut instances_left: Vec<usize> = plan.ops.iter().map(|o| o.degree()).collect();
+    let mut spawned_instances = 0usize;
+    let mut received = 0usize;
+    let mut first_err: Option<RelalgError> = None;
+    let mut spawned: Vec<bool> = vec![false; n_ops];
+
+    // Spawns every op whose dependencies are met.
+    let spawn_ready = |deps_remaining: &Vec<usize>,
+                           spawned: &mut Vec<bool>,
+                           stream_rx: &mut HashMap<(usize, usize), Vec<Receiver<Msg>>>,
+                           out_stream: &mut HashMap<usize, (Vec<Sender<Msg>>, usize)>,
+                           handles: &mut Vec<std::thread::JoinHandle<()>>,
+                           spawned_instances: &mut usize,
+                           metrics: &mut Metrics|
+     -> Result<()> {
+        for op in &plan.ops {
+            if spawned[op.id] || deps_remaining[op.id] > 0 {
+                continue;
+            }
+            spawned[op.id] = true;
+            let spec = binding.spec(op.join)?;
+            let degree = op.degree();
+            metrics.ops[op.id].instances = degree;
+            metrics.processes += degree;
+
+            // Per-side instance source builders.
+            let mut rxs: [Option<Vec<Receiver<Msg>>>; 2] = [
+                stream_rx.remove(&(op.id, 0)),
+                stream_rx.remove(&(op.id, 1)),
+            ];
+            let mut mat_fragments: [Option<Vec<Arc<Relation>>>; 2] = [None, None];
+            for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+                if let OperandSource::Materialized { from } = operand {
+                    let frags = store.collect(&format!("op{from}"));
+                    if frags.is_empty() {
+                        return Err(RelalgError::InvalidPlan(format!(
+                            "op {} reads op{from} before it materialized",
+                            op.id
+                        )));
+                    }
+                    mat_fragments[side] = Some(frags);
+                }
+            }
+            let out = out_stream.remove(&op.id);
+
+            for i in 0..degree {
+                let mut sources: Vec<Source> = Vec::with_capacity(2);
+                for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+                    let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+                    let source = match operand {
+                        OperandSource::Base { .. } => Source::Local(
+                            base_fragments[&(op.id, side)][i].clone(),
+                        ),
+                        OperandSource::Materialized { .. } => Source::Filtered {
+                            fragments: mat_fragments[side].clone().expect("collected above"),
+                            key_col,
+                            bucket: i,
+                            of: degree,
+                        },
+                        OperandSource::Stream { from } => Source::Stream {
+                            rx: rxs[side].as_mut().expect("channels created")[i].clone(),
+                            producers: plan.ops[*from].degree(),
+                        },
+                    };
+                    sources.push(source);
+                }
+                let right = sources.pop().expect("two sides");
+                let left = sources.pop().expect("two sides");
+
+                let output = match &out {
+                    Some((txs, key_col)) => OutputPort::Stream(Router::new(
+                        txs.clone(),
+                        *key_col,
+                        config.batch_size,
+                    )),
+                    None if out_materialized[op.id] => OutputPort::Materialize {
+                        store: store.clone(),
+                        proc: op.procs[i],
+                        name: format!("op{}", op.id),
+                        schema: binding.schema(op.join)?.clone(),
+                        buffer: Vec::new(),
+                    },
+                    None => {
+                        debug_assert_eq!(op.join, root_join, "only the root op sinks");
+                        OutputPort::Sink { collected: sink_buffer.clone(), buffer: Vec::new() }
+                    }
+                };
+
+                let algorithm = op.algorithm;
+                let spec = spec.clone();
+                let batch = config.batch_size;
+                let startup = config.startup_cost;
+                let fail = config
+                    .fail
+                    .map(|f| f.op == op.id && f.instance == i)
+                    .unwrap_or(false);
+                let tx = done_tx.clone();
+                let id = op.id;
+                let handle = std::thread::Builder::new()
+                    .name(format!("op{id}-i{i}"))
+                    .spawn(move || {
+                        if let Some(d) = startup {
+                            std::thread::sleep(d);
+                        }
+                        if fail {
+                            // Injected fault: die without touching the
+                            // streams, dropping our channel endpoints.
+                            let _ = tx.send((
+                                id,
+                                Err(RelalgError::InvalidPlan(format!(
+                                    "injected failure at op {id} instance {i}"
+                                ))),
+                            ));
+                            return;
+                        }
+                        let res = match algorithm {
+                            JoinAlgorithm::Simple => {
+                                run_simple_instance(spec, left, right, output, batch)
+                            }
+                            JoinAlgorithm::Pipelining => {
+                                run_pipelining_instance(spec, left, right, output, batch)
+                            }
+                        };
+                        let _ = tx.send((id, res));
+                    })
+                    .map_err(|e| RelalgError::InvalidPlan(format!("spawn failed: {e}")))?;
+                handles.push(handle);
+                *spawned_instances += 1;
+            }
+        }
+        Ok(())
+    };
+
+    spawn_ready(
+        &deps_remaining,
+        &mut spawned,
+        &mut stream_rx,
+        &mut out_stream,
+        &mut handles,
+        &mut spawned_instances,
+        &mut metrics,
+    )?;
+
+    while received < spawned_instances {
+        let (op_id, res) = done_rx
+            .recv()
+            .map_err(|_| RelalgError::InvalidPlan("scheduler channel broke".into()))?;
+        received += 1;
+        match res {
+            Ok(stats) => {
+                let m = &mut metrics.ops[op_id];
+                m.tuples_in[0] += stats.tuples_in[0];
+                m.tuples_in[1] += stats.tuples_in[1];
+                m.tuples_out += stats.tuples_out;
+                m.table_bytes += stats.table_bytes;
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                    // Unblock producers streaming to never-spawned
+                    // consumers.
+                    stream_rx.clear();
+                }
+            }
+        }
+        instances_left[op_id] -= 1;
+        if instances_left[op_id] == 0 && first_err.is_none() {
+            // Op complete: release dependents.
+            for &d in &dependents[op_id].clone() {
+                deps_remaining[d] -= 1;
+            }
+            spawn_ready(
+                &deps_remaining,
+                &mut spawned,
+                &mut stream_rx,
+                &mut out_stream,
+                &mut handles,
+                &mut spawned_instances,
+                &mut metrics,
+            )?;
+        }
+    }
+    drop(done_tx);
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed();
+
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if spawned.iter().any(|s| !s) {
+        return Err(RelalgError::InvalidPlan("not all ops became ready (dependency cycle?)".into()));
+    }
+
+    let tuples = std::mem::take(&mut *sink_buffer.lock());
+    let relation = Relation::new_unchecked(binding.schema(root_join)?.clone(), tuples);
+    Ok(ExecOutcome { relation, elapsed, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_core::generator::{generate, GeneratorInput};
+    use mj_core::strategy::Strategy;
+    use mj_plan::cardinality::{node_cards, UniformOneToOne};
+    use mj_plan::cost::{tree_costs, CostModel};
+    use mj_plan::query::to_xra;
+    use mj_plan::shapes::{build, Shape};
+    use mj_storage::{Catalog, WisconsinGenerator};
+
+    fn setup(k: usize, n: usize) -> (Arc<Catalog>, u64) {
+        let catalog = Arc::new(Catalog::new());
+        let gen = WisconsinGenerator::new(n, 42);
+        for (name, rel) in gen.generate_named("R", k) {
+            catalog.register(name, rel);
+        }
+        (catalog, n as u64)
+    }
+
+    fn run(
+        shape: Shape,
+        strategy: Strategy,
+        k: usize,
+        n: usize,
+        procs: usize,
+    ) -> (ExecOutcome, Relation) {
+        let (catalog, nn) = setup(k, n);
+        let tree = build(shape, k).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n: nn });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let mut input = GeneratorInput::new(&tree, &cards, &costs, procs);
+        input.allow_oversubscribe = procs < tree.join_count();
+        let plan = generate(strategy, &input).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let outcome =
+            run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).unwrap();
+        // Oracle: sequential evaluation of the same logical plan.
+        let xra = to_xra(&tree, 3, JoinAlgorithm::Simple);
+        let expected = xra.eval(catalog.as_ref()).unwrap();
+        (outcome, expected)
+    }
+
+    #[test]
+    fn every_strategy_matches_the_sequential_oracle() {
+        for strategy in Strategy::ALL {
+            for shape in [Shape::LeftLinear, Shape::WideBushy, Shape::RightLinear] {
+                let (outcome, expected) = run(shape, strategy, 5, 200, 4);
+                assert_eq!(outcome.relation.len(), 200, "{strategy} {shape}");
+                assert!(
+                    outcome.relation.multiset_eq(&expected),
+                    "{strategy} {shape}: parallel result differs from oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ten_relation_paper_query_all_strategies() {
+        for strategy in Strategy::ALL {
+            let (outcome, expected) = run(Shape::RightBushy, strategy, 10, 100, 9);
+            assert_eq!(outcome.relation.len(), 100, "{strategy}");
+            assert!(outcome.relation.multiset_eq(&expected), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn metrics_reflect_the_plan() {
+        let (outcome, _) = run(Shape::LeftLinear, Strategy::SP, 5, 200, 4);
+        // SP: 4 joins x 4 processors.
+        assert_eq!(outcome.metrics.processes, 16);
+        // Every join outputs 200 tuples.
+        for m in &outcome.metrics.ops {
+            assert_eq!(m.tuples_out, 200);
+            assert_eq!(m.instances, 4);
+        }
+        assert!(outcome.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fp_uses_less_processes_but_more_table_memory() {
+        let (sp, _) = run(Shape::WideBushy, Strategy::SP, 5, 400, 4);
+        let (fp, _) = run(Shape::WideBushy, Strategy::FP, 5, 400, 4);
+        assert!(sp.metrics.processes > fp.metrics.processes);
+        let sp_bytes: u64 = sp.metrics.ops.iter().map(|o| o.table_bytes).sum();
+        let fp_bytes: u64 = fp.metrics.ops.iter().map(|o| o.table_bytes).sum();
+        assert!(fp_bytes > sp_bytes, "pipelining joins hold two tables");
+    }
+
+    #[test]
+    fn oversubscribed_plan_still_correct() {
+        // 9 joins on 2 "processors" with sharing allowed.
+        let (outcome, expected) = run(Shape::WideBushy, Strategy::FP, 10, 50, 2);
+        assert!(outcome.relation.multiset_eq(&expected));
+    }
+
+    #[test]
+    fn single_processor_execution() {
+        let (outcome, expected) = run(Shape::LeftLinear, Strategy::SP, 4, 64, 1);
+        assert!(outcome.relation.multiset_eq(&expected));
+    }
+
+    /// Runs with a fault injected at (op, instance) and asserts the engine
+    /// reports the failure without hanging or panicking.
+    fn run_with_failure(shape: Shape, strategy: Strategy, fail: crate::config::FailPoint) {
+        let (catalog, n) = setup(6, 128);
+        let tree = build(shape, 6).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let mut input = GeneratorInput::new(&tree, &cards, &costs, 4);
+        input.allow_oversubscribe = true;
+        let plan = generate(strategy, &input).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let config = ExecConfig { fail: Some(fail), ..ExecConfig::default() };
+        let err = run_plan(&plan, &binding, catalog.as_ref(), &config)
+            .expect_err("injected failure must surface");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("injected failure")
+                // Racing teardown may surface a stream error first; both
+                // prove the dataflow unwound instead of hanging.
+                || msg.contains("closed before End")
+                || msg.contains("consumer hung up"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn injected_failure_in_pipelined_plan_terminates() {
+        // FP: every op is live-streaming; killing the bottom producer must
+        // unwind the whole pipeline.
+        run_with_failure(
+            Shape::RightLinear,
+            Strategy::FP,
+            crate::config::FailPoint { op: 0, instance: 0 },
+        );
+    }
+
+    #[test]
+    fn injected_failure_in_materialized_plan_terminates() {
+        // SP: sequential materialized phases; downstream ops must never
+        // spawn after the failure.
+        run_with_failure(
+            Shape::LeftLinear,
+            Strategy::SP,
+            crate::config::FailPoint { op: 2, instance: 1 },
+        );
+    }
+
+    #[test]
+    fn injected_failure_at_the_root_terminates() {
+        run_with_failure(
+            Shape::WideBushy,
+            Strategy::FP,
+            crate::config::FailPoint { op: 4, instance: 0 },
+        );
+    }
+
+    #[test]
+    fn failure_on_every_single_point_terminates() {
+        // Exhaustive small-scale sweep: no (op, instance) fault anywhere in
+        // an RD plan can deadlock the engine.
+        let (catalog, n) = setup(5, 64);
+        let tree = build(Shape::RightBushy, 5).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let mut input = GeneratorInput::new(&tree, &cards, &costs, 4);
+        input.allow_oversubscribe = true;
+        let plan = generate(Strategy::RD, &input).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        for op in 0..plan.ops.len() {
+            for instance in 0..plan.ops[op].degree() {
+                let config = ExecConfig {
+                    fail: Some(crate::config::FailPoint { op, instance }),
+                    ..ExecConfig::default()
+                };
+                run_plan(&plan, &binding, catalog.as_ref(), &config)
+                    .expect_err("fault must surface");
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The real parallel execution engine — a PRISMA/DB query-execution-engine
+//! analogue on host threads.
+//!
+//! The engine interprets the same [`mj_core::plan_ir::ParallelPlan`] the
+//! simulator consumes, but physically: every operation process is an OS
+//! thread pinned to a logical processor id, tuple streams are bounded
+//! crossbeam channels (n×m per redistribution, exactly as §3.5 counts
+//! them), base relations are pre-fragmented "ideally" per §4.1, and
+//! materialized intermediates live in a shared-nothing
+//! [`mj_storage::FragmentStore`].
+//!
+//! On a laptop-class host this engine cannot demonstrate 80-way speedups —
+//! its purpose is (a) to prove the four strategies are real, runnable
+//! dataflows, (b) to validate that every strategy returns exactly the
+//! sequential evaluator's result, and (c) to cross-check the simulator's
+//! relative orderings at small processor counts.
+
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod operator;
+pub mod source;
+pub mod stream;
+
+pub use binding::QueryBinding;
+pub use config::{ExecConfig, FailPoint};
+pub use engine::{run_plan, ExecOutcome};
+pub use metrics::{Metrics, OpMetrics};

@@ -1,0 +1,64 @@
+//! Execution metrics, aggregated across operation processes.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMetrics {
+    /// Operation processes spawned (= plan degree).
+    pub instances: usize,
+    /// Tuples consumed on the (left, right) operand across instances.
+    pub tuples_in: [u64; 2],
+    /// Result tuples produced across instances.
+    pub tuples_out: u64,
+    /// Peak hash-table bytes summed across instances.
+    pub table_bytes: u64,
+}
+
+/// Whole-query metrics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Indexed by op id.
+    pub ops: Vec<OpMetrics>,
+    /// Total operation processes spawned — the startup driver (§3.5).
+    pub processes: usize,
+    /// Total point-to-point streams opened — the coordination driver.
+    pub streams: usize,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `ops` operations.
+    pub fn new(ops: usize) -> Self {
+        Metrics { ops: vec![OpMetrics::default(); ops], processes: 0, streams: 0 }
+    }
+
+    /// Total tuples produced by all ops.
+    pub fn total_tuples_out(&self) -> u64 {
+        self.ops.iter().map(|o| o.tuples_out).sum()
+    }
+}
+
+/// What one instance reports back on completion.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstanceStats {
+    /// Tuples consumed per side.
+    pub tuples_in: [u64; 2],
+    /// Result tuples produced.
+    pub tuples_out: u64,
+    /// Peak hash-table bytes of this instance.
+    pub table_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_helpers() {
+        let mut m = Metrics::new(2);
+        m.ops[0].tuples_out = 5;
+        m.ops[1].tuples_out = 7;
+        assert_eq!(m.total_tuples_out(), 12);
+        assert_eq!(m.ops.len(), 2);
+    }
+}

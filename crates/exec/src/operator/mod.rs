@@ -1,0 +1,9 @@
+//! Physical operator instances: the bodies of operation processes.
+
+pub mod output;
+pub mod pipe_join;
+pub mod simple_join;
+
+pub use output::OutputPort;
+pub use pipe_join::run_pipelining_instance;
+pub use simple_join::run_simple_instance;

@@ -1,0 +1,125 @@
+//! Where an instance's results go.
+
+use std::sync::Arc;
+
+use mj_core::plan_ir::ProcId;
+use mj_relalg::{Relation, Result, Schema, Tuple};
+use mj_storage::FragmentStore;
+use parking_lot::Mutex;
+
+use crate::stream::Router;
+
+/// The output port of one operation-process instance.
+pub enum OutputPort {
+    /// Live redistribution to the consumer's instances.
+    Stream(Router),
+    /// Store the output fragment in this processor's memory (the consumer
+    /// reads it later — SP/SE materialization and RD inter-wave edges).
+    Materialize {
+        /// Shared node-memory store.
+        store: Arc<FragmentStore>,
+        /// This instance's processor (storage node).
+        proc: ProcId,
+        /// Fragment name (`op{id}`).
+        name: String,
+        /// Output schema.
+        schema: Arc<Schema>,
+        /// Accumulated tuples.
+        buffer: Vec<Tuple>,
+    },
+    /// The query sink: results are collected for the client.
+    Sink {
+        /// Shared collection buffer.
+        collected: Arc<Mutex<Vec<Tuple>>>,
+        /// Local accumulation to amortize locking.
+        buffer: Vec<Tuple>,
+    },
+}
+
+impl OutputPort {
+    /// Emits a batch of result tuples.
+    pub fn emit(&mut self, tuples: &mut Vec<Tuple>) -> Result<()> {
+        match self {
+            OutputPort::Stream(router) => {
+                for t in tuples.drain(..) {
+                    router.route(t)?;
+                }
+            }
+            OutputPort::Materialize { buffer, .. } | OutputPort::Sink { buffer, .. } => {
+                buffer.append(tuples);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the port: flush + End for streams, store write for
+    /// materialization, sink merge for the root.
+    pub fn finish(self) -> Result<()> {
+        match self {
+            OutputPort::Stream(router) => router.finish(),
+            OutputPort::Materialize { store, proc, name, schema, buffer } => {
+                store.put(proc, name, Arc::new(Relation::new_unchecked(schema, buffer)))
+            }
+            OutputPort::Sink { collected, buffer } => {
+                collected.lock().extend(buffer);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{operand_channels, Msg};
+    use mj_relalg::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Attribute::int("k")]).shared()
+    }
+
+    #[test]
+    fn sink_collects() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let mut port = OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() };
+        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])]).unwrap();
+        port.finish().unwrap();
+        assert_eq!(collected.lock().len(), 2);
+    }
+
+    #[test]
+    fn materialize_stores_fragment() {
+        let store = Arc::new(FragmentStore::new(2));
+        let mut port = OutputPort::Materialize {
+            store: store.clone(),
+            proc: 1,
+            name: "op0".into(),
+            schema: schema(),
+            buffer: Vec::new(),
+        };
+        port.emit(&mut vec![Tuple::from_ints(&[7])]).unwrap();
+        port.finish().unwrap();
+        assert_eq!(store.get(1, "op0").unwrap().len(), 1);
+        assert!(store.get(0, "op0").is_err());
+    }
+
+    #[test]
+    fn stream_forwards_and_ends() {
+        let (txs, rxs) = operand_channels(1, 8);
+        let mut port = OutputPort::Stream(Router::new(txs, 0, 2));
+        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])]).unwrap();
+        port.finish().unwrap();
+        let mut tuples = 0;
+        let mut ends = 0;
+        while let Ok(msg) = rxs[0].recv() {
+            match msg {
+                Msg::Batch(b) => tuples += b.len(),
+                Msg::End => {
+                    ends += 1;
+                    break;
+                }
+            }
+        }
+        assert_eq!((tuples, ends), (2, 1));
+    }
+}

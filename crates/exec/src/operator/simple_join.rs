@@ -1,0 +1,152 @@
+//! The simple hash-join operation process: build the left operand fully,
+//! then stream the right operand past the table (§2.3.2).
+
+use mj_join::SimpleJoinState;
+use mj_relalg::{EquiJoin, RelalgError, Result};
+
+use crate::metrics::InstanceStats;
+use crate::operator::OutputPort;
+use crate::source::Source;
+use crate::stream::Msg;
+
+/// Runs one simple hash-join instance to completion.
+///
+/// The build (left) source must be immediate (base fragment or materialized
+/// intermediate): no strategy in the paper streams into a simple join's
+/// build side — SP/SE materialize everything, RD builds from bases or
+/// prior-wave outputs.
+pub fn run_simple_instance(
+    spec: EquiJoin,
+    left: Source,
+    right: Source,
+    mut output: OutputPort,
+    batch_size: usize,
+) -> Result<InstanceStats> {
+    let mut stats = InstanceStats::default();
+    let mut state = SimpleJoinState::new(spec);
+
+    // Phase 1: build.
+    if !left.is_immediate() {
+        return Err(RelalgError::InvalidPlan(
+            "simple hash join cannot stream its build operand".into(),
+        ));
+    }
+    stats.tuples_in[0] = left.for_each_immediate(|t| state.build(t))?;
+    state.finish_build();
+
+    // Phase 2: probe.
+    let mut out = Vec::with_capacity(batch_size);
+    match right {
+        Source::Stream { rx, producers } => {
+            let mut remaining = producers;
+            while remaining > 0 {
+                match rx.recv() {
+                    Ok(Msg::Batch(tuples)) => {
+                        for t in tuples {
+                            state.probe(&t, &mut out)?;
+                            stats.tuples_in[1] += 1;
+                            if out.len() >= batch_size {
+                                stats.tuples_out += out.len() as u64;
+                                output.emit(&mut out)?;
+                            }
+                        }
+                    }
+                    Ok(Msg::End) => remaining -= 1,
+                    Err(_) => {
+                        return Err(RelalgError::InvalidPlan(
+                            "probe stream closed before End".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        immediate => {
+            stats.tuples_in[1] = immediate.for_each_immediate(|t| {
+                state.probe(&t, &mut out)?;
+                Ok(())
+            })?;
+        }
+    }
+    stats.tuples_out += out.len() as u64;
+    output.emit(&mut out)?;
+    stats.table_bytes = state.est_bytes() as u64;
+    output.finish()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{operand_channels, Router};
+    use mj_relalg::{Attribute, Projection, Relation, Schema, Tuple};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn rel(rows: &[[i64; 2]]) -> Arc<Relation> {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        Arc::new(Relation::new_unchecked(
+            schema,
+            rows.iter().map(|r| Tuple::from_ints(r)).collect(),
+        ))
+    }
+
+    fn spec() -> EquiJoin {
+        EquiJoin::new(0, 0, Projection::new(vec![0, 1, 3]))
+    }
+
+    #[test]
+    fn local_build_local_probe() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let stats = run_simple_instance(
+            spec(),
+            Source::Local(rel(&[[1, 10], [2, 20]])),
+            Source::Local(rel(&[[2, 200], [3, 300]])),
+            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            4,
+        )
+        .unwrap();
+        assert_eq!(stats.tuples_in, [2, 2]);
+        assert_eq!(stats.tuples_out, 1);
+        assert_eq!(collected.lock().len(), 1);
+        assert!(stats.table_bytes > 0);
+    }
+
+    #[test]
+    fn streamed_probe() {
+        let (txs, rxs) = operand_channels(1, 8);
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        // Producer thread: sends 5 probe tuples then End.
+        let producer = std::thread::spawn(move || {
+            let mut router = Router::new(txs, 0, 2);
+            for k in 0..5i64 {
+                router.route(Tuple::from_ints(&[k, k * 100])).unwrap();
+            }
+            router.finish().unwrap();
+        });
+        let stats = run_simple_instance(
+            spec(),
+            Source::Local(rel(&[[1, 10], [3, 30], [9, 90]])),
+            Source::Stream { rx: rxs.into_iter().next().unwrap(), producers: 1 },
+            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            2,
+        )
+        .unwrap();
+        producer.join().unwrap();
+        assert_eq!(stats.tuples_in[1], 5);
+        assert_eq!(collected.lock().len(), 2, "keys 1 and 3 match");
+    }
+
+    #[test]
+    fn streamed_build_is_rejected() {
+        let (_txs, rxs) = operand_channels(1, 1);
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let r = run_simple_instance(
+            spec(),
+            Source::Stream { rx: rxs.into_iter().next().unwrap(), producers: 1 },
+            Source::Local(rel(&[])),
+            OutputPort::Sink { collected, buffer: Vec::new() },
+            2,
+        );
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Tuple streams: bounded channels plus the hash-split router.
+//!
+//! A redistribution between an n-instance producer and an m-instance
+//! consumer opens n×m logical streams (§3.5): each producer instance holds
+//! a sender to each consumer instance and routes every tuple by hashing
+//! the consumer's key column — the same hash that fragments base relations,
+//! so co-partitioned operands stay aligned.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mj_relalg::hash::bucket_of;
+use mj_relalg::{RelalgError, Result, Tuple};
+
+/// A message on a tuple stream.
+#[derive(Debug)]
+pub enum Msg {
+    /// A batch of tuples.
+    Batch(Vec<Tuple>),
+    /// The sending producer instance is done.
+    End,
+}
+
+/// Creates the channels for one redistributed operand: `consumers`
+/// receivers, each of capacity `capacity` batches.
+pub fn operand_channels(
+    consumers: usize,
+    capacity: usize,
+) -> (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) {
+    let mut txs = Vec::with_capacity(consumers);
+    let mut rxs = Vec::with_capacity(consumers);
+    for _ in 0..consumers {
+        let (tx, rx) = bounded(capacity);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    (txs, rxs)
+}
+
+/// A producer instance's split sender: buffers tuples per destination and
+/// ships batches.
+pub struct Router {
+    senders: Vec<Sender<Msg>>,
+    key_col: usize,
+    batch: usize,
+    buffers: Vec<Vec<Tuple>>,
+    sent: u64,
+}
+
+impl Router {
+    /// Creates a router over the destination senders, splitting on
+    /// `key_col` of the routed tuples.
+    pub fn new(senders: Vec<Sender<Msg>>, key_col: usize, batch: usize) -> Self {
+        let buffers = senders.iter().map(|_| Vec::with_capacity(batch)).collect();
+        Router { senders, key_col, batch, buffers, sent: 0 }
+    }
+
+    /// Number of destinations.
+    pub fn destinations(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Tuples routed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Routes one tuple, flushing the destination buffer when full.
+    pub fn route(&mut self, tuple: Tuple) -> Result<()> {
+        let key = tuple.int(self.key_col)?;
+        let dest = bucket_of(key, self.senders.len());
+        self.buffers[dest].push(tuple);
+        self.sent += 1;
+        if self.buffers[dest].len() >= self.batch {
+            let batch = std::mem::replace(&mut self.buffers[dest], Vec::with_capacity(self.batch));
+            self.senders[dest]
+                .send(Msg::Batch(batch))
+                .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes all buffers and sends `End` to every destination.
+    pub fn finish(mut self) -> Result<()> {
+        for (dest, buf) in self.buffers.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                self.senders[dest]
+                    .send(Msg::Batch(batch))
+                    .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
+            }
+        }
+        for s in &self.senders {
+            s.send(Msg::End)
+                .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_key_and_flushes_on_finish() {
+        let (txs, rxs) = operand_channels(3, 8);
+        // Consume concurrently: the channels are bounded, so routing 100
+        // tuples before draining anything would block on backpressure once
+        // one destination exceeds capacity x batch tuples.
+        let consumers: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(dest, rx)| {
+                std::thread::spawn(move || {
+                    let mut n = 0usize;
+                    let mut ended = false;
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Batch(batch) => {
+                                for t in &batch {
+                                    assert_eq!(
+                                        bucket_of(t.int(0).unwrap(), 3),
+                                        dest,
+                                        "tuple routed to wrong destination"
+                                    );
+                                }
+                                n += batch.len();
+                            }
+                            Msg::End => {
+                                ended = true;
+                                break;
+                            }
+                        }
+                    }
+                    assert!(ended, "destination {dest} missing End");
+                    n
+                })
+            })
+            .collect();
+
+        let mut router = Router::new(txs, 0, 4);
+        for k in 0..100i64 {
+            router.route(Tuple::from_ints(&[k, k])).unwrap();
+        }
+        assert_eq!(router.sent(), 100);
+        router.finish().unwrap();
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn single_destination_gets_everything() {
+        // 10 tuples at batch 2 = 5 batches + End; capacity must cover them
+        // because this test drains only after finish().
+        let (txs, rxs) = operand_channels(1, 8);
+        let mut router = Router::new(txs, 0, 2);
+        for k in 0..10i64 {
+            router.route(Tuple::from_ints(&[k])).unwrap();
+        }
+        router.finish().unwrap();
+        let mut n = 0;
+        while let Ok(Msg::Batch(b)) = rxs[0].recv() {
+            n += b.len();
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        // A full bounded channel must stall route() rather than drop or
+        // error; draining one message releases exactly one send.
+        let (txs, rxs) = operand_channels(1, 1);
+        let rx = rxs.into_iter().next().unwrap();
+        let producer = std::thread::spawn(move || {
+            let mut router = Router::new(txs, 0, 1);
+            // batch=1: every route() is a send. Second send blocks until
+            // the consumer below drains the first.
+            for k in 0..50i64 {
+                router.route(Tuple::from_ints(&[k])).unwrap();
+            }
+            router.finish().unwrap();
+        });
+        let mut seen = 0usize;
+        loop {
+            match rx.recv().expect("producer alive") {
+                Msg::Batch(b) => seen += b.len(),
+                Msg::End => break,
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn hung_up_consumer_is_an_error() {
+        let (txs, rxs) = operand_channels(1, 1);
+        drop(rxs);
+        let mut router = Router::new(txs, 0, 1);
+        // The first route triggers a batch send into a closed channel.
+        let r = router.route(Tuple::from_ints(&[1]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A chained multimap from join keys to tuples.
+//!
+//! Purpose-built for hash joins: integer keys, duplicate keys allowed,
+//! insertion is O(1) amortized, probing walks a per-bucket chain. Entries
+//! live in one contiguous `Vec` (cache-friendly, single allocation
+//! amortized) with `u32` chain links, the classic join-table layout.
+//! Tracks its approximate byte footprint because the paper's memory
+//! argument (RD builds one table per join, FP builds two, §5) is one of the
+//! reproduced ablations.
+
+use mj_relalg::hash::mix_key;
+use mj_relalg::Tuple;
+
+const EMPTY: u32 = u32::MAX;
+/// Grow when entries exceed buckets * LOAD_NUM / LOAD_DEN.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+struct Entry {
+    key: i64,
+    /// Index of the next entry in the same bucket, or `EMPTY`.
+    next: u32,
+    tuple: Tuple,
+}
+
+/// A multimap from `i64` join keys to [`Tuple`]s.
+pub struct JoinTable {
+    /// Head entry index per bucket (`EMPTY` when vacant).
+    buckets: Vec<u32>,
+    entries: Vec<Entry>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: u64,
+    tuple_bytes: usize,
+}
+
+impl JoinTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Creates a table sized for about `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        let buckets = (n * LOAD_DEN / LOAD_NUM).next_power_of_two().max(16);
+        JoinTable {
+            buckets: vec![EMPTY; buckets],
+            entries: Vec::with_capacity(n),
+            mask: (buckets - 1) as u64,
+            tuple_bytes: 0,
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a tuple under `key`.
+    pub fn insert(&mut self, key: i64, tuple: Tuple) {
+        if self.entries.len() + 1 > self.buckets.len() * LOAD_NUM / LOAD_DEN {
+            self.grow();
+        }
+        let b = (mix_key(key) & self.mask) as usize;
+        let idx = self.entries.len() as u32;
+        self.tuple_bytes += tuple.est_bytes();
+        self.entries.push(Entry { key, next: self.buckets[b], tuple });
+        self.buckets[b] = idx;
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        self.buckets.clear();
+        self.buckets.resize(new_len, EMPTY);
+        self.mask = (new_len - 1) as u64;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            let b = (mix_key(e.key) & self.mask) as usize;
+            e.next = self.buckets[b];
+            self.buckets[b] = i as u32;
+        }
+    }
+
+    /// Iterates over all tuples stored under `key`.
+    pub fn probe<'a>(&'a self, key: i64) -> ProbeIter<'a> {
+        let b = (mix_key(key) & self.mask) as usize;
+        ProbeIter { table: self, key, next: self.buckets[b] }
+    }
+
+    /// True if at least one tuple is stored under `key`.
+    pub fn contains_key(&self, key: i64) -> bool {
+        self.probe(key).next().is_some()
+    }
+
+    /// Iterates over all `(key, tuple)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Tuple)> {
+        self.entries.iter().map(|e| (e.key, &e.tuple))
+    }
+
+    /// Approximate resident bytes (tuples + table structure).
+    pub fn est_bytes(&self) -> usize {
+        self.tuple_bytes
+            + self.buckets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * (std::mem::size_of::<Entry>() - std::mem::size_of::<Tuple>())
+    }
+}
+
+impl Default for JoinTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over the tuples matching one key.
+pub struct ProbeIter<'a> {
+    table: &'a JoinTable,
+    key: i64,
+    next: u32,
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        while self.next != EMPTY {
+            let e = &self.table.entries[self.next as usize];
+            self.next = e.next;
+            if e.key == self.key {
+                return Some(&e.tuple);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::from_ints(&[v])
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut table = JoinTable::new();
+        table.insert(1, t(10));
+        table.insert(2, t(20));
+        table.insert(1, t(11));
+        assert_eq!(table.len(), 3);
+        let hits: Vec<i64> = table.probe(1).map(|x| x.int(0).unwrap()).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&10) && hits.contains(&11));
+        assert_eq!(table.probe(3).count(), 0);
+        assert!(table.contains_key(2));
+        assert!(!table.contains_key(9));
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut table = JoinTable::with_capacity(4);
+        for k in 0..10_000i64 {
+            table.insert(k % 100, t(k));
+        }
+        assert_eq!(table.len(), 10_000);
+        for k in 0..100 {
+            assert_eq!(table.probe(k).count(), 100, "key {k}");
+        }
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let mut table = JoinTable::new();
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            table.insert(k, t(k));
+        }
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(table.probe(k).count(), 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn bytes_grow_with_inserts() {
+        let mut table = JoinTable::new();
+        let empty = table.est_bytes();
+        for k in 0..100 {
+            table.insert(k, t(k));
+        }
+        assert!(table.est_bytes() > empty);
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let mut table = JoinTable::new();
+        table.insert(5, t(1));
+        table.insert(6, t(2));
+        let all: Vec<i64> = table.iter().map(|(k, _)| k).collect();
+        assert_eq!(all, vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = JoinTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.probe(0).count(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Hash join algorithms (§2.3.2 of the paper).
+//!
+//! Two algorithms are implemented, matching the paper exactly:
+//!
+//! * the **simple hash-join**: the classical two-phase build–probe join
+//!   (\[ScD89\]); no output can be produced before the entire build operand
+//!   has been consumed;
+//! * the **pipelining hash-join** (\[WiA91\]): a symmetric one-phase join that
+//!   builds a hash table on *both* operands. Each arriving tuple first
+//!   probes the other operand's partial table (emitting any matches) and is
+//!   then inserted into its own table. Output is produced as early as
+//!   possible, enabling pipelining along *both* operands at the price of a
+//!   second in-memory hash table.
+//!
+//! Both are exposed as incremental *states* (push-based, as the parallel
+//! engine needs) and as one-shot convenience functions. A custom
+//! integer-keyed multimap ([`hash_table::JoinTable`]) backs both, with byte
+//! accounting for the paper's RD-vs-FP memory discussion (§5).
+
+#![warn(missing_docs)]
+
+pub mod hash_table;
+pub mod partitioned;
+pub mod pipelining;
+pub mod simple;
+pub mod stats;
+
+pub use hash_table::JoinTable;
+pub use partitioned::partitioned_parallel_join;
+pub use pipelining::{pipelining_hash_join, PipeliningJoinState};
+pub use simple::{simple_hash_join, SimpleJoinState};
+pub use stats::{FeedOrder, JoinRunStats};

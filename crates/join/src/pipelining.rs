@@ -1,0 +1,218 @@
+//! The pipelining (symmetric) hash join of \[WiA91\] — the algorithm behind
+//! the paper's Full Parallel strategy.
+//!
+//! The join "consists of only one phase. As a tuple comes in, it is first
+//! hashed and used to probe that part of the hash table of the other
+//! operand that has already been constructed. If a match is found, a result
+//! tuple is formed and sent to the consumer operation. Finally, the tuple
+//! is inserted in the hash table of its own operand." (§2.3.2)
+//!
+//! Compared to the simple join it produces output as early as possible —
+//! enabling pipelining along *both* operands — at the cost of a second
+//! hash table.
+
+use std::sync::Arc;
+
+use mj_relalg::{EquiJoin, Relation, Result, Tuple};
+
+use crate::hash_table::JoinTable;
+
+/// Incremental state for a pipelining hash join. Feed tuples from either
+/// side in any interleaving; matches are emitted immediately. Every
+/// matching pair is emitted exactly once — when its later tuple arrives.
+pub struct PipeliningJoinState {
+    spec: EquiJoin,
+    left_table: JoinTable,
+    right_table: JoinTable,
+}
+
+impl PipeliningJoinState {
+    /// Creates a join state for the given spec.
+    pub fn new(spec: EquiJoin) -> Self {
+        PipeliningJoinState { spec, left_table: JoinTable::new(), right_table: JoinTable::new() }
+    }
+
+    /// Creates a join state with pre-sized tables.
+    pub fn with_capacity(spec: EquiJoin, left_estimate: usize, right_estimate: usize) -> Self {
+        PipeliningJoinState {
+            spec,
+            left_table: JoinTable::with_capacity(left_estimate),
+            right_table: JoinTable::with_capacity(right_estimate),
+        }
+    }
+
+    /// Consumes one left tuple: probe the right table, emit matches, insert
+    /// into the left table.
+    pub fn push_left(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let key = tuple.int(self.spec.left_key)?;
+        for r in self.right_table.probe(key) {
+            out.push(self.spec.projection.apply_concat(&tuple, r)?);
+        }
+        self.left_table.insert(key, tuple);
+        Ok(())
+    }
+
+    /// Consumes one right tuple: probe the left table, emit matches, insert
+    /// into the right table.
+    pub fn push_right(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        let key = tuple.int(self.spec.right_key)?;
+        for l in self.left_table.probe(key) {
+            out.push(self.spec.projection.apply_concat(l, &tuple)?);
+        }
+        self.right_table.insert(key, tuple);
+        Ok(())
+    }
+
+    /// Tuples consumed so far from (left, right).
+    pub fn consumed(&self) -> (usize, usize) {
+        (self.left_table.len(), self.right_table.len())
+    }
+
+    /// Approximate resident bytes — *two* hash tables, the memory price the
+    /// paper attributes to FP (§5).
+    pub fn est_bytes(&self) -> usize {
+        self.left_table.est_bytes() + self.right_table.est_bytes()
+    }
+
+    /// The join spec.
+    pub fn spec(&self) -> &EquiJoin {
+        &self.spec
+    }
+}
+
+/// One-shot pipelining join that alternates strictly between operands
+/// (left, right, left, ...), as in a balanced two-sided pipeline.
+pub fn pipelining_hash_join(left: &Relation, right: &Relation, spec: &EquiJoin) -> Result<Relation> {
+    let out_schema =
+        Arc::new(spec.projection.output_schema(&left.schema().concat(right.schema()))?);
+    let mut state = PipeliningJoinState::with_capacity(spec.clone(), left.len(), right.len());
+    let mut out = Vec::new();
+    let mut l = left.iter();
+    let mut r = right.iter();
+    loop {
+        match (l.next(), r.next()) {
+            (None, None) => break,
+            (lt, rt) => {
+                if let Some(t) = lt {
+                    state.push_left(t.clone(), &mut out)?;
+                }
+                if let Some(t) = rt {
+                    state.push_right(t.clone(), &mut out)?;
+                }
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::simple_hash_join;
+    use mj_relalg::ops::nested_loop_join;
+    use mj_relalg::{Attribute, Projection, Schema};
+
+    fn rel(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        Relation::new(schema, rows.iter().map(|r| Tuple::from_ints(r)).collect()).unwrap()
+    }
+
+    fn spec() -> EquiJoin {
+        EquiJoin::new(0, 0, Projection::new(vec![0, 1, 3]))
+    }
+
+    #[test]
+    fn equivalent_to_simple_and_oracle() {
+        let l = rel(&[[1, 10], [2, 20], [2, 21], [3, 30], [5, 50]]);
+        let r = rel(&[[2, 200], [3, 300], [3, 301], [4, 400], [2, 201]]);
+        let oracle = nested_loop_join(&l, &r, &spec()).unwrap();
+        let simple = simple_hash_join(&l, &r, &spec()).unwrap();
+        let pipelined = pipelining_hash_join(&l, &r, &spec()).unwrap();
+        assert!(oracle.multiset_eq(&simple));
+        assert!(oracle.multiset_eq(&pipelined));
+    }
+
+    #[test]
+    fn emits_each_pair_exactly_once_regardless_of_interleaving() {
+        let l = rel(&[[1, 10], [1, 11]]);
+        let r = rel(&[[1, 100], [1, 101]]);
+        // Feed in three different interleavings; all must yield 4 results.
+        for order in 0..3 {
+            let mut state = PipeliningJoinState::new(spec());
+            let mut out = Vec::new();
+            match order {
+                0 => {
+                    // All left first (degenerates to simple build-probe).
+                    for t in &l {
+                        state.push_left(t.clone(), &mut out).unwrap();
+                    }
+                    for t in &r {
+                        state.push_right(t.clone(), &mut out).unwrap();
+                    }
+                }
+                1 => {
+                    // All right first.
+                    for t in &r {
+                        state.push_right(t.clone(), &mut out).unwrap();
+                    }
+                    for t in &l {
+                        state.push_left(t.clone(), &mut out).unwrap();
+                    }
+                }
+                _ => {
+                    // Alternating.
+                    for (a, b) in l.iter().zip(r.iter()) {
+                        state.push_left(a.clone(), &mut out).unwrap();
+                        state.push_right(b.clone(), &mut out).unwrap();
+                    }
+                }
+            }
+            assert_eq!(out.len(), 4, "order {order}");
+        }
+    }
+
+    #[test]
+    fn produces_output_before_either_input_is_exhausted() {
+        // The defining property: with matching early tuples, output appears
+        // while both inputs still have unconsumed tuples.
+        let mut state = PipeliningJoinState::new(spec());
+        let mut out = Vec::new();
+        state.push_left(Tuple::from_ints(&[7, 1]), &mut out).unwrap();
+        assert!(out.is_empty());
+        state.push_right(Tuple::from_ints(&[7, 2]), &mut out).unwrap();
+        assert_eq!(out.len(), 1, "match emitted immediately");
+        assert_eq!(state.consumed(), (1, 1));
+    }
+
+    #[test]
+    fn uses_two_tables_worth_of_memory() {
+        let l = rel(&[[1, 10], [2, 20]]);
+        let r = rel(&[[3, 30], [4, 40]]);
+        let mut pipe = PipeliningJoinState::new(spec());
+        let mut out = Vec::new();
+        for t in &l {
+            pipe.push_left(t.clone(), &mut out).unwrap();
+        }
+        for t in &r {
+            pipe.push_right(t.clone(), &mut out).unwrap();
+        }
+        let mut simple = crate::simple::SimpleJoinState::new(spec());
+        for t in &l {
+            simple.build(t.clone()).unwrap();
+        }
+        simple.finish_build();
+        assert!(
+            pipe.est_bytes() > simple.est_bytes(),
+            "pipelining join must hold strictly more state than the simple join"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = rel(&[]);
+        let r = rel(&[[1, 1]]);
+        assert!(pipelining_hash_join(&e, &r, &spec()).unwrap().is_empty());
+        assert!(pipelining_hash_join(&r, &e, &spec()).unwrap().is_empty());
+        assert!(pipelining_hash_join(&e, &e, &spec()).unwrap().is_empty());
+    }
+}

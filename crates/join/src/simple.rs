@@ -1,0 +1,182 @@
+//! The simple (two-phase build–probe) hash join.
+//!
+//! Phase 1 consumes the *left* operand entirely, building a hash table on
+//! the join key. Phase 2 streams the *right* operand past the table,
+//! emitting projected matches. No output can appear before the build phase
+//! completes — the property that makes left-deep pipelines ineffective and
+//! motivates right-deep segments (§3.3) and the pipelining join (§2.3.2).
+
+use std::sync::Arc;
+
+use mj_relalg::{EquiJoin, RelalgError, Relation, Result, Tuple};
+
+use crate::hash_table::JoinTable;
+
+/// Incremental state for a simple hash join (push-based, as used by the
+/// parallel engine's operator processes).
+pub struct SimpleJoinState {
+    spec: EquiJoin,
+    table: JoinTable,
+    build_done: bool,
+}
+
+impl SimpleJoinState {
+    /// Creates a join state for the given spec.
+    pub fn new(spec: EquiJoin) -> Self {
+        SimpleJoinState { spec, table: JoinTable::new(), build_done: false }
+    }
+
+    /// Creates a join state with a pre-sized table.
+    pub fn with_capacity(spec: EquiJoin, build_estimate: usize) -> Self {
+        SimpleJoinState { spec, table: JoinTable::with_capacity(build_estimate), build_done: false }
+    }
+
+    /// Consumes one build-side (left) tuple.
+    pub fn build(&mut self, tuple: Tuple) -> Result<()> {
+        if self.build_done {
+            return Err(RelalgError::InvalidPlan(
+                "simple hash join: build after build phase closed".into(),
+            ));
+        }
+        let key = tuple.int(self.spec.left_key)?;
+        self.table.insert(key, tuple);
+        Ok(())
+    }
+
+    /// Marks the build phase complete; probing is allowed afterwards.
+    pub fn finish_build(&mut self) {
+        self.build_done = true;
+    }
+
+    /// True once the build phase has been closed.
+    pub fn build_done(&self) -> bool {
+        self.build_done
+    }
+
+    /// Number of tuples in the build table.
+    pub fn built_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Probes with one right tuple, appending projected matches to `out`.
+    pub fn probe(&self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        if !self.build_done {
+            return Err(RelalgError::InvalidPlan(
+                "simple hash join: probe before build phase closed".into(),
+            ));
+        }
+        let key = tuple.int(self.spec.right_key)?;
+        for l in self.table.probe(key) {
+            out.push(self.spec.projection.apply_concat(l, tuple)?);
+        }
+        Ok(())
+    }
+
+    /// Approximate resident bytes of the build table. The simple join holds
+    /// exactly one table — half of what the pipelining join needs (§5).
+    pub fn est_bytes(&self) -> usize {
+        self.table.est_bytes()
+    }
+
+    /// The join spec.
+    pub fn spec(&self) -> &EquiJoin {
+        &self.spec
+    }
+}
+
+/// One-shot simple hash join of two relations: builds on `left`, probes
+/// with `right`.
+pub fn simple_hash_join(left: &Relation, right: &Relation, spec: &EquiJoin) -> Result<Relation> {
+    let out_schema =
+        Arc::new(spec.projection.output_schema(&left.schema().concat(right.schema()))?);
+    let mut state = SimpleJoinState::with_capacity(spec.clone(), left.len());
+    for t in left {
+        state.build(t.clone())?;
+    }
+    state.finish_build();
+    let mut out = Vec::new();
+    for t in right {
+        state.probe(t, &mut out)?;
+    }
+    Ok(Relation::new_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::ops::nested_loop_join;
+    use mj_relalg::{Attribute, Projection, Schema};
+
+    fn rel(rows: &[[i64; 2]]) -> Relation {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        Relation::new(schema, rows.iter().map(|r| Tuple::from_ints(r)).collect()).unwrap()
+    }
+
+    fn spec() -> EquiJoin {
+        EquiJoin::new(0, 0, Projection::new(vec![0, 1, 3]))
+    }
+
+    #[test]
+    fn matches_nested_loop_oracle() {
+        let l = rel(&[[1, 10], [2, 20], [2, 21], [3, 30]]);
+        let r = rel(&[[2, 200], [3, 300], [3, 301], [4, 400]]);
+        let expected = nested_loop_join(&l, &r, &spec()).unwrap();
+        let got = simple_hash_join(&l, &r, &spec()).unwrap();
+        assert!(expected.multiset_eq(&got));
+        assert_eq!(got.len(), 4); // 2x(2,*) matches 1, 1x(3,*) matches 2
+    }
+
+    #[test]
+    fn probe_before_finish_build_errors() {
+        let mut s = SimpleJoinState::new(spec());
+        s.build(Tuple::from_ints(&[1, 1])).unwrap();
+        let mut out = Vec::new();
+        assert!(s.probe(&Tuple::from_ints(&[1, 1]), &mut out).is_err());
+        s.finish_build();
+        assert!(s.probe(&Tuple::from_ints(&[1, 1]), &mut out).is_ok());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn build_after_finish_errors() {
+        let mut s = SimpleJoinState::new(spec());
+        s.finish_build();
+        assert!(s.build(Tuple::from_ints(&[1, 1])).is_err());
+        assert!(s.build_done());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = rel(&[]);
+        let r = rel(&[[1, 1]]);
+        assert!(simple_hash_join(&l, &r, &spec()).unwrap().is_empty());
+        assert!(simple_hash_join(&r, &l, &spec()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_type_errors_surface() {
+        let schema = Schema::new(vec![Attribute::str("s")]).shared();
+        let l = Relation::new(schema, vec![Tuple::new(vec!["x".into()])]).unwrap();
+        let r = rel(&[[1, 1]]);
+        let s = EquiJoin::new(0, 0, Projection::new(vec![0]));
+        assert!(simple_hash_join(&l, &r, &s).is_err());
+    }
+
+    #[test]
+    fn memory_is_one_table() {
+        let l = rel(&[[1, 10], [2, 20]]);
+        let r = rel(&[[1, 1], [2, 2]]);
+        let mut s = SimpleJoinState::new(spec());
+        for t in &l {
+            s.build(t.clone()).unwrap();
+        }
+        s.finish_build();
+        let bytes_after_build = s.est_bytes();
+        let mut out = Vec::new();
+        for t in &r {
+            s.probe(t, &mut out).unwrap();
+        }
+        assert_eq!(s.est_bytes(), bytes_after_build, "probing allocates no table memory");
+        assert_eq!(s.built_len(), 2);
+    }
+}

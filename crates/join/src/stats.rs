@@ -1,0 +1,204 @@
+//! Instrumented join runs: measures *when* output appears relative to input
+//! consumption and how much table memory a join holds.
+//!
+//! These numbers back two of the paper's qualitative claims:
+//! * "the pipelining algorithm can produce result tuples earlier during the
+//!   join process at the cost of using more memory" (§2.3.2);
+//! * the pipeline-delay trade-off of §2.3.3 / §3.5.
+
+use mj_relalg::{EquiJoin, JoinAlgorithm, Relation, Result};
+
+use crate::pipelining::PipeliningJoinState;
+use crate::simple::SimpleJoinState;
+
+/// The order in which operand tuples are fed to an instrumented join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedOrder {
+    /// Strictly alternate left/right (a balanced two-sided pipeline).
+    Alternate,
+    /// All left tuples, then all right tuples (build then probe).
+    LeftThenRight,
+}
+
+/// Measurements from one instrumented join run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinRunStats {
+    /// Input tuples consumed (both sides) before the first output tuple.
+    /// `None` if the join produced no output.
+    pub inputs_before_first_output: Option<usize>,
+    /// Total input tuples consumed.
+    pub inputs_total: usize,
+    /// Output tuples produced.
+    pub outputs: usize,
+    /// Peak resident bytes of the join's hash table(s).
+    pub peak_table_bytes: usize,
+}
+
+/// Runs `algorithm` over the operands in the given feed order, recording
+/// when output first appears and peak table memory.
+pub fn run_instrumented(
+    left: &Relation,
+    right: &Relation,
+    spec: &EquiJoin,
+    algorithm: JoinAlgorithm,
+    order: FeedOrder,
+) -> Result<JoinRunStats> {
+    // The simple join cannot accept probes before its build completes, so
+    // it always behaves as LeftThenRight regardless of the requested order.
+    let mut consumed = 0usize;
+    let mut first_out = None;
+    let mut outputs = 0usize;
+    let mut peak = 0usize;
+    let mut out = Vec::new();
+
+    let note = |consumed: usize, out: &mut Vec<_>, outputs: &mut usize, first: &mut Option<usize>| {
+        if !out.is_empty() {
+            if first.is_none() {
+                *first = Some(consumed);
+            }
+            *outputs += out.len();
+            out.clear();
+        }
+    };
+
+    match algorithm {
+        JoinAlgorithm::Simple => {
+            let mut s = SimpleJoinState::new(spec.clone());
+            for t in left {
+                s.build(t.clone())?;
+                consumed += 1;
+                peak = peak.max(s.est_bytes());
+            }
+            s.finish_build();
+            for t in right {
+                s.probe(t, &mut out)?;
+                consumed += 1;
+                peak = peak.max(s.est_bytes());
+                note(consumed, &mut out, &mut outputs, &mut first_out);
+            }
+        }
+        JoinAlgorithm::Pipelining => {
+            let mut s = PipeliningJoinState::new(spec.clone());
+            match order {
+                FeedOrder::LeftThenRight => {
+                    for t in left {
+                        s.push_left(t.clone(), &mut out)?;
+                        consumed += 1;
+                        peak = peak.max(s.est_bytes());
+                        note(consumed, &mut out, &mut outputs, &mut first_out);
+                    }
+                    for t in right {
+                        s.push_right(t.clone(), &mut out)?;
+                        consumed += 1;
+                        peak = peak.max(s.est_bytes());
+                        note(consumed, &mut out, &mut outputs, &mut first_out);
+                    }
+                }
+                FeedOrder::Alternate => {
+                    let mut l = left.iter();
+                    let mut r = right.iter();
+                    loop {
+                        let lt = l.next();
+                        let rt = r.next();
+                        if lt.is_none() && rt.is_none() {
+                            break;
+                        }
+                        if let Some(t) = lt {
+                            s.push_left(t.clone(), &mut out)?;
+                            consumed += 1;
+                            note(consumed, &mut out, &mut outputs, &mut first_out);
+                        }
+                        if let Some(t) = rt {
+                            s.push_right(t.clone(), &mut out)?;
+                            consumed += 1;
+                            note(consumed, &mut out, &mut outputs, &mut first_out);
+                        }
+                        peak = peak.max(s.est_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(JoinRunStats {
+        inputs_before_first_output: first_out,
+        inputs_total: consumed,
+        outputs,
+        peak_table_bytes: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Projection, Schema, Tuple};
+
+    fn perm_rel(n: i64, seedish: i64) -> Relation {
+        // Deterministic pseudo-shuffled permutation keys.
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        let tuples = (0..n)
+            .map(|i| Tuple::from_ints(&[(i * seedish) % n, i]))
+            .collect();
+        Relation::new(schema, tuples).unwrap()
+    }
+
+    fn spec() -> EquiJoin {
+        EquiJoin::new(0, 0, Projection::new(vec![1, 3]))
+    }
+
+    #[test]
+    fn pipelining_emits_earlier_than_simple() {
+        // 101 and 103 are coprime with 1000 -> both sides are permutations
+        // of 0..1000, a perfect 1-1 join like the paper's workload.
+        let l = perm_rel(1000, 101);
+        let r = perm_rel(1000, 103);
+        let simple =
+            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Simple, FeedOrder::LeftThenRight)
+                .unwrap();
+        let pipe =
+            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
+                .unwrap();
+        assert_eq!(simple.outputs, 1000);
+        assert_eq!(pipe.outputs, 1000);
+        let s_first = simple.inputs_before_first_output.unwrap();
+        let p_first = pipe.inputs_before_first_output.unwrap();
+        assert!(s_first > 1000, "simple join cannot emit before build ends");
+        assert!(p_first < s_first, "pipelining emits earlier: {p_first} vs {s_first}");
+    }
+
+    #[test]
+    fn pipelining_costs_more_memory() {
+        let l = perm_rel(500, 101);
+        let r = perm_rel(500, 103);
+        let simple =
+            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Simple, FeedOrder::LeftThenRight)
+                .unwrap();
+        let pipe =
+            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
+                .unwrap();
+        assert!(pipe.peak_table_bytes > simple.peak_table_bytes);
+    }
+
+    #[test]
+    fn no_matches_reports_none() {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        let l = Relation::new(schema.clone(), vec![Tuple::from_ints(&[1, 1])]).unwrap();
+        let r = Relation::new(schema, vec![Tuple::from_ints(&[2, 2])]).unwrap();
+        let s = run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
+            .unwrap();
+        assert_eq!(s.outputs, 0);
+        assert!(s.inputs_before_first_output.is_none());
+        assert_eq!(s.inputs_total, 2);
+    }
+
+    #[test]
+    fn pipelining_left_then_right_degenerates_to_simple_timing() {
+        let l = perm_rel(200, 101);
+        let r = perm_rel(200, 103);
+        let pipe =
+            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::LeftThenRight)
+                .unwrap();
+        // Feeding all of the left first means no output until right begins.
+        assert!(pipe.inputs_before_first_output.unwrap() > 200);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cardinality models: how many tuples each node of a join tree produces.
+//!
+//! The paper's regular query is engineered so that "the result of each
+//! operation again is a Wisconsin relation equal in size to the operands"
+//! (§4.1); [`UniformOneToOne`] encodes exactly that. [`SelectivityModel`]
+//! generalizes to arbitrary per-join selectivities for the optimizer tests
+//! and the examples.
+
+use std::collections::HashMap;
+
+use crate::tree::{JoinTree, TreeNode};
+
+/// Estimates cardinalities bottom-up over a join tree.
+pub trait CardModel {
+    /// Cardinality of a base relation.
+    fn leaf_card(&self, relation: &str) -> u64;
+    /// Cardinality of a join given its operand cardinalities.
+    fn join_card(&self, left: u64, right: u64) -> u64;
+}
+
+/// The regular Wisconsin query: every relation has `n` tuples, every join
+/// is a perfect 1-to-1 match, every intermediate has `n` tuples.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformOneToOne {
+    /// Tuples per relation.
+    pub n: u64,
+}
+
+impl CardModel for UniformOneToOne {
+    fn leaf_card(&self, _relation: &str) -> u64 {
+        self.n
+    }
+
+    fn join_card(&self, left: u64, right: u64) -> u64 {
+        left.min(right)
+    }
+}
+
+/// Independent-selectivity model: `|L ⋈ R| = |L| · |R| · selectivity`.
+#[derive(Clone, Debug)]
+pub struct SelectivityModel {
+    /// Base-relation cardinalities by name.
+    pub cards: HashMap<String, u64>,
+    /// Cardinality assumed for relations missing from `cards`.
+    pub default_card: u64,
+    /// Selectivity applied to every join.
+    pub selectivity: f64,
+}
+
+impl CardModel for SelectivityModel {
+    fn leaf_card(&self, relation: &str) -> u64 {
+        self.cards.get(relation).copied().unwrap_or(self.default_card)
+    }
+
+    fn join_card(&self, left: u64, right: u64) -> u64 {
+        let est = left as f64 * right as f64 * self.selectivity;
+        est.round().max(0.0) as u64
+    }
+}
+
+/// Computes the cardinality of every node, indexed by [`crate::tree::NodeId`].
+pub fn node_cards(tree: &JoinTree, model: &dyn CardModel) -> Vec<u64> {
+    let mut cards = vec![0u64; tree.nodes().len()];
+    // Node ids are a bottom-up order (children before parents).
+    for (id, node) in tree.nodes().iter().enumerate() {
+        cards[id] = match node {
+            TreeNode::Leaf { relation } => model.leaf_card(relation),
+            TreeNode::Join { left, right } => model.join_card(cards[*left], cards[*right]),
+        };
+    }
+    cards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{build, Shape};
+
+    #[test]
+    fn uniform_model_keeps_everything_at_n() {
+        for shape in Shape::ALL {
+            let t = build(shape, 10).unwrap();
+            let cards = node_cards(&t, &UniformOneToOne { n: 5000 });
+            assert!(cards.iter().all(|&c| c == 5000), "{shape}: {cards:?}");
+        }
+    }
+
+    #[test]
+    fn selectivity_model_compounds() {
+        let t = build(Shape::RightLinear, 3).unwrap();
+        let model = SelectivityModel {
+            cards: HashMap::from([("R0".to_string(), 100), ("R1".to_string(), 200)]),
+            default_card: 50,
+            selectivity: 0.01,
+        };
+        let cards = node_cards(&t, &model);
+        // Bottom join: R1 (200) x R2 (50, default) * 0.01 = 100.
+        // Root: R0 (100) x 100 * 0.01 = 100.
+        assert_eq!(cards[t.root()], 100);
+    }
+
+    #[test]
+    fn zero_selectivity_zeroes_results() {
+        let t = build(Shape::WideBushy, 4).unwrap();
+        let model =
+            SelectivityModel { cards: HashMap::new(), default_card: 10, selectivity: 0.0 };
+        let cards = node_cards(&t, &model);
+        assert_eq!(cards[t.root()], 0);
+    }
+}

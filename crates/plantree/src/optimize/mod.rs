@@ -1,0 +1,265 @@
+//! Phase-1 optimization: find the join tree with minimal *total* cost.
+//!
+//! The paper adopts two-phase optimization from \[HoS91\]: "The first phase
+//! chooses the tree that has the lowest total execution costs and the
+//! second phase finds a suitable parallelization for this tree" (§1.2).
+//! Three phase-1 algorithms are provided:
+//!
+//! * [`optimize_bushy`] — exhaustive dynamic programming over connected
+//!   subgraphs, bushy trees allowed (the space \[KBZ86\] argues parallel
+//!   systems need);
+//! * [`optimize_linear`] — System-R style DP restricted to left-deep
+//!   (linear) trees \[SAC79\];
+//! * [`greedy_tree`] — a greedy heuristic in the spirit of [LST91, SWG88]
+//!   for graphs too large to enumerate.
+//!
+//! None of them consider parallelism — by design. Cartesian products are
+//! never enumerated, matching System R.
+
+mod dp_bushy;
+mod dp_linear;
+mod greedy;
+mod local;
+
+pub use dp_bushy::optimize_bushy;
+pub use dp_linear::optimize_linear;
+pub use greedy::greedy_tree;
+pub use local::{
+    iterative_improvement, random_tree, simulated_annealing, AnnealingOptions, IterativeOptions,
+};
+
+use mj_relalg::{RelalgError, Result};
+
+use crate::tree::JoinTree;
+
+/// Largest relation count the exhaustive optimizers accept (the DP state is
+/// a bitmask over relations).
+pub const MAX_DP_RELATIONS: usize = 20;
+
+/// A query graph: relations with cardinalities, and equi-join edges with
+/// selectivities.
+#[derive(Clone, Debug)]
+pub struct QueryGraph {
+    names: Vec<String>,
+    cards: Vec<u64>,
+    /// Adjacency: for each relation, a bitmask of its neighbours.
+    adj: Vec<u32>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl QueryGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        QueryGraph { names: Vec::new(), cards: Vec::new(), adj: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a relation, returning its index.
+    pub fn add_relation(&mut self, name: impl Into<String>, card: u64) -> usize {
+        self.names.push(name.into());
+        self.cards.push(card);
+        self.adj.push(0);
+        self.names.len() - 1
+    }
+
+    /// Adds a join edge between relations `a` and `b` with the given
+    /// selectivity in `(0, 1]`.
+    pub fn add_edge(&mut self, a: usize, b: usize, selectivity: f64) -> Result<()> {
+        if a >= self.names.len() || b >= self.names.len() || a == b {
+            return Err(RelalgError::InvalidPlan(format!("bad edge ({a}, {b})")));
+        }
+        if !(selectivity > 0.0 && selectivity <= 1.0) {
+            return Err(RelalgError::InvalidPlan(format!(
+                "selectivity {selectivity} outside (0, 1]"
+            )));
+        }
+        self.adj[a] |= 1 << b;
+        self.adj[b] |= 1 << a;
+        self.edges.push((a.min(b), a.max(b), selectivity));
+        Ok(())
+    }
+
+    /// Builds the paper's chain query: `k` relations of `n` tuples, joined
+    /// neighbour-to-neighbour with selectivity `1/n` (each join a perfect
+    /// 1-to-1 match).
+    pub fn regular_chain(k: usize, n: u64) -> Result<QueryGraph> {
+        if k < 2 || n == 0 {
+            return Err(RelalgError::InvalidPlan("chain needs k >= 2, n >= 1".into()));
+        }
+        let mut g = QueryGraph::new();
+        for i in 0..k {
+            g.add_relation(format!("R{i}"), n);
+        }
+        for i in 0..k - 1 {
+            g.add_edge(i, i + 1, 1.0 / n as f64)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the graph has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Relation names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Relation cardinalities.
+    pub fn cards(&self) -> &[u64] {
+        &self.cards
+    }
+
+    /// All edges as `(a, b, selectivity)` with `a < b`.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Bitmask of neighbours of all relations in `mask`.
+    pub fn neighbours(&self, mask: u32) -> u32 {
+        let mut out = 0u32;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            out |= self.adj[i];
+            m &= m - 1;
+        }
+        out & !mask
+    }
+
+    /// True if some join edge connects `a` and `b` (disjoint masks).
+    pub fn connects(&self, a: u32, b: u32) -> bool {
+        self.neighbours(a) & b != 0
+    }
+
+    /// Estimated cardinality of the join of all relations in `mask`:
+    /// product of base cardinalities times the selectivities of all edges
+    /// internal to `mask`.
+    pub fn subset_card(&self, mask: u32) -> f64 {
+        let mut card = 1.0f64;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            card *= self.cards[i] as f64;
+            m &= m - 1;
+        }
+        for &(a, b, sel) in &self.edges {
+            if mask & (1 << a) != 0 && mask & (1 << b) != 0 {
+                card *= sel;
+            }
+        }
+        card
+    }
+
+    /// True if the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.names.is_empty() {
+            return false;
+        }
+        let full = if self.names.len() == 32 { u32::MAX } else { (1u32 << self.names.len()) - 1 };
+        let mut reached = 1u32;
+        loop {
+            let grow = reached | (self.neighbours(reached) & full);
+            if grow == reached {
+                break;
+            }
+            reached = grow;
+        }
+        reached == full
+    }
+
+    pub(crate) fn check_optimizable(&self) -> Result<()> {
+        if self.len() < 2 {
+            return Err(RelalgError::InvalidPlan("optimizer needs >= 2 relations".into()));
+        }
+        if self.len() > MAX_DP_RELATIONS {
+            return Err(RelalgError::InvalidPlan(format!(
+                "DP optimizers accept at most {MAX_DP_RELATIONS} relations, got {}",
+                self.len()
+            )));
+        }
+        if !self.is_connected() {
+            return Err(RelalgError::InvalidPlan(
+                "query graph is disconnected (cartesian products are not enumerated)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for QueryGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The output of a phase-1 optimizer.
+#[derive(Clone, Debug)]
+pub struct OptimizedPlan {
+    /// The chosen join tree.
+    pub tree: JoinTree,
+    /// Total cost under the paper's cost function.
+    pub total_cost: f64,
+    /// Estimated cardinality per tree node (indexed by node id).
+    pub node_cards: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_construction() {
+        let g = QueryGraph::regular_chain(10, 5000).unwrap();
+        assert_eq!(g.len(), 10);
+        assert_eq!(g.edges().len(), 9);
+        assert!(g.is_connected());
+        assert!(QueryGraph::regular_chain(1, 10).is_err());
+        assert!(QueryGraph::regular_chain(3, 0).is_err());
+    }
+
+    #[test]
+    fn subset_card_chain_is_n_for_connected_subsets() {
+        let g = QueryGraph::regular_chain(5, 100).unwrap();
+        // {R1, R2, R3} connected: 100^3 * (1/100)^2 = 100.
+        let mask = 0b01110;
+        assert!((g.subset_card(mask) - 100.0).abs() < 1e-6);
+        // Disconnected {R0, R2}: no internal edge: 100 * 100.
+        assert!((g.subset_card(0b00101) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neighbours_and_connects() {
+        let g = QueryGraph::regular_chain(4, 10).unwrap();
+        assert_eq!(g.neighbours(0b0001), 0b0010);
+        assert_eq!(g.neighbours(0b0110), 0b1001);
+        assert!(g.connects(0b0011, 0b0100));
+        assert!(!g.connects(0b0001, 0b0100));
+    }
+
+    #[test]
+    fn edge_validation() {
+        let mut g = QueryGraph::new();
+        let a = g.add_relation("A", 10);
+        let b = g.add_relation("B", 10);
+        assert!(g.add_edge(a, a, 0.5).is_err());
+        assert!(g.add_edge(a, 5, 0.5).is_err());
+        assert!(g.add_edge(a, b, 0.0).is_err());
+        assert!(g.add_edge(a, b, 1.5).is_err());
+        assert!(g.add_edge(a, b, 1.0).is_ok());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut g = QueryGraph::new();
+        g.add_relation("A", 10);
+        g.add_relation("B", 10);
+        assert!(!g.is_connected());
+        assert!(g.check_optimizable().is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! ASCII rendering of join trees (regenerates Fig. 8 and the Fig. 2
+//! example tree).
+
+use crate::tree::{JoinTree, NodeId, TreeNode};
+
+/// Renders the tree as an indented ASCII outline, joins annotated with
+/// their node ids and an optional label from `label`.
+pub fn render_with<F: Fn(NodeId) -> Option<String>>(tree: &JoinTree, label: F) -> String {
+    let mut out = String::new();
+    render_rec(tree, tree.root(), "", "", &mut out, &label);
+    out
+}
+
+/// Renders the tree with bare join ids.
+pub fn render(tree: &JoinTree) -> String {
+    render_with(tree, |_| None)
+}
+
+fn render_rec<F: Fn(NodeId) -> Option<String>>(
+    tree: &JoinTree,
+    id: NodeId,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+    label: &F,
+) {
+    match &tree.nodes()[id] {
+        TreeNode::Leaf { relation } => {
+            out.push_str(prefix);
+            out.push_str(relation);
+            out.push('\n');
+        }
+        TreeNode::Join { left, right } => {
+            out.push_str(prefix);
+            match label(id) {
+                Some(l) => out.push_str(&format!("⋈ j{id} [{l}]")),
+                None => out.push_str(&format!("⋈ j{id}")),
+            }
+            out.push('\n');
+            let left_prefix = format!("{child_prefix}├─ ");
+            let left_child_prefix = format!("{child_prefix}│  ");
+            render_rec(tree, *left, &left_prefix, &left_child_prefix, out, label);
+            let right_prefix = format!("{child_prefix}└─ ");
+            let right_child_prefix = format!("{child_prefix}   ");
+            render_rec(tree, *right, &right_prefix, &right_child_prefix, out, label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{build, Shape};
+
+    #[test]
+    fn renders_all_leaves_and_joins() {
+        let t = build(Shape::WideBushy, 4).unwrap();
+        let s = render(&t);
+        for leaf in ["R0", "R1", "R2", "R3"] {
+            assert!(s.contains(leaf), "missing {leaf} in:\n{s}");
+        }
+        assert_eq!(s.matches('⋈').count(), 3);
+    }
+
+    #[test]
+    fn labels_appear() {
+        let t = build(Shape::RightLinear, 3).unwrap();
+        let s = render_with(&t, |id| Some(format!("w={id}")));
+        assert!(s.contains("[w="), "{s}");
+    }
+
+    #[test]
+    fn linear_tree_renders_nested() {
+        let t = build(Shape::RightLinear, 4).unwrap();
+        let s = render(&t);
+        // Three joins, each nested one level deeper.
+        assert_eq!(s.matches('⋈').count(), 3);
+        assert!(s.lines().count() >= 7);
+    }
+}

@@ -1,0 +1,238 @@
+//! Right-deep segmentation of bushy trees (\[CLY92\], §3.3).
+//!
+//! A bushy tree is viewed as a set of *right-deep segments*: maximal chains
+//! of joins linked through right children. Within a segment, all hash
+//! tables (left operands) can be built concurrently and one probe stream
+//! then pipelines bottom-to-top. Segments connected by a
+//! producer–consumer edge run sequentially; independent segments run
+//! concurrently on disjoint processors.
+//!
+//! Degenerate cases (tested below): a right-linear tree is a single
+//! segment (RD ≡ FP); a left-linear tree is one single-join segment per
+//! join (RD ≡ SP) — exactly the coincidences the paper observes in
+//! Figs. 9 and 13.
+
+use crate::tree::{JoinTree, NodeId};
+
+/// One right-deep segment: joins in bottom-up pipeline order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Join node ids, deepest (pipeline entry) first, segment top last.
+    pub joins: Vec<NodeId>,
+}
+
+impl Segment {
+    /// The top (shallowest) join — the segment's producer node.
+    pub fn top(&self) -> NodeId {
+        *self.joins.last().expect("segments are non-empty")
+    }
+
+    /// The bottom join, whose right operand feeds the probe pipeline.
+    pub fn bottom(&self) -> NodeId {
+        self.joins[0]
+    }
+
+    /// Number of joins in the segment.
+    pub fn len(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Segments always contain at least one join.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty()
+    }
+}
+
+/// The segmentation of a tree.
+#[derive(Clone, Debug)]
+pub struct Segmentation {
+    /// All segments. Order follows discovery (root's segment first).
+    pub segments: Vec<Segment>,
+    /// Segment index per node id (None for leaves).
+    pub seg_of: Vec<Option<usize>>,
+    /// For each segment, the segments whose outputs it consumes (via left
+    /// operands of its joins).
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl Segmentation {
+    /// Groups segments into topological waves: wave `i` contains segments
+    /// whose dependencies all lie in waves `< i`. Segments in one wave are
+    /// mutually independent and may run concurrently (the RD schedule).
+    pub fn waves(&self) -> Vec<Vec<usize>> {
+        let n = self.segments.len();
+        let mut wave_of = vec![usize::MAX; n];
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        // Dependencies always point "downward" to segments discovered later
+        // (children have smaller node ids but segments are discovered from
+        // the root), so iterate until fixpoint; n is small.
+        let mut remaining: Vec<usize> = (0..n).collect();
+        while !remaining.is_empty() {
+            let mut this_wave = Vec::new();
+            for &s in &remaining {
+                if self.deps[s].iter().all(|&d| wave_of[d] != usize::MAX) {
+                    this_wave.push(s);
+                }
+            }
+            assert!(!this_wave.is_empty(), "segment dependency cycle");
+            for &s in &this_wave {
+                wave_of[s] = waves.len();
+            }
+            remaining.retain(|s| wave_of[*s] == usize::MAX);
+            waves.push(this_wave);
+        }
+        waves
+    }
+}
+
+/// Decomposes `tree` into right-deep segments.
+pub fn segments(tree: &JoinTree) -> Segmentation {
+    let mut segmentation = Segmentation {
+        segments: Vec::new(),
+        seg_of: vec![None; tree.nodes().len()],
+        deps: Vec::new(),
+    };
+    if tree.is_leaf(tree.root()) {
+        return segmentation;
+    }
+    // Discover segments starting from every segment top. A join tops a
+    // segment iff it is the root or the *left* child of its parent.
+    discover(tree, tree.root(), &mut segmentation);
+    segmentation
+}
+
+fn discover(tree: &JoinTree, top: NodeId, out: &mut Segmentation) -> usize {
+    // Walk the right spine from `top`, collecting the segment's joins.
+    let mut chain = Vec::new();
+    let mut cur = top;
+    loop {
+        chain.push(cur);
+        let (_, right) = tree.children(cur).expect("segment nodes are joins");
+        if tree.is_leaf(right) {
+            break;
+        }
+        cur = right;
+    }
+    chain.reverse(); // bottom-up order
+    let seg_idx = out.segments.len();
+    out.segments.push(Segment { joins: chain.clone() });
+    out.deps.push(Vec::new());
+    for &j in &chain {
+        out.seg_of[j] = Some(seg_idx);
+    }
+    // Left children that are joins top their own segments; record deps.
+    for &j in &chain {
+        let (left, _) = tree.children(j).expect("join");
+        if !tree.is_leaf(left) {
+            let dep = discover(tree, left, out);
+            out.deps[seg_idx].push(dep);
+        }
+    }
+    seg_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{build, Shape};
+
+    #[test]
+    fn right_linear_is_one_segment() {
+        let t = build(Shape::RightLinear, 10).unwrap();
+        let s = segments(&t);
+        assert_eq!(s.segments.len(), 1);
+        assert_eq!(s.segments[0].len(), 9);
+        assert_eq!(s.waves().len(), 1);
+        assert_eq!(s.segments[0].top(), t.root());
+    }
+
+    #[test]
+    fn left_linear_degenerates_to_singleton_segments() {
+        let t = build(Shape::LeftLinear, 10).unwrap();
+        let s = segments(&t);
+        assert_eq!(s.segments.len(), 9, "every join is its own segment");
+        assert!(s.segments.iter().all(|seg| seg.len() == 1));
+        // Chained dependencies force 9 sequential waves: RD == SP here.
+        assert_eq!(s.waves().len(), 9);
+        assert!(s.waves().iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn every_join_is_in_exactly_one_segment() {
+        for shape in Shape::ALL {
+            let t = build(shape, 10).unwrap();
+            let s = segments(&t);
+            let covered: usize = s.segments.iter().map(Segment::len).sum();
+            assert_eq!(covered, 9, "{shape}");
+            for j in t.joins_bottom_up() {
+                assert!(s.seg_of[j].is_some(), "{shape} join {j}");
+            }
+            for leaf in 0..t.nodes().len() {
+                if t.is_leaf(leaf) {
+                    assert!(s.seg_of[leaf].is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_internal_order_is_bottom_up() {
+        let t = build(Shape::RightBushy, 10).unwrap();
+        let s = segments(&t);
+        for seg in &s.segments {
+            // Along a right spine the deeper join was created first, and
+            // each join's right child is the previous join in the chain.
+            for w in seg.joins.windows(2) {
+                let (_, right) = t.children(w[1]).unwrap();
+                assert_eq!(right, w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn deps_reference_left_subtree_segments() {
+        // Fig. 2-like tree: J_top = (leaf ⋈ J5); J5 = (J4 ⋈ J3);
+        // J4, J3 joins of leaves.
+        let mut b = JoinTree::builder();
+        let ra = b.leaf("Ra");
+        let rb = b.leaf("Rb");
+        let rc = b.leaf("Rc");
+        let rd = b.leaf("Rd");
+        let re = b.leaf("Re");
+        let j4 = b.join(rb, rc);
+        let j3 = b.join(rd, re);
+        let j5 = b.join(j4, j3);
+        let j1 = b.join(ra, j5);
+        let t = b.build(j1).unwrap();
+
+        let s = segments(&t);
+        // Segment A: [j3, j5, j1] (right spine of the root); segment B: [j4].
+        assert_eq!(s.segments.len(), 2);
+        let a = s.seg_of[j1].unwrap();
+        let b_idx = s.seg_of[j4].unwrap();
+        assert_eq!(s.segments[a].joins, vec![j3, j5, j1]);
+        assert_eq!(s.segments[b_idx].joins, vec![j4]);
+        assert_eq!(s.deps[a], vec![b_idx]);
+        assert!(s.deps[b_idx].is_empty());
+        // Waves: B first, then A — matching Fig. 6's schedule.
+        let waves = s.waves();
+        assert_eq!(waves, vec![vec![b_idx], vec![a]]);
+    }
+
+    #[test]
+    fn wide_bushy_has_parallel_waves() {
+        let t = build(Shape::WideBushy, 10).unwrap();
+        let s = segments(&t);
+        let waves = s.waves();
+        // The first wave must contain more than one independent segment.
+        assert!(waves[0].len() > 1, "waves: {waves:?}");
+    }
+
+    #[test]
+    fn single_leaf_has_no_segments() {
+        let t = JoinTree::single("R");
+        let s = segments(&t);
+        assert!(s.segments.is_empty());
+        assert!(s.waves().is_empty());
+    }
+}

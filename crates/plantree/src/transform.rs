@@ -1,0 +1,125 @@
+//! Tree transformations.
+//!
+//! The key one is *mirroring*: swapping the operands of a join does not
+//! change the paper's total cost (both operands are charged symmetrically
+//! up to the base/intermediate coefficient, which follows the operand, not
+//! the side), but it changes which strategies parallelize well — "it is
+//! possible without cost penalty to mirror (parts of) a query to make it
+//! more right-oriented, so that in practice RD is expected to work quite
+//! well" (§5).
+
+use crate::tree::{JoinTree, NodeId, TreeNode};
+
+/// Returns the mirror image of `tree`: every join's operands swapped.
+pub fn mirror(tree: &JoinTree) -> JoinTree {
+    let mut b = JoinTree::builder();
+    let root = mirror_rec(tree, tree.root(), &mut b);
+    b.build(root).expect("mirroring preserves validity")
+}
+
+fn mirror_rec(tree: &JoinTree, id: NodeId, b: &mut crate::tree::JoinTreeBuilder) -> NodeId {
+    match &tree.nodes()[id] {
+        TreeNode::Leaf { relation } => b.leaf(relation.clone()),
+        TreeNode::Join { left, right } => {
+            let l = mirror_rec(tree, *left, b);
+            let r = mirror_rec(tree, *right, b);
+            b.join(r, l)
+        }
+    }
+}
+
+/// Re-orients every join so its *deeper* subtree becomes the right child.
+/// This maximizes the length of right-deep segments, the transformation §5
+/// recommends before running RD. Ties keep the current orientation.
+pub fn right_orient(tree: &JoinTree) -> JoinTree {
+    let mut b = JoinTree::builder();
+    let root = orient_rec(tree, tree.root(), &mut b).0;
+    b.build(root).expect("orienting preserves validity")
+}
+
+fn orient_rec(
+    tree: &JoinTree,
+    id: NodeId,
+    b: &mut crate::tree::JoinTreeBuilder,
+) -> (NodeId, usize) {
+    match &tree.nodes()[id] {
+        TreeNode::Leaf { relation } => (b.leaf(relation.clone()), 0),
+        TreeNode::Join { left, right } => {
+            let (l, ld) = orient_rec(tree, *left, b);
+            let (r, rd) = orient_rec(tree, *right, b);
+            let node = if ld > rd { b.join(r, l) } else { b.join(l, r) };
+            (node, 1 + ld.max(rd))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{build, Shape};
+
+    #[test]
+    fn mirror_is_an_involution() {
+        let t = build(Shape::RightBushy, 10).unwrap();
+        let back = mirror(&mirror(&t));
+        assert_eq!(back.leaves_in_order(), t.leaves_in_order());
+        assert_eq!(back.depth(), t.depth());
+        assert_eq!(back.right_spine_len(), t.right_spine_len());
+    }
+
+    #[test]
+    fn mirror_turns_left_linear_into_right_linear() {
+        let left = build(Shape::LeftLinear, 10).unwrap();
+        let mirrored = mirror(&left);
+        assert_eq!(mirrored.right_spine_len(), 9);
+        let reference = build(Shape::RightLinear, 10).unwrap();
+        assert_eq!(mirrored.right_spine_len(), reference.right_spine_len());
+    }
+
+    #[test]
+    fn right_orient_left_linear_becomes_right_linear() {
+        let left = build(Shape::LeftLinear, 10).unwrap();
+        let oriented = right_orient(&left);
+        assert_eq!(oriented.right_spine_len(), 9);
+        assert_eq!(oriented.depth(), 9);
+        assert_eq!(oriented.join_count(), 9);
+    }
+
+    #[test]
+    fn right_orient_is_idempotent() {
+        for shape in Shape::ALL {
+            let t = build(shape, 10).unwrap();
+            let once = right_orient(&t);
+            let twice = right_orient(&once);
+            assert_eq!(once.right_spine_len(), twice.right_spine_len(), "{shape}");
+            assert_eq!(once.depth(), twice.depth(), "{shape}");
+        }
+    }
+
+    #[test]
+    fn right_orient_never_shortens_the_spine() {
+        for shape in Shape::ALL {
+            let t = build(shape, 10).unwrap();
+            let oriented = right_orient(&t);
+            assert!(
+                oriented.right_spine_len() >= t.right_spine_len(),
+                "{shape}: {} -> {}",
+                t.right_spine_len(),
+                oriented.right_spine_len()
+            );
+            assert_eq!(oriented.depth(), t.depth(), "{shape}: depth is preserved");
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_leaf_multiset() {
+        let t = build(Shape::WideBushy, 7).unwrap();
+        for u in [mirror(&t), right_orient(&t)] {
+            let mut a = t.leaves_in_order();
+            let mut b = u.leaves_in_order();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating relational expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelalgError {
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of bounds for the tuple/schema arity.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The arity it was checked against.
+        arity: usize,
+    },
+    /// A value had a different type than the operation required.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it got.
+        found: &'static str,
+    },
+    /// A tuple did not conform to the schema it was checked against.
+    SchemaMismatch(String),
+    /// A named relation was not found in the catalog/provider.
+    UnknownRelation(String),
+    /// A plan was structurally invalid (bad arity, empty union, ...).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            RelalgError::IndexOutOfBounds { index, arity } => {
+                write!(f, "attribute index {index} out of bounds for arity {arity}")
+            }
+            RelalgError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelalgError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelalgError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            RelalgError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, RelalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = RelalgError::UnknownAttribute("u1".into());
+        assert_eq!(e.to_string(), "unknown attribute `u1`");
+        let e = RelalgError::IndexOutOfBounds { index: 9, arity: 3 };
+        assert!(e.to_string().contains("index 9"));
+        let e = RelalgError::TypeMismatch { expected: "Int", found: "Str" };
+        assert!(e.to_string().contains("expected Int"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelalgError::UnknownRelation("r".into()));
+    }
+}

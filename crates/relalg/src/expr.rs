@@ -1,0 +1,129 @@
+//! Scalar expressions over a single tuple.
+//!
+//! The paper's workload only needs attribute references and literals (its
+//! predicates are equi-join conditions and constant comparisons), but the
+//! expression node also supports the arithmetic the examples use for
+//! derived columns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{RelalgError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Binary arithmetic operators on integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Euclidean modulo (always non-negative; used by hash partitioning
+    /// examples).
+    Mod,
+}
+
+/// A scalar expression evaluated against one tuple.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to the attribute at the given index.
+    Attr(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Integer arithmetic over two sub-expressions.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for an attribute reference.
+    pub fn attr(i: usize) -> Expr {
+        Expr::Attr(i)
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn lit_int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// Evaluates the expression against `tuple`.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Attr(i) => Ok(tuple.get(*i)?.clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Arith(l, op, r) => {
+                let l = l.eval(tuple)?.as_int()?;
+                let r = r.eval(tuple)?.as_int()?;
+                let v = match op {
+                    ArithOp::Add => l.wrapping_add(r),
+                    ArithOp::Sub => l.wrapping_sub(r),
+                    ArithOp::Mul => l.wrapping_mul(r),
+                    ArithOp::Mod => {
+                        if r == 0 {
+                            return Err(RelalgError::InvalidPlan("modulo by zero".into()));
+                        }
+                        l.rem_euclid(r)
+                    }
+                };
+                Ok(Value::Int(v))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Arith(l, op, r) => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Mod => "%",
+                };
+                write!(f, "({l} {sym} {r})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_and_lit() {
+        let t = Tuple::from_ints(&[10, 20]);
+        assert_eq!(Expr::attr(1).eval(&t).unwrap(), Value::Int(20));
+        assert_eq!(Expr::lit_int(5).eval(&t).unwrap(), Value::Int(5));
+        assert!(Expr::attr(5).eval(&t).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Tuple::from_ints(&[7, 3]);
+        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Mod, Box::new(Expr::attr(1)));
+        assert_eq!(e.eval(&t).unwrap(), Value::Int(1));
+        let e = Expr::Arith(Box::new(Expr::lit_int(-7)), ArithOp::Mod, Box::new(Expr::lit_int(3)));
+        assert_eq!(e.eval(&t).unwrap(), Value::Int(2), "modulo is euclidean");
+        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Mod, Box::new(Expr::lit_int(0)));
+        assert!(e.eval(&t).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Add, Box::new(Expr::lit_int(1)));
+        assert_eq!(e.to_string(), "(#0 + 1)");
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let t = Tuple::new(vec![Value::str("x")]);
+        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Add, Box::new(Expr::lit_int(1)));
+        assert!(e.eval(&t).is_err());
+    }
+}

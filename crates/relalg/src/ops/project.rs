@@ -1,0 +1,46 @@
+//! Projection (π).
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::projection::Projection;
+use crate::relation::Relation;
+
+/// Projects every tuple of `input` onto the given columns.
+pub fn project(input: &Relation, projection: &Projection) -> Result<Relation> {
+    let schema = Arc::new(projection.output_schema(input.schema())?);
+    let mut out = Vec::with_capacity(input.len());
+    for t in input {
+        out.push(projection.apply(t)?);
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn projects_columns() {
+        let schema = Schema::new(vec![Attribute::int("a"), Attribute::int("b")]).shared();
+        let r = Relation::new(
+            schema,
+            vec![Tuple::from_ints(&[1, 10]), Tuple::from_ints(&[2, 20])],
+        )
+        .unwrap();
+        let out = project(&r, &Projection::new(vec![1])).unwrap();
+        assert_eq!(out.schema().arity(), 1);
+        assert_eq!(out.schema().attr(0).unwrap().name, "b");
+        assert_eq!(out.tuples()[0], Tuple::from_ints(&[10]));
+        assert_eq!(out.tuples()[1], Tuple::from_ints(&[20]));
+    }
+
+    #[test]
+    fn invalid_column_errors() {
+        let schema = Schema::new(vec![Attribute::int("a")]).shared();
+        let r = Relation::new(schema, vec![Tuple::from_ints(&[1])]).unwrap();
+        assert!(project(&r, &Projection::new(vec![3])).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Sorting, used to canonicalize results for display and comparison.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// Returns `input` sorted ascending by the given columns (lexicographic).
+pub fn sort_by_cols(input: &Relation, cols: &[usize]) -> Result<Relation> {
+    // Validate columns up front so sorting can use infallible access.
+    for &c in cols {
+        input.schema().attr(c)?;
+    }
+    let mut tuples = input.tuples().to_vec();
+    tuples.sort_by(|a, b| {
+        for &c in cols {
+            let ord = a.values()[c].cmp(&b.values()[c]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::new_unchecked(input.schema().clone(), tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn sorts_lexicographically() {
+        let schema = Schema::new(vec![Attribute::int("a"), Attribute::int("b")]).shared();
+        let r = Relation::new(
+            schema,
+            vec![
+                Tuple::from_ints(&[2, 1]),
+                Tuple::from_ints(&[1, 9]),
+                Tuple::from_ints(&[2, 0]),
+            ],
+        )
+        .unwrap();
+        let out = sort_by_cols(&r, &[0, 1]).unwrap();
+        assert_eq!(
+            out.tuples(),
+            &[
+                Tuple::from_ints(&[1, 9]),
+                Tuple::from_ints(&[2, 0]),
+                Tuple::from_ints(&[2, 1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_column_errors() {
+        let schema = Schema::new(vec![Attribute::int("a")]).shared();
+        let r = Relation::new(schema, vec![Tuple::from_ints(&[1])]).unwrap();
+        assert!(sort_by_cols(&r, &[2]).is_err());
+    }
+}

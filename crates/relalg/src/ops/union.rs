@@ -1,0 +1,61 @@
+//! Bag union, used to merge fragment streams back into one relation (the
+//! "collect" step after a parallel operator).
+
+use crate::error::{RelalgError, Result};
+use crate::relation::Relation;
+
+/// Concatenates the tuples of all inputs. All inputs must share the arity of
+/// the first (schema names may differ between fragments of the same logical
+/// relation, so only arity is enforced).
+pub fn union_all(inputs: &[Relation]) -> Result<Relation> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| RelalgError::InvalidPlan("union of zero relations".into()))?;
+    let arity = first.schema().arity();
+    let total: usize = inputs.iter().map(Relation::len).sum();
+    let mut tuples = Vec::with_capacity(total);
+    for r in inputs {
+        if r.schema().arity() != arity {
+            return Err(RelalgError::SchemaMismatch(format!(
+                "union arity {} != {}",
+                r.schema().arity(),
+                arity
+            )));
+        }
+        tuples.extend(r.iter().cloned());
+    }
+    Ok(Relation::new_unchecked(first.schema().clone(), tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use crate::tuple::Tuple;
+
+    fn rel(rows: &[i64]) -> Relation {
+        let schema = Schema::new(vec![Attribute::int("a")]).shared();
+        Relation::new(schema, rows.iter().map(|&v| Tuple::from_ints(&[v])).collect()).unwrap()
+    }
+
+    #[test]
+    fn concatenates() {
+        let out = union_all(&[rel(&[1, 2]), rel(&[]), rel(&[3])]).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_union_errors() {
+        assert!(union_all(&[]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let two = Relation::new(
+            Schema::new(vec![Attribute::int("a"), Attribute::int("b")]).shared(),
+            vec![Tuple::from_ints(&[1, 2])],
+        )
+        .unwrap();
+        assert!(union_all(&[rel(&[1]), two]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Boolean predicates over a single tuple (selection conditions and join
+//! conditions evaluated on the concatenated tuple).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{RelalgError, Result};
+use crate::expr::Expr;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate over one tuple.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (scan without selection).
+    True,
+    /// Comparison between two scalar expressions of the same type.
+    Cmp {
+        /// Left-hand expression.
+        left: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand expression.
+        right: Expr,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr(i) op lit` — the common selection shape.
+    pub fn cmp_int(i: usize, op: CmpOp, lit: i64) -> Predicate {
+        Predicate::Cmp { left: Expr::Attr(i), op, right: Expr::Lit(Value::Int(lit)) }
+    }
+
+    /// `attr(i) = attr(j)` — the equi-join shape on a concatenated tuple.
+    pub fn attr_eq(i: usize, j: usize) -> Predicate {
+        Predicate::Cmp { left: Expr::Attr(i), op: CmpOp::Eq, right: Expr::Attr(j) }
+    }
+
+    /// Evaluates the predicate against `tuple`.
+    pub fn eval(&self, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp { left, op, right } => {
+                let l = left.eval(tuple)?;
+                let r = right.eval(tuple)?;
+                let ord = match (&l, &r) {
+                    (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    _ => {
+                        return Err(RelalgError::TypeMismatch {
+                            expected: "operands of the same type",
+                            found: "mixed Int/Str comparison",
+                        })
+                    }
+                };
+                Ok(op.test(ord))
+            }
+            Predicate::And(a, b) => Ok(a.eval(tuple)? && b.eval(tuple)?),
+            Predicate::Or(a, b) => Ok(a.eval(tuple)? || b.eval(tuple)?),
+            Predicate::Not(p) => Ok(!p.eval(tuple)?),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        let t = Tuple::from_ints(&[5, 7]);
+        assert!(Predicate::cmp_int(0, CmpOp::Lt, 6).eval(&t).unwrap());
+        assert!(!Predicate::cmp_int(0, CmpOp::Gt, 6).eval(&t).unwrap());
+        assert!(Predicate::cmp_int(1, CmpOp::Ge, 7).eval(&t).unwrap());
+        assert!(Predicate::cmp_int(1, CmpOp::Ne, 5).eval(&t).unwrap());
+        assert!(Predicate::attr_eq(0, 0).eval(&t).unwrap());
+        assert!(!Predicate::attr_eq(0, 1).eval(&t).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = Tuple::from_ints(&[5]);
+        let lt = Predicate::cmp_int(0, CmpOp::Lt, 10);
+        let gt = Predicate::cmp_int(0, CmpOp::Gt, 10);
+        assert!(Predicate::And(Box::new(lt.clone()), Box::new(lt.clone())).eval(&t).unwrap());
+        assert!(!Predicate::And(Box::new(lt.clone()), Box::new(gt.clone())).eval(&t).unwrap());
+        assert!(Predicate::Or(Box::new(gt.clone()), Box::new(lt.clone())).eval(&t).unwrap());
+        assert!(Predicate::Not(Box::new(gt)).eval(&t).unwrap());
+        assert!(Predicate::True.eval(&t).unwrap());
+    }
+
+    #[test]
+    fn string_comparison() {
+        let t = Tuple::new(vec![Value::str("abc"), Value::str("abd")]);
+        let p = Predicate::Cmp { left: Expr::Attr(0), op: CmpOp::Lt, right: Expr::Attr(1) };
+        assert!(p.eval(&t).unwrap());
+    }
+
+    #[test]
+    fn mixed_types_error() {
+        let t = Tuple::new(vec![Value::Int(1), Value::str("a")]);
+        let p = Predicate::attr_eq(0, 1);
+        assert!(p.eval(&t).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Predicate::cmp_int(0, CmpOp::Le, 3).to_string(), "#0 <= 3");
+    }
+}

@@ -1,0 +1,878 @@
+//! Textual XRA: a parser and printer for logical plans.
+//!
+//! PRISMA/DB's XRA was a textual language — the scheduler received XRA
+//! programs as text (\[GWF91\], the PRISMA/DB 1 user manual). This module
+//! provides the equivalent surface syntax for [`XraNode`] plans so they
+//! can be written by hand, logged, diffed, and round-tripped:
+//!
+//! ```text
+//! join(
+//!   select(scan(orders), #2 >= 19950101),
+//!   scan(customers),
+//!   #1 = #0, [0, 2, 4], pipelining
+//! )
+//! ```
+//!
+//! Grammar (whitespace-insensitive; `#n` is the attribute at index n;
+//! the join condition `#l = #r` indexes the left and right operand
+//! schemas respectively, while the projection indexes their
+//! concatenation):
+//!
+//! ```text
+//! node    := scan | select | project | join | union | agg
+//! scan    := "scan" "(" ident ")"
+//! select  := "select" "(" node "," pred ")"
+//! project := "project" "(" node "," cols ")"
+//! join    := "join" "(" node "," node "," "#" n "=" "#" n "," cols
+//!            [ "," ("simple" | "pipelining") ] ")"
+//! union   := "union" "(" node { "," node } ")"
+//! agg     := "agg" "(" node "," "group" cols ","
+//!            "[" aggspec { "," aggspec } "]" ")"
+//! cols    := "[" [ n { "," n } ] "]"
+//! aggspec := ("count" | "sum" | "min" | "max") "(" n ")" "as" ident
+//! pred    := or-expr with "and" / "or" / "not" / parentheses;
+//!            comparisons `expr (= | <> | < | <= | > | >=) expr`;
+//!            scalar exprs over "#" n, integer and 'string' literals,
+//!            + - * % with the usual precedence
+//! ```
+//!
+//! [`parse`] and [`print()`](fn@print) are exact inverses over well-formed plans
+//! (property-tested): `parse(&print(&plan)) == Ok(plan)`.
+
+use std::fmt::Write as _;
+
+use crate::error::{RelalgError, Result};
+use crate::expr::{ArithOp, Expr};
+use crate::ops::{AggFunc, AggSpec};
+use crate::predicate::{CmpOp, Predicate};
+use crate::projection::Projection;
+use crate::value::Value;
+use crate::xra::{EquiJoin, JoinAlgorithm, XraNode};
+
+// ------------------------------------------------------------------
+// Printer
+// ------------------------------------------------------------------
+
+/// Renders `plan` in the textual XRA syntax accepted by [`parse`].
+pub fn print(plan: &XraNode) -> String {
+    let mut out = String::new();
+    print_node(plan, &mut out);
+    out
+}
+
+fn print_node(node: &XraNode, out: &mut String) {
+    match node {
+        XraNode::Scan { relation } => {
+            let _ = write!(out, "scan({relation})");
+        }
+        XraNode::Select { input, predicate } => {
+            out.push_str("select(");
+            print_node(input, out);
+            out.push_str(", ");
+            print_pred(predicate, out);
+            out.push(')');
+        }
+        XraNode::Project { input, projection } => {
+            out.push_str("project(");
+            print_node(input, out);
+            out.push_str(", ");
+            print_cols(projection.cols(), out);
+            out.push(')');
+        }
+        XraNode::HashJoin { left, right, join, algorithm } => {
+            out.push_str("join(");
+            print_node(left, out);
+            out.push_str(", ");
+            print_node(right, out);
+            let _ = write!(out, ", #{} = #{}, ", join.left_key, join.right_key);
+            print_cols(join.projection.cols(), out);
+            let _ = write!(out, ", {algorithm}");
+            out.push(')');
+        }
+        XraNode::UnionAll { inputs } => {
+            out.push_str("union(");
+            for (i, n) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_node(n, out);
+            }
+            out.push(')');
+        }
+        XraNode::Aggregate { input, group, aggs } => {
+            out.push_str("agg(");
+            print_node(input, out);
+            out.push_str(", group ");
+            print_cols(group, out);
+            out.push_str(", [");
+            for (i, a) in aggs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let f = match a.func {
+                    AggFunc::Count => "count",
+                    AggFunc::Sum => "sum",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                };
+                let _ = write!(out, "{f}(#{}) as {}", a.col, a.name);
+            }
+            out.push_str("])");
+        }
+    }
+}
+
+fn print_cols(cols: &[usize], out: &mut String) {
+    out.push('[');
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{c}");
+    }
+    out.push(']');
+}
+
+fn print_pred(p: &Predicate, out: &mut String) {
+    match p {
+        Predicate::True => out.push_str("true"),
+        Predicate::Cmp { left, op, right } => {
+            print_expr(left, out);
+            let _ = write!(out, " {op} ");
+            print_expr(right, out);
+        }
+        Predicate::And(a, b) => {
+            out.push('(');
+            print_pred(a, out);
+            out.push_str(" and ");
+            print_pred(b, out);
+            out.push(')');
+        }
+        Predicate::Or(a, b) => {
+            out.push('(');
+            print_pred(a, out);
+            out.push_str(" or ");
+            print_pred(b, out);
+            out.push(')');
+        }
+        Predicate::Not(inner) => {
+            out.push_str("not (");
+            print_pred(inner, out);
+            out.push(')');
+        }
+    }
+}
+
+fn print_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Attr(i) => {
+            let _ = write!(out, "#{i}");
+        }
+        Expr::Lit(Value::Int(v)) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Lit(Value::Str(s)) => {
+            // Single-quoted, with quote doubling for embedded quotes.
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Expr::Arith(l, op, r) => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Mod => "%",
+            };
+            out.push('(');
+            print_expr(l, out);
+            let _ = write!(out, " {sym} ");
+            print_expr(r, out);
+            out.push(')');
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Lexer
+// ------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Hash,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Plus,
+    Minus,
+    StarTok,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                toks.push((Tok::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                toks.push((Tok::RBracket, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '#' => {
+                toks.push((Tok::Hash, i));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::StarTok, i));
+                i += 1;
+            }
+            '%' => {
+                toks.push((Tok::Percent, i));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, i));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((Tok::Ne, i));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Le, i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, i));
+                    i += 1;
+                }
+            }
+            '-' => {
+                // Negative integer literal or binary minus: decided by the
+                // parser; the lexer always emits Minus.
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(RelalgError::InvalidPlan(format!(
+                                "unterminated string starting at byte {start}"
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push((Tok::Str(s), start));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| {
+                    RelalgError::InvalidPlan(format!("integer literal `{text}` out of range"))
+                })?;
+                toks.push((Tok::Int(v), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && {
+                    let c = bytes[i] as char;
+                    c.is_ascii_alphanumeric() || c == '_'
+                } {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            other => {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "unexpected character `{other}` at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ------------------------------------------------------------------
+// Parser (recursive descent)
+// ------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn err(&self, expected: &str) -> RelalgError {
+        match self.toks.get(self.pos) {
+            Some((t, at)) => RelalgError::InvalidPlan(format!(
+                "expected {expected}, found {t:?} at byte {at}"
+            )),
+            None => RelalgError::InvalidPlan(format!("expected {expected}, found end of input")),
+        }
+    }
+
+    fn eat(&mut self, t: Tok, expected: &str) -> Result<()> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(expected)),
+        }
+    }
+
+    fn usize_lit(&mut self) -> Result<usize> {
+        match self.peek() {
+            Some(Tok::Int(v)) if *v >= 0 => {
+                let v = *v as usize;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err("a non-negative integer")),
+        }
+    }
+
+    fn attr_index(&mut self) -> Result<usize> {
+        self.eat(Tok::Hash, "`#`")?;
+        self.usize_lit()
+    }
+
+    fn cols(&mut self) -> Result<Vec<usize>> {
+        self.eat(Tok::LBracket, "`[`")?;
+        let mut cols = Vec::new();
+        if self.peek() == Some(&Tok::RBracket) {
+            self.pos += 1;
+            return Ok(cols);
+        }
+        loop {
+            cols.push(self.usize_lit()?);
+            match self.peek() {
+                Some(Tok::Comma) => self.pos += 1,
+                Some(Tok::RBracket) => {
+                    self.pos += 1;
+                    return Ok(cols);
+                }
+                _ => return Err(self.err("`,` or `]`")),
+            }
+        }
+    }
+
+    fn node(&mut self) -> Result<XraNode> {
+        let head = self.ident("a plan operator (scan/select/project/join/union/agg)")?;
+        self.eat(Tok::LParen, "`(`")?;
+        let node = match head.as_str() {
+            "scan" => {
+                let rel = self.ident("a relation name")?;
+                XraNode::Scan { relation: rel }
+            }
+            "select" => {
+                let input = self.node()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let predicate = self.pred()?;
+                XraNode::Select { input: Box::new(input), predicate }
+            }
+            "project" => {
+                let input = self.node()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let cols = self.cols()?;
+                XraNode::Project { input: Box::new(input), projection: Projection::new(cols) }
+            }
+            "join" => {
+                let left = self.node()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let right = self.node()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let lk = self.attr_index()?;
+                self.eat(Tok::Eq, "`=`")?;
+                let rk = self.attr_index()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let cols = self.cols()?;
+                let algorithm = if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    match self.ident("`simple` or `pipelining`")?.as_str() {
+                        "simple" => JoinAlgorithm::Simple,
+                        "pipelining" => JoinAlgorithm::Pipelining,
+                        other => {
+                            return Err(RelalgError::InvalidPlan(format!(
+                                "unknown join algorithm `{other}`"
+                            )))
+                        }
+                    }
+                } else {
+                    JoinAlgorithm::Simple
+                };
+                XraNode::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    join: EquiJoin::new(lk, rk, Projection::new(cols)),
+                    algorithm,
+                }
+            }
+            "union" => {
+                let mut inputs = vec![self.node()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    inputs.push(self.node()?);
+                }
+                XraNode::UnionAll { inputs }
+            }
+            "agg" => {
+                let input = self.node()?;
+                self.eat(Tok::Comma, "`,`")?;
+                let kw = self.ident("`group`")?;
+                if kw != "group" {
+                    return Err(RelalgError::InvalidPlan(format!(
+                        "expected `group`, found `{kw}`"
+                    )));
+                }
+                let group = self.cols()?;
+                self.eat(Tok::Comma, "`,`")?;
+                self.eat(Tok::LBracket, "`[`")?;
+                let mut aggs = Vec::new();
+                loop {
+                    let f = match self.ident("an aggregate function")?.as_str() {
+                        "count" => AggFunc::Count,
+                        "sum" => AggFunc::Sum,
+                        "min" => AggFunc::Min,
+                        "max" => AggFunc::Max,
+                        other => {
+                            return Err(RelalgError::InvalidPlan(format!(
+                                "unknown aggregate `{other}`"
+                            )))
+                        }
+                    };
+                    self.eat(Tok::LParen, "`(`")?;
+                    let col = self.attr_index()?;
+                    self.eat(Tok::RParen, "`)`")?;
+                    let kw = self.ident("`as`")?;
+                    if kw != "as" {
+                        return Err(RelalgError::InvalidPlan(format!(
+                            "expected `as`, found `{kw}`"
+                        )));
+                    }
+                    let name = self.ident("an output name")?;
+                    aggs.push(AggSpec::new(f, col, name));
+                    match self.peek() {
+                        Some(Tok::Comma) => self.pos += 1,
+                        Some(Tok::RBracket) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("`,` or `]`")),
+                    }
+                }
+                XraNode::Aggregate { input: Box::new(input), group, aggs }
+            }
+            other => {
+                return Err(RelalgError::InvalidPlan(format!("unknown operator `{other}`")))
+            }
+        };
+        self.eat(Tok::RParen, "`)`")?;
+        Ok(node)
+    }
+
+    // Predicates: or > and > unary.
+    fn pred(&mut self) -> Result<Predicate> {
+        let mut left = self.pred_and()?;
+        while let Some(Tok::Ident(s)) = self.peek() {
+            if s != "or" {
+                break;
+            }
+            self.pos += 1;
+            let right = self.pred_and()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate> {
+        let mut left = self.pred_unary()?;
+        while let Some(Tok::Ident(s)) = self.peek() {
+            if s != "and" {
+                break;
+            }
+            self.pos += 1;
+            let right = self.pred_unary()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_unary(&mut self) -> Result<Predicate> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.pos += 1;
+                Ok(Predicate::Not(Box::new(self.pred_unary()?)))
+            }
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Predicate::True)
+            }
+            Some(Tok::LParen) => {
+                // Either a parenthesized predicate or a parenthesized
+                // scalar expression starting a comparison: try the
+                // predicate first, backtracking on failure.
+                let save = self.pos;
+                self.pos += 1;
+                if let Ok(p) = self.pred() {
+                    if self.peek() == Some(&Tok::RParen) {
+                        self.pos += 1;
+                        return Ok(p);
+                    }
+                }
+                self.pos = save;
+                self.cmp()
+            }
+            _ => self.cmp(),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Predicate> {
+        let left = self.expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("a comparison operator")),
+        };
+        self.pos += 1;
+        let right = self.expr()?;
+        Ok(Predicate::Cmp { left, op, right })
+    }
+
+    // Scalar expressions: +,- > *,% > atoms.
+    fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.term()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::StarTok) => ArithOp::Mul,
+                Some(Tok::Percent) => ArithOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.factor()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Tok::Hash) => {
+                self.pos += 1;
+                Ok(Expr::Attr(self.usize_lit()?))
+            }
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Int(v)))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(Tok::Int(v)) => {
+                        let v = *v;
+                        self.pos += 1;
+                        Ok(Expr::Lit(Value::Int(-v)))
+                    }
+                    _ => Err(self.err("an integer after unary `-`")),
+                }
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Str(s.into())))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.err("a scalar expression")),
+        }
+    }
+}
+
+/// Parses a textual XRA plan.
+pub fn parse(src: &str) -> Result<XraNode> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let node = p.node()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(plan: &XraNode) {
+        let text = print(plan);
+        let back = parse(&text).unwrap_or_else(|e| panic!("parse of `{text}` failed: {e}"));
+        assert_eq!(&back, plan, "round-trip changed the plan: {text}");
+    }
+
+    #[test]
+    fn scan_roundtrip() {
+        roundtrip(&XraNode::scan("orders"));
+    }
+
+    #[test]
+    fn join_roundtrips_with_both_algorithms() {
+        for algo in [JoinAlgorithm::Simple, JoinAlgorithm::Pipelining] {
+            roundtrip(&XraNode::join(
+                XraNode::scan("r"),
+                XraNode::scan("s"),
+                EquiJoin::new(0, 2, Projection::new(vec![0, 1, 3])),
+                algo,
+            ));
+        }
+    }
+
+    #[test]
+    fn join_algorithm_defaults_to_simple() {
+        let p = parse("join(scan(r), scan(s), #0 = #0, [0])").unwrap();
+        match p {
+            XraNode::HashJoin { algorithm, .. } => assert_eq!(algorithm, JoinAlgorithm::Simple),
+            other => panic!("expected a join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_compound_predicate() {
+        let p = parse("select(scan(r), (#0 >= 10 and #1 <> 3) or not (#2 = #3))").unwrap();
+        roundtrip(&p);
+        match &p {
+            XraNode::Select { predicate: Predicate::Or(a, b), .. } => {
+                assert!(matches!(a.as_ref(), Predicate::And(_, _)));
+                assert!(matches!(b.as_ref(), Predicate::Not(_)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // `#0 + #1 * 2 = 10` must parse the `*` tighter than the `+`.
+        let p = parse("select(scan(r), #0 + #1 * 2 = 10)").unwrap();
+        match &p {
+            XraNode::Select {
+                predicate: Predicate::Cmp { left: Expr::Arith(_, ArithOp::Add, rhs), .. },
+                ..
+            } => {
+                assert!(matches!(rhs.as_ref(), Expr::Arith(_, ArithOp::Mul, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn string_literals_with_embedded_quotes() {
+        let p = XraNode::Select {
+            input: Box::new(XraNode::scan("r")),
+            predicate: Predicate::Cmp {
+                left: Expr::Attr(1),
+                op: CmpOp::Eq,
+                right: Expr::Lit(Value::Str("O'Brien".into())),
+            },
+        };
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn negative_literals() {
+        let p = parse("select(scan(r), #0 > -5)").unwrap();
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        let p = XraNode::Aggregate {
+            input: Box::new(XraNode::scan("r")),
+            group: vec![0, 2],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, 1, "total"),
+                AggSpec::new(AggFunc::Count, 0, "n"),
+                AggSpec::new(AggFunc::Min, 3, "lo"),
+                AggSpec::new(AggFunc::Max, 3, "hi"),
+            ],
+        };
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn union_and_project_roundtrip() {
+        let p = XraNode::UnionAll {
+            inputs: vec![
+                XraNode::Project {
+                    input: Box::new(XraNode::scan("a")),
+                    projection: Projection::new(vec![1, 0]),
+                },
+                XraNode::scan("b"),
+                XraNode::scan("c"),
+            ],
+        };
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn deep_nesting_roundtrips() {
+        let mut plan = XraNode::scan("R0");
+        for i in 1..10 {
+            plan = XraNode::join(
+                plan,
+                XraNode::scan(format!("R{i}")),
+                EquiJoin::new(0, 0, Projection::new(vec![1, 2, 3])),
+                JoinAlgorithm::Pipelining,
+            );
+        }
+        roundtrip(&plan);
+    }
+
+    #[test]
+    fn empty_projection_list_is_allowed() {
+        roundtrip(&XraNode::Project {
+            input: Box::new(XraNode::scan("r")),
+            projection: Projection::new(vec![]),
+        });
+    }
+
+    #[test]
+    fn parse_errors_name_the_position() {
+        for (src, needle) in [
+            ("scan(", "relation name"),
+            ("scan(r", "`)`"),
+            ("frobnicate(r)", "unknown operator"),
+            ("join(scan(r), scan(s), #0 = #0, [0], quantum)", "unknown join algorithm"),
+            ("select(scan(r), #0 ??)", "unexpected character"),
+            ("select(scan(r), 'open)", "unterminated string"),
+            ("agg(scan(r), group [0], [avg(#1) as x])", "unknown aggregate"),
+            ("scan(r) scan(s)", "end of input"),
+            ("select(scan(r), #0 >= 99999999999999999999)", "out of range"),
+        ] {
+            let err = parse(src).expect_err(src).to_string();
+            assert!(err.contains(needle), "error for `{src}` was `{err}`");
+        }
+    }
+
+    #[test]
+    fn parsed_plan_evaluates() {
+        use crate::relation::Relation;
+        use crate::schema::{Attribute, Schema};
+        use crate::tuple::Tuple;
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        let mk = |rows: &[[i64; 2]]| {
+            Arc::new(
+                Relation::new(schema.clone(), rows.iter().map(|r| Tuple::from_ints(r)).collect())
+                    .unwrap(),
+            )
+        };
+        let mut provider = HashMap::new();
+        provider.insert("r".to_string(), mk(&[[1, 10], [2, 20], [3, 30]]));
+        provider.insert("s".to_string(), mk(&[[2, 200], [3, 300]]));
+
+        let plan = parse(
+            "agg(join(select(scan(r), #1 >= 20), scan(s), #0 = #0, [0, 1, 3]), \
+             group [], [sum(#2) as total])",
+        )
+        .unwrap();
+        let out = plan.eval(&provider).unwrap();
+        assert_eq!(out.tuples()[0], Tuple::from_ints(&[500]));
+    }
+}

@@ -1,0 +1,165 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::{RelalgError, Result};
+use crate::value::Value;
+
+/// A row of values. Tuples are value types: cloning deep-copies the row,
+/// which matches the shared-nothing model where redistribution physically
+/// moves tuples between node memories.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values: values.into_boxed_slice() }
+    }
+
+    /// Creates an all-integer tuple (convenient in tests and generators).
+    pub fn from_ints(ints: &[i64]) -> Self {
+        Tuple::new(ints.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    /// Number of values in the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at position `i`.
+    pub fn get(&self, i: usize) -> Result<&Value> {
+        self.values
+            .get(i)
+            .ok_or(RelalgError::IndexOutOfBounds { index: i, arity: self.values.len() })
+    }
+
+    /// The integer at position `i`, or a type/index error.
+    pub fn int(&self, i: usize) -> Result<i64> {
+        self.get(i)?.as_int()
+    }
+
+    /// The string at position `i`, or a type/index error.
+    pub fn str_at(&self, i: usize) -> Result<&str> {
+        self.get(i)?.as_str()
+    }
+
+    /// Concatenates two tuples (the raw output of a join before projection).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Tuple::new(values)
+    }
+
+    /// Projects the tuple onto the given column indices (with repetition and
+    /// reordering allowed).
+    pub fn project(&self, cols: &[usize]) -> Result<Tuple> {
+        let mut values = Vec::with_capacity(cols.len());
+        for &c in cols {
+            values.push(self.get(c)?.clone());
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Builds the projected concatenation of two tuples without
+    /// materializing the intermediate concatenated row. `cols` indexes into
+    /// the virtual concatenation `left ++ right`. This is the hot path of
+    /// every hash join, so it avoids the double allocation of
+    /// `concat().project()`.
+    pub fn project_concat(left: &Tuple, right: &Tuple, cols: &[usize]) -> Result<Tuple> {
+        let la = left.arity();
+        let total = la + right.arity();
+        let mut values = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let v = if c < la {
+                left.get(c)?
+            } else if c < total {
+                right.get(c - la)?
+            } else {
+                return Err(RelalgError::IndexOutOfBounds { index: c, arity: total });
+            };
+            values.push(v.clone());
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn est_bytes(&self) -> usize {
+        // Enum discriminant + payload per value, plus the boxed-slice header.
+        16 + self.values.iter().map(|v| v.est_bytes() + 8).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.int(0).unwrap(), 1);
+        assert_eq!(t.str_at(1).unwrap(), "x");
+        assert!(t.get(2).is_err());
+        assert!(t.int(1).is_err());
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::from_ints(&[1, 2]);
+        let b = Tuple::from_ints(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.int(2).unwrap(), 3);
+        let p = c.project(&[2, 0]).unwrap();
+        assert_eq!(p, Tuple::from_ints(&[3, 1]));
+        assert!(c.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn project_concat_matches_concat_then_project() {
+        let a = Tuple::from_ints(&[1, 2]);
+        let b = Tuple::from_ints(&[3, 4]);
+        let cols = [3, 0, 2, 2];
+        let expected = a.concat(&b).project(&cols).unwrap();
+        let got = Tuple::project_concat(&a, &b, &cols).unwrap();
+        assert_eq!(expected, got);
+        assert!(Tuple::project_concat(&a, &b, &[3]).is_ok());
+        assert!(Tuple::project_concat(&a, &b, &[4]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.to_string(), "[1, 'x']");
+    }
+
+    #[test]
+    fn bytes_estimate_grows_with_arity() {
+        let small = Tuple::from_ints(&[1]);
+        let large = Tuple::from_ints(&[1, 2, 3, 4]);
+        assert!(large.est_bytes() > small.est_bytes());
+    }
+}

@@ -1,0 +1,33 @@
+//! Developer sweep: prints the Fig. 9–13 response-time grid for quick
+//! calibration checks. The official regenerator lives in `mj-bench`.
+
+use mj_core::strategy::Strategy;
+use mj_plan::shapes::Shape;
+use mj_sim::{run_scenario, Scenario, SimParams};
+
+fn main() {
+    let params = SimParams::default();
+    for (tuples, procs) in [
+        (5_000u64, vec![20usize, 30, 40, 50, 60, 70, 80]),
+        (40_000u64, vec![30usize, 40, 50, 60, 70, 80]),
+    ] {
+        let procs = &procs;
+        for shape in Shape::ALL {
+            println!("\n== {} {}K ==", shape, tuples / 1000);
+            print!("{:>6}", "procs");
+            for s in Strategy::ALL {
+                print!("{:>8}", s.label());
+            }
+            println!();
+            for &p in procs {
+                print!("{p:>6}");
+                for strategy in Strategy::ALL {
+                    let sc = Scenario::paper(shape, strategy, tuples, p);
+                    let r = run_scenario(&sc, &params).unwrap();
+                    print!("{:>8.2}", r.response_time);
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Hash-table memory accounting (the §5 RD-vs-FP memory argument:
+//! "RD uses less memory than FP because only one hash-table needs to be
+//! built").
+
+use mj_core::plan_ir::ParallelPlan;
+use mj_relalg::JoinAlgorithm;
+
+use crate::params::SimParams;
+use crate::report::SimResult;
+
+/// Peak hash-table bytes resident on any single processor, estimated from
+/// the plan and the simulated op lifetimes. A simple join holds one table
+/// (its left operand); a pipelining join holds two (both operands). Tables
+/// are counted at full size for the whole op lifetime — a deliberate upper
+/// bound that preserves the RD < FP ordering the paper argues.
+pub fn peak_bytes_per_processor(
+    plan: &ParallelPlan,
+    result: &SimResult,
+    params: &SimParams,
+) -> f64 {
+    // Per-processor sweep over op lifetimes.
+    let mut events: Vec<(usize, f64, f64, f64)> = Vec::new(); // (proc, start, end, bytes)
+    for (op, span) in plan.ops.iter().zip(&result.spans) {
+        let table_tuples = match op.algorithm {
+            JoinAlgorithm::Simple => op.est_left as f64,
+            JoinAlgorithm::Pipelining => (op.est_left + op.est_right) as f64,
+        };
+        let per_proc = table_tuples * params.bytes_per_tuple / op.degree() as f64;
+        for &p in &op.procs {
+            events.push((p, span.start, span.complete, per_proc));
+        }
+    }
+
+    let mut peak = 0.0f64;
+    for p in 0..plan.processors {
+        // Sweep this processor's intervals.
+        let mut points: Vec<(f64, f64)> = Vec::new(); // (time, delta)
+        for &(proc, s, e, b) in &events {
+            if proc == p {
+                points.push((s, b));
+                points.push((e, -b));
+            }
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut live = 0.0f64;
+        for (_, delta) in points {
+            live += delta;
+            peak = peak.max(live);
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::scenario::{build_plan, Scenario};
+    use mj_core::strategy::Strategy;
+    use mj_plan::shapes::Shape;
+
+    fn peak(strategy: Strategy) -> f64 {
+        let s = Scenario::paper(Shape::RightBushy, strategy, 5000, 40);
+        let plan = build_plan(&s).unwrap();
+        let params = SimParams::default();
+        let sim = simulate(&plan, &params).unwrap();
+        peak_bytes_per_processor(&plan, &sim, &params)
+    }
+
+    #[test]
+    fn fp_needs_more_table_memory_than_rd() {
+        let rd = peak(Strategy::RD);
+        let fp = peak(Strategy::FP);
+        assert!(
+            fp > 1.3 * rd,
+            "FP ({fp:.0} B) should clearly exceed RD ({rd:.0} B) peak memory"
+        );
+    }
+
+    #[test]
+    fn memory_is_positive_and_bounded() {
+        let p = peak(Strategy::SP);
+        // SP: one 5000-tuple table spread over 40 procs at a time.
+        let upper = 9.0 * 5000.0 * 208.0; // everything at once, one proc
+        assert!(p > 0.0 && p < upper);
+    }
+}

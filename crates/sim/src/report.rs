@@ -1,0 +1,123 @@
+//! Simulation results and derived metrics.
+
+use serde::{Deserialize, Serialize};
+
+use mj_core::plan_ir::ProcId;
+use mj_plan::tree::NodeId;
+
+/// Timing of one operation across the simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpSpan {
+    /// Op id within the plan.
+    pub op: usize,
+    /// Join node the op evaluates.
+    pub join: NodeId,
+    /// Processors the op ran on.
+    pub procs: Vec<ProcId>,
+    /// When dependencies were satisfied (scheduler queue entry).
+    pub ready: f64,
+    /// When the op began processing (after init + handshakes).
+    pub start: f64,
+    /// When the op finished.
+    pub complete: f64,
+    /// Busy intervals (processing quanta).
+    pub busy: Vec<(f64, f64)>,
+}
+
+impl OpSpan {
+    /// Total busy seconds.
+    pub fn busy_time(&self) -> f64 {
+        self.busy.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Fraction of the span `[start, complete]` the op was busy. 1.0 means
+    /// never starved; below that, the op waited on its inputs (the "holes"
+    /// of Fig. 6).
+    pub fn busy_fraction(&self) -> f64 {
+        let span = self.complete - self.start;
+        if span <= 0.0 {
+            return 1.0;
+        }
+        (self.busy_time() / span).min(1.0)
+    }
+
+    /// When the op first did useful work — `start` plus any initial wait
+    /// for input. The difference `first_busy() - start` is the pipeline
+    /// *fill delay* at this op (§2.3.3).
+    pub fn first_busy(&self) -> f64 {
+        self.busy.first().map(|(a, _)| *a).unwrap_or(self.complete)
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Elapsed time from scheduling start to the last op's completion —
+    /// the paper's response-time metric (§4.4).
+    pub response_time: f64,
+    /// Per-op spans.
+    pub spans: Vec<OpSpan>,
+}
+
+impl SimResult {
+    /// Sum of busy time across ops (proportional to work done).
+    pub fn total_busy(&self) -> f64 {
+        self.spans.iter().map(OpSpan::busy_time).sum()
+    }
+
+    /// Machine utilization: busy processor-seconds over
+    /// `processors × response_time`.
+    pub fn utilization(&self, processors: usize) -> f64 {
+        if self.response_time <= 0.0 || processors == 0 {
+            return 0.0;
+        }
+        let busy_proc_seconds: f64 =
+            self.spans.iter().map(|s| s.busy_time() * s.procs.len() as f64).sum();
+        busy_proc_seconds / (processors as f64 * self.response_time)
+    }
+
+    /// The span of the op evaluating `join`.
+    pub fn span_for_join(&self, join: NodeId) -> Option<&OpSpan> {
+        self.spans.iter().find(|s| s.join == join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(busy: Vec<(f64, f64)>, start: f64, complete: f64) -> OpSpan {
+        OpSpan { op: 0, join: 0, procs: vec![0, 1], ready: 0.0, start, complete, busy }
+    }
+
+    #[test]
+    fn busy_metrics() {
+        let s = span(vec![(0.0, 1.0), (2.0, 3.0)], 0.0, 4.0);
+        assert_eq!(s.busy_time(), 2.0);
+        assert_eq!(s.busy_fraction(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_span_is_fully_busy() {
+        let s = span(vec![], 1.0, 1.0);
+        assert_eq!(s.busy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn utilization_accounts_for_degree() {
+        let r = SimResult {
+            response_time: 2.0,
+            spans: vec![span(vec![(0.0, 2.0)], 0.0, 2.0)],
+        };
+        // 2 procs busy 2s out of 4 procs x 2s.
+        assert_eq!(r.utilization(4), 0.5);
+        assert_eq!(r.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn span_lookup() {
+        let r = SimResult { response_time: 1.0, spans: vec![span(vec![], 0.0, 1.0)] };
+        assert!(r.span_for_join(0).is_some());
+        assert!(r.span_for_join(5).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Load-imbalance model: what skewed join keys do to the simulation.
+//!
+//! §3.5 derives the strategies' load balance "assuming non-skewed data
+//! partitioning". This module drops that assumption: hash-partitioning
+//! Zipf-distributed keys over an operation's instances makes one fragment
+//! larger than the average, and under the barrier semantics of a parallel
+//! join (the operation finishes when its slowest instance does) the whole
+//! operation slows down by the max-over-average fragment ratio.
+//!
+//! The interesting consequence is *differential*: the imbalance ratio
+//! grows with the number of buckets, so SP — which partitions every
+//! operation over all processors — suffers more than FP, which gives each
+//! join a small private set. [`crate::simulate_skewed`] applies the model
+//! per operation; the `ablation-skew` experiment in the `repro` binary
+//! reports the end-to-end effect per strategy.
+
+use std::collections::HashMap;
+
+use mj_relalg::hash::bucket_of;
+use mj_storage::skew::zipf_keys;
+
+/// Expected hash-partition imbalance under Zipf(θ)-distributed join keys.
+///
+/// `balance_factor(m)` estimates E[max fragment / average fragment] when
+/// `tuples` keys drawn Zipf(θ) from a same-sized domain are hashed into
+/// `m` buckets, by deterministic seeded sampling. θ = 0 is the paper's
+/// uniform premise (factor 1 up to sampling noise).
+#[derive(Clone, Debug)]
+pub struct SkewModel {
+    /// Zipf exponent; 0 = uniform keys.
+    pub theta: f64,
+    /// Tuples per operand (sample size for the estimate).
+    pub tuples: u64,
+    /// Seed for the deterministic sample.
+    pub seed: u64,
+}
+
+impl SkewModel {
+    /// The paper's premise: perfectly uniform keys, factor 1 everywhere.
+    pub fn uniform() -> Self {
+        SkewModel { theta: 0.0, tuples: 0, seed: 0 }
+    }
+
+    /// A Zipf(θ) workload of `tuples` keys per operand.
+    pub fn zipf(theta: f64, tuples: u64) -> Self {
+        SkewModel { theta, tuples, seed: 0x5EED }
+    }
+
+    /// True if the model is the uniform no-op.
+    pub fn is_uniform(&self) -> bool {
+        self.theta <= 0.0 || self.tuples == 0
+    }
+
+    /// Max-over-average fragment ratio when hashing into `buckets`
+    /// buckets (≥ 1; exactly 1 for a single bucket or a uniform model).
+    pub fn balance_factor(&self, buckets: usize) -> f64 {
+        if buckets <= 1 || self.is_uniform() {
+            return 1.0;
+        }
+        // Cap the sample: the ratio converges quickly and the factor is
+        // queried once per distinct degree (memoized by the caller).
+        let n = self.tuples.clamp(1_000, 40_000) as usize;
+        let keys = zipf_keys(n, n, self.theta, self.seed);
+        let mut counts = vec![0usize; buckets];
+        for &k in &keys {
+            counts[bucket_of(k, buckets)] += 1;
+        }
+        let max = *counts.iter().max().expect("buckets >= 1") as f64;
+        (max / (n as f64 / buckets as f64)).max(1.0)
+    }
+}
+
+/// Memoizing wrapper: one [`SkewModel::balance_factor`] sample per
+/// distinct bucket count.
+#[derive(Debug)]
+pub(crate) struct BalanceCache<'a> {
+    model: &'a SkewModel,
+    cache: HashMap<usize, f64>,
+}
+
+impl<'a> BalanceCache<'a> {
+    pub(crate) fn new(model: &'a SkewModel) -> Self {
+        BalanceCache { model, cache: HashMap::new() }
+    }
+
+    pub(crate) fn factor(&mut self, buckets: usize) -> f64 {
+        let model = self.model;
+        *self.cache.entry(buckets).or_insert_with(|| model.balance_factor(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_is_a_no_op() {
+        let m = SkewModel::uniform();
+        assert!(m.is_uniform());
+        for buckets in [1usize, 2, 9, 80] {
+            assert_eq!(m.balance_factor(buckets), 1.0);
+        }
+    }
+
+    #[test]
+    fn single_bucket_is_always_balanced() {
+        assert_eq!(SkewModel::zipf(1.2, 40_000).balance_factor(1), 1.0);
+    }
+
+    #[test]
+    fn factor_grows_with_theta() {
+        let mild = SkewModel::zipf(0.3, 40_000).balance_factor(16);
+        let heavy = SkewModel::zipf(1.2, 40_000).balance_factor(16);
+        assert!(mild >= 1.0);
+        assert!(heavy > mild, "theta 1.2 ({heavy}) should beat 0.3 ({mild})");
+    }
+
+    #[test]
+    fn factor_grows_with_bucket_count() {
+        // More buckets, smaller average, relatively heavier maximum — the
+        // mechanism that punishes SP's all-processor partitioning.
+        let m = SkewModel::zipf(0.9, 40_000);
+        let few = m.balance_factor(9);
+        let many = m.balance_factor(80);
+        assert!(many > few, "80 buckets ({many}) should be worse than 9 ({few})");
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = SkewModel::zipf(0.9, 40_000);
+        assert_eq!(m.balance_factor(16), m.balance_factor(16));
+    }
+
+    #[test]
+    fn cache_memoizes() {
+        let m = SkewModel::zipf(0.6, 20_000);
+        let mut c = BalanceCache::new(&m);
+        let a = c.factor(13);
+        let b = c.factor(13);
+        assert_eq!(a, b);
+        assert_eq!(c.cache.len(), 1);
+    }
+}

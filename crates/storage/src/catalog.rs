@@ -1,0 +1,128 @@
+//! Catalog: named relations plus the statistics the phase-1 optimizer uses.
+
+use mj_relalg::{RelalgError, Relation, RelationProvider, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Optimizer-visible statistics for a base relation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableStats {
+    /// Tuple count.
+    pub cardinality: u64,
+    /// Number of distinct values in the (primary) join key column. For
+    /// Wisconsin relations this equals the cardinality (`unique1` is
+    /// unique).
+    pub distinct_keys: u64,
+}
+
+impl TableStats {
+    /// Stats for a relation with a unique join key.
+    pub fn unique_key(cardinality: u64) -> Self {
+        TableStats { cardinality, distinct_keys: cardinality }
+    }
+}
+
+/// A thread-safe catalog of named relations and their statistics.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<String, (Arc<Relation>, TableStats)>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation, deriving unique-key statistics from its size.
+    pub fn register(&self, name: impl Into<String>, relation: Arc<Relation>) {
+        let stats = TableStats::unique_key(relation.len() as u64);
+        self.register_with_stats(name, relation, stats);
+    }
+
+    /// Registers a relation with explicit statistics (e.g. skewed keys).
+    pub fn register_with_stats(
+        &self,
+        name: impl Into<String>,
+        relation: Arc<Relation>,
+        stats: TableStats,
+    ) {
+        self.entries.write().insert(name.into(), (relation, stats));
+    }
+
+    /// The statistics recorded for `name`.
+    pub fn stats(&self, name: &str) -> Result<TableStats> {
+        self.entries
+            .read()
+            .get(name)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| RelalgError::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of all registered relations (unordered).
+    pub fn names(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+impl RelationProvider for Catalog {
+    fn relation(&self, name: &str) -> Result<Arc<Relation>> {
+        self.entries
+            .read()
+            .get(name)
+            .map(|(r, _)| r.clone())
+            .ok_or_else(|| RelalgError::UnknownRelation(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Schema, Tuple};
+
+    fn rel(n: i64) -> Arc<Relation> {
+        let schema = Schema::new(vec![Attribute::int("k")]).shared();
+        Arc::new(Relation::new(schema, (0..n).map(|v| Tuple::from_ints(&[v])).collect()).unwrap())
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("R", rel(10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.relation("R").unwrap().len(), 10);
+        assert_eq!(c.stats("R").unwrap().cardinality, 10);
+        assert_eq!(c.stats("R").unwrap().distinct_keys, 10);
+        assert!(c.relation("S").is_err());
+        assert!(c.stats("S").is_err());
+    }
+
+    #[test]
+    fn explicit_stats_override() {
+        let c = Catalog::new();
+        c.register_with_stats("R", rel(10), TableStats { cardinality: 10, distinct_keys: 3 });
+        assert_eq!(c.stats("R").unwrap().distinct_keys, 3);
+    }
+
+    #[test]
+    fn names_lists_everything() {
+        let c = Catalog::new();
+        c.register("A", rel(1));
+        c.register("B", rel(2));
+        let mut names = c.names();
+        names.sort();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fragmented relations: a relation split over a set of processors.
+//!
+//! The paper starts every query from its "ideal data fragmentation": each
+//! base relation is fragmented on the join attribute of its first join, over
+//! exactly the processors used for that join (§4.1). [`FragmentedRelation`]
+//! records both the fragments and the scheme that produced them so the
+//! engine can recognize when redistribution is unnecessary.
+
+use mj_relalg::{RelalgError, Relation, Result};
+use std::sync::Arc;
+
+use crate::partition;
+
+/// How a relation was split into fragments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Hash partitioned on the given column with [`partition::hash_key`].
+    Hash {
+        /// Key column index.
+        col: usize,
+    },
+    /// Round-robin (balanced, but not key-aligned).
+    RoundRobin,
+    /// Range partitioned on a column with explicit upper bounds.
+    Range {
+        /// Key column index.
+        col: usize,
+        /// Exclusive upper bounds between fragments.
+        bounds: Vec<i64>,
+    },
+}
+
+/// A named relation split into per-processor fragments.
+#[derive(Clone, Debug)]
+pub struct FragmentedRelation {
+    name: String,
+    scheme: PartitionScheme,
+    fragments: Vec<Arc<Relation>>,
+}
+
+impl FragmentedRelation {
+    /// Hash-fragments `relation` on `col` into `parts` fragments — the
+    /// paper's "ideal" fragmentation for a join on `col` over `parts`
+    /// processors.
+    pub fn ideal(name: impl Into<String>, relation: &Relation, col: usize, parts: usize) -> Result<Self> {
+        if parts == 0 {
+            return Err(RelalgError::InvalidPlan("cannot fragment over 0 processors".into()));
+        }
+        let fragments = partition::hash_partition(relation, parts, col)?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Ok(FragmentedRelation { name: name.into(), scheme: PartitionScheme::Hash { col }, fragments })
+    }
+
+    /// Round-robin fragmentation (used by the "full fragmentation"
+    /// alternative the paper discusses and rejects).
+    pub fn round_robin(name: impl Into<String>, relation: &Relation, parts: usize) -> Result<Self> {
+        if parts == 0 {
+            return Err(RelalgError::InvalidPlan("cannot fragment over 0 processors".into()));
+        }
+        let fragments = partition::round_robin_partition(relation, parts)?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Ok(FragmentedRelation { name: name.into(), scheme: PartitionScheme::RoundRobin, fragments })
+    }
+
+    /// Wraps pre-computed fragments.
+    pub fn from_fragments(
+        name: impl Into<String>,
+        scheme: PartitionScheme,
+        fragments: Vec<Arc<Relation>>,
+    ) -> Result<Self> {
+        if fragments.is_empty() {
+            return Err(RelalgError::InvalidPlan("a fragmented relation needs >=1 fragment".into()));
+        }
+        let arity = fragments[0].schema().arity();
+        if fragments.iter().any(|f| f.schema().arity() != arity) {
+            return Err(RelalgError::SchemaMismatch("fragments disagree on arity".into()));
+        }
+        Ok(FragmentedRelation { name: name.into(), scheme, fragments })
+    }
+
+    /// Logical relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The partitioning scheme.
+    pub fn scheme(&self) -> &PartitionScheme {
+        &self.scheme
+    }
+
+    /// Number of fragments (= processors holding the relation).
+    pub fn parts(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// The `i`-th fragment.
+    pub fn fragment(&self, i: usize) -> Result<&Arc<Relation>> {
+        self.fragments
+            .get(i)
+            .ok_or(RelalgError::IndexOutOfBounds { index: i, arity: self.fragments.len() })
+    }
+
+    /// All fragments.
+    pub fn fragments(&self) -> &[Arc<Relation>] {
+        &self.fragments
+    }
+
+    /// Total cardinality across fragments.
+    pub fn total_len(&self) -> usize {
+        self.fragments.iter().map(|f| f.len()).sum()
+    }
+
+    /// True if the fragmentation is hash-aligned for a join keyed on `col`
+    /// over exactly `parts` processors (i.e. no redistribution needed).
+    pub fn aligned_for(&self, col: usize, parts: usize) -> bool {
+        self.scheme == PartitionScheme::Hash { col } && self.parts() == parts
+    }
+
+    /// Reassembles the fragments into a single relation (test/debug use).
+    pub fn reassemble(&self) -> Relation {
+        let schema = self.fragments[0].schema().clone();
+        let mut tuples = Vec::with_capacity(self.total_len());
+        for f in &self.fragments {
+            tuples.extend(f.iter().cloned());
+        }
+        Relation::new_unchecked(schema, tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Schema, Tuple};
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        Relation::new(schema, (0..n).map(|v| Tuple::from_ints(&[v, v * 10])).collect()).unwrap()
+    }
+
+    #[test]
+    fn ideal_fragmentation_round_trips() {
+        let r = rel(100);
+        let f = FragmentedRelation::ideal("R", &r, 0, 4).unwrap();
+        assert_eq!(f.parts(), 4);
+        assert_eq!(f.total_len(), 100);
+        assert!(f.reassemble().multiset_eq(&r));
+        assert!(f.aligned_for(0, 4));
+        assert!(!f.aligned_for(1, 4));
+        assert!(!f.aligned_for(0, 8));
+    }
+
+    #[test]
+    fn zero_parts_rejected() {
+        assert!(FragmentedRelation::ideal("R", &rel(10), 0, 0).is_err());
+        assert!(FragmentedRelation::round_robin("R", &rel(10), 0).is_err());
+    }
+
+    #[test]
+    fn round_robin_not_aligned() {
+        let f = FragmentedRelation::round_robin("R", &rel(10), 2).unwrap();
+        assert!(!f.aligned_for(0, 2));
+        assert_eq!(f.total_len(), 10);
+    }
+
+    #[test]
+    fn from_fragments_validates() {
+        let a = Arc::new(rel(3));
+        let one_col = Relation::new(
+            Schema::new(vec![Attribute::int("k")]).shared(),
+            vec![Tuple::from_ints(&[1])],
+        )
+        .unwrap();
+        assert!(FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![]).is_err());
+        assert!(FragmentedRelation::from_fragments(
+            "R",
+            PartitionScheme::RoundRobin,
+            vec![a.clone(), Arc::new(one_col)]
+        )
+        .is_err());
+        assert!(FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![a]).is_ok());
+    }
+
+    #[test]
+    fn fragment_access() {
+        let f = FragmentedRelation::ideal("R", &rel(10), 0, 2).unwrap();
+        assert!(f.fragment(0).is_ok());
+        assert!(f.fragment(2).is_err());
+        assert_eq!(f.name(), "R");
+    }
+}

@@ -1,0 +1,23 @@
+//! Main-memory storage substrate.
+//!
+//! Models the storage side of PRISMA/DB: a shared-nothing collection of node
+//! memories holding relation *fragments*, a Wisconsin benchmark data
+//! generator (the paper's test data, §4.1), partitioning functions used for
+//! both initial fragmentation and mid-query redistribution, and a catalog
+//! with the statistics the phase-1 optimizer consumes.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod fragment;
+pub mod generator;
+pub mod partition;
+pub mod skew;
+pub mod store;
+pub mod wisconsin;
+
+pub use catalog::{Catalog, TableStats};
+pub use fragment::{FragmentedRelation, PartitionScheme};
+pub use generator::{PayloadMode, WisconsinGenerator};
+pub use partition::{hash_key, hash_partition, range_partition, round_robin_partition};
+pub use store::FragmentStore;

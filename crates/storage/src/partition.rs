@@ -1,0 +1,125 @@
+//! Partitioning functions.
+//!
+//! The same hash function is used for initial fragmentation and for the
+//! engine's mid-query redistribution (hash split), so that "ideal data
+//! fragmentation" (§4.1) really does let the first join of each base
+//! relation skip redistribution.
+
+use mj_relalg::{Relation, Result, Tuple};
+
+/// Maps a join key to a partition in `0..parts`.
+///
+/// Delegates to the workspace-wide canonical hash
+/// ([`mj_relalg::hash::bucket_of`]) so fragmentation, redistribution, and
+/// the join tables all agree.
+#[inline]
+pub fn hash_key(key: i64, parts: usize) -> usize {
+    mj_relalg::hash::bucket_of(key, parts)
+}
+
+fn split_by<F>(input: &Relation, parts: usize, assign: F) -> Result<Vec<Relation>>
+where
+    F: Fn(usize, &Tuple) -> Result<usize>,
+{
+    let schema = input.schema().clone();
+    let mut out: Vec<Vec<Tuple>> = (0..parts)
+        .map(|_| Vec::with_capacity(input.len() / parts.max(1) + 1))
+        .collect();
+    for (i, t) in input.iter().enumerate() {
+        let p = assign(i, t)?;
+        out[p.min(parts - 1)].push(t.clone());
+    }
+    Ok(out
+        .into_iter()
+        .map(|tuples| Relation::new_unchecked(schema.clone(), tuples))
+        .collect())
+}
+
+/// Hash-partitions `input` into `parts` fragments on the integer column
+/// `key_col`.
+pub fn hash_partition(input: &Relation, parts: usize, key_col: usize) -> Result<Vec<Relation>> {
+    split_by(input, parts, |_, t| Ok(hash_key(t.int(key_col)?, parts)))
+}
+
+/// Round-robin partitions `input` into `parts` fragments.
+pub fn round_robin_partition(input: &Relation, parts: usize) -> Result<Vec<Relation>> {
+    split_by(input, parts, |i, _| Ok(i % parts))
+}
+
+/// Range-partitions `input` on integer column `key_col` using the given
+/// upper `bounds` (exclusive); tuples above the last bound go to the last
+/// fragment. Produces `bounds.len() + 1` fragments.
+pub fn range_partition(input: &Relation, bounds: &[i64], key_col: usize) -> Result<Vec<Relation>> {
+    let parts = bounds.len() + 1;
+    split_by(input, parts, |_, t| {
+        let k = t.int(key_col)?;
+        Ok(bounds.partition_point(|&b| b <= k))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Schema};
+    
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::new(vec![Attribute::int("k")]).shared();
+        Relation::new(schema, (0..n).map(|v| Tuple::from_ints(&[v])).collect()).unwrap()
+    }
+
+    #[test]
+    fn hash_partition_is_complete_and_consistent() {
+        let r = rel(1000);
+        let parts = hash_partition(&r, 7, 0).unwrap();
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 1000);
+        for (p, frag) in parts.iter().enumerate() {
+            for t in frag {
+                assert_eq!(hash_key(t.int(0).unwrap(), 7), p);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_roughly_balanced_on_dense_keys() {
+        let r = rel(10_000);
+        let parts = hash_partition(&r, 8, 0).unwrap();
+        for frag in &parts {
+            // Expected 1250 per fragment; allow generous slack.
+            assert!(frag.len() > 1000 && frag.len() < 1500, "got {}", frag.len());
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced_exactly() {
+        let parts = round_robin_partition(&rel(10), 3).unwrap();
+        let sizes: Vec<usize> = parts.iter().map(Relation::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn range_partition_respects_bounds() {
+        let parts = range_partition(&rel(10), &[3, 7], 0).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 3); // 0,1,2
+        assert_eq!(parts[1].len(), 4); // 3..6
+        assert_eq!(parts[2].len(), 3); // 7..9
+    }
+
+    #[test]
+    fn single_partition_keeps_everything() {
+        let parts = hash_partition(&rel(5), 1, 0).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 5);
+    }
+
+    #[test]
+    fn hash_key_stays_in_range() {
+        for k in -100..100 {
+            for p in 1..10 {
+                assert!(hash_key(k, p) < p);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-node fragment store.
+//!
+//! Each PRISMA node holds relation fragments in its own main memory;
+//! operation processes "access data fragments that are stored in the main
+//! memory of their own processor directly" (§2.2). [`FragmentStore`] models
+//! exactly that: node-local keyed fragment storage with byte accounting,
+//! shared by the real engine's worker threads.
+
+use mj_relalg::{RelalgError, Relation, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared-nothing fragment storage for `nodes` logical processors.
+#[derive(Debug)]
+pub struct FragmentStore {
+    nodes: Vec<RwLock<HashMap<String, Arc<Relation>>>>,
+}
+
+impl FragmentStore {
+    /// Creates a store for `nodes` processors.
+    pub fn new(nodes: usize) -> Self {
+        FragmentStore { nodes: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, node: usize) -> Result<&RwLock<HashMap<String, Arc<Relation>>>> {
+        self.nodes
+            .get(node)
+            .ok_or(RelalgError::IndexOutOfBounds { index: node, arity: self.nodes.len() })
+    }
+
+    /// Stores `fragment` under `name` in `node`'s memory, replacing any
+    /// previous fragment of that name.
+    pub fn put(&self, node: usize, name: impl Into<String>, fragment: Arc<Relation>) -> Result<()> {
+        self.node(node)?.write().insert(name.into(), fragment);
+        Ok(())
+    }
+
+    /// Fetches the fragment stored under `name` at `node`.
+    pub fn get(&self, node: usize, name: &str) -> Result<Arc<Relation>> {
+        self.node(node)?
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelalgError::UnknownRelation(format!("{name}@node{node}")))
+    }
+
+    /// Removes the fragment stored under `name` at `node`, returning it.
+    pub fn take(&self, node: usize, name: &str) -> Result<Arc<Relation>> {
+        self.node(node)?
+            .write()
+            .remove(name)
+            .ok_or_else(|| RelalgError::UnknownRelation(format!("{name}@node{node}")))
+    }
+
+    /// Drops every fragment named `name` on all nodes (used to free
+    /// intermediate results once consumed).
+    pub fn drop_all(&self, name: &str) {
+        for n in &self.nodes {
+            n.write().remove(name);
+        }
+    }
+
+    /// Approximate bytes resident at `node`.
+    pub fn node_bytes(&self, node: usize) -> Result<usize> {
+        Ok(self.node(node)?.read().values().map(|r| r.est_bytes()).sum())
+    }
+
+    /// Approximate bytes resident across all nodes.
+    pub fn total_bytes(&self) -> usize {
+        (0..self.nodes.len()).map(|n| self.node_bytes(n).unwrap_or(0)).sum()
+    }
+
+    /// Collects all fragments named `name` across nodes in node order
+    /// (missing nodes are skipped).
+    pub fn collect(&self, name: &str) -> Vec<Arc<Relation>> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            if let Some(r) = n.read().get(name) {
+                out.push(r.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Schema, Tuple};
+
+    fn rel(n: i64) -> Arc<Relation> {
+        let schema = Schema::new(vec![Attribute::int("k")]).shared();
+        Arc::new(Relation::new(schema, (0..n).map(|v| Tuple::from_ints(&[v])).collect()).unwrap())
+    }
+
+    #[test]
+    fn put_get_take() {
+        let s = FragmentStore::new(2);
+        s.put(0, "R", rel(3)).unwrap();
+        assert_eq!(s.get(0, "R").unwrap().len(), 3);
+        assert!(s.get(1, "R").is_err());
+        assert_eq!(s.take(0, "R").unwrap().len(), 3);
+        assert!(s.get(0, "R").is_err());
+    }
+
+    #[test]
+    fn out_of_range_node_errors() {
+        let s = FragmentStore::new(1);
+        assert!(s.put(5, "R", rel(1)).is_err());
+        assert!(s.get(5, "R").is_err());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let s = FragmentStore::new(2);
+        assert_eq!(s.total_bytes(), 0);
+        s.put(0, "R", rel(10)).unwrap();
+        s.put(1, "R", rel(20)).unwrap();
+        assert!(s.node_bytes(0).unwrap() > 0);
+        assert!(s.node_bytes(1).unwrap() > s.node_bytes(0).unwrap());
+        assert_eq!(s.total_bytes(), s.node_bytes(0).unwrap() + s.node_bytes(1).unwrap());
+    }
+
+    #[test]
+    fn collect_and_drop_all() {
+        let s = FragmentStore::new(3);
+        s.put(0, "R", rel(1)).unwrap();
+        s.put(2, "R", rel(2)).unwrap();
+        s.put(1, "S", rel(3)).unwrap();
+        assert_eq!(s.collect("R").len(), 2);
+        s.drop_all("R");
+        assert!(s.collect("R").is_empty());
+        assert_eq!(s.collect("S").len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let s = Arc::new(FragmentStore::new(4));
+        std::thread::scope(|scope| {
+            for node in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        s.put(node, format!("f{i}"), rel(i)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.collect("f10").len(), 4);
+    }
+}

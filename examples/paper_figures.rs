@@ -1,0 +1,61 @@
+//! Paper figures, in miniature: prints the idealized utilization diagrams
+//! (Figs. 3, 4, 6, 7) and one response-time panel (Fig. 11, wide bushy,
+//! 5K). For the full set, run the `repro` binary:
+//! `cargo run --release -p mj-bench --bin repro -- all`.
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+
+use multijoin::core::example::{example_cards, example_tree, example_weights};
+use multijoin::plan::cost::TreeCosts;
+use multijoin::prelude::*;
+use multijoin::sim::render_gantt;
+
+fn main() {
+    // The Fig. 2 example: 5-way join, weights 1/5/3/4, 10 processors.
+    let (tree, joins) = example_tree();
+    let weights = example_weights();
+    let mut per_join = vec![0.0; tree.nodes().len()];
+    let mut total = 0.0;
+    for (id, w) in &weights {
+        per_join[*id] = *w;
+        total += *w;
+    }
+    let costs = TreeCosts { per_join, total };
+    let cards = example_cards(2000);
+
+    for (strategy, fig) in [
+        (Strategy::SP, 3u32),
+        (Strategy::SE, 4),
+        (Strategy::RD, 6),
+        (Strategy::FP, 7),
+    ] {
+        let input = GeneratorInput::new(&tree, &cards, &costs, 10);
+        let plan = generate(strategy, &input).expect("plan");
+        let result = simulate(&plan, &SimParams::idealized()).expect("simulate");
+        println!("--- Figure {fig}: {strategy} on the Fig. 2 example tree ---");
+        print!(
+            "{}",
+            render_gantt(&plan, &result, 64, |j| joins
+                .label(j)
+                .map(|l| char::from_digit(l, 10).unwrap()))
+        );
+        println!();
+    }
+
+    // One response-time panel: wide bushy, 5K (Fig. 11 left).
+    println!("--- Figure 11 (left panel): wide bushy, 5K tuples/relation ---");
+    let params = SimParams::default();
+    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "procs", "SP", "SE", "RD", "FP");
+    for procs in [20usize, 30, 40, 50, 60, 70, 80] {
+        print!("{procs:>6}");
+        for strategy in Strategy::ALL {
+            let scenario = Scenario::paper(Shape::WideBushy, strategy, 5_000, procs);
+            let r = run_scenario(&scenario, &params).expect("simulate");
+            print!(" {:>8.2}", r.response_time);
+        }
+        println!();
+    }
+    println!("\n(expected shape: SP degrades with processors; SE/RD flat; FP best at scale)");
+}

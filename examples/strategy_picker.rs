@@ -1,0 +1,67 @@
+//! Strategy picker: the paper's §5 guidelines as an executable tool.
+//!
+//! ```text
+//! cargo run --release --example strategy_picker -- [shape] [tuples] [processors]
+//! cargo run --release --example strategy_picker -- right-bushy 40000 60
+//! ```
+//!
+//! Simulates all four strategies for the requested configuration on the
+//! calibrated PRISMA-style machine and prints a recommendation alongside
+//! the paper's qualitative rules.
+
+use multijoin::prelude::*;
+
+fn parse_shape(s: &str) -> Option<Shape> {
+    match s {
+        "left-linear" => Some(Shape::LeftLinear),
+        "left-bushy" => Some(Shape::LeftBushy),
+        "wide-bushy" => Some(Shape::WideBushy),
+        "right-bushy" => Some(Shape::RightBushy),
+        "right-linear" => Some(Shape::RightLinear),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shape = args
+        .first()
+        .and_then(|s| parse_shape(s))
+        .unwrap_or(Shape::WideBushy);
+    let tuples: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let processors: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    println!("query: 10-relation regular join, {shape} tree, {tuples} tuples/relation, {processors} processors");
+    println!("machine: calibrated PRISMA/DB-style simulator\n");
+
+    let params = SimParams::default();
+    let mut results: Vec<(Strategy, f64, usize, usize)> = Vec::new();
+    for strategy in Strategy::ALL {
+        let scenario = Scenario::paper(shape, strategy, tuples, processors);
+        let r = run_scenario(&scenario, &params).expect("simulation");
+        results.push((
+            strategy,
+            r.response_time,
+            r.plan_stats.operation_processes,
+            r.plan_stats.tuple_streams,
+        ));
+    }
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+    println!("{:<10} {:>12} {:>12} {:>12}", "strategy", "response (s)", "processes", "streams");
+    for (s, t, p, st) in &results {
+        println!("{:<10} {:>12.2} {:>12} {:>12}", s.label(), t, p, st);
+    }
+    let winner = results[0].0;
+    println!("\nrecommendation: {winner}");
+    if !winner.needs_cost_function() {
+        println!("  (and {winner} needs no cost model for the individual joins)");
+    }
+
+    println!("\npaper guidelines (§5):");
+    println!("  - few processors: SP is the easiest and best;");
+    println!("  - many processors: FP performs quite well across shapes;");
+    println!("  - SE shines on wide bushy trees, RD on right-oriented trees;");
+    println!("  - prefer bushy over linear trees when costs are equal;");
+    println!("  - RD can be helped by mirroring the tree right-oriented at no cost.");
+}

@@ -1,0 +1,399 @@
+//! `mj` — command-line front end to the multijoin library.
+//!
+//! ```text
+//! mj shapes   [--relations K]
+//! mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
+//! mj simulate --shape S --strategy ST [--relations K --tuples N --procs P] [--gantt]
+//! mj sweep    --shape S [--tuples N]
+//! mj run      --shape S --strategy ST [--relations K --tuples N --procs P]
+//! mj optimize --query chain|skewed|star [--relations K]
+//! mj xra print --shape S [--relations K]
+//! mj xra eval  [FILE] [--relations K --tuples N]   (plan from FILE or stdin)
+//! ```
+//!
+//! Shapes: left-linear, left-bushy, wide-bushy, right-bushy, right-linear.
+//! Strategies: sp, se, rd, fp.
+
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multijoin::core::generator::{generate, GeneratorInput};
+use multijoin::core::strategy::Strategy;
+use multijoin::exec::{run_plan, ExecConfig, QueryBinding};
+use multijoin::plan::cardinality::{node_cards, UniformOneToOne};
+use multijoin::plan::cost::{tree_costs, CostModel};
+use multijoin::plan::optimize::{
+    greedy_tree, iterative_improvement, optimize_bushy, optimize_linear, random_tree,
+    simulated_annealing, AnnealingOptions, IterativeOptions,
+};
+use multijoin::plan::query::to_xra;
+use multijoin::plan::shapes::{build, Shape};
+use multijoin::plan::{render, QueryGraph};
+use multijoin::relalg::{text, JoinAlgorithm};
+use multijoin::sim::{render_gantt, simulate, SimParams};
+use multijoin::storage::{Catalog, WisconsinGenerator};
+
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // A flag with a value, or a bare switch.
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                switches.push(name.to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Args { positional, flags, switches })
+}
+
+impl Args {
+    fn shape(&self) -> Result<Shape, String> {
+        let s = self.flags.get("shape").map(String::as_str).unwrap_or("wide-bushy");
+        match s {
+            "left-linear" => Ok(Shape::LeftLinear),
+            "left-bushy" => Ok(Shape::LeftBushy),
+            "wide-bushy" => Ok(Shape::WideBushy),
+            "right-bushy" => Ok(Shape::RightBushy),
+            "right-linear" => Ok(Shape::RightLinear),
+            other => Err(format!(
+                "unknown shape `{other}` (expected left-linear, left-bushy, wide-bushy, right-bushy, right-linear)"
+            )),
+        }
+    }
+
+    fn strategy(&self) -> Result<Strategy, String> {
+        let s = self.flags.get("strategy").map(String::as_str).unwrap_or("fp");
+        match s.to_ascii_lowercase().as_str() {
+            "sp" => Ok(Strategy::SP),
+            "se" => Ok(Strategy::SE),
+            "rd" => Ok(Strategy::RD),
+            "fp" => Ok(Strategy::FP),
+            other => Err(format!("unknown strategy `{other}` (expected sp, se, rd, fp)")),
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  mj shapes   [--relations K]
+  mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
+  mj simulate --shape S --strategy ST [--relations K --tuples N --procs P] [--gantt]
+  mj sweep    --shape S [--tuples N]
+  mj run      --shape S --strategy ST [--relations K --tuples N --procs P]
+  mj optimize --query chain|skewed|star [--relations K]
+  mj xra print --shape S [--relations K]
+  mj xra eval [FILE] [--relations K --tuples N]
+
+shapes: left-linear left-bushy wide-bushy right-bushy right-linear
+strategies: sp se rd fp (the paper's four parallelization strategies)"
+}
+
+/// Plans a (shape, strategy, tuples, procs) configuration.
+fn make_plan(
+    args: &Args,
+) -> Result<(multijoin::core::plan_ir::ParallelPlan, Shape, u64, usize), String> {
+    let shape = args.shape()?;
+    let strategy = args.strategy()?;
+    let k: usize = args.num("relations", 10)?;
+    let tuples: u64 = args.num("tuples", 40_000)?;
+    let procs: usize = args.num("procs", 40)?;
+    let tree = build(shape, k).map_err(|e| e.to_string())?;
+    let cards = node_cards(&tree, &UniformOneToOne { n: tuples });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let mut input = GeneratorInput::new(&tree, &cards, &costs, procs);
+    input.allow_oversubscribe = procs < tree.join_count();
+    let plan = generate(strategy, &input).map_err(|e| e.to_string())?;
+    Ok((plan, shape, tuples, procs))
+}
+
+fn cmd_shapes(args: &Args) -> Result<(), String> {
+    let k: usize = args.num("relations", 10)?;
+    for shape in Shape::ALL {
+        let tree = build(shape, k).map_err(|e| e.to_string())?;
+        println!(
+            "--- {shape} (depth {}, right spine {}) ---",
+            tree.depth(),
+            tree.right_spine_len()
+        );
+        println!("{}", render::render(&tree));
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let (plan, shape, tuples, procs) = make_plan(args)?;
+    let stats = plan.stats();
+    println!("{plan}");
+    println!(
+        "shape {shape}, {tuples} tuples/relation, {procs} processors: \
+         {} operation processes, {} tuple streams, {} pipeline edges",
+        stats.operation_processes, stats.tuple_streams, stats.pipeline_edges
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let (plan, shape, tuples, procs) = make_plan(args)?;
+    let params = SimParams::default();
+    let sim = simulate(&plan, &params).map_err(|e| e.to_string())?;
+    println!(
+        "{shape} / {} on {procs} processors, {tuples} tuples/relation: \
+         response {:.2}s, utilization {:.0}%",
+        args.strategy()?,
+        sim.response_time,
+        100.0 * sim.utilization(procs)
+    );
+    if args.switch("gantt") {
+        print!("{}", render_gantt(&plan, &sim, 72, |j| char::from_digit((j % 10) as u32, 10)));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let shape = args.shape()?;
+    let tuples: u64 = args.num("tuples", 40_000)?;
+    let params = SimParams::default();
+    println!("{shape}, {tuples} tuples/relation — simulated response times (s)");
+    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "procs", "SP", "SE", "RD", "FP");
+    for procs in [20usize, 30, 40, 50, 60, 70, 80] {
+        let mut row = format!("{procs:>6}");
+        for strategy in Strategy::ALL {
+            let tree = build(shape, 10).map_err(|e| e.to_string())?;
+            let cards = node_cards(&tree, &UniformOneToOne { n: tuples });
+            let costs = tree_costs(&tree, &cards, &CostModel::default());
+            let input = GeneratorInput::new(&tree, &cards, &costs, procs);
+            let plan = generate(strategy, &input).map_err(|e| e.to_string())?;
+            let sim = simulate(&plan, &params).map_err(|e| e.to_string())?;
+            row.push_str(&format!(" {:>8.2}", sim.response_time));
+        }
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let shape = args.shape()?;
+    let strategy = args.strategy()?;
+    let k: usize = args.num("relations", 8)?;
+    let tuples: usize = args.num("tuples", 2_000)?;
+    let procs: usize = args.num("procs", 4)?;
+
+    let catalog = Arc::new(Catalog::new());
+    for (name, rel) in WisconsinGenerator::new(tuples, 42).generate_named("R", k) {
+        catalog.register(name, rel);
+    }
+    let tree = build(shape, k).map_err(|e| e.to_string())?;
+    let cards = node_cards(&tree, &UniformOneToOne { n: tuples as u64 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let mut input = GeneratorInput::new(&tree, &cards, &costs, procs);
+    input.allow_oversubscribe = true;
+    let plan = generate(strategy, &input).map_err(|e| e.to_string())?;
+    let binding = QueryBinding::regular(&tree, catalog.as_ref()).map_err(|e| e.to_string())?;
+    let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())
+        .map_err(|e| e.to_string())?;
+
+    let oracle = to_xra(&tree, 3, JoinAlgorithm::Simple)
+        .eval(catalog.as_ref())
+        .map_err(|e| e.to_string())?;
+    let ok = outcome.relation.multiset_eq(&oracle);
+    println!(
+        "{shape} / {strategy}: {} tuples in {:.1} ms on {procs} logical processors \
+         ({} processes, {} streams) — oracle {}",
+        outcome.relation.len(),
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.metrics.processes,
+        outcome.metrics.streams,
+        if ok { "match" } else { "MISMATCH" }
+    );
+    if !ok {
+        return Err("parallel result diverged from the sequential oracle".into());
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let kind = args.flags.get("query").map(String::as_str).unwrap_or("chain");
+    let k: usize = args.num("relations", 10)?;
+    if k < 2 {
+        return Err("--relations must be at least 2".into());
+    }
+    let graph = match kind {
+        "chain" => QueryGraph::regular_chain(k, 10_000).map_err(|e| e.to_string())?,
+        "skewed" => {
+            let mut g = QueryGraph::new();
+            for i in 0..k {
+                g.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50);
+            }
+            for i in 0..k - 1 {
+                g.add_edge(i, i + 1, 1e-2).map_err(|e| e.to_string())?;
+            }
+            g
+        }
+        "star" => {
+            let mut g = QueryGraph::new();
+            let fact = g.add_relation("fact", 1_000_000);
+            for d in 0..k - 1 {
+                let dim = g.add_relation(format!("dim{d}"), 100 + 50 * d as u64);
+                g.add_edge(fact, dim, 1e-3).map_err(|e| e.to_string())?;
+            }
+            g
+        }
+        other => return Err(format!("unknown query kind `{other}` (chain, skewed, star)")),
+    };
+    let cm = CostModel::default();
+    let mut results: Vec<(&str, f64, Option<String>)> = Vec::new();
+    let dp_cost = if k <= 18 {
+        let dp = optimize_bushy(&graph, &cm).map_err(|e| e.to_string())?;
+        let c = dp.total_cost;
+        results.push(("bushy DP (optimum)", c, Some(render::render(&dp.tree))));
+        Some(c)
+    } else {
+        println!("(skipping exhaustive DP above 18 relations)");
+        None
+    };
+    let lin = optimize_linear(&graph, &cm).map_err(|e| e.to_string())?;
+    results.push(("linear DP", lin.total_cost, None));
+    let gr = greedy_tree(&graph, &cm).map_err(|e| e.to_string())?;
+    results.push(("greedy", gr.total_cost, None));
+    let ii = iterative_improvement(&graph, &cm, IterativeOptions::default())
+        .map_err(|e| e.to_string())?;
+    results.push(("iterative improvement", ii.total_cost, None));
+    let sa = simulated_annealing(&graph, &cm, AnnealingOptions::default())
+        .map_err(|e| e.to_string())?;
+    results.push(("simulated annealing", sa.total_cost, None));
+    let rnd = random_tree(&graph, &cm, 1).map_err(|e| e.to_string())?;
+    results.push(("random tree", rnd.total_cost, None));
+
+    println!("{kind} query over {k} relations (total cost, paper cost model):");
+    for (name, cost, tree) in &results {
+        match dp_cost {
+            Some(opt) => println!("  {name:<22} {cost:>14.3e}  ({:.2}x optimum)", cost / opt),
+            None => println!("  {name:<22} {cost:>14.3e}"),
+        }
+        if let Some(t) = tree {
+            for line in t.lines() {
+                println!("      {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_xra(args: &Args) -> Result<(), String> {
+    let sub = args.positional.get(1).map(String::as_str).unwrap_or("print");
+    match sub {
+        "print" => {
+            let shape = args.shape()?;
+            let k: usize = args.num("relations", 10)?;
+            let tree = build(shape, k).map_err(|e| e.to_string())?;
+            let plan = to_xra(&tree, 3, JoinAlgorithm::Pipelining);
+            println!("{}", text::print(&plan));
+            Ok(())
+        }
+        "eval" => {
+            let src = match args.positional.get(2) {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?,
+                None => {
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .map_err(|e| format!("cannot read stdin: {e}"))?;
+                    buf
+                }
+            };
+            let plan = text::parse(&src).map_err(|e| e.to_string())?;
+            let k: usize = args.num("relations", 10)?;
+            let tuples: usize = args.num("tuples", 1_000)?;
+            let catalog = Arc::new(Catalog::new());
+            for (name, rel) in WisconsinGenerator::new(tuples, 42).generate_named("R", k) {
+                catalog.register(name, rel);
+            }
+            let out = plan.eval(catalog.as_ref()).map_err(|e| e.to_string())?;
+            println!(
+                "evaluated against {k} Wisconsin relations x {tuples} tuples: {} result tuples",
+                out.len()
+            );
+            for t in out.iter().take(10) {
+                println!("  {t}");
+            }
+            if out.len() > 10 {
+                println!("  ... ({} more)", out.len() - 10);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown xra subcommand `{other}` (print, eval)")),
+    }
+}
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout closes mid-write (e.g. `mj sweep | head`);
+    // print other panics without the default backtrace noise.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{msg}");
+    }));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("");
+    let result = match cmd {
+        "shapes" => cmd_shapes(&args),
+        "plan" => cmd_plan(&args),
+        "simulate" => cmd_simulate(&args),
+        "sweep" => cmd_sweep(&args),
+        "run" => cmd_run(&args),
+        "optimize" => cmd_optimize(&args),
+        "xra" => cmd_xra(&args),
+        "" | "help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

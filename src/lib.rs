@@ -1,0 +1,77 @@
+//! # multijoin — parallel evaluation of multi-join queries
+//!
+//! A from-scratch Rust reproduction of **Wilschut, Flokstra & Apers,
+//! "Parallel Evaluation of Multi-Join Queries", SIGMOD 1995**: four
+//! strategies for parallelizing a multi-join query plan (SP, SE, RD, FP),
+//! evaluated on a PRISMA/DB-style shared-nothing main-memory system.
+//!
+//! The workspace is layered; this facade re-exports every crate under one
+//! name:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`relalg`] | `mj-relalg` | schemas, tuples, relations, predicates, XRA logical plans, sequential oracle |
+//! | [`storage`] | `mj-storage` | Wisconsin generator, fragmentation, node-memory store, catalog |
+//! | [`join`] | `mj-join` | simple and pipelining hash joins, custom join table |
+//! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation |
+//! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
+//! | [`exec`] | `mj-exec` | real threaded engine (operation processes, tuple streams) |
+//! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multijoin::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. Data: five Wisconsin relations of 1 000 tuples.
+//! let catalog = Arc::new(Catalog::new());
+//! for (name, rel) in WisconsinGenerator::new(1000, 7).generate_named("R", 5) {
+//!     catalog.register(name, rel);
+//! }
+//!
+//! // 2. Phase 1: the minimal-total-cost join tree.
+//! let graph = QueryGraph::regular_chain(5, 1000).unwrap();
+//! let plan1 = optimize_bushy(&graph, &CostModel::default()).unwrap();
+//!
+//! // 3. Phase 2: parallelize with Full Parallel on 4 processors.
+//! let costs = tree_costs(&plan1.tree, &plan1.node_cards, &CostModel::default());
+//! let input = GeneratorInput::new(&plan1.tree, &plan1.node_cards, &costs, 4);
+//! let plan2 = generate(Strategy::FP, &input).unwrap();
+//!
+//! // 4. Execute on real threads.
+//! let binding = QueryBinding::regular(&plan1.tree, catalog.as_ref()).unwrap();
+//! let outcome = run_plan(&plan2, &binding, catalog.as_ref(), &ExecConfig::default()).unwrap();
+//! assert_eq!(outcome.relation.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mj_core as core;
+pub use mj_exec as exec;
+pub use mj_join as join;
+pub use mj_plan as plan;
+pub use mj_relalg as relalg;
+pub use mj_sim as sim;
+pub use mj_storage as storage;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use mj_core::{
+        generate, proportional_counts, validate_plan, GeneratorInput, OperandSource,
+        ParallelPlan, PlanOp, Strategy,
+    };
+    pub use mj_exec::{run_plan, ExecConfig, QueryBinding};
+    pub use mj_join::{pipelining_hash_join, simple_hash_join};
+    pub use mj_plan::cost::tree_costs;
+    pub use mj_plan::{
+        greedy_tree, optimize_bushy, optimize_linear, segments, CostModel, JoinTree, QueryGraph,
+        Shape, UniformOneToOne,
+    };
+    pub use mj_relalg::{
+        Attribute, DataType, EquiJoin, JoinAlgorithm, Predicate, Projection, Relation,
+        RelationProvider, Schema, Tuple, Value, XraNode,
+    };
+    pub use mj_sim::{run_scenario, simulate, Scenario, SimParams};
+    pub use mj_storage::{Catalog, FragmentedRelation, PayloadMode, WisconsinGenerator};
+}

@@ -1,0 +1,304 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use multijoin::core::allocation::discretization_error;
+use multijoin::plan::cardinality::node_cards;
+use multijoin::plan::query::to_xra;
+use multijoin::plan::segment::segments;
+use multijoin::plan::shapes::build;
+use multijoin::prelude::*;
+use multijoin::relalg::ops::nested_loop_join;
+use multijoin::relalg::ops::{AggFunc, AggSpec};
+use multijoin::relalg::predicate::CmpOp;
+use multijoin::relalg::expr::Expr as ScalarExpr;
+use multijoin::relalg::text;
+// `proptest::prelude::Strategy` (the trait) shadows the glob-imported
+// strategy enum; re-import the enum explicitly, and keep the trait's
+// methods in scope via an anonymous import.
+use multijoin::core::strategy::Strategy;
+use proptest::strategy::Strategy as _;
+
+fn arb_scalar() -> impl proptest::strategy::Strategy<Value = ScalarExpr> {
+    use multijoin::relalg::expr::ArithOp;
+    let leaf = prop_oneof![
+        (0usize..8).prop_map(ScalarExpr::Attr),
+        any::<i64>().prop_map(|v| ScalarExpr::Lit(Value::Int(v))),
+        "[a-z' ]{0,12}".prop_map(|s| ScalarExpr::Lit(Value::Str(s.into()))),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), prop_oneof![
+            Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul), Just(ArithOp::Mod)
+        ], inner)
+            .prop_map(|(l, op, r)| ScalarExpr::Arith(Box::new(l), op, Box::new(r)))
+    })
+}
+
+fn arb_predicate() -> impl proptest::strategy::Strategy<Value = Predicate> {
+    let cmp = (arb_scalar(), prop_oneof![
+        Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+        Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+    ], arb_scalar())
+        .prop_map(|(left, op, right)| Predicate::Cmp { left, op, right });
+    let leaf = prop_oneof![Just(Predicate::True), cmp];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Predicate::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_xra() -> impl proptest::strategy::Strategy<Value = XraNode> {
+    let scan = "[a-z][a-z0-9_]{0,8}".prop_map(XraNode::scan);
+    scan.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_predicate()).prop_map(|(input, predicate)| XraNode::Select {
+                input: Box::new(input),
+                predicate
+            }),
+            (inner.clone(), prop::collection::vec(0usize..8, 0..5)).prop_map(
+                |(input, cols)| XraNode::Project {
+                    input: Box::new(input),
+                    projection: Projection::new(cols)
+                }
+            ),
+            (
+                inner.clone(),
+                inner.clone(),
+                0usize..6,
+                0usize..6,
+                prop::collection::vec(0usize..12, 0..5),
+                prop_oneof![Just(JoinAlgorithm::Simple), Just(JoinAlgorithm::Pipelining)],
+            )
+                .prop_map(|(l, r, lk, rk, cols, algo)| XraNode::join(
+                    l,
+                    r,
+                    EquiJoin::new(lk, rk, Projection::new(cols)),
+                    algo
+                )),
+            prop::collection::vec(inner.clone(), 1..4)
+                .prop_map(|inputs| XraNode::UnionAll { inputs }),
+            (
+                inner,
+                prop::collection::vec(0usize..8, 0..3),
+                prop::collection::vec(
+                    (
+                        prop_oneof![
+                            Just(AggFunc::Count),
+                            Just(AggFunc::Sum),
+                            Just(AggFunc::Min),
+                            Just(AggFunc::Max)
+                        ],
+                        0usize..8,
+                        "[a-z][a-z0-9_]{0,6}",
+                    )
+                        .prop_map(|(f, c, n)| AggSpec::new(f, c, n)),
+                    1..4,
+                ),
+            )
+                .prop_map(|(input, group, aggs)| XraNode::Aggregate {
+                    input: Box::new(input),
+                    group,
+                    aggs
+                }),
+        ]
+    })
+}
+
+fn int_relation(keys: &[i64]) -> Relation {
+    let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+    let tuples = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| Tuple::from_ints(&[k, i as i64]))
+        .collect();
+    Relation::new_unchecked(schema, tuples)
+}
+
+fn join_spec() -> EquiJoin {
+    EquiJoin::new(0, 0, Projection::new(vec![0, 1, 3]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both hash joins agree with the nested-loop oracle on arbitrary
+    /// multisets of keys, including duplicates and negatives.
+    #[test]
+    fn hash_joins_match_oracle(
+        left in prop::collection::vec(-20i64..20, 0..120),
+        right in prop::collection::vec(-20i64..20, 0..120),
+    ) {
+        let l = int_relation(&left);
+        let r = int_relation(&right);
+        let spec = join_spec();
+        let oracle = nested_loop_join(&l, &r, &spec).unwrap();
+        let simple = simple_hash_join(&l, &r, &spec).unwrap();
+        let pipelined = pipelining_hash_join(&l, &r, &spec).unwrap();
+        prop_assert!(oracle.multiset_eq(&simple));
+        prop_assert!(oracle.multiset_eq(&pipelined));
+    }
+
+    /// Partitioned parallel joins are partition-count invariant.
+    #[test]
+    fn partitioned_join_is_partition_invariant(
+        left in prop::collection::vec(0i64..50, 1..150),
+        right in prop::collection::vec(0i64..50, 1..150),
+        parts in 1usize..6,
+    ) {
+        let l = int_relation(&left);
+        let r = int_relation(&right);
+        let spec = join_spec();
+        let seq = simple_hash_join(&l, &r, &spec).unwrap();
+        let par = multijoin::join::partitioned_parallel_join(
+            &l, &r, &spec, parts, JoinAlgorithm::Simple).unwrap();
+        prop_assert!(seq.multiset_eq(&par));
+    }
+
+    /// Proportional allocation: sums to total, floor of one, and the
+    /// discretization error shrinks (weakly) when processors scale up 8x.
+    #[test]
+    fn allocation_invariants(
+        weights in prop::collection::vec(0.01f64..100.0, 1..12),
+        extra in 0usize..40,
+    ) {
+        let total = weights.len() + extra;
+        let counts = proportional_counts(&weights, total).unwrap();
+        prop_assert_eq!(counts.iter().sum::<usize>(), total);
+        prop_assert!(counts.iter().all(|&c| c >= 1));
+        let big = proportional_counts(&weights, total * 8).unwrap();
+        let e_small = discretization_error(&weights, &counts);
+        let e_big = discretization_error(&weights, &big);
+        prop_assert!(e_big <= e_small + 1e-9,
+            "error grew: {} -> {}", e_small, e_big);
+    }
+
+    /// Every (shape, strategy, processors) combination yields a valid plan
+    /// whose ops cover each join exactly once.
+    #[test]
+    fn generated_plans_always_validate(
+        shape_idx in 0usize..5,
+        strat_idx in 0usize..4,
+        k in 2usize..11,
+        procs in 10usize..81,
+    ) {
+        let shape = Shape::ALL[shape_idx];
+        let strategy = Strategy::ALL[strat_idx];
+        let tree = build(shape, k).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n: 1000 });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let input = GeneratorInput::new(&tree, &cards, &costs, procs);
+        let plan = generate(strategy, &input).unwrap();
+        validate_plan(&plan).unwrap();
+        prop_assert_eq!(plan.ops.len(), k - 1);
+    }
+
+    /// The simulator is total and deterministic over the paper grid.
+    #[test]
+    fn simulation_is_deterministic(
+        shape_idx in 0usize..5,
+        strat_idx in 0usize..4,
+        tuples in 100u64..5000,
+        procs in 9usize..40,
+    ) {
+        let scenario = Scenario::paper(
+            Shape::ALL[shape_idx], Strategy::ALL[strat_idx], tuples, procs);
+        let params = SimParams::default();
+        let a = run_scenario(&scenario, &params).unwrap().response_time;
+        let b = run_scenario(&scenario, &params).unwrap().response_time;
+        prop_assert!(a > 0.0 && a == b);
+    }
+
+    /// Segmentation partitions the joins of any shape.
+    #[test]
+    fn segmentation_partitions_joins(shape_idx in 0usize..5, k in 2usize..12) {
+        let tree = build(Shape::ALL[shape_idx], k).unwrap();
+        let seg = segments(&tree);
+        let covered: usize = seg.segments.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(covered, k - 1);
+        // Waves are a topological grouping: every dependency is in an
+        // earlier wave.
+        let waves = seg.waves();
+        let mut wave_of = vec![usize::MAX; seg.segments.len()];
+        for (w, segs) in waves.iter().enumerate() {
+            for &s in segs {
+                wave_of[s] = w;
+            }
+        }
+        for (s, deps) in seg.deps.iter().enumerate() {
+            for &d in deps {
+                prop_assert!(wave_of[d] < wave_of[s]);
+            }
+        }
+    }
+
+    /// The regular query evaluates to exactly n tuples on every shape
+    /// (sequential oracle), and the result keys are a permutation.
+    #[test]
+    fn regular_query_invariant(shape_idx in 0usize..5, n in 1usize..80) {
+        let shape = Shape::ALL[shape_idx];
+        let catalog = Arc::new(Catalog::new());
+        for (name, rel) in WisconsinGenerator::new(n, 3).generate_named("R", 5) {
+            catalog.register(name, rel);
+        }
+        let tree = build(shape, 5).unwrap();
+        let out = to_xra(&tree, 3, JoinAlgorithm::Simple)
+            .eval(catalog.as_ref()).unwrap();
+        prop_assert_eq!(out.len(), n);
+        let mut keys: Vec<i64> = out.iter().map(|t| t.int(0).unwrap()).collect();
+        keys.sort_unstable();
+        let expected: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// The paper's cost function: shape-invariant total for the regular
+    /// query, (5k-6)·N for k relations.
+    #[test]
+    fn cost_invariance(shape_idx in 0usize..5, k in 2usize..13, n in 1u64..100_000) {
+        let tree = build(Shape::ALL[shape_idx], k).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let expected = (5 * k - 6) as f64 * n as f64;
+        prop_assert!((costs.total - expected).abs() < 1e-6);
+    }
+
+    /// The textual XRA format round-trips arbitrary plans exactly:
+    /// `parse(print(p)) == p`.
+    #[test]
+    fn xra_text_roundtrip(plan in arb_xra()) {
+        let printed = text::print(&plan);
+        let parsed = text::parse(&printed);
+        prop_assert!(parsed.is_ok(), "parse of `{printed}` failed: {:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), plan, "round-trip changed the plan: {}", printed);
+    }
+
+    /// Hash partitioning: a true partition, key-consistent across sides.
+    #[test]
+    fn partitioning_is_consistent(
+        keys in prop::collection::vec(-1000i64..1000, 0..300),
+        parts in 1usize..10,
+    ) {
+        let rel = int_relation(&keys);
+        let frags = multijoin::storage::hash_partition(&rel, parts, 0).unwrap();
+        prop_assert_eq!(frags.len(), parts);
+        let total: usize = frags.iter().map(|f| f.len()).sum();
+        prop_assert_eq!(total, keys.len());
+        let mut seen: HashMap<i64, usize> = HashMap::new();
+        for (p, frag) in frags.iter().enumerate() {
+            for t in frag.iter() {
+                let k = t.int(0).unwrap();
+                if let Some(&prev) = seen.get(&k) {
+                    prop_assert_eq!(prev, p, "key {} in two fragments", k);
+                }
+                seen.insert(k, p);
+            }
+        }
+    }
+}

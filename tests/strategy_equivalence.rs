@@ -1,0 +1,105 @@
+//! Cross-crate integration: every strategy × every shape, executed on the
+//! real threaded engine, must return exactly the sequential oracle's
+//! result — the end-to-end correctness statement of the whole system.
+
+use std::sync::Arc;
+
+use multijoin::plan::cardinality::node_cards;
+use multijoin::plan::query::to_xra;
+use multijoin::plan::shapes::build;
+use multijoin::prelude::*;
+
+fn catalog(k: usize, n: usize, seed: u64) -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new());
+    for (name, rel) in WisconsinGenerator::new(n, seed).generate_named("R", k) {
+        catalog.register(name, rel);
+    }
+    catalog
+}
+
+fn run_strategy(
+    catalog: &Catalog,
+    tree: &JoinTree,
+    strategy: Strategy,
+    n: u64,
+    procs: usize,
+) -> Relation {
+    let cards = node_cards(tree, &UniformOneToOne { n });
+    let costs = tree_costs(tree, &cards, &CostModel::default());
+    let mut input = GeneratorInput::new(tree, &cards, &costs, procs);
+    input.allow_oversubscribe = procs < tree.join_count();
+    let plan = generate(strategy, &input).expect("plan generation");
+    validate_plan(&plan).expect("plan validation");
+    let binding = QueryBinding::regular(tree, catalog).expect("binding");
+    run_plan(&plan, &binding, catalog, &ExecConfig::default())
+        .expect("execution")
+        .relation
+}
+
+#[test]
+fn all_strategies_all_shapes_match_oracle() {
+    let k = 7;
+    let n = 250usize;
+    let catalog = catalog(k, n, 1234);
+    for shape in Shape::ALL {
+        let tree = build(shape, k).unwrap();
+        let oracle = to_xra(&tree, 3, JoinAlgorithm::Simple)
+            .eval(catalog.as_ref())
+            .expect("oracle");
+        assert_eq!(oracle.len(), n, "{shape}: regular query yields n tuples");
+        for strategy in Strategy::ALL {
+            let got = run_strategy(&catalog, &tree, strategy, n as u64, 6);
+            assert!(
+                got.multiset_eq(&oracle),
+                "{strategy} on {shape} diverged from the sequential oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other_at_scale() {
+    // Bigger relations, a single shape, all strategies pairwise equal.
+    let k = 10;
+    let n = 1000usize;
+    let catalog = catalog(k, n, 77);
+    let tree = build(Shape::RightBushy, k).unwrap();
+    let results: Vec<Relation> = Strategy::ALL
+        .iter()
+        .map(|&s| run_strategy(&catalog, &tree, s, n as u64, 9))
+        .collect();
+    for pair in results.windows(2) {
+        assert!(pair[0].multiset_eq(&pair[1]));
+    }
+    assert_eq!(results[0].len(), n);
+}
+
+#[test]
+fn processor_count_does_not_change_results() {
+    let k = 6;
+    let n = 300usize;
+    let catalog = catalog(k, n, 5);
+    let tree = build(Shape::WideBushy, k).unwrap();
+    let reference = run_strategy(&catalog, &tree, Strategy::FP, n as u64, 5);
+    for procs in [1usize, 2, 3, 8, 16] {
+        let got = run_strategy(&catalog, &tree, Strategy::FP, n as u64, procs);
+        assert!(got.multiset_eq(&reference), "procs={procs}");
+    }
+}
+
+#[test]
+fn full_payload_tuples_flow_through_the_engine() {
+    // 208-byte Wisconsin tuples (16 attributes) through a 4-relation query.
+    let catalog = Arc::new(Catalog::new());
+    let gen = WisconsinGenerator::new(120, 9).with_payload(PayloadMode::Full);
+    for (name, rel) in gen.generate_named("R", 4) {
+        catalog.register(name, rel);
+    }
+    let tree = build(Shape::RightLinear, 4).unwrap();
+    let oracle = to_xra(&tree, 16, JoinAlgorithm::Simple)
+        .eval(catalog.as_ref())
+        .expect("oracle");
+    let got = run_strategy(&catalog, &tree, Strategy::FP, 120, 3);
+    assert_eq!(got.schema().arity(), 16);
+    assert!(got.multiset_eq(&oracle));
+}
