@@ -1,13 +1,132 @@
-//! Criterion bench: simple vs pipelining hash join (§2.3.2).
+//! Criterion bench: simple vs pipelining hash join (§2.3.2), plus
+//! [`JoinTable`] insert/probe microbenches with hard allocation-count
+//! assertions.
 //!
 //! Measures one-shot join throughput at several operand sizes. The
 //! pipelining join is expected to be somewhat slower in *total* work (it
 //! maintains two hash tables) — its payoff is earliness, which the
 //! instrumented `mj_join::stats` run quantifies separately.
+//!
+//! A counting global allocator verifies the zero-copy contract before any
+//! timing runs: inserting already-shared tuples into a pre-sized
+//! `JoinTable` performs **no** allocation per insert, and probing performs
+//! none at all.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mj_relalg::{EquiJoin, Relation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use mj_join::JoinTable;
+use mj_relalg::{EquiJoin, Relation, Tuple};
 use mj_storage::WisconsinGenerator;
+
+/// Global allocator that counts allocations, for the zero-alloc checks.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Hard zero-allocation assertions on the join-table hot paths; runs
+/// before the timed benches, single-threaded.
+fn assert_allocation_free_hot_paths() {
+    const N: i64 = 10_000;
+    // Arity-6 rows take the shared (Arc) representation: cloning one into
+    // the table must be a refcount bump, not a payload copy.
+    let shared: Vec<Tuple> = (0..N)
+        .map(|k| Tuple::from_ints(&[k, k, k, k, k, k]))
+        .collect();
+    assert!(!shared[0].is_inline());
+
+    let mut table = JoinTable::with_capacity(shared.len());
+    let inserts = allocations(|| {
+        for t in &shared {
+            table.insert(t.int(0).unwrap(), t.clone());
+        }
+    });
+    assert_eq!(
+        inserts, 0,
+        "inserting {N} already-shared tuples into a pre-sized table allocated {inserts} times"
+    );
+
+    let mut hits = 0u64;
+    let probes = allocations(|| {
+        for k in 0..N {
+            hits += table.probe(k).count() as u64;
+        }
+    });
+    assert_eq!(probes, 0, "probing allocated {probes} times");
+    assert_eq!(hits, N as u64);
+
+    // Inline all-int rows allocate nothing even without pre-sharing.
+    let mut inline_table = JoinTable::with_capacity(N as usize);
+    let inline_inserts = allocations(|| {
+        for k in 0..N {
+            inline_table.insert(k, Tuple::from_ints(&[k, k, k]));
+        }
+    });
+    assert_eq!(
+        inline_inserts, 0,
+        "inline tuples must construct and insert without heap traffic"
+    );
+    eprintln!("zero-alloc assertions passed: {N} shared inserts, {N} probes, {N} inline inserts");
+}
+
+fn bench_join_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_table");
+    for n in [10_000usize, 100_000] {
+        let tuples: Vec<Tuple> = (0..n as i64)
+            .map(|k| Tuple::from_ints(&[k, k, k, k, k, k]))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("insert_shared", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut table = JoinTable::with_capacity(n);
+                for t in &tuples {
+                    table.insert(t.int(0).unwrap(), t.clone());
+                }
+                table.len()
+            })
+        });
+        let mut table = JoinTable::with_capacity(n);
+        for t in &tuples {
+            table.insert(t.int(0).unwrap(), t.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("probe", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for k in 0..n as i64 {
+                    hits += table.probe(k).count();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
 
 fn inputs(n: usize) -> (Relation, Relation, EquiJoin) {
     let gen = WisconsinGenerator::new(n, 11);
@@ -53,5 +172,9 @@ fn bench_partitioned(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_partitioned);
-criterion_main!(benches);
+criterion_group!(benches, bench_join_table, bench_joins, bench_partitioned);
+
+fn main() {
+    assert_allocation_free_hot_paths();
+    benches();
+}

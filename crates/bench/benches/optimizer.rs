@@ -29,7 +29,11 @@ fn bench_optimizers(c: &mut Criterion) {
 fn bench_local_search(c: &mut Criterion) {
     // Smaller budgets than the defaults: benches measure cost-per-probe of
     // the search machinery, not solution quality.
-    let ii_opts = IterativeOptions { restarts: 1, patience: 64, ..IterativeOptions::default() };
+    let ii_opts = IterativeOptions {
+        restarts: 1,
+        patience: 64,
+        ..IterativeOptions::default()
+    };
     let sa_opts = AnnealingOptions {
         stage_iters: 32,
         frozen_stages: 2,
@@ -38,12 +42,16 @@ fn bench_local_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase1_local_search");
     for k in [10usize, 20, 30] {
         let graph = QueryGraph::regular_chain(k, 5_000).unwrap();
-        group.bench_with_input(BenchmarkId::new("iterative_improvement", k), &graph, |b, g| {
-            b.iter(|| iterative_improvement(g, &CostModel::default(), ii_opts).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("simulated_annealing", k), &graph, |b, g| {
-            b.iter(|| simulated_annealing(g, &CostModel::default(), sa_opts).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("iterative_improvement", k),
+            &graph,
+            |b, g| b.iter(|| iterative_improvement(g, &CostModel::default(), ii_opts).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulated_annealing", k),
+            &graph,
+            |b, g| b.iter(|| simulated_annealing(g, &CostModel::default(), sa_opts).unwrap()),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,507 @@
+//! Machine-readable benchmark baselines (`BENCH_<n>.json`).
+//!
+//! Emitted by `repro bench [--quick]`, one file per perf PR, so the
+//! repository accumulates a performance trajectory that later PRs can
+//! extend and compare against.
+//!
+//! Two measurement families:
+//!
+//! * **Pipelining hot path, before/after** — the same 4-worker
+//!   producer/router/pipelining-join dataflow run twice: once with the
+//!   seed's data movement (deep-copied tuples, `concat().project()`
+//!   projection, a fresh `Vec` per flushed batch) and once with the
+//!   zero-copy path (shared/inline tuples, scratch projection, pooled
+//!   batch buffers). The ratio is the representation change in isolation,
+//!   measured on this machine, by this binary.
+//! * **Real engine per strategy** — wall clock, tuples/sec, and peak
+//!   logical hash-table bytes for the four strategies on the threaded
+//!   engine, recording that `est_bytes` still reports the paper's
+//!   *logical* memory (RD < FP must hold even though tuples are shared).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mj_core::generator::{generate, GeneratorInput};
+use mj_core::strategy::Strategy;
+use mj_exec::stream::{operand_channels, Msg, Router};
+use mj_exec::{run_plan, ExecConfig, QueryBinding};
+use mj_join::{JoinTable, PipeliningJoinState};
+use mj_plan::cardinality::{node_cards, UniformOneToOne};
+use mj_plan::cost::{tree_costs, CostModel};
+use mj_plan::query::regular_join_spec;
+use mj_plan::shapes::{build, Shape};
+use mj_relalg::{Result, Tuple};
+use mj_storage::{Catalog, WisconsinGenerator};
+use serde::{JsonValue, Serialize};
+
+/// Workers (producer and consumer instances) in the hot-path benchmark;
+/// the acceptance floor is 4.
+pub const HOT_PATH_WORKERS: usize = 4;
+
+/// One timed mode of the hot-path benchmark.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HotPathRun {
+    /// Tuples pushed through the dataflow.
+    pub tuples: u64,
+    /// Result tuples produced by the joins.
+    pub matches: u64,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Input tuples per second.
+    pub tuples_per_sec: f64,
+}
+
+/// Before/after measurement of the pipelining hot path.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HotPathComparison {
+    /// Producer/consumer worker instances.
+    pub workers: usize,
+    /// Seed-equivalent data movement: deep copies everywhere.
+    pub baseline_deep_copy: HotPathRun,
+    /// Zero-copy data movement: shared tuples, scratch projection, pooled
+    /// batches.
+    pub shared_zero_copy: HotPathRun,
+    /// `shared_zero_copy.tuples_per_sec / baseline_deep_copy.tuples_per_sec`.
+    pub speedup: f64,
+}
+
+/// One strategy measured on the real threaded engine.
+#[derive(Clone, Debug, Serialize)]
+pub struct StrategyRun {
+    /// Strategy label (SP/SE/RD/FP).
+    pub strategy: String,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Total tuples consumed by all operators per second.
+    pub tuples_per_sec: f64,
+    /// Peak logical hash-table bytes summed across instances.
+    pub peak_table_bytes: u64,
+    /// Result cardinality (must equal tuples per relation).
+    pub result_tuples: u64,
+}
+
+/// The whole `BENCH_1.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run (written to
+    /// `BENCH_quick.json`, never to the checked-in baseline).
+    pub quick: bool,
+    /// Tuples per relation used by the engine runs.
+    pub tuples_per_relation: u64,
+    /// Relations in the engine query.
+    pub relations: usize,
+    /// Logical processors given to the engine.
+    pub processors: usize,
+    /// Channel batch size.
+    pub batch_size: usize,
+    /// The isolated hot-path comparison.
+    pub pipelining_hot_path: HotPathComparison,
+    /// Full-engine runs, one per strategy.
+    pub strategies: Vec<StrategyRun>,
+}
+
+/// How tuples move through the hot-path benchmark.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Movement {
+    /// The seed representation's behaviour: every hop deep-copies, every
+    /// projection materializes the concatenated row, every flush allocates
+    /// a fresh batch buffer.
+    DeepCopy,
+    /// The zero-copy path as the engine now runs it.
+    Shared,
+}
+
+/// Runs a `workers`-way partition → route → pipelining-join dataflow over
+/// `n` build and `n` probe tuples of arity 6 (wide enough to defeat the
+/// inline fast path, so `DeepCopy` vs `Shared` isolates payload sharing;
+/// the projection output is arity 3 and exercises the inline path in
+/// `Shared` mode).
+fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> {
+    let spec = regular_join_spec(6);
+    let gen = WisconsinGenerator::new(n, 17);
+    let wide = |stream: usize| -> Vec<Tuple> {
+        // Arity-6 all-int rows: unique1, unique2, and four payload ints.
+        let base = gen.generate(stream);
+        base.iter()
+            .map(|t| {
+                let u1 = t.int(0).expect("unique1");
+                let u2 = t.int(1).expect("unique2");
+                Tuple::from_ints(&[u1, u2, u1, u2, u1, u2])
+            })
+            .collect()
+    };
+    let left = wide(0);
+    let right = wide(1);
+
+    let started = Instant::now();
+
+    // Partition the build side by index (Shared) or row-by-row deep copy
+    // (DeepCopy), mirroring the seed's `split_by` clone-per-row.
+    let mut build_parts: Vec<Vec<Tuple>> = (0..workers).map(|_| Vec::new()).collect();
+    for t in &left {
+        let dest = mj_relalg::hash::bucket_of(t.int(0)?, workers);
+        build_parts[dest].push(match movement {
+            Movement::DeepCopy => t.deep_clone(),
+            Movement::Shared => t.clone(),
+        });
+    }
+
+    let (txs, rxs, pool) = operand_channels(workers, ExecConfig::default().channel_capacity);
+    let batch = ExecConfig::default().batch_size;
+
+    // Consumers: one pipelining-join instance per worker; the build side
+    // is immediate, the probe side streams.
+    let consumers: Vec<_> = rxs
+        .into_iter()
+        .zip(build_parts)
+        .map(|(rx, build)| {
+            let spec = spec.clone();
+            std::thread::spawn(move || -> Result<(u64, u64)> {
+                let mut out = Vec::with_capacity(batch);
+                let mut seen = 0u64;
+                let mut matches = 0u64;
+                match movement {
+                    Movement::Shared => {
+                        let mut state = PipeliningJoinState::with_capacity(spec, build.len(), 0);
+                        for t in build {
+                            state.push_left(t, &mut out)?;
+                        }
+                        matches += out.len() as u64;
+                        out.clear();
+                        let mut remaining = workers;
+                        while remaining > 0 {
+                            match rx.recv() {
+                                Ok(Msg::Batch(mut b)) => {
+                                    for t in b.drain() {
+                                        seen += 1;
+                                        state.push_right(t, &mut out)?;
+                                        if out.len() >= batch {
+                                            matches += out.len() as u64;
+                                            out.clear();
+                                        }
+                                    }
+                                }
+                                Ok(Msg::End) => remaining -= 1,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    Movement::DeepCopy => {
+                        // Seed semantics, spelled out against the raw join
+                        // table: deep-copy on insert, probe emitting via
+                        // concat().project(), a second table fed with deep
+                        // copies — exactly what the pre-sharing
+                        // PipeliningJoinState did physically.
+                        let mut left_table = JoinTable::with_capacity(build.len());
+                        let mut right_table = JoinTable::new();
+                        for t in build {
+                            left_table.insert(t.int(spec.left_key)?, t.deep_clone());
+                        }
+                        let mut remaining = workers;
+                        while remaining > 0 {
+                            match rx.recv() {
+                                Ok(Msg::Batch(b)) => {
+                                    for t in b.tuples() {
+                                        seen += 1;
+                                        let key = t.int(spec.right_key)?;
+                                        for l in left_table.probe(key) {
+                                            out.push(l.concat(t).project(spec.projection.cols())?);
+                                        }
+                                        right_table.insert(key, t.deep_clone());
+                                        if out.len() >= batch {
+                                            matches += out.len() as u64;
+                                            out.clear();
+                                        }
+                                    }
+                                }
+                                Ok(Msg::End) => remaining -= 1,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                matches += out.len() as u64;
+                Ok((seen, matches))
+            })
+        })
+        .collect();
+
+    // Producers: route the probe side, split `workers` ways.
+    // Exactly `workers` producer slices (possibly empty), so the End
+    // protocol's producer count always matches.
+    let mut right_parts: Vec<Vec<Tuple>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, t) in right.iter().enumerate() {
+        right_parts[i % workers].push(t.clone());
+    }
+    let producers: Vec<_> = right_parts
+        .into_iter()
+        .map(|part| {
+            let txs = txs.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || -> Result<()> {
+                match movement {
+                    Movement::Shared => {
+                        let mut router = Router::new(txs, 0, batch, pool);
+                        for t in part {
+                            router.route(t)?;
+                        }
+                        router.finish()?;
+                    }
+                    Movement::DeepCopy => {
+                        // Seed semantics: per-destination buffers, a deep
+                        // copy per routed tuple, and a *fresh* Vec per
+                        // flushed batch.
+                        let mut buffers: Vec<Vec<Tuple>> =
+                            txs.iter().map(|_| Vec::with_capacity(batch)).collect();
+                        for t in part {
+                            let dest = mj_relalg::hash::bucket_of(t.int(0)?, txs.len());
+                            buffers[dest].push(t.deep_clone());
+                            if buffers[dest].len() >= batch {
+                                let full = std::mem::replace(
+                                    &mut buffers[dest],
+                                    Vec::with_capacity(batch),
+                                );
+                                txs[dest]
+                                    .send(Msg::Batch(mj_exec::stream::Batch::unpooled(full)))
+                                    .map_err(|_| {
+                                        mj_relalg::RelalgError::InvalidPlan(
+                                            "consumer hung up".into(),
+                                        )
+                                    })?;
+                            }
+                        }
+                        for (dest, buf) in buffers.into_iter().enumerate() {
+                            if !buf.is_empty() {
+                                txs[dest]
+                                    .send(Msg::Batch(mj_exec::stream::Batch::unpooled(buf)))
+                                    .map_err(|_| {
+                                        mj_relalg::RelalgError::InvalidPlan(
+                                            "consumer hung up".into(),
+                                        )
+                                    })?;
+                            }
+                        }
+                        for tx in &txs {
+                            tx.send(Msg::End).map_err(|_| {
+                                mj_relalg::RelalgError::InvalidPlan("consumer hung up".into())
+                            })?;
+                        }
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    drop(txs);
+
+    for p in producers {
+        p.join().expect("producer thread")?;
+    }
+    let mut seen = 0u64;
+    let mut matches = 0u64;
+    for c in consumers {
+        let (s, m) = c.join().expect("consumer thread")?;
+        seen += s;
+        matches += m;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = (left.len() + right.len()) as u64;
+    debug_assert_eq!(seen, right.len() as u64);
+    Ok(HotPathRun {
+        tuples: total,
+        matches,
+        elapsed_s: elapsed,
+        tuples_per_sec: total as f64 / elapsed,
+    })
+}
+
+/// Measures the hot path in both modes, best-of-`reps`.
+pub fn hot_path_comparison(n: usize, reps: usize) -> Result<HotPathComparison> {
+    let best = |movement: Movement| -> Result<HotPathRun> {
+        let mut best: Option<HotPathRun> = None;
+        for _ in 0..reps.max(1) {
+            let run = hot_path(n, HOT_PATH_WORKERS, movement)?;
+            if best.map(|b| run.elapsed_s < b.elapsed_s).unwrap_or(true) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("at least one rep"))
+    };
+    let baseline = best(Movement::DeepCopy)?;
+    let shared = best(Movement::Shared)?;
+    Ok(HotPathComparison {
+        workers: HOT_PATH_WORKERS,
+        baseline_deep_copy: baseline,
+        shared_zero_copy: shared,
+        speedup: shared.tuples_per_sec / baseline.tuples_per_sec,
+    })
+}
+
+/// Runs the four strategies on the real engine (right-linear regular
+/// query) and reports wall clock, throughput, and peak table bytes.
+pub fn strategy_runs(relations: usize, n: usize, processors: usize) -> Result<Vec<StrategyRun>> {
+    let catalog = Arc::new(Catalog::new());
+    for (name, rel) in WisconsinGenerator::new(n, 42).generate_named("R", relations) {
+        catalog.register(name, rel);
+    }
+    let tree = build(Shape::RightLinear, relations).expect("tree shape");
+    let cards = node_cards(&tree, &UniformOneToOne { n: n as u64 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let binding = QueryBinding::regular(&tree, catalog.as_ref())?;
+    let mut out = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut input = GeneratorInput::new(&tree, &cards, &costs, processors);
+        input.allow_oversubscribe = processors < tree.join_count();
+        let plan = generate(strategy, &input)?;
+        let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())?;
+        let consumed: u64 = outcome
+            .metrics
+            .ops
+            .iter()
+            .map(|o| o.tuples_in[0] + o.tuples_in[1])
+            .sum();
+        let peak: u64 = outcome.metrics.ops.iter().map(|o| o.table_bytes).sum();
+        out.push(StrategyRun {
+            strategy: strategy.label().to_string(),
+            elapsed_s: outcome.elapsed.as_secs_f64(),
+            tuples_per_sec: consumed as f64 / outcome.elapsed.as_secs_f64(),
+            peak_table_bytes: peak,
+            result_tuples: outcome.relation.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Produces the full report. `quick` shrinks the workload for CI smoke
+/// runs; the checked-in baseline uses the full size.
+pub fn bench_report(quick: bool) -> Result<BenchReport> {
+    let (hot_n, reps, n, relations, processors) = if quick {
+        (20_000, 1, 2_000, 5, 4)
+    } else {
+        (200_000, 3, 20_000, 10, 8)
+    };
+    Ok(BenchReport {
+        bench: 1,
+        quick,
+        tuples_per_relation: n as u64,
+        relations,
+        processors,
+        batch_size: ExecConfig::default().batch_size,
+        pipelining_hot_path: hot_path_comparison(hot_n, reps)?,
+        strategies: strategy_runs(relations, n, processors)?,
+    })
+}
+
+/// Renders a report as pretty-enough JSON (one strategy per line).
+pub fn report_to_json(report: &BenchReport) -> String {
+    // The shim's serializer is compact; expand the two top-level arrays a
+    // little for reviewability.
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("},{", "},\n  {")
+        .replace("\"strategies\":[", "\"strategies\":[\n  ")
+        .replace("\"pipelining_hot_path\":", "\n\"pipelining_hot_path\":\n  ")
+        .replace("]}", "\n]}")
+        .replace("{\"bench\"", "{\n\"bench\"")
+}
+
+/// Validates the schema of an emitted report (used by the CI smoke run).
+pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in [
+        "bench",
+        "tuples_per_relation",
+        "relations",
+        "processors",
+        "batch_size",
+        "pipelining_hot_path",
+        "strategies",
+    ] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let hot = v.get("pipelining_hot_path").expect("checked");
+    for key in [
+        "workers",
+        "baseline_deep_copy",
+        "shared_zero_copy",
+        "speedup",
+    ] {
+        if hot.get(key).is_none() {
+            return Err(format!("missing key `pipelining_hot_path.{key}`"));
+        }
+    }
+    match v.get("strategies") {
+        Some(JsonValue::Arr(items)) if items.len() == 4 => {}
+        _ => return Err("`strategies` must be an array of 4 runs".into()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickest_report_is_valid_and_faster_shared() {
+        let hot = hot_path_comparison(8_000, 1).unwrap();
+        assert_eq!(hot.baseline_deep_copy.tuples, hot.shared_zero_copy.tuples);
+        assert_eq!(
+            hot.baseline_deep_copy.matches, hot.shared_zero_copy.matches,
+            "both movements must compute the same join"
+        );
+        assert!(hot.speedup > 0.0);
+    }
+
+    #[test]
+    fn strategy_runs_cover_all_strategies() {
+        let runs = strategy_runs(4, 300, 3).unwrap();
+        assert_eq!(runs.len(), 4);
+        for r in &runs {
+            assert_eq!(r.result_tuples, 300, "{}", r.strategy);
+            assert!(r.tuples_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_json_schema_validates() {
+        let report = BenchReport {
+            bench: 1,
+            quick: false,
+            tuples_per_relation: 10,
+            relations: 2,
+            processors: 2,
+            batch_size: 8,
+            pipelining_hot_path: HotPathComparison {
+                workers: 4,
+                baseline_deep_copy: HotPathRun {
+                    tuples: 1,
+                    matches: 1,
+                    elapsed_s: 1.0,
+                    tuples_per_sec: 1.0,
+                },
+                shared_zero_copy: HotPathRun {
+                    tuples: 1,
+                    matches: 1,
+                    elapsed_s: 0.5,
+                    tuples_per_sec: 2.0,
+                },
+                speedup: 2.0,
+            },
+            strategies: (0..4)
+                .map(|i| StrategyRun {
+                    strategy: format!("S{i}"),
+                    elapsed_s: 1.0,
+                    tuples_per_sec: 1.0,
+                    peak_table_bytes: 1,
+                    result_tuples: 1,
+                })
+                .collect(),
+        };
+        let json = report_to_json(&report);
+        validate_report_json(&json).unwrap();
+        assert!(validate_report_json("{}").is_err());
+    }
+}

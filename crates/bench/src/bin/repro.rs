@@ -17,6 +17,7 @@
 //!   ablation-skew         partition balance under Zipf skew (§3.5)
 //!   ablation-pipeline     linear vs bushy pipeline fill delay (§2.3.3)
 //!   real                  the four strategies on the real threaded engine
+//!   bench [--quick]       machine-readable perf baseline -> BENCH_1.json
 //!
 //! CSV series are written to results/.
 
@@ -24,7 +25,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mj_bench::{format_table, paper_processor_counts, simulate_tree, sweep, write_csv, PAPER_SIZES};
+use mj_bench::{
+    bench_report, format_table, paper_processor_counts, report_to_json, simulate_tree, sweep,
+    validate_report_json, write_csv, PAPER_SIZES,
+};
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
 use mj_core::strategy::Strategy;
@@ -35,18 +39,35 @@ use mj_plan::segment::segments;
 use mj_plan::shapes::{build, Shape};
 use mj_plan::transform::right_orient;
 use mj_plan::{query, render};
-use mj_sim::{
-    peak_bytes_per_processor, render_gantt, run_scenario, simulate, Scenario, SimParams,
-};
+use mj_sim::{peak_bytes_per_processor, render_gantt, run_scenario, simulate, Scenario, SimParams};
 use mj_storage::{skew, Catalog, WisconsinGenerator};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "costfn", "ablation-twophase", "ablation-optimizers",
-            "ablation-mirror", "ablation-memory", "ablation-skew", "ablation-pipeline", "real",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "costfn",
+            "ablation-twophase",
+            "ablation-optimizers",
+            "ablation-mirror",
+            "ablation-memory",
+            "ablation-skew",
+            "ablation-pipeline",
+            "real",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -75,6 +96,7 @@ fn main() {
             "ablation-skew" => ablation_skew(),
             "ablation-pipeline" => ablation_pipeline(),
             "real" => real_engine(),
+            "bench" => emit_bench_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -128,7 +150,11 @@ fn fig8_shapes() {
     println!("== Figure 8: query shapes used in the experiments ==");
     for shape in Shape::ALL {
         let tree = build(shape, 10).expect("shape");
-        println!("--- {shape} (depth {}, right spine {}) ---", tree.depth(), tree.right_spine_len());
+        println!(
+            "--- {shape} (depth {}, right spine {}) ---",
+            tree.depth(),
+            tree.right_spine_len()
+        );
         println!("{}", render::render(&tree));
     }
 }
@@ -158,11 +184,11 @@ fn response_figure(shape: Shape, fig_no: u32) {
             csv_rows.push(csv_row);
         }
         println!("--- {}K tuples/relation ---", tuples / 1000);
-        println!("{}", format_table(&["procs", "SP", "SE", "RD", "FP"], &rows));
-        let path = format!(
-            "results/fig{fig_no}_{}k.csv",
-            tuples / 1000
+        println!(
+            "{}",
+            format_table(&["procs", "SP", "SE", "RD", "FP"], &rows)
         );
+        let path = format!("results/fig{fig_no}_{}k.csv", tuples / 1000);
         write_csv(&path, &["procs", "SP", "SE", "RD", "FP"], &csv_rows).expect("csv");
         println!("[series written to {path}]");
     }
@@ -183,7 +209,10 @@ fn fig14_best() {
                 .iter()
                 .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
                 .expect("non-empty");
-            row.push(format!("{:.1} ({}{})", best.seconds, best.strategy, best.processors));
+            row.push(format!(
+                "{:.1} ({}{})",
+                best.seconds, best.strategy, best.processors
+            ));
             csv_row.push(format!("{:.4}", best.seconds));
             csv_row.push(format!("{}{}", best.strategy, best.processors));
         }
@@ -193,7 +222,13 @@ fn fig14_best() {
     println!("{}", format_table(&["shape", "5K best", "40K best"], &rows));
     write_csv(
         "results/fig14.csv",
-        &["shape", "best_5k_s", "best_5k_cfg", "best_40k_s", "best_40k_cfg"],
+        &[
+            "shape",
+            "best_5k_s",
+            "best_5k_cfg",
+            "best_40k_s",
+            "best_40k_cfg",
+        ],
         &csv_rows,
     )
     .expect("csv");
@@ -218,7 +253,10 @@ fn costfn_invariance() {
             ]);
         }
     }
-    println!("{}", format_table(&["size", "shape", "total cost (units)", "per N"], &rows));
+    println!(
+        "{}",
+        format_table(&["size", "shape", "total cost (units)", "per N"], &rows)
+    );
     println!("(the paper's premise: all trees cost 44N, so response-time differences are pure parallelization)");
 }
 
@@ -243,8 +281,8 @@ fn ablation_twophase() {
         let mut two_phase_cfg = String::new();
         for &p in &procs {
             for strategy in Strategy::ALL {
-                let (_, sim) = simulate_tree(&phase1.tree, strategy, tuples, p, &params)
-                    .expect("sim");
+                let (_, sim) =
+                    simulate_tree(&phase1.tree, strategy, tuples, p, &params).expect("sim");
                 if sim.response_time < two_phase {
                     two_phase = sim.response_time;
                     two_phase_cfg = format!("{strategy}{p}");
@@ -264,7 +302,11 @@ fn ablation_twophase() {
         }
         rows.push(vec![
             format!("{}K", tuples / 1000),
-            format!("depth {}, spine {}", phase1.tree.depth(), phase1.tree.right_spine_len()),
+            format!(
+                "depth {}, spine {}",
+                phase1.tree.depth(),
+                phase1.tree.right_spine_len()
+            ),
             format!("{two_phase:.1}s ({two_phase_cfg})"),
             format!("{joint:.1}s ({joint_cfg})"),
             format!("{:.0}%", 100.0 * (two_phase / joint - 1.0)),
@@ -273,7 +315,13 @@ fn ablation_twophase() {
     println!(
         "{}",
         format_table(
-            &["size", "phase-1 tree", "two-phase best", "joint best", "regret"],
+            &[
+                "size",
+                "phase-1 tree",
+                "two-phase best",
+                "joint best",
+                "regret"
+            ],
             &rows
         )
     );
@@ -321,7 +369,11 @@ fn ablation_optimizers() {
         };
         let t = Instant::now();
         let dp = optimize_bushy(graph, &cm).expect("dp");
-        rows.push(timed("bushy DP (optimum)", dp, t.elapsed().as_secs_f64() * 1e6));
+        rows.push(timed(
+            "bushy DP (optimum)",
+            dp,
+            t.elapsed().as_secs_f64() * 1e6,
+        ));
         let t = Instant::now();
         let lin = optimize_linear(graph, &cm).expect("linear dp");
         rows.push(timed("linear DP", lin, t.elapsed().as_secs_f64() * 1e6));
@@ -330,17 +382,28 @@ fn ablation_optimizers() {
         rows.push(timed("greedy", gr, t.elapsed().as_secs_f64() * 1e6));
         let t = Instant::now();
         let ii = iterative_improvement(graph, &cm, IterativeOptions::default()).expect("ii");
-        rows.push(timed("iterative improvement", ii, t.elapsed().as_secs_f64() * 1e6));
+        rows.push(timed(
+            "iterative improvement",
+            ii,
+            t.elapsed().as_secs_f64() * 1e6,
+        ));
         let t = Instant::now();
         let sa = simulated_annealing(graph, &cm, AnnealingOptions::default()).expect("sa");
-        rows.push(timed("simulated annealing", sa, t.elapsed().as_secs_f64() * 1e6));
+        rows.push(timed(
+            "simulated annealing",
+            sa,
+            t.elapsed().as_secs_f64() * 1e6,
+        ));
         let t = Instant::now();
         let rnd = random_tree(graph, &cm, 1).expect("random");
         rows.push(timed("random tree", rnd, t.elapsed().as_secs_f64() * 1e6));
     }
     println!(
         "{}",
-        format_table(&["query", "optimizer", "total cost", "vs optimum", "time"], &rows)
+        format_table(
+            &["query", "optimizer", "total cost", "vs optimum", "time"],
+            &rows
+        )
     );
 }
 
@@ -370,7 +433,16 @@ fn ablation_mirror() {
     }
     println!(
         "{}",
-        format_table(&["shape", "procs", "RD as-is (s)", "RD mirrored (s)", "speedup"], &rows)
+        format_table(
+            &[
+                "shape",
+                "procs",
+                "RD as-is (s)",
+                "RD mirrored (s)",
+                "speedup"
+            ],
+            &rows
+        )
     );
 }
 
@@ -426,11 +498,18 @@ fn ablation_skew() {
     println!(
         "{}",
         format_table(
-            &["theta", "top-key share", "max/avg fragment", "idle at barrier"],
+            &[
+                "theta",
+                "top-key share",
+                "max/avg fragment",
+                "idle at barrier"
+            ],
             &rows
         )
     );
-    println!("(at theta >= 0.9 one fragment dominates: the proportional-allocation premise breaks)");
+    println!(
+        "(at theta >= 0.9 one fragment dominates: the proportional-allocation premise breaks)"
+    );
 
     // End-to-end: the same imbalance applied per operation in the
     // simulator (wide bushy, 40K, 80 processors). SP partitions every
@@ -462,9 +541,14 @@ fn ablation_skew() {
         }
         rows.push(row);
     }
-    println!("{}", format_table(&["theta", "SP", "SE", "RD", "FP"], &rows));
+    println!(
+        "{}",
+        format_table(&["theta", "SP", "SE", "RD", "FP"], &rows)
+    );
     println!("(slowdown vs theta=0: wide partitioning amplifies skew — SP and RD's spine degrade");
-    println!(" ~5x at theta=1.2 while FP's narrow private buckets hold at 3x, flipping the ranking)");
+    println!(
+        " ~5x at theta=1.2 while FP's narrow private buckets hold at 3x, flipping the ranking)"
+    );
 }
 
 /// §2.3.3: a linear-pipeline step costs a constant delay; a bushy step
@@ -513,12 +597,63 @@ fn ablation_pipeline() {
     }
     println!(
         "{}",
+        format_table(&["tuples/rel", "linear step (s)", "bushy level (s)"], &rows)
+    );
+    println!("(linear step stays ~constant; the bushy level grows with operand size — [WiA93])");
+}
+
+/// Produces `BENCH_1.json`: the machine-readable perf baseline for this
+/// machine (see `mj_bench::bench_json`). `--quick` shrinks the workload
+/// for CI smoke validation.
+fn emit_bench_json(quick: bool) {
+    println!(
+        "== BENCH_1.json: zero-copy perf baseline ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench_report(quick).expect("bench report");
+    let hot = &report.pipelining_hot_path;
+    println!(
+        "pipelining hot path ({} workers): deep-copy {:.2}s ({:.0} tuples/s) -> shared {:.2}s ({:.0} tuples/s), speedup {:.2}x",
+        hot.workers,
+        hot.baseline_deep_copy.elapsed_s,
+        hot.baseline_deep_copy.tuples_per_sec,
+        hot.shared_zero_copy.elapsed_s,
+        hot.shared_zero_copy.tuples_per_sec,
+        hot.speedup,
+    );
+    let mut rows = Vec::new();
+    for r in &report.strategies {
+        rows.push(vec![
+            r.strategy.clone(),
+            format!("{:.1} ms", r.elapsed_s * 1e3),
+            format!("{:.0}", r.tuples_per_sec),
+            format!("{} KB", r.peak_table_bytes / 1024),
+            r.result_tuples.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
         format_table(
-            &["tuples/rel", "linear step (s)", "bushy level (s)"],
+            &["strategy", "elapsed", "tuples/s", "peak table", "result"],
             &rows
         )
     );
-    println!("(linear step stays ~constant; the bushy level grows with operand size — [WiA93])");
+    let json = report_to_json(&report);
+    validate_report_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_quick.json"
+    } else {
+        "BENCH_1.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && hot.speedup < 1.5 {
+        eprintln!(
+            "WARNING: hot-path speedup {:.2}x below the 1.5x acceptance floor",
+            hot.speedup
+        );
+    }
 }
 
 /// The four strategies on the real threaded engine (host-scale sanity).
@@ -543,8 +678,8 @@ fn real_engine() {
             input.allow_oversubscribe = true;
             let plan = generate(strategy, &input).expect("plan");
             let binding = QueryBinding::regular(&tree, catalog.as_ref()).expect("binding");
-            let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())
-                .expect("run");
+            let outcome =
+                run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).expect("run");
             let ok = outcome.relation.multiset_eq(&reference[&shape]);
             rows.push(vec![
                 shape.label().to_string(),
@@ -560,7 +695,15 @@ fn real_engine() {
     println!(
         "{}",
         format_table(
-            &["shape", "strategy", "elapsed", "processes", "streams", "result", "vs oracle"],
+            &[
+                "shape",
+                "strategy",
+                "elapsed",
+                "processes",
+                "streams",
+                "result",
+                "vs oracle"
+            ],
             &rows
         )
     );

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn processor_grids_match_the_paper() {
-        assert_eq!(paper_processor_counts(5_000), vec![20, 30, 40, 50, 60, 70, 80]);
+        assert_eq!(
+            paper_processor_counts(5_000),
+            vec![20, 30, 40, 50, 60, 70, 80]
+        );
         assert_eq!(paper_processor_counts(40_000), vec![30, 40, 50, 60, 70, 80]);
     }
 

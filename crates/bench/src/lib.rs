@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 
 pub mod ascii;
+pub mod bench_json;
 pub mod csvout;
 pub mod grid;
 
 pub use ascii::format_table;
+pub use bench_json::{bench_report, report_to_json, validate_report_json, BenchReport};
 pub use csvout::write_csv;
 pub use grid::{paper_processor_counts, simulate_tree, sweep, SweepPoint, PAPER_SIZES};

@@ -23,7 +23,9 @@ pub fn proportional_counts(weights: &[f64], total: usize) -> Result<Vec<usize>> 
         return Err(RelalgError::InvalidPlan("no operations to allocate".into()));
     }
     if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-        return Err(RelalgError::InvalidPlan("weights must be finite and non-negative".into()));
+        return Err(RelalgError::InvalidPlan(
+            "weights must be finite and non-negative".into(),
+        ));
     }
     let n = weights.len();
     if total < n {
@@ -61,8 +63,7 @@ pub fn proportional_counts(weights: &[f64], total: usize) -> Result<Vec<usize>> 
     }
     // Enforce the floor of one processor per operation by taking from the
     // most-provisioned operations (possible because total >= n).
-    loop {
-        let Some(zero) = counts.iter().position(|&c| c == 0) else { break };
+    while let Some(zero) = counts.iter().position(|&c| c == 0) {
         let donor = counts
             .iter()
             .enumerate()
@@ -88,7 +89,11 @@ fn equal_counts(n: usize, total: usize) -> Vec<usize> {
 /// [`proportional_counts`]).
 pub fn carve(counts: &[usize], pool: &[ProcId]) -> Vec<Vec<ProcId>> {
     let needed: usize = counts.iter().sum();
-    assert!(pool.len() >= needed, "pool {} < needed {needed}", pool.len());
+    assert!(
+        pool.len() >= needed,
+        "pool {} < needed {needed}",
+        pool.len()
+    );
     let mut out = Vec::with_capacity(counts.len());
     let mut cursor = 0usize;
     for &c in counts {
@@ -114,7 +119,11 @@ pub fn discretization_error(weights: &[f64], counts: &[usize]) -> f64 {
         .map(|(&w, &c)| {
             let work_share = w / weight_sum;
             let proc_share = c as f64 / total as f64;
-            if work_share > 0.0 { (proc_share / work_share - 1.0).abs() } else { 0.0 }
+            if work_share > 0.0 {
+                (proc_share / work_share - 1.0).abs()
+            } else {
+                0.0
+            }
         })
         .fold(0.0, f64::max)
 }

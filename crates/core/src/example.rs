@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(seg.segments.len(), 2);
         // The root segment pipelines 3 -> 5 -> 1; J4 is its own segment.
         let root_seg = seg.seg_of[joins.j1].unwrap();
-        assert_eq!(seg.segments[root_seg].joins, vec![joins.j3, joins.j5, joins.j1]);
+        assert_eq!(
+            seg.segments[root_seg].joins,
+            vec![joins.j3, joins.j5, joins.j1]
+        );
         let j4_seg = seg.seg_of[joins.j4].unwrap();
         assert_eq!(seg.segments[j4_seg].joins, vec![joins.j4]);
         // J4's segment runs first (Fig. 6: all processors on join 4).

@@ -46,21 +46,35 @@ impl<'a> GeneratorInput<'a> {
         costs: &'a TreeCosts,
         processors: usize,
     ) -> Self {
-        GeneratorInput { tree, cards, costs, processors, allow_oversubscribe: false }
+        GeneratorInput {
+            tree,
+            cards,
+            costs,
+            processors,
+            allow_oversubscribe: false,
+        }
     }
 
     fn check(&self) -> Result<()> {
         if self.processors == 0 {
-            return Err(RelalgError::InvalidPlan("a plan needs >= 1 processor".into()));
+            return Err(RelalgError::InvalidPlan(
+                "a plan needs >= 1 processor".into(),
+            ));
         }
         if self.tree.join_count() == 0 {
-            return Err(RelalgError::InvalidPlan("tree has no joins to parallelize".into()));
+            return Err(RelalgError::InvalidPlan(
+                "tree has no joins to parallelize".into(),
+            ));
         }
         if self.cards.len() != self.tree.nodes().len() {
-            return Err(RelalgError::InvalidPlan("cards must cover every tree node".into()));
+            return Err(RelalgError::InvalidPlan(
+                "cards must cover every tree node".into(),
+            ));
         }
         if self.costs.per_join.len() != self.tree.nodes().len() {
-            return Err(RelalgError::InvalidPlan("costs must cover every tree node".into()));
+            return Err(RelalgError::InvalidPlan(
+                "costs must cover every tree node".into(),
+            ));
         }
         self.tree.validate()
     }
@@ -101,9 +115,9 @@ impl<'a> PlanBuilder<'a> {
     /// back from materialized fragments.
     pub fn operand(&self, child: NodeId, pipelined: bool) -> OperandSource {
         match &self.input.tree.nodes()[child] {
-            mj_plan::tree::TreeNode::Leaf { relation } => {
-                OperandSource::Base { relation: relation.clone() }
-            }
+            mj_plan::tree::TreeNode::Leaf { relation } => OperandSource::Base {
+                relation: relation.clone(),
+            },
             mj_plan::tree::TreeNode::Join { .. } => {
                 let from = self.op_of[child].expect("children scheduled before parents");
                 if pipelined {
@@ -170,7 +184,9 @@ pub(crate) fn allocate_groups(
         let counts = proportional_counts(weights, pool.len())?;
         Ok((carve(&counts, pool), false))
     } else if allow_share {
-        let groups = (0..weights.len()).map(|i| vec![pool[i % pool.len()]]).collect();
+        let groups = (0..weights.len())
+            .map(|i| vec![pool[i % pool.len()]])
+            .collect();
         Ok((groups, true))
     } else {
         Err(RelalgError::InvalidPlan(format!(
@@ -190,11 +206,7 @@ mod tests {
     use mj_plan::cost::{tree_costs, CostModel};
     use mj_plan::shapes::{build, Shape};
 
-    pub(crate) fn fixture(
-        shape: Shape,
-        k: usize,
-        n: u64,
-    ) -> (JoinTree, Vec<u64>, TreeCosts) {
+    pub(crate) fn fixture(shape: Shape, k: usize, n: u64) -> (JoinTree, Vec<u64>, TreeCosts) {
         let tree = build(shape, k).unwrap();
         let cards = node_cards(&tree, &UniformOneToOne { n });
         let costs = tree_costs(&tree, &cards, &CostModel::default());
@@ -213,7 +225,10 @@ mod tests {
 
         let single = JoinTree::single("R");
         let c = vec![1u64];
-        let tc = TreeCosts { per_join: vec![0.0], total: 0.0 };
+        let tc = TreeCosts {
+            per_join: vec![0.0],
+            total: 0.0,
+        };
         let no_joins = GeneratorInput::new(&single, &c, &tc, 8);
         assert!(generate(Strategy::FP, &no_joins).is_err());
     }

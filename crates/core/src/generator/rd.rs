@@ -46,8 +46,7 @@ pub(crate) fn generate(input: &GeneratorInput<'_>) -> Result<ParallelPlan> {
                     .sum()
             })
             .collect();
-        let (seg_pools, shared) =
-            allocate_groups(&seg_weights, &pool, input.allow_oversubscribe)?;
+        let (seg_pools, shared) = allocate_groups(&seg_weights, &pool, input.allow_oversubscribe)?;
         b.oversubscribed |= shared;
 
         let mut this_wave_ops: Vec<OpId> = Vec::new();
@@ -110,7 +109,10 @@ mod tests {
         // 8 pipeline edges up the spine.
         assert_eq!(plan.stats().pipeline_edges, 8);
         // Like FP, but with the simple join.
-        assert!(plan.ops.iter().all(|op| op.algorithm == JoinAlgorithm::Simple));
+        assert!(plan
+            .ops
+            .iter()
+            .all(|op| op.algorithm == JoinAlgorithm::Simple));
     }
 
     #[test]
@@ -124,7 +126,10 @@ mod tests {
             assert_eq!(op.degree(), 40, "every singleton segment gets the machine");
         }
         assert_eq!(rd.stats().pipeline_edges, 0);
-        assert_eq!(rd.stats().operation_processes, sp.stats().operation_processes);
+        assert_eq!(
+            rd.stats().operation_processes,
+            sp.stats().operation_processes
+        );
     }
 
     #[test]

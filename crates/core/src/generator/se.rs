@@ -23,7 +23,13 @@ pub(crate) fn generate(input: &GeneratorInput<'_>) -> Result<ParallelPlan> {
     // Total work per subtree, used to balance sibling allocations.
     let subtree_work = compute_subtree_work(input);
     let pool: Vec<ProcId> = (0..input.processors).collect();
-    schedule(&mut b, input.tree.root(), &pool, &subtree_work, &mut Vec::new())?;
+    schedule(
+        &mut b,
+        input.tree.root(),
+        &pool,
+        &subtree_work,
+        &mut Vec::new(),
+    )?;
     Ok(b.finish(Strategy::SE))
 }
 
@@ -73,11 +79,8 @@ fn schedule(
             // total work [CYW92]. With a single processor in the pool the
             // subtrees run sequentially instead.
             if pool.len() >= 2 {
-                let (groups, _) = allocate_groups(
-                    &[subtree_work[l], subtree_work[r]],
-                    pool,
-                    false,
-                )?;
+                let (groups, _) =
+                    allocate_groups(&[subtree_work[l], subtree_work[r]], pool, false)?;
                 if let Some(op) = schedule(b, l, &groups[0], subtree_work, barrier)? {
                     deps.push(op);
                 }
@@ -125,7 +128,10 @@ mod tests {
             for op in &se.ops {
                 assert_eq!(op.degree(), 40, "{shape}");
             }
-            assert_eq!(se.stats().operation_processes, sp.stats().operation_processes);
+            assert_eq!(
+                se.stats().operation_processes,
+                sp.stats().operation_processes
+            );
             assert_eq!(se.stats().pipeline_edges, 0);
         }
     }
@@ -142,7 +148,10 @@ mod tests {
         let l_op = plan.op_for_join(l).unwrap();
         let r_op = plan.op_for_join(r).unwrap();
         assert!(l_op.degree() < 40 && r_op.degree() < 40);
-        assert!(l_op.procs.iter().all(|p| !r_op.procs.contains(p)), "disjoint pools");
+        assert!(
+            l_op.procs.iter().all(|p| !r_op.procs.contains(p)),
+            "disjoint pools"
+        );
         // The root join runs on everything.
         assert_eq!(plan.sink().degree(), 40);
     }

@@ -153,7 +153,11 @@ impl ParallelPlan {
                 }
             }
         }
-        PlanStats { operation_processes: processes, tuple_streams: streams, pipeline_edges }
+        PlanStats {
+            operation_processes: processes,
+            tuple_streams: streams,
+            pipeline_edges,
+        }
     }
 
     /// Groups ops into *concurrency classes*: two ops can run at the same
@@ -200,7 +204,11 @@ impl fmt::Display for ParallelPlan {
             self.strategy,
             self.processors,
             self.ops.len(),
-            if self.oversubscribed { ", oversubscribed" } else { "" }
+            if self.oversubscribed {
+                ", oversubscribed"
+            } else {
+                ""
+            }
         )?;
         for op in &self.ops {
             let src = |s: &OperandSource| match s {
@@ -235,7 +243,11 @@ fn compress_procs(procs: &[ProcId]) -> Vec<String> {
             end = procs[i + 1];
             i += 1;
         }
-        out.push(if start == end { format!("{start}") } else { format!("{start}-{end}") });
+        out.push(if start == end {
+            format!("{start}")
+        } else {
+            format!("{start}-{end}")
+        });
         i += 1;
     }
     out
@@ -258,8 +270,12 @@ mod tests {
                     join: joins[0],
                     algorithm: JoinAlgorithm::Pipelining,
                     procs: vec![0, 1, 2],
-                    left: OperandSource::Base { relation: "R1".into() },
-                    right: OperandSource::Base { relation: "R2".into() },
+                    left: OperandSource::Base {
+                        relation: "R1".into(),
+                    },
+                    right: OperandSource::Base {
+                        relation: "R2".into(),
+                    },
                     start_after: vec![],
                     est_left: 10,
                     est_right: 10,
@@ -270,7 +286,9 @@ mod tests {
                     join: joins[1],
                     algorithm: JoinAlgorithm::Pipelining,
                     procs: vec![3],
-                    left: OperandSource::Base { relation: "R0".into() },
+                    left: OperandSource::Base {
+                        relation: "R0".into(),
+                    },
                     right: OperandSource::Stream { from: 0 },
                     start_after: vec![],
                     est_left: 10,
@@ -303,7 +321,9 @@ mod tests {
 
     #[test]
     fn operand_source_helpers() {
-        let base = OperandSource::Base { relation: "R".into() };
+        let base = OperandSource::Base {
+            relation: "R".into(),
+        };
         let stream = OperandSource::Stream { from: 3 };
         let mat = OperandSource::Materialized { from: 7 };
         assert_eq!(base.producer(), None);

@@ -37,10 +37,16 @@ pub fn validate_plan(plan: &ParallelPlan) -> Result<()> {
     let mut join_seen = HashSet::new();
     for (idx, op) in plan.ops.iter().enumerate() {
         if op.id != idx {
-            return Err(RelalgError::InvalidPlan(format!("op {idx} has id {}", op.id)));
+            return Err(RelalgError::InvalidPlan(format!(
+                "op {idx} has id {}",
+                op.id
+            )));
         }
         if !join_seen.insert(op.join) {
-            return Err(RelalgError::InvalidPlan(format!("join {} scheduled twice", op.join)));
+            return Err(RelalgError::InvalidPlan(format!(
+                "join {} scheduled twice",
+                op.join
+            )));
         }
         let Some((l, r)) = tree.children(op.join) else {
             return Err(RelalgError::InvalidPlan(format!("op {idx} targets a leaf")));
@@ -48,7 +54,9 @@ pub fn validate_plan(plan: &ParallelPlan) -> Result<()> {
         check_operand(plan, idx, &op.left, l, &deps[idx])?;
         check_operand(plan, idx, &op.right, r, &deps[idx])?;
         if op.procs.is_empty() {
-            return Err(RelalgError::InvalidPlan(format!("op {idx} has no processors")));
+            return Err(RelalgError::InvalidPlan(format!(
+                "op {idx} has no processors"
+            )));
         }
         if let Some(&bad) = op.procs.iter().find(|&&p| p >= plan.processors) {
             return Err(RelalgError::InvalidPlan(format!(
@@ -121,8 +129,7 @@ fn check_operand(
                     plan.ops[from].join
                 )));
             }
-            if matches!(src, OperandSource::Materialized { .. })
-                && !transitive_deps.contains(&from)
+            if matches!(src, OperandSource::Materialized { .. }) && !transitive_deps.contains(&from)
             {
                 return Err(RelalgError::InvalidPlan(format!(
                     "op {op_idx} reads materialized op {from} without waiting for it"
@@ -143,7 +150,7 @@ mod tests {
     use mj_plan::shapes::{build, Shape};
 
     fn valid_plan() -> ParallelPlan {
-        let tree = build(Shape::WideBushy, 6, ).unwrap();
+        let tree = build(Shape::WideBushy, 6).unwrap();
         let cards = node_cards(&tree, &UniformOneToOne { n: 100 });
         let costs = tree_costs(&tree, &cards, &CostModel::default());
         let input = GeneratorInput::new(&tree, &cards, &costs, 12);

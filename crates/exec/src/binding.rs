@@ -47,7 +47,10 @@ impl QueryBinding {
         }
         Ok(QueryBinding {
             specs,
-            schemas: schemas.into_iter().map(|s| s.expect("all filled")).collect(),
+            schemas: schemas
+                .into_iter()
+                .map(|s| s.expect("all filled"))
+                .collect(),
         })
     }
 
@@ -74,9 +77,10 @@ impl QueryBinding {
 
     /// The output schema of any tree node.
     pub fn schema(&self, node: NodeId) -> Result<&Arc<Schema>> {
-        self.schemas
-            .get(node)
-            .ok_or(RelalgError::IndexOutOfBounds { index: node, arity: self.schemas.len() })
+        self.schemas.get(node).ok_or(RelalgError::IndexOutOfBounds {
+            index: node,
+            arity: self.schemas.len(),
+        })
     }
 }
 
@@ -88,13 +92,19 @@ mod tests {
     use std::collections::HashMap as Map;
 
     fn provider(k: usize) -> Map<String, Arc<Relation>> {
-        let schema =
-            Schema::new(vec![Attribute::int("unique1"), Attribute::int("unique2"), Attribute::int("filler")])
-                .shared();
+        let schema = Schema::new(vec![
+            Attribute::int("unique1"),
+            Attribute::int("unique2"),
+            Attribute::int("filler"),
+        ])
+        .shared();
         let mut m = Map::new();
         for i in 0..k {
             let tuples = (0..10).map(|v| Tuple::from_ints(&[v, v, v])).collect();
-            m.insert(format!("R{i}"), Arc::new(Relation::new_unchecked(schema.clone(), tuples)));
+            m.insert(
+                format!("R{i}"),
+                Arc::new(Relation::new_unchecked(schema.clone(), tuples)),
+            );
         }
         m
     }
@@ -106,7 +116,11 @@ mod tests {
         let b = QueryBinding::regular(&tree, &p).unwrap();
         for j in tree.joins_bottom_up() {
             assert!(b.spec(j).is_ok());
-            assert_eq!(b.schema(j).unwrap().arity(), 3, "regular query preserves arity");
+            assert_eq!(
+                b.schema(j).unwrap().arity(),
+                3,
+                "regular query preserves arity"
+            );
         }
         for id in 0..tree.nodes().len() {
             assert!(b.schema(id).is_ok());

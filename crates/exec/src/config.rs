@@ -15,6 +15,14 @@ pub struct FailPoint {
     pub instance: usize,
 }
 
+/// Default tuples per channel message. The single source of truth for
+/// batching — the engine, benches, and tests all read it from here.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Default channel capacity in batches (bounds per-edge memory and
+/// provides backpressure).
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 16;
+
 /// Tunables of the threaded engine.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
@@ -33,7 +41,12 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { batch_size: 256, channel_capacity: 16, startup_cost: None, fail: None }
+        ExecConfig {
+            batch_size: DEFAULT_BATCH_SIZE,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            startup_cost: None,
+            fail: None,
+        }
     }
 }
 
@@ -56,16 +69,23 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        ExecConfig::default().validate().unwrap();
+        let c = ExecConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(c.channel_capacity, DEFAULT_CHANNEL_CAPACITY);
     }
 
     #[test]
     fn rejects_zero_sizes() {
-        let mut c = ExecConfig::default();
-        c.batch_size = 0;
+        let c = ExecConfig {
+            batch_size: 0,
+            ..ExecConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExecConfig::default();
-        c.channel_capacity = 0;
+        let c = ExecConfig {
+            channel_capacity: 0,
+            ..ExecConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

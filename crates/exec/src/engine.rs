@@ -9,9 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender};
 use mj_core::plan_ir::{OperandSource, ParallelPlan};
 use mj_core::validate::validate_plan;
-use mj_relalg::{
-    JoinAlgorithm, RelalgError, Relation, RelationProvider, Result, Tuple,
-};
+use mj_relalg::{JoinAlgorithm, RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
 use parking_lot::Mutex;
 
@@ -20,7 +18,11 @@ use crate::config::ExecConfig;
 use crate::metrics::{InstanceStats, Metrics};
 use crate::operator::{run_pipelining_instance, run_simple_instance, OutputPort};
 use crate::source::Source;
-use crate::stream::{operand_channels, Msg, Router};
+use crate::stream::{operand_channels, BatchPool, Msg, Router};
+
+/// Producer op id -> (senders to the consumer's instances, consumer key
+/// column, the edge's shared batch-buffer pool).
+type OutStreams = HashMap<usize, (Vec<Sender<Msg>>, usize, Arc<BatchPool>)>;
 
 /// The result of executing a plan.
 #[derive(Debug)]
@@ -53,7 +55,11 @@ pub fn run_plan(
         let spec = binding.spec(op.join)?;
         for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
             if let OperandSource::Base { relation } = operand {
-                let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+                let key_col = if side == 0 {
+                    spec.left_key
+                } else {
+                    spec.right_key
+                };
                 let rel = provider.relation(relation)?;
                 let frags = hash_partition(&rel, op.degree(), key_col)?
                     .into_iter()
@@ -67,19 +73,22 @@ pub fn run_plan(
     // Stream channels, created up front (receivers taken at consumer
     // spawn, senders at producer spawn).
     let mut stream_rx: HashMap<(usize, usize), Vec<Receiver<Msg>>> = HashMap::new();
-    // Producer op -> (senders, consumer key column).
-    let mut out_stream: HashMap<usize, (Vec<Sender<Msg>>, usize)> = HashMap::new();
+    let mut out_stream: OutStreams = HashMap::new();
     // Producer op -> consumer uses materialization.
     let mut out_materialized: Vec<bool> = vec![false; n_ops];
     for op in &plan.ops {
         let spec = binding.spec(op.join)?;
         for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
-            let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+            let key_col = if side == 0 {
+                spec.left_key
+            } else {
+                spec.right_key
+            };
             match operand {
                 OperandSource::Stream { from } => {
-                    let (txs, rxs) = operand_channels(op.degree(), config.channel_capacity);
+                    let (txs, rxs, pool) = operand_channels(op.degree(), config.channel_capacity);
                     stream_rx.insert((op.id, side), rxs);
-                    if out_stream.insert(*from, (txs, key_col)).is_some() {
+                    if out_stream.insert(*from, (txs, key_col, pool)).is_some() {
                         return Err(RelalgError::InvalidPlan(format!(
                             "op {from} has multiple stream consumers"
                         )));
@@ -120,12 +129,12 @@ pub fn run_plan(
 
     // Spawns every op whose dependencies are met.
     let spawn_ready = |deps_remaining: &Vec<usize>,
-                           spawned: &mut Vec<bool>,
-                           stream_rx: &mut HashMap<(usize, usize), Vec<Receiver<Msg>>>,
-                           out_stream: &mut HashMap<usize, (Vec<Sender<Msg>>, usize)>,
-                           handles: &mut Vec<std::thread::JoinHandle<()>>,
-                           spawned_instances: &mut usize,
-                           metrics: &mut Metrics|
+                       spawned: &mut Vec<bool>,
+                       stream_rx: &mut HashMap<(usize, usize), Vec<Receiver<Msg>>>,
+                       out_stream: &mut OutStreams,
+                       handles: &mut Vec<std::thread::JoinHandle<()>>,
+                       spawned_instances: &mut usize,
+                       metrics: &mut Metrics|
      -> Result<()> {
         for op in &plan.ops {
             if spawned[op.id] || deps_remaining[op.id] > 0 {
@@ -138,10 +147,8 @@ pub fn run_plan(
             metrics.processes += degree;
 
             // Per-side instance source builders.
-            let mut rxs: [Option<Vec<Receiver<Msg>>>; 2] = [
-                stream_rx.remove(&(op.id, 0)),
-                stream_rx.remove(&(op.id, 1)),
-            ];
+            let mut rxs: [Option<Vec<Receiver<Msg>>>; 2] =
+                [stream_rx.remove(&(op.id, 0)), stream_rx.remove(&(op.id, 1))];
             let mut mat_fragments: [Option<Vec<Arc<Relation>>>; 2] = [None, None];
             for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
                 if let OperandSource::Materialized { from } = operand {
@@ -157,14 +164,20 @@ pub fn run_plan(
             }
             let out = out_stream.remove(&op.id);
 
+            // `i` indexes channels, fragments, and procs alike.
+            #[allow(clippy::needless_range_loop)]
             for i in 0..degree {
                 let mut sources: Vec<Source> = Vec::with_capacity(2);
                 for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
-                    let key_col = if side == 0 { spec.left_key } else { spec.right_key };
+                    let key_col = if side == 0 {
+                        spec.left_key
+                    } else {
+                        spec.right_key
+                    };
                     let source = match operand {
-                        OperandSource::Base { .. } => Source::Local(
-                            base_fragments[&(op.id, side)][i].clone(),
-                        ),
+                        OperandSource::Base { .. } => {
+                            Source::Local(base_fragments[&(op.id, side)][i].clone())
+                        }
                         OperandSource::Materialized { .. } => Source::Filtered {
                             fragments: mat_fragments[side].clone().expect("collected above"),
                             key_col,
@@ -182,10 +195,11 @@ pub fn run_plan(
                 let left = sources.pop().expect("two sides");
 
                 let output = match &out {
-                    Some((txs, key_col)) => OutputPort::Stream(Router::new(
+                    Some((txs, key_col, pool)) => OutputPort::Stream(Router::new(
                         txs.clone(),
                         *key_col,
                         config.batch_size,
+                        pool.clone(),
                     )),
                     None if out_materialized[op.id] => OutputPort::Materialize {
                         store: store.clone(),
@@ -196,7 +210,10 @@ pub fn run_plan(
                     },
                     None => {
                         debug_assert_eq!(op.join, root_join, "only the root op sinks");
-                        OutputPort::Sink { collected: sink_buffer.clone(), buffer: Vec::new() }
+                        OutputPort::Sink {
+                            collected: sink_buffer.clone(),
+                            buffer: Vec::new(),
+                        }
                     }
                 };
 
@@ -304,12 +321,18 @@ pub fn run_plan(
         return Err(e);
     }
     if spawned.iter().any(|s| !s) {
-        return Err(RelalgError::InvalidPlan("not all ops became ready (dependency cycle?)".into()));
+        return Err(RelalgError::InvalidPlan(
+            "not all ops became ready (dependency cycle?)".into(),
+        ));
     }
 
     let tuples = std::mem::take(&mut *sink_buffer.lock());
     let relation = Relation::new_unchecked(binding.schema(root_join)?.clone(), tuples);
-    Ok(ExecOutcome { relation, elapsed, metrics })
+    Ok(ExecOutcome {
+        relation,
+        elapsed,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -347,8 +370,7 @@ mod tests {
         input.allow_oversubscribe = procs < tree.join_count();
         let plan = generate(strategy, &input).unwrap();
         let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
-        let outcome =
-            run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).unwrap();
+        let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).unwrap();
         // Oracle: sequential evaluation of the same logical plan.
         let xra = to_xra(&tree, 3, JoinAlgorithm::Simple);
         let expected = xra.eval(catalog.as_ref()).unwrap();
@@ -425,7 +447,10 @@ mod tests {
         input.allow_oversubscribe = true;
         let plan = generate(strategy, &input).unwrap();
         let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
-        let config = ExecConfig { fail: Some(fail), ..ExecConfig::default() };
+        let config = ExecConfig {
+            fail: Some(fail),
+            ..ExecConfig::default()
+        };
         let err = run_plan(&plan, &binding, catalog.as_ref(), &config)
             .expect_err("injected failure must surface");
         let msg = err.to_string();

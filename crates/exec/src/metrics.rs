@@ -29,7 +29,11 @@ pub struct Metrics {
 impl Metrics {
     /// Creates zeroed metrics for `ops` operations.
     pub fn new(ops: usize) -> Self {
-        Metrics { ops: vec![OpMetrics::default(); ops], processes: 0, streams: 0 }
+        Metrics {
+            ops: vec![OpMetrics::default(); ops],
+            processes: 0,
+            streams: 0,
+        }
     }
 
     /// Total tuples produced by all ops.

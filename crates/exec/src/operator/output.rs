@@ -57,9 +57,17 @@ impl OutputPort {
     pub fn finish(self) -> Result<()> {
         match self {
             OutputPort::Stream(router) => router.finish(),
-            OutputPort::Materialize { store, proc, name, schema, buffer } => {
-                store.put(proc, name, Arc::new(Relation::new_unchecked(schema, buffer)))
-            }
+            OutputPort::Materialize {
+                store,
+                proc,
+                name,
+                schema,
+                buffer,
+            } => store.put(
+                proc,
+                name,
+                Arc::new(Relation::new_unchecked(schema, buffer)),
+            ),
             OutputPort::Sink { collected, buffer } => {
                 collected.lock().extend(buffer);
                 Ok(())
@@ -81,8 +89,12 @@ mod tests {
     #[test]
     fn sink_collects() {
         let collected = Arc::new(Mutex::new(Vec::new()));
-        let mut port = OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() };
-        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])]).unwrap();
+        let mut port = OutputPort::Sink {
+            collected: collected.clone(),
+            buffer: Vec::new(),
+        };
+        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])])
+            .unwrap();
         port.finish().unwrap();
         assert_eq!(collected.lock().len(), 2);
     }
@@ -105,9 +117,10 @@ mod tests {
 
     #[test]
     fn stream_forwards_and_ends() {
-        let (txs, rxs) = operand_channels(1, 8);
-        let mut port = OutputPort::Stream(Router::new(txs, 0, 2));
-        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])]).unwrap();
+        let (txs, rxs, pool) = operand_channels(1, 8);
+        let mut port = OutputPort::Stream(Router::new(txs, 0, 2, pool));
+        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])])
+            .unwrap();
         port.finish().unwrap();
         let mut tuples = 0;
         let mut ends = 0;

@@ -30,11 +30,11 @@ pub fn run_pipelining_instance(
     let mut out = Vec::with_capacity(batch_size);
 
     let push = |state: &mut PipeliningJoinState,
-                    side: usize,
-                    tuple: Tuple,
-                    out: &mut Vec<Tuple>,
-                    output: &mut OutputPort,
-                    stats: &mut InstanceStats|
+                side: usize,
+                tuple: Tuple,
+                out: &mut Vec<Tuple>,
+                output: &mut OutputPort,
+                stats: &mut InstanceStats|
      -> Result<()> {
         if side == 0 {
             state.push_left(tuple, out)?;
@@ -82,12 +82,16 @@ pub fn run_pipelining_instance(
         }
         (l, r) => {
             if l.is_immediate() {
-                l.for_each_immediate(|t| push(&mut state, 0, t, &mut out, &mut output, &mut stats))?;
+                l.for_each_immediate(|t| {
+                    push(&mut state, 0, t, &mut out, &mut output, &mut stats)
+                })?;
             } else {
                 streams.push((0, l));
             }
             if r.is_immediate() {
-                r.for_each_immediate(|t| push(&mut state, 1, t, &mut out, &mut output, &mut stats))?;
+                r.for_each_immediate(|t| {
+                    push(&mut state, 1, t, &mut out, &mut output, &mut stats)
+                })?;
             } else {
                 streams.push((1, r));
             }
@@ -99,20 +103,20 @@ pub fn run_pipelining_instance(
         0 => {}
         1 => {
             let (side, src) = &streams[0];
-            let Source::Stream { rx, producers } = src else { unreachable!() };
+            let Source::Stream { rx, producers } = src else {
+                unreachable!()
+            };
             let mut remaining = *producers;
             while remaining > 0 {
                 match rx.recv() {
-                    Ok(Msg::Batch(tuples)) => {
-                        for t in tuples {
+                    Ok(Msg::Batch(mut batch)) => {
+                        for t in batch.drain() {
                             push(&mut state, *side, t, &mut out, &mut output, &mut stats)?;
                         }
                     }
                     Ok(Msg::End) => remaining -= 1,
                     Err(_) => {
-                        return Err(RelalgError::InvalidPlan(
-                            "stream closed before End".into(),
-                        ))
+                        return Err(RelalgError::InvalidPlan("stream closed before End".into()))
                     }
                 }
             }
@@ -139,16 +143,14 @@ pub fn run_pipelining_instance(
                 let op = sel.select();
                 let i = live[op.index()];
                 match op.recv(rxs[i].0) {
-                    Ok(Msg::Batch(tuples)) => {
-                        for t in tuples {
+                    Ok(Msg::Batch(mut batch)) => {
+                        for t in batch.drain() {
                             push(&mut state, sides[i], t, &mut out, &mut output, &mut stats)?;
                         }
                     }
                     Ok(Msg::End) => remaining[i] -= 1,
                     Err(_) => {
-                        return Err(RelalgError::InvalidPlan(
-                            "stream closed before End".into(),
-                        ))
+                        return Err(RelalgError::InvalidPlan("stream closed before End".into()))
                     }
                 }
             }
@@ -190,7 +192,10 @@ mod tests {
             spec(),
             Source::Local(rel(&[[1, 10], [2, 20], [3, 30]])),
             Source::Local(rel(&[[2, 200], [3, 300], [4, 400]])),
-            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            OutputPort::Sink {
+                collected: collected.clone(),
+                buffer: Vec::new(),
+            },
             2,
         )
         .unwrap();
@@ -200,10 +205,10 @@ mod tests {
 
     #[test]
     fn local_left_streamed_right() {
-        let (txs, rxs) = operand_channels(1, 4);
+        let (txs, rxs, pool) = operand_channels(1, 4);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let producer = std::thread::spawn(move || {
-            let mut router = Router::new(txs, 0, 2);
+            let mut router = Router::new(txs, 0, 2, pool);
             for k in 0..10i64 {
                 router.route(Tuple::from_ints(&[k, k])).unwrap();
             }
@@ -212,8 +217,14 @@ mod tests {
         let stats = run_pipelining_instance(
             spec(),
             Source::Local(rel(&[[4, 40], [5, 50]])),
-            Source::Stream { rx: rxs.into_iter().next().unwrap(), producers: 1 },
-            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            Source::Stream {
+                rx: rxs.into_iter().next().unwrap(),
+                producers: 1,
+            },
+            OutputPort::Sink {
+                collected: collected.clone(),
+                buffer: Vec::new(),
+            },
             3,
         )
         .unwrap();
@@ -224,18 +235,18 @@ mod tests {
 
     #[test]
     fn two_streams_from_concurrent_producers() {
-        let (ltxs, lrxs) = operand_channels(1, 4);
-        let (rtxs, rrxs) = operand_channels(1, 4);
+        let (ltxs, lrxs, lpool) = operand_channels(1, 4);
+        let (rtxs, rrxs, rpool) = operand_channels(1, 4);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let lp = std::thread::spawn(move || {
-            let mut router = Router::new(ltxs, 0, 2);
+            let mut router = Router::new(ltxs, 0, 2, lpool);
             for k in 0..100i64 {
                 router.route(Tuple::from_ints(&[k, k])).unwrap();
             }
             router.finish().unwrap();
         });
         let rp = std::thread::spawn(move || {
-            let mut router = Router::new(rtxs, 0, 2);
+            let mut router = Router::new(rtxs, 0, 2, rpool);
             for k in 50..150i64 {
                 router.route(Tuple::from_ints(&[k, k])).unwrap();
             }
@@ -243,9 +254,18 @@ mod tests {
         });
         let stats = run_pipelining_instance(
             spec(),
-            Source::Stream { rx: lrxs.into_iter().next().unwrap(), producers: 1 },
-            Source::Stream { rx: rrxs.into_iter().next().unwrap(), producers: 1 },
-            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            Source::Stream {
+                rx: lrxs.into_iter().next().unwrap(),
+                producers: 1,
+            },
+            Source::Stream {
+                rx: rrxs.into_iter().next().unwrap(),
+                producers: 1,
+            },
+            OutputPort::Sink {
+                collected: collected.clone(),
+                buffer: Vec::new(),
+            },
             8,
         )
         .unwrap();

@@ -41,8 +41,8 @@ pub fn run_simple_instance(
             let mut remaining = producers;
             while remaining > 0 {
                 match rx.recv() {
-                    Ok(Msg::Batch(tuples)) => {
-                        for t in tuples {
+                    Ok(Msg::Batch(mut batch)) => {
+                        for t in batch.drain() {
                             state.probe(&t, &mut out)?;
                             stats.tuples_in[1] += 1;
                             if out.len() >= batch_size {
@@ -101,7 +101,10 @@ mod tests {
             spec(),
             Source::Local(rel(&[[1, 10], [2, 20]])),
             Source::Local(rel(&[[2, 200], [3, 300]])),
-            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            OutputPort::Sink {
+                collected: collected.clone(),
+                buffer: Vec::new(),
+            },
             4,
         )
         .unwrap();
@@ -113,11 +116,11 @@ mod tests {
 
     #[test]
     fn streamed_probe() {
-        let (txs, rxs) = operand_channels(1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 8);
         let collected = Arc::new(Mutex::new(Vec::new()));
         // Producer thread: sends 5 probe tuples then End.
         let producer = std::thread::spawn(move || {
-            let mut router = Router::new(txs, 0, 2);
+            let mut router = Router::new(txs, 0, 2, pool);
             for k in 0..5i64 {
                 router.route(Tuple::from_ints(&[k, k * 100])).unwrap();
             }
@@ -126,8 +129,14 @@ mod tests {
         let stats = run_simple_instance(
             spec(),
             Source::Local(rel(&[[1, 10], [3, 30], [9, 90]])),
-            Source::Stream { rx: rxs.into_iter().next().unwrap(), producers: 1 },
-            OutputPort::Sink { collected: collected.clone(), buffer: Vec::new() },
+            Source::Stream {
+                rx: rxs.into_iter().next().unwrap(),
+                producers: 1,
+            },
+            OutputPort::Sink {
+                collected: collected.clone(),
+                buffer: Vec::new(),
+            },
             2,
         )
         .unwrap();
@@ -138,13 +147,19 @@ mod tests {
 
     #[test]
     fn streamed_build_is_rejected() {
-        let (_txs, rxs) = operand_channels(1, 1);
+        let (_txs, rxs, _pool) = operand_channels(1, 1);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let r = run_simple_instance(
             spec(),
-            Source::Stream { rx: rxs.into_iter().next().unwrap(), producers: 1 },
+            Source::Stream {
+                rx: rxs.into_iter().next().unwrap(),
+                producers: 1,
+            },
             Source::Local(rel(&[])),
-            OutputPort::Sink { collected, buffer: Vec::new() },
+            OutputPort::Sink {
+                collected,
+                buffer: Vec::new(),
+            },
             2,
         );
         assert!(r.is_err());

@@ -52,7 +52,12 @@ impl Source {
                     n += 1;
                 }
             }
-            Source::Filtered { fragments, key_col, bucket, of } => {
+            Source::Filtered {
+                fragments,
+                key_col,
+                bucket,
+                of,
+            } => {
                 for frag in fragments {
                     for t in frag.iter() {
                         if bucket_of(t.int(*key_col)?, *of) == *bucket {
@@ -101,12 +106,18 @@ mod tests {
         let fragments = vec![rel(50), rel(50)];
         let mut total = 0u64;
         for bucket in 0..4 {
-            let s = Source::Filtered { fragments: fragments.clone(), key_col: 0, bucket, of: 4 };
-            total += s.for_each_immediate(|t| {
-                assert_eq!(bucket_of(t.int(0).unwrap(), 4), bucket);
-                Ok(())
-            })
-            .unwrap();
+            let s = Source::Filtered {
+                fragments: fragments.clone(),
+                key_col: 0,
+                bucket,
+                of: 4,
+            };
+            total += s
+                .for_each_immediate(|t| {
+                    assert_eq!(bucket_of(t.int(0).unwrap(), 4), bucket);
+                    Ok(())
+                })
+                .unwrap();
         }
         assert_eq!(total, 100, "buckets partition the input");
     }

@@ -5,26 +5,132 @@
 //! a sender to each consumer instance and routes every tuple by hashing
 //! the consumer's key column — the same hash that fragments base relations,
 //! so co-partitioned operands stay aligned.
+//!
+//! Batch buffers are pooled per redistribution edge: a consumer that
+//! finishes a [`Batch`] returns the emptied `Vec` to the shared
+//! [`BatchPool`], and producers reuse it for the next flush. In steady
+//! state the edge moves tuples with **zero** buffer allocations — the only
+//! per-tuple cost is the (cheap, shared-payload) tuple move itself.
+
+use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mj_relalg::hash::bucket_of;
 use mj_relalg::{RelalgError, Result, Tuple};
+use parking_lot::Mutex;
+
+/// A bounded recycler of batch buffers shared by one redistribution edge.
+pub struct BatchPool {
+    free: Mutex<Vec<Vec<Tuple>>>,
+    limit: usize,
+}
+
+impl BatchPool {
+    /// Creates a pool retaining at most `limit` spare buffers.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(BatchPool {
+            free: Mutex::new(Vec::new()),
+            limit: limit.max(1),
+        })
+    }
+
+    /// Takes a spare buffer, or allocates one of `capacity`.
+    pub fn take(&self, capacity: usize) -> Vec<Tuple> {
+        match self.free.lock().pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns an emptied buffer for reuse (dropped if the pool is full).
+    pub fn put(&self, mut buf: Vec<Tuple>) {
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.limit {
+            free.push(buf);
+        }
+    }
+
+    /// Spare buffers currently pooled (for tests).
+    pub fn spares(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// A batch of tuples in flight. Dropping the batch returns its buffer to
+/// the owning pool — consumers just drain and drop.
+pub struct Batch {
+    tuples: Vec<Tuple>,
+    pool: Option<Arc<BatchPool>>,
+}
+
+impl Batch {
+    /// Wraps a full buffer for sending; `pool` receives the buffer back
+    /// when the batch is dropped.
+    pub fn new(tuples: Vec<Tuple>, pool: Arc<BatchPool>) -> Self {
+        Batch {
+            tuples,
+            pool: Some(pool),
+        }
+    }
+
+    /// A pool-less batch (tests and ad-hoc streams).
+    pub fn unpooled(tuples: Vec<Tuple>) -> Self {
+        Batch { tuples, pool: None }
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, borrowed.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the tuples, leaving the buffer to be recycled on drop.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Tuple> {
+        self.tuples.drain(..)
+    }
+}
+
+impl Drop for Batch {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.tuples));
+        }
+    }
+}
+
+impl std::fmt::Debug for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Batch({} tuples)", self.tuples.len())
+    }
+}
 
 /// A message on a tuple stream.
 #[derive(Debug)]
 pub enum Msg {
     /// A batch of tuples.
-    Batch(Vec<Tuple>),
+    Batch(Batch),
     /// The sending producer instance is done.
     End,
 }
 
 /// Creates the channels for one redistributed operand: `consumers`
-/// receivers, each of capacity `capacity` batches.
+/// receivers, each of capacity `capacity` batches, plus the edge's shared
+/// buffer pool (sized so every in-flight slot plus every producer-side
+/// fill buffer can be pooled).
 pub fn operand_channels(
     consumers: usize,
     capacity: usize,
-) -> (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) {
+) -> (Vec<Sender<Msg>>, Vec<Receiver<Msg>>, Arc<BatchPool>) {
     let mut txs = Vec::with_capacity(consumers);
     let mut rxs = Vec::with_capacity(consumers);
     for _ in 0..consumers {
@@ -32,25 +138,39 @@ pub fn operand_channels(
         txs.push(tx);
         rxs.push(rx);
     }
-    (txs, rxs)
+    let pool = BatchPool::new(consumers * (capacity + 2));
+    (txs, rxs, pool)
 }
 
 /// A producer instance's split sender: buffers tuples per destination and
-/// ships batches.
+/// ships batches, reusing buffers from the edge's pool.
 pub struct Router {
     senders: Vec<Sender<Msg>>,
     key_col: usize,
     batch: usize,
     buffers: Vec<Vec<Tuple>>,
+    pool: Arc<BatchPool>,
     sent: u64,
 }
 
 impl Router {
     /// Creates a router over the destination senders, splitting on
     /// `key_col` of the routed tuples.
-    pub fn new(senders: Vec<Sender<Msg>>, key_col: usize, batch: usize) -> Self {
-        let buffers = senders.iter().map(|_| Vec::with_capacity(batch)).collect();
-        Router { senders, key_col, batch, buffers, sent: 0 }
+    pub fn new(
+        senders: Vec<Sender<Msg>>,
+        key_col: usize,
+        batch: usize,
+        pool: Arc<BatchPool>,
+    ) -> Self {
+        let buffers = senders.iter().map(|_| pool.take(batch)).collect();
+        Router {
+            senders,
+            key_col,
+            batch,
+            buffers,
+            pool,
+            sent: 0,
+        }
     }
 
     /// Number of destinations.
@@ -63,16 +183,18 @@ impl Router {
         self.sent
     }
 
-    /// Routes one tuple, flushing the destination buffer when full.
+    /// Routes one tuple, flushing the destination buffer when full. The
+    /// replacement buffer comes from the pool (take-and-swap), so steady
+    /// state allocates nothing.
     pub fn route(&mut self, tuple: Tuple) -> Result<()> {
         let key = tuple.int(self.key_col)?;
         let dest = bucket_of(key, self.senders.len());
         self.buffers[dest].push(tuple);
         self.sent += 1;
         if self.buffers[dest].len() >= self.batch {
-            let batch = std::mem::replace(&mut self.buffers[dest], Vec::with_capacity(self.batch));
+            let full = std::mem::replace(&mut self.buffers[dest], self.pool.take(self.batch));
             self.senders[dest]
-                .send(Msg::Batch(batch))
+                .send(Msg::Batch(Batch::new(full, self.pool.clone())))
                 .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
         }
         Ok(())
@@ -84,7 +206,7 @@ impl Router {
             if !buf.is_empty() {
                 let batch = std::mem::take(buf);
                 self.senders[dest]
-                    .send(Msg::Batch(batch))
+                    .send(Msg::Batch(Batch::new(batch, self.pool.clone())))
                     .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
             }
         }
@@ -102,7 +224,7 @@ mod tests {
 
     #[test]
     fn routes_by_key_and_flushes_on_finish() {
-        let (txs, rxs) = operand_channels(3, 8);
+        let (txs, rxs, pool) = operand_channels(3, 8);
         // Consume concurrently: the channels are bounded, so routing 100
         // tuples before draining anything would block on backpressure once
         // one destination exceeds capacity x batch tuples.
@@ -116,7 +238,7 @@ mod tests {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Msg::Batch(batch) => {
-                                for t in &batch {
+                                for t in batch.tuples() {
                                     assert_eq!(
                                         bucket_of(t.int(0).unwrap(), 3),
                                         dest,
@@ -137,7 +259,7 @@ mod tests {
             })
             .collect();
 
-        let mut router = Router::new(txs, 0, 4);
+        let mut router = Router::new(txs, 0, 4, pool);
         for k in 0..100i64 {
             router.route(Tuple::from_ints(&[k, k])).unwrap();
         }
@@ -151,8 +273,8 @@ mod tests {
     fn single_destination_gets_everything() {
         // 10 tuples at batch 2 = 5 batches + End; capacity must cover them
         // because this test drains only after finish().
-        let (txs, rxs) = operand_channels(1, 8);
-        let mut router = Router::new(txs, 0, 2);
+        let (txs, rxs, pool) = operand_channels(1, 8);
+        let mut router = Router::new(txs, 0, 2, pool);
         for k in 0..10i64 {
             router.route(Tuple::from_ints(&[k])).unwrap();
         }
@@ -168,10 +290,10 @@ mod tests {
     fn backpressure_blocks_until_drained() {
         // A full bounded channel must stall route() rather than drop or
         // error; draining one message releases exactly one send.
-        let (txs, rxs) = operand_channels(1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1);
         let rx = rxs.into_iter().next().unwrap();
         let producer = std::thread::spawn(move || {
-            let mut router = Router::new(txs, 0, 1);
+            let mut router = Router::new(txs, 0, 1, pool);
             // batch=1: every route() is a send. Second send blocks until
             // the consumer below drains the first.
             for k in 0..50i64 {
@@ -180,8 +302,8 @@ mod tests {
             router.finish().unwrap();
         });
         let mut seen = 0usize;
-        loop {
-            match rx.recv().expect("producer alive") {
+        while let Ok(msg) = rx.recv() {
+            match msg {
                 Msg::Batch(b) => seen += b.len(),
                 Msg::End => break,
             }
@@ -192,11 +314,51 @@ mod tests {
 
     #[test]
     fn hung_up_consumer_is_an_error() {
-        let (txs, rxs) = operand_channels(1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1);
         drop(rxs);
-        let mut router = Router::new(txs, 0, 1);
+        let mut router = Router::new(txs, 0, 1, pool);
         // The first route triggers a batch send into a closed channel.
         let r = router.route(Tuple::from_ints(&[1]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn dropped_batches_recycle_their_buffers() {
+        let (txs, rxs, pool) = operand_channels(1, 8);
+        let mut router = Router::new(txs, 0, 2, pool.clone());
+        for k in 0..8i64 {
+            router.route(Tuple::from_ints(&[k])).unwrap();
+        }
+        router.finish().unwrap();
+        assert_eq!(pool.spares(), 0, "buffers are in flight, not pooled");
+        let mut drained = 0;
+        while let Ok(msg) = rxs[0].recv() {
+            match msg {
+                Msg::Batch(mut b) => {
+                    drained += b.drain().count();
+                    // Dropping `b` here returns the buffer to the pool.
+                }
+                Msg::End => break,
+            }
+        }
+        assert_eq!(drained, 8);
+        assert_eq!(pool.spares(), 4, "all four flushed buffers returned");
+
+        // A new router on the same pool reuses those buffers.
+        let (txs2, _rxs2, _) = operand_channels(1, 8);
+        let _router2 = Router::new(txs2, 0, 2, pool.clone());
+        assert_eq!(pool.spares(), 3, "router took a pooled buffer");
+    }
+
+    #[test]
+    fn pool_respects_limit() {
+        let pool = BatchPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.spares(), 2);
+        let a = pool.take(4);
+        assert_eq!(a.capacity(), 4);
+        assert_eq!(pool.spares(), 1);
     }
 }

@@ -68,7 +68,11 @@ impl JoinTable {
         let b = (mix_key(key) & self.mask) as usize;
         let idx = self.entries.len() as u32;
         self.tuple_bytes += tuple.est_bytes();
-        self.entries.push(Entry { key, next: self.buckets[b], tuple });
+        self.entries.push(Entry {
+            key,
+            next: self.buckets[b],
+            tuple,
+        });
         self.buckets[b] = idx;
     }
 
@@ -87,7 +91,11 @@ impl JoinTable {
     /// Iterates over all tuples stored under `key`.
     pub fn probe<'a>(&'a self, key: i64) -> ProbeIter<'a> {
         let b = (mix_key(key) & self.mask) as usize;
-        ProbeIter { table: self, key, next: self.buckets[b] }
+        ProbeIter {
+            table: self,
+            key,
+            next: self.buckets[b],
+        }
     }
 
     /// True if at least one tuple is stored under `key`.
@@ -199,6 +207,22 @@ mod tests {
         table.insert(6, t(2));
         let all: Vec<i64> = table.iter().map(|(k, _)| k).collect();
         assert_eq!(all, vec![5, 6]);
+    }
+
+    #[test]
+    fn insert_shares_payloads_instead_of_deep_copying() {
+        // Wide rows use the shared representation; inserting a clone must
+        // store the same physical payload.
+        let original = Tuple::from_ints(&[1, 2, 3, 4, 5, 6]);
+        let mut table = JoinTable::new();
+        table.insert(1, original.clone());
+        let stored = table.probe(1).next().unwrap();
+        assert!(
+            Tuple::ptr_eq(stored, &original),
+            "insert deep-copied the tuple"
+        );
+        // est_bytes still accounts the logical (deep) footprint.
+        assert!(table.est_bytes() >= original.est_bytes());
     }
 
     #[test]

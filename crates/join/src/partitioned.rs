@@ -35,10 +35,14 @@ pub fn partitioned_parallel_join(
     algorithm: JoinAlgorithm,
 ) -> Result<Relation> {
     if parts == 0 {
-        return Err(RelalgError::InvalidPlan("parallel join over 0 partitions".into()));
+        return Err(RelalgError::InvalidPlan(
+            "parallel join over 0 partitions".into(),
+        ));
     }
-    let out_schema =
-        Arc::new(spec.projection.output_schema(&left.schema().concat(right.schema()))?);
+    let out_schema = Arc::new(
+        spec.projection
+            .output_schema(&left.schema().concat(right.schema()))?,
+    );
 
     let left_parts = split(left, spec.left_key, parts)?;
     let right_parts = split(right, spec.right_key, parts)?;
@@ -59,7 +63,10 @@ pub fn partitioned_parallel_join(
                 Ok(joined.into_tuples())
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker panicked"))
+            .collect()
     });
 
     let mut out = Vec::new();
@@ -77,8 +84,11 @@ mod tests {
 
     fn rel(n: i64, stride: i64) -> Relation {
         let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
-        Relation::new(schema, (0..n).map(|i| Tuple::from_ints(&[i * stride, i])).collect())
-            .unwrap()
+        Relation::new(
+            schema,
+            (0..n).map(|i| Tuple::from_ints(&[i * stride, i])).collect(),
+        )
+        .unwrap()
     }
 
     fn spec() -> EquiJoin {

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use mj_relalg::{EquiJoin, Relation, Result, Tuple};
+use mj_relalg::{EquiJoin, Relation, Result, Tuple, Value};
 
 use crate::hash_table::JoinTable;
 
@@ -24,12 +24,20 @@ pub struct PipeliningJoinState {
     spec: EquiJoin,
     left_table: JoinTable,
     right_table: JoinTable,
+    /// Reused output-row scratch; makes steady-state pushes
+    /// allocation-free for inline-eligible output rows.
+    scratch: Vec<Value>,
 }
 
 impl PipeliningJoinState {
     /// Creates a join state for the given spec.
     pub fn new(spec: EquiJoin) -> Self {
-        PipeliningJoinState { spec, left_table: JoinTable::new(), right_table: JoinTable::new() }
+        PipeliningJoinState {
+            spec,
+            left_table: JoinTable::new(),
+            right_table: JoinTable::new(),
+            scratch: Vec::new(),
+        }
     }
 
     /// Creates a join state with pre-sized tables.
@@ -38,6 +46,7 @@ impl PipeliningJoinState {
             spec,
             left_table: JoinTable::with_capacity(left_estimate),
             right_table: JoinTable::with_capacity(right_estimate),
+            scratch: Vec::new(),
         }
     }
 
@@ -46,7 +55,11 @@ impl PipeliningJoinState {
     pub fn push_left(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         let key = tuple.int(self.spec.left_key)?;
         for r in self.right_table.probe(key) {
-            out.push(self.spec.projection.apply_concat(&tuple, r)?);
+            out.push(
+                self.spec
+                    .projection
+                    .apply_concat_into(&tuple, r, &mut self.scratch)?,
+            );
         }
         self.left_table.insert(key, tuple);
         Ok(())
@@ -57,7 +70,11 @@ impl PipeliningJoinState {
     pub fn push_right(&mut self, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         let key = tuple.int(self.spec.right_key)?;
         for l in self.left_table.probe(key) {
-            out.push(self.spec.projection.apply_concat(l, &tuple)?);
+            out.push(
+                self.spec
+                    .projection
+                    .apply_concat_into(l, &tuple, &mut self.scratch)?,
+            );
         }
         self.right_table.insert(key, tuple);
         Ok(())
@@ -82,9 +99,15 @@ impl PipeliningJoinState {
 
 /// One-shot pipelining join that alternates strictly between operands
 /// (left, right, left, ...), as in a balanced two-sided pipeline.
-pub fn pipelining_hash_join(left: &Relation, right: &Relation, spec: &EquiJoin) -> Result<Relation> {
-    let out_schema =
-        Arc::new(spec.projection.output_schema(&left.schema().concat(right.schema()))?);
+pub fn pipelining_hash_join(
+    left: &Relation,
+    right: &Relation,
+    spec: &EquiJoin,
+) -> Result<Relation> {
+    let out_schema = Arc::new(
+        spec.projection
+            .output_schema(&left.schema().concat(right.schema()))?,
+    );
     let mut state = PipeliningJoinState::with_capacity(spec.clone(), left.len(), right.len());
     let mut out = Vec::new();
     let mut l = left.iter();
@@ -177,9 +200,13 @@ mod tests {
         // while both inputs still have unconsumed tuples.
         let mut state = PipeliningJoinState::new(spec());
         let mut out = Vec::new();
-        state.push_left(Tuple::from_ints(&[7, 1]), &mut out).unwrap();
+        state
+            .push_left(Tuple::from_ints(&[7, 1]), &mut out)
+            .unwrap();
         assert!(out.is_empty());
-        state.push_right(Tuple::from_ints(&[7, 2]), &mut out).unwrap();
+        state
+            .push_right(Tuple::from_ints(&[7, 2]), &mut out)
+            .unwrap();
         assert_eq!(out.len(), 1, "match emitted immediately");
         assert_eq!(state.consumed(), (1, 1));
     }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use mj_relalg::{EquiJoin, RelalgError, Relation, Result, Tuple};
+use mj_relalg::{EquiJoin, RelalgError, Relation, Result, Tuple, Value};
 
 use crate::hash_table::JoinTable;
 
@@ -18,17 +18,30 @@ pub struct SimpleJoinState {
     spec: EquiJoin,
     table: JoinTable,
     build_done: bool,
+    /// Reused output-row scratch; makes steady-state probing
+    /// allocation-free for inline-eligible output rows.
+    scratch: Vec<Value>,
 }
 
 impl SimpleJoinState {
     /// Creates a join state for the given spec.
     pub fn new(spec: EquiJoin) -> Self {
-        SimpleJoinState { spec, table: JoinTable::new(), build_done: false }
+        SimpleJoinState {
+            spec,
+            table: JoinTable::new(),
+            build_done: false,
+            scratch: Vec::new(),
+        }
     }
 
     /// Creates a join state with a pre-sized table.
     pub fn with_capacity(spec: EquiJoin, build_estimate: usize) -> Self {
-        SimpleJoinState { spec, table: JoinTable::with_capacity(build_estimate), build_done: false }
+        SimpleJoinState {
+            spec,
+            table: JoinTable::with_capacity(build_estimate),
+            build_done: false,
+            scratch: Vec::new(),
+        }
     }
 
     /// Consumes one build-side (left) tuple.
@@ -59,7 +72,10 @@ impl SimpleJoinState {
     }
 
     /// Probes with one right tuple, appending projected matches to `out`.
-    pub fn probe(&self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+    /// Output rows are built through the state's reused scratch buffer, so
+    /// matches cost no allocation beyond their own (possibly inline)
+    /// payload.
+    pub fn probe(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         if !self.build_done {
             return Err(RelalgError::InvalidPlan(
                 "simple hash join: probe before build phase closed".into(),
@@ -67,7 +83,11 @@ impl SimpleJoinState {
         }
         let key = tuple.int(self.spec.right_key)?;
         for l in self.table.probe(key) {
-            out.push(self.spec.projection.apply_concat(l, tuple)?);
+            out.push(
+                self.spec
+                    .projection
+                    .apply_concat_into(l, tuple, &mut self.scratch)?,
+            );
         }
         Ok(())
     }
@@ -87,8 +107,10 @@ impl SimpleJoinState {
 /// One-shot simple hash join of two relations: builds on `left`, probes
 /// with `right`.
 pub fn simple_hash_join(left: &Relation, right: &Relation, spec: &EquiJoin) -> Result<Relation> {
-    let out_schema =
-        Arc::new(spec.projection.output_schema(&left.schema().concat(right.schema()))?);
+    let out_schema = Arc::new(
+        spec.projection
+            .output_schema(&left.schema().concat(right.schema()))?,
+    );
     let mut state = SimpleJoinState::with_capacity(spec.clone(), left.len());
     for t in left {
         state.build(t.clone())?;
@@ -176,7 +198,11 @@ mod tests {
         for t in &r {
             s.probe(t, &mut out).unwrap();
         }
-        assert_eq!(s.est_bytes(), bytes_after_build, "probing allocates no table memory");
+        assert_eq!(
+            s.est_bytes(),
+            bytes_after_build,
+            "probing allocates no table memory"
+        );
         assert_eq!(s.built_len(), 2);
     }
 }

@@ -51,15 +51,16 @@ pub fn run_instrumented(
     let mut peak = 0usize;
     let mut out = Vec::new();
 
-    let note = |consumed: usize, out: &mut Vec<_>, outputs: &mut usize, first: &mut Option<usize>| {
-        if !out.is_empty() {
-            if first.is_none() {
-                *first = Some(consumed);
+    let note =
+        |consumed: usize, out: &mut Vec<_>, outputs: &mut usize, first: &mut Option<usize>| {
+            if !out.is_empty() {
+                if first.is_none() {
+                    *first = Some(consumed);
+                }
+                *outputs += out.len();
+                out.clear();
             }
-            *outputs += out.len();
-            out.clear();
-        }
-    };
+        };
 
     match algorithm {
         JoinAlgorithm::Simple => {
@@ -152,30 +153,53 @@ mod tests {
         // of 0..1000, a perfect 1-1 join like the paper's workload.
         let l = perm_rel(1000, 101);
         let r = perm_rel(1000, 103);
-        let simple =
-            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Simple, FeedOrder::LeftThenRight)
-                .unwrap();
-        let pipe =
-            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
-                .unwrap();
+        let simple = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Simple,
+            FeedOrder::LeftThenRight,
+        )
+        .unwrap();
+        let pipe = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Pipelining,
+            FeedOrder::Alternate,
+        )
+        .unwrap();
         assert_eq!(simple.outputs, 1000);
         assert_eq!(pipe.outputs, 1000);
         let s_first = simple.inputs_before_first_output.unwrap();
         let p_first = pipe.inputs_before_first_output.unwrap();
         assert!(s_first > 1000, "simple join cannot emit before build ends");
-        assert!(p_first < s_first, "pipelining emits earlier: {p_first} vs {s_first}");
+        assert!(
+            p_first < s_first,
+            "pipelining emits earlier: {p_first} vs {s_first}"
+        );
     }
 
     #[test]
     fn pipelining_costs_more_memory() {
         let l = perm_rel(500, 101);
         let r = perm_rel(500, 103);
-        let simple =
-            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Simple, FeedOrder::LeftThenRight)
-                .unwrap();
-        let pipe =
-            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
-                .unwrap();
+        let simple = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Simple,
+            FeedOrder::LeftThenRight,
+        )
+        .unwrap();
+        let pipe = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Pipelining,
+            FeedOrder::Alternate,
+        )
+        .unwrap();
         assert!(pipe.peak_table_bytes > simple.peak_table_bytes);
     }
 
@@ -184,8 +208,14 @@ mod tests {
         let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
         let l = Relation::new(schema.clone(), vec![Tuple::from_ints(&[1, 1])]).unwrap();
         let r = Relation::new(schema, vec![Tuple::from_ints(&[2, 2])]).unwrap();
-        let s = run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::Alternate)
-            .unwrap();
+        let s = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Pipelining,
+            FeedOrder::Alternate,
+        )
+        .unwrap();
         assert_eq!(s.outputs, 0);
         assert!(s.inputs_before_first_output.is_none());
         assert_eq!(s.inputs_total, 2);
@@ -195,9 +225,14 @@ mod tests {
     fn pipelining_left_then_right_degenerates_to_simple_timing() {
         let l = perm_rel(200, 101);
         let r = perm_rel(200, 103);
-        let pipe =
-            run_instrumented(&l, &r, &spec(), JoinAlgorithm::Pipelining, FeedOrder::LeftThenRight)
-                .unwrap();
+        let pipe = run_instrumented(
+            &l,
+            &r,
+            &spec(),
+            JoinAlgorithm::Pipelining,
+            FeedOrder::LeftThenRight,
+        )
+        .unwrap();
         // Feeding all of the left first means no output until right begins.
         assert!(pipe.inputs_before_first_output.unwrap() > 200);
     }

@@ -47,7 +47,10 @@ fn main() {
     // One response-time panel: wide bushy, 5K (Fig. 11 left).
     println!("--- Figure 11 (left panel): wide bushy, 5K tuples/relation ---");
     let params = SimParams::default();
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "procs", "SP", "SE", "RD", "FP");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "procs", "SP", "SE", "RD", "FP"
+    );
     for procs in [20usize, 30, 40, 50, 60, 70, 80] {
         print!("{procs:>6}");
         for strategy in Strategy::ALL {

@@ -12,9 +12,9 @@
 
 use std::sync::Arc;
 
-use multijoin::prelude::*;
 use multijoin::plan::cardinality::node_cards;
 use multijoin::plan::query::to_xra;
+use multijoin::prelude::*;
 
 fn main() {
     let relations = 8usize;
@@ -54,8 +54,8 @@ fn main() {
         input.allow_oversubscribe = true; // host-scale: fewer procs than joins
         let plan = generate(strategy, &input).expect("parallel plan");
         let stats = plan.stats();
-        let outcome = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())
-            .expect("execution");
+        let outcome =
+            run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).expect("execution");
         let ok = outcome.relation.multiset_eq(&oracle);
         println!(
             "{strategy}: {:>6.1} ms | {} processes, {} streams, {} pipeline edges | {} tuples | oracle: {}",

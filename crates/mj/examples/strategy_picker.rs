@@ -48,7 +48,10 @@ fn main() {
     }
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    println!("{:<10} {:>12} {:>12} {:>12}", "strategy", "response (s)", "processes", "streams");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "strategy", "response (s)", "processes", "streams"
+    );
     for (s, t, p, st) in &results {
         println!("{:<10} {:>12.2} {:>12} {:>12}", s.label(), t, p, st);
     }

@@ -76,25 +76,41 @@ fn build_data(catalog: &Catalog) {
     let orders: Vec<Tuple> = (0..n_ord)
         .map(|k| Tuple::from_ints(&[k, rng.gen_range(0..n_cust), rng.gen_range(0..n_date)]))
         .collect();
-    let customers: Vec<Tuple> =
-        (0..n_cust).map(|k| Tuple::from_ints(&[k, rng.gen_range(0..25)])).collect();
-    let parts: Vec<Tuple> =
-        (0..n_part).map(|k| Tuple::from_ints(&[k, rng.gen_range(0..40)])).collect();
-    let dates: Vec<Tuple> = (0..n_date).map(|k| Tuple::from_ints(&[k, k % 12])).collect();
+    let customers: Vec<Tuple> = (0..n_cust)
+        .map(|k| Tuple::from_ints(&[k, rng.gen_range(0..25)]))
+        .collect();
+    let parts: Vec<Tuple> = (0..n_part)
+        .map(|k| Tuple::from_ints(&[k, rng.gen_range(0..40)]))
+        .collect();
+    let dates: Vec<Tuple> = (0..n_date)
+        .map(|k| Tuple::from_ints(&[k, k % 12]))
+        .collect();
 
-    catalog.register("lineitems", Arc::new(Relation::new_unchecked(li_schema, lineitems)));
-    catalog.register("orders", Arc::new(Relation::new_unchecked(orders_schema, orders)));
-    catalog.register("customers", Arc::new(Relation::new_unchecked(cust_schema, customers)));
-    catalog.register("parts", Arc::new(Relation::new_unchecked(part_schema, parts)));
-    catalog.register("dates", Arc::new(Relation::new_unchecked(date_schema, dates)));
+    catalog.register(
+        "lineitems",
+        Arc::new(Relation::new_unchecked(li_schema, lineitems)),
+    );
+    catalog.register(
+        "orders",
+        Arc::new(Relation::new_unchecked(orders_schema, orders)),
+    );
+    catalog.register(
+        "customers",
+        Arc::new(Relation::new_unchecked(cust_schema, customers)),
+    );
+    catalog.register(
+        "parts",
+        Arc::new(Relation::new_unchecked(part_schema, parts)),
+    );
+    catalog.register(
+        "dates",
+        Arc::new(Relation::new_unchecked(date_schema, dates)),
+    );
 }
 
 /// Leaf relation names under each node, in left-to-right order, with the
 /// starting column offset of each relation in the node's concat schema.
-fn provenance(
-    tree: &JoinTree,
-    arities: &HashMap<String, usize>,
-) -> Vec<Vec<(String, usize)>> {
+fn provenance(tree: &JoinTree, arities: &HashMap<String, usize>) -> Vec<Vec<(String, usize)>> {
     let mut prov: Vec<Vec<(String, usize)>> = vec![Vec::new(); tree.nodes().len()];
     for (id, node) in tree.nodes().iter().enumerate() {
         match node {
@@ -103,8 +119,7 @@ fn provenance(
             }
             TreeNode::Join { left, right } => {
                 let mut v = prov[*left].clone();
-                let left_width: usize =
-                    v.iter().map(|(r, _)| arities[r]).sum();
+                let left_width: usize = v.iter().map(|(r, _)| arities[r]).sum();
                 for (r, off) in &prov[*right] {
                     v.push((r.clone(), off + left_width));
                 }
@@ -126,7 +141,9 @@ fn spec_for_join(
 ) -> EquiJoin {
     let (l, r) = tree.children(join).expect("join node");
     let find = |side: &[(String, usize)], rel: &str| -> Option<usize> {
-        side.iter().find(|(name, _)| name == rel).map(|(_, off)| *off)
+        side.iter()
+            .find(|(name, _)| name == rel)
+            .map(|(_, off)| *off)
     };
     let left_width: usize = prov[l].iter().map(|(r, _)| arities[r]).sum();
     for p in preds {
@@ -148,10 +165,34 @@ fn main() {
     build_data(&catalog);
 
     let preds = [
-        Pred { a: "lineitems", a_col: 0, b: "orders", b_col: 0, selectivity: 1.0 / 50_000.0 },
-        Pred { a: "lineitems", a_col: 1, b: "parts", b_col: 0, selectivity: 1.0 / 2_000.0 },
-        Pred { a: "orders", a_col: 1, b: "customers", b_col: 0, selectivity: 1.0 / 5_000.0 },
-        Pred { a: "orders", a_col: 2, b: "dates", b_col: 0, selectivity: 1.0 / 365.0 },
+        Pred {
+            a: "lineitems",
+            a_col: 0,
+            b: "orders",
+            b_col: 0,
+            selectivity: 1.0 / 50_000.0,
+        },
+        Pred {
+            a: "lineitems",
+            a_col: 1,
+            b: "parts",
+            b_col: 0,
+            selectivity: 1.0 / 2_000.0,
+        },
+        Pred {
+            a: "orders",
+            a_col: 1,
+            b: "customers",
+            b_col: 0,
+            selectivity: 1.0 / 5_000.0,
+        },
+        Pred {
+            a: "orders",
+            a_col: 2,
+            b: "dates",
+            b_col: 0,
+            selectivity: 1.0 / 365.0,
+        },
     ];
 
     // Phase 1 over the warehouse query graph.
@@ -172,7 +213,10 @@ fn main() {
     println!("  bushy DP : {:>12.0}", bushy.total_cost);
     println!("  linear DP: {:>12.0}", linear.total_cost);
     println!("  greedy   : {:>12.0}", greedy.total_cost);
-    println!("\nchosen (bushy) tree:\n{}", multijoin::plan::render::render(&bushy.tree));
+    println!(
+        "\nchosen (bushy) tree:\n{}",
+        multijoin::plan::render::render(&bushy.tree)
+    );
     let costs = tree_costs(&bushy.tree, &bushy.node_cards, &CostModel::default());
     for (join, cost) in join_costs_bottom_up(&bushy.tree, &costs) {
         println!("  join j{join}: estimated {cost:.0} units");
@@ -198,12 +242,11 @@ fn main() {
 
     // Phase 2 + execution with SE and FP.
     for strategy in [Strategy::SE, Strategy::FP] {
-        let mut input =
-            GeneratorInput::new(&bushy.tree, &bushy.node_cards, &costs, 4);
+        let mut input = GeneratorInput::new(&bushy.tree, &bushy.node_cards, &costs, 4);
         input.allow_oversubscribe = true;
         let plan = generate(strategy, &input).expect("plan");
-        let out = run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default())
-            .expect("execution");
+        let out =
+            run_plan(&plan, &binding, catalog.as_ref(), &ExecConfig::default()).expect("execution");
         assert!(out.relation.multiset_eq(&oracle), "{strategy} diverged");
         println!(
             "{strategy}: {:.1} ms, {} rows (verified)",

@@ -62,12 +62,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             i += 1;
         }
     }
-    Ok(Args { positional, flags, switches })
+    Ok(Args {
+        positional,
+        flags,
+        switches,
+    })
 }
 
 impl Args {
     fn shape(&self) -> Result<Shape, String> {
-        let s = self.flags.get("shape").map(String::as_str).unwrap_or("wide-bushy");
+        let s = self
+            .flags
+            .get("shape")
+            .map(String::as_str)
+            .unwrap_or("wide-bushy");
         match s {
             "left-linear" => Ok(Shape::LeftLinear),
             "left-bushy" => Ok(Shape::LeftBushy),
@@ -81,20 +89,28 @@ impl Args {
     }
 
     fn strategy(&self) -> Result<Strategy, String> {
-        let s = self.flags.get("strategy").map(String::as_str).unwrap_or("fp");
+        let s = self
+            .flags
+            .get("strategy")
+            .map(String::as_str)
+            .unwrap_or("fp");
         match s.to_ascii_lowercase().as_str() {
             "sp" => Ok(Strategy::SP),
             "se" => Ok(Strategy::SE),
             "rd" => Ok(Strategy::RD),
             "fp" => Ok(Strategy::FP),
-            other => Err(format!("unknown strategy `{other}` (expected sp, se, rd, fp)")),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected sp, se, rd, fp)"
+            )),
         }
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
 
@@ -174,7 +190,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         100.0 * sim.utilization(procs)
     );
     if args.switch("gantt") {
-        print!("{}", render_gantt(&plan, &sim, 72, |j| char::from_digit((j % 10) as u32, 10)));
+        print!(
+            "{}",
+            render_gantt(&plan, &sim, 72, |j| char::from_digit((j % 10) as u32, 10))
+        );
     }
     Ok(())
 }
@@ -184,7 +203,10 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let tuples: u64 = args.num("tuples", 40_000)?;
     let params = SimParams::default();
     println!("{shape}, {tuples} tuples/relation — simulated response times (s)");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "procs", "SP", "SE", "RD", "FP");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "procs", "SP", "SE", "RD", "FP"
+    );
     for procs in [20usize, 30, 40, 50, 60, 70, 80] {
         let mut row = format!("{procs:>6}");
         for strategy in Strategy::ALL {
@@ -242,7 +264,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_optimize(args: &Args) -> Result<(), String> {
-    let kind = args.flags.get("query").map(String::as_str).unwrap_or("chain");
+    let kind = args
+        .flags
+        .get("query")
+        .map(String::as_str)
+        .unwrap_or("chain");
     let k: usize = args.num("relations", 10)?;
     if k < 2 {
         return Err("--relations must be at least 2".into());
@@ -268,7 +294,11 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
             }
             g
         }
-        other => return Err(format!("unknown query kind `{other}` (chain, skewed, star)")),
+        other => {
+            return Err(format!(
+                "unknown query kind `{other}` (chain, skewed, star)"
+            ))
+        }
     };
     let cm = CostModel::default();
     let mut results: Vec<(&str, f64, Option<String>)> = Vec::new();
@@ -288,8 +318,8 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     let ii = iterative_improvement(&graph, &cm, IterativeOptions::default())
         .map_err(|e| e.to_string())?;
     results.push(("iterative improvement", ii.total_cost, None));
-    let sa = simulated_annealing(&graph, &cm, AnnealingOptions::default())
-        .map_err(|e| e.to_string())?;
+    let sa =
+        simulated_annealing(&graph, &cm, AnnealingOptions::default()).map_err(|e| e.to_string())?;
     results.push(("simulated annealing", sa.total_cost, None));
     let rnd = random_tree(&graph, &cm, 1).map_err(|e| e.to_string())?;
     results.push(("random tree", rnd.total_cost, None));
@@ -310,7 +340,11 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_xra(args: &Args) -> Result<(), String> {
-    let sub = args.positional.get(1).map(String::as_str).unwrap_or("print");
+    let sub = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("print");
     match sub {
         "print" => {
             let shape = args.shape()?;
@@ -322,8 +356,9 @@ fn cmd_xra(args: &Args) -> Result<(), String> {
         }
         "eval" => {
             let src = match args.positional.get(2) {
-                Some(path) => std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?,
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
                 None => {
                     let mut buf = String::new();
                     std::io::stdin()

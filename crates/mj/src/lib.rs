@@ -58,8 +58,8 @@ pub use mj_storage as storage;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mj_core::{
-        generate, proportional_counts, validate_plan, GeneratorInput, OperandSource,
-        ParallelPlan, PlanOp, Strategy,
+        generate, proportional_counts, validate_plan, GeneratorInput, OperandSource, ParallelPlan,
+        PlanOp, Strategy,
     };
     pub use mj_exec::{run_plan, ExecConfig, QueryBinding};
     pub use mj_join::{pipelining_hash_join, simple_hash_join};

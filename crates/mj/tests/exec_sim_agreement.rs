@@ -57,8 +57,14 @@ fn simulator_reproduces_headline_findings() {
         / run(Shape::LeftLinear, Strategy::SP, 5_000, 20);
     let degradation_40k = run(Shape::LeftLinear, Strategy::SP, 40_000, 80)
         / run(Shape::LeftLinear, Strategy::SP, 40_000, 30);
-    assert!(degradation_5k > 1.5, "5K SP should degrade: {degradation_5k}");
-    assert!(degradation_40k < degradation_5k, "40K degrades less than 5K");
+    assert!(
+        degradation_5k > 1.5,
+        "5K SP should degrade: {degradation_5k}"
+    );
+    assert!(
+        degradation_40k < degradation_5k,
+        "40K degrades less than 5K"
+    );
 
     // 3. FP wins at scale on every shape at 5K (Fig. 14's 5K column is
     //    dominated by FP/RD at high processor counts).
@@ -86,7 +92,10 @@ fn simulator_reproduces_headline_findings() {
     // 6. RD coincides with FP on right-linear trees (Fig. 13); SE with SP.
     let rd_rl = run(Shape::RightLinear, Strategy::RD, 40_000, 60);
     let fp_rl = run(Shape::RightLinear, Strategy::FP, 40_000, 60);
-    assert!((rd_rl / fp_rl - 1.0).abs() < 0.25, "RD~FP: {rd_rl} vs {fp_rl}");
+    assert!(
+        (rd_rl / fp_rl - 1.0).abs() < 0.25,
+        "RD~FP: {rd_rl} vs {fp_rl}"
+    );
     let se_rl = run(Shape::RightLinear, Strategy::SE, 40_000, 60);
     let sp_rl = run(Shape::RightLinear, Strategy::SP, 40_000, 60);
     assert!((se_rl / sp_rl - 1.0).abs() < 0.02);
@@ -106,7 +115,10 @@ fn simulator_reproduces_headline_findings() {
     };
     let bushy_best = best(Shape::WideBushy, 40_000);
     let linear_best = best(Shape::LeftLinear, 40_000);
-    assert!(bushy_best < linear_best, "bushy {bushy_best} < linear {linear_best}");
+    assert!(
+        bushy_best < linear_best,
+        "bushy {bushy_best} < linear {linear_best}"
+    );
 }
 
 #[test]

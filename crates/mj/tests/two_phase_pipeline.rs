@@ -63,8 +63,9 @@ fn bushy_dp_never_loses_to_linear_or_greedy() {
         {
             // Cycle with a chord.
             let mut g = QueryGraph::new();
-            let ids: Vec<usize> =
-                (0..6).map(|i| g.add_relation(format!("T{i}"), 1000 + 300 * i as u64)).collect();
+            let ids: Vec<usize> = (0..6)
+                .map(|i| g.add_relation(format!("T{i}"), 1000 + 300 * i as u64))
+                .collect();
             for i in 0..6 {
                 g.add_edge(ids[i], ids[(i + 1) % 6], 0.002).unwrap();
             }
@@ -74,10 +75,18 @@ fn bushy_dp_never_loses_to_linear_or_greedy() {
     ];
     for (i, g) in cases.iter().enumerate() {
         let bushy = optimize_bushy(g, &CostModel::default()).unwrap().total_cost;
-        let linear = optimize_linear(g, &CostModel::default()).unwrap().total_cost;
+        let linear = optimize_linear(g, &CostModel::default())
+            .unwrap()
+            .total_cost;
         let greedy = greedy_tree(g, &CostModel::default()).unwrap().total_cost;
-        assert!(bushy <= linear * (1.0 + 1e-9), "case {i}: bushy {bushy} > linear {linear}");
-        assert!(bushy <= greedy * (1.0 + 1e-9), "case {i}: bushy {bushy} > greedy {greedy}");
+        assert!(
+            bushy <= linear * (1.0 + 1e-9),
+            "case {i}: bushy {bushy} > linear {linear}"
+        );
+        assert!(
+            bushy <= greedy * (1.0 + 1e-9),
+            "case {i}: bushy {bushy} > greedy {greedy}"
+        );
     }
 }
 

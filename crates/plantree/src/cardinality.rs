@@ -49,7 +49,10 @@ pub struct SelectivityModel {
 
 impl CardModel for SelectivityModel {
     fn leaf_card(&self, relation: &str) -> u64 {
-        self.cards.get(relation).copied().unwrap_or(self.default_card)
+        self.cards
+            .get(relation)
+            .copied()
+            .unwrap_or(self.default_card)
     }
 
     fn join_card(&self, left: u64, right: u64) -> u64 {
@@ -102,8 +105,11 @@ mod tests {
     #[test]
     fn zero_selectivity_zeroes_results() {
         let t = build(Shape::WideBushy, 4).unwrap();
-        let model =
-            SelectivityModel { cards: HashMap::new(), default_card: 10, selectivity: 0.0 };
+        let model = SelectivityModel {
+            cards: HashMap::new(),
+            default_card: 10,
+            selectivity: 0.0,
+        };
         let cards = node_cards(&t, &model);
         assert_eq!(cards[t.root()], 0);
     }

@@ -32,7 +32,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { base_operand: 1.0, intermediate_operand: 2.0, result: 2.0 }
+        CostModel {
+            base_operand: 1.0,
+            intermediate_operand: 2.0,
+            result: 2.0,
+        }
     }
 }
 
@@ -46,8 +50,16 @@ impl CostModel {
         right_is_base: bool,
         r: u64,
     ) -> f64 {
-        let a = if left_is_base { self.base_operand } else { self.intermediate_operand };
-        let b = if right_is_base { self.base_operand } else { self.intermediate_operand };
+        let a = if left_is_base {
+            self.base_operand
+        } else {
+            self.intermediate_operand
+        };
+        let b = if right_is_base {
+            self.base_operand
+        } else {
+            self.intermediate_operand
+        };
         a * n1 as f64 + b * n2 as f64 + self.result * r as f64
     }
 }
@@ -108,7 +120,10 @@ pub fn tree_costs_with_model(
 /// The per-join costs restricted to join nodes, as `(id, cost)` pairs in
 /// bottom-up order — handy for display and allocation.
 pub fn join_costs_bottom_up(tree: &JoinTree, costs: &TreeCosts) -> Vec<(NodeId, f64)> {
-    tree.joins_bottom_up().into_iter().map(|id| (id, costs.per_join[id])).collect()
+    tree.joins_bottom_up()
+        .into_iter()
+        .map(|id| (id, costs.per_join[id]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,11 +141,7 @@ mod tests {
         let n = 5000u64;
         for shape in Shape::ALL {
             let tree = build(shape, 10).unwrap();
-            let costs = tree_costs_with_model(
-                &tree,
-                &UniformOneToOne { n },
-                &CostModel::default(),
-            );
+            let costs = tree_costs_with_model(&tree, &UniformOneToOne { n }, &CostModel::default());
             assert_eq!(costs.total, 44.0 * n as f64, "{shape}");
         }
     }
@@ -144,11 +155,8 @@ mod tests {
             let expected = (5 * k - 6) as f64 * n as f64;
             for shape in Shape::ALL {
                 let tree = build(shape, k).unwrap();
-                let costs = tree_costs_with_model(
-                    &tree,
-                    &UniformOneToOne { n },
-                    &CostModel::default(),
-                );
+                let costs =
+                    tree_costs_with_model(&tree, &UniformOneToOne { n }, &CostModel::default());
                 assert_eq!(costs.total, expected, "{shape} k={k}");
             }
         }
@@ -157,11 +165,8 @@ mod tests {
     #[test]
     fn per_join_costs_distinguish_base_and_intermediate() {
         let tree = build(Shape::RightLinear, 3).unwrap();
-        let costs = tree_costs_with_model(
-            &tree,
-            &UniformOneToOne { n: 100 },
-            &CostModel::default(),
-        );
+        let costs =
+            tree_costs_with_model(&tree, &UniformOneToOne { n: 100 }, &CostModel::default());
         let joins = join_costs_bottom_up(&tree, &costs);
         // Bottom join: two base operands: 1+1+2 = 4 units * 100.
         assert_eq!(joins[0].1, 400.0);
@@ -172,11 +177,7 @@ mod tests {
     #[test]
     fn work_fractions_sum_to_one() {
         let tree = build(Shape::WideBushy, 10).unwrap();
-        let costs = tree_costs_with_model(
-            &tree,
-            &UniformOneToOne { n: 10 },
-            &CostModel::default(),
-        );
+        let costs = tree_costs_with_model(&tree, &UniformOneToOne { n: 10 }, &CostModel::default());
         let sum: f64 = costs.work_fractions().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
     }
@@ -184,13 +185,20 @@ mod tests {
     #[test]
     fn zero_total_yields_zero_fractions() {
         let tree = build(Shape::WideBushy, 4).unwrap();
-        let costs = TreeCosts { per_join: vec![0.0; tree.nodes().len()], total: 0.0 };
+        let costs = TreeCosts {
+            per_join: vec![0.0; tree.nodes().len()],
+            total: 0.0,
+        };
         assert!(costs.work_fractions().iter().all(|&f| f == 0.0));
     }
 
     #[test]
     fn custom_cost_model() {
-        let m = CostModel { base_operand: 1.0, intermediate_operand: 3.0, result: 0.5 };
+        let m = CostModel {
+            base_operand: 1.0,
+            intermediate_operand: 3.0,
+            result: 0.5,
+        };
         assert_eq!(m.join_cost(10, true, 20, false, 4), 10.0 + 60.0 + 2.0);
     }
 }

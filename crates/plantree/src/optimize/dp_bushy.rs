@@ -27,13 +27,24 @@ pub fn optimize_bushy(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedP
     graph.check_optimizable()?;
     let n = graph.len();
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    let mut table =
-        vec![Entry { cost: f64::INFINITY, card: 0.0, split: (0, 0), reachable: false }; (full as usize) + 1];
+    let mut table = vec![
+        Entry {
+            cost: f64::INFINITY,
+            card: 0.0,
+            split: (0, 0),
+            reachable: false
+        };
+        (full as usize) + 1
+    ];
 
     for i in 0..n {
         let m = 1u32 << i;
-        table[m as usize] =
-            Entry { cost: 0.0, card: graph.cards()[i] as f64, split: (0, 0), reachable: true };
+        table[m as usize] = Entry {
+            cost: 0.0,
+            card: graph.cards()[i] as f64,
+            split: (0, 0),
+            reachable: true,
+        };
     }
 
     for mask in 1..=full {
@@ -41,7 +52,12 @@ pub fn optimize_bushy(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedP
             continue;
         }
         let card = graph.subset_card(mask);
-        let mut best = Entry { cost: f64::INFINITY, card, split: (0, 0), reachable: false };
+        let mut best = Entry {
+            cost: f64::INFINITY,
+            card,
+            split: (0, 0),
+            reachable: false,
+        };
         // Enumerate proper submasks; visit each unordered partition once.
         let mut s1 = (mask - 1) & mask;
         while s1 != 0 {
@@ -58,7 +74,12 @@ pub fn optimize_bushy(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedP
                     );
                     let total = e1.cost + e2.cost + jc;
                     if total < best.cost {
-                        best = Entry { cost: total, card, split: (s1, s2), reachable: true };
+                        best = Entry {
+                            cost: total,
+                            card,
+                            split: (s1, s2),
+                            reachable: true,
+                        };
                     }
                 }
             }
@@ -68,14 +89,20 @@ pub fn optimize_bushy(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedP
     }
 
     if !table[full as usize].reachable {
-        return Err(RelalgError::InvalidPlan("no cartesian-free plan covers all relations".into()));
+        return Err(RelalgError::InvalidPlan(
+            "no cartesian-free plan covers all relations".into(),
+        ));
     }
 
     let mut builder = JoinTree::builder();
     let mut node_cards = Vec::new();
     let root = reconstruct(graph, &table, full, &mut builder, &mut node_cards);
     let tree = builder.build(root)?;
-    Ok(OptimizedPlan { tree, total_cost: table[full as usize].cost, node_cards })
+    Ok(OptimizedPlan {
+        tree,
+        total_cost: table[full as usize].cost,
+        node_cards,
+    })
 }
 
 fn reconstruct(
@@ -133,7 +160,12 @@ mod tests {
         let recomputed = tree_costs(&plan.tree, &plan.node_cards, &CostModel::default());
         // Rounding cards to u64 inside join_cost can cause tiny drift.
         let rel_err = (recomputed.total - plan.total_cost).abs() / plan.total_cost.max(1.0);
-        assert!(rel_err < 0.01, "dp={} recomputed={}", plan.total_cost, recomputed.total);
+        assert!(
+            rel_err < 0.01,
+            "dp={} recomputed={}",
+            plan.total_cost,
+            recomputed.total
+        );
     }
 
     #[test]

@@ -24,13 +24,24 @@ pub fn optimize_linear(graph: &QueryGraph, cost: &CostModel) -> Result<Optimized
     graph.check_optimizable()?;
     let n = graph.len();
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    let mut table =
-        vec![Entry { cost: f64::INFINITY, card: 0.0, last: usize::MAX, reachable: false }; (full as usize) + 1];
+    let mut table = vec![
+        Entry {
+            cost: f64::INFINITY,
+            card: 0.0,
+            last: usize::MAX,
+            reachable: false
+        };
+        (full as usize) + 1
+    ];
 
     for i in 0..n {
         let m = 1u32 << i;
-        table[m as usize] =
-            Entry { cost: 0.0, card: graph.cards()[i] as f64, last: i, reachable: true };
+        table[m as usize] = Entry {
+            cost: 0.0,
+            card: graph.cards()[i] as f64,
+            last: i,
+            reachable: true,
+        };
     }
 
     for mask in 1..=full {
@@ -38,8 +49,12 @@ pub fn optimize_linear(graph: &QueryGraph, cost: &CostModel) -> Result<Optimized
             continue;
         }
         let card = graph.subset_card(mask);
-        let mut best =
-            Entry { cost: f64::INFINITY, card, last: usize::MAX, reachable: false };
+        let mut best = Entry {
+            cost: f64::INFINITY,
+            card,
+            last: usize::MAX,
+            reachable: false,
+        };
         let mut rels = mask;
         while rels != 0 {
             let r = rels.trailing_zeros() as usize;
@@ -58,7 +73,12 @@ pub fn optimize_linear(graph: &QueryGraph, cost: &CostModel) -> Result<Optimized
             );
             let total = pe.cost + jc;
             if total < best.cost {
-                best = Entry { cost: total, card, last: r, reachable: true };
+                best = Entry {
+                    cost: total,
+                    card,
+                    last: r,
+                    reachable: true,
+                };
             }
         }
         table[mask as usize] = best;
@@ -94,7 +114,11 @@ pub fn optimize_linear(graph: &QueryGraph, cost: &CostModel) -> Result<Optimized
         node_cards.push(graph.subset_card(acc_mask) as u64);
     }
     let tree = builder.build(acc)?;
-    Ok(OptimizedPlan { tree, total_cost: table[full as usize].cost, node_cards })
+    Ok(OptimizedPlan {
+        tree,
+        total_cost: table[full as usize].cost,
+        node_cards,
+    })
 }
 
 #[cfg(test)]

@@ -21,10 +21,14 @@ struct Component {
 /// graphs larger than the DP limit.
 pub fn greedy_tree(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedPlan> {
     if graph.len() < 2 {
-        return Err(RelalgError::InvalidPlan("optimizer needs >= 2 relations".into()));
+        return Err(RelalgError::InvalidPlan(
+            "optimizer needs >= 2 relations".into(),
+        ));
     }
     if graph.len() > 32 {
-        return Err(RelalgError::InvalidPlan("greedy optimizer supports <= 32 relations".into()));
+        return Err(RelalgError::InvalidPlan(
+            "greedy optimizer supports <= 32 relations".into(),
+        ));
     }
     if !graph.is_connected() {
         return Err(RelalgError::InvalidPlan(
@@ -38,7 +42,11 @@ pub fn greedy_tree(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedPlan
         .map(|i| {
             let node = builder.leaf(graph.names()[i].clone());
             node_cards.push(graph.cards()[i]);
-            Component { mask: 1 << i, node, card: graph.cards()[i] as f64 }
+            Component {
+                mask: 1 << i,
+                node,
+                card: graph.cards()[i] as f64,
+            }
         })
         .collect();
     let mut total_cost = 0.0;
@@ -70,13 +78,15 @@ pub fn greedy_tree(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedPlan
                 }
             }
         }
-        let (i, j, result, jc) =
-            best.expect("connected graph always has a joinable pair");
+        let (i, j, result, jc) = best.expect("connected graph always has a joinable pair");
         total_cost += jc;
         let joined = builder.join(comps[i].node, comps[j].node);
         node_cards.push(result as u64);
-        let merged =
-            Component { mask: comps[i].mask | comps[j].mask, node: joined, card: result };
+        let merged = Component {
+            mask: comps[i].mask | comps[j].mask,
+            node: joined,
+            card: result,
+        };
         // Remove j first (j > i) to keep indices valid.
         comps.remove(j);
         comps.remove(i);
@@ -84,7 +94,11 @@ pub fn greedy_tree(graph: &QueryGraph, cost: &CostModel) -> Result<OptimizedPlan
     }
 
     let tree = builder.build(comps[0].node)?;
-    Ok(OptimizedPlan { tree, total_cost, node_cards })
+    Ok(OptimizedPlan {
+        tree,
+        total_cost,
+        node_cards,
+    })
 }
 
 #[cfg(test)]

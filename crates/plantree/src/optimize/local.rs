@@ -127,8 +127,12 @@ enum Move {
     Exchange,
 }
 
-const MOVES: [Move; 4] =
-    [Move::Commute, Move::AssociateRight, Move::AssociateLeft, Move::Exchange];
+const MOVES: [Move; 4] = [
+    Move::Commute,
+    Move::AssociateRight,
+    Move::AssociateLeft,
+    Move::Exchange,
+];
 
 fn apply_move(e: &Expr, m: Move) -> Option<Expr> {
     match (m, e) {
@@ -177,8 +181,9 @@ fn random_neighbour(
 /// Builds a uniformly random valid bushy tree by repeatedly merging a
 /// random connected pair of components.
 fn random_expr(graph: &QueryGraph, rng: &mut StdRng) -> Expr {
-    let mut comps: Vec<(u32, Expr)> =
-        (0..graph.len()).map(|i| (1u32 << i, Expr::Leaf(i))).collect();
+    let mut comps: Vec<(u32, Expr)> = (0..graph.len())
+        .map(|i| (1u32 << i, Expr::Leaf(i)))
+        .collect();
     while comps.len() > 1 {
         let mut pairs = Vec::new();
         for i in 0..comps.len() {
@@ -228,7 +233,11 @@ fn to_plan(e: &Expr, graph: &QueryGraph, cm: &CostModel) -> Result<OptimizedPlan
     }
     let (_, root) = build(e, graph, &mut builder, &mut node_cards);
     let tree = builder.build(root)?;
-    Ok(OptimizedPlan { tree, total_cost: total, node_cards })
+    Ok(OptimizedPlan {
+        tree,
+        total_cost: total,
+        node_cards,
+    })
 }
 
 /// Options for [`iterative_improvement`].
@@ -245,7 +254,11 @@ pub struct IterativeOptions {
 
 impl Default for IterativeOptions {
     fn default() -> Self {
-        IterativeOptions { seed: 0xB05E, restarts: 8, patience: 256 }
+        IterativeOptions {
+            seed: 0xB05E,
+            restarts: 8,
+            patience: 256,
+        }
     }
 }
 
@@ -330,8 +343,10 @@ pub fn simulated_annealing(
             opts.cooling
         )));
     }
-    if !(opts.initial_temp > 0.0) {
-        return Err(RelalgError::InvalidPlan("initial_temp must be positive".into()));
+    if opts.initial_temp.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(RelalgError::InvalidPlan(
+            "initial_temp must be positive".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut cur = random_expr(graph, &mut rng);
@@ -376,10 +391,14 @@ pub fn random_tree(graph: &QueryGraph, cost: &CostModel, seed: u64) -> Result<Op
 
 fn check_searchable(graph: &QueryGraph, _restarts: usize) -> Result<()> {
     if graph.len() < 2 {
-        return Err(RelalgError::InvalidPlan("optimizer needs >= 2 relations".into()));
+        return Err(RelalgError::InvalidPlan(
+            "optimizer needs >= 2 relations".into(),
+        ));
     }
     if graph.len() > 32 {
-        return Err(RelalgError::InvalidPlan("local search supports <= 32 relations".into()));
+        return Err(RelalgError::InvalidPlan(
+            "local search supports <= 32 relations".into(),
+        ));
     }
     if !graph.is_connected() {
         return Err(RelalgError::InvalidPlan(
@@ -459,14 +478,21 @@ mod tests {
             let ii = iterative_improvement(
                 &graph,
                 &cm,
-                IterativeOptions { seed, restarts: 2, patience: 64 },
+                IterativeOptions {
+                    seed,
+                    restarts: 2,
+                    patience: 64,
+                },
             )
             .unwrap();
             assert!(ii.total_cost >= dp.total_cost - 1e-6);
             let sa = simulated_annealing(
                 &graph,
                 &cm,
-                AnnealingOptions { seed, ..AnnealingOptions::default() },
+                AnnealingOptions {
+                    seed,
+                    ..AnnealingOptions::default()
+                },
             )
             .unwrap();
             assert!(sa.total_cost >= dp.total_cost - 1e-6);
@@ -497,12 +523,18 @@ mod tests {
         let ii = iterative_improvement(
             &graph,
             &cm,
-            IterativeOptions { restarts: 4, ..IterativeOptions::default() },
+            IterativeOptions {
+                restarts: 4,
+                ..IterativeOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(ii.tree.leaf_count(), 24);
         ii.tree.validate().unwrap();
-        assert!(ii.total_cost <= greedy.total_cost * 1.5, "II wildly worse than greedy");
+        assert!(
+            ii.total_cost <= greedy.total_cost * 1.5,
+            "II wildly worse than greedy"
+        );
     }
 
     #[test]
@@ -526,13 +558,19 @@ mod tests {
         assert!(simulated_annealing(
             &graph,
             &cm,
-            AnnealingOptions { cooling: 1.5, ..AnnealingOptions::default() }
+            AnnealingOptions {
+                cooling: 1.5,
+                ..AnnealingOptions::default()
+            }
         )
         .is_err());
         assert!(simulated_annealing(
             &graph,
             &cm,
-            AnnealingOptions { initial_temp: 0.0, ..AnnealingOptions::default() }
+            AnnealingOptions {
+                initial_temp: 0.0,
+                ..AnnealingOptions::default()
+            }
         )
         .is_err());
         let mut g = QueryGraph::new();

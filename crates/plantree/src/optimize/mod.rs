@@ -50,7 +50,12 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        QueryGraph { names: Vec::new(), cards: Vec::new(), adj: Vec::new(), edges: Vec::new() }
+        QueryGraph {
+            names: Vec::new(),
+            cards: Vec::new(),
+            adj: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a relation, returning its index.
@@ -83,7 +88,9 @@ impl QueryGraph {
     /// 1-to-1 match).
     pub fn regular_chain(k: usize, n: u64) -> Result<QueryGraph> {
         if k < 2 || n == 0 {
-            return Err(RelalgError::InvalidPlan("chain needs k >= 2, n >= 1".into()));
+            return Err(RelalgError::InvalidPlan(
+                "chain needs k >= 2, n >= 1".into(),
+            ));
         }
         let mut g = QueryGraph::new();
         for i in 0..k {
@@ -161,7 +168,11 @@ impl QueryGraph {
         if self.names.is_empty() {
             return false;
         }
-        let full = if self.names.len() == 32 { u32::MAX } else { (1u32 << self.names.len()) - 1 };
+        let full = if self.names.len() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.names.len()) - 1
+        };
         let mut reached = 1u32;
         loop {
             let grow = reached | (self.neighbours(reached) & full);
@@ -175,7 +186,9 @@ impl QueryGraph {
 
     pub(crate) fn check_optimizable(&self) -> Result<()> {
         if self.len() < 2 {
-            return Err(RelalgError::InvalidPlan("optimizer needs >= 2 relations".into()));
+            return Err(RelalgError::InvalidPlan(
+                "optimizer needs >= 2 relations".into(),
+            ));
         }
         if self.len() > MAX_DP_RELATIONS {
             return Err(RelalgError::InvalidPlan(format!(

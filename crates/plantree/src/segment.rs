@@ -115,7 +115,9 @@ fn discover(tree: &JoinTree, top: NodeId, out: &mut Segmentation) -> usize {
     }
     chain.reverse(); // bottom-up order
     let seg_idx = out.segments.len();
-    out.segments.push(Segment { joins: chain.clone() });
+    out.segments.push(Segment {
+        joins: chain.clone(),
+    });
     out.deps.push(Vec::new());
     for &j in &chain {
         out.seg_of[j] = Some(seg_idx);

@@ -66,7 +66,9 @@ fn relation_names(k: usize) -> Vec<String> {
 /// Builds the given shape over `k >= 2` relations named `R0..R{k-1}`.
 pub fn build(shape: Shape, k: usize) -> Result<JoinTree> {
     if k < 2 {
-        return Err(RelalgError::InvalidPlan(format!("a multi-join needs >=2 relations, got {k}")));
+        return Err(RelalgError::InvalidPlan(format!(
+            "a multi-join needs >=2 relations, got {k}"
+        )));
     }
     let names = relation_names(k);
     let tree = match shape {
@@ -152,7 +154,10 @@ mod tests {
                 leaves.sort();
                 let mut expected: Vec<String> = relation_names(k);
                 expected.sort();
-                assert_eq!(leaves, expected.iter().map(String::as_str).collect::<Vec<_>>());
+                assert_eq!(
+                    leaves,
+                    expected.iter().map(String::as_str).collect::<Vec<_>>()
+                );
             }
         }
     }
@@ -167,10 +172,18 @@ mod tests {
     fn linear_trees_have_full_depth() {
         let t = build(Shape::RightLinear, 10).unwrap();
         assert_eq!(t.depth(), 9);
-        assert_eq!(t.right_spine_len(), 9, "right-linear has one long right spine");
+        assert_eq!(
+            t.right_spine_len(),
+            9,
+            "right-linear has one long right spine"
+        );
         let t = build(Shape::LeftLinear, 10).unwrap();
         assert_eq!(t.depth(), 9);
-        assert_eq!(t.right_spine_len(), 1, "left-linear's right children are leaves");
+        assert_eq!(
+            t.right_spine_len(),
+            1,
+            "left-linear's right children are leaves"
+        );
     }
 
     #[test]
@@ -184,7 +197,10 @@ mod tests {
         let wide = build(Shape::WideBushy, 10).unwrap().depth();
         let right = build(Shape::RightBushy, 10).unwrap().depth();
         let linear = build(Shape::RightLinear, 10).unwrap().depth();
-        assert!(wide < right && right < linear, "{wide} < {right} < {linear}");
+        assert!(
+            wide < right && right < linear,
+            "{wide} < {right} < {linear}"
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl JoinTree {
 
     /// Builds the tree `relation` (single leaf) — the degenerate case.
     pub fn single(relation: impl Into<String>) -> JoinTree {
-        JoinTree { nodes: vec![TreeNode::Leaf { relation: relation.into() }], root: 0 }
+        JoinTree {
+            nodes: vec![TreeNode::Leaf {
+                relation: relation.into(),
+            }],
+            root: 0,
+        }
     }
 
     /// Root node id.
@@ -59,9 +64,10 @@ impl JoinTree {
 
     /// The node with the given id.
     pub fn node(&self, id: NodeId) -> Result<&TreeNode> {
-        self.nodes
-            .get(id)
-            .ok_or(RelalgError::IndexOutOfBounds { index: id, arity: self.nodes.len() })
+        self.nodes.get(id).ok_or(RelalgError::IndexOutOfBounds {
+            index: id,
+            arity: self.nodes.len(),
+        })
     }
 
     /// True if `id` is a leaf.
@@ -79,7 +85,10 @@ impl JoinTree {
 
     /// Number of join (inner) nodes.
     pub fn join_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, TreeNode::Join { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Join { .. }))
+            .count()
     }
 
     /// Number of leaves (base relations).
@@ -195,7 +204,9 @@ impl JoinTree {
         let mut reached = 0usize;
         self.postorder_from(self.root, &mut |_| reached += 1);
         if reached != self.nodes.len() {
-            return Err(RelalgError::InvalidPlan("root does not reach all nodes".into()));
+            return Err(RelalgError::InvalidPlan(
+                "root does not reach all nodes".into(),
+            ));
         }
         Ok(())
     }
@@ -209,7 +220,9 @@ pub struct JoinTreeBuilder {
 impl JoinTreeBuilder {
     /// Adds a leaf, returning its id.
     pub fn leaf(&mut self, relation: impl Into<String>) -> NodeId {
-        self.nodes.push(TreeNode::Leaf { relation: relation.into() });
+        self.nodes.push(TreeNode::Leaf {
+            relation: relation.into(),
+        });
         self.nodes.len() - 1
     }
 
@@ -222,7 +235,10 @@ impl JoinTreeBuilder {
 
     /// Finishes the tree with `root` as its root, validating structure.
     pub fn build(self, root: NodeId) -> Result<JoinTree> {
-        let tree = JoinTree { nodes: self.nodes, root };
+        let tree = JoinTree {
+            nodes: self.nodes,
+            root,
+        };
         tree.validate()?;
         Ok(tree)
     }
@@ -295,7 +311,9 @@ mod tests {
         // Repeated child.
         let tree = JoinTree {
             nodes: vec![
-                TreeNode::Leaf { relation: "R".into() },
+                TreeNode::Leaf {
+                    relation: "R".into(),
+                },
                 TreeNode::Join { left: 0, right: 0 },
             ],
             root: 1,
@@ -306,8 +324,12 @@ mod tests {
         let tree = JoinTree {
             nodes: vec![
                 TreeNode::Join { left: 1, right: 2 },
-                TreeNode::Leaf { relation: "A".into() },
-                TreeNode::Leaf { relation: "B".into() },
+                TreeNode::Leaf {
+                    relation: "A".into(),
+                },
+                TreeNode::Leaf {
+                    relation: "B".into(),
+                },
             ],
             root: 0,
         };

@@ -61,7 +61,10 @@ mod tests {
         assert_eq!(e.to_string(), "unknown attribute `u1`");
         let e = RelalgError::IndexOutOfBounds { index: 9, arity: 3 };
         assert!(e.to_string().contains("index 9"));
-        let e = RelalgError::TypeMismatch { expected: "Int", found: "Str" };
+        let e = RelalgError::TypeMismatch {
+            expected: "Int",
+            found: "Str",
+        };
         assert!(e.to_string().contains("expected Int"));
     }
 

@@ -106,24 +106,44 @@ mod tests {
     #[test]
     fn arithmetic() {
         let t = Tuple::from_ints(&[7, 3]);
-        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Mod, Box::new(Expr::attr(1)));
+        let e = Expr::Arith(
+            Box::new(Expr::attr(0)),
+            ArithOp::Mod,
+            Box::new(Expr::attr(1)),
+        );
         assert_eq!(e.eval(&t).unwrap(), Value::Int(1));
-        let e = Expr::Arith(Box::new(Expr::lit_int(-7)), ArithOp::Mod, Box::new(Expr::lit_int(3)));
+        let e = Expr::Arith(
+            Box::new(Expr::lit_int(-7)),
+            ArithOp::Mod,
+            Box::new(Expr::lit_int(3)),
+        );
         assert_eq!(e.eval(&t).unwrap(), Value::Int(2), "modulo is euclidean");
-        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Mod, Box::new(Expr::lit_int(0)));
+        let e = Expr::Arith(
+            Box::new(Expr::attr(0)),
+            ArithOp::Mod,
+            Box::new(Expr::lit_int(0)),
+        );
         assert!(e.eval(&t).is_err());
     }
 
     #[test]
     fn display() {
-        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Add, Box::new(Expr::lit_int(1)));
+        let e = Expr::Arith(
+            Box::new(Expr::attr(0)),
+            ArithOp::Add,
+            Box::new(Expr::lit_int(1)),
+        );
         assert_eq!(e.to_string(), "(#0 + 1)");
     }
 
     #[test]
     fn type_errors_propagate() {
         let t = Tuple::new(vec![Value::str("x")]);
-        let e = Expr::Arith(Box::new(Expr::attr(0)), ArithOp::Add, Box::new(Expr::lit_int(1)));
+        let e = Expr::Arith(
+            Box::new(Expr::attr(0)),
+            ArithOp::Add,
+            Box::new(Expr::lit_int(1)),
+        );
         assert!(e.eval(&t).is_err());
     }
 }

@@ -34,7 +34,11 @@ mod tests {
         let mut low_bits: Vec<u64> = (0..64).map(|k| mix_key(k) % 64).collect();
         low_bits.sort_unstable();
         low_bits.dedup();
-        assert!(low_bits.len() > 32, "only {} distinct buckets", low_bits.len());
+        assert!(
+            low_bits.len() > 32,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub struct AggSpec {
 impl AggSpec {
     /// Creates an aggregate spec.
     pub fn new(func: AggFunc, col: usize, name: impl Into<String>) -> Self {
-        AggSpec { func, col, name: name.into() }
+        AggSpec {
+            func,
+            col,
+            name: name.into(),
+        }
     }
 }
 
@@ -52,7 +56,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        AggState { count: 0, sum: 0, min: None, max: None }
+        AggState {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, v: i64) {
@@ -106,7 +115,11 @@ pub fn aggregate(input: &Relation, group_cols: &[usize], aggs: &[AggSpec]) -> Re
             .entry(key)
             .or_insert_with(|| aggs.iter().map(|_| AggState::new()).collect());
         for (spec, state) in aggs.iter().zip(states.iter_mut()) {
-            let v = if spec.func == AggFunc::Count { 0 } else { t.int(spec.col)? };
+            let v = if spec.func == AggFunc::Count {
+                0
+            } else {
+                t.int(spec.col)?
+            };
             state.update(v);
         }
     }

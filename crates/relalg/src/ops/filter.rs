@@ -24,7 +24,11 @@ mod tests {
 
     fn rel(rows: &[i64]) -> Relation {
         let schema = Schema::new(vec![Attribute::int("a")]).shared();
-        Relation::new(schema, rows.iter().map(|&v| Tuple::from_ints(&[v])).collect()).unwrap()
+        Relation::new(
+            schema,
+            rows.iter().map(|&v| Tuple::from_ints(&[v])).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

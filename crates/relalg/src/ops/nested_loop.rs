@@ -34,9 +34,11 @@ mod tests {
     use crate::tuple::Tuple;
 
     fn rel(name: &str, rows: &[[i64; 2]]) -> Relation {
-        let schema =
-            Schema::new(vec![Attribute::int(format!("{name}_k")), Attribute::int(format!("{name}_v"))])
-                .shared();
+        let schema = Schema::new(vec![
+            Attribute::int(format!("{name}_k")),
+            Attribute::int(format!("{name}_v")),
+        ])
+        .shared();
         Relation::new(schema, rows.iter().map(|r| Tuple::from_ints(r)).collect()).unwrap()
     }
 

@@ -79,12 +79,20 @@ pub enum Predicate {
 impl Predicate {
     /// `attr(i) op lit` — the common selection shape.
     pub fn cmp_int(i: usize, op: CmpOp, lit: i64) -> Predicate {
-        Predicate::Cmp { left: Expr::Attr(i), op, right: Expr::Lit(Value::Int(lit)) }
+        Predicate::Cmp {
+            left: Expr::Attr(i),
+            op,
+            right: Expr::Lit(Value::Int(lit)),
+        }
     }
 
     /// `attr(i) = attr(j)` — the equi-join shape on a concatenated tuple.
     pub fn attr_eq(i: usize, j: usize) -> Predicate {
-        Predicate::Cmp { left: Expr::Attr(i), op: CmpOp::Eq, right: Expr::Attr(j) }
+        Predicate::Cmp {
+            left: Expr::Attr(i),
+            op: CmpOp::Eq,
+            right: Expr::Attr(j),
+        }
     }
 
     /// Evaluates the predicate against `tuple`.
@@ -145,9 +153,15 @@ mod tests {
         let t = Tuple::from_ints(&[5]);
         let lt = Predicate::cmp_int(0, CmpOp::Lt, 10);
         let gt = Predicate::cmp_int(0, CmpOp::Gt, 10);
-        assert!(Predicate::And(Box::new(lt.clone()), Box::new(lt.clone())).eval(&t).unwrap());
-        assert!(!Predicate::And(Box::new(lt.clone()), Box::new(gt.clone())).eval(&t).unwrap());
-        assert!(Predicate::Or(Box::new(gt.clone()), Box::new(lt.clone())).eval(&t).unwrap());
+        assert!(Predicate::And(Box::new(lt.clone()), Box::new(lt.clone()))
+            .eval(&t)
+            .unwrap());
+        assert!(!Predicate::And(Box::new(lt.clone()), Box::new(gt.clone()))
+            .eval(&t)
+            .unwrap());
+        assert!(Predicate::Or(Box::new(gt.clone()), Box::new(lt.clone()))
+            .eval(&t)
+            .unwrap());
         assert!(Predicate::Not(Box::new(gt)).eval(&t).unwrap());
         assert!(Predicate::True.eval(&t).unwrap());
     }
@@ -155,7 +169,11 @@ mod tests {
     #[test]
     fn string_comparison() {
         let t = Tuple::new(vec![Value::str("abc"), Value::str("abd")]);
-        let p = Predicate::Cmp { left: Expr::Attr(0), op: CmpOp::Lt, right: Expr::Attr(1) };
+        let p = Predicate::Cmp {
+            left: Expr::Attr(0),
+            op: CmpOp::Lt,
+            right: Expr::Attr(1),
+        };
         assert!(p.eval(&t).unwrap());
     }
 

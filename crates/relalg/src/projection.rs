@@ -28,7 +28,9 @@ impl Projection {
 
     /// The identity projection for an input of the given arity.
     pub fn identity(arity: usize) -> Self {
-        Projection { cols: (0..arity).collect() }
+        Projection {
+            cols: (0..arity).collect(),
+        }
     }
 
     /// The projected column indices.
@@ -50,6 +52,18 @@ impl Projection {
     /// (the hash-join hot path).
     pub fn apply_concat(&self, left: &Tuple, right: &Tuple) -> Result<Tuple> {
         Tuple::project_concat(left, right, &self.cols)
+    }
+
+    /// [`Projection::apply_concat`] through a caller-provided scratch
+    /// buffer, so steady-state joins emit rows without per-row allocation
+    /// (see [`Tuple::project_concat_into`]).
+    pub fn apply_concat_into(
+        &self,
+        left: &Tuple,
+        right: &Tuple,
+        scratch: &mut Vec<crate::value::Value>,
+    ) -> Result<Tuple> {
+        Tuple::project_concat_into(left, right, &self.cols, scratch)
     }
 
     /// Computes the output schema for the given input schema.
@@ -106,7 +120,10 @@ mod tests {
         let a = Tuple::from_ints(&[1, 2]);
         let b = Tuple::from_ints(&[3, 4]);
         let p = Projection::new(vec![0, 3]);
-        assert_eq!(p.apply_concat(&a, &b).unwrap(), p.apply(&a.concat(&b)).unwrap());
+        assert_eq!(
+            p.apply_concat(&a, &b).unwrap(),
+            p.apply(&a.concat(&b)).unwrap()
+        );
     }
 
     #[test]

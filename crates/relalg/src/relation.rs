@@ -20,7 +20,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Creates a relation, validating every tuple against the schema.
@@ -94,6 +97,27 @@ impl Relation {
         a.sort_unstable();
         b.sort_unstable();
         a == b
+    }
+
+    /// Builds a new relation from the rows at `indices` (sharing tuple
+    /// payloads — each gathered row is a cheap clone, not a deep copy).
+    /// Out-of-range indices error like every other accessor.
+    pub fn gather(&self, indices: &[u32]) -> Result<Relation> {
+        let mut tuples = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let t = self
+                .tuples
+                .get(i as usize)
+                .ok_or(RelalgError::IndexOutOfBounds {
+                    index: i as usize,
+                    arity: self.tuples.len(),
+                })?;
+            tuples.push(t.clone());
+        }
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
     }
 
     /// Approximate in-memory footprint in bytes.
@@ -174,6 +198,9 @@ mod tests {
         let mut m: HashMap<String, Arc<Relation>> = HashMap::new();
         m.insert("r".into(), Arc::new(rel(&[[1, 1]])));
         assert!(m.relation("r").is_ok());
-        assert!(matches!(m.relation("s"), Err(RelalgError::UnknownRelation(_))));
+        assert!(matches!(
+            m.relation("s"),
+            Err(RelalgError::UnknownRelation(_))
+        ));
     }
 }

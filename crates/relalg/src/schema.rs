@@ -38,7 +38,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// Shorthand for an integer attribute.
@@ -86,9 +89,10 @@ impl Schema {
 
     /// The attribute at position `i`.
     pub fn attr(&self, i: usize) -> Result<&Attribute> {
-        self.attrs
-            .get(i)
-            .ok_or(RelalgError::IndexOutOfBounds { index: i, arity: self.attrs.len() })
+        self.attrs.get(i).ok_or(RelalgError::IndexOutOfBounds {
+            index: i,
+            arity: self.attrs.len(),
+        })
     }
 
     /// Resolves a name to the index of the *first* attribute with that name.

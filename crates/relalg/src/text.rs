@@ -79,7 +79,12 @@ fn print_node(node: &XraNode, out: &mut String) {
             print_cols(projection.cols(), out);
             out.push(')');
         }
-        XraNode::HashJoin { left, right, join, algorithm } => {
+        XraNode::HashJoin {
+            left,
+            right,
+            join,
+            algorithm,
+        } => {
             out.push_str("join(");
             print_node(left, out);
             out.push_str(", ");
@@ -208,6 +213,7 @@ enum Tok {
     Comma,
     Plus,
     Minus,
+    #[allow(clippy::enum_variant_names)]
     StarTok,
     Percent,
     Eq,
@@ -367,9 +373,9 @@ impl Parser {
 
     fn err(&self, expected: &str) -> RelalgError {
         match self.toks.get(self.pos) {
-            Some((t, at)) => RelalgError::InvalidPlan(format!(
-                "expected {expected}, found {t:?} at byte {at}"
-            )),
+            Some((t, at)) => {
+                RelalgError::InvalidPlan(format!("expected {expected}, found {t:?} at byte {at}"))
+            }
             None => RelalgError::InvalidPlan(format!("expected {expected}, found end of input")),
         }
     }
@@ -442,13 +448,19 @@ impl Parser {
                 let input = self.node()?;
                 self.eat(Tok::Comma, "`,`")?;
                 let predicate = self.pred()?;
-                XraNode::Select { input: Box::new(input), predicate }
+                XraNode::Select {
+                    input: Box::new(input),
+                    predicate,
+                }
             }
             "project" => {
                 let input = self.node()?;
                 self.eat(Tok::Comma, "`,`")?;
                 let cols = self.cols()?;
-                XraNode::Project { input: Box::new(input), projection: Projection::new(cols) }
+                XraNode::Project {
+                    input: Box::new(input),
+                    projection: Projection::new(cols),
+                }
             }
             "join" => {
                 let left = self.node()?;
@@ -534,10 +546,16 @@ impl Parser {
                         _ => return Err(self.err("`,` or `]`")),
                     }
                 }
-                XraNode::Aggregate { input: Box::new(input), group, aggs }
+                XraNode::Aggregate {
+                    input: Box::new(input),
+                    group,
+                    aggs,
+                }
             }
             other => {
-                return Err(RelalgError::InvalidPlan(format!("unknown operator `{other}`")))
+                return Err(RelalgError::InvalidPlan(format!(
+                    "unknown operator `{other}`"
+                )))
             }
         };
         self.eat(Tok::RParen, "`)`")?;
@@ -735,7 +753,10 @@ mod tests {
         let p = parse("select(scan(r), (#0 >= 10 and #1 <> 3) or not (#2 = #3))").unwrap();
         roundtrip(&p);
         match &p {
-            XraNode::Select { predicate: Predicate::Or(a, b), .. } => {
+            XraNode::Select {
+                predicate: Predicate::Or(a, b),
+                ..
+            } => {
                 assert!(matches!(a.as_ref(), Predicate::And(_, _)));
                 assert!(matches!(b.as_ref(), Predicate::Not(_)));
             }
@@ -749,7 +770,11 @@ mod tests {
         let p = parse("select(scan(r), #0 + #1 * 2 = 10)").unwrap();
         match &p {
             XraNode::Select {
-                predicate: Predicate::Cmp { left: Expr::Arith(_, ArithOp::Add, rhs), .. },
+                predicate:
+                    Predicate::Cmp {
+                        left: Expr::Arith(_, ArithOp::Add, rhs),
+                        ..
+                    },
                 ..
             } => {
                 assert!(matches!(rhs.as_ref(), Expr::Arith(_, ArithOp::Mul, _)));
@@ -836,12 +861,21 @@ mod tests {
             ("scan(", "relation name"),
             ("scan(r", "`)`"),
             ("frobnicate(r)", "unknown operator"),
-            ("join(scan(r), scan(s), #0 = #0, [0], quantum)", "unknown join algorithm"),
+            (
+                "join(scan(r), scan(s), #0 = #0, [0], quantum)",
+                "unknown join algorithm",
+            ),
             ("select(scan(r), #0 ??)", "unexpected character"),
             ("select(scan(r), 'open)", "unterminated string"),
-            ("agg(scan(r), group [0], [avg(#1) as x])", "unknown aggregate"),
+            (
+                "agg(scan(r), group [0], [avg(#1) as x])",
+                "unknown aggregate",
+            ),
             ("scan(r) scan(s)", "end of input"),
-            ("select(scan(r), #0 >= 99999999999999999999)", "out of range"),
+            (
+                "select(scan(r), #0 >= 99999999999999999999)",
+                "out of range",
+            ),
         ] {
             let err = parse(src).expect_err(src).to_string();
             assert!(err.contains(needle), "error for `{src}` was `{err}`");
@@ -859,8 +893,11 @@ mod tests {
         let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
         let mk = |rows: &[[i64; 2]]| {
             Arc::new(
-                Relation::new(schema.clone(), rows.iter().map(|r| Tuple::from_ints(r)).collect())
-                    .unwrap(),
+                Relation::new(
+                    schema.clone(),
+                    rows.iter().map(|r| Tuple::from_ints(r)).collect(),
+                )
+                .unwrap(),
             )
         };
         let mut provider = HashMap::new();

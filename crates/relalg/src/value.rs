@@ -38,7 +38,10 @@ impl Value {
     pub fn as_int(&self) -> Result<i64> {
         match self {
             Value::Int(v) => Ok(*v),
-            Value::Str(_) => Err(RelalgError::TypeMismatch { expected: "Int", found: "Str" }),
+            Value::Str(_) => Err(RelalgError::TypeMismatch {
+                expected: "Int",
+                found: "Str",
+            }),
         }
     }
 
@@ -46,7 +49,10 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            Value::Int(_) => Err(RelalgError::TypeMismatch { expected: "Str", found: "Int" }),
+            Value::Int(_) => Err(RelalgError::TypeMismatch {
+                expected: "Str",
+                found: "Int",
+            }),
         }
     }
 
@@ -96,11 +102,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_ints_sort_before_strings() {
-        let mut vs = vec![Value::str("b"), Value::Int(2), Value::str("a"), Value::Int(1)];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::str("a"),
+            Value::Int(1),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use crate::error::{RelalgError, Result};
 use crate::ops;
-use crate::ops::{AggSpec, nested_loop::nested_loop_join};
+use crate::ops::{nested_loop::nested_loop_join, AggSpec};
 use crate::predicate::Predicate;
 use crate::projection::Projection;
 use crate::relation::{Relation, RelationProvider};
@@ -60,7 +60,11 @@ pub struct EquiJoin {
 impl EquiJoin {
     /// Creates an equi-join spec.
     pub fn new(left_key: usize, right_key: usize, projection: Projection) -> Self {
-        EquiJoin { left_key, right_key, projection }
+        EquiJoin {
+            left_key,
+            right_key,
+            projection,
+        }
     }
 
     /// Output schema given the operand schemas.
@@ -129,12 +133,24 @@ pub enum XraNode {
 impl XraNode {
     /// Convenience scan constructor.
     pub fn scan(relation: impl Into<String>) -> XraNode {
-        XraNode::Scan { relation: relation.into() }
+        XraNode::Scan {
+            relation: relation.into(),
+        }
     }
 
     /// Convenience join constructor.
-    pub fn join(left: XraNode, right: XraNode, join: EquiJoin, algorithm: JoinAlgorithm) -> XraNode {
-        XraNode::HashJoin { left: Box::new(left), right: Box::new(right), join, algorithm }
+    pub fn join(
+        left: XraNode,
+        right: XraNode,
+        join: EquiJoin,
+        algorithm: JoinAlgorithm,
+    ) -> XraNode {
+        XraNode::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            join,
+            algorithm,
+        }
     }
 
     /// Number of join nodes in the plan.
@@ -160,7 +176,9 @@ impl XraNode {
             XraNode::Project { input, projection } => {
                 projection.output_schema(&input.schema(provider)?)
             }
-            XraNode::HashJoin { left, right, join, .. } => {
+            XraNode::HashJoin {
+                left, right, join, ..
+            } => {
                 let ls = left.schema(provider)?;
                 let rs = right.schema(provider)?;
                 join.validate(&ls, &rs)?;
@@ -210,20 +228,22 @@ impl XraNode {
     pub fn eval(&self, provider: &dyn RelationProvider) -> Result<Relation> {
         match self {
             XraNode::Scan { relation } => Ok(provider.relation(relation)?.as_ref().clone()),
-            XraNode::Select { input, predicate } => {
-                ops::filter(&input.eval(provider)?, predicate)
-            }
+            XraNode::Select { input, predicate } => ops::filter(&input.eval(provider)?, predicate),
             XraNode::Project { input, projection } => {
                 ops::project(&input.eval(provider)?, projection)
             }
-            XraNode::HashJoin { left, right, join, .. } => {
+            XraNode::HashJoin {
+                left, right, join, ..
+            } => {
                 let l = left.eval(provider)?;
                 let r = right.eval(provider)?;
                 nested_loop_join(&l, &r, join)
             }
             XraNode::UnionAll { inputs } => {
-                let rels: Vec<Relation> =
-                    inputs.iter().map(|n| n.eval(provider)).collect::<Result<_>>()?;
+                let rels: Vec<Relation> = inputs
+                    .iter()
+                    .map(|n| n.eval(provider))
+                    .collect::<Result<_>>()?;
                 ops::union_all(&rels)
             }
             XraNode::Aggregate { input, group, aggs } => {
@@ -244,7 +264,12 @@ impl XraNode {
                 writeln!(f, "{pad}Project {projection}")?;
                 input.fmt_indent(f, depth + 1)
             }
-            XraNode::HashJoin { left, right, join, algorithm } => {
+            XraNode::HashJoin {
+                left,
+                right,
+                join,
+                algorithm,
+            } => {
                 writeln!(
                     f,
                     "{pad}HashJoin[{algorithm}] l#{} = r#{} {}",
@@ -287,8 +312,11 @@ mod tests {
         let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
         let mk = |rows: &[[i64; 2]]| {
             Arc::new(
-                Relation::new(schema.clone(), rows.iter().map(|r| Tuple::from_ints(r)).collect())
-                    .unwrap(),
+                Relation::new(
+                    schema.clone(),
+                    rows.iter().map(|r| Tuple::from_ints(r)).collect(),
+                )
+                .unwrap(),
             )
         };
         let mut m = HashMap::new();
@@ -349,7 +377,9 @@ mod tests {
     #[test]
     fn union_all_eval_and_schema() {
         let p = provider();
-        let plan = XraNode::UnionAll { inputs: vec![XraNode::scan("r"), XraNode::scan("s")] };
+        let plan = XraNode::UnionAll {
+            inputs: vec![XraNode::scan("r"), XraNode::scan("s")],
+        };
         assert_eq!(plan.eval(&p).unwrap().len(), 6);
         assert_eq!(plan.schema(&p).unwrap().arity(), 2);
         let empty = XraNode::UnionAll { inputs: vec![] };

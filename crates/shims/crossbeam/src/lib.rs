@@ -1,0 +1,319 @@
+//! Minimal, offline stand-in for the `crossbeam` channel API used by
+//! `mj-exec`: bounded MPMC channels with blocking send/recv, disconnect
+//! semantics, and a `Select` over receivers.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`. Throughput is lower than real
+//! crossbeam's lock-free queues, but the engine amortizes channel overhead
+//! over tuple batches, so the difference is invisible at the batch sizes
+//! the workspace uses.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(cap),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is returned to the caller.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued, or errors if every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.chan.not_full.wait(inner).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or errors once the channel is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.chan.not_empty.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// True if a `recv` would return without blocking (message queued
+        /// or channel disconnected).
+        fn is_ready(&self) -> bool {
+            let inner = self.chan.inner.lock().expect("channel lock");
+            !inner.queue.is_empty() || inner.senders == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Readiness probe for [`Select`], object-safe across message types.
+    trait ReadyProbe {
+        fn probe(&self) -> bool;
+    }
+
+    impl<T> ReadyProbe for Receiver<T> {
+        fn probe(&self) -> bool {
+            self.is_ready()
+        }
+    }
+
+    /// Blocks on multiple receivers until one is ready.
+    ///
+    /// Poll-based: `select()` spins (with escalating yields/sleeps) over
+    /// the registered receivers. Correct for the engine's usage, where each
+    /// receiver endpoint has a single consuming thread — the readiness
+    /// observed by `select()` cannot be stolen before the follow-up
+    /// [`SelectedOperation::recv`].
+    #[derive(Default)]
+    pub struct Select<'a> {
+        probes: Vec<&'a dyn ReadyProbe>,
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty selector.
+        pub fn new() -> Self {
+            Select { probes: Vec::new() }
+        }
+
+        /// Registers a receiver; returns its operation index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            self.probes.push(rx);
+            self.probes.len() - 1
+        }
+
+        /// Blocks until one registered receiver is ready.
+        pub fn select(&mut self) -> SelectedOperation<'a> {
+            assert!(!self.probes.is_empty(), "select over zero operations");
+            let mut spins = 0u32;
+            loop {
+                for (i, p) in self.probes.iter().enumerate() {
+                    if p.probe() {
+                        return SelectedOperation {
+                            index: i,
+                            marker: std::marker::PhantomData,
+                        };
+                    }
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// A ready operation returned by [`Select::select`].
+    pub struct SelectedOperation<'a> {
+        index: usize,
+        marker: std::marker::PhantomData<&'a ()>,
+    }
+
+    impl<'a> SelectedOperation<'a> {
+        /// Index of the ready operation (registration order).
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the operation by receiving from the ready channel.
+        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+            rx.recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, Select};
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn select_picks_the_live_channel() {
+        let (tx_a, rx_a) = bounded::<i32>(1);
+        let (tx_b, rx_b) = bounded::<i32>(1);
+        tx_b.send(42).unwrap();
+        let mut sel = Select::new();
+        sel.recv(&rx_a);
+        sel.recv(&rx_b);
+        let op = sel.select();
+        assert_eq!(op.index(), 1);
+        assert_eq!(op.recv(&rx_b).unwrap(), 42);
+        drop(tx_a);
+        let mut sel = Select::new();
+        sel.recv(&rx_a);
+        let op = sel.select();
+        assert!(op.recv(&rx_a).is_err(), "disconnect counts as ready");
+    }
+
+    #[test]
+    fn mpmc_clone_endpoints() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+    }
+}

@@ -1,0 +1,404 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the tiny subset of serde it actually uses: a
+//! self-describing JSON value model, `Serialize`/`Deserialize` traits over
+//! it, and derive macros (re-exported from `serde_derive`) for plain
+//! structs and enums without `#[serde(...)]` attributes. `serde_json`
+//! provides `to_string`/`from_str` on top.
+//!
+//! The external JSON shape follows real serde's defaults: structs are
+//! objects, unit enum variants are strings, newtype variants are
+//! `{"Variant": value}`, tuple variants are `{"Variant": [..]}`, struct
+//! variants are `{"Variant": {..}}`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer (also used for unsigned values that fit).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, with insertion order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serializes a value into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` to a [`JsonValue`].
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Reconstructs a value from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`JsonValue`].
+    fn from_json(v: &JsonValue) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by generated code ----
+
+/// Fetches and deserializes a named field of an object.
+pub fn field<T: Deserialize>(v: &JsonValue, name: &str) -> Result<T, DeError> {
+    let inner = v
+        .get(name)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+    T::from_json(inner).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
+}
+
+/// Interprets `v` as an array of exactly `len` elements.
+pub fn as_arr(v: &JsonValue, len: usize) -> Result<&[JsonValue], DeError> {
+    match v {
+        JsonValue::Arr(items) if items.len() == len => Ok(items),
+        JsonValue::Arr(items) => Err(DeError(format!(
+            "expected array of {len}, found array of {}",
+            items.len()
+        ))),
+        other => Err(DeError(format!("expected array, found {other:?}"))),
+    }
+}
+
+/// Deserializes element `i` of an array slice.
+pub fn elem<T: Deserialize>(items: &[JsonValue], i: usize) -> Result<T, DeError> {
+    T::from_json(&items[i]).map_err(|e| DeError(format!("element {i}: {}", e.0)))
+}
+
+// ---- primitive impls ----
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    JsonValue::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+// usize/u64 may exceed i64; serialize through UInt when needed.
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> JsonValue {
+                match i64::try_from(*self) {
+                    Ok(n) => JsonValue::Int(n),
+                    Err(_) => JsonValue::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    JsonValue::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+uint_impl!(u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Float(n) => Ok(*n as $t),
+                    JsonValue::Int(n) => Ok(*n as $t),
+                    JsonValue::UInt(n) => Ok(*n as $t),
+                    other => Err(DeError(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Box<str> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        String::from_json(v).map(String::into_boxed_str)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        Vec::<T>::from_json(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_json(v)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError(format!("expected array of {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let items = as_arr(v, 2)?;
+        Ok((elem(items, 0)?, elem(items, 1)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let items = as_arr(v, 3)?;
+        Ok((elem(items, 0)?, elem(items, 1)?, elem(items, 2)?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> JsonValue {
+        // Sort keys for deterministic output.
+        let mut pairs: Vec<(String, JsonValue)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Obj(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_json(&42i64.to_json()).unwrap(), 42);
+        assert_eq!(u64::from_json(&u64::MAX.to_json()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert_eq!(String::from_json(&"x".to_string().to_json()).unwrap(), "x");
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(
+            Vec::<i64>::from_json(&vec![1i64, 2].to_json()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(<[u64; 2]>::from_json(&[3u64, 4].to_json()).unwrap(), [3, 4]);
+        assert_eq!(
+            <(f64, f64)>::from_json(&(0.5f64, 2.5f64).to_json()).unwrap(),
+            (0.5, 2.5)
+        );
+        assert_eq!(Option::<i64>::from_json(&JsonValue::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        assert!(i64::from_json(&JsonValue::Str("x".into())).is_err());
+        assert!(bool::from_json(&JsonValue::Int(1)).is_err());
+        assert!(<[i64; 2]>::from_json(&vec![1i64].to_json()).is_err());
+    }
+}

@@ -111,7 +111,12 @@ struct Sim<'a> {
 impl<'a> Sim<'a> {
     fn push(&mut self, time: f64, op: usize, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Event { time, seq: self.seq, op, kind });
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            op,
+            kind,
+        });
     }
 
     fn try_work(&mut self, id: usize, t: f64) {
@@ -119,11 +124,15 @@ impl<'a> Sim<'a> {
         if !op.started || op.busy || op.completed {
             return;
         }
-        let Some(side) = self.choose_side(id) else { return };
+        let Some(side) = self.choose_side(id) else {
+            return;
+        };
         let op = &self.ops[id];
         let available = op.arrived[side] - op.consumed[side];
         let quantum = self.params.batch * op.degree;
-        let q = available.min(quantum).min(op.expected[side] - op.consumed[side]);
+        let q = available
+            .min(quantum)
+            .min(op.expected[side] - op.consumed[side]);
         if q <= EPS {
             return;
         }
@@ -144,7 +153,15 @@ impl<'a> Sim<'a> {
         let op = &mut self.ops[id];
         op.busy = true;
         op.busy_intervals.push((t, t + dur));
-        self.push(t + dur, id, EventKind::BatchDone { side, count: q, emit });
+        self.push(
+            t + dur,
+            id,
+            EventKind::BatchDone {
+                side,
+                count: q,
+                emit,
+            },
+        );
     }
 
     fn choose_side(&self, id: usize) -> Option<usize> {
@@ -192,10 +209,14 @@ impl<'a> Sim<'a> {
         let edges = self.ops[from].out_edges.clone();
         for (consumer, side, live) in edges {
             if live {
-                self.push(t + self.params.net_latency, consumer, EventKind::Arrive {
-                    side,
-                    count: amount,
-                });
+                self.push(
+                    t + self.params.net_latency,
+                    consumer,
+                    EventKind::Arrive {
+                        side,
+                        count: amount,
+                    },
+                );
             }
             // Materialized edges deliver at the consumer's Start instead.
         }
@@ -258,8 +279,9 @@ pub fn simulate_skewed(
     let mut handshake_delay = vec![0.0f64; n];
     for op in &plan.ops {
         let mut consume_cost = [0.0f64; 2];
-        for (i, (operand, base_cost)) in
-            [(&op.left, params.t_hash), (&op.right, params.t_probe)].iter().enumerate()
+        for (i, (operand, base_cost)) in [(&op.left, params.t_hash), (&op.right, params.t_probe)]
+            .iter()
+            .enumerate()
         {
             // The symmetric pipelining join hashes *and* probes every
             // incoming tuple (§2.3.2): earliness costs work as well as
@@ -280,7 +302,11 @@ pub fn simulate_skewed(
             };
             consume_cost[i] = per_tuple + recv;
         }
-        let send = if out_live[op.id] { params.t_send_stream } else { params.t_send_bulk };
+        let send = if out_live[op.id] {
+            params.t_send_stream
+        } else {
+            params.t_send_bulk
+        };
         // Handshakes: the consumer shakes hands with every producer
         // instance of each remote operand; a live producer additionally
         // shakes hands with every consumer instance of its output stream
@@ -357,18 +383,25 @@ pub fn simulate_skewed(
 
     let mut guard = 0u64;
     let guard_limit = 200_000_000u64;
-    while let Some(Event { time: t, op: id, kind, .. }) = sim.heap.pop() {
+    while let Some(Event {
+        time: t,
+        op: id,
+        kind,
+        ..
+    }) = sim.heap.pop()
+    {
         guard += 1;
         if guard > guard_limit {
-            return Err(RelalgError::InvalidPlan("simulation exceeded event budget".into()));
+            return Err(RelalgError::InvalidPlan(
+                "simulation exceeded event budget".into(),
+            ));
         }
         match kind {
             EventKind::Ready => {
                 sim.ops[id].ready_time = t;
                 // Serial scheduler initializes this op's processes.
                 let init_start = sim.scheduler_free.max(t);
-                let init_end =
-                    init_start + sim.ops[id].degree * sim.params.t_init;
+                let init_end = init_start + sim.ops[id].degree * sim.params.t_init;
                 sim.scheduler_free = init_end;
                 let start = init_end + sim.handshake_delay[id];
                 sim.push(start, id, EventKind::Start);
@@ -378,8 +411,7 @@ pub fn simulate_skewed(
                 sim.ops[id].start_time = t;
                 // Local operands (base fragments and materialized
                 // intermediates) are fully readable at start.
-                let (left, right) =
-                    (plan.ops[id].left.clone(), plan.ops[id].right.clone());
+                let (left, right) = (plan.ops[id].left.clone(), plan.ops[id].right.clone());
                 for (side, operand) in [(0usize, &left), (1usize, &right)] {
                     match operand {
                         OperandSource::Base { .. } | OperandSource::Materialized { .. } => {
@@ -404,8 +436,7 @@ pub fn simulate_skewed(
                 }
                 sim.deliver(id, emit, t);
                 let op = &sim.ops[id];
-                if op.consumed[0] >= op.expected[0] - EPS
-                    && op.consumed[1] >= op.expected[1] - EPS
+                if op.consumed[0] >= op.expected[0] - EPS && op.consumed[1] >= op.expected[1] - EPS
                 {
                     sim.complete(id, t);
                 } else {
@@ -442,7 +473,10 @@ pub fn simulate_skewed(
             busy: o.busy_intervals.clone(),
         })
         .collect();
-    Ok(SimResult { response_time, spans })
+    Ok(SimResult {
+        response_time,
+        spans,
+    })
 }
 
 #[cfg(test)]
@@ -588,11 +622,13 @@ mod tests {
         let tree = build(Shape::RightBushy, 10).unwrap();
         let cards = node_cards(&tree, &UniformOneToOne { n: 5_000 });
         let costs = tree_costs(&tree, &cards, &CostModel::default());
-        let plan = generate(Strategy::FP, &GeneratorInput::new(&tree, &cards, &costs, 40))
-            .unwrap();
+        let plan = generate(
+            Strategy::FP,
+            &GeneratorInput::new(&tree, &cards, &costs, 40),
+        )
+        .unwrap();
         let plain = simulate(&plan, &params).unwrap();
-        let skewed =
-            simulate_skewed(&plan, &params, &crate::skew::SkewModel::uniform()).unwrap();
+        let skewed = simulate_skewed(&plan, &params, &crate::skew::SkewModel::uniform()).unwrap();
         assert_eq!(plain.response_time, skewed.response_time);
     }
 

@@ -30,10 +30,10 @@ pub fn render_gantt<F: Fn(usize) -> Option<char>>(
         for &(a, b) in &span.busy {
             let c0 = ((a / dt).floor() as usize).min(columns - 1);
             let c1 = ((b / dt).ceil() as usize).clamp(c0 + 1, columns);
-            for col in c0..c1 {
-                for &p in &span.procs {
-                    if p < plan.processors {
-                        cells[p][col] = ch;
+            for &p in &span.procs {
+                if p < plan.processors {
+                    for cell in &mut cells[p][c0..c1] {
+                        *cell = ch;
                     }
                 }
             }
@@ -131,6 +131,9 @@ mod tests {
                 }
             }
         }
-        assert!(first_col.len() > 1, "expected concurrent joins, got {first_col:?}\n{s}");
+        assert!(
+            first_col.len() > 1,
+            "expected concurrent joins, got {first_col:?}\n{s}"
+        );
     }
 }

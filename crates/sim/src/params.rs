@@ -152,14 +152,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut p = SimParams::default();
-        p.t_init = -1.0;
+        let p = SimParams {
+            t_init: -1.0,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SimParams::default();
-        p.batch = 0.0;
+        let p = SimParams {
+            batch: 0.0,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SimParams::default();
-        p.t_hash = f64::NAN;
+        let p = SimParams {
+            t_hash: f64::NAN,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -71,8 +71,11 @@ impl SimResult {
         if self.response_time <= 0.0 || processors == 0 {
             return 0.0;
         }
-        let busy_proc_seconds: f64 =
-            self.spans.iter().map(|s| s.busy_time() * s.procs.len() as f64).sum();
+        let busy_proc_seconds: f64 = self
+            .spans
+            .iter()
+            .map(|s| s.busy_time() * s.procs.len() as f64)
+            .sum();
         busy_proc_seconds / (processors as f64 * self.response_time)
     }
 
@@ -87,7 +90,15 @@ mod tests {
     use super::*;
 
     fn span(busy: Vec<(f64, f64)>, start: f64, complete: f64) -> OpSpan {
-        OpSpan { op: 0, join: 0, procs: vec![0, 1], ready: 0.0, start, complete, busy }
+        OpSpan {
+            op: 0,
+            join: 0,
+            procs: vec![0, 1],
+            ready: 0.0,
+            start,
+            complete,
+            busy,
+        }
     }
 
     #[test]
@@ -116,7 +127,10 @@ mod tests {
 
     #[test]
     fn span_lookup() {
-        let r = SimResult { response_time: 1.0, spans: vec![span(vec![], 0.0, 1.0)] };
+        let r = SimResult {
+            response_time: 1.0,
+            spans: vec![span(vec![], 0.0, 1.0)],
+        };
         assert!(r.span_for_join(0).is_some());
         assert!(r.span_for_join(5).is_none());
     }

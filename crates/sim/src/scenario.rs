@@ -37,7 +37,13 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's configuration: 10 relations.
     pub fn paper(shape: Shape, strategy: Strategy, tuples: u64, processors: usize) -> Self {
-        Scenario { shape, strategy, relations: 10, tuples, processors }
+        Scenario {
+            shape,
+            strategy,
+            relations: 10,
+            tuples,
+            processors,
+        }
     }
 }
 
@@ -106,7 +112,13 @@ mod tests {
 
     #[test]
     fn invalid_scenarios_error() {
-        let s = Scenario { shape: Shape::WideBushy, strategy: Strategy::FP, relations: 1, tuples: 10, processors: 4 };
+        let s = Scenario {
+            shape: Shape::WideBushy,
+            strategy: Strategy::FP,
+            relations: 1,
+            tuples: 10,
+            processors: 4,
+        };
         assert!(run_scenario(&s, &SimParams::default()).is_err());
         let s = Scenario::paper(Shape::WideBushy, Strategy::FP, 10, 0);
         assert!(run_scenario(&s, &SimParams::default()).is_err());

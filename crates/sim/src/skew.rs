@@ -38,12 +38,20 @@ pub struct SkewModel {
 impl SkewModel {
     /// The paper's premise: perfectly uniform keys, factor 1 everywhere.
     pub fn uniform() -> Self {
-        SkewModel { theta: 0.0, tuples: 0, seed: 0 }
+        SkewModel {
+            theta: 0.0,
+            tuples: 0,
+            seed: 0,
+        }
     }
 
     /// A Zipf(θ) workload of `tuples` keys per operand.
     pub fn zipf(theta: f64, tuples: u64) -> Self {
-        SkewModel { theta, tuples, seed: 0x5EED }
+        SkewModel {
+            theta,
+            tuples,
+            seed: 0x5EED,
+        }
     }
 
     /// True if the model is the uniform no-op.
@@ -80,12 +88,18 @@ pub(crate) struct BalanceCache<'a> {
 
 impl<'a> BalanceCache<'a> {
     pub(crate) fn new(model: &'a SkewModel) -> Self {
-        BalanceCache { model, cache: HashMap::new() }
+        BalanceCache {
+            model,
+            cache: HashMap::new(),
+        }
     }
 
     pub(crate) fn factor(&mut self, buckets: usize) -> f64 {
         let model = self.model;
-        *self.cache.entry(buckets).or_insert_with(|| model.balance_factor(buckets))
+        *self
+            .cache
+            .entry(buckets)
+            .or_insert_with(|| model.balance_factor(buckets))
     }
 }
 
@@ -122,7 +136,10 @@ mod tests {
         let m = SkewModel::zipf(0.9, 40_000);
         let few = m.balance_factor(9);
         let many = m.balance_factor(80);
-        assert!(many > few, "80 buckets ({many}) should be worse than 9 ({few})");
+        assert!(
+            many > few,
+            "80 buckets ({many}) should be worse than 9 ({few})"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct TableStats {
 impl TableStats {
     /// Stats for a relation with a unique join key.
     pub fn unique_key(cardinality: u64) -> Self {
-        TableStats { cardinality, distinct_keys: cardinality }
+        TableStats {
+            cardinality,
+            distinct_keys: cardinality,
+        }
     }
 }
 
@@ -112,7 +115,14 @@ mod tests {
     #[test]
     fn explicit_stats_override() {
         let c = Catalog::new();
-        c.register_with_stats("R", rel(10), TableStats { cardinality: 10, distinct_keys: 3 });
+        c.register_with_stats(
+            "R",
+            rel(10),
+            TableStats {
+                cardinality: 10,
+                distinct_keys: 3,
+            },
+        );
         assert_eq!(c.stats("R").unwrap().distinct_keys, 3);
     }
 

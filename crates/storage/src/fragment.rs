@@ -42,28 +42,45 @@ impl FragmentedRelation {
     /// Hash-fragments `relation` on `col` into `parts` fragments — the
     /// paper's "ideal" fragmentation for a join on `col` over `parts`
     /// processors.
-    pub fn ideal(name: impl Into<String>, relation: &Relation, col: usize, parts: usize) -> Result<Self> {
+    pub fn ideal(
+        name: impl Into<String>,
+        relation: &Relation,
+        col: usize,
+        parts: usize,
+    ) -> Result<Self> {
         if parts == 0 {
-            return Err(RelalgError::InvalidPlan("cannot fragment over 0 processors".into()));
+            return Err(RelalgError::InvalidPlan(
+                "cannot fragment over 0 processors".into(),
+            ));
         }
         let fragments = partition::hash_partition(relation, parts, col)?
             .into_iter()
             .map(Arc::new)
             .collect();
-        Ok(FragmentedRelation { name: name.into(), scheme: PartitionScheme::Hash { col }, fragments })
+        Ok(FragmentedRelation {
+            name: name.into(),
+            scheme: PartitionScheme::Hash { col },
+            fragments,
+        })
     }
 
     /// Round-robin fragmentation (used by the "full fragmentation"
     /// alternative the paper discusses and rejects).
     pub fn round_robin(name: impl Into<String>, relation: &Relation, parts: usize) -> Result<Self> {
         if parts == 0 {
-            return Err(RelalgError::InvalidPlan("cannot fragment over 0 processors".into()));
+            return Err(RelalgError::InvalidPlan(
+                "cannot fragment over 0 processors".into(),
+            ));
         }
         let fragments = partition::round_robin_partition(relation, parts)?
             .into_iter()
             .map(Arc::new)
             .collect();
-        Ok(FragmentedRelation { name: name.into(), scheme: PartitionScheme::RoundRobin, fragments })
+        Ok(FragmentedRelation {
+            name: name.into(),
+            scheme: PartitionScheme::RoundRobin,
+            fragments,
+        })
     }
 
     /// Wraps pre-computed fragments.
@@ -73,13 +90,21 @@ impl FragmentedRelation {
         fragments: Vec<Arc<Relation>>,
     ) -> Result<Self> {
         if fragments.is_empty() {
-            return Err(RelalgError::InvalidPlan("a fragmented relation needs >=1 fragment".into()));
+            return Err(RelalgError::InvalidPlan(
+                "a fragmented relation needs >=1 fragment".into(),
+            ));
         }
         let arity = fragments[0].schema().arity();
         if fragments.iter().any(|f| f.schema().arity() != arity) {
-            return Err(RelalgError::SchemaMismatch("fragments disagree on arity".into()));
+            return Err(RelalgError::SchemaMismatch(
+                "fragments disagree on arity".into(),
+            ));
         }
-        Ok(FragmentedRelation { name: name.into(), scheme, fragments })
+        Ok(FragmentedRelation {
+            name: name.into(),
+            scheme,
+            fragments,
+        })
     }
 
     /// Logical relation name.
@@ -99,9 +124,10 @@ impl FragmentedRelation {
 
     /// The `i`-th fragment.
     pub fn fragment(&self, i: usize) -> Result<&Arc<Relation>> {
-        self.fragments
-            .get(i)
-            .ok_or(RelalgError::IndexOutOfBounds { index: i, arity: self.fragments.len() })
+        self.fragments.get(i).ok_or(RelalgError::IndexOutOfBounds {
+            index: i,
+            arity: self.fragments.len(),
+        })
     }
 
     /// All fragments.
@@ -138,7 +164,11 @@ mod tests {
 
     fn rel(n: i64) -> Relation {
         let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
-        Relation::new(schema, (0..n).map(|v| Tuple::from_ints(&[v, v * 10])).collect()).unwrap()
+        Relation::new(
+            schema,
+            (0..n).map(|v| Tuple::from_ints(&[v, v * 10])).collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -174,14 +204,18 @@ mod tests {
             vec![Tuple::from_ints(&[1])],
         )
         .unwrap();
-        assert!(FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![]).is_err());
+        assert!(
+            FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![]).is_err()
+        );
         assert!(FragmentedRelation::from_fragments(
             "R",
             PartitionScheme::RoundRobin,
             vec![a.clone(), Arc::new(one_col)]
         )
         .is_err());
-        assert!(FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![a]).is_ok());
+        assert!(
+            FragmentedRelation::from_fragments("R", PartitionScheme::RoundRobin, vec![a]).is_ok()
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl WisconsinGenerator {
     /// Creates a generator for relations of `n` tuples. The same
     /// `(n, seed)` always generates the same data.
     pub fn new(n: usize, seed: u64) -> Self {
-        WisconsinGenerator { n, seed, payload: PayloadMode::Compact }
+        WisconsinGenerator {
+            n,
+            seed,
+            payload: PayloadMode::Compact,
+        }
     }
 
     /// Selects full or compact tuples (default: compact).
@@ -78,9 +82,7 @@ impl WisconsinGenerator {
         let mut tuples = Vec::with_capacity(self.n);
         for i in 0..self.n {
             let t: Tuple = match self.payload {
-                PayloadMode::Full => {
-                    wisconsin::full_tuple(u1[i], u2[i], i as i64, self.n as i64)
-                }
+                PayloadMode::Full => wisconsin::full_tuple(u1[i], u2[i], i as i64, self.n as i64),
                 PayloadMode::Compact => wisconsin::compact_tuple(u1[i], u2[i], i as i64),
             };
             tuples.push(t);
@@ -120,7 +122,10 @@ mod tests {
         // about 1 tuple in n, not for most tuples.
         let g = WisconsinGenerator::new(1000, 7);
         let r = g.generate(0);
-        let equal = r.iter().filter(|t| t.int(0).unwrap() == t.int(1).unwrap()).count();
+        let equal = r
+            .iter()
+            .filter(|t| t.int(0).unwrap() == t.int(1).unwrap())
+            .count();
         assert!(equal < 50, "suspicious correlation: {equal} equal pairs");
     }
 

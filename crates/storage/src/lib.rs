@@ -19,5 +19,7 @@ pub mod wisconsin;
 pub use catalog::{Catalog, TableStats};
 pub use fragment::{FragmentedRelation, PartitionScheme};
 pub use generator::{PayloadMode, WisconsinGenerator};
-pub use partition::{hash_key, hash_partition, range_partition, round_robin_partition};
+pub use partition::{
+    hash_key, hash_partition, partition_indices, range_partition, round_robin_partition,
+};
 pub use store::FragmentStore;

@@ -35,10 +35,37 @@ where
         .collect())
 }
 
+/// Computes, for each fragment, the row indices of `input` that hash to
+/// it. Partitioning by index performs no tuple movement at all; the
+/// fragments are materialized later with [`Relation::gather`], which
+/// shares tuple payloads instead of deep-copying rows.
+pub fn partition_indices(input: &Relation, parts: usize, key_col: usize) -> Result<Vec<Vec<u32>>> {
+    debug_assert!(
+        input.len() <= u32::MAX as usize,
+        "row indices are u32; relation of {} rows would wrap",
+        input.len()
+    );
+    // Counting pass sizes every index vector exactly — no growth churn.
+    let mut counts = vec![0usize; parts];
+    for t in input.iter() {
+        counts[hash_key(t.int(key_col)?, parts)] += 1;
+    }
+    let mut out: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (i, t) in input.iter().enumerate() {
+        out[hash_key(t.int(key_col)?, parts)].push(i as u32);
+    }
+    Ok(out)
+}
+
 /// Hash-partitions `input` into `parts` fragments on the integer column
-/// `key_col`.
+/// `key_col`. Two-pass, index-based: rows are never deep-copied, each
+/// fragment is gathered from shared tuples in one exactly-sized
+/// allocation.
 pub fn hash_partition(input: &Relation, parts: usize, key_col: usize) -> Result<Vec<Relation>> {
-    split_by(input, parts, |_, t| Ok(hash_key(t.int(key_col)?, parts)))
+    partition_indices(input, parts, key_col)?
+        .iter()
+        .map(|idx| input.gather(idx))
+        .collect()
 }
 
 /// Round-robin partitions `input` into `parts` fragments.
@@ -61,7 +88,6 @@ pub fn range_partition(input: &Relation, bounds: &[i64], key_col: usize) -> Resu
 mod tests {
     use super::*;
     use mj_relalg::{Attribute, Schema};
-    
 
     fn rel(n: i64) -> Relation {
         let schema = Schema::new(vec![Attribute::int("k")]).shared();
@@ -112,6 +138,43 @@ mod tests {
         let parts = hash_partition(&rel(5), 1, 0).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].len(), 5);
+    }
+
+    #[test]
+    fn partition_indices_agree_with_hash_partition() {
+        let r = rel(500);
+        let idx = partition_indices(&r, 5, 0).unwrap();
+        let frags = hash_partition(&r, 5, 0).unwrap();
+        assert_eq!(idx.len(), 5);
+        for (ix, frag) in idx.iter().zip(&frags) {
+            assert_eq!(ix.len(), frag.len());
+        }
+        assert_eq!(idx.iter().map(Vec::len).sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn fragments_share_payloads_instead_of_deep_copying() {
+        // Wide rows use the shared representation; partitioning must hand
+        // out refcount bumps, not copies.
+        let schema =
+            Schema::new((0..6).map(|i| Attribute::int(format!("c{i}"))).collect()).shared();
+        let r = Relation::new(
+            schema,
+            (0..100i64)
+                .map(|v| Tuple::from_ints(&[v, v, v, v, v, v]))
+                .collect(),
+        )
+        .unwrap();
+        let frags = hash_partition(&r, 4, 0).unwrap();
+        for frag in &frags {
+            for t in frag {
+                let original = r
+                    .iter()
+                    .find(|o| o.int(0).unwrap() == t.int(0).unwrap())
+                    .unwrap();
+                assert!(Tuple::ptr_eq(t, original), "fragment deep-copied a row");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub struct FragmentStore {
 impl FragmentStore {
     /// Creates a store for `nodes` processors.
     pub fn new(nodes: usize) -> Self {
-        FragmentStore { nodes: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect() }
+        FragmentStore {
+            nodes: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -29,9 +31,10 @@ impl FragmentStore {
     }
 
     fn node(&self, node: usize) -> Result<&RwLock<HashMap<String, Arc<Relation>>>> {
-        self.nodes
-            .get(node)
-            .ok_or(RelalgError::IndexOutOfBounds { index: node, arity: self.nodes.len() })
+        self.nodes.get(node).ok_or(RelalgError::IndexOutOfBounds {
+            index: node,
+            arity: self.nodes.len(),
+        })
     }
 
     /// Stores `fragment` under `name` in `node`'s memory, replacing any
@@ -68,12 +71,19 @@ impl FragmentStore {
 
     /// Approximate bytes resident at `node`.
     pub fn node_bytes(&self, node: usize) -> Result<usize> {
-        Ok(self.node(node)?.read().values().map(|r| r.est_bytes()).sum())
+        Ok(self
+            .node(node)?
+            .read()
+            .values()
+            .map(|r| r.est_bytes())
+            .sum())
     }
 
     /// Approximate bytes resident across all nodes.
     pub fn total_bytes(&self) -> usize {
-        (0..self.nodes.len()).map(|n| self.node_bytes(n).unwrap_or(0)).sum()
+        (0..self.nodes.len())
+            .map(|n| self.node_bytes(n).unwrap_or(0))
+            .sum()
     }
 
     /// Collects all fragments named `name` across nodes in node order
@@ -124,7 +134,10 @@ mod tests {
         s.put(1, "R", rel(20)).unwrap();
         assert!(s.node_bytes(0).unwrap() > 0);
         assert!(s.node_bytes(1).unwrap() > s.node_bytes(0).unwrap());
-        assert_eq!(s.total_bytes(), s.node_bytes(0).unwrap() + s.node_bytes(1).unwrap());
+        assert_eq!(
+            s.total_bytes(),
+            s.node_bytes(0).unwrap() + s.node_bytes(1).unwrap()
+        );
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn string4(index: i64) -> String {
         2 => 'O',
         _ => 'V',
     };
-    std::iter::repeat(c).take(STRING_LEN).collect()
+    std::iter::repeat_n(c, STRING_LEN).collect()
 }
 
 /// Builds one full Wisconsin tuple. `unique1`/`unique2` come from the
@@ -106,7 +106,11 @@ pub fn full_tuple(unique1: i64, unique2: i64, index: i64, n: i64) -> Tuple {
 
 /// Builds one compact Wisconsin tuple (see [`compact_schema`]).
 pub fn compact_tuple(unique1: i64, unique2: i64, index: i64) -> Tuple {
-    Tuple::new(vec![Value::Int(unique1), Value::Int(unique2), Value::Int(index)])
+    Tuple::new(vec![
+        Value::Int(unique1),
+        Value::Int(unique2),
+        Value::Int(index),
+    ])
 }
 
 /// Nominal on-the-wire tuple size the paper quotes (bytes). The simulator
