@@ -95,6 +95,82 @@ fn assert_allocation_free_hot_paths() {
     eprintln!("zero-alloc assertions passed: {N} shared inserts, {N} probes, {N} inline inserts");
 }
 
+/// Hard batch-pool assertions: a producer/consumer redistribution edge in
+/// steady state must serve (almost) every buffer take from the pool. The
+/// pool is sized from both endpoint counts (`edge_buffer_bound`), so misses
+/// are bounded by the cold-start buffer population — a regression here
+/// means flushed buffers are being dropped and reallocated, defeating the
+/// zero-allocation batching contract.
+fn assert_batch_pool_hit_rate() {
+    use mj_exec::stream::{edge_buffer_bound, operand_channels, Msg, Router};
+
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const CAPACITY: usize = 8;
+    const BATCH: usize = 64;
+    const TUPLES: i64 = 100_000;
+
+    let (txs, rxs, pool) = operand_channels(PRODUCERS, CONSUMERS, CAPACITY);
+    let consumers: Vec<_> = rxs
+        .into_iter()
+        .map(|rx| {
+            std::thread::spawn(move || {
+                let mut n = 0usize;
+                let mut ends = 0usize;
+                while ends < PRODUCERS {
+                    match rx.recv().expect("stream open") {
+                        Msg::Batch(mut b) => n += b.drain().count(),
+                        Msg::End => ends += 1,
+                    }
+                }
+                n
+            })
+        })
+        .collect();
+    let producers: Vec<_> = (0..PRODUCERS as i64)
+        .map(|p| {
+            let txs = txs.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut router = Router::new(txs, 0, BATCH, pool);
+                for k in (p..TUPLES).step_by(PRODUCERS) {
+                    router.route(Tuple::from_ints(&[k])).unwrap();
+                }
+                router.finish().unwrap();
+            })
+        })
+        .collect();
+    drop(txs);
+    for p in producers {
+        p.join().expect("producer");
+    }
+    let routed: usize = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer"))
+        .sum();
+    assert_eq!(routed, TUPLES as usize);
+
+    let bound = edge_buffer_bound(PRODUCERS, CONSUMERS, CAPACITY) as u64;
+    assert!(
+        pool.misses() <= bound,
+        "batch pool thrashed: {} misses exceed the structural bound {bound}",
+        pool.misses()
+    );
+    assert!(
+        pool.hit_rate() > 0.9,
+        "batch pool hit rate {:.3} below 0.9 ({} takes, {} misses)",
+        pool.hit_rate(),
+        pool.takes(),
+        pool.misses()
+    );
+    eprintln!(
+        "batch-pool assertions passed: {} takes, {} misses, hit rate {:.3}",
+        pool.takes(),
+        pool.misses(),
+        pool.hit_rate()
+    );
+}
+
 fn bench_join_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_table");
     for n in [10_000usize, 100_000] {
@@ -176,5 +252,6 @@ criterion_group!(benches, bench_join_table, bench_joins, bench_partitioned);
 
 fn main() {
     assert_allocation_free_hot_paths();
+    assert_batch_pool_hit_rate();
     benches();
 }

@@ -22,9 +22,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mj_core::generator::{generate, GeneratorInput};
+use mj_core::plan_ir::ParallelPlan;
 use mj_core::strategy::Strategy;
 use mj_exec::stream::{operand_channels, Msg, Router};
-use mj_exec::{run_plan, ExecConfig, QueryBinding};
+use mj_exec::{run_plan, Engine, ExecConfig, ExecOutcome, QueryBinding};
 use mj_join::{JoinTable, PipeliningJoinState};
 use mj_plan::cardinality::{node_cards, UniformOneToOne};
 use mj_plan::cost::{tree_costs, CostModel};
@@ -148,7 +149,8 @@ fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> 
         });
     }
 
-    let (txs, rxs, pool) = operand_channels(workers, ExecConfig::default().channel_capacity);
+    let (txs, rxs, pool) =
+        operand_channels(workers, workers, ExecConfig::default().channel_capacity);
     let batch = ExecConfig::default().batch_size;
 
     // Consumers: one pipelining-join instance per worker; the build side
@@ -394,6 +396,250 @@ pub fn bench_report(quick: bool) -> Result<BenchReport> {
     })
 }
 
+/// One timed mode of the concurrency benchmark.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ConcurrentRun {
+    /// Queries executed.
+    pub queries: u64,
+    /// Tuples consumed by all operators across all queries.
+    pub tuples: u64,
+    /// Wall-clock seconds for the whole set.
+    pub elapsed_s: f64,
+    /// Operator-consumed tuples per second.
+    pub tuples_per_sec: f64,
+}
+
+/// N-queries-in-flight throughput on one shared engine vs the same
+/// queries run back-to-back — the worker-pool scheduler's reason to exist.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConcurrentComparison {
+    /// Worker threads in the shared pool.
+    pub workers: usize,
+    /// Queries in flight.
+    pub queries: usize,
+    /// Relations per query.
+    pub relations: usize,
+    /// Tuples per relation.
+    pub tuples_per_relation: u64,
+    /// Logical processors per query plan (kept small so a single query
+    /// cannot saturate the pool by itself).
+    pub procs_per_query: usize,
+    /// Per-operation-process startup cost in milliseconds, set to the
+    /// simulator's PRISMA-calibrated `t_init`. Startup is the §3.5
+    /// overhead the shared pool exists to hide: while one query's
+    /// processes initialize, the workers run other queries' tuples. Set
+    /// to 0 and back-to-back ≈ concurrent on a single-core host (the
+    /// pool is already saturated); on multicore hosts concurrency
+    /// additionally overlaps execution.
+    pub startup_cost_ms: f64,
+    /// The same engine, queries issued one at a time.
+    pub back_to_back: ConcurrentRun,
+    /// All queries issued at once from separate client threads.
+    pub concurrent: ConcurrentRun,
+    /// `concurrent.tuples_per_sec / back_to_back.tuples_per_sec`.
+    pub speedup: f64,
+    /// Worker threads spawned by the engine over the whole benchmark —
+    /// must equal `workers` no matter how many queries ran.
+    pub worker_threads_spawned: u64,
+}
+
+/// The whole `BENCH_2.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench2Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// The concurrency scenario.
+    pub concurrent: ConcurrentComparison,
+}
+
+fn consumed_tuples(outcome: &ExecOutcome) -> u64 {
+    outcome
+        .metrics
+        .ops
+        .iter()
+        .map(|o| o.tuples_in[0] + o.tuples_in[1])
+        .sum()
+}
+
+/// Measures N pipelining queries through one shared engine, back-to-back
+/// and then concurrently. Every query is FP (all edges live streams) on a
+/// deliberately small logical processor count, so one query leaves pool
+/// headroom; each operation process pays the simulator's PRISMA-calibrated
+/// startup cost (`SimParams::default().t_init`, §3.5). Back-to-back, every
+/// query's startup stalls the whole pool; concurrently, the pool hides one
+/// query's startup behind the others' tuple work — and on multicore hosts
+/// additionally overlaps execution.
+pub fn concurrent_comparison(
+    relations: usize,
+    n: usize,
+    workers: usize,
+    queries: usize,
+    reps: usize,
+) -> Result<ConcurrentComparison> {
+    const PROCS_PER_QUERY: usize = 1;
+    let startup = std::time::Duration::from_secs_f64(mj_sim::SimParams::default().t_init);
+    let catalog = Arc::new(Catalog::new());
+    for (name, rel) in WisconsinGenerator::new(n, 23).generate_named("R", relations) {
+        catalog.register(name, rel);
+    }
+    let tree = build(Shape::RightLinear, relations).expect("tree shape");
+    let cards = node_cards(&tree, &UniformOneToOne { n: n as u64 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let binding = QueryBinding::regular(&tree, catalog.as_ref())?;
+    let mut input = GeneratorInput::new(&tree, &cards, &costs, PROCS_PER_QUERY);
+    input.allow_oversubscribe = true;
+    let plan: ParallelPlan = generate(Strategy::FP, &input)?;
+
+    let engine = Engine::new(
+        catalog.clone(),
+        ExecConfig {
+            workers,
+            startup_cost: Some(startup),
+            ..ExecConfig::default()
+        },
+    )?;
+
+    // Warm-up: fill allocator/page caches so both modes measure steady
+    // state.
+    consumed_tuples(&engine.run(&plan, &binding)?);
+
+    let back_to_back = |queries: usize| -> Result<ConcurrentRun> {
+        let started = Instant::now();
+        let mut tuples = 0u64;
+        for _ in 0..queries {
+            tuples += consumed_tuples(&engine.run(&plan, &binding)?);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        Ok(ConcurrentRun {
+            queries: queries as u64,
+            tuples,
+            elapsed_s: elapsed,
+            tuples_per_sec: tuples as f64 / elapsed,
+        })
+    };
+    let concurrent = |queries: usize| -> Result<ConcurrentRun> {
+        let started = Instant::now();
+        let mut tuples = 0u64;
+        std::thread::scope(|scope| -> Result<()> {
+            let handles: Vec<_> = (0..queries)
+                .map(|_| {
+                    let engine = &engine;
+                    let plan = &plan;
+                    let binding = &binding;
+                    scope.spawn(move || engine.run(plan, binding).map(|o| consumed_tuples(&o)))
+                })
+                .collect();
+            for h in handles {
+                tuples += h.join().expect("client thread")?;
+            }
+            Ok(())
+        })?;
+        let elapsed = started.elapsed().as_secs_f64();
+        Ok(ConcurrentRun {
+            queries: queries as u64,
+            tuples,
+            elapsed_s: elapsed,
+            tuples_per_sec: tuples as f64 / elapsed,
+        })
+    };
+
+    // Best-of-reps for both modes (same discipline as the hot-path bench).
+    let mut best_seq: Option<ConcurrentRun> = None;
+    let mut best_conc: Option<ConcurrentRun> = None;
+    for _ in 0..reps.max(1) {
+        let s = back_to_back(queries)?;
+        if best_seq.map(|b| s.elapsed_s < b.elapsed_s).unwrap_or(true) {
+            best_seq = Some(s);
+        }
+        let c = concurrent(queries)?;
+        if best_conc.map(|b| c.elapsed_s < b.elapsed_s).unwrap_or(true) {
+            best_conc = Some(c);
+        }
+    }
+    let back_to_back = best_seq.expect("at least one rep");
+    let concurrent = best_conc.expect("at least one rep");
+    // Per-pool count (not the process-global spawn counter, which other
+    // pools in the same process would race): the engine's pool holds
+    // exactly this many threads for its whole lifetime.
+    let spawned = engine.pool().threads() as u64;
+
+    Ok(ConcurrentComparison {
+        workers,
+        queries,
+        relations,
+        tuples_per_relation: n as u64,
+        procs_per_query: PROCS_PER_QUERY,
+        startup_cost_ms: startup.as_secs_f64() * 1e3,
+        back_to_back,
+        concurrent,
+        speedup: concurrent.tuples_per_sec / back_to_back.tuples_per_sec,
+        worker_threads_spawned: spawned,
+    })
+}
+
+/// Produces the `BENCH_2.json` report: 4 pipelining queries on a 4-worker
+/// shared engine (the acceptance configuration). `quick` shrinks the
+/// workload for CI smoke runs.
+pub fn bench2_report(quick: bool) -> Result<Bench2Report> {
+    let (relations, n, reps) = if quick { (3, 2_000, 1) } else { (3, 6_000, 3) };
+    Ok(Bench2Report {
+        bench: 2,
+        quick,
+        concurrent: concurrent_comparison(relations, n, 4, 4, reps)?,
+    })
+}
+
+/// Renders a `BENCH_2.json` report as pretty-enough JSON.
+pub fn bench2_to_json(report: &Bench2Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("\"concurrent\":{", "\n\"concurrent\":{\n  ")
+        .replace("\"back_to_back\":", "\n  \"back_to_back\":")
+        .replace(
+            "\"concurrent\":{\n  \"queries\"",
+            "\n  \"concurrent\":{\"queries\"",
+        )
+        .replace("\"speedup\":", "\n  \"speedup\":")
+        .replace("{\"bench\"", "{\n\"bench\"")
+}
+
+/// Validates the schema of an emitted `BENCH_2.json` (CI smoke run).
+pub fn validate_bench2_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "concurrent"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let c = v.get("concurrent").expect("checked");
+    for key in [
+        "workers",
+        "queries",
+        "relations",
+        "tuples_per_relation",
+        "procs_per_query",
+        "startup_cost_ms",
+        "back_to_back",
+        "concurrent",
+        "speedup",
+        "worker_threads_spawned",
+    ] {
+        if c.get(key).is_none() {
+            return Err(format!("missing key `concurrent.{key}`"));
+        }
+    }
+    for mode in ["back_to_back", "concurrent"] {
+        let m = c.get(mode).expect("checked");
+        for key in ["queries", "tuples", "elapsed_s", "tuples_per_sec"] {
+            if m.get(key).is_none() {
+                return Err(format!("missing key `concurrent.{mode}.{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -463,6 +709,60 @@ mod tests {
             assert_eq!(r.result_tuples, 300, "{}", r.strategy);
             assert!(r.tuples_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn concurrent_comparison_runs_and_bounds_threads() {
+        // Tiny workload: correctness of the measurement plumbing, not
+        // performance. The engine must stay within its fixed pool.
+        let c = concurrent_comparison(3, 300, 2, 2, 1).unwrap();
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.back_to_back.queries, 2);
+        assert_eq!(c.concurrent.queries, 2);
+        assert_eq!(
+            c.back_to_back.tuples, c.concurrent.tuples,
+            "both modes run the same queries"
+        );
+        assert!(c.back_to_back.tuples_per_sec > 0.0);
+        assert!(c.concurrent.tuples_per_sec > 0.0);
+        assert_eq!(
+            c.worker_threads_spawned, 2,
+            "query count must not grow the pool"
+        );
+    }
+
+    #[test]
+    fn bench2_json_schema_validates() {
+        let report = Bench2Report {
+            bench: 2,
+            quick: true,
+            concurrent: ConcurrentComparison {
+                workers: 4,
+                queries: 4,
+                relations: 3,
+                tuples_per_relation: 10,
+                procs_per_query: 1,
+                startup_cost_ms: 12.0,
+                back_to_back: ConcurrentRun {
+                    queries: 4,
+                    tuples: 100,
+                    elapsed_s: 1.0,
+                    tuples_per_sec: 100.0,
+                },
+                concurrent: ConcurrentRun {
+                    queries: 4,
+                    tuples: 100,
+                    elapsed_s: 0.5,
+                    tuples_per_sec: 200.0,
+                },
+                speedup: 2.0,
+                worker_threads_spawned: 4,
+            },
+        };
+        let json = bench2_to_json(&report);
+        validate_bench2_json(&json).unwrap();
+        assert!(validate_bench2_json("{}").is_err());
+        assert!(validate_bench2_json("{\"bench\":2,\"quick\":true}").is_err());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   ablation-skew         partition balance under Zipf skew (§3.5)
 //!   ablation-pipeline     linear vs bushy pipeline fill delay (§2.3.3)
 //!   real                  the four strategies on the real threaded engine
-//!   bench [--quick]       machine-readable perf baseline -> BENCH_1.json
+//!   bench [--quick]       machine-readable perf baselines -> BENCH_1.json
+//!                         (zero-copy) + BENCH_2.json (concurrent queries)
+//!   bench-concurrent      only the concurrent section -> BENCH_2.json
 //!
 //! CSV series are written to results/.
 
@@ -26,8 +28,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mj_bench::{
-    bench_report, format_table, paper_processor_counts, report_to_json, simulate_tree, sweep,
-    validate_report_json, write_csv, PAPER_SIZES,
+    bench2_report, bench2_to_json, bench_report, format_table, paper_processor_counts,
+    report_to_json, simulate_tree, sweep, validate_bench2_json, validate_report_json, write_csv,
+    PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -96,7 +99,11 @@ fn main() {
             "ablation-skew" => ablation_skew(),
             "ablation-pipeline" => ablation_pipeline(),
             "real" => real_engine(),
-            "bench" => emit_bench_json(quick),
+            "bench" => {
+                emit_bench_json(quick);
+                emit_bench2_json(quick);
+            }
+            "bench-concurrent" => emit_bench2_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -652,6 +659,56 @@ fn emit_bench_json(quick: bool) {
         eprintln!(
             "WARNING: hot-path speedup {:.2}x below the 1.5x acceptance floor",
             hot.speedup
+        );
+    }
+}
+
+/// Produces `BENCH_2.json`: N-queries-in-flight throughput on the shared
+/// worker-pool engine vs the same queries back-to-back (see
+/// `mj_bench::bench_json::concurrent_comparison`).
+fn emit_bench2_json(quick: bool) {
+    println!(
+        "== BENCH_2.json: concurrent-query scheduler baseline ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench2_report(quick).expect("bench2 report");
+    let c = &report.concurrent;
+    println!(
+        "{} workers, {} x {}-relation FP queries (n={}, {} procs/query):",
+        c.workers, c.queries, c.relations, c.tuples_per_relation, c.procs_per_query
+    );
+    println!(
+        "back-to-back {:.3}s ({:.0} tuples/s) -> concurrent {:.3}s ({:.0} tuples/s), speedup {:.2}x",
+        c.back_to_back.elapsed_s,
+        c.back_to_back.tuples_per_sec,
+        c.concurrent.elapsed_s,
+        c.concurrent.tuples_per_sec,
+        c.speedup,
+    );
+    println!(
+        "worker threads spawned across all {} queries: {} (pool bound: {})",
+        c.back_to_back.queries + c.concurrent.queries,
+        c.worker_threads_spawned,
+        c.workers,
+    );
+    assert_eq!(
+        c.worker_threads_spawned, c.workers as u64,
+        "the engine must never spawn beyond its fixed pool"
+    );
+    let json = bench2_to_json(&report);
+    validate_bench2_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_2_quick.json"
+    } else {
+        "BENCH_2.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && c.speedup < 1.5 {
+        eprintln!(
+            "WARNING: concurrent speedup {:.2}x below the 1.5x acceptance floor",
+            c.speedup
         );
     }
 }

@@ -13,6 +13,9 @@ pub mod csvout;
 pub mod grid;
 
 pub use ascii::format_table;
-pub use bench_json::{bench_report, report_to_json, validate_report_json, BenchReport};
+pub use bench_json::{
+    bench2_report, bench2_to_json, bench_report, report_to_json, validate_bench2_json,
+    validate_report_json, Bench2Report, BenchReport,
+};
 pub use csvout::write_csv;
 pub use grid::{paper_processor_counts, simulate_tree, sweep, SweepPoint, PAPER_SIZES};

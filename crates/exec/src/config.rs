@@ -23,9 +23,19 @@ pub const DEFAULT_BATCH_SIZE: usize = 256;
 /// provides backpressure).
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 16;
 
+/// Default worker threads in the shared scheduler pool — the paper's
+/// "fixed pool of processors" (§4) that all operation processes of all
+/// in-flight queries are multiplexed onto.
+pub const DEFAULT_WORKERS: usize = 4;
+
 /// Tunables of the threaded engine.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
+    /// Worker threads in the shared scheduler pool. This bounds *physical*
+    /// parallelism for every query run through one engine; a plan's
+    /// `processors` stays a purely logical placement. More concurrent
+    /// queries never spawn more threads.
+    pub workers: usize,
     /// Tuples per channel message (amortizes channel overhead).
     pub batch_size: usize,
     /// Channel capacity in *batches*; bounds memory and provides the
@@ -42,6 +52,7 @@ pub struct ExecConfig {
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
+            workers: DEFAULT_WORKERS,
             batch_size: DEFAULT_BATCH_SIZE,
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
             startup_cost: None,
@@ -53,6 +64,9 @@ impl Default for ExecConfig {
 impl ExecConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be positive".into());
+        }
         if self.batch_size == 0 {
             return Err("batch_size must be positive".into());
         }
@@ -84,6 +98,11 @@ mod tests {
         assert!(c.validate().is_err());
         let c = ExecConfig {
             channel_capacity: 0,
+            ..ExecConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ExecConfig {
+            workers: 0,
             ..ExecConfig::default()
         };
         assert!(c.validate().is_err());

@@ -1,22 +1,41 @@
-//! Plan interpretation: spawn operation processes, wire streams, schedule
-//! phases, collect the result.
+//! Plan interpretation on the shared worker pool: build operator tasks,
+//! wire streams, schedule phases, collect the result.
+//!
+//! The [`Engine`] owns a fixed-size [`WorkerPool`] and a shared
+//! [`FragmentStore`]; [`Engine::run`] is callable from many threads at
+//! once, and every query's operator instances are multiplexed onto the
+//! same bounded worker set — the paper's fixed processor pool (§4).
+//! Per-query state (tuple streams, sink buffer, metrics, the coordinator
+//! waiting on instance completions) lives on the calling thread;
+//! materialized intermediates go into the shared store under a per-query
+//! namespace that is reclaimed when the query finishes.
+//!
+//! Scheduling order follows the right-deep segmentation: every operator
+//! task is submitted with its segment's topological wave index
+//! ([`Segmentation::node_waves`](mj_plan::segment::Segmentation)) as its
+//! priority, so deeper segments start first and independent segments of
+//! one wave interleave on the pool.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
-use mj_core::plan_ir::{OperandSource, ParallelPlan};
+use mj_core::plan_ir::{OperandSource, ParallelPlan, PlanOp};
 use mj_core::validate::validate_plan;
-use mj_relalg::{JoinAlgorithm, RelalgError, Relation, RelationProvider, Result, Tuple};
+use mj_plan::segment::segments;
+use mj_relalg::{RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
 use parking_lot::Mutex;
 
 use crate::binding::QueryBinding;
 use crate::config::ExecConfig;
-use crate::metrics::{InstanceStats, Metrics};
-use crate::operator::{run_pipelining_instance, run_simple_instance, OutputPort};
+use crate::metrics::Metrics;
+use crate::operator::task::{DoneMsg, JoinTask};
+use crate::operator::OutputPort;
+use crate::sched::WorkerPool;
 use crate::source::Source;
 use crate::stream::{operand_channels, BatchPool, Msg, Router};
 
@@ -37,7 +56,85 @@ pub struct ExecOutcome {
     pub metrics: Metrics,
 }
 
-/// Executes `plan` against the relations in `provider`.
+/// A shared, concurrency-safe execution engine: one fixed worker pool and
+/// one fragment store serving any number of in-flight queries.
+///
+/// ```text
+/// let engine = Engine::new(catalog, ExecConfig::default())?;   // N workers
+/// // from any number of threads:
+/// let outcome = engine.run(&plan, &binding)?;                   // own Metrics
+/// ```
+///
+/// Thread count is bounded by `config.workers` for the engine's whole
+/// lifetime — running more queries multiplexes more tasks onto the same
+/// workers instead of spawning threads.
+pub struct Engine {
+    provider: Arc<dyn RelationProvider + Send + Sync>,
+    config: ExecConfig,
+    pool: Arc<WorkerPool>,
+    store: Arc<FragmentStore>,
+    next_query: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine over `provider` (the base-relation store shared
+    /// by all queries) with `config.workers` pool threads.
+    pub fn new(
+        provider: Arc<dyn RelationProvider + Send + Sync>,
+        config: ExecConfig,
+    ) -> Result<Engine> {
+        config.validate().map_err(RelalgError::InvalidPlan)?;
+        Ok(Engine {
+            provider,
+            config,
+            pool: WorkerPool::new(config.workers),
+            store: Arc::new(FragmentStore::new(0)),
+            next_query: AtomicU64::new(0),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The shared scheduler pool (diagnostics).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The shared fragment store holding materialized intermediates of all
+    /// in-flight queries (query-namespaced; reclaimed per query).
+    pub fn store(&self) -> &Arc<FragmentStore> {
+        &self.store
+    }
+
+    /// Executes `plan` against the engine's provider. Callable
+    /// concurrently from many threads; each call gets its own
+    /// [`Metrics`].
+    pub fn run(&self, plan: &ParallelPlan, binding: &QueryBinding) -> Result<ExecOutcome> {
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        run_on(
+            plan,
+            binding,
+            self.provider.as_ref(),
+            &self.config,
+            &self.pool,
+            &self.store,
+            query_id,
+        )
+    }
+}
+
+/// Executes `plan` against the relations in `provider` on a transient
+/// single-query engine (a pool of `config.workers` threads is created for
+/// the call and joined before it returns). Long-lived callers and
+/// concurrent workloads should hold an [`Engine`] instead.
 pub fn run_plan(
     plan: &ParallelPlan,
     binding: &QueryBinding,
@@ -45,11 +142,180 @@ pub fn run_plan(
     config: &ExecConfig,
 ) -> Result<ExecOutcome> {
     config.validate().map_err(RelalgError::InvalidPlan)?;
+    let pool = WorkerPool::new(config.workers);
+    let store = Arc::new(FragmentStore::new(plan.processors));
+    run_on(plan, binding, provider, config, &pool, &store, 0)
+}
+
+/// Per-query coordinator state while its tasks run on the pool.
+struct QueryRun<'a> {
+    plan: &'a ParallelPlan,
+    binding: &'a QueryBinding,
+    config: &'a ExecConfig,
+    pool: &'a WorkerPool,
+    store: &'a Arc<FragmentStore>,
+    /// Fragment-name namespace of this query in the shared store.
+    ns: String,
+    /// Per-op scheduling priority: the op's segment wave (§4 order).
+    priorities: Vec<usize>,
+    /// side_fragments[(op, side)] = per-instance base fragments.
+    base_fragments: HashMap<(usize, usize), Vec<Arc<Relation>>>,
+    /// Receivers for stream operands, taken at consumer spawn.
+    stream_rx: HashMap<(usize, usize), Vec<Receiver<Msg>>>,
+    /// Senders for stream outputs, taken at producer spawn.
+    out_stream: OutStreams,
+    /// Producer op -> consumer uses materialization.
+    out_materialized: Vec<bool>,
+    sink_buffer: Arc<Mutex<Vec<Tuple>>>,
+    done_tx: mpsc::Sender<DoneMsg>,
+    spawned: Vec<bool>,
+    spawned_instances: usize,
+    metrics: Metrics,
+}
+
+impl QueryRun<'_> {
+    /// Submits every op whose dependencies are met as pool tasks.
+    fn spawn_ready(&mut self, deps_remaining: &[usize]) -> Result<()> {
+        let root_join = self.plan.tree.root();
+        for op in &self.plan.ops {
+            if self.spawned[op.id] || deps_remaining[op.id] > 0 {
+                continue;
+            }
+            self.spawned[op.id] = true;
+            self.spawn_op(op, root_join)?;
+        }
+        Ok(())
+    }
+
+    fn spawn_op(&mut self, op: &PlanOp, root_join: usize) -> Result<()> {
+        let spec = self.binding.spec(op.join)?;
+        let degree = op.degree();
+        self.metrics.ops[op.id].instances = degree;
+        self.metrics.processes += degree;
+
+        // Per-side instance source builders.
+        let mut rxs: [Option<Vec<Receiver<Msg>>>; 2] = [
+            self.stream_rx.remove(&(op.id, 0)),
+            self.stream_rx.remove(&(op.id, 1)),
+        ];
+        let mut mat_fragments: [Option<Vec<Arc<Relation>>>; 2] = [None, None];
+        for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+            if let OperandSource::Materialized { from } = operand {
+                let frags = self.store.collect(&format!("{}op{from}", self.ns));
+                if frags.is_empty() {
+                    return Err(RelalgError::InvalidPlan(format!(
+                        "op {} reads op{from} before it materialized",
+                        op.id
+                    )));
+                }
+                mat_fragments[side] = Some(frags);
+            }
+        }
+        let out = self.out_stream.remove(&op.id);
+
+        // `i` indexes channels, fragments, and procs alike.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..degree {
+            let mut sources: Vec<Source> = Vec::with_capacity(2);
+            for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
+                let key_col = if side == 0 {
+                    spec.left_key
+                } else {
+                    spec.right_key
+                };
+                let source = match operand {
+                    OperandSource::Base { .. } => {
+                        Source::Local(self.base_fragments[&(op.id, side)][i].clone())
+                    }
+                    OperandSource::Materialized { .. } => Source::Filtered {
+                        fragments: mat_fragments[side].clone().expect("collected above"),
+                        key_col,
+                        bucket: i,
+                        of: degree,
+                    },
+                    OperandSource::Stream { from } => Source::Stream {
+                        rx: rxs[side].as_mut().expect("channels created")[i].clone(),
+                        producers: self.plan.ops[*from].degree(),
+                    },
+                };
+                sources.push(source);
+            }
+            let right = sources.pop().expect("two sides");
+            let left = sources.pop().expect("two sides");
+
+            let output = match &out {
+                Some((txs, key_col, pool)) => OutputPort::Stream(Router::new(
+                    txs.clone(),
+                    *key_col,
+                    self.config.batch_size,
+                    pool.clone(),
+                )),
+                None if self.out_materialized[op.id] => OutputPort::Materialize {
+                    store: self.store.clone(),
+                    proc: op.procs[i],
+                    name: format!("{}op{}", self.ns, op.id),
+                    schema: self.binding.schema(op.join)?.clone(),
+                    buffer: Vec::new(),
+                },
+                None => {
+                    debug_assert_eq!(op.join, root_join, "only the root op sinks");
+                    OutputPort::Sink {
+                        collected: self.sink_buffer.clone(),
+                        buffer: Vec::new(),
+                    }
+                }
+            };
+
+            let fail = self
+                .config
+                .fail
+                .map(|f| f.op == op.id && f.instance == i)
+                .unwrap_or(false);
+            let task = JoinTask::new(
+                op.algorithm,
+                spec.clone(),
+                left,
+                right,
+                output,
+                self.config.batch_size,
+                op.id,
+                i,
+                self.done_tx.clone(),
+                self.config.startup_cost,
+                fail,
+            );
+            self.pool.submit(self.priorities[op.id], Box::new(task));
+            self.spawned_instances += 1;
+        }
+        Ok(())
+    }
+
+    /// Drops the channel endpoints of not-yet-spawned ops so already
+    /// running producers/consumers observe a disconnect and unwind.
+    fn release_unspawned_endpoints(&mut self) {
+        self.stream_rx.clear();
+        self.out_stream.clear();
+    }
+}
+
+/// Runs one query's plan on a (shared) pool and store. `query_id`
+/// namespaces the query's materialized fragments within the store.
+fn run_on(
+    plan: &ParallelPlan,
+    binding: &QueryBinding,
+    provider: &dyn RelationProvider,
+    config: &ExecConfig,
+    pool: &WorkerPool,
+    store: &Arc<FragmentStore>,
+    query_id: u64,
+) -> Result<ExecOutcome> {
+    config.validate().map_err(RelalgError::InvalidPlan)?;
     validate_plan(plan)?;
     let n_ops = plan.ops.len();
+    let ns = format!("q{query_id}:");
+    store.ensure_nodes(plan.processors);
 
     // --- Setup (not timed): ideal base fragmentation per §4.1. ---
-    // side_fragments[(op, side)] = per-instance base fragments.
     let mut base_fragments: HashMap<(usize, usize), Vec<Arc<Relation>>> = HashMap::new();
     for op in &plan.ops {
         let spec = binding.spec(op.join)?;
@@ -71,10 +337,10 @@ pub fn run_plan(
     }
 
     // Stream channels, created up front (receivers taken at consumer
-    // spawn, senders at producer spawn).
+    // spawn, senders at producer spawn). Edge pools are sized from both
+    // endpoint degrees.
     let mut stream_rx: HashMap<(usize, usize), Vec<Receiver<Msg>>> = HashMap::new();
     let mut out_stream: OutStreams = HashMap::new();
-    // Producer op -> consumer uses materialization.
     let mut out_materialized: Vec<bool> = vec![false; n_ops];
     for op in &plan.ops {
         let spec = binding.spec(op.join)?;
@@ -86,7 +352,11 @@ pub fn run_plan(
             };
             match operand {
                 OperandSource::Stream { from } => {
-                    let (txs, rxs, pool) = operand_channels(op.degree(), config.channel_capacity);
+                    let (txs, rxs, pool) = operand_channels(
+                        plan.ops[*from].degree(),
+                        op.degree(),
+                        config.channel_capacity,
+                    );
                     stream_rx.insert((op.id, side), rxs);
                     if out_stream.insert(*from, (txs, key_col, pool)).is_some() {
                         return Err(RelalgError::InvalidPlan(format!(
@@ -102,13 +372,19 @@ pub fn run_plan(
         }
     }
 
-    let store = Arc::new(FragmentStore::new(plan.processors));
+    // Scheduling priority: the op's right-deep segment wave (§4 order).
+    let node_waves = segments(&plan.tree).node_waves();
+    let priorities: Vec<usize> = plan
+        .ops
+        .iter()
+        .map(|op| node_waves.get(op.join).copied().flatten().unwrap_or(0))
+        .collect();
+
     let sink_buffer: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
-    let root_join = plan.tree.root();
 
     // --- Scheduling (timed). ---
     let started = Instant::now();
-    let (done_tx, done_rx) = mpsc::channel::<(usize, Result<InstanceStats>)>();
+    let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
 
     let mut deps_remaining: Vec<usize> = plan.ops.iter().map(|o| o.start_after.len()).collect();
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
@@ -120,177 +396,57 @@ pub fn run_plan(
 
     let mut metrics = Metrics::new(n_ops);
     metrics.streams = plan.stats().tuple_streams;
-    let mut handles = Vec::new();
-    let mut instances_left: Vec<usize> = plan.ops.iter().map(|o| o.degree()).collect();
-    let mut spawned_instances = 0usize;
-    let mut received = 0usize;
-    let mut first_err: Option<RelalgError> = None;
-    let mut spawned: Vec<bool> = vec![false; n_ops];
-
-    // Spawns every op whose dependencies are met.
-    let spawn_ready = |deps_remaining: &Vec<usize>,
-                       spawned: &mut Vec<bool>,
-                       stream_rx: &mut HashMap<(usize, usize), Vec<Receiver<Msg>>>,
-                       out_stream: &mut OutStreams,
-                       handles: &mut Vec<std::thread::JoinHandle<()>>,
-                       spawned_instances: &mut usize,
-                       metrics: &mut Metrics|
-     -> Result<()> {
-        for op in &plan.ops {
-            if spawned[op.id] || deps_remaining[op.id] > 0 {
-                continue;
-            }
-            spawned[op.id] = true;
-            let spec = binding.spec(op.join)?;
-            let degree = op.degree();
-            metrics.ops[op.id].instances = degree;
-            metrics.processes += degree;
-
-            // Per-side instance source builders.
-            let mut rxs: [Option<Vec<Receiver<Msg>>>; 2] =
-                [stream_rx.remove(&(op.id, 0)), stream_rx.remove(&(op.id, 1))];
-            let mut mat_fragments: [Option<Vec<Arc<Relation>>>; 2] = [None, None];
-            for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
-                if let OperandSource::Materialized { from } = operand {
-                    let frags = store.collect(&format!("op{from}"));
-                    if frags.is_empty() {
-                        return Err(RelalgError::InvalidPlan(format!(
-                            "op {} reads op{from} before it materialized",
-                            op.id
-                        )));
-                    }
-                    mat_fragments[side] = Some(frags);
-                }
-            }
-            let out = out_stream.remove(&op.id);
-
-            // `i` indexes channels, fragments, and procs alike.
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..degree {
-                let mut sources: Vec<Source> = Vec::with_capacity(2);
-                for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
-                    let key_col = if side == 0 {
-                        spec.left_key
-                    } else {
-                        spec.right_key
-                    };
-                    let source = match operand {
-                        OperandSource::Base { .. } => {
-                            Source::Local(base_fragments[&(op.id, side)][i].clone())
-                        }
-                        OperandSource::Materialized { .. } => Source::Filtered {
-                            fragments: mat_fragments[side].clone().expect("collected above"),
-                            key_col,
-                            bucket: i,
-                            of: degree,
-                        },
-                        OperandSource::Stream { from } => Source::Stream {
-                            rx: rxs[side].as_mut().expect("channels created")[i].clone(),
-                            producers: plan.ops[*from].degree(),
-                        },
-                    };
-                    sources.push(source);
-                }
-                let right = sources.pop().expect("two sides");
-                let left = sources.pop().expect("two sides");
-
-                let output = match &out {
-                    Some((txs, key_col, pool)) => OutputPort::Stream(Router::new(
-                        txs.clone(),
-                        *key_col,
-                        config.batch_size,
-                        pool.clone(),
-                    )),
-                    None if out_materialized[op.id] => OutputPort::Materialize {
-                        store: store.clone(),
-                        proc: op.procs[i],
-                        name: format!("op{}", op.id),
-                        schema: binding.schema(op.join)?.clone(),
-                        buffer: Vec::new(),
-                    },
-                    None => {
-                        debug_assert_eq!(op.join, root_join, "only the root op sinks");
-                        OutputPort::Sink {
-                            collected: sink_buffer.clone(),
-                            buffer: Vec::new(),
-                        }
-                    }
-                };
-
-                let algorithm = op.algorithm;
-                let spec = spec.clone();
-                let batch = config.batch_size;
-                let startup = config.startup_cost;
-                let fail = config
-                    .fail
-                    .map(|f| f.op == op.id && f.instance == i)
-                    .unwrap_or(false);
-                let tx = done_tx.clone();
-                let id = op.id;
-                let handle = std::thread::Builder::new()
-                    .name(format!("op{id}-i{i}"))
-                    .spawn(move || {
-                        if let Some(d) = startup {
-                            std::thread::sleep(d);
-                        }
-                        if fail {
-                            // Injected fault: die without touching the
-                            // streams, dropping our channel endpoints.
-                            let _ = tx.send((
-                                id,
-                                Err(RelalgError::InvalidPlan(format!(
-                                    "injected failure at op {id} instance {i}"
-                                ))),
-                            ));
-                            return;
-                        }
-                        let res = match algorithm {
-                            JoinAlgorithm::Simple => {
-                                run_simple_instance(spec, left, right, output, batch)
-                            }
-                            JoinAlgorithm::Pipelining => {
-                                run_pipelining_instance(spec, left, right, output, batch)
-                            }
-                        };
-                        let _ = tx.send((id, res));
-                    })
-                    .map_err(|e| RelalgError::InvalidPlan(format!("spawn failed: {e}")))?;
-                handles.push(handle);
-                *spawned_instances += 1;
-            }
-        }
-        Ok(())
+    let mut run = QueryRun {
+        plan,
+        binding,
+        config,
+        pool,
+        store,
+        ns: ns.clone(),
+        priorities,
+        base_fragments,
+        stream_rx,
+        out_stream,
+        out_materialized,
+        sink_buffer,
+        done_tx,
+        spawned: vec![false; n_ops],
+        spawned_instances: 0,
+        metrics,
     };
 
-    spawn_ready(
-        &deps_remaining,
-        &mut spawned,
-        &mut stream_rx,
-        &mut out_stream,
-        &mut handles,
-        &mut spawned_instances,
-        &mut metrics,
-    )?;
+    let mut instances_left: Vec<usize> = plan.ops.iter().map(|o| o.degree()).collect();
+    let mut received = 0usize;
+    let mut first_err: Option<RelalgError> = None;
 
-    while received < spawned_instances {
+    if let Err(e) = run.spawn_ready(&deps_remaining) {
+        // Setup failed part-way: any already-submitted tasks unwind via
+        // dropped endpoints; keep draining below so the query is quiescent
+        // (and the shared store clean) before we return.
+        first_err = Some(e);
+        run.release_unspawned_endpoints();
+    }
+
+    while received < run.spawned_instances {
         let (op_id, res) = done_rx
             .recv()
             .map_err(|_| RelalgError::InvalidPlan("scheduler channel broke".into()))?;
         received += 1;
         match res {
             Ok(stats) => {
-                let m = &mut metrics.ops[op_id];
+                let m = &mut run.metrics.ops[op_id];
                 m.tuples_in[0] += stats.tuples_in[0];
                 m.tuples_in[1] += stats.tuples_in[1];
                 m.tuples_out += stats.tuples_out;
                 m.table_bytes += stats.table_bytes;
+                run.metrics.sched_steps += stats.steps;
+                run.metrics.sched_blocked += stats.blocked;
             }
             Err(e) => {
                 if first_err.is_none() {
                     first_err = Some(e);
-                    // Unblock producers streaming to never-spawned
-                    // consumers.
-                    stream_rx.clear();
+                    // Unblock instances wired to never-spawned peers.
+                    run.release_unspawned_endpoints();
                 }
             }
         }
@@ -300,38 +456,33 @@ pub fn run_plan(
             for &d in &dependents[op_id].clone() {
                 deps_remaining[d] -= 1;
             }
-            spawn_ready(
-                &deps_remaining,
-                &mut spawned,
-                &mut stream_rx,
-                &mut out_stream,
-                &mut handles,
-                &mut spawned_instances,
-                &mut metrics,
-            )?;
+            if let Err(e) = run.spawn_ready(&deps_remaining) {
+                first_err = Some(e);
+                run.release_unspawned_endpoints();
+            }
         }
     }
-    drop(done_tx);
-    for h in handles {
-        let _ = h.join();
-    }
     let elapsed = started.elapsed();
+
+    // The query is quiescent: every submitted instance has reported.
+    // Reclaim its namespace in the shared store.
+    store.remove_prefix(&ns);
 
     if let Some(e) = first_err {
         return Err(e);
     }
-    if spawned.iter().any(|s| !s) {
+    if run.spawned.iter().any(|s| !s) {
         return Err(RelalgError::InvalidPlan(
             "not all ops became ready (dependency cycle?)".into(),
         ));
     }
 
-    let tuples = std::mem::take(&mut *sink_buffer.lock());
-    let relation = Relation::new_unchecked(binding.schema(root_join)?.clone(), tuples);
+    let tuples = std::mem::take(&mut *run.sink_buffer.lock());
+    let relation = Relation::new_unchecked(binding.schema(plan.tree.root())?.clone(), tuples);
     Ok(ExecOutcome {
         relation,
         elapsed,
-        metrics,
+        metrics: run.metrics,
     })
 }
 
@@ -344,6 +495,7 @@ mod tests {
     use mj_plan::cost::{tree_costs, CostModel};
     use mj_plan::query::to_xra;
     use mj_plan::shapes::{build, Shape};
+    use mj_relalg::JoinAlgorithm;
     use mj_storage::{Catalog, WisconsinGenerator};
 
     fn setup(k: usize, n: usize) -> (Arc<Catalog>, u64) {
@@ -493,6 +645,103 @@ mod tests {
             Strategy::FP,
             crate::config::FailPoint { op: 4, instance: 0 },
         );
+    }
+
+    fn plan_for(
+        tree: &mj_plan::tree::JoinTree,
+        strategy: Strategy,
+        n: u64,
+        procs: usize,
+    ) -> ParallelPlan {
+        let cards = node_cards(tree, &UniformOneToOne { n });
+        let costs = tree_costs(tree, &cards, &CostModel::default());
+        let mut input = GeneratorInput::new(tree, &cards, &costs, procs);
+        input.allow_oversubscribe = procs < tree.join_count();
+        generate(strategy, &input).unwrap()
+    }
+
+    #[test]
+    fn engine_runs_many_queries_on_one_fixed_pool() {
+        let (catalog, n) = setup(6, 200);
+        let config = ExecConfig {
+            workers: 3,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        assert_eq!(engine.workers(), 3);
+        let tree = build(Shape::RightBushy, 6).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let xra = to_xra(&tree, 3, JoinAlgorithm::Simple);
+        let expected = xra.eval(catalog.as_ref()).unwrap();
+        for strategy in Strategy::ALL {
+            let plan = plan_for(&tree, strategy, n, 4);
+            let outcome = engine.run(&plan, &binding).unwrap();
+            assert!(outcome.relation.multiset_eq(&expected), "{strategy}");
+            assert!(outcome.metrics.sched_steps > 0);
+        }
+        assert_eq!(
+            engine.pool().threads(),
+            3,
+            "four queries must not grow the worker-thread count"
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_engine() {
+        let (catalog, n) = setup(5, 150);
+        let config = ExecConfig {
+            workers: 4,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let expected = to_xra(&tree, 3, JoinAlgorithm::Simple)
+            .eval(catalog.as_ref())
+            .unwrap();
+        std::thread::scope(|scope| {
+            for strategy in [Strategy::FP, Strategy::SP, Strategy::RD, Strategy::FP] {
+                let engine = &engine;
+                let binding = &binding;
+                let expected = &expected;
+                let tree = &tree;
+                scope.spawn(move || {
+                    let plan = plan_for(tree, strategy, n, 3);
+                    let outcome = engine.run(&plan, binding).unwrap();
+                    assert!(
+                        outcome.relation.multiset_eq(expected),
+                        "{strategy} diverged under concurrency"
+                    );
+                });
+            }
+        });
+        assert_eq!(
+            engine.pool().threads(),
+            4,
+            "concurrent queries must share the fixed pool"
+        );
+        // All per-query namespaces were reclaimed from the shared store.
+        assert_eq!(engine.store().total_bytes(), 0);
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes_pipelined_plans() {
+        // The cooperative scheduler must finish an FP dataflow even when
+        // one worker multiplexes every producer and consumer.
+        let (catalog, n) = setup(6, 120);
+        let config = ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 6).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let expected = to_xra(&tree, 3, JoinAlgorithm::Simple)
+            .eval(catalog.as_ref())
+            .unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert!(outcome.relation.multiset_eq(&expected));
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //! analogue on host threads.
 //!
 //! The engine interprets the same [`mj_core::plan_ir::ParallelPlan`] the
-//! simulator consumes, but physically: every operation process is an OS
-//! thread pinned to a logical processor id, tuple streams are bounded
-//! crossbeam channels (n×m per redistribution, exactly as §3.5 counts
-//! them), base relations are pre-fragmented "ideally" per §4.1, and
-//! materialized intermediates live in a shared-nothing
-//! [`mj_storage::FragmentStore`].
+//! simulator consumes, but physically: every operation process is a
+//! cooperative task multiplexed onto a **fixed worker pool**
+//! ([`sched::WorkerPool`], the paper's §4 processor set) shared by all
+//! in-flight queries, tuple streams are bounded crossbeam channels (n×m
+//! per redistribution, exactly as §3.5 counts them), base relations are
+//! pre-fragmented "ideally" per §4.1, and materialized intermediates live
+//! in a shared-nothing [`mj_storage::FragmentStore`] namespaced per query.
+//!
+//! A task that would block on a channel yields its worker instead of
+//! parking a thread, so the pool runs any number of concurrent queries on
+//! `ExecConfig::workers` OS threads total. The [`Engine`] facade is the
+//! concurrent entry point: build it once over a shared catalog, call
+//! [`Engine::run`] from as many threads as you like.
 //!
 //! On a laptop-class host this engine cannot demonstrate 80-way speedups —
 //! its purpose is (a) to prove the four strategies are real, runnable
@@ -22,10 +29,12 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod operator;
+pub mod sched;
 pub mod source;
 pub mod stream;
 
 pub use binding::QueryBinding;
 pub use config::{ExecConfig, FailPoint};
-pub use engine::{run_plan, ExecOutcome};
+pub use engine::{run_plan, Engine, ExecOutcome};
 pub use metrics::{Metrics, OpMetrics};
+pub use sched::WorkerPool;

@@ -24,6 +24,11 @@ pub struct Metrics {
     pub processes: usize,
     /// Total point-to-point streams opened — the coordination driver.
     pub streams: usize,
+    /// Scheduler steps taken by this query's tasks on the worker pool.
+    pub sched_steps: u64,
+    /// Steps that could not progress (channel empty/full) and yielded the
+    /// worker instead of parking a thread.
+    pub sched_blocked: u64,
 }
 
 impl Metrics {
@@ -33,6 +38,8 @@ impl Metrics {
             ops: vec![OpMetrics::default(); ops],
             processes: 0,
             streams: 0,
+            sched_steps: 0,
+            sched_blocked: 0,
         }
     }
 
@@ -51,6 +58,10 @@ pub struct InstanceStats {
     pub tuples_out: u64,
     /// Peak hash-table bytes of this instance.
     pub table_bytes: u64,
+    /// Scheduler steps this instance ran for.
+    pub steps: u64,
+    /// Steps that ended blocked (yielded the worker without progress).
+    pub blocked: u64,
 }
 
 #[cfg(test)]

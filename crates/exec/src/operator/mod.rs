@@ -1,9 +1,15 @@
 //! Physical operator instances: the bodies of operation processes.
+//!
+//! One state machine ([`task::JoinTask`]) implements both join algorithms;
+//! the worker pool schedules it cooperatively, and the `run_*_instance`
+//! functions drive it to completion on a dedicated thread (tests, benches).
 
 pub mod output;
 pub mod pipe_join;
 pub mod simple_join;
+pub mod task;
 
 pub use output::OutputPort;
 pub use pipe_join::run_pipelining_instance;
 pub use simple_join::run_simple_instance;
+pub use task::JoinTask;

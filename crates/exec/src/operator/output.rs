@@ -37,7 +37,8 @@ pub enum OutputPort {
 }
 
 impl OutputPort {
-    /// Emits a batch of result tuples.
+    /// Emits a batch of result tuples, blocking on stream backpressure
+    /// (dedicated-thread path).
     pub fn emit(&mut self, tuples: &mut Vec<Tuple>) -> Result<()> {
         match self {
             OutputPort::Stream(router) => {
@@ -52,24 +53,81 @@ impl OutputPort {
         Ok(())
     }
 
-    /// Finalizes the port: flush + End for streams, store write for
-    /// materialization, sink merge for the root.
-    pub fn finish(self) -> Result<()> {
+    /// Non-blocking emit of `out[*pos..]` (worker-pool path). Returns the
+    /// number of tuples emitted and whether the backlog fully drained; on
+    /// a full drain `out` is cleared and `pos` reset so the buffer can be
+    /// refilled. `Ok((_, false))` means stream backpressure — the caller
+    /// should yield and call again with the same arguments.
+    pub fn try_emit(&mut self, out: &mut Vec<Tuple>, pos: &mut usize) -> Result<(u64, bool)> {
+        let mut emitted = 0u64;
         match self {
-            OutputPort::Stream(router) => router.finish(),
+            OutputPort::Stream(router) => {
+                while *pos < out.len() {
+                    // Take the tuple out of its slot (an empty inline
+                    // tuple costs nothing); hand it back on rejection.
+                    let t = std::mem::replace(&mut out[*pos], Tuple::from_ints(&[]));
+                    match router.try_route(t)? {
+                        None => {
+                            *pos += 1;
+                            emitted += 1;
+                        }
+                        Some(t) => {
+                            out[*pos] = t;
+                            return Ok((emitted, false));
+                        }
+                    }
+                }
+            }
+            OutputPort::Materialize { buffer, .. } | OutputPort::Sink { buffer, .. } => {
+                emitted = (out.len() - *pos) as u64;
+                buffer.extend(out.drain(*pos..));
+            }
+        }
+        out.clear();
+        *pos = 0;
+        Ok((emitted, true))
+    }
+
+    /// Non-blocking finalize (worker-pool path): resumable stream
+    /// flush + `End` for routers; store write / sink merge (which never
+    /// block) for the others. `Ok(false)` means backpressure — yield and
+    /// call again. Must be called until it returns `Ok(true)`, exactly
+    /// once past that point.
+    pub fn try_finish(&mut self) -> Result<bool> {
+        match self {
+            OutputPort::Stream(router) => router.try_finish(),
             OutputPort::Materialize {
                 store,
                 proc,
                 name,
                 schema,
                 buffer,
-            } => store.put(
-                proc,
-                name,
-                Arc::new(Relation::new_unchecked(schema, buffer)),
-            ),
+            } => {
+                store.put(
+                    *proc,
+                    name.clone(),
+                    Arc::new(Relation::new_unchecked(
+                        schema.clone(),
+                        std::mem::take(buffer),
+                    )),
+                )?;
+                Ok(true)
+            }
             OutputPort::Sink { collected, buffer } => {
-                collected.lock().extend(buffer);
+                collected.lock().append(buffer);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Finalizes the port, blocking on stream backpressure: flush + End
+    /// for streams, store write for materialization, sink merge for the
+    /// root (dedicated-thread path).
+    pub fn finish(self) -> Result<()> {
+        match self {
+            OutputPort::Stream(router) => router.finish(),
+            mut other => {
+                other.try_finish()?;
                 Ok(())
             }
         }
@@ -117,7 +175,7 @@ mod tests {
 
     #[test]
     fn stream_forwards_and_ends() {
-        let (txs, rxs, pool) = operand_channels(1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8);
         let mut port = OutputPort::Stream(Router::new(txs, 0, 2, pool));
         port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])])
             .unwrap();

@@ -2,174 +2,51 @@
 //! single-phase, producing output as early as possible so both operands can
 //! be live pipelines.
 
-use crossbeam::channel::Select;
-use mj_join::PipeliningJoinState;
-use mj_relalg::{EquiJoin, RelalgError, Result, Tuple};
+use mj_relalg::{EquiJoin, Result};
 
 use crate::metrics::InstanceStats;
+use crate::operator::task::{drive_blocking, JoinTask};
 use crate::operator::OutputPort;
 use crate::source::Source;
-use crate::stream::Msg;
 
-/// Runs one pipelining hash-join instance to completion.
+/// Runs one pipelining hash-join instance to completion on the current
+/// thread (a blocking driver over the same [`JoinTask`] state machine the
+/// worker pool schedules).
 ///
-/// Immediate operands (base fragments; FP has no materialized edges, but
-/// the code is general) are consumed first — they are available the moment
-/// the process starts, exactly like PRISMA's local fragment access. Stream
-/// operands are then consumed as tuples arrive, from whichever side is
-/// ready (two-sided pipelining).
+/// The task's feed loop alternates sides whenever both have tuples
+/// available — immediate operands interleave tuple-by-tuple (both-local
+/// bottom joins exercise true symmetry), and live streams are drained from
+/// whichever side is ready (two-sided pipelining).
 pub fn run_pipelining_instance(
     spec: EquiJoin,
     left: Source,
     right: Source,
-    mut output: OutputPort,
+    output: OutputPort,
     batch_size: usize,
 ) -> Result<InstanceStats> {
-    let mut stats = InstanceStats::default();
-    let mut state = PipeliningJoinState::new(spec);
-    let mut out = Vec::with_capacity(batch_size);
-
-    let push = |state: &mut PipeliningJoinState,
-                side: usize,
-                tuple: Tuple,
-                out: &mut Vec<Tuple>,
-                output: &mut OutputPort,
-                stats: &mut InstanceStats|
-     -> Result<()> {
-        if side == 0 {
-            state.push_left(tuple, out)?;
-        } else {
-            state.push_right(tuple, out)?;
-        }
-        stats.tuples_in[side] += 1;
-        if out.len() >= batch_size {
-            stats.tuples_out += out.len() as u64;
-            output.emit(out)?;
-        }
-        Ok(())
-    };
-
-    // Interleave the immediate sides tuple-by-tuple (both-local bottom
-    // joins exercise true symmetry); a lone immediate side drains first.
-    let mut streams: Vec<(usize, &Source)> = Vec::new();
-    match (&left, &right) {
-        (l, r) if l.is_immediate() && r.is_immediate() => {
-            let mut ltuples: Vec<Tuple> = Vec::new();
-            l.for_each_immediate(|t| {
-                ltuples.push(t);
-                Ok(())
-            })?;
-            let mut rtuples: Vec<Tuple> = Vec::new();
-            r.for_each_immediate(|t| {
-                rtuples.push(t);
-                Ok(())
-            })?;
-            let mut li = ltuples.into_iter();
-            let mut ri = rtuples.into_iter();
-            loop {
-                let lt = li.next();
-                let rt = ri.next();
-                if lt.is_none() && rt.is_none() {
-                    break;
-                }
-                if let Some(t) = lt {
-                    push(&mut state, 0, t, &mut out, &mut output, &mut stats)?;
-                }
-                if let Some(t) = rt {
-                    push(&mut state, 1, t, &mut out, &mut output, &mut stats)?;
-                }
-            }
-        }
-        (l, r) => {
-            if l.is_immediate() {
-                l.for_each_immediate(|t| {
-                    push(&mut state, 0, t, &mut out, &mut output, &mut stats)
-                })?;
-            } else {
-                streams.push((0, l));
-            }
-            if r.is_immediate() {
-                r.for_each_immediate(|t| {
-                    push(&mut state, 1, t, &mut out, &mut output, &mut stats)
-                })?;
-            } else {
-                streams.push((1, r));
-            }
-        }
-    }
-
-    // Drain the stream sides, fairly when both are live.
-    match streams.len() {
-        0 => {}
-        1 => {
-            let (side, src) = &streams[0];
-            let Source::Stream { rx, producers } = src else {
-                unreachable!()
-            };
-            let mut remaining = *producers;
-            while remaining > 0 {
-                match rx.recv() {
-                    Ok(Msg::Batch(mut batch)) => {
-                        for t in batch.drain() {
-                            push(&mut state, *side, t, &mut out, &mut output, &mut stats)?;
-                        }
-                    }
-                    Ok(Msg::End) => remaining -= 1,
-                    Err(_) => {
-                        return Err(RelalgError::InvalidPlan("stream closed before End".into()))
-                    }
-                }
-            }
-        }
-        2 => {
-            let sides: Vec<usize> = streams.iter().map(|(s, _)| *s).collect();
-            let rxs: Vec<_> = streams
-                .iter()
-                .map(|(_, src)| match src {
-                    Source::Stream { rx, producers } => (rx, *producers),
-                    _ => unreachable!(),
-                })
-                .collect();
-            let mut remaining = [rxs[0].1, rxs[1].1];
-            while remaining[0] > 0 || remaining[1] > 0 {
-                let mut sel = Select::new();
-                let mut live = Vec::new();
-                for (i, (rx, _)) in rxs.iter().enumerate() {
-                    if remaining[i] > 0 {
-                        sel.recv(rx);
-                        live.push(i);
-                    }
-                }
-                let op = sel.select();
-                let i = live[op.index()];
-                match op.recv(rxs[i].0) {
-                    Ok(Msg::Batch(mut batch)) => {
-                        for t in batch.drain() {
-                            push(&mut state, sides[i], t, &mut out, &mut output, &mut stats)?;
-                        }
-                    }
-                    Ok(Msg::End) => remaining[i] -= 1,
-                    Err(_) => {
-                        return Err(RelalgError::InvalidPlan("stream closed before End".into()))
-                    }
-                }
-            }
-        }
-        _ => unreachable!("a binary join has at most two stream operands"),
-    }
-
-    stats.tuples_out += out.len() as u64;
-    output.emit(&mut out)?;
-    stats.table_bytes = state.est_bytes() as u64;
-    output.finish()?;
-    Ok(stats)
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let task = JoinTask::new(
+        mj_relalg::JoinAlgorithm::Pipelining,
+        spec,
+        left,
+        right,
+        output,
+        batch_size,
+        0,
+        0,
+        done_tx,
+        None,
+        false,
+    );
+    drive_blocking(task);
+    done_rx.recv().expect("task reports exactly once").1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::stream::{operand_channels, Router};
-    use mj_relalg::{Attribute, Projection, Relation, Schema};
+    use mj_relalg::{Attribute, Projection, Relation, Schema, Tuple};
     use parking_lot::Mutex;
     use std::sync::Arc;
 
@@ -205,7 +82,7 @@ mod tests {
 
     #[test]
     fn local_left_streamed_right() {
-        let (txs, rxs, pool) = operand_channels(1, 4);
+        let (txs, rxs, pool) = operand_channels(1, 1, 4);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let producer = std::thread::spawn(move || {
             let mut router = Router::new(txs, 0, 2, pool);
@@ -235,8 +112,8 @@ mod tests {
 
     #[test]
     fn two_streams_from_concurrent_producers() {
-        let (ltxs, lrxs, lpool) = operand_channels(1, 4);
-        let (rtxs, rrxs, rpool) = operand_channels(1, 4);
+        let (ltxs, lrxs, lpool) = operand_channels(1, 1, 4);
+        let (rtxs, rrxs, rpool) = operand_channels(1, 1, 4);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let lp = std::thread::spawn(move || {
             let mut router = Router::new(ltxs, 0, 2, lpool);

@@ -1,15 +1,16 @@
 //! The simple hash-join operation process: build the left operand fully,
 //! then stream the right operand past the table (§2.3.2).
 
-use mj_join::SimpleJoinState;
-use mj_relalg::{EquiJoin, RelalgError, Result};
+use mj_relalg::{EquiJoin, Result};
 
 use crate::metrics::InstanceStats;
+use crate::operator::task::{drive_blocking, JoinTask};
 use crate::operator::OutputPort;
 use crate::source::Source;
-use crate::stream::Msg;
 
-/// Runs one simple hash-join instance to completion.
+/// Runs one simple hash-join instance to completion on the current thread
+/// (a blocking driver over the same [`JoinTask`] state machine the worker
+/// pool schedules).
 ///
 /// The build (left) source must be immediate (base fragment or materialized
 /// intermediate): no strategy in the paper streams into a simple join's
@@ -19,59 +20,25 @@ pub fn run_simple_instance(
     spec: EquiJoin,
     left: Source,
     right: Source,
-    mut output: OutputPort,
+    output: OutputPort,
     batch_size: usize,
 ) -> Result<InstanceStats> {
-    let mut stats = InstanceStats::default();
-    let mut state = SimpleJoinState::new(spec);
-
-    // Phase 1: build.
-    if !left.is_immediate() {
-        return Err(RelalgError::InvalidPlan(
-            "simple hash join cannot stream its build operand".into(),
-        ));
-    }
-    stats.tuples_in[0] = left.for_each_immediate(|t| state.build(t))?;
-    state.finish_build();
-
-    // Phase 2: probe.
-    let mut out = Vec::with_capacity(batch_size);
-    match right {
-        Source::Stream { rx, producers } => {
-            let mut remaining = producers;
-            while remaining > 0 {
-                match rx.recv() {
-                    Ok(Msg::Batch(mut batch)) => {
-                        for t in batch.drain() {
-                            state.probe(&t, &mut out)?;
-                            stats.tuples_in[1] += 1;
-                            if out.len() >= batch_size {
-                                stats.tuples_out += out.len() as u64;
-                                output.emit(&mut out)?;
-                            }
-                        }
-                    }
-                    Ok(Msg::End) => remaining -= 1,
-                    Err(_) => {
-                        return Err(RelalgError::InvalidPlan(
-                            "probe stream closed before End".into(),
-                        ))
-                    }
-                }
-            }
-        }
-        immediate => {
-            stats.tuples_in[1] = immediate.for_each_immediate(|t| {
-                state.probe(&t, &mut out)?;
-                Ok(())
-            })?;
-        }
-    }
-    stats.tuples_out += out.len() as u64;
-    output.emit(&mut out)?;
-    stats.table_bytes = state.est_bytes() as u64;
-    output.finish()?;
-    Ok(stats)
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let task = JoinTask::new(
+        mj_relalg::JoinAlgorithm::Simple,
+        spec,
+        left,
+        right,
+        output,
+        batch_size,
+        0,
+        0,
+        done_tx,
+        None,
+        false,
+    );
+    drive_blocking(task);
+    done_rx.recv().expect("task reports exactly once").1
 }
 
 #[cfg(test)]
@@ -116,7 +83,7 @@ mod tests {
 
     #[test]
     fn streamed_probe() {
-        let (txs, rxs, pool) = operand_channels(1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8);
         let collected = Arc::new(Mutex::new(Vec::new()));
         // Producer thread: sends 5 probe tuples then End.
         let producer = std::thread::spawn(move || {
@@ -147,7 +114,7 @@ mod tests {
 
     #[test]
     fn streamed_build_is_rejected() {
-        let (_txs, rxs, _pool) = operand_channels(1, 1);
+        let (_txs, rxs, _pool) = operand_channels(1, 1, 1);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let r = run_simple_instance(
             spec(),

@@ -1,0 +1,477 @@
+//! The join operation process as a cooperative task: one state machine
+//! that both hash-join algorithms run on the shared worker pool.
+//!
+//! The seed's operator loops were straight-line blocking code — fine when
+//! every instance owned an OS thread, fatal on a fixed pool (a blocked
+//! `recv` would park a worker and a handful of stalled instances could
+//! deadlock the whole process). [`JoinTask`] restructures an instance as
+//! an explicit state machine: every channel interaction uses the
+//! non-blocking `try_*` forms, and instead of waiting the task returns
+//! [`Step::Blocked`], yielding its worker to some other instance — of this
+//! query or any other.
+//!
+//! Completion (stats or error) is reported exactly once on the query's
+//! done channel, including when the task is dropped mid-flight (pool
+//! shutdown, panic): the `Drop` impl reports non-completion so the query
+//! coordinator can never hang waiting for a vanished instance.
+
+use std::sync::mpsc::Sender;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, TryRecvError};
+use mj_join::{PipeliningJoinState, SimpleJoinState};
+use mj_relalg::hash::bucket_of;
+use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Relation, Result, Tuple};
+
+use crate::metrics::InstanceStats;
+use crate::operator::OutputPort;
+use crate::sched::{Step, Task};
+use crate::source::Source;
+use crate::stream::{Batch, Msg};
+
+/// Tuples processed per scheduling step: long enough to amortize queue
+/// round-trips, short enough that concurrent queries interleave finely.
+const QUANTUM: usize = 512;
+
+/// What a completed (or failed) instance sends to its query coordinator.
+pub type DoneMsg = (usize, Result<InstanceStats>);
+
+/// A resumable operand: the task-side view of a [`Source`], holding an
+/// explicit cursor so a blocked instance can pick up exactly where it
+/// stopped.
+enum Operand {
+    /// A processor-local fragment; read by index.
+    Local {
+        rel: std::sync::Arc<Relation>,
+        pos: usize,
+    },
+    /// Materialized producer fragments filtered to this instance's bucket.
+    Filtered {
+        fragments: Vec<std::sync::Arc<Relation>>,
+        key_col: usize,
+        bucket: usize,
+        of: usize,
+        frag: usize,
+        pos: usize,
+    },
+    /// A live stream; `current` is a partially consumed batch.
+    Stream {
+        rx: Receiver<Msg>,
+        remaining: usize,
+        current: Option<Batch>,
+        pos: usize,
+    },
+}
+
+/// One pull on an operand.
+enum Pulled {
+    /// A tuple is available now.
+    Tuple(Tuple),
+    /// A stream operand has nothing queued right now; yield and retry.
+    Pending,
+    /// The operand is fully consumed.
+    Exhausted,
+}
+
+impl Operand {
+    fn new(source: Source) -> Operand {
+        match source {
+            Source::Local(rel) => Operand::Local { rel, pos: 0 },
+            Source::Filtered {
+                fragments,
+                key_col,
+                bucket,
+                of,
+            } => Operand::Filtered {
+                fragments,
+                key_col,
+                bucket,
+                of,
+                frag: 0,
+                pos: 0,
+            },
+            Source::Stream { rx, producers } => Operand::Stream {
+                rx,
+                remaining: producers,
+                current: None,
+                pos: 0,
+            },
+        }
+    }
+
+    fn is_stream(&self) -> bool {
+        matches!(self, Operand::Stream { .. })
+    }
+
+    /// Pulls the next tuple without ever blocking.
+    fn pull(&mut self) -> Result<Pulled> {
+        match self {
+            Operand::Local { rel, pos } => {
+                if *pos >= rel.len() {
+                    return Ok(Pulled::Exhausted);
+                }
+                let t = rel.tuples()[*pos].clone();
+                *pos += 1;
+                Ok(Pulled::Tuple(t))
+            }
+            Operand::Filtered {
+                fragments,
+                key_col,
+                bucket,
+                of,
+                frag,
+                pos,
+            } => {
+                while *frag < fragments.len() {
+                    let tuples = fragments[*frag].tuples();
+                    while *pos < tuples.len() {
+                        let t = &tuples[*pos];
+                        *pos += 1;
+                        if bucket_of(t.int(*key_col)?, *of) == *bucket {
+                            return Ok(Pulled::Tuple(t.clone()));
+                        }
+                    }
+                    *frag += 1;
+                    *pos = 0;
+                }
+                Ok(Pulled::Exhausted)
+            }
+            Operand::Stream {
+                rx,
+                remaining,
+                current,
+                pos,
+            } => loop {
+                if let Some(batch) = current {
+                    if *pos < batch.len() {
+                        let t = batch.tuples()[*pos].clone();
+                        *pos += 1;
+                        return Ok(Pulled::Tuple(t));
+                    }
+                    // Dropping the batch returns its buffer to the pool.
+                    *current = None;
+                    *pos = 0;
+                }
+                if *remaining == 0 {
+                    return Ok(Pulled::Exhausted);
+                }
+                match rx.try_recv() {
+                    Ok(Msg::Batch(b)) => {
+                        *current = Some(b);
+                        *pos = 0;
+                    }
+                    Ok(Msg::End) => *remaining -= 1,
+                    Err(TryRecvError::Empty) => return Ok(Pulled::Pending),
+                    Err(TryRecvError::Disconnected) => {
+                        return Err(RelalgError::InvalidPlan("stream closed before End".into()))
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The join algorithm state behind the common feed loop.
+enum Core {
+    Simple(SimpleJoinState),
+    Pipelining(PipeliningJoinState),
+}
+
+/// Execution phase of the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Startup gate: fault injection and the configured startup cost.
+    Start,
+    /// Simple join only: drain the (immediate) build side into the table.
+    Build,
+    /// Feed operand tuples through the join, flushing output batches.
+    Feed,
+    /// Flush the output backlog and finalize the output port.
+    Finish,
+    /// Completion has been reported; the task is inert.
+    Done,
+}
+
+/// One join operation-process instance as a schedulable [`Task`].
+pub struct JoinTask {
+    core: Core,
+    left: Operand,
+    right: Operand,
+    output: OutputPort,
+    /// Result tuples awaiting emission (shared with the join state).
+    out: Vec<Tuple>,
+    /// Emission cursor into `out` (for resumable routing).
+    out_pos: usize,
+    batch: usize,
+    phase: Phase,
+    /// Which side the pipelining feed polls first next step (fairness).
+    turn: usize,
+    stats: InstanceStats,
+    op_id: usize,
+    instance: usize,
+    done_tx: Sender<DoneMsg>,
+    startup_deadline: Option<Instant>,
+    fail: bool,
+    reported: bool,
+}
+
+impl JoinTask {
+    /// Builds the task for one instance. `startup` delays the instance's
+    /// first progress (the paper's per-process startup cost); `fail`
+    /// injects a deterministic fault for teardown tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        algorithm: JoinAlgorithm,
+        spec: EquiJoin,
+        left: Source,
+        right: Source,
+        output: OutputPort,
+        batch: usize,
+        op_id: usize,
+        instance: usize,
+        done_tx: Sender<DoneMsg>,
+        startup: Option<Duration>,
+        fail: bool,
+    ) -> JoinTask {
+        let core = match algorithm {
+            JoinAlgorithm::Simple => Core::Simple(SimpleJoinState::new(spec)),
+            JoinAlgorithm::Pipelining => Core::Pipelining(PipeliningJoinState::new(spec)),
+        };
+        JoinTask {
+            core,
+            left: Operand::new(left),
+            right: Operand::new(right),
+            output,
+            out: Vec::with_capacity(batch),
+            out_pos: 0,
+            batch,
+            phase: Phase::Start,
+            turn: instance, // stagger polling order across instances
+            stats: InstanceStats::default(),
+            op_id,
+            instance,
+            done_tx,
+            startup_deadline: startup.map(|d| Instant::now() + d),
+            fail,
+            reported: false,
+        }
+    }
+
+    fn report(&mut self, result: Result<InstanceStats>) {
+        if !self.reported {
+            self.reported = true;
+            self.phase = Phase::Done;
+            let _ = self.done_tx.send((self.op_id, result));
+        }
+    }
+
+    /// Emits `out[out_pos..]`; `Ok(false)` means the output is
+    /// backpressured and the task should yield.
+    fn flush_out(&mut self) -> Result<bool> {
+        let (emitted, done) = self.output.try_emit(&mut self.out, &mut self.out_pos)?;
+        self.stats.tuples_out += emitted;
+        Ok(done)
+    }
+
+    fn step_start(&mut self) -> Result<Step> {
+        if self.fail {
+            return Err(RelalgError::InvalidPlan(format!(
+                "injected failure at op {} instance {}",
+                self.op_id, self.instance
+            )));
+        }
+        if let Some(deadline) = self.startup_deadline {
+            if Instant::now() < deadline {
+                return Ok(Step::Blocked);
+            }
+        }
+        self.phase = match self.core {
+            Core::Simple(_) => Phase::Build,
+            Core::Pipelining(_) => Phase::Feed,
+        };
+        Ok(Step::Progress)
+    }
+
+    /// Simple join phase 1: drain the immediate build side into the table.
+    /// No output is produced, so this never blocks — it only paces itself
+    /// by the quantum.
+    fn step_build(&mut self) -> Result<Step> {
+        let Core::Simple(state) = &mut self.core else {
+            unreachable!("build phase is simple-join only");
+        };
+        if self.left.is_stream() {
+            return Err(RelalgError::InvalidPlan(
+                "simple hash join cannot stream its build operand".into(),
+            ));
+        }
+        for _ in 0..QUANTUM {
+            match self.left.pull()? {
+                Pulled::Tuple(t) => {
+                    state.build(t)?;
+                    self.stats.tuples_in[0] += 1;
+                }
+                Pulled::Exhausted => {
+                    state.finish_build();
+                    self.phase = Phase::Feed;
+                    return Ok(Step::Progress);
+                }
+                Pulled::Pending => unreachable!("immediate operands never pend"),
+            }
+        }
+        Ok(Step::Progress)
+    }
+
+    /// The common feed loop: pull from whichever operand has tuples ready,
+    /// push through the join state, and flush full output batches.
+    fn step_feed(&mut self) -> Result<Step> {
+        if !self.flush_out()? {
+            return Ok(Step::Blocked);
+        }
+        let mut moved = false;
+        for _ in 0..QUANTUM {
+            // The simple join only feeds its probe (right) side here; the
+            // pipelining join alternates sides, preferring `turn` so two
+            // live streams are drained fairly.
+            let sides: [usize; 2] = match self.core {
+                Core::Simple(_) => [1, 1],
+                Core::Pipelining(_) => [self.turn % 2, (self.turn + 1) % 2],
+            };
+            self.turn = self.turn.wrapping_add(1);
+            let mut pulled = None;
+            let mut exhausted = 0usize;
+            for &side in if sides[0] == sides[1] {
+                &sides[..1]
+            } else {
+                &sides[..]
+            } {
+                let operand = if side == 0 {
+                    &mut self.left
+                } else {
+                    &mut self.right
+                };
+                match operand.pull()? {
+                    Pulled::Tuple(t) => {
+                        pulled = Some((side, t));
+                        break;
+                    }
+                    Pulled::Exhausted => exhausted += 1,
+                    Pulled::Pending => {}
+                }
+            }
+            let tried = if sides[0] == sides[1] { 1 } else { 2 };
+            match pulled {
+                Some((side, t)) => {
+                    match &mut self.core {
+                        Core::Simple(state) => state.probe(&t, &mut self.out)?,
+                        Core::Pipelining(state) => {
+                            if side == 0 {
+                                state.push_left(t, &mut self.out)?
+                            } else {
+                                state.push_right(t, &mut self.out)?
+                            }
+                        }
+                    }
+                    self.stats.tuples_in[side] += 1;
+                    moved = true;
+                    if self.out.len() >= self.batch && !self.flush_out()? {
+                        // Output backpressure mid-quantum: we did move
+                        // tuples, so keep our rotation slot as Progress.
+                        return Ok(Step::Progress);
+                    }
+                }
+                None if exhausted == tried => {
+                    self.phase = Phase::Finish;
+                    return Ok(Step::Progress);
+                }
+                None => {
+                    // At least one live side is pending and none has data.
+                    return Ok(if moved { Step::Progress } else { Step::Blocked });
+                }
+            }
+        }
+        Ok(Step::Progress)
+    }
+
+    fn step_finish(&mut self) -> Result<Step> {
+        if !self.flush_out()? {
+            return Ok(Step::Blocked);
+        }
+        if !self.output.try_finish()? {
+            return Ok(Step::Blocked);
+        }
+        self.stats.table_bytes = match &self.core {
+            Core::Simple(state) => state.est_bytes() as u64,
+            Core::Pipelining(state) => state.est_bytes() as u64,
+        };
+        let stats = self.stats;
+        self.report(Ok(stats));
+        Ok(Step::Done)
+    }
+
+    fn try_step(&mut self) -> Result<Step> {
+        match self.phase {
+            Phase::Start => self.step_start(),
+            Phase::Build => self.step_build(),
+            Phase::Feed => self.step_feed(),
+            Phase::Finish => self.step_finish(),
+            Phase::Done => Ok(Step::Done),
+        }
+    }
+}
+
+impl Task for JoinTask {
+    fn step(&mut self) -> Step {
+        self.stats.steps += 1;
+        match self.try_step() {
+            Ok(step) => {
+                if step == Step::Blocked {
+                    self.stats.blocked += 1;
+                }
+                step
+            }
+            Err(e) => {
+                // Reporting drops nothing yet; the scheduler drops the
+                // task right after, releasing its channel endpoints so
+                // upstream and downstream instances unwind too.
+                self.report(Err(e));
+                Step::Done
+            }
+        }
+    }
+}
+
+impl Drop for JoinTask {
+    fn drop(&mut self) {
+        // Dropped before completion (pool shutdown or a panic inside
+        // step): tell the coordinator so it never hangs on a vanished
+        // instance.
+        if !self.reported {
+            let op = self.op_id;
+            let instance = self.instance;
+            self.report(Err(RelalgError::InvalidPlan(format!(
+                "op {op} instance {instance} dropped before completing"
+            ))));
+        }
+    }
+}
+
+/// Drives a task to completion on the current thread (the dedicated-thread
+/// path used by unit tests and benches). Yields, then naps, while blocked —
+/// the counterpart of the worker pool's backoff.
+pub fn drive_blocking(mut task: JoinTask) -> Step {
+    let mut blocked = 0u32;
+    loop {
+        match task.step() {
+            Step::Done => return Step::Done,
+            Step::Progress => blocked = 0,
+            Step::Blocked => {
+                blocked += 1;
+                if blocked < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The shared worker pool: a fixed set of OS threads that every operation
+//! process of every in-flight query is multiplexed onto.
+//!
+//! The paper maps join operation processes onto a *fixed pool of
+//! processors* (§4) — it is the scarcity of workers, not of operators,
+//! that drives the SP/RD/FP trade-off. The seed engine instead spawned one
+//! OS thread per operator instance per query, so physical concurrency was
+//! accidental and a second in-flight query doubled the thread count. Here,
+//! operator instances are cooperative [`Task`]s:
+//!
+//! * a task [`step`](Task::step)s for a bounded quantum and returns
+//!   [`Step::Progress`], keeping its place in the run queue;
+//! * a task that cannot progress (its input channel is empty, its output
+//!   channel is full) returns [`Step::Blocked`] and **yields its worker**
+//!   instead of parking a thread — the worker immediately picks up another
+//!   task, so a bounded pool can run arbitrarily many concurrent dataflows
+//!   without deadlocking on its own thread count;
+//! * a finished task returns [`Step::Done`] and is dropped, releasing its
+//!   channel endpoints.
+//!
+//! Tasks are submitted with a priority (the engine uses the right-deep
+//! segmentation's topological wave index from
+//! `Segmentation::node_waves`): a new task is inserted ahead of queued
+//! tasks of later waves, so pipelines fill bottom-up — but once a task has
+//! been stepped it rejoins the **back** of the rotation, making the queue
+//! a fair round-robin. Independent segments of one wave, and tasks of
+//! different queries, therefore interleave on the pool exactly as the §4
+//! schedule on a fixed processor set prescribes, and a blocked
+//! early-wave task can never starve the later-wave consumer it is waiting
+//! on (strict priority lanes would livelock exactly there).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The outcome of one cooperative scheduling step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The task moved tuples (or otherwise advanced); reschedule it.
+    Progress,
+    /// The task could not advance (channel empty/full); reschedule it, but
+    /// the worker is free to run others — and to back off briefly if
+    /// *every* queued task is blocked.
+    Blocked,
+    /// The task completed (successfully or not) and can be dropped.
+    Done,
+}
+
+/// A cooperatively scheduled unit of work — one operator instance.
+///
+/// Implementations must never block the calling thread: channel operations
+/// inside `step` use the non-blocking `try_*` forms and report
+/// [`Step::Blocked`] instead of waiting. Completion (including errors) is
+/// reported out of band by the task itself (the engine's tasks send on a
+/// per-query done channel).
+pub trait Task: Send {
+    /// Runs one bounded quantum.
+    fn step(&mut self) -> Step;
+}
+
+/// One priority lane entry.
+struct Queued {
+    task: Box<dyn Task>,
+    priority: usize,
+}
+
+/// Run-queue state behind the pool mutex: one rotation, priority-ordered
+/// at admission, FIFO thereafter.
+struct QueueState {
+    queue: VecDeque<Queued>,
+    shutdown: bool,
+}
+
+impl QueueState {
+    fn pop(&mut self) -> Option<Queued> {
+        self.queue.pop_front()
+    }
+
+    /// Admits a new task: stable-inserted after the last queued task of
+    /// the same or an earlier wave, so lower waves start first. O(n), but
+    /// submission is bursty (query start, op completion) and queues are
+    /// short relative to the tuple work behind each entry.
+    fn admit(&mut self, q: Queued) {
+        let at = self
+            .queue
+            .iter()
+            .rposition(|e| e.priority <= q.priority)
+            .map_or(0, |i| i + 1);
+        self.queue.insert(at, q);
+    }
+
+    /// Returns a stepped task to the back of the rotation (fairness: no
+    /// queued task is ever more than one full rotation from its next
+    /// step).
+    fn requeue(&mut self, q: Queued) {
+        self.queue.push_back(q);
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    /// Tasks ever submitted (diagnostics).
+    submitted: AtomicU64,
+    /// Steps executed across all workers (diagnostics).
+    steps: AtomicU64,
+}
+
+/// Worker threads ever spawned by any pool in this process — lets tests
+/// assert that running more queries does not spawn more threads.
+static WORKER_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total worker threads spawned by every [`WorkerPool`] this process has
+/// created (monotone; includes pools that have shut down).
+pub fn worker_threads_spawned() -> u64 {
+    WORKER_THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// How long an idle worker sleeps when every queued task is blocked.
+/// Bounded channels hold many batches, so a stalled edge is refilled far
+/// less often than this; the sleep caps busy-spin without adding
+/// measurable latency.
+const BLOCKED_BACKOFF: Duration = Duration::from_micros(50);
+
+/// A fixed-size pool of worker threads executing [`Task`]s cooperatively.
+///
+/// The pool is created once (per engine) and shared by every query; its
+/// thread count never changes. Dropping the pool shuts it down: workers
+/// finish their current step, drop any still-queued tasks (releasing their
+/// channel endpoints), and exit.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Arc<Self> {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                WORKER_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("mj-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads currently owned by this pool — constant from
+    /// construction to shutdown, however many tasks are submitted.
+    pub fn threads(&self) -> usize {
+        self.handles.lock().expect("handles lock").len()
+    }
+
+    /// Enqueues a task at `priority` (lower waves start first; see the
+    /// module docs for the rotation discipline).
+    pub fn submit(&self, priority: usize, task: Box<dyn Task>) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.admit(Queued { task, priority });
+        drop(queue);
+        self.shared.ready.notify_one();
+    }
+
+    /// Tasks ever submitted to this pool.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Scheduling steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.shared.steps.load(Ordering::Relaxed)
+    }
+
+    /// Tasks currently queued (excluding those mid-step on a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.lock().expect("handles lock").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Consecutive blocked steps since the last progress; once the worker
+    // has cycled the whole queue without anyone advancing, it backs off.
+    let mut blocked_streak = 0usize;
+    loop {
+        let (queued, queue_len) = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if queue.shutdown {
+                    // Drop still-queued tasks: their Drop impls release
+                    // channel endpoints and report non-completion.
+                    while let Some(q) = queue.pop() {
+                        drop(q);
+                    }
+                    return;
+                }
+                if let Some(q) = queue.pop() {
+                    break (q, queue.len());
+                }
+                queue = shared.ready.wait(queue).expect("queue lock");
+            }
+        };
+
+        let mut queued = queued;
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| queued.task.step()));
+        shared.steps.fetch_add(1, Ordering::Relaxed);
+        match step {
+            Ok(Step::Progress) => {
+                blocked_streak = 0;
+                let mut queue = shared.queue.lock().expect("queue lock");
+                queue.requeue(queued);
+                drop(queue);
+                shared.ready.notify_one();
+            }
+            Ok(Step::Blocked) => {
+                blocked_streak += 1;
+                let mut queue = shared.queue.lock().expect("queue lock");
+                queue.requeue(queued);
+                drop(queue);
+                // Everyone this worker has seen lately is blocked: back off
+                // briefly instead of spinning on channel locks. Progress
+                // can only come from another task, which another worker
+                // (or this one, after the nap) will run.
+                if blocked_streak > queue_len {
+                    std::thread::sleep(BLOCKED_BACKOFF);
+                    blocked_streak = 0;
+                }
+            }
+            Ok(Step::Done) => {
+                blocked_streak = 0;
+                drop(queued);
+            }
+            Err(_panic) => {
+                // A panicking task is dropped (its Drop reports the
+                // failure to its query); the worker itself survives.
+                blocked_streak = 0;
+                drop(queued);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts down `n` steps, optionally reporting Blocked in between.
+    struct Countdown {
+        left: usize,
+        block_every: usize,
+        counter: Arc<AtomicUsize>,
+    }
+
+    impl Task for Countdown {
+        fn step(&mut self) -> Step {
+            if self.left == 0 {
+                return Step::Done;
+            }
+            if self.block_every > 0 && self.left.is_multiple_of(self.block_every) {
+                self.left -= 1;
+                return Step::Blocked;
+            }
+            self.left -= 1;
+            self.counter.fetch_add(1, Ordering::Relaxed);
+            Step::Progress
+        }
+    }
+
+    fn wait_for(counter: &AtomicUsize, target: usize) {
+        let mut spins = 0;
+        while counter.load(Ordering::Relaxed) < target {
+            std::thread::sleep(Duration::from_millis(1));
+            spins += 1;
+            assert!(spins < 10_000, "pool failed to finish tasks");
+        }
+    }
+
+    #[test]
+    fn pool_runs_many_tasks_on_few_threads() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.threads(), 2);
+        assert!(worker_threads_spawned() >= 2, "global spawn counter ticks");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            pool.submit(
+                0,
+                Box::new(Countdown {
+                    left: 10,
+                    block_every: 3,
+                    counter: counter.clone(),
+                }),
+            );
+        }
+        // 10 steps each, ~1/3 blocked: 50 tasks x (10 - 3) progress steps.
+        wait_for(&counter, 50 * 7);
+        assert_eq!(pool.submitted(), 50);
+        assert_eq!(
+            pool.threads(),
+            2,
+            "task count must not grow the thread count"
+        );
+    }
+
+    #[test]
+    fn blocked_tasks_do_not_starve_the_pool() {
+        // One permanently blocked task must not stop others from running.
+        struct Stuck {
+            unblock: Arc<AtomicUsize>,
+        }
+        impl Task for Stuck {
+            fn step(&mut self) -> Step {
+                if self.unblock.load(Ordering::Relaxed) > 0 {
+                    Step::Done
+                } else {
+                    Step::Blocked
+                }
+            }
+        }
+        let pool = WorkerPool::new(1);
+        let unblock = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.submit(
+            0,
+            Box::new(Stuck {
+                unblock: unblock.clone(),
+            }),
+        );
+        pool.submit(
+            0,
+            Box::new(Countdown {
+                left: 20,
+                block_every: 0,
+                counter: counter.clone(),
+            }),
+        );
+        wait_for(&counter, 20);
+        unblock.store(1, Ordering::Relaxed);
+        // Pool drop drains the stuck task (now Done) and joins cleanly.
+    }
+
+    /// A task that does nothing (queue-discipline tests step the queue by
+    /// hand, so the task body never runs).
+    struct Inert;
+    impl Task for Inert {
+        fn step(&mut self) -> Step {
+            Step::Done
+        }
+    }
+
+    fn queued(priority: usize) -> Queued {
+        Queued {
+            task: Box::new(Inert),
+            priority,
+        }
+    }
+
+    #[test]
+    fn admission_orders_by_wave() {
+        // Admission is priority-ordered and stable: later-submitted
+        // early-wave tasks overtake queued later-wave tasks, so pipelines
+        // fill bottom-up regardless of submission order.
+        let mut q = QueueState {
+            queue: VecDeque::new(),
+            shutdown: false,
+        };
+        q.admit(queued(1));
+        q.admit(queued(0));
+        q.admit(queued(2));
+        q.admit(queued(1));
+        q.admit(queued(0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.priority)).collect();
+        assert_eq!(order, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn requeue_rotates_instead_of_restoring_priority() {
+        // Once stepped, a task rejoins the back of the rotation even if
+        // its wave is earlier — a blocked wave-0 producer must not starve
+        // the wave-1 consumer it is waiting on.
+        let mut q = QueueState {
+            queue: VecDeque::new(),
+            shutdown: false,
+        };
+        q.admit(queued(0));
+        q.admit(queued(1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.priority, 0);
+        q.requeue(first); // e.g. it reported Blocked
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.priority)).collect();
+        assert_eq!(order, vec![1, 0], "the wave-1 task now runs first");
+    }
+
+    #[test]
+    fn shutdown_drops_queued_tasks() {
+        struct NotifyOnDrop {
+            dropped: Arc<AtomicUsize>,
+        }
+        impl Task for NotifyOnDrop {
+            fn step(&mut self) -> Step {
+                Step::Blocked
+            }
+        }
+        impl Drop for NotifyOnDrop {
+            fn drop(&mut self) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..4 {
+                pool.submit(
+                    0,
+                    Box::new(NotifyOnDrop {
+                        dropped: dropped.clone(),
+                    }),
+                );
+            }
+            // Give the worker a moment to cycle them.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dropped.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        struct Panics;
+        impl Task for Panics {
+            fn step(&mut self) -> Step {
+                panic!("task bug");
+            }
+        }
+        let pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.submit(0, Box::new(Panics));
+        pool.submit(
+            0,
+            Box::new(Countdown {
+                left: 5,
+                block_every: 0,
+                counter: counter.clone(),
+            }),
+        );
+        wait_for(&counter, 5);
+    }
+}

@@ -8,13 +8,18 @@
 //!
 //! Batch buffers are pooled per redistribution edge: a consumer that
 //! finishes a [`Batch`] returns the emptied `Vec` to the shared
-//! [`BatchPool`], and producers reuse it for the next flush. In steady
-//! state the edge moves tuples with **zero** buffer allocations — the only
-//! per-tuple cost is the (cheap, shared-payload) tuple move itself.
+//! [`BatchPool`], and producers reuse it for the next flush. The pool is
+//! sized from **both** endpoint counts ([`edge_buffer_bound`]): every
+//! in-flight channel slot plus every producer-side fill buffer can be
+//! pooled, so in steady state the edge moves tuples with **zero** buffer
+//! allocations — the only per-tuple cost is the (cheap, shared-payload)
+//! tuple move itself. The pool counts takes and misses so benches can
+//! assert the hit rate.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use mj_relalg::hash::bucket_of;
 use mj_relalg::{RelalgError, Result, Tuple};
 use parking_lot::Mutex;
@@ -23,6 +28,8 @@ use parking_lot::Mutex;
 pub struct BatchPool {
     free: Mutex<Vec<Vec<Tuple>>>,
     limit: usize,
+    takes: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl BatchPool {
@@ -31,14 +38,20 @@ impl BatchPool {
         Arc::new(BatchPool {
             free: Mutex::new(Vec::new()),
             limit: limit.max(1),
+            takes: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
     }
 
     /// Takes a spare buffer, or allocates one of `capacity`.
     pub fn take(&self, capacity: usize) -> Vec<Tuple> {
+        self.takes.fetch_add(1, Ordering::Relaxed);
         match self.free.lock().pop() {
             Some(buf) => buf,
-            None => Vec::with_capacity(capacity),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
         }
     }
 
@@ -54,6 +67,28 @@ impl BatchPool {
     /// Spare buffers currently pooled (for tests).
     pub fn spares(&self) -> usize {
         self.free.lock().len()
+    }
+
+    /// Buffers handed out so far.
+    pub fn takes(&self) -> u64 {
+        self.takes.load(Ordering::Relaxed)
+    }
+
+    /// Takes that had to allocate because the pool was empty. With a
+    /// correctly sized pool this stays at the cold-start buffer count; a
+    /// growing miss count means buffers are being dropped and reallocated
+    /// in steady state.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of takes served from the pool (1.0 when nothing was taken).
+    pub fn hit_rate(&self) -> f64 {
+        let takes = self.takes();
+        if takes == 0 {
+            return 1.0;
+        }
+        1.0 - self.misses() as f64 / takes as f64
     }
 }
 
@@ -123,11 +158,23 @@ pub enum Msg {
     End,
 }
 
-/// Creates the channels for one redistributed operand: `consumers`
-/// receivers, each of capacity `capacity` batches, plus the edge's shared
-/// buffer pool (sized so every in-flight slot plus every producer-side
-/// fill buffer can be pooled).
+/// The number of batch buffers one redistribution edge can have live at
+/// once: every in-flight channel slot, each producer's per-destination fill
+/// buffers plus one parked (backpressured) batch, and one batch being
+/// drained by each consumer. The edge pool must retain this many spares or
+/// steady state drops and reallocates buffers.
+pub fn edge_buffer_bound(producers: usize, consumers: usize, capacity: usize) -> usize {
+    consumers * capacity + producers * (consumers + 1) + consumers
+}
+
+/// Creates the channels for one redistributed operand between a
+/// `producers`-instance producer and a `consumers`-instance consumer:
+/// `consumers` receivers, each of capacity `capacity` batches, plus the
+/// edge's shared buffer pool, sized from **both** endpoint counts (each
+/// producer instance holds `consumers` fill buffers on top of the
+/// in-flight slots, so a consumer-only bound would thrash the pool).
 pub fn operand_channels(
+    producers: usize,
     consumers: usize,
     capacity: usize,
 ) -> (Vec<Sender<Msg>>, Vec<Receiver<Msg>>, Arc<BatchPool>) {
@@ -138,12 +185,26 @@ pub fn operand_channels(
         txs.push(tx);
         rxs.push(rx);
     }
-    let pool = BatchPool::new(consumers * (capacity + 2));
+    let pool = BatchPool::new(edge_buffer_bound(producers, consumers, capacity));
     (txs, rxs, pool)
+}
+
+fn hung_up() -> RelalgError {
+    RelalgError::InvalidPlan("consumer hung up".into())
 }
 
 /// A producer instance's split sender: buffers tuples per destination and
 /// ships batches, reusing buffers from the edge's pool.
+///
+/// The router exposes two interfaces over one state machine:
+///
+/// * **Non-blocking** ([`try_route`](Router::try_route),
+///   [`try_finish`](Router::try_finish)) — used by worker-pool tasks. A
+///   batch that cannot be sent right now parks in a one-slot `pending`
+///   buffer and the caller yields its worker instead of parking a thread.
+/// * **Blocking** ([`route`](Router::route), [`finish`](Router::finish)) —
+///   used by dedicated-thread drivers (unit tests, baseline benches). These
+///   wrap the non-blocking path with a real channel send on backpressure.
 pub struct Router {
     senders: Vec<Sender<Msg>>,
     key_col: usize,
@@ -151,6 +212,10 @@ pub struct Router {
     buffers: Vec<Vec<Tuple>>,
     pool: Arc<BatchPool>,
     sent: u64,
+    /// A batch (or End) that hit a full channel and awaits retry.
+    pending: Option<(usize, Msg)>,
+    /// Destinations fully finished (flushed + End queued) so far.
+    finish_pos: usize,
 }
 
 impl Router {
@@ -162,6 +227,7 @@ impl Router {
         batch: usize,
         pool: Arc<BatchPool>,
     ) -> Self {
+        assert!(!senders.is_empty(), "router needs at least one destination");
         let buffers = senders.iter().map(|_| pool.take(batch)).collect();
         Router {
             senders,
@@ -170,6 +236,8 @@ impl Router {
             buffers,
             pool,
             sent: 0,
+            pending: None,
+            finish_pos: 0,
         }
     }
 
@@ -183,38 +251,110 @@ impl Router {
         self.sent
     }
 
-    /// Routes one tuple, flushing the destination buffer when full. The
+    /// Attempts to deliver the parked message, if any. `Ok(true)` means the
+    /// router is clear to accept work; `Ok(false)` means the destination is
+    /// still full (yield and retry).
+    pub fn poll_unblocked(&mut self) -> Result<bool> {
+        match self.pending.take() {
+            None => Ok(true),
+            Some((dest, msg)) => match self.senders[dest].try_send(msg) {
+                Ok(()) => Ok(true),
+                Err(TrySendError::Full(msg)) => {
+                    self.pending = Some((dest, msg));
+                    Ok(false)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(hung_up()),
+            },
+        }
+    }
+
+    /// Sends or parks `msg`; `Ok(true)` if it was sent. Requires no parked
+    /// message (callers clear via [`poll_unblocked`](Self::poll_unblocked)).
+    fn try_send_or_park(&mut self, dest: usize, msg: Msg) -> Result<bool> {
+        debug_assert!(self.pending.is_none(), "parked message not cleared");
+        match self.senders[dest].try_send(msg) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(msg)) => {
+                self.pending = Some((dest, msg));
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(hung_up()),
+        }
+    }
+
+    /// Non-blocking route: accepts the tuple unless a previously parked
+    /// batch still cannot be delivered, in which case the tuple is handed
+    /// back (`Ok(Some(tuple))`) and the caller should yield. A full
+    /// destination buffer is flushed with `try_send`; on backpressure the
+    /// flushed batch parks (the tuple itself is still accepted). The
     /// replacement buffer comes from the pool (take-and-swap), so steady
     /// state allocates nothing.
-    pub fn route(&mut self, tuple: Tuple) -> Result<()> {
+    pub fn try_route(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
+        if !self.poll_unblocked()? {
+            return Ok(Some(tuple));
+        }
         let key = tuple.int(self.key_col)?;
         let dest = bucket_of(key, self.senders.len());
         self.buffers[dest].push(tuple);
         self.sent += 1;
         if self.buffers[dest].len() >= self.batch {
             let full = std::mem::replace(&mut self.buffers[dest], self.pool.take(self.batch));
-            self.senders[dest]
-                .send(Msg::Batch(Batch::new(full, self.pool.clone())))
-                .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
+            self.try_send_or_park(dest, Msg::Batch(Batch::new(full, self.pool.clone())))?;
+        }
+        Ok(None)
+    }
+
+    /// Non-blocking finish: flushes every buffer and queues `End` to every
+    /// destination, resumable across backpressure. Returns `Ok(true)` once
+    /// everything (including the last `End`) has been delivered; `Ok(false)`
+    /// means a send parked and the caller should yield and call again.
+    pub fn try_finish(&mut self) -> Result<bool> {
+        if !self.poll_unblocked()? {
+            return Ok(false);
+        }
+        while self.finish_pos < self.senders.len() {
+            let dest = self.finish_pos;
+            if !self.buffers[dest].is_empty() {
+                let full = std::mem::take(&mut self.buffers[dest]);
+                if !self.try_send_or_park(dest, Msg::Batch(Batch::new(full, self.pool.clone())))? {
+                    return Ok(false);
+                }
+            }
+            self.finish_pos = dest + 1;
+            if !self.try_send_or_park(dest, Msg::End)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Delivers any parked message with a blocking send (dedicated-thread
+    /// path only; never call from a pooled task).
+    fn flush_pending_blocking(&mut self) -> Result<()> {
+        if let Some((dest, msg)) = self.pending.take() {
+            self.senders[dest].send(msg).map_err(|_| hung_up())?;
         }
         Ok(())
     }
 
-    /// Flushes all buffers and sends `End` to every destination.
+    /// Routes one tuple, blocking on backpressure (dedicated-thread path).
+    pub fn route(&mut self, tuple: Tuple) -> Result<()> {
+        self.flush_pending_blocking()?;
+        match self.try_route(tuple)? {
+            None => Ok(()),
+            Some(_) => unreachable!("pending was flushed above"),
+        }
+    }
+
+    /// Flushes all buffers and sends `End` to every destination, blocking
+    /// on backpressure (dedicated-thread path).
     pub fn finish(mut self) -> Result<()> {
-        for (dest, buf) in self.buffers.iter_mut().enumerate() {
-            if !buf.is_empty() {
-                let batch = std::mem::take(buf);
-                self.senders[dest]
-                    .send(Msg::Batch(Batch::new(batch, self.pool.clone())))
-                    .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
+        loop {
+            if self.try_finish()? {
+                return Ok(());
             }
+            self.flush_pending_blocking()?;
         }
-        for s in &self.senders {
-            s.send(Msg::End)
-                .map_err(|_| RelalgError::InvalidPlan("consumer hung up".into()))?;
-        }
-        Ok(())
     }
 }
 
@@ -224,7 +364,7 @@ mod tests {
 
     #[test]
     fn routes_by_key_and_flushes_on_finish() {
-        let (txs, rxs, pool) = operand_channels(3, 8);
+        let (txs, rxs, pool) = operand_channels(1, 3, 8);
         // Consume concurrently: the channels are bounded, so routing 100
         // tuples before draining anything would block on backpressure once
         // one destination exceeds capacity x batch tuples.
@@ -273,7 +413,7 @@ mod tests {
     fn single_destination_gets_everything() {
         // 10 tuples at batch 2 = 5 batches + End; capacity must cover them
         // because this test drains only after finish().
-        let (txs, rxs, pool) = operand_channels(1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8);
         let mut router = Router::new(txs, 0, 2, pool);
         for k in 0..10i64 {
             router.route(Tuple::from_ints(&[k])).unwrap();
@@ -290,7 +430,7 @@ mod tests {
     fn backpressure_blocks_until_drained() {
         // A full bounded channel must stall route() rather than drop or
         // error; draining one message releases exactly one send.
-        let (txs, rxs, pool) = operand_channels(1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1);
         let rx = rxs.into_iter().next().unwrap();
         let producer = std::thread::spawn(move || {
             let mut router = Router::new(txs, 0, 1, pool);
@@ -314,7 +454,7 @@ mod tests {
 
     #[test]
     fn hung_up_consumer_is_an_error() {
-        let (txs, rxs, pool) = operand_channels(1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1);
         drop(rxs);
         let mut router = Router::new(txs, 0, 1, pool);
         // The first route triggers a batch send into a closed channel.
@@ -324,7 +464,7 @@ mod tests {
 
     #[test]
     fn dropped_batches_recycle_their_buffers() {
-        let (txs, rxs, pool) = operand_channels(1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8);
         let mut router = Router::new(txs, 0, 2, pool.clone());
         for k in 0..8i64 {
             router.route(Tuple::from_ints(&[k])).unwrap();
@@ -345,9 +485,109 @@ mod tests {
         assert_eq!(pool.spares(), 4, "all four flushed buffers returned");
 
         // A new router on the same pool reuses those buffers.
-        let (txs2, _rxs2, _) = operand_channels(1, 8);
+        let (txs2, _rxs2, _) = operand_channels(1, 1, 8);
         let _router2 = Router::new(txs2, 0, 2, pool.clone());
         assert_eq!(pool.spares(), 3, "router took a pooled buffer");
+    }
+
+    #[test]
+    fn try_route_parks_on_backpressure_instead_of_blocking() {
+        // capacity 1, batch 1: the second flush cannot be delivered until
+        // the consumer drains. try_route must park it and keep accepting
+        // (bounded by one parked batch), then hand tuples back.
+        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let mut router = Router::new(txs, 0, 1, pool);
+        assert!(router.try_route(Tuple::from_ints(&[1])).unwrap().is_none());
+        // Second tuple is accepted; its flush parks (channel full).
+        assert!(router.try_route(Tuple::from_ints(&[2])).unwrap().is_none());
+        // Third tuple is handed back: the parked batch still can't move.
+        let back = router.try_route(Tuple::from_ints(&[3])).unwrap();
+        assert_eq!(back.unwrap().int(0).unwrap(), 3);
+        assert!(!router.poll_unblocked().unwrap());
+        // Drain one message; the parked batch can now be delivered.
+        let Msg::Batch(b) = rxs[0].recv().unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(b.len(), 1);
+        drop(b);
+        assert!(router.poll_unblocked().unwrap());
+        assert!(router.try_route(Tuple::from_ints(&[3])).unwrap().is_none());
+        assert_eq!(router.sent(), 3);
+    }
+
+    #[test]
+    fn try_finish_resumes_across_backpressure() {
+        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let mut router = Router::new(txs, 0, 8, pool);
+        for k in 0..5i64 {
+            assert!(router.try_route(Tuple::from_ints(&[k])).unwrap().is_none());
+        }
+        // First try_finish flushes the batch into the single slot; the End
+        // then parks, so finish is not yet complete.
+        assert!(!router.try_finish().unwrap());
+        let mut tuples = 0;
+        loop {
+            match rxs[0].try_recv() {
+                Ok(Msg::Batch(b)) => tuples += b.len(),
+                Ok(Msg::End) => break,
+                Err(_) => {
+                    // Everything queued? Keep draining until End arrives.
+                    router.try_finish().unwrap();
+                }
+            }
+        }
+        assert_eq!(tuples, 5);
+        assert!(router.try_finish().unwrap(), "finish is idempotent");
+    }
+
+    #[test]
+    fn hung_up_consumer_errors_in_try_path() {
+        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        drop(rxs);
+        let mut router = Router::new(txs, 0, 1, pool);
+        assert!(router.try_route(Tuple::from_ints(&[1])).is_err());
+    }
+
+    #[test]
+    fn pool_counts_takes_and_misses() {
+        let pool = BatchPool::new(8);
+        let a = pool.take(4); // miss: pool starts empty
+        pool.put(a);
+        let _b = pool.take(4); // hit
+        assert_eq!(pool.takes(), 2);
+        assert_eq!(pool.misses(), 1);
+        assert!((pool.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_routing_reuses_pooled_buffers() {
+        // Producer/consumer in lockstep on one edge: after the cold-start
+        // allocations, every take must be served from the pool.
+        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let mut router = Router::new(txs, 0, 2, pool.clone());
+        let mut drained = 0usize;
+        for k in 0..1000i64 {
+            router.route(Tuple::from_ints(&[k])).unwrap();
+            while let Ok(Msg::Batch(mut b)) = rxs[0].try_recv() {
+                drained += b.drain().count();
+            }
+        }
+        router.finish().unwrap();
+        while let Ok(Msg::Batch(mut b)) = rxs[0].recv() {
+            drained += b.drain().count();
+        }
+        assert_eq!(drained, 1000);
+        let bound = edge_buffer_bound(1, 1, 8) as u64;
+        assert!(
+            pool.misses() <= bound,
+            "pool thrashes: {} misses > structural bound {bound}",
+            pool.misses()
+        );
+        assert!(
+            pool.hit_rate() > 0.95,
+            "steady-state hit rate {:.3} too low",
+            pool.hit_rate()
+        );
     }
 
     #[test]

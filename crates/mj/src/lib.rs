@@ -15,7 +15,7 @@
 //! | [`join`] | `mj-join` | simple and pipelining hash joins, custom join table |
 //! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation |
 //! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
-//! | [`exec`] | `mj-exec` | real threaded engine (operation processes, tuple streams) |
+//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, concurrent [`Engine`](exec::Engine) facade |
 //! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
 //!
 //! ## Quickstart
@@ -61,7 +61,7 @@ pub mod prelude {
         generate, proportional_counts, validate_plan, GeneratorInput, OperandSource, ParallelPlan,
         PlanOp, Strategy,
     };
-    pub use mj_exec::{run_plan, ExecConfig, QueryBinding};
+    pub use mj_exec::{run_plan, Engine, ExecConfig, QueryBinding, WorkerPool};
     pub use mj_join::{pipelining_hash_join, simple_hash_join};
     pub use mj_plan::cost::tree_costs;
     pub use mj_plan::{

@@ -137,6 +137,74 @@ fn skewed_relations_agree_across_all_execution_paths() {
     }
 }
 
+/// Worker-pool concurrency: queries running simultaneously through one
+/// shared engine must produce exactly the relations their sequential runs
+/// produce — interleaving tasks of different queries on the fixed pool may
+/// change timing, never results.
+#[test]
+fn concurrent_queries_match_sequential_runs() {
+    use multijoin::core::{generate, GeneratorInput, Strategy};
+    use multijoin::plan::cost::{tree_costs, CostModel};
+
+    let k = 6;
+    let n = 400usize;
+    let catalog = catalog(k, n, 91);
+    let tree = build(Shape::RightBushy, k).unwrap();
+    let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+    let config = ExecConfig {
+        workers: 4,
+        ..ExecConfig::default()
+    };
+    let engine = Engine::new(catalog.clone(), config).unwrap();
+
+    let plan_for = |strategy: Strategy| {
+        let cards =
+            multijoin::plan::cardinality::node_cards(&tree, &UniformOneToOne { n: n as u64 });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let mut input = GeneratorInput::new(&tree, &cards, &costs, 4);
+        input.allow_oversubscribe = true;
+        generate(strategy, &input).unwrap()
+    };
+
+    // Sequential reference runs through the same engine.
+    let fp_plan = plan_for(Strategy::FP);
+    let rd_plan = plan_for(Strategy::RD);
+    let fp_sequential = engine.run(&fp_plan, &binding).unwrap().relation;
+    let rd_sequential = engine.run(&rd_plan, &binding).unwrap().relation;
+
+    // Two queries at once (one pipelined, one segmented), several rounds.
+    for round in 0..3 {
+        let (fp_concurrent, rd_concurrent) = std::thread::scope(|scope| {
+            let fp = scope.spawn(|| engine.run(&fp_plan, &binding).unwrap());
+            let rd = scope.spawn(|| engine.run(&rd_plan, &binding).unwrap());
+            (fp.join().unwrap(), rd.join().unwrap())
+        });
+        assert!(
+            fp_concurrent.relation.multiset_eq(&fp_sequential),
+            "round {round}: concurrent FP diverged from its sequential run"
+        );
+        assert!(
+            rd_concurrent.relation.multiset_eq(&rd_sequential),
+            "round {round}: concurrent RD diverged from its sequential run"
+        );
+        // Per-query metrics stay separate: each run saw its own tuples.
+        let fp_in: u64 = fp_concurrent
+            .metrics
+            .ops
+            .iter()
+            .map(|o| o.tuples_in[0] + o.tuples_in[1])
+            .sum();
+        let rd_in: u64 = rd_concurrent
+            .metrics
+            .ops
+            .iter()
+            .map(|o| o.tuples_in[0] + o.tuples_in[1])
+            .sum();
+        assert!(fp_in > 0 && rd_in > 0);
+    }
+    assert_eq!(engine.pool().threads(), 4, "pool never grows");
+}
+
 #[test]
 fn full_payload_tuples_flow_through_the_engine() {
     // 208-byte Wisconsin tuples (16 attributes) through a 4-relation query.

@@ -83,6 +83,31 @@ impl Segmentation {
         }
         waves
     }
+
+    /// Wave index per segment: `wave_of()[s]` is the topological wave
+    /// segment `s` runs in (see [`waves`](Self::waves)).
+    pub fn wave_of(&self) -> Vec<usize> {
+        let mut wave_of = vec![0usize; self.segments.len()];
+        for (w, segs) in self.waves().iter().enumerate() {
+            for &s in segs {
+                wave_of[s] = w;
+            }
+        }
+        wave_of
+    }
+
+    /// Wave index per tree node (`None` for leaves): the export the
+    /// execution scheduler consumes. Join nodes inherit the wave of their
+    /// segment, so a scheduler can prioritize earlier waves while letting
+    /// independent segments of one wave interleave on a shared worker
+    /// pool — the §4 schedule on a fixed processor set.
+    pub fn node_waves(&self) -> Vec<Option<usize>> {
+        let wave_of = self.wave_of();
+        self.seg_of
+            .iter()
+            .map(|seg| seg.map(|s| wave_of[s]))
+            .collect()
+    }
 }
 
 /// Decomposes `tree` into right-deep segments.
@@ -228,6 +253,30 @@ mod tests {
         let waves = s.waves();
         // The first wave must contain more than one independent segment.
         assert!(waves[0].len() > 1, "waves: {waves:?}");
+    }
+
+    #[test]
+    fn node_waves_follow_segment_waves() {
+        for shape in Shape::ALL {
+            let t = build(shape, 10).unwrap();
+            let s = segments(&t);
+            let node_waves = s.node_waves();
+            let waves = s.waves();
+            for (node, wave) in node_waves.iter().enumerate() {
+                match (t.is_leaf(node), wave) {
+                    (true, None) => {}
+                    (false, Some(w)) => {
+                        let seg = s.seg_of[node].unwrap();
+                        assert!(waves[*w].contains(&seg), "{shape} node {node}");
+                        // Every dependency segment lies in an earlier wave.
+                        for &d in &s.deps[seg] {
+                            assert!(s.wave_of()[d] < *w, "{shape} node {node}");
+                        }
+                    }
+                    other => panic!("{shape} node {node}: unexpected {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub enum RelalgError {
     UnknownRelation(String),
     /// A plan was structurally invalid (bad arity, empty union, ...).
     InvalidPlan(String),
+    /// A partitioning request was invalid (zero partitions, an assignment
+    /// outside `0..parts`, unsorted range bounds, too many rows, ...).
+    InvalidPartitioning(String),
 }
 
 impl fmt::Display for RelalgError {
@@ -42,6 +45,7 @@ impl fmt::Display for RelalgError {
             RelalgError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelalgError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             RelalgError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            RelalgError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
         }
     }
 }

@@ -57,6 +57,34 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is full or every
+    /// receiver has been dropped; the unsent message is returned either way.
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; retry later.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`]: nothing queued right now,
+    /// or nothing queued and every sender gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty; retry later.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +120,23 @@ pub mod channel {
                 }
                 inner = self.chan.not_full.wait(inner).expect("channel lock");
             }
+        }
+
+        /// Non-blocking send: enqueues if there is room, otherwise returns
+        /// the message with [`TrySendError::Full`] (or `Disconnected` once
+        /// every receiver is gone).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.queue.len() >= inner.cap {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.chan.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -136,6 +181,22 @@ pub mod channel {
                 }
                 inner = self.chan.not_empty.wait(inner).expect("channel lock");
             }
+        }
+
+        /// Non-blocking receive: returns a queued message if one exists,
+        /// [`TryRecvError::Empty`] if not, and `Disconnected` once the
+        /// channel is drained and every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.chan.inner.lock().expect("channel lock");
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
 
         /// True if a `recv` would return without blocking (message queued
@@ -303,6 +364,21 @@ mod tests {
         sel.recv(&rx_a);
         let op = sel.select();
         assert!(op.recv(&rx_a).is_err(), "disconnect counts as ready");
+    }
+
+    #[test]
+    fn try_send_try_recv_never_block() {
+        use super::channel::{TryRecvError, TrySendError};
+        let (tx, rx) = bounded(1);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
     }
 
     #[test]

@@ -5,36 +5,68 @@
 //! memory of their own processor directly" (§2.2). [`FragmentStore`] models
 //! exactly that: node-local keyed fragment storage with byte accounting,
 //! shared by the real engine's worker threads.
+//!
+//! One store can be shared by many concurrent queries: the node set grows
+//! on demand ([`ensure_nodes`](FragmentStore::ensure_nodes)) so plans with
+//! different logical processor counts coexist, and a query's intermediates
+//! are namespaced by a caller-chosen prefix that
+//! [`remove_prefix`](FragmentStore::remove_prefix) reclaims when the query
+//! finishes.
 
 use mj_relalg::{RelalgError, Relation, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Shared-nothing fragment storage for `nodes` logical processors.
+type NodeMemory = Arc<RwLock<HashMap<String, Arc<Relation>>>>;
+
+/// Shared-nothing fragment storage for a growable set of logical
+/// processors.
 #[derive(Debug)]
 pub struct FragmentStore {
-    nodes: Vec<RwLock<HashMap<String, Arc<Relation>>>>,
+    nodes: RwLock<Vec<NodeMemory>>,
 }
 
 impl FragmentStore {
     /// Creates a store for `nodes` processors.
     pub fn new(nodes: usize) -> Self {
         FragmentStore {
-            nodes: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+            nodes: RwLock::new(
+                (0..nodes)
+                    .map(|_| Arc::new(RwLock::new(HashMap::new())))
+                    .collect(),
+            ),
         }
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().len()
     }
 
-    fn node(&self, node: usize) -> Result<&RwLock<HashMap<String, Arc<Relation>>>> {
-        self.nodes.get(node).ok_or(RelalgError::IndexOutOfBounds {
-            index: node,
-            arity: self.nodes.len(),
-        })
+    /// Grows the store to at least `nodes` processors (no-op if already
+    /// large enough). Lets one shared store serve plans with different
+    /// logical processor counts.
+    pub fn ensure_nodes(&self, nodes: usize) {
+        let mut v = self.nodes.write();
+        while v.len() < nodes {
+            v.push(Arc::new(RwLock::new(HashMap::new())));
+        }
+    }
+
+    fn node(&self, node: usize) -> Result<NodeMemory> {
+        let nodes = self.nodes.read();
+        nodes
+            .get(node)
+            .cloned()
+            .ok_or(RelalgError::IndexOutOfBounds {
+                index: node,
+                arity: nodes.len(),
+            })
+    }
+
+    fn snapshot(&self) -> Vec<NodeMemory> {
+        self.nodes.read().clone()
     }
 
     /// Stores `fragment` under `name` in `node`'s memory, replacing any
@@ -64,8 +96,16 @@ impl FragmentStore {
     /// Drops every fragment named `name` on all nodes (used to free
     /// intermediate results once consumed).
     pub fn drop_all(&self, name: &str) {
-        for n in &self.nodes {
+        for n in self.snapshot() {
             n.write().remove(name);
+        }
+    }
+
+    /// Drops every fragment whose name starts with `prefix` on all nodes —
+    /// the reclamation hook for per-query namespaces in a shared store.
+    pub fn remove_prefix(&self, prefix: &str) {
+        for n in self.snapshot() {
+            n.write().retain(|name, _| !name.starts_with(prefix));
         }
     }
 
@@ -81,7 +121,7 @@ impl FragmentStore {
 
     /// Approximate bytes resident across all nodes.
     pub fn total_bytes(&self) -> usize {
-        (0..self.nodes.len())
+        (0..self.nodes())
             .map(|n| self.node_bytes(n).unwrap_or(0))
             .sum()
     }
@@ -90,7 +130,7 @@ impl FragmentStore {
     /// (missing nodes are skipped).
     pub fn collect(&self, name: &str) -> Vec<Arc<Relation>> {
         let mut out = Vec::new();
-        for n in &self.nodes {
+        for n in self.snapshot() {
             if let Some(r) = n.read().get(name) {
                 out.push(r.clone());
             }
@@ -150,6 +190,23 @@ mod tests {
         s.drop_all("R");
         assert!(s.collect("R").is_empty());
         assert_eq!(s.collect("S").len(), 1);
+    }
+
+    #[test]
+    fn grows_on_demand_and_clears_prefixes() {
+        let s = FragmentStore::new(1);
+        assert!(s.put(3, "q1:op0", rel(1)).is_err());
+        s.ensure_nodes(4);
+        assert_eq!(s.nodes(), 4);
+        s.ensure_nodes(2); // never shrinks
+        assert_eq!(s.nodes(), 4);
+        s.put(3, "q1:op0", rel(1)).unwrap();
+        s.put(0, "q1:op1", rel(2)).unwrap();
+        s.put(0, "q2:op0", rel(3)).unwrap();
+        s.remove_prefix("q1:");
+        assert!(s.collect("q1:op0").is_empty());
+        assert!(s.collect("q1:op1").is_empty());
+        assert_eq!(s.collect("q2:op0").len(), 1, "other queries untouched");
     }
 
     #[test]
