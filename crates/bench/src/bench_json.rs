@@ -640,6 +640,263 @@ pub fn validate_bench2_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One fixed strategy measured against the planner on one query family.
+#[derive(Clone, Debug, Serialize)]
+pub struct FixedStrategyRun {
+    /// Strategy label (SP/SE/RD/FP).
+    pub strategy: String,
+    /// The planner's estimated schedule cost for this strategy's best
+    /// candidate (§4.3 cost units).
+    pub est_cost: f64,
+    /// Best (minimum) wall-clock seconds over the benchmark repetitions.
+    pub elapsed_s: f64,
+}
+
+/// Planner pick vs the fixed-strategy grid on one query family.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlannerFamilyRun {
+    /// Family label (chain/star/skewed).
+    pub family: String,
+    /// Relations in the query.
+    pub relations: usize,
+    /// Base relation size.
+    pub tuples: usize,
+    /// The strategy the planner picked.
+    pub planner_pick: String,
+    /// The planner's estimated cost of its pick.
+    pub planner_est_cost: f64,
+    /// Best (minimum) wall-clock seconds of the planner's plan.
+    pub planner_elapsed_s: f64,
+    /// Every fixed strategy, measured on the same engine.
+    pub strategies: Vec<FixedStrategyRun>,
+    /// Fastest fixed strategy (measured).
+    pub best_fixed: String,
+    /// Its best wall-clock seconds.
+    pub best_fixed_elapsed_s: f64,
+    /// Slowest fixed strategy (measured).
+    pub worst_fixed: String,
+    /// Its best wall-clock seconds.
+    pub worst_fixed_elapsed_s: f64,
+    /// `planner_elapsed_s / best_fixed_elapsed_s` — the acceptance metric
+    /// (<= 1.10 means the planner is within 10% of the best fixed
+    /// strategy).
+    pub ratio_vs_best: f64,
+    /// Result cardinality (identical across all plans, engine-verified).
+    pub result_tuples: u64,
+    /// Worst per-operator cardinality q-error of the planner's plan.
+    pub max_q_error: f64,
+}
+
+/// The whole `BENCH_3.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench3Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// Logical processors per plan.
+    pub processors: usize,
+    /// Repetitions per measurement (best-of-reps minimum taken).
+    pub reps: usize,
+    /// One entry per query family.
+    pub families: Vec<PlannerFamilyRun>,
+}
+
+fn best_elapsed(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Benchmarks the planner's pick against every fixed strategy on one
+/// query family. All plans run the planner's phase-1 tree selection (a
+/// fixed strategy still gets the planner-chosen tree and allocation for
+/// that strategy), so the comparison isolates *strategy choice*.
+fn planner_family_run(
+    family: mj_exec::QueryFamily,
+    k: usize,
+    n: usize,
+    processors: usize,
+    reps: usize,
+    seed: u64,
+) -> Result<PlannerFamilyRun> {
+    use mj_exec::{generate_family, Planner, PlannerOptions};
+
+    let instance = generate_family(family, k, n, seed)?;
+    let config = ExecConfig::default();
+
+    let auto = Planner::new(PlannerOptions::new(processors)).plan(&instance.query)?;
+    let planner_pick = auto.strategy().label().to_string();
+
+    // Plan all four fixed strategies up front.
+    let fixed: Vec<mj_exec::PlannedQuery> = Strategy::ALL
+        .iter()
+        .map(|&strategy| {
+            let mut options = PlannerOptions::new(processors);
+            options.strategy = Some(strategy);
+            Planner::new(options).plan(&instance.query)
+        })
+        .collect::<Result<_>>()?;
+
+    // Warm-up + best-of-reps, with the repetitions *interleaved* across
+    // strategies (round-robin): host jitter and thermal drift then hit
+    // every strategy alike instead of biasing whichever ran last. Rep 0
+    // is an untimed warm-up filling allocator and page caches.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); fixed.len()];
+    let mut result_tuples = 0u64;
+    let mut max_q_error = 1.0f64;
+    for rep in 0..reps.max(1) + 1 {
+        for (i, planned) in fixed.iter().enumerate() {
+            let outcome = run_plan(
+                &planned.plan,
+                &planned.binding,
+                instance.catalog.as_ref(),
+                &config,
+            )?;
+            let tuples = outcome.relation.len() as u64;
+            if rep == 0 && i == 0 {
+                result_tuples = tuples;
+            } else if tuples != result_tuples {
+                return Err(mj_relalg::RelalgError::InvalidPlan(format!(
+                    "{} returned {tuples} tuples, expected {result_tuples}",
+                    planned.strategy()
+                )));
+            }
+            if planned.plan == auto.plan {
+                max_q_error = outcome.metrics.max_q_error();
+            }
+            if rep > 0 {
+                samples[i].push(outcome.elapsed.as_secs_f64());
+            }
+        }
+    }
+
+    let strategies: Vec<FixedStrategyRun> = fixed
+        .iter()
+        .zip(&samples)
+        .map(|(planned, s)| FixedStrategyRun {
+            strategy: planned.strategy().label().to_string(),
+            est_cost: planned.estimate.makespan,
+            elapsed_s: best_elapsed(s),
+        })
+        .collect();
+    // The planner's pick *is* one of the fixed candidates; reusing its
+    // measurement (instead of timing the identical plan twice) keeps the
+    // ratio free of between-measurement noise.
+    let planner_elapsed_s = fixed
+        .iter()
+        .zip(&strategies)
+        .find(|(planned, _)| planned.plan == auto.plan)
+        .map(|(_, run)| run.elapsed_s)
+        .unwrap_or_else(|| {
+            strategies
+                .iter()
+                .find(|r| r.strategy == planner_pick)
+                .expect("pick is one of the four strategies")
+                .elapsed_s
+        });
+    let best = strategies
+        .iter()
+        .min_by(|a, b| a.elapsed_s.partial_cmp(&b.elapsed_s).unwrap())
+        .expect("four strategies")
+        .clone();
+    let worst = strategies
+        .iter()
+        .max_by(|a, b| a.elapsed_s.partial_cmp(&b.elapsed_s).unwrap())
+        .expect("four strategies")
+        .clone();
+
+    Ok(PlannerFamilyRun {
+        family: family.label().to_string(),
+        relations: k,
+        tuples: n,
+        planner_pick,
+        planner_est_cost: auto.estimate.makespan,
+        planner_elapsed_s,
+        ratio_vs_best: planner_elapsed_s / best.elapsed_s,
+        best_fixed: best.strategy,
+        best_fixed_elapsed_s: best.elapsed_s,
+        worst_fixed: worst.strategy,
+        worst_fixed_elapsed_s: worst.elapsed_s,
+        strategies,
+        result_tuples,
+        max_q_error,
+    })
+}
+
+/// Produces the `BENCH_3.json` report: the planner's pick vs the best and
+/// worst fixed strategy on the three query families. `quick` shrinks the
+/// workload for CI smoke runs.
+pub fn bench3_report(quick: bool) -> Result<Bench3Report> {
+    let (k, n, processors, reps) = if quick {
+        (5, 800, 4, 3)
+    } else {
+        (6, 20_000, 4, 11)
+    };
+    let mut families = Vec::new();
+    for family in mj_exec::QueryFamily::ALL {
+        families.push(planner_family_run(family, k, n, processors, reps, 42)?);
+    }
+    Ok(Bench3Report {
+        bench: 3,
+        quick,
+        processors,
+        reps,
+        families,
+    })
+}
+
+/// Renders a `BENCH_3.json` report as pretty-enough JSON.
+pub fn bench3_to_json(report: &Bench3Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"families\":[", "\"families\":[\n  ")
+        .replace("},{\"family\"", "},\n  {\"family\"")
+        .replace("\"strategies\":[", "\n    \"strategies\":[\n      ")
+        .replace("},{\"strategy\"", "},\n      {\"strategy\"")
+        .replace("],\"best_fixed\"", "],\n    \"best_fixed\"")
+        .replace("]}", "\n]}")
+}
+
+/// Validates the schema of an emitted `BENCH_3.json` (CI smoke run).
+pub fn validate_bench3_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "processors", "reps", "families"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let families = match v.get("families") {
+        Some(JsonValue::Arr(items)) if items.len() == 3 => items,
+        _ => return Err("`families` must be an array of 3 runs".into()),
+    };
+    for f in families {
+        for key in [
+            "family",
+            "relations",
+            "tuples",
+            "planner_pick",
+            "planner_est_cost",
+            "planner_elapsed_s",
+            "strategies",
+            "best_fixed",
+            "best_fixed_elapsed_s",
+            "worst_fixed",
+            "worst_fixed_elapsed_s",
+            "ratio_vs_best",
+            "result_tuples",
+            "max_q_error",
+        ] {
+            if f.get(key).is_none() {
+                return Err(format!("missing key `families[].{key}`"));
+            }
+        }
+        match f.get("strategies") {
+            Some(JsonValue::Arr(items)) if items.len() == 4 => {}
+            _ => return Err("`families[].strategies` must be an array of 4 runs".into()),
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -763,6 +1020,27 @@ mod tests {
         validate_bench2_json(&json).unwrap();
         assert!(validate_bench2_json("{}").is_err());
         assert!(validate_bench2_json("{\"bench\":2,\"quick\":true}").is_err());
+    }
+
+    #[test]
+    fn bench3_runs_and_validates_on_a_tiny_workload() {
+        let run = planner_family_run(mj_exec::QueryFamily::Chain, 4, 200, 3, 1, 7).unwrap();
+        assert_eq!(run.strategies.len(), 4);
+        // planner_elapsed_s reuses one of the fixed measurements, so the
+        // ratio against their minimum is >= 1 by construction.
+        assert!(run.ratio_vs_best >= 1.0);
+        assert!(run.result_tuples > 0);
+        let report = Bench3Report {
+            bench: 3,
+            quick: true,
+            processors: 3,
+            reps: 1,
+            families: vec![run.clone(), run.clone(), run],
+        };
+        let json = bench3_to_json(&report);
+        validate_bench3_json(&json).unwrap();
+        assert!(validate_bench3_json("{}").is_err());
+        assert!(validate_bench3_json("{\"bench\":3,\"quick\":true}").is_err());
     }
 
     #[test]

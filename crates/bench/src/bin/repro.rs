@@ -19,7 +19,9 @@
 //!   real                  the four strategies on the real threaded engine
 //!   bench [--quick]       machine-readable perf baselines -> BENCH_1.json
 //!                         (zero-copy) + BENCH_2.json (concurrent queries)
+//!                         + BENCH_3.json (cost-based planner)
 //!   bench-concurrent      only the concurrent section -> BENCH_2.json
+//!   bench-planner         only the planner section -> BENCH_3.json
 //!
 //! CSV series are written to results/.
 
@@ -28,9 +30,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mj_bench::{
-    bench2_report, bench2_to_json, bench_report, format_table, paper_processor_counts,
-    report_to_json, simulate_tree, sweep, validate_bench2_json, validate_report_json, write_csv,
-    PAPER_SIZES,
+    bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench_report, format_table,
+    paper_processor_counts, report_to_json, simulate_tree, sweep, validate_bench2_json,
+    validate_bench3_json, validate_report_json, write_csv, PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -102,8 +104,10 @@ fn main() {
             "bench" => {
                 emit_bench_json(quick);
                 emit_bench2_json(quick);
+                emit_bench3_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
+            "bench-planner" => emit_bench3_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -350,15 +354,19 @@ fn ablation_optimizers() {
 
     let mut skewed = QueryGraph::new();
     for i in 0..12usize {
-        skewed.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50);
+        skewed
+            .add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50)
+            .unwrap();
     }
     for i in 0..11usize {
         skewed.add_edge(i, i + 1, 1e-2).expect("edge");
     }
     let mut star = QueryGraph::new();
-    let fact = star.add_relation("fact", 2_000_000);
+    let fact = star.add_relation("fact", 2_000_000).unwrap();
     for d in 0..8usize {
-        let dim = star.add_relation(format!("dim{d}"), 200 + 100 * d as u64);
+        let dim = star
+            .add_relation(format!("dim{d}"), 200 + 100 * d as u64)
+            .unwrap();
         star.add_edge(fact, dim, 1e-4).expect("edge");
     }
 
@@ -710,6 +718,67 @@ fn emit_bench2_json(quick: bool) {
             "WARNING: concurrent speedup {:.2}x below the 1.5x acceptance floor",
             c.speedup
         );
+    }
+}
+
+/// Produces `BENCH_3.json`: the cost-based planner's pick vs every fixed
+/// strategy on the three query families (see
+/// `mj_bench::bench_json::bench3_report`).
+fn emit_bench3_json(quick: bool) {
+    println!(
+        "== BENCH_3.json: cost-based planner vs fixed strategies ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench3_report(quick).expect("bench3 report");
+    let mut rows = Vec::new();
+    for f in &report.families {
+        rows.push(vec![
+            f.family.clone(),
+            f.planner_pick.clone(),
+            format!("{:.2} ms", f.planner_elapsed_s * 1e3),
+            format!("{} ({:.2} ms)", f.best_fixed, f.best_fixed_elapsed_s * 1e3),
+            format!(
+                "{} ({:.2} ms)",
+                f.worst_fixed,
+                f.worst_fixed_elapsed_s * 1e3
+            ),
+            format!("{:.2}", f.ratio_vs_best),
+            format!("{:.2}", f.max_q_error),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "family",
+                "planner pick",
+                "planner",
+                "best fixed",
+                "worst fixed",
+                "vs best",
+                "q-err"
+            ],
+            &rows
+        )
+    );
+    let json = bench3_to_json(&report);
+    validate_bench3_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_3_quick.json"
+    } else {
+        "BENCH_3.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    for f in &report.families {
+        if !quick && f.ratio_vs_best > 1.10 {
+            eprintln!(
+                "WARNING: planner pick on `{}` is {:.2}x the best fixed strategy \
+                 (acceptance: within 10%)",
+                f.family, f.ratio_vs_best
+            );
+        }
     }
 }
 

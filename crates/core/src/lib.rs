@@ -25,6 +25,7 @@ pub mod allocation;
 pub mod example;
 pub mod generator;
 pub mod plan_ir;
+pub mod schedule;
 pub mod strategy;
 pub mod validate;
 
@@ -32,5 +33,6 @@ pub use allocation::{carve, proportional_counts};
 pub use example::{example_tree, example_weights};
 pub use generator::{generate, GeneratorInput};
 pub use plan_ir::{OpId, OperandSource, ParallelPlan, PlanOp, PlanStats, ProcId};
+pub use schedule::{estimate_schedule, ScheduleEstimate, ScheduleModel};
 pub use strategy::Strategy;
 pub use validate::validate_plan;

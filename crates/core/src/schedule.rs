@@ -1,0 +1,230 @@
+//! Analytic schedule costing: estimated parallel response time of a
+//! [`ParallelPlan`], in the §4.3 cost unit ("one action on one tuple").
+//!
+//! Phase 1 minimizes *total* work, which cannot rank parallelizations —
+//! every regular-query tree costs 44N. What distinguishes the four
+//! strategies is the *schedule*: how per-operation work divides over
+//! processors, how pipelines overlap, and the two §3.5 overheads (serial
+//! process startup, per-stream handshakes). This module estimates a
+//! makespan for any plan from exactly those ingredients, so a planner can
+//! cost all four strategies and pick the cheapest — without running the
+//! discrete-event simulator (which lives downstream in `mj-sim` and would
+//! invert the crate layering).
+//!
+//! The model is deliberately as crude as the paper's cost function: per-op
+//! time is `work / degree`, a live pipeline lets a consumer finish one
+//! *tail* after its slowest producer, process initializations are strictly
+//! serial (§2.2), and every point-to-point stream costs one handshake at
+//! each endpoint. "Parallelization itself perturbs true costs, so
+//! precision would be illusory."
+
+use mj_relalg::JoinAlgorithm;
+
+use crate::plan_ir::{OperandSource, ParallelPlan};
+use mj_plan::cost::TreeCosts;
+
+/// Coefficients of the schedule model, all in §4.3 cost units. Defaults
+/// are the `mj-sim` machine constants divided by its per-tuple action cost
+/// (0.45 ms), so analytic estimates and simulated times agree in shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleModel {
+    /// Serial scheduler cost to initialize one operation process
+    /// (sim: t_init 12 ms / 0.45 ms).
+    pub startup_per_process: f64,
+    /// Handshake per point-to-point tuple stream, charged to each endpoint
+    /// instance (sim: t_handshake 15 ms / 0.45 ms).
+    pub handshake_per_stream: f64,
+    /// Work multiplier of the symmetric pipelining join (inserts *and*
+    /// probes every tuple).
+    pub pipelining_work_factor: f64,
+    /// Fraction of a consumer's own work that trails its slowest live
+    /// producer: a pipelined consumer cannot finish before the last input
+    /// tuple arrives, plus the time to process the final batch.
+    pub pipeline_tail: f64,
+}
+
+impl Default for ScheduleModel {
+    fn default() -> Self {
+        ScheduleModel {
+            startup_per_process: 12.0e-3 / 0.45e-3,
+            handshake_per_stream: 15.0e-3 / 0.45e-3,
+            pipelining_work_factor: 1.4,
+            pipeline_tail: 0.1,
+        }
+    }
+}
+
+impl ScheduleModel {
+    /// A model with zero overheads: pure `work / degree` with pipeline
+    /// overlap — the idealized diagrams of Figs. 3–7.
+    pub fn idealized() -> Self {
+        ScheduleModel {
+            startup_per_process: 0.0,
+            handshake_per_stream: 0.0,
+            pipelining_work_factor: 1.0,
+            pipeline_tail: 0.0,
+        }
+    }
+}
+
+/// The estimated schedule of one plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleEstimate {
+    /// Estimated response time in cost units (the planner's objective).
+    pub makespan: f64,
+    /// Serial startup spent initializing operation processes.
+    pub startup: f64,
+    /// Total handshake cost over all tuple streams (coordination driver).
+    pub coordination: f64,
+    /// Sum of per-join work (phase 1's objective, for reference).
+    pub total_work: f64,
+    /// Estimated finish time per op (indexed by op id).
+    pub per_op_finish: Vec<f64>,
+}
+
+/// Estimates the makespan of `plan` given the per-join work in `costs`
+/// (from [`mj_plan::cost::tree_costs`] over the same tree).
+pub fn estimate_schedule(
+    plan: &ParallelPlan,
+    costs: &TreeCosts,
+    model: &ScheduleModel,
+) -> ScheduleEstimate {
+    let n = plan.ops.len();
+    let mut finish = vec![0.0f64; n];
+    // The scheduler initializes processes one at a time (§2.2): op i's
+    // instances may not start before every earlier-submitted op's
+    // instances (plus its own) have been initialized.
+    let mut init_done = 0.0f64;
+    let mut coordination = 0.0f64;
+
+    // Who consumes each op's output, and how (for handshake accounting).
+    let mut consumer_degree = vec![0usize; n];
+    for op in &plan.ops {
+        for operand in [&op.left, &op.right] {
+            if let Some(from) = operand.producer() {
+                consumer_degree[from] = op.degree();
+            }
+        }
+    }
+
+    for op in &plan.ops {
+        let degree = op.degree().max(1) as f64;
+        init_done += op.degree() as f64 * model.startup_per_process;
+
+        let algo_factor = match op.algorithm {
+            JoinAlgorithm::Pipelining => model.pipelining_work_factor,
+            JoinAlgorithm::Simple => 1.0,
+        };
+        // Per-instance handshakes: one per stream this instance touches
+        // (degree-of-peer streams per remote operand, plus its output fan).
+        let mut streams_per_instance = consumer_degree[op.id] as f64;
+        for operand in [&op.left, &op.right] {
+            if let Some(from) = operand.producer() {
+                streams_per_instance += plan.ops[from].degree() as f64;
+            }
+        }
+        coordination += streams_per_instance * degree * model.handshake_per_stream;
+
+        let t_op = costs.per_join[op.join] / degree * algo_factor
+            + streams_per_instance * model.handshake_per_stream;
+
+        // Earliest start: scheduler init, plus completed dependencies.
+        let mut start = init_done;
+        for &d in &op.start_after {
+            start = start.max(finish[d]);
+        }
+        let mut t_finish = start + t_op;
+        // A live pipeline: the consumer trails its slowest producer.
+        for operand in [&op.left, &op.right] {
+            if let OperandSource::Stream { from } = operand {
+                t_finish = t_finish.max(finish[*from] + model.pipeline_tail * t_op);
+            }
+        }
+        finish[op.id] = t_finish;
+    }
+
+    ScheduleEstimate {
+        makespan: finish.iter().fold(0.0f64, |a, &b| a.max(b)),
+        startup: init_done,
+        coordination,
+        total_work: costs.total,
+        per_op_finish: finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorInput};
+    use crate::strategy::Strategy;
+    use mj_plan::cardinality::{node_cards, UniformOneToOne};
+    use mj_plan::cost::{tree_costs, CostModel};
+    use mj_plan::shapes::{build, Shape};
+
+    fn estimate(shape: Shape, strategy: Strategy, n: u64, procs: usize) -> ScheduleEstimate {
+        let tree = build(shape, 10).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let input = GeneratorInput::new(&tree, &cards, &costs, procs);
+        let plan = generate(strategy, &input).unwrap();
+        estimate_schedule(&plan, &costs, &ScheduleModel::default())
+    }
+
+    #[test]
+    fn idealized_sp_is_work_over_processors() {
+        let tree = build(Shape::WideBushy, 10).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n: 1000 });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let input = GeneratorInput::new(&tree, &cards, &costs, 20);
+        let plan = generate(Strategy::SP, &input).unwrap();
+        let est = estimate_schedule(&plan, &costs, &ScheduleModel::idealized());
+        // SP runs joins one after another on all processors: the idealized
+        // makespan is exactly total work / processors.
+        assert!((est.makespan - costs.total / 20.0).abs() < 1e-6);
+        assert_eq!(est.startup, 0.0);
+        assert_eq!(est.coordination, 0.0);
+    }
+
+    #[test]
+    fn sp_startup_overhead_bites_at_scale() {
+        // The paper's central SP finding: startup (serial process inits,
+        // 10 joins x 80 processors = 800 of them) overwhelms the shrinking
+        // per-join work, so more processors eventually *hurt*.
+        let at_20 = estimate(Shape::WideBushy, Strategy::SP, 5000, 20).makespan;
+        let at_80 = estimate(Shape::WideBushy, Strategy::SP, 5000, 80).makespan;
+        assert!(
+            at_80 > at_20,
+            "SP must degrade 20 -> 80 procs at 5K: {at_20} vs {at_80}"
+        );
+    }
+
+    #[test]
+    fn fp_beats_sp_on_bushy_trees_at_scale() {
+        let sp = estimate(Shape::WideBushy, Strategy::SP, 40_000, 80).makespan;
+        let fp = estimate(Shape::WideBushy, Strategy::FP, 40_000, 80).makespan;
+        assert!(fp < sp, "FP {fp} must beat SP {sp} on a wide bushy tree");
+    }
+
+    #[test]
+    fn pipelined_consumer_trails_its_producer() {
+        let tree = build(Shape::RightLinear, 3).unwrap();
+        let cards = node_cards(&tree, &UniformOneToOne { n: 1000 });
+        let costs = tree_costs(&tree, &cards, &CostModel::default());
+        let input = GeneratorInput::new(&tree, &cards, &costs, 4);
+        let plan = generate(Strategy::FP, &input).unwrap();
+        let est = estimate_schedule(&plan, &costs, &ScheduleModel::idealized());
+        // Ops are topologically ordered: op 1 consumes op 0's stream.
+        assert!(est.per_op_finish[1] > est.per_op_finish[0]);
+        assert_eq!(est.total_work, costs.total);
+    }
+
+    #[test]
+    fn makespan_is_finite_and_positive_for_all_strategies() {
+        for strategy in Strategy::ALL {
+            for shape in Shape::ALL {
+                let est = estimate(shape, strategy, 1000, 10);
+                assert!(est.makespan.is_finite() && est.makespan > 0.0, "{strategy}");
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mj_plan::query::regular_join_spec;
+use mj_plan::query::{regular_join_spec, LoweredQuery};
 use mj_plan::tree::{JoinTree, NodeId, TreeNode};
 use mj_relalg::{EquiJoin, RelalgError, RelationProvider, Result, Schema};
 
@@ -66,6 +66,29 @@ impl QueryBinding {
             .ok_or_else(|| RelalgError::InvalidPlan("tree has no leaves".into()))?;
         let arity = provider.relation(&first)?.schema().arity();
         Self::new(tree, provider, |_, _, _| regular_join_spec(arity))
+    }
+
+    /// Builds a binding from a [`LoweredQuery`] (the planner's generalized
+    /// lowering): specs and schemas are taken as derived — no relation
+    /// provider needed, since the lowering already validated every spec
+    /// against the query's declared schemas. The provider the plan later
+    /// runs against must serve relations with those schemas; mismatches
+    /// surface as partitioning/validation errors at execution time.
+    pub fn from_lowered(tree: &JoinTree, lowered: &LoweredQuery) -> Result<Self> {
+        if lowered.schemas().len() != tree.nodes().len() {
+            return Err(RelalgError::InvalidPlan(format!(
+                "lowering covers {} nodes, tree has {}",
+                lowered.schemas().len(),
+                tree.nodes().len()
+            )));
+        }
+        for join in tree.joins_bottom_up() {
+            lowered.spec(join)?;
+        }
+        Ok(QueryBinding {
+            specs: lowered.specs().clone(),
+            schemas: lowered.schemas().to_vec(),
+        })
     }
 
     /// The join spec of a join node.

@@ -396,6 +396,9 @@ fn run_on(
 
     let mut metrics = Metrics::new(n_ops);
     metrics.streams = plan.stats().tuple_streams;
+    for op in &plan.ops {
+        metrics.ops[op.id].est_out = op.est_out;
+    }
     let mut run = QueryRun {
         plan,
         binding,

@@ -1,0 +1,263 @@
+//! Seeded generators for the three planner benchmark query families:
+//! **chain**, **star**, and **skewed**. Each instance pairs real data (a
+//! populated [`Catalog`] with analyzed per-column statistics) with the
+//! matching [`JoinQuery`], so the planner's estimates can be validated
+//! against actual execution — unlike the regular Wisconsin query, these
+//! have genuinely different cardinalities per join, so tree shape,
+//! strategy, and allocation all matter.
+
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use mj_plan::query::JoinQuery;
+use mj_relalg::{Attribute, RelalgError, Relation, Result, Schema, Tuple};
+use mj_storage::{skew::zipf_keys, Catalog};
+
+use crate::planner::query_from_catalog;
+
+/// The three benchmark query families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryFamily {
+    /// `R0 – R1 – … – R{k-1}`, uniform keys, near-constant intermediate
+    /// sizes.
+    Chain,
+    /// A fact relation equi-joined to `k-1` dimension relations on
+    /// distinct foreign-key columns.
+    Star,
+    /// A chain with alternating relation sizes and Zipf-skewed join keys —
+    /// the workload where cardinality-blind strategy choice hurts most.
+    Skewed,
+}
+
+impl QueryFamily {
+    /// All families in presentation order.
+    pub const ALL: [QueryFamily; 3] = [QueryFamily::Chain, QueryFamily::Star, QueryFamily::Skewed];
+
+    /// Lower-case label (also the CLI `--query` argument).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryFamily::Chain => "chain",
+            QueryFamily::Star => "star",
+            QueryFamily::Skewed => "skewed",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Result<QueryFamily> {
+        match s {
+            "chain" => Ok(QueryFamily::Chain),
+            "star" => Ok(QueryFamily::Star),
+            "skewed" => Ok(QueryFamily::Skewed),
+            other => Err(RelalgError::InvalidPlan(format!(
+                "unknown query family `{other}` (chain, star, skewed)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A generated family instance: data plus the matching query description.
+#[derive(Clone, Debug)]
+pub struct FamilyInstance {
+    /// Which family this is.
+    pub family: QueryFamily,
+    /// The populated catalog (relations `R0..R{k-1}`, stats analyzed).
+    pub catalog: Arc<Catalog>,
+    /// The query over those relations, selectivities derived from the
+    /// analyzed statistics.
+    pub query: JoinQuery,
+}
+
+/// Generates a `family` instance over `k >= 2` relations with base size
+/// `n >= 4`, deterministically per `seed`.
+pub fn generate_family(
+    family: QueryFamily,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> Result<FamilyInstance> {
+    if k < 2 {
+        return Err(RelalgError::InvalidPlan(format!(
+            "a multi-join family needs >= 2 relations, got {k}"
+        )));
+    }
+    if n < 4 {
+        return Err(RelalgError::InvalidPlan(format!(
+            "family base size must be >= 4, got {n}"
+        )));
+    }
+    let catalog = Arc::new(Catalog::new());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA31_7113);
+    let joins: Vec<(usize, usize, usize, usize)> = match family {
+        QueryFamily::Chain => {
+            // (a, b, id): a joins toward the previous relation, b toward
+            // the next; both uniform over 0..n, so every edge selectivity
+            // is ~1/n and every intermediate stays near n.
+            let schema = chain_schema();
+            for r in 0..k {
+                let tuples = (0..n)
+                    .map(|i| {
+                        Tuple::from_ints(&[
+                            rng.gen_range(0..n as i64),
+                            rng.gen_range(0..n as i64),
+                            i as i64,
+                        ])
+                    })
+                    .collect();
+                catalog.register(
+                    format!("R{r}"),
+                    Arc::new(Relation::new(schema.clone(), tuples)?),
+                );
+            }
+            (0..k - 1).map(|i| (i, i + 1, 1, 0)).collect()
+        }
+        QueryFamily::Star => {
+            // R0..R{k-2} are dimensions with unique keys; R{k-1} is the
+            // fact (2n rows, one foreign-key column per dimension plus a
+            // measure), so each fact row matches exactly one row per
+            // dimension and the result stays at 2n. The fact sits *last*
+            // so the fixed linear shapes (R0 deepest-to-shallowest) keep
+            // it at the deep end — every linear tree stays cartesian-free.
+            let n_fact = 2 * n;
+            let n_dim = (n / 2).max(4);
+            let dim_schema =
+                Schema::new(vec![Attribute::int("key"), Attribute::int("payload")]).shared();
+            for d in 0..k - 1 {
+                let tuples = (0..n_dim)
+                    .map(|i| Tuple::from_ints(&[i as i64, rng.gen_range(0..1000)]))
+                    .collect();
+                catalog.register(
+                    format!("R{d}"),
+                    Arc::new(Relation::new(dim_schema.clone(), tuples)?),
+                );
+            }
+            let mut fact_attrs: Vec<Attribute> = (0..k - 1)
+                .map(|d| Attribute::int(format!("fk{d}")))
+                .collect();
+            fact_attrs.push(Attribute::int("measure"));
+            let fact_schema = Schema::new(fact_attrs).shared();
+            let fact_tuples = (0..n_fact)
+                .map(|i| {
+                    let mut row: Vec<i64> =
+                        (0..k - 1).map(|_| rng.gen_range(0..n_dim as i64)).collect();
+                    row.push(i as i64);
+                    Tuple::from_ints(&row)
+                })
+                .collect();
+            catalog.register(
+                format!("R{}", k - 1),
+                Arc::new(Relation::new(fact_schema, fact_tuples)?),
+            );
+            (0..k - 1).map(|d| (d, k - 1, 0, d)).collect()
+        }
+        QueryFamily::Skewed => {
+            // Chain topology, but relation sizes alternate n/4, n, 2n and
+            // the forward join column is Zipf-skewed over a shared domain:
+            // intermediates shrink and grow along the chain, so strategy
+            // and allocation choices actually separate.
+            let schema = chain_schema();
+            let sizes: Vec<usize> = (0..k)
+                .map(|i| match i % 3 {
+                    0 => (n / 4).max(4),
+                    1 => n,
+                    _ => 2 * n,
+                })
+                .collect();
+            let domain = n.max(8);
+            for (r, &rows) in sizes.iter().enumerate() {
+                let fwd = zipf_keys(rows, domain, 0.6, seed.wrapping_add(r as u64 * 77));
+                let tuples = (0..rows)
+                    .map(|i| Tuple::from_ints(&[rng.gen_range(0..domain as i64), fwd[i], i as i64]))
+                    .collect();
+                catalog.register(
+                    format!("R{r}"),
+                    Arc::new(Relation::new(schema.clone(), tuples)?),
+                );
+            }
+            (0..k - 1).map(|i| (i, i + 1, 1, 0)).collect()
+        }
+    };
+
+    let names: Vec<String> = (0..k).map(|i| format!("R{i}")).collect();
+    for name in &names {
+        catalog.analyze(name)?;
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let query = query_from_catalog(&catalog, &refs, &joins)?;
+    Ok(FamilyInstance {
+        family,
+        catalog,
+        query,
+    })
+}
+
+fn chain_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Attribute::int("a"),
+        Attribute::int("b"),
+        Attribute::int("id"),
+    ])
+    .shared()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::RelationProvider;
+
+    #[test]
+    fn families_are_deterministic_per_seed() {
+        for family in QueryFamily::ALL {
+            let a = generate_family(family, 4, 64, 7).unwrap();
+            let b = generate_family(family, 4, 64, 7).unwrap();
+            let c = generate_family(family, 4, 64, 8).unwrap();
+            for r in 0..4 {
+                let name = format!("R{r}");
+                let ra = a.catalog.relation(&name).unwrap();
+                let rb = b.catalog.relation(&name).unwrap();
+                assert!(ra.multiset_eq(&rb), "{family} {name} not deterministic");
+                let rc = c.catalog.relation(&name).unwrap();
+                assert!(
+                    !ra.multiset_eq(&rc) || ra.is_empty(),
+                    "{family} {name} ignores the seed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_matches_generated_data() {
+        for family in QueryFamily::ALL {
+            let inst = generate_family(family, 5, 48, 3).unwrap();
+            assert_eq!(inst.query.len(), 5, "{family}");
+            assert_eq!(inst.query.graph().edges().len(), 4, "{family}");
+            assert!(inst.query.graph().is_connected(), "{family}");
+            // Cards in the query graph match the catalog.
+            for (i, name) in (0..5).map(|i| (i, format!("R{i}"))) {
+                assert_eq!(
+                    inst.query.graph().cards()[i],
+                    inst.catalog.stats(&name).unwrap().cardinality,
+                    "{family} {name}"
+                );
+            }
+            // Selectivities are sane probabilities.
+            for &(_, _, sel) in inst.query.graph().edges() {
+                assert!(sel > 0.0 && sel <= 1.0, "{family}: {sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_parameters_error() {
+        assert!(generate_family(QueryFamily::Chain, 1, 64, 0).is_err());
+        assert!(generate_family(QueryFamily::Star, 4, 2, 0).is_err());
+        assert!(QueryFamily::parse("ring").is_err());
+        assert_eq!(QueryFamily::parse("star").unwrap(), QueryFamily::Star);
+    }
+}

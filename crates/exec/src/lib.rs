@@ -21,14 +21,22 @@
 //! dataflows, (b) to validate that every strategy returns exactly the
 //! sequential evaluator's result, and (c) to cross-check the simulator's
 //! relative orderings at small processor counts.
+//!
+//! The [`planner`] module closes the loop upstream: it takes an arbitrary
+//! equi-join [`mj_plan::query::JoinQuery`], picks the join tree with the
+//! phase-1 optimizers, costs all four strategies (with processor
+//! allocation) under the analytic schedule model, and lowers the winner
+//! into a `ParallelPlan` + [`QueryBinding`] ready for [`Engine::run`].
 
 #![warn(missing_docs)]
 
 pub mod binding;
 pub mod config;
 pub mod engine;
+pub mod families;
 pub mod metrics;
 pub mod operator;
+pub mod planner;
 pub mod sched;
 pub mod source;
 pub mod stream;
@@ -36,5 +44,7 @@ pub mod stream;
 pub use binding::QueryBinding;
 pub use config::{ExecConfig, FailPoint};
 pub use engine::{run_plan, Engine, ExecOutcome};
+pub use families::{generate_family, FamilyInstance, QueryFamily};
 pub use metrics::{Metrics, OpMetrics};
+pub use planner::{query_from_catalog, PlanChoice, PlannedQuery, Planner, PlannerOptions};
 pub use sched::WorkerPool;

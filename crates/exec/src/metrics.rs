@@ -13,6 +13,28 @@ pub struct OpMetrics {
     pub tuples_out: u64,
     /// Peak hash-table bytes summed across instances.
     pub table_bytes: u64,
+    /// The planner's estimated result cardinality for this op (copied from
+    /// the plan), so estimated-vs-actual plan quality is observable next
+    /// to `tuples_out`.
+    pub est_out: u64,
+}
+
+impl OpMetrics {
+    /// The q-error of the planner's cardinality estimate for this op:
+    /// `max(est, actual) / min(est, actual)`, the standard symmetric
+    /// plan-quality metric (1.0 = perfect). Zero-vs-nonzero counts as the
+    /// worst case (`f64::INFINITY`); 0 vs 0 is perfect.
+    pub fn q_error(&self) -> f64 {
+        let (est, act) = (self.est_out as f64, self.tuples_out as f64);
+        let (lo, hi) = if est <= act { (est, act) } else { (act, est) };
+        if hi == 0.0 {
+            1.0
+        } else if lo == 0.0 {
+            f64::INFINITY
+        } else {
+            hi / lo
+        }
+    }
 }
 
 /// Whole-query metrics.
@@ -47,6 +69,22 @@ impl Metrics {
     pub fn total_tuples_out(&self) -> u64 {
         self.ops.iter().map(|o| o.tuples_out).sum()
     }
+
+    /// Worst per-op cardinality q-error across the plan (1.0 = every
+    /// estimate exact). The single number to watch for planner quality.
+    pub fn max_q_error(&self) -> f64 {
+        self.ops.iter().map(|o| o.q_error()).fold(1.0, f64::max)
+    }
+
+    /// Estimated-vs-actual result cardinality per op: `(op id, estimated,
+    /// actual)` rows, ready for display.
+    pub fn cardinality_report(&self) -> Vec<(usize, u64, u64)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(id, o)| (id, o.est_out, o.tuples_out))
+            .collect()
+    }
 }
 
 /// What one instance reports back on completion.
@@ -75,5 +113,32 @@ mod tests {
         m.ops[1].tuples_out = 7;
         assert_eq!(m.total_tuples_out(), 12);
         assert_eq!(m.ops.len(), 2);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_handles_zero() {
+        let mut o = OpMetrics {
+            est_out: 100,
+            tuples_out: 50,
+            ..OpMetrics::default()
+        };
+        assert_eq!(o.q_error(), 2.0);
+        o.est_out = 25;
+        assert_eq!(o.q_error(), 2.0);
+        o.est_out = 0;
+        assert_eq!(o.q_error(), f64::INFINITY);
+        o.tuples_out = 0;
+        assert_eq!(o.q_error(), 1.0);
+    }
+
+    #[test]
+    fn cardinality_report_pairs_est_and_actual() {
+        let mut m = Metrics::new(2);
+        m.ops[0].est_out = 10;
+        m.ops[0].tuples_out = 12;
+        m.ops[1].est_out = 5;
+        m.ops[1].tuples_out = 5;
+        assert_eq!(m.cardinality_report(), vec![(0, 10, 12), (1, 5, 5)]);
+        assert!((m.max_q_error() - 1.2).abs() < 1e-9);
     }
 }

@@ -200,7 +200,7 @@ fn main() {
     let mut idx = HashMap::new();
     for name in ["lineitems", "orders", "customers", "parts", "dates"] {
         let card = catalog.relation(name).unwrap().len() as u64;
-        idx.insert(name, graph.add_relation(name, card));
+        idx.insert(name, graph.add_relation(name, card).unwrap());
     }
     for p in &preds {
         graph.add_edge(idx[p.a], idx[p.b], p.selectivity).unwrap();

@@ -2,17 +2,25 @@
 //!
 //! ```text
 //! mj shapes   [--relations K]
+//! mj plan     [--query F] [--strategy auto|ST] [--relations K --tuples N --procs P --seed X]
 //! mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
 //! mj simulate --shape S --strategy ST [--relations K --tuples N --procs P] [--gantt]
 //! mj sweep    --shape S [--tuples N]
+//! mj run      [--query F] [--strategy auto|ST] [--relations K --tuples N --procs P --seed X]
 //! mj run      --shape S --strategy ST [--relations K --tuples N --procs P]
 //! mj optimize --query chain|skewed|star [--relations K]
 //! mj xra print --shape S [--relations K]
 //! mj xra eval  [FILE] [--relations K --tuples N]   (plan from FILE or stdin)
 //! ```
 //!
+//! Without `--shape`, `mj plan` and `mj run` are **planner-driven**: the
+//! cost-based planner picks the join tree, the strategy (unless a concrete
+//! `--strategy` overrides it), and the processor allocation for a generated
+//! `--query` family instance (chain, star, skewed). With `--shape`, the
+//! legacy fixed shape×strategy grid runs unchanged.
+//!
 //! Shapes: left-linear, left-bushy, wide-bushy, right-bushy, right-linear.
-//! Strategies: sp, se, rd, fp.
+//! Strategies: sp, se, rd, fp (plus `auto` for plan/run without `--shape`).
 
 use std::collections::HashMap;
 use std::io::Read as _;
@@ -21,7 +29,9 @@ use std::sync::Arc;
 
 use multijoin::core::generator::{generate, GeneratorInput};
 use multijoin::core::strategy::Strategy;
-use multijoin::exec::{run_plan, ExecConfig, QueryBinding};
+use multijoin::exec::{
+    generate_family, run_plan, ExecConfig, Planner, PlannerOptions, QueryBinding, QueryFamily,
+};
 use multijoin::plan::cardinality::{node_cards, UniformOneToOne};
 use multijoin::plan::cost::{tree_costs, CostModel};
 use multijoin::plan::optimize::{
@@ -105,6 +115,24 @@ impl Args {
         }
     }
 
+    /// `--strategy` with `auto` support: `None` means let the planner
+    /// choose; a concrete value forces that strategy. Defaults to auto.
+    fn strategy_or_auto(&self) -> Result<Option<Strategy>, String> {
+        match self.flags.get("strategy").map(String::as_str) {
+            None | Some("auto") => Ok(None),
+            Some(_) => self.strategy().map(Some),
+        }
+    }
+
+    fn family(&self) -> Result<QueryFamily, String> {
+        let f = self
+            .flags
+            .get("query")
+            .map(String::as_str)
+            .unwrap_or("chain");
+        QueryFamily::parse(f).map_err(|e| e.to_string())
+    }
+
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
@@ -122,16 +150,51 @@ impl Args {
 fn usage() -> &'static str {
     "usage:
   mj shapes   [--relations K]
+  mj plan     [--query chain|star|skewed] [--strategy auto|ST]
+              [--relations K --tuples N --procs P --seed X]   (planner explain)
   mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
   mj simulate --shape S --strategy ST [--relations K --tuples N --procs P] [--gantt]
   mj sweep    --shape S [--tuples N]
+  mj run      [--query chain|star|skewed] [--strategy auto|ST]
+              [--relations K --tuples N --procs P --seed X]   (planner-driven)
   mj run      --shape S --strategy ST [--relations K --tuples N --procs P]
   mj optimize --query chain|skewed|star [--relations K]
   mj xra print --shape S [--relations K]
   mj xra eval [FILE] [--relations K --tuples N]
 
+Without --shape, plan/run use the cost-based planner (tree, strategy, and
+processor allocation chosen from catalog statistics); --strategy with a
+concrete value overrides only the strategy. With --shape, the legacy fixed
+grid runs.
+
 shapes: left-linear left-bushy wide-bushy right-bushy right-linear
-strategies: sp se rd fp (the paper's four parallelization strategies)"
+strategies: sp se rd fp (the paper's four parallelization strategies);
+`auto` additionally works for plan/run without --shape"
+}
+
+/// Plans a `--query` family instance with the cost-based planner.
+fn plan_family(
+    args: &Args,
+) -> Result<
+    (
+        multijoin::exec::FamilyInstance,
+        multijoin::exec::PlannedQuery,
+        usize,
+    ),
+    String,
+> {
+    let family = args.family()?;
+    let k: usize = args.num("relations", 6)?;
+    let tuples: usize = args.num("tuples", 2_000)?;
+    let procs: usize = args.num("procs", 8)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let instance = generate_family(family, k, tuples, seed).map_err(|e| e.to_string())?;
+    let mut options = PlannerOptions::new(procs);
+    options.strategy = args.strategy_or_auto()?;
+    let planned = Planner::new(options)
+        .plan(&instance.query)
+        .map_err(|e| e.to_string())?;
+    Ok((instance, planned, procs))
 }
 
 /// Plans a (shape, strategy, tuples, procs) configuration.
@@ -167,14 +230,40 @@ fn cmd_shapes(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
-    let (plan, shape, tuples, procs) = make_plan(args)?;
-    let stats = plan.stats();
-    println!("{plan}");
+    if args.flags.contains_key("shape") {
+        // Legacy fixed path: explicit shape and strategy.
+        let (plan, shape, tuples, procs) = make_plan(args)?;
+        let stats = plan.stats();
+        println!("{plan}");
+        println!(
+            "shape {shape}, {tuples} tuples/relation, {procs} processors: \
+             {} operation processes, {} tuple streams, {} pipeline edges",
+            stats.operation_processes, stats.tuple_streams, stats.pipeline_edges
+        );
+        return Ok(());
+    }
+    // Planner explain: cost every (strategy, orientation) alternative.
+    let (instance, planned, procs) = plan_family(args)?;
     println!(
-        "shape {shape}, {tuples} tuples/relation, {procs} processors: \
-         {} operation processes, {} tuple streams, {} pipeline edges",
-        stats.operation_processes, stats.tuple_streams, stats.pipeline_edges
+        "query family `{}` over {} relations, {procs} processors",
+        instance.family,
+        instance.query.len()
     );
+    println!("chosen join tree (phase-1 minimal total cost, winner's orientation):");
+    for line in render::render(&planned.tree).lines() {
+        println!("  {line}");
+    }
+    println!("costed alternatives (estimated schedule cost, §4.3 units):");
+    print!("{}", planned.explain());
+    println!(
+        "winner: {} — estimated cost {:.0} (startup {:.0}, coordination {:.0}, total work {:.0})",
+        planned.strategy(),
+        planned.estimate.makespan,
+        planned.estimate.startup,
+        planned.estimate.coordination,
+        planned.estimate.total_work,
+    );
+    println!("{}", planned.plan);
     Ok(())
 }
 
@@ -224,6 +313,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if !args.flags.contains_key("shape") {
+        return cmd_run_planner(args);
+    }
     let shape = args.shape()?;
     let strategy = args.strategy()?;
     let k: usize = args.num("relations", 8)?;
@@ -263,6 +355,64 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Planner-driven execution: generate a `--query` family, let the planner
+/// pick tree/strategy/allocation, run on the real engine, and report
+/// estimated-vs-actual cardinalities per operator.
+fn cmd_run_planner(args: &Args) -> Result<(), String> {
+    let (instance, planned, procs) = plan_family(args)?;
+    println!(
+        "query family `{}`: planner chose {} on {procs} logical processors \
+         (tree depth {}, right spine {}, estimated cost {:.0})",
+        instance.family,
+        planned.strategy(),
+        planned.tree.depth(),
+        planned.tree.right_spine_len(),
+        planned.estimate.makespan,
+    );
+    let outcome = run_plan(
+        &planned.plan,
+        &planned.binding,
+        instance.catalog.as_ref(),
+        &ExecConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let oracle = planned
+        .lowered
+        .to_xra(&planned.tree, JoinAlgorithm::Simple)
+        .map_err(|e| e.to_string())?
+        .eval(instance.catalog.as_ref())
+        .map_err(|e| e.to_string())?;
+    let ok = outcome.relation.multiset_eq(&oracle);
+    println!(
+        "{} tuples in {:.1} ms ({} processes, {} streams) — oracle {}",
+        outcome.relation.len(),
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.metrics.processes,
+        outcome.metrics.streams,
+        if ok { "match" } else { "MISMATCH" }
+    );
+    println!("estimated vs actual cardinalities per operator:");
+    println!(
+        "  {:>4} {:>12} {:>12} {:>8}",
+        "op", "estimated", "actual", "q-err"
+    );
+    for (op, est, actual) in outcome.metrics.cardinality_report() {
+        println!(
+            "  {:>4} {:>12} {:>12} {:>8.2}",
+            format!("op{op}"),
+            est,
+            actual,
+            outcome.metrics.ops[op].q_error()
+        );
+    }
+    println!("max q-error: {:.2}", outcome.metrics.max_q_error());
+    if !ok {
+        return Err("parallel result diverged from the sequential oracle".into());
+    }
+    Ok(())
+}
+
 fn cmd_optimize(args: &Args) -> Result<(), String> {
     let kind = args
         .flags
@@ -278,7 +428,8 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
         "skewed" => {
             let mut g = QueryGraph::new();
             for i in 0..k {
-                g.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50);
+                g.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32) * 50)
+                    .map_err(|e| e.to_string())?;
             }
             for i in 0..k - 1 {
                 g.add_edge(i, i + 1, 1e-2).map_err(|e| e.to_string())?;
@@ -287,9 +438,13 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
         }
         "star" => {
             let mut g = QueryGraph::new();
-            let fact = g.add_relation("fact", 1_000_000);
+            let fact = g
+                .add_relation("fact", 1_000_000)
+                .map_err(|e| e.to_string())?;
             for d in 0..k - 1 {
-                let dim = g.add_relation(format!("dim{d}"), 100 + 50 * d as u64);
+                let dim = g
+                    .add_relation(format!("dim{d}"), 100 + 50 * d as u64)
+                    .map_err(|e| e.to_string())?;
                 g.add_edge(fact, dim, 1e-3).map_err(|e| e.to_string())?;
             }
             g

@@ -15,7 +15,7 @@
 //! | [`join`] | `mj-join` | simple and pipelining hash joins, custom join table |
 //! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation |
 //! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
-//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, concurrent [`Engine`](exec::Engine) facade |
+//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, concurrent [`Engine`](exec::Engine) facade, cost-based [`Planner`](exec::Planner) |
 //! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
 //!
 //! ## Quickstart
@@ -58,15 +58,18 @@ pub use mj_storage as storage;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use mj_core::{
-        generate, proportional_counts, validate_plan, GeneratorInput, OperandSource, ParallelPlan,
-        PlanOp, Strategy,
+        estimate_schedule, generate, proportional_counts, validate_plan, GeneratorInput,
+        OperandSource, ParallelPlan, PlanOp, ScheduleModel, Strategy,
     };
-    pub use mj_exec::{run_plan, Engine, ExecConfig, QueryBinding, WorkerPool};
+    pub use mj_exec::{
+        generate_family, query_from_catalog, run_plan, Engine, ExecConfig, PlannedQuery, Planner,
+        PlannerOptions, QueryBinding, QueryFamily, WorkerPool,
+    };
     pub use mj_join::{pipelining_hash_join, simple_hash_join};
     pub use mj_plan::cost::tree_costs;
     pub use mj_plan::{
-        greedy_tree, optimize_bushy, optimize_linear, segments, CostModel, JoinTree, QueryGraph,
-        Shape, UniformOneToOne,
+        greedy_tree, lower, optimize_bushy, optimize_linear, segments, CostModel, JoinQuery,
+        JoinTree, QueryGraph, Shape, UniformOneToOne,
     };
     pub use mj_relalg::{
         Attribute, DataType, EquiJoin, JoinAlgorithm, Predicate, Projection, Relation,

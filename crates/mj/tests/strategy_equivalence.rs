@@ -205,6 +205,73 @@ fn concurrent_queries_match_sequential_runs() {
     assert_eq!(engine.pool().threads(), 4, "pool never grows");
 }
 
+/// Differential: for seeded random acyclic queries (chain/star/skewed,
+/// 3–8 relations) the planner-chosen plan must produce exactly the same
+/// result relation as a fixed SP baseline executed on every shape whose
+/// tree the query admits (a star query has no cartesian-free bushy trees,
+/// so infeasible shapes are skipped — but the linear shapes always lower).
+/// The tree-independent output column order makes results comparable
+/// across shapes.
+#[test]
+fn planner_plan_matches_sp_baseline_on_every_shape() {
+    use multijoin::exec::generate_family;
+
+    let cases = [
+        (QueryFamily::Chain, 3, 11u64),
+        (QueryFamily::Star, 4, 5u64),
+        (QueryFamily::Skewed, 5, 23u64),
+        (QueryFamily::Chain, 6, 71u64),
+        (QueryFamily::Star, 7, 3u64),
+        (QueryFamily::Skewed, 8, 9u64),
+    ];
+    for (family, k, seed) in cases {
+        let inst = generate_family(family, k, 48, seed).unwrap();
+        let planned = Planner::new(PlannerOptions::new(5))
+            .plan(&inst.query)
+            .unwrap();
+        let chosen = run_plan(
+            &planned.plan,
+            &planned.binding,
+            inst.catalog.as_ref(),
+            &ExecConfig::default(),
+        )
+        .unwrap()
+        .relation;
+
+        let mut compared = 0usize;
+        for shape in Shape::ALL {
+            let tree = build(shape, k).unwrap();
+            // Star queries reject shapes that would pair two dimensions
+            // (no connecting predicate) — skip those.
+            let lowered = match lower(&tree, &inst.query, None) {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            let cards = lowered.est_cards().to_vec();
+            let costs = tree_costs(&tree, &cards, &CostModel::default());
+            let mut input = GeneratorInput::new(&tree, &cards, &costs, 5);
+            input.allow_oversubscribe = true;
+            let sp = generate(Strategy::SP, &input).unwrap();
+            let binding = QueryBinding::from_lowered(&tree, &lowered).unwrap();
+            let baseline = run_plan(&sp, &binding, inst.catalog.as_ref(), &ExecConfig::default())
+                .unwrap()
+                .relation;
+            assert!(
+                chosen.multiset_eq(&baseline),
+                "{family} k={k} seed={seed}: planner plan ({}) diverged from \
+                 the SP baseline on {shape}",
+                planned.strategy()
+            );
+            compared += 1;
+        }
+        let floor = if family == QueryFamily::Star { 2 } else { 5 };
+        assert!(
+            compared >= floor,
+            "{family} k={k}: only {compared} shapes lowered"
+        );
+    }
+}
+
 #[test]
 fn full_payload_tuples_flow_through_the_engine() {
     // 208-byte Wisconsin tuples (16 attributes) through a 4-relation query.

@@ -53,9 +53,9 @@ fn bushy_dp_never_loses_to_linear_or_greedy() {
         {
             // Star.
             let mut g = QueryGraph::new();
-            let f = g.add_relation("F", 500_000);
+            let f = g.add_relation("F", 500_000).unwrap();
             for (i, card) in [100u64, 2_000, 40, 9_000].iter().enumerate() {
-                let d = g.add_relation(format!("D{i}"), *card);
+                let d = g.add_relation(format!("D{i}"), *card).unwrap();
                 g.add_edge(f, d, 1.0 / *card as f64).unwrap();
             }
             g
@@ -64,7 +64,10 @@ fn bushy_dp_never_loses_to_linear_or_greedy() {
             // Cycle with a chord.
             let mut g = QueryGraph::new();
             let ids: Vec<usize> = (0..6)
-                .map(|i| g.add_relation(format!("T{i}"), 1000 + 300 * i as u64))
+                .map(|i| {
+                    g.add_relation(format!("T{i}"), 1000 + 300 * i as u64)
+                        .unwrap()
+                })
                 .collect();
             for i in 0..6 {
                 g.add_edge(ids[i], ids[(i + 1) % 6], 0.002).unwrap();

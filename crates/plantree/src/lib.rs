@@ -36,8 +36,10 @@ pub use cardinality::{CardModel, SelectivityModel, UniformOneToOne};
 pub use cost::{CostModel, TreeCosts};
 pub use optimize::{
     greedy_tree, iterative_improvement, optimize_bushy, optimize_linear, random_tree,
-    simulated_annealing, AnnealingOptions, IterativeOptions, QueryGraph,
+    simulated_annealing, AnnealingOptions, IterativeOptions, OptimizedPlan, QueryGraph,
+    MAX_DP_RELATIONS, MAX_GRAPH_RELATIONS,
 };
+pub use query::{lower, JoinQuery, LoweredQuery};
 pub use segment::{segments, Segment, Segmentation};
 pub use shapes::Shape;
 pub use transform::{mirror, right_orient};

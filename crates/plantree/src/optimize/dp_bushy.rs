@@ -148,10 +148,10 @@ mod tests {
     #[test]
     fn reconstructed_tree_cost_matches_dp_cost() {
         let mut g = QueryGraph::new();
-        let a = g.add_relation("A", 1000);
-        let b = g.add_relation("B", 50);
-        let c = g.add_relation("C", 2000);
-        let d = g.add_relation("D", 10);
+        let a = g.add_relation("A", 1000).unwrap();
+        let b = g.add_relation("B", 50).unwrap();
+        let c = g.add_relation("C", 2000).unwrap();
+        let d = g.add_relation("D", 10).unwrap();
         g.add_edge(a, b, 0.01).unwrap();
         g.add_edge(b, c, 0.001).unwrap();
         g.add_edge(c, d, 0.1).unwrap();
@@ -173,10 +173,10 @@ mod tests {
         // Star: F(1M) joined to three small dims. Best plans join F with
         // the most selective dimension edges first.
         let mut g = QueryGraph::new();
-        let f = g.add_relation("F", 1_000_000);
-        let d1 = g.add_relation("D1", 100);
-        let d2 = g.add_relation("D2", 100);
-        let d3 = g.add_relation("D3", 100);
+        let f = g.add_relation("F", 1_000_000).unwrap();
+        let d1 = g.add_relation("D1", 100).unwrap();
+        let d2 = g.add_relation("D2", 100).unwrap();
+        let d3 = g.add_relation("D3", 100).unwrap();
         g.add_edge(f, d1, 1e-6).unwrap();
         g.add_edge(f, d2, 1e-4).unwrap();
         g.add_edge(f, d3, 1e-2).unwrap();

@@ -150,11 +150,11 @@ mod tests {
     #[test]
     fn never_beats_bushy() {
         let mut g = QueryGraph::new();
-        let a = g.add_relation("A", 500);
-        let b = g.add_relation("B", 40);
-        let c = g.add_relation("C", 700);
-        let d = g.add_relation("D", 90);
-        let e = g.add_relation("E", 120);
+        let a = g.add_relation("A", 500).unwrap();
+        let b = g.add_relation("B", 40).unwrap();
+        let c = g.add_relation("C", 700).unwrap();
+        let d = g.add_relation("D", 90).unwrap();
+        let e = g.add_relation("E", 120).unwrap();
         g.add_edge(a, b, 0.01).unwrap();
         g.add_edge(b, c, 0.005).unwrap();
         g.add_edge(c, d, 0.02).unwrap();
@@ -173,8 +173,8 @@ mod tests {
     #[test]
     fn disconnected_rejected() {
         let mut g = QueryGraph::new();
-        g.add_relation("A", 10);
-        g.add_relation("B", 10);
+        g.add_relation("A", 10).unwrap();
+        g.add_relation("B", 10).unwrap();
         assert!(optimize_linear(&g, &CostModel::default()).is_err());
     }
 

@@ -119,10 +119,10 @@ mod tests {
     #[test]
     fn never_beats_exhaustive_dp() {
         let mut g = QueryGraph::new();
-        let a = g.add_relation("A", 900);
-        let b = g.add_relation("B", 30);
-        let c = g.add_relation("C", 4000);
-        let d = g.add_relation("D", 75);
+        let a = g.add_relation("A", 900).unwrap();
+        let b = g.add_relation("B", 30).unwrap();
+        let c = g.add_relation("C", 4000).unwrap();
+        let d = g.add_relation("D", 75).unwrap();
         g.add_edge(a, b, 0.02).unwrap();
         g.add_edge(b, c, 0.0005).unwrap();
         g.add_edge(c, d, 0.01).unwrap();
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let mut g = QueryGraph::new();
-        g.add_relation("A", 1);
+        g.add_relation("A", 1).unwrap();
         assert!(greedy_tree(&g, &CostModel::default()).is_err());
     }
 }

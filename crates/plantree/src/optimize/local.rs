@@ -418,7 +418,8 @@ mod tests {
     fn skewed_chain(k: usize) -> QueryGraph {
         let mut g = QueryGraph::new();
         for i in 0..k {
-            g.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32));
+            g.add_relation(format!("R{i}"), 10u64.pow(1 + (i % 4) as u32))
+                .unwrap();
         }
         for i in 0..k - 1 {
             g.add_edge(i, i + 1, 1e-2).unwrap();
@@ -429,9 +430,9 @@ mod tests {
     /// A star: fact table joined to small dimensions.
     fn star(dims: usize) -> QueryGraph {
         let mut g = QueryGraph::new();
-        let fact = g.add_relation("fact", 1_000_000);
+        let fact = g.add_relation("fact", 1_000_000).unwrap();
         for d in 0..dims {
-            let dim = g.add_relation(format!("dim{d}"), 100 + d as u64);
+            let dim = g.add_relation(format!("dim{d}"), 100 + d as u64).unwrap();
             g.add_edge(fact, dim, 1e-3).unwrap();
         }
         g
@@ -574,7 +575,7 @@ mod tests {
         )
         .is_err());
         let mut g = QueryGraph::new();
-        g.add_relation("lonely", 10);
+        g.add_relation("lonely", 10).unwrap();
         assert!(iterative_improvement(&g, &cm, IterativeOptions::default()).is_err());
     }
 }

@@ -36,6 +36,11 @@ use crate::tree::JoinTree;
 /// a bitmask over relations).
 pub const MAX_DP_RELATIONS: usize = 20;
 
+/// Largest relation count a [`QueryGraph`] can hold: the adjacency and
+/// subset machinery is a `u32` bitmask, so relation 32 would silently
+/// shift out of range.
+pub const MAX_GRAPH_RELATIONS: usize = 32;
+
 /// A query graph: relations with cardinalities, and equi-join edges with
 /// selectivities.
 #[derive(Clone, Debug)]
@@ -58,16 +63,28 @@ impl QueryGraph {
         }
     }
 
-    /// Adds a relation, returning its index.
-    pub fn add_relation(&mut self, name: impl Into<String>, card: u64) -> usize {
+    /// Adds a relation, returning its index. At most
+    /// [`MAX_GRAPH_RELATIONS`] relations fit: the adjacency sets and the
+    /// DP subset machinery are `u32` bitmasks, and a 33rd relation would
+    /// silently corrupt both (`1 << 32` wraps).
+    pub fn add_relation(&mut self, name: impl Into<String>, card: u64) -> Result<usize> {
+        if self.names.len() >= MAX_GRAPH_RELATIONS {
+            return Err(RelalgError::InvalidPlan(format!(
+                "query graph holds at most {MAX_GRAPH_RELATIONS} relations \
+                 (u32 bitmask); rejecting relation {}",
+                self.names.len() + 1
+            )));
+        }
         self.names.push(name.into());
         self.cards.push(card);
         self.adj.push(0);
-        self.names.len() - 1
+        Ok(self.names.len() - 1)
     }
 
     /// Adds a join edge between relations `a` and `b` with the given
-    /// selectivity in `(0, 1]`.
+    /// selectivity in `(0, 1]`. NaN and out-of-range selectivities are
+    /// rejected — they would make [`QueryGraph::subset_card`] and every DP
+    /// cost nonsensical.
     pub fn add_edge(&mut self, a: usize, b: usize, selectivity: f64) -> Result<()> {
         if a >= self.names.len() || b >= self.names.len() || a == b {
             return Err(RelalgError::InvalidPlan(format!("bad edge ({a}, {b})")));
@@ -94,7 +111,7 @@ impl QueryGraph {
         }
         let mut g = QueryGraph::new();
         for i in 0..k {
-            g.add_relation(format!("R{i}"), n);
+            g.add_relation(format!("R{i}"), n)?;
         }
         for i in 0..k - 1 {
             g.add_edge(i, i + 1, 1.0 / n as f64)?;
@@ -258,20 +275,43 @@ mod tests {
     #[test]
     fn edge_validation() {
         let mut g = QueryGraph::new();
-        let a = g.add_relation("A", 10);
-        let b = g.add_relation("B", 10);
+        let a = g.add_relation("A", 10).unwrap();
+        let b = g.add_relation("B", 10).unwrap();
         assert!(g.add_edge(a, a, 0.5).is_err());
         assert!(g.add_edge(a, 5, 0.5).is_err());
         assert!(g.add_edge(a, b, 0.0).is_err());
+        assert!(g.add_edge(a, b, -0.25).is_err());
         assert!(g.add_edge(a, b, 1.5).is_err());
+        assert!(g.add_edge(a, b, f64::NAN).is_err());
+        assert!(g.add_edge(a, b, f64::INFINITY).is_err());
         assert!(g.add_edge(a, b, 1.0).is_ok());
+    }
+
+    #[test]
+    fn relation_count_capped_at_bitmask_width() {
+        // Regression: the 33rd relation used to be accepted silently and
+        // then corrupt every `1 << i` in the adjacency/DP machinery.
+        let mut g = QueryGraph::new();
+        for i in 0..MAX_GRAPH_RELATIONS {
+            g.add_relation(format!("R{i}"), 10).unwrap();
+        }
+        assert_eq!(g.len(), 32);
+        let err = g.add_relation("R32", 10).unwrap_err();
+        assert!(err.to_string().contains("at most 32"), "{err}");
+        // The full graph still works: chain it up and check connectivity.
+        for i in 0..31 {
+            g.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        assert!(g.is_connected());
+        assert!(QueryGraph::regular_chain(33, 10).is_err());
+        assert!(QueryGraph::regular_chain(32, 10).is_ok());
     }
 
     #[test]
     fn disconnected_graph_detected() {
         let mut g = QueryGraph::new();
-        g.add_relation("A", 10);
-        g.add_relation("B", 10);
+        g.add_relation("A", 10).unwrap();
+        g.add_relation("B", 10).unwrap();
         assert!(!g.is_connected());
         assert!(g.check_optimizable().is_err());
     }

@@ -30,6 +30,10 @@ impl TableStats {
 #[derive(Debug, Default)]
 pub struct Catalog {
     entries: RwLock<HashMap<String, (Arc<Relation>, TableStats)>>,
+    /// Distinct-value counts per (relation, column) — what the planner's
+    /// selectivity formula `1 / max(d_left, d_right)` runs on. Columns
+    /// without an entry fall back to [`TableStats`].
+    column_distinct: RwLock<HashMap<(String, usize), u64>>,
 }
 
 impl Catalog {
@@ -61,6 +65,43 @@ impl Catalog {
             .get(name)
             .map(|(_, s)| *s)
             .ok_or_else(|| RelalgError::UnknownRelation(name.to_string()))
+    }
+
+    /// Records the distinct-value count of one column of `name`.
+    pub fn set_column_distinct(&self, name: impl Into<String>, column: usize, distinct: u64) {
+        self.column_distinct
+            .write()
+            .insert((name.into(), column), distinct);
+    }
+
+    /// Scans the relation and records exact distinct counts for every
+    /// column — O(rows × columns); meant for generated/benchmark data, not
+    /// for production-size loads.
+    pub fn analyze(&self, name: &str) -> Result<()> {
+        let rel = self.relation(name)?;
+        for col in 0..rel.schema().arity() {
+            let mut seen = std::collections::HashSet::new();
+            for tuple in rel.iter() {
+                seen.insert(tuple.get(col)?.clone());
+            }
+            self.set_column_distinct(name, col, seen.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Distinct-value estimate for one column: the recorded per-column
+    /// count if any, else [`TableStats::distinct_keys`] for column 0 (the
+    /// primary join key), else the relation cardinality (assume unique).
+    pub fn column_distinct(&self, name: &str, column: usize) -> Result<u64> {
+        if let Some(d) = self.column_distinct.read().get(&(name.to_string(), column)) {
+            return Ok(*d);
+        }
+        let stats = self.stats(name)?;
+        Ok(if column == 0 {
+            stats.distinct_keys
+        } else {
+            stats.cardinality
+        })
     }
 
     /// Names of all registered relations (unordered).
@@ -124,6 +165,29 @@ mod tests {
             },
         );
         assert_eq!(c.stats("R").unwrap().distinct_keys, 3);
+    }
+
+    #[test]
+    fn column_stats_fall_back_to_table_stats() {
+        let c = Catalog::new();
+        c.register("R", rel(10));
+        // No per-column entries: col 0 uses distinct_keys, others cardinality.
+        assert_eq!(c.column_distinct("R", 0).unwrap(), 10);
+        assert_eq!(c.column_distinct("R", 3).unwrap(), 10);
+        c.set_column_distinct("R", 3, 4);
+        assert_eq!(c.column_distinct("R", 3).unwrap(), 4);
+        assert!(c.column_distinct("missing", 0).is_err());
+    }
+
+    #[test]
+    fn analyze_counts_exact_distincts() {
+        let c = Catalog::new();
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::int("v")]).shared();
+        let tuples = (0..12).map(|i| Tuple::from_ints(&[i % 3, i])).collect();
+        c.register("S", Arc::new(Relation::new(schema, tuples).unwrap()));
+        c.analyze("S").unwrap();
+        assert_eq!(c.column_distinct("S", 0).unwrap(), 3);
+        assert_eq!(c.column_distinct("S", 1).unwrap(), 12);
     }
 
     #[test]
