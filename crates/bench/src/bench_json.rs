@@ -897,6 +897,210 @@ pub fn validate_bench3_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// The streamed run of the session benchmark: when the first batch
+/// reached the client vs when the stream fully drained.
+#[derive(Clone, Debug, Serialize)]
+pub struct SessionStreamRun {
+    /// Wall-clock seconds from submit to the first batch at the client.
+    pub first_batch_s: f64,
+    /// Wall-clock seconds from submit to the stream's final `End`.
+    pub full_stream_s: f64,
+    /// Batches delivered.
+    pub batches: u64,
+    /// Result tuples delivered.
+    pub result_tuples: u64,
+}
+
+/// Time-to-first-batch vs time-to-full-materialization for one FP chain
+/// query submitted through the session facade — the reason the root
+/// output streams instead of materializing into `ExecOutcome.relation`.
+#[derive(Clone, Debug, Serialize)]
+pub struct SessionComparison {
+    /// Relations in the chain query.
+    pub relations: usize,
+    /// Tuples per base relation.
+    pub tuples_per_relation: u64,
+    /// Worker threads in the engine pool.
+    pub workers: usize,
+    /// The forced strategy (FP: every edge a live pipeline).
+    pub strategy: String,
+    /// The text query submitted through `Database::query`.
+    pub query: String,
+    /// The streamed run (best-of-reps on full drain; first-batch is the
+    /// minimum observed).
+    pub streamed: SessionStreamRun,
+    /// Wall-clock seconds for the same plan via the materializing wrapper
+    /// (`Engine::run`), which only returns once everything is drained.
+    pub materialized_s: f64,
+    /// `materialized_s / streamed.first_batch_s` — how much sooner a
+    /// streaming client sees its first results (> 1 is the acceptance
+    /// criterion).
+    pub first_batch_speedup: f64,
+}
+
+/// The whole `BENCH_4.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench4Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// The session streaming scenario.
+    pub session: SessionComparison,
+}
+
+/// Measures time-to-first-batch vs time-to-full-materialization for an FP
+/// chain query submitted through the session facade. Both paths run the
+/// *same* planned query on the same engine; the streamed path is measured
+/// from submit to first batch and to full drain, the materialized path is
+/// `Engine::run` (drain-then-return). Best-of-`reps` each.
+pub fn session_comparison(
+    relations: usize,
+    n: usize,
+    workers: usize,
+    reps: usize,
+) -> Result<SessionComparison> {
+    use mj_exec::{generate_family, Database, DbConfig, PlannerOptions, QueryFamily};
+    use mj_relalg::RelationProvider;
+
+    let instance = generate_family(QueryFamily::Chain, relations, n, 42)?;
+    let mut config = DbConfig::default();
+    config.exec.workers = workers;
+    let mut planner = PlannerOptions::new(8);
+    planner.strategy = Some(Strategy::FP);
+    config.planner = planner;
+    let db = Database::open(config)
+        .map_err(|e| mj_relalg::RelalgError::InvalidPlan(format!("open session database: {e}")))?;
+    let mut names = instance.catalog.names();
+    names.sort();
+    for name in &names {
+        db.register(name, instance.catalog.relation(name)?)
+            .map_err(|e| mj_relalg::RelalgError::InvalidPlan(e.to_string()))?;
+    }
+    db.analyze()
+        .map_err(|e| mj_relalg::RelalgError::InvalidPlan(e.to_string()))?;
+
+    let query = mj_exec::chain_query_sql(relations);
+    let planned = db
+        .plan(&query)
+        .map_err(|e| mj_relalg::RelalgError::InvalidPlan(e.to_string()))?;
+    let engine = db.engine();
+
+    // Warm-up: fill allocator/page caches so both modes measure steady
+    // state.
+    engine.run(&planned.plan, &planned.binding)?;
+
+    let mut best_stream: Option<SessionStreamRun> = None;
+    let mut best_first = f64::INFINITY;
+    let mut best_materialized = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        // Streamed: submit, stamp the first batch, drain.
+        let started = Instant::now();
+        let mut handle = engine.submit(&planned.plan, &planned.binding)?;
+        let mut stream = handle.stream();
+        let mut first_batch_s = None;
+        let mut batches = 0u64;
+        let mut tuples = 0u64;
+        while let Some(batch) = stream.next_batch() {
+            if first_batch_s.is_none() {
+                first_batch_s = Some(started.elapsed().as_secs_f64());
+            }
+            batches += 1;
+            tuples += batch.len() as u64;
+        }
+        drop(stream);
+        handle.outcome()?;
+        let full_stream_s = started.elapsed().as_secs_f64();
+        let first = first_batch_s.unwrap_or(full_stream_s);
+        best_first = best_first.min(first);
+        if best_stream
+            .as_ref()
+            .map(|b| full_stream_s < b.full_stream_s)
+            .unwrap_or(true)
+        {
+            best_stream = Some(SessionStreamRun {
+                first_batch_s: first,
+                full_stream_s,
+                batches,
+                result_tuples: tuples,
+            });
+        }
+
+        // Materialized: the wrapper returns only after the full drain.
+        let started = Instant::now();
+        let outcome = engine.run(&planned.plan, &planned.binding)?;
+        debug_assert_eq!(outcome.relation.len() as u64, tuples);
+        best_materialized = best_materialized.min(started.elapsed().as_secs_f64());
+    }
+    let mut streamed = best_stream.expect("at least one rep");
+    streamed.first_batch_s = best_first;
+
+    Ok(SessionComparison {
+        relations,
+        tuples_per_relation: n as u64,
+        workers,
+        strategy: planned.strategy().label().to_string(),
+        query,
+        first_batch_speedup: best_materialized / streamed.first_batch_s,
+        streamed,
+        materialized_s: best_materialized,
+    })
+}
+
+/// Produces the `BENCH_4.json` report: first-batch latency vs full
+/// materialization for an FP chain query through the session facade.
+/// `quick` shrinks the workload for CI smoke runs.
+pub fn bench4_report(quick: bool) -> Result<Bench4Report> {
+    let (relations, n, reps) = if quick { (4, 3_000, 1) } else { (6, 40_000, 5) };
+    Ok(Bench4Report {
+        bench: 4,
+        quick,
+        session: session_comparison(relations, n, 4, reps)?,
+    })
+}
+
+/// Renders a `BENCH_4.json` report as pretty-enough JSON.
+pub fn bench4_to_json(report: &Bench4Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"session\":{", "\n\"session\":{\n  ")
+        .replace("\"streamed\":", "\n  \"streamed\":")
+        .replace("\"materialized_s\":", "\n  \"materialized_s\":")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_4.json` (CI smoke run).
+pub fn validate_bench4_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "session"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let s = v.get("session").expect("checked");
+    for key in [
+        "relations",
+        "tuples_per_relation",
+        "workers",
+        "strategy",
+        "query",
+        "streamed",
+        "materialized_s",
+        "first_batch_speedup",
+    ] {
+        if s.get(key).is_none() {
+            return Err(format!("missing key `session.{key}`"));
+        }
+    }
+    let run = s.get("streamed").expect("checked");
+    for key in ["first_batch_s", "full_stream_s", "batches", "result_tuples"] {
+        if run.get(key).is_none() {
+            return Err(format!("missing key `session.streamed.{key}`"));
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -1041,6 +1245,25 @@ mod tests {
         validate_bench3_json(&json).unwrap();
         assert!(validate_bench3_json("{}").is_err());
         assert!(validate_bench3_json("{\"bench\":3,\"quick\":true}").is_err());
+    }
+
+    #[test]
+    fn bench4_runs_and_validates_on_a_tiny_workload() {
+        let c = session_comparison(3, 400, 2, 1).unwrap();
+        assert_eq!(c.relations, 3);
+        assert!(c.streamed.result_tuples > 0);
+        assert!(c.streamed.batches >= 1);
+        assert!(c.streamed.first_batch_s <= c.streamed.full_stream_s);
+        assert!(c.strategy == "FP");
+        let report = Bench4Report {
+            bench: 4,
+            quick: true,
+            session: c,
+        };
+        let json = bench4_to_json(&report);
+        validate_bench4_json(&json).unwrap();
+        assert!(validate_bench4_json("{}").is_err());
+        assert!(validate_bench4_json("{\"bench\":4,\"quick\":true}").is_err());
     }
 
     #[test]

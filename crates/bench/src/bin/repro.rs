@@ -20,8 +20,10 @@
 //!   bench [--quick]       machine-readable perf baselines -> BENCH_1.json
 //!                         (zero-copy) + BENCH_2.json (concurrent queries)
 //!                         + BENCH_3.json (cost-based planner)
+//!                         + BENCH_4.json (session streaming latency)
 //!   bench-concurrent      only the concurrent section -> BENCH_2.json
 //!   bench-planner         only the planner section -> BENCH_3.json
+//!   bench-session         only the streaming section -> BENCH_4.json
 //!
 //! CSV series are written to results/.
 
@@ -30,9 +32,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mj_bench::{
-    bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench_report, format_table,
-    paper_processor_counts, report_to_json, simulate_tree, sweep, validate_bench2_json,
-    validate_bench3_json, validate_report_json, write_csv, PAPER_SIZES,
+    bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench4_report, bench4_to_json,
+    bench_report, format_table, paper_processor_counts, report_to_json, simulate_tree, sweep,
+    validate_bench2_json, validate_bench3_json, validate_bench4_json, validate_report_json,
+    write_csv, PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -105,9 +108,11 @@ fn main() {
                 emit_bench_json(quick);
                 emit_bench2_json(quick);
                 emit_bench3_json(quick);
+                emit_bench4_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
+            "bench-session" => emit_bench4_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -779,6 +784,50 @@ fn emit_bench3_json(quick: bool) {
                 f.family, f.ratio_vs_best
             );
         }
+    }
+}
+
+/// Produces `BENCH_4.json`: time-to-first-batch vs full materialization
+/// for an FP chain query through the session facade (see
+/// `mj_bench::bench_json::session_comparison`).
+fn emit_bench4_json(quick: bool) {
+    println!(
+        "== BENCH_4.json: session streaming latency ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench4_report(quick).expect("bench4 report");
+    let s = &report.session;
+    println!(
+        "{}-relation {} chain (n={}, {} workers): first batch {:.2} ms, \
+         full stream {:.2} ms, materialized {:.2} ms",
+        s.relations,
+        s.strategy,
+        s.tuples_per_relation,
+        s.workers,
+        s.streamed.first_batch_s * 1e3,
+        s.streamed.full_stream_s * 1e3,
+        s.materialized_s * 1e3,
+    );
+    println!(
+        "first-batch speedup: {:.2}x ({} batches, {} tuples streamed)",
+        s.first_batch_speedup, s.streamed.batches, s.streamed.result_tuples,
+    );
+    let json = bench4_to_json(&report);
+    validate_bench4_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_4_quick.json"
+    } else {
+        "BENCH_4.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && s.first_batch_speedup <= 1.0 {
+        eprintln!(
+            "WARNING: first batch ({:.2} ms) did not beat full materialization ({:.2} ms)",
+            s.streamed.first_batch_s * 1e3,
+            s.materialized_s * 1e3,
+        );
     }
 }
 

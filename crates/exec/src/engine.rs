@@ -1,14 +1,25 @@
 //! Plan interpretation on the shared worker pool: build operator tasks,
-//! wire streams, schedule phases, collect the result.
+//! wire streams, schedule phases, stream the result to the client.
 //!
 //! The [`Engine`] owns a fixed-size [`WorkerPool`] and a shared
-//! [`FragmentStore`]; [`Engine::run`] is callable from many threads at
-//! once, and every query's operator instances are multiplexed onto the
-//! same bounded worker set — the paper's fixed processor pool (§4).
-//! Per-query state (tuple streams, sink buffer, metrics, the coordinator
-//! waiting on instance completions) lives on the calling thread;
-//! materialized intermediates go into the shared store under a per-query
-//! namespace that is reclaimed when the query finishes.
+//! [`FragmentStore`]; queries are submitted with [`Engine::submit`], which
+//! returns a [`QueryHandle`] immediately — the query's operator instances
+//! are multiplexed onto the same bounded worker set (the paper's fixed
+//! processor pool, §4) while a per-query coordinator thread tracks
+//! completions. The root operator's instances feed a bounded client
+//! channel instead of materializing the result: the handle's
+//! [`ResultStream`] pulls batches while the query is still running, and a
+//! slow client backpressures the worker pool. [`Engine::run`] and
+//! [`run_plan`] remain as thin wrappers that drain the stream into a
+//! materialized [`ExecOutcome`].
+//!
+//! Per-query state (tuple streams, metrics, the coordinator waiting on
+//! instance completions) lives on the coordinator; materialized
+//! intermediates go into the shared store under a per-query namespace that
+//! is reclaimed when the query finishes — including when it is cancelled:
+//! the handle's cancel token is observed by every task on its next
+//! scheduling step, each reports exactly once, and the coordinator
+//! reclaims the namespace before the outcome is released.
 //!
 //! Scheduling order follows the right-deep segmentation: every operator
 //! task is submitted with its segment's topological wave index
@@ -28,25 +39,32 @@ use mj_core::validate::validate_plan;
 use mj_plan::segment::segments;
 use mj_relalg::{RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
-use parking_lot::Mutex;
 
 use crate::binding::QueryBinding;
 use crate::config::ExecConfig;
+use crate::handle::{QueryCtrl, QueryHandle, QueryOutcome, ResultStream};
 use crate::metrics::Metrics;
 use crate::operator::task::{DoneMsg, JoinTask};
 use crate::operator::OutputPort;
 use crate::sched::WorkerPool;
 use crate::source::Source;
-use crate::stream::{operand_channels, BatchPool, Msg, Router};
+use crate::stream::{client_channel, operand_channels, BatchPool, ClientSink, Msg, Router};
 
 /// Producer op id -> (senders to the consumer's instances, consumer key
 /// column, the edge's shared batch-buffer pool).
 type OutStreams = HashMap<usize, (Vec<Sender<Msg>>, usize, Arc<BatchPool>)>;
 
-/// The result of executing a plan.
+/// The endpoints of the query's root-result channel before the root
+/// operation spawns.
+type ClientEdge = (Sender<Msg>, Arc<BatchPool>);
+
+/// The materialized result of executing a plan to completion — what the
+/// blocking wrappers ([`Engine::run`], [`run_plan`]) assemble by draining
+/// the [`ResultStream`]. Streaming clients use [`Engine::submit`] and
+/// never materialize this.
 #[derive(Debug)]
 pub struct ExecOutcome {
-    /// The query result (the root join's output).
+    /// The query result (the root join's output, drained from the stream).
     pub relation: Relation,
     /// Response time: scheduling start to last operation process exit
     /// (the paper's metric; initial data fragmentation is setup, not
@@ -62,12 +80,16 @@ pub struct ExecOutcome {
 /// ```text
 /// let engine = Engine::new(catalog, ExecConfig::default())?;   // N workers
 /// // from any number of threads:
-/// let outcome = engine.run(&plan, &binding)?;                   // own Metrics
+/// let mut handle = engine.submit(&plan, &binding)?;            // streaming
+/// for batch in handle.stream() { /* incremental consumption */ }
+/// let outcome = engine.run(&plan, &binding)?;                  // materialized
 /// ```
 ///
-/// Thread count is bounded by `config.workers` for the engine's whole
-/// lifetime — running more queries multiplexes more tasks onto the same
-/// workers instead of spawning threads.
+/// Thread count of the *worker pool* is bounded by `config.workers` for
+/// the engine's whole lifetime — running more queries multiplexes more
+/// tasks onto the same workers instead of spawning threads. (Each
+/// submitted query additionally holds one mostly-idle coordinator thread
+/// for its own lifetime; coordinators never execute operator work.)
 pub struct Engine {
     provider: Arc<dyn RelationProvider + Send + Sync>,
     config: ExecConfig,
@@ -114,37 +136,125 @@ impl Engine {
         &self.store
     }
 
-    /// Executes `plan` against the engine's provider. Callable
-    /// concurrently from many threads; each call gets its own
-    /// [`Metrics`].
-    pub fn run(&self, plan: &ParallelPlan, binding: &QueryBinding) -> Result<ExecOutcome> {
+    /// Submits `plan` for execution and returns a [`QueryHandle`]
+    /// immediately. Callable concurrently from many threads; each query
+    /// gets its own handle, stream, metrics, and cancel token while all of
+    /// them share the engine's fixed worker pool.
+    pub fn submit(&self, plan: &ParallelPlan, binding: &QueryBinding) -> Result<QueryHandle> {
+        let (client, stream, ctrl) = open_result_channel(plan, binding, &self.config)?;
+
+        let plan = plan.clone();
+        let binding = binding.clone();
+        let provider = self.provider.clone();
+        let config = self.config;
+        let pool = self.pool.clone();
+        let store = self.store.clone();
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
-        run_on(
-            plan,
-            binding,
-            self.provider.as_ref(),
-            &self.config,
-            &self.pool,
-            &self.store,
-            query_id,
-        )
+        let coord_ctrl = ctrl.clone();
+        let coordinator = std::thread::Builder::new()
+            .name("mj-coordinator".into())
+            .spawn(move || {
+                let result = run_query(
+                    &plan,
+                    &binding,
+                    provider.as_ref(),
+                    &config,
+                    &pool,
+                    &store,
+                    query_id,
+                    client,
+                    &coord_ctrl,
+                );
+                coord_ctrl.finish(&result);
+                result
+            })
+            .map_err(|e| RelalgError::InvalidPlan(format!("cannot spawn coordinator: {e}")))?;
+        Ok(QueryHandle::new(stream, ctrl, coordinator))
+    }
+
+    /// Executes `plan` to completion, draining the result stream into a
+    /// materialized [`ExecOutcome`]. Callable concurrently from many
+    /// threads; each call gets its own [`Metrics`].
+    pub fn run(&self, plan: &ParallelPlan, binding: &QueryBinding) -> Result<ExecOutcome> {
+        let mut handle = self.submit(plan, binding)?;
+        let mut stream = handle.stream();
+        let schema = stream.schema().clone();
+        let mut tuples: Vec<Tuple> = Vec::new();
+        while let Some(mut batch) = stream.next_batch() {
+            tuples.extend(batch.drain());
+        }
+        drop(stream); // fully drained: dropping a finished stream is a no-op
+        let outcome = handle.outcome()?;
+        Ok(ExecOutcome {
+            relation: Relation::new_unchecked(schema, tuples),
+            elapsed: outcome.elapsed,
+            metrics: outcome.metrics,
+        })
     }
 }
 
 /// Executes `plan` against the relations in `provider` on a transient
 /// single-query engine (a pool of `config.workers` threads is created for
-/// the call and joined before it returns). Long-lived callers and
-/// concurrent workloads should hold an [`Engine`] instead.
+/// the call and joined before it returns), draining the stream into a
+/// materialized [`ExecOutcome`]. Long-lived callers, concurrent
+/// workloads, and streaming clients should hold an [`Engine`] instead.
 pub fn run_plan(
     plan: &ParallelPlan,
     binding: &QueryBinding,
-    provider: &dyn RelationProvider,
+    provider: &(dyn RelationProvider + Sync),
     config: &ExecConfig,
 ) -> Result<ExecOutcome> {
-    config.validate().map_err(RelalgError::InvalidPlan)?;
+    let (client, mut stream, ctrl) = open_result_channel(plan, binding, config)?;
+    let schema = stream.schema().clone();
     let pool = WorkerPool::new(config.workers);
     let store = Arc::new(FragmentStore::new(plan.processors));
-    run_on(plan, binding, provider, config, &pool, &store, 0)
+
+    std::thread::scope(|scope| {
+        let pool = &pool;
+        let store = &store;
+        let ctrl_ref = &ctrl;
+        let coordinator = scope.spawn(move || {
+            run_query(
+                plan, binding, provider, config, pool, store, 0, client, ctrl_ref,
+            )
+        });
+        let mut tuples: Vec<Tuple> = Vec::new();
+        while let Some(mut batch) = stream.next_batch() {
+            tuples.extend(batch.drain());
+        }
+        let outcome = coordinator.join().expect("coordinator thread")?;
+        Ok(ExecOutcome {
+            relation: Relation::new_unchecked(schema.clone(), tuples),
+            elapsed: outcome.elapsed,
+            metrics: outcome.metrics,
+        })
+    })
+}
+
+/// Validates the configuration and plan, locates the root operation, and
+/// opens one query's bounded result channel: the producer-side
+/// [`ClientEdge`] for the coordinator, the client-side [`ResultStream`],
+/// and the shared cancel/status block. The single setup path behind both
+/// [`Engine::submit`] and [`run_plan`].
+fn open_result_channel(
+    plan: &ParallelPlan,
+    binding: &QueryBinding,
+    config: &ExecConfig,
+) -> Result<(ClientEdge, ResultStream, Arc<QueryCtrl>)> {
+    config.validate().map_err(RelalgError::InvalidPlan)?;
+    validate_plan(plan)?;
+    let root = plan.tree.root();
+    let producers = plan
+        .ops
+        .iter()
+        .find(|op| op.join == root)
+        .map(PlanOp::degree)
+        .ok_or_else(|| RelalgError::InvalidPlan("plan has no root operation".into()))?;
+    let schema = binding.schema(root)?.clone();
+    let (tx, rx, bpool) = client_channel(producers, config.channel_capacity);
+    let ctrl = QueryCtrl::new();
+    let stream = ResultStream::new(rx, producers, schema, ctrl.clone());
+    Ok(((tx, bpool), stream, ctrl))
 }
 
 /// Per-query coordinator state while its tasks run on the pool.
@@ -154,6 +264,7 @@ struct QueryRun<'a> {
     config: &'a ExecConfig,
     pool: &'a WorkerPool,
     store: &'a Arc<FragmentStore>,
+    ctrl: &'a Arc<QueryCtrl>,
     /// Fragment-name namespace of this query in the shared store.
     ns: String,
     /// Per-op scheduling priority: the op's segment wave (§4 order).
@@ -166,7 +277,9 @@ struct QueryRun<'a> {
     out_stream: OutStreams,
     /// Producer op -> consumer uses materialization.
     out_materialized: Vec<bool>,
-    sink_buffer: Arc<Mutex<Vec<Tuple>>>,
+    /// Root-result channel endpoints, taken when the root op spawns;
+    /// dropping the master sender lets the stream observe teardown.
+    client: Option<ClientEdge>,
     done_tx: mpsc::Sender<DoneMsg>,
     spawned: Vec<bool>,
     spawned_instances: usize,
@@ -212,6 +325,16 @@ impl QueryRun<'_> {
             }
         }
         let out = self.out_stream.remove(&op.id);
+        // The sink op (no stream consumer, no materializing consumer)
+        // feeds the client's result channel.
+        let client = if out.is_none() && !self.out_materialized[op.id] {
+            debug_assert_eq!(op.join, root_join, "only the root op feeds the client");
+            Some(self.client.take().ok_or_else(|| {
+                RelalgError::InvalidPlan("plan has more than one sink operation".into())
+            })?)
+        } else {
+            None
+        };
 
         // `i` indexes channels, fragments, and procs alike.
         #[allow(clippy::needless_range_loop)]
@@ -258,11 +381,12 @@ impl QueryRun<'_> {
                     buffer: Vec::new(),
                 },
                 None => {
-                    debug_assert_eq!(op.join, root_join, "only the root op sinks");
-                    OutputPort::Sink {
-                        collected: self.sink_buffer.clone(),
-                        buffer: Vec::new(),
-                    }
+                    let (tx, bpool) = client.as_ref().expect("taken above");
+                    OutputPort::Client(ClientSink::new(
+                        tx.clone(),
+                        self.config.batch_size,
+                        bpool.clone(),
+                    ))
                 }
             };
 
@@ -271,7 +395,7 @@ impl QueryRun<'_> {
                 .fail
                 .map(|f| f.op == op.id && f.instance == i)
                 .unwrap_or(false);
-            let task = JoinTask::new(
+            let task = JoinTask::with_ctrl(
                 op.algorithm,
                 spec.clone(),
                 left,
@@ -283,10 +407,13 @@ impl QueryRun<'_> {
                 self.done_tx.clone(),
                 self.config.startup_cost,
                 fail,
+                Some(self.ctrl.clone()),
             );
             self.pool.submit(self.priorities[op.id], Box::new(task));
             self.spawned_instances += 1;
         }
+        // `client` (the master sender) drops here once the root op has
+        // spawned: from now on only the root instances hold senders.
         Ok(())
     }
 
@@ -295,12 +422,17 @@ impl QueryRun<'_> {
     fn release_unspawned_endpoints(&mut self) {
         self.stream_rx.clear();
         self.out_stream.clear();
+        self.client = None;
     }
 }
 
-/// Runs one query's plan on a (shared) pool and store. `query_id`
-/// namespaces the query's materialized fragments within the store.
-fn run_on(
+/// Runs one query's plan on a (shared) pool and store, streaming the root
+/// output into `client`. `query_id` namespaces the query's materialized
+/// fragments within the store. Returns once the query has quiesced: every
+/// submitted task has reported exactly once, and the query's fragment
+/// namespace has been reclaimed.
+#[allow(clippy::too_many_arguments)]
+fn run_query(
     plan: &ParallelPlan,
     binding: &QueryBinding,
     provider: &dyn RelationProvider,
@@ -308,9 +440,11 @@ fn run_on(
     pool: &WorkerPool,
     store: &Arc<FragmentStore>,
     query_id: u64,
-) -> Result<ExecOutcome> {
-    config.validate().map_err(RelalgError::InvalidPlan)?;
-    validate_plan(plan)?;
+    client: ClientEdge,
+    ctrl: &Arc<QueryCtrl>,
+) -> Result<QueryOutcome> {
+    // Config and plan were validated by `open_result_channel` — both
+    // callers go through it before spawning this coordinator.
     let n_ops = plan.ops.len();
     let ns = format!("q{query_id}:");
     store.ensure_nodes(plan.processors);
@@ -380,8 +514,6 @@ fn run_on(
         .map(|op| node_waves.get(op.join).copied().flatten().unwrap_or(0))
         .collect();
 
-    let sink_buffer: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
-
     // --- Scheduling (timed). ---
     let started = Instant::now();
     let (done_tx, done_rx) = mpsc::channel::<DoneMsg>();
@@ -405,13 +537,14 @@ fn run_on(
         config,
         pool,
         store,
+        ctrl,
         ns: ns.clone(),
         priorities,
         base_fragments,
         stream_rx,
         out_stream,
         out_materialized,
-        sink_buffer,
+        client: Some(client),
         done_tx,
         spawned: vec![false; n_ops],
         spawned_instances: 0,
@@ -422,7 +555,10 @@ fn run_on(
     let mut received = 0usize;
     let mut first_err: Option<RelalgError> = None;
 
-    if let Err(e) = run.spawn_ready(&deps_remaining) {
+    if ctrl.is_canceled() {
+        first_err = Some(RelalgError::Canceled);
+        run.release_unspawned_endpoints();
+    } else if let Err(e) = run.spawn_ready(&deps_remaining) {
         // Setup failed part-way: any already-submitted tasks unwind via
         // dropped endpoints; keep draining below so the query is quiescent
         // (and the shared store clean) before we return.
@@ -435,6 +571,12 @@ fn run_on(
             .recv()
             .map_err(|_| RelalgError::InvalidPlan("scheduler channel broke".into()))?;
         received += 1;
+        if ctrl.is_canceled() && first_err.is_none() {
+            // Cancellation arrived while tasks were in flight: stop
+            // spawning new waves and let running tasks observe the token.
+            first_err = Some(RelalgError::Canceled);
+            run.release_unspawned_endpoints();
+        }
         match res {
             Ok(stats) => {
                 let m = &mut run.metrics.ops[op_id];
@@ -472,7 +614,13 @@ fn run_on(
     store.remove_prefix(&ns);
 
     if let Some(e) = first_err {
-        return Err(e);
+        // A cancelled query reports `Canceled` even when teardown surfaced
+        // racing stream errors first.
+        return Err(if ctrl.is_canceled() {
+            RelalgError::Canceled
+        } else {
+            e
+        });
     }
     if run.spawned.iter().any(|s| !s) {
         return Err(RelalgError::InvalidPlan(
@@ -480,10 +628,7 @@ fn run_on(
         ));
     }
 
-    let tuples = std::mem::take(&mut *run.sink_buffer.lock());
-    let relation = Relation::new_unchecked(binding.schema(plan.tree.root())?.clone(), tuples);
-    Ok(ExecOutcome {
-        relation,
+    Ok(QueryOutcome {
         elapsed,
         metrics: run.metrics,
     })
@@ -492,6 +637,7 @@ fn run_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::handle::QueryStatus;
     use mj_core::generator::{generate, GeneratorInput};
     use mj_core::strategy::Strategy;
     use mj_plan::cardinality::{node_cards, UniformOneToOne};
@@ -769,5 +915,123 @@ mod tests {
                     .expect_err("fault must surface");
             }
         }
+    }
+
+    // --- Streaming + handles ---
+
+    #[test]
+    fn submit_streams_batches_before_outcome() {
+        let (catalog, n) = setup(5, 300);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        let mut handle = engine.submit(&plan, &binding).unwrap();
+        let mut stream = handle.stream();
+        assert_eq!(stream.schema().arity(), 3);
+        let mut total = 0usize;
+        let mut batches = 0usize;
+        while let Some(batch) = stream.next_batch() {
+            total += batch.len();
+            batches += 1;
+        }
+        drop(stream);
+        let outcome = handle.outcome().unwrap();
+        assert_eq!(total, 300);
+        assert!(batches >= 1);
+        assert_eq!(outcome.metrics.total_tuples_out(), 4 * 300);
+        assert_eq!(engine.store().total_bytes(), 0);
+    }
+
+    #[test]
+    fn collect_drains_and_checks_outcome() {
+        let (catalog, n) = setup(4, 128);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 4).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 3);
+        let relation = engine.submit(&plan, &binding).unwrap().collect().unwrap();
+        assert_eq!(relation.len(), 128);
+    }
+
+    #[test]
+    fn cancel_mid_stream_quiesces_and_engine_is_reusable() {
+        let (catalog, n) = setup(5, 4_000);
+        // Tiny batches and a capacity-1 channel: the root blocks on client
+        // backpressure almost immediately, so the query is guaranteed to
+        // still be in flight when we cancel.
+        let config = ExecConfig {
+            workers: 2,
+            batch_size: 16,
+            channel_capacity: 1,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        let mut handle = engine.submit(&plan, &binding).unwrap();
+        let mut stream = handle.stream();
+        let first = stream.next_batch();
+        assert!(first.is_some(), "a first batch must arrive");
+        assert_eq!(handle.status(), QueryStatus::Running);
+        handle.cancel();
+        // The stream ends (possibly after a few in-flight batches).
+        while stream.next_batch().is_some() {}
+        drop(stream);
+        let err = handle.outcome().expect_err("cancelled query must error");
+        assert!(matches!(err, RelalgError::Canceled), "got {err}");
+        // Quiescent: fragments reclaimed, pool intact and reusable.
+        assert_eq!(engine.store().total_bytes(), 0);
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert_eq!(outcome.relation.len(), 4_000);
+        assert_eq!(engine.pool().threads(), 2);
+    }
+
+    #[test]
+    fn dropping_a_live_handle_cancels_and_quiesces() {
+        let (catalog, n) = setup(5, 2_000);
+        let config = ExecConfig {
+            workers: 2,
+            batch_size: 16,
+            channel_capacity: 1,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        let handle = engine.submit(&plan, &binding).unwrap();
+        assert!(matches!(
+            handle.status(),
+            QueryStatus::Running | QueryStatus::Finished
+        ));
+        drop(handle); // cancels, drains, joins the coordinator
+        assert_eq!(engine.store().total_bytes(), 0);
+        // Engine still serves queries.
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert_eq!(outcome.relation.len(), 2_000);
+    }
+
+    #[test]
+    fn status_reaches_finished_after_outcome() {
+        let (catalog, n) = setup(3, 64);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 3).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 2);
+        let mut handle = engine.submit(&plan, &binding).unwrap();
+        let relation = handle.stream().collect_relation();
+        assert_eq!(relation.len(), 64);
+        // The coordinator records the terminal state shortly after the
+        // last End; poll briefly instead of racing it.
+        for _ in 0..5_000 {
+            if handle.status() == QueryStatus::Finished {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.status(), QueryStatus::Finished);
+        handle.outcome().unwrap();
     }
 }

@@ -197,6 +197,31 @@ pub fn generate_family(
     })
 }
 
+/// The text query joining a [`QueryFamily::Chain`] (or
+/// [`QueryFamily::Skewed`] — same topology) instance end to end:
+/// `SELECT * FROM R0 JOIN R1 ON R0.b = R1.a JOIN R2 ...`. Kept next to
+/// the generator so the SQL stays in lockstep with the family's column
+/// names.
+pub fn chain_query_sql(k: usize) -> String {
+    let mut q = String::from("SELECT * FROM R0");
+    for i in 1..k {
+        q.push_str(&format!(" JOIN R{i} ON R{}.b = R{i}.a", i - 1));
+    }
+    q
+}
+
+/// The text query joining a [`QueryFamily::Star`] instance end to end:
+/// every dimension `R0..R{k-2}` (columns `key`, `payload`) against the
+/// fact `R{k-1}` (columns `fk0..`, `measure`).
+pub fn star_query_sql(k: usize) -> String {
+    let fact = k - 1;
+    let mut q = format!("SELECT * FROM R0 JOIN R{fact} ON R0.key = R{fact}.fk0");
+    for d in 1..k - 1 {
+        q.push_str(&format!(" JOIN R{d} ON R{d}.key = R{fact}.fk{d}"));
+    }
+    q
+}
+
 fn chain_schema() -> Arc<Schema> {
     Schema::new(vec![
         Attribute::int("a"),

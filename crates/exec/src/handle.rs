@@ -1,0 +1,316 @@
+//! Cancellable query handles and pull-based result streams.
+//!
+//! [`Engine::submit`](crate::engine::Engine::submit) returns a
+//! [`QueryHandle`] immediately: the query's operator tasks run on the
+//! shared worker pool while a per-query coordinator thread tracks
+//! completions. Results are **not** materialized into an
+//! `ExecOutcome.relation` first — the root operator instances feed a
+//! bounded channel ([`ClientSink`](crate::stream::ClientSink)) that the
+//! handle's [`ResultStream`] drains batch by batch, so the first result
+//! tuples reach the client while deeper operators are still producing, and
+//! a slow client backpressures the worker pool instead of buffering
+//! unboundedly.
+//!
+//! Cancellation is quiescent: [`QueryHandle::cancel`] flips the query's
+//! cancel token; every operator task observes it on its next scheduling
+//! step, reports [`RelalgError::Canceled`] exactly once through PR 2's
+//! completion protocol, and the coordinator reclaims the query's fragment
+//! namespace before [`QueryHandle::outcome`] returns. The engine is
+//! immediately reusable.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use mj_relalg::{RelalgError, Relation, Result, Schema, Tuple};
+
+use crate::metrics::Metrics;
+use crate::stream::{Batch, Msg};
+
+/// Lifecycle state of a submitted query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The query's tasks are still running (or queued).
+    Running,
+    /// Every task completed and all results were delivered.
+    Finished,
+    /// The query failed; [`QueryHandle::outcome`] carries the error.
+    Failed,
+    /// The query was cancelled and has quiesced.
+    Canceled,
+}
+
+// Running is the (default) zero state; the coordinator writes the rest.
+const STATE_FINISHED: u8 = 1;
+const STATE_FAILED: u8 = 2;
+const STATE_CANCELED: u8 = 3;
+
+/// Shared control block of one submitted query: the cancel token the
+/// operator tasks poll and the terminal state the coordinator records.
+#[derive(Debug, Default)]
+pub struct QueryCtrl {
+    cancel: AtomicBool,
+    state: AtomicU8,
+}
+
+impl QueryCtrl {
+    /// Creates a control block in the `Running` state.
+    pub fn new() -> Arc<Self> {
+        Arc::new(QueryCtrl::default())
+    }
+
+    /// Requests cancellation. Idempotent; observed by every task on its
+    /// next scheduling step.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancellation has been requested.
+    pub fn is_canceled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Records the coordinator's terminal result.
+    pub(crate) fn finish(&self, result: &Result<QueryOutcome>) {
+        let state = match result {
+            Ok(_) => STATE_FINISHED,
+            Err(RelalgError::Canceled) => STATE_CANCELED,
+            Err(_) => STATE_FAILED,
+        };
+        self.state.store(state, Ordering::Release);
+    }
+
+    /// The query's current lifecycle state.
+    pub fn status(&self) -> QueryStatus {
+        match self.state.load(Ordering::Acquire) {
+            STATE_FINISHED => QueryStatus::Finished,
+            STATE_FAILED => QueryStatus::Failed,
+            STATE_CANCELED => QueryStatus::Canceled,
+            _ => QueryStatus::Running,
+        }
+    }
+}
+
+/// What a completed query reports: timing and metrics. The result tuples
+/// themselves travel through the [`ResultStream`] — they are never
+/// materialized inside the engine.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Response time: scheduling start to last operation-process exit (the
+    /// paper's metric; base fragmentation is setup, not response time).
+    pub elapsed: Duration,
+    /// Execution metrics.
+    pub metrics: Metrics,
+}
+
+/// A pull-based iterator over the query's result [`Batch`]es, fed directly
+/// from the root operator instances through a bounded channel.
+///
+/// Dropping the stream before it is exhausted cancels the query (there is
+/// nobody left to deliver results to); dropping it after the final `End`
+/// is a no-op.
+pub struct ResultStream {
+    rx: Receiver<Msg>,
+    /// Root instances that have not sent `End` yet.
+    remaining: usize,
+    schema: Arc<Schema>,
+    ctrl: Arc<QueryCtrl>,
+    ended: bool,
+}
+
+impl ResultStream {
+    pub(crate) fn new(
+        rx: Receiver<Msg>,
+        producers: usize,
+        schema: Arc<Schema>,
+        ctrl: Arc<QueryCtrl>,
+    ) -> Self {
+        ResultStream {
+            rx,
+            remaining: producers,
+            schema,
+            ctrl,
+            ended: producers == 0,
+        }
+    }
+
+    /// The schema of the streamed tuples.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Blocks for the next batch. `None` once every root instance has
+    /// finished — or unwound: a query that failed (or was cancelled)
+    /// simply ends the stream early, and the error surfaces from
+    /// [`QueryHandle::outcome`].
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        while !self.ended {
+            match self.rx.recv() {
+                Ok(Msg::Batch(batch)) => return Some(batch),
+                Ok(Msg::End) => {
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        self.ended = true;
+                    }
+                }
+                // Every sender gone without the full End count: the
+                // dataflow unwound (error or cancel).
+                Err(_) => self.ended = true,
+            }
+        }
+        None
+    }
+
+    /// Drains the stream into a materialized [`Relation`] (convenience for
+    /// clients that do not want incremental consumption). Completeness is
+    /// not guaranteed unless [`QueryHandle::outcome`] reports success.
+    pub fn collect_relation(mut self) -> Relation {
+        let mut tuples: Vec<Tuple> = Vec::new();
+        while let Some(mut batch) = self.next_batch() {
+            tuples.extend(batch.drain());
+        }
+        Relation::new_unchecked(self.schema.clone(), tuples)
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        self.next_batch()
+    }
+}
+
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        // Abandoning a live stream cancels the query; a drained stream
+        // (all Ends seen) drops silently.
+        if !self.ended {
+            self.ctrl.cancel();
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResultStream(schema {}, {} producers outstanding)",
+            self.schema, self.remaining
+        )
+    }
+}
+
+/// A handle to an in-flight query: stream its results, poll its status,
+/// cancel it, and collect its final outcome.
+///
+/// Dropping the handle cancels the query and waits for quiescence, so a
+/// handle can never leak running tasks.
+pub struct QueryHandle {
+    stream: Option<ResultStream>,
+    ctrl: Arc<QueryCtrl>,
+    coordinator: Option<JoinHandle<Result<QueryOutcome>>>,
+}
+
+impl QueryHandle {
+    pub(crate) fn new(
+        stream: ResultStream,
+        ctrl: Arc<QueryCtrl>,
+        coordinator: JoinHandle<Result<QueryOutcome>>,
+    ) -> Self {
+        QueryHandle {
+            stream: Some(stream),
+            ctrl,
+            coordinator: Some(coordinator),
+        }
+    }
+
+    /// Takes the result stream. Panics if called twice — the stream is the
+    /// single consumption point of the query's output.
+    pub fn stream(&mut self) -> ResultStream {
+        self.stream
+            .take()
+            .expect("QueryHandle::stream() may only be taken once")
+    }
+
+    /// The schema of the result tuples.
+    pub fn schema(&self) -> Option<Arc<Schema>> {
+        self.stream.as_ref().map(|s| s.schema().clone())
+    }
+
+    /// Requests cancellation: every task of this query observes the token
+    /// on its next scheduling step and reports exactly once; fragments are
+    /// reclaimed before [`outcome`](Self::outcome) returns. Cancelling a
+    /// query that already completed is a no-op.
+    pub fn cancel(&self) {
+        self.ctrl.cancel();
+    }
+
+    /// The query's current lifecycle state.
+    pub fn status(&self) -> QueryStatus {
+        self.ctrl.status()
+    }
+
+    /// Waits for the query to quiesce and returns its outcome. If the
+    /// stream was never taken, any undelivered results are drained and
+    /// discarded first (so `outcome()` cannot deadlock against a full
+    /// result channel). Returns [`RelalgError::Canceled`] if the query was
+    /// cancelled before completing.
+    ///
+    /// If you **did** take the stream, finish with it before calling this:
+    /// drain it to the end, drop it (which cancels a live query), or call
+    /// [`cancel`](Self::cancel) first. `outcome()` blocks until the query
+    /// quiesces, and a query cannot quiesce while its root tasks are
+    /// backpressured against a taken-but-idle stream — holding the
+    /// undrained stream on the same thread that calls `outcome()` would
+    /// wait forever. (Draining from another thread is fine; this call then
+    /// simply waits for that drain.)
+    pub fn outcome(mut self) -> Result<QueryOutcome> {
+        self.wait()
+    }
+
+    /// Drains the stream into a relation and returns it alongside the
+    /// outcome — the one-call path for clients that want the whole result
+    /// (`run_plan`'s behaviour, minus the transient engine).
+    pub fn collect(mut self) -> Result<Relation> {
+        let stream = self.stream.take().ok_or_else(|| {
+            RelalgError::InvalidPlan("result stream already taken; drain it instead".into())
+        })?;
+        let relation = stream.collect_relation();
+        self.wait()?;
+        Ok(relation)
+    }
+
+    fn wait(&mut self) -> Result<QueryOutcome> {
+        // Discard any untaken results so root tasks are never wedged on a
+        // full channel nobody reads.
+        if let Some(mut stream) = self.stream.take() {
+            while stream.next_batch().is_some() {}
+        }
+        match self.coordinator.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| RelalgError::InvalidPlan("query coordinator panicked".into()))?,
+            None => Err(RelalgError::InvalidPlan(
+                "query outcome already taken".into(),
+            )),
+        }
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        if self.coordinator.is_some() {
+            self.ctrl.cancel();
+            let _ = self.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueryHandle({:?})", self.status())
+    }
+}

@@ -27,6 +27,14 @@
 //! phase-1 optimizers, costs all four strategies (with processor
 //! allocation) under the analytic schedule model, and lowers the winner
 //! into a `ParallelPlan` + [`QueryBinding`] ready for [`Engine::run`].
+//!
+//! The [`session`] module is the public front door over all of it:
+//! [`Database::open`](session::Database::open) +
+//! [`register`](session::Database::register) +
+//! [`query`](session::Database::query) parse a text query, bind it against
+//! the catalog, plan it, and return a cancellable [`QueryHandle`] whose
+//! [`ResultStream`] delivers batches while the query runs — no
+//! `QueryGraph`/`generate`/`QueryBinding` assembly in user code.
 
 #![warn(missing_docs)]
 
@@ -34,17 +42,21 @@ pub mod binding;
 pub mod config;
 pub mod engine;
 pub mod families;
+pub mod handle;
 pub mod metrics;
 pub mod operator;
 pub mod planner;
 pub mod sched;
+pub mod session;
 pub mod source;
 pub mod stream;
 
 pub use binding::QueryBinding;
 pub use config::{ExecConfig, FailPoint};
 pub use engine::{run_plan, Engine, ExecOutcome};
-pub use families::{generate_family, FamilyInstance, QueryFamily};
+pub use families::{chain_query_sql, generate_family, star_query_sql, FamilyInstance, QueryFamily};
+pub use handle::{QueryHandle, QueryOutcome, QueryStatus, ResultStream};
 pub use metrics::{Metrics, OpMetrics};
 pub use planner::{query_from_catalog, PlanChoice, PlannedQuery, Planner, PlannerOptions};
 pub use sched::WorkerPool;
+pub use session::{Database, DbConfig, MjError, MjResult};

@@ -7,7 +7,7 @@ use mj_relalg::{Relation, Result, Schema, Tuple};
 use mj_storage::FragmentStore;
 use parking_lot::Mutex;
 
-use crate::stream::Router;
+use crate::stream::{ClientSink, Router};
 
 /// The output port of one operation-process instance.
 pub enum OutputPort {
@@ -27,7 +27,13 @@ pub enum OutputPort {
         /// Accumulated tuples.
         buffer: Vec<Tuple>,
     },
-    /// The query sink: results are collected for the client.
+    /// The root of a submitted query: batches stream to the client's
+    /// [`ResultStream`](crate::handle::ResultStream) through a bounded
+    /// channel, so results flow before the query completes and a slow
+    /// client backpressures the pool.
+    Client(ClientSink),
+    /// A buffered collection sink (the dedicated-thread `run_*_instance`
+    /// drivers used by unit tests and benches).
     Sink {
         /// Shared collection buffer.
         collected: Arc<Mutex<Vec<Tuple>>>,
@@ -44,6 +50,11 @@ impl OutputPort {
             OutputPort::Stream(router) => {
                 for t in tuples.drain(..) {
                     router.route(t)?;
+                }
+            }
+            OutputPort::Client(sink) => {
+                for t in tuples.drain(..) {
+                    sink.push(t)?;
                 }
             }
             OutputPort::Materialize { buffer, .. } | OutputPort::Sink { buffer, .. } => {
@@ -78,6 +89,21 @@ impl OutputPort {
                     }
                 }
             }
+            OutputPort::Client(sink) => {
+                while *pos < out.len() {
+                    let t = std::mem::replace(&mut out[*pos], Tuple::from_ints(&[]));
+                    match sink.try_push(t)? {
+                        None => {
+                            *pos += 1;
+                            emitted += 1;
+                        }
+                        Some(t) => {
+                            out[*pos] = t;
+                            return Ok((emitted, false));
+                        }
+                    }
+                }
+            }
             OutputPort::Materialize { buffer, .. } | OutputPort::Sink { buffer, .. } => {
                 emitted = (out.len() - *pos) as u64;
                 buffer.extend(out.drain(*pos..));
@@ -96,6 +122,7 @@ impl OutputPort {
     pub fn try_finish(&mut self) -> Result<bool> {
         match self {
             OutputPort::Stream(router) => router.try_finish(),
+            OutputPort::Client(sink) => sink.try_finish(),
             OutputPort::Materialize {
                 store,
                 proc,
@@ -126,6 +153,7 @@ impl OutputPort {
     pub fn finish(self) -> Result<()> {
         match self {
             OutputPort::Stream(router) => router.finish(),
+            OutputPort::Client(mut sink) => sink.finish_blocking(),
             mut other => {
                 other.try_finish()?;
                 Ok(())

@@ -16,6 +16,7 @@
 //! coordinator can never hang waiting for a vanished instance.
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, TryRecvError};
@@ -23,6 +24,7 @@ use mj_join::{PipeliningJoinState, SimpleJoinState};
 use mj_relalg::hash::bucket_of;
 use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Relation, Result, Tuple};
 
+use crate::handle::QueryCtrl;
 use crate::metrics::InstanceStats;
 use crate::operator::OutputPort;
 use crate::sched::{Step, Task};
@@ -213,6 +215,8 @@ pub struct JoinTask {
     startup_deadline: Option<Instant>,
     fail: bool,
     reported: bool,
+    /// The query's cancel token; observed at every scheduling step.
+    ctrl: Option<Arc<QueryCtrl>>,
 }
 
 impl JoinTask {
@@ -232,6 +236,30 @@ impl JoinTask {
         done_tx: Sender<DoneMsg>,
         startup: Option<Duration>,
         fail: bool,
+    ) -> JoinTask {
+        Self::with_ctrl(
+            algorithm, spec, left, right, output, batch, op_id, instance, done_tx, startup, fail,
+            None,
+        )
+    }
+
+    /// [`JoinTask::new`] plus the query's shared control block, so the
+    /// instance aborts (reporting [`RelalgError::Canceled`] exactly once)
+    /// as soon as the client cancels the query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_ctrl(
+        algorithm: JoinAlgorithm,
+        spec: EquiJoin,
+        left: Source,
+        right: Source,
+        output: OutputPort,
+        batch: usize,
+        op_id: usize,
+        instance: usize,
+        done_tx: Sender<DoneMsg>,
+        startup: Option<Duration>,
+        fail: bool,
+        ctrl: Option<Arc<QueryCtrl>>,
     ) -> JoinTask {
         let core = match algorithm {
             JoinAlgorithm::Simple => Core::Simple(SimpleJoinState::new(spec)),
@@ -254,6 +282,7 @@ impl JoinTask {
             startup_deadline: startup.map(|d| Instant::now() + d),
             fail,
             reported: false,
+            ctrl,
         }
     }
 
@@ -422,6 +451,13 @@ impl JoinTask {
 impl Task for JoinTask {
     fn step(&mut self) -> Step {
         self.stats.steps += 1;
+        // Cancellation preempts whatever phase the instance is in: report
+        // once and become inert, releasing channel endpoints on drop.
+        if self.phase != Phase::Done && self.ctrl.as_ref().map(|c| c.is_canceled()).unwrap_or(false)
+        {
+            self.report(Err(RelalgError::Canceled));
+            return Step::Done;
+        }
         match self.try_step() {
             Ok(step) => {
                 if step == Step::Blocked {

@@ -176,8 +176,26 @@ impl Planner {
 
     /// Plans `query` end to end: phase-1 tree, phase-2 strategy and
     /// processor allocation by cheapest estimated schedule, generalized
-    /// lowering, binding.
+    /// lowering, binding. Keeps every column of every relation in
+    /// tree-independent `(relation, column)` order.
     pub fn plan(&self, query: &JoinQuery) -> Result<PlannedQuery> {
+        self.plan_with_output(query, None)
+    }
+
+    /// [`plan`](Self::plan) with an explicit output column list: the final
+    /// result contains exactly the `(relation, column)` pairs of `output`,
+    /// in order (the session layer's `SELECT` list). `None` keeps every
+    /// column.
+    pub fn plan_with_output(
+        &self,
+        query: &JoinQuery,
+        output: Option<&[(usize, usize)]>,
+    ) -> Result<PlannedQuery> {
+        if self.options.processors == 0 {
+            return Err(RelalgError::InvalidPlan(
+                "planner needs at least 1 processor".into(),
+            ));
+        }
         if query.len() < 2 {
             return Err(RelalgError::InvalidPlan(
                 "planner needs at least 2 relations".into(),
@@ -212,7 +230,7 @@ impl Planner {
         let mut lowered_variants = Vec::with_capacity(variants.len());
 
         for (v, (tree, mirrored)) in variants.iter().enumerate() {
-            let lowered = lower(tree, query, None)?;
+            let lowered = lower(tree, query, output)?;
             let cards = lowered.est_cards().to_vec();
             let costs = tree_costs(tree, &cards, &self.options.cost_model);
             for &strategy in &strategies {
@@ -403,6 +421,41 @@ mod tests {
         let catalog = Catalog::new();
         let q = query_from_catalog(&catalog, &[], &[]).unwrap();
         assert!(Planner::new(PlannerOptions::new(4)).plan(&q).is_err());
+    }
+
+    #[test]
+    fn zero_processors_is_an_error_not_a_panic() {
+        let (_, query) = wisconsin_chain(3, 50);
+        let err = Planner::new(PlannerOptions::new(0))
+            .plan(&query)
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 1 processor"), "{err}");
+    }
+
+    #[test]
+    fn output_columns_shape_the_plan_result() {
+        let (catalog, query) = wisconsin_chain(3, 100);
+        // Keep only unique2 of the first and last relation.
+        let output = vec![(0usize, 1usize), (2usize, 1usize)];
+        let planned = Planner::new(PlannerOptions::new(4))
+            .plan_with_output(&query, Some(&output))
+            .unwrap();
+        let outcome = run_plan(
+            &planned.plan,
+            &planned.binding,
+            catalog.as_ref(),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.relation.len(), 100);
+        assert_eq!(outcome.relation.schema().arity(), 2);
+        let oracle = planned
+            .lowered
+            .to_xra(&planned.tree, JoinAlgorithm::Simple)
+            .unwrap()
+            .eval(catalog.as_ref())
+            .unwrap();
+        assert!(outcome.relation.multiset_eq(&oracle));
     }
 
     #[test]

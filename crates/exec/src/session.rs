@@ -1,0 +1,570 @@
+//! The session facade: the front door a client actually calls.
+//!
+//! Everything below this module — catalogs, query graphs, phase-1
+//! optimizers, strategy costing, plan generation, bindings, the worker
+//! pool — is machinery the paper says a *system* should drive (§3–§4).
+//! [`Database`] packages it behind three calls:
+//!
+//! ```text
+//! let db = Database::open(DbConfig::default())?;
+//! db.register("orders", orders)?;            // + the other relations
+//! db.analyze()?;                             // per-column statistics
+//! let mut handle = db.query("SELECT * FROM orders JOIN ...")?;
+//! for batch in handle.stream() { /* results stream incrementally */ }
+//! ```
+//!
+//! `query` parses the text ([`mj_plan::parse`]), resolves relation and
+//! column names against the catalog (spanned errors), derives selectivities
+//! from the catalog's per-column distinct counts (the System-R formula the
+//! planner already uses), plans with the cost-based [`Planner`], and
+//! submits to the shared [`Engine`] — returning a cancellable
+//! [`QueryHandle`] whose [`ResultStream`](crate::handle::ResultStream)
+//! delivers batches while the query runs.
+//!
+//! Every failure mode surfaces as a [`MjError`] — the top-level error that
+//! unifies the per-crate error types (`From` impls for [`ParseError`] and
+//! [`RelalgError`]) and carries byte spans for parse/bind diagnostics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mj_plan::parse::{parse_query, render_span, ColumnRef, ParseError, QueryAst, SelectList, Span};
+use mj_plan::query::JoinQuery;
+use mj_relalg::{RelalgError, Relation, RelationProvider};
+use mj_storage::Catalog;
+
+use crate::config::ExecConfig;
+use crate::engine::Engine;
+use crate::handle::QueryHandle;
+use crate::planner::{PlannedQuery, Planner, PlannerOptions};
+
+/// The top-level error of the session API, unifying the per-crate error
+/// types behind one enum. Parse and bind failures carry byte [`Span`]s
+/// into the query text; [`MjError::render`] draws the caret line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MjError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The query parsed but a name/column/type did not resolve against the
+    /// catalog.
+    Bind {
+        /// What failed to bind.
+        message: String,
+        /// The offending token's byte range in the query text.
+        span: Span,
+    },
+    /// A relation name was registered twice.
+    DuplicateRelation(String),
+    /// The database configuration is invalid (zero workers, zero
+    /// processors, zero batch size, ...).
+    Config(String),
+    /// The planner could not produce an executable plan for the query.
+    Plan(RelalgError),
+    /// Execution failed after planning succeeded.
+    Exec(RelalgError),
+    /// The query was cancelled before it completed.
+    Canceled,
+}
+
+impl MjError {
+    /// A bind error at `span`.
+    pub fn bind(message: impl Into<String>, span: Span) -> Self {
+        MjError::Bind {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The span of a parse/bind error, if this error carries one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            MjError::Parse(e) => Some(e.span),
+            MjError::Bind { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// Renders the error against the query source: spanned errors get the
+    /// offending line with a caret underline, everything else the plain
+    /// message.
+    pub fn render(&self, source: &str) -> String {
+        match self.span() {
+            Some(span) => render_span(source, span, &self.to_string()),
+            None => format!("{self}\n"),
+        }
+    }
+}
+
+impl fmt::Display for MjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MjError::Parse(e) => write!(f, "{e}"),
+            MjError::Bind { message, span } => {
+                write!(f, "bind error at {}: {message}", span.start)
+            }
+            MjError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already registered")
+            }
+            MjError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            MjError::Plan(e) => write!(f, "planning failed: {e}"),
+            MjError::Exec(e) => write!(f, "execution failed: {e}"),
+            MjError::Canceled => write!(f, "query canceled"),
+        }
+    }
+}
+
+impl std::error::Error for MjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MjError::Parse(e) => Some(e),
+            MjError::Plan(e) | MjError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for MjError {
+    fn from(e: ParseError) -> Self {
+        MjError::Parse(e)
+    }
+}
+
+impl From<RelalgError> for MjError {
+    fn from(e: RelalgError) -> Self {
+        match e {
+            RelalgError::Canceled => MjError::Canceled,
+            other => MjError::Exec(other),
+        }
+    }
+}
+
+/// Result alias of the session API.
+pub type MjResult<T> = std::result::Result<T, MjError>;
+
+/// The output column list of a bound query: ordered `(relation, column)`
+/// pairs, or `None` for every column in tree-independent order.
+pub type OutputColumns = Option<Vec<(usize, usize)>>;
+
+/// Configuration of a [`Database`]: the execution engine's tunables plus
+/// the planner's options (logical processors, cost models, strategy
+/// override).
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Worker pool, batching, and channel tunables.
+    pub exec: ExecConfig,
+    /// Cost-based planner options (notably `processors`, the logical
+    /// parallelism every plan is allocated over).
+    pub planner: PlannerOptions,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            exec: ExecConfig::default(),
+            planner: PlannerOptions::new(8),
+        }
+    }
+}
+
+impl DbConfig {
+    /// Validates the configuration without opening anything.
+    pub fn validate(&self) -> MjResult<()> {
+        self.exec.validate().map_err(MjError::Config)?;
+        if self.planner.processors == 0 {
+            return Err(MjError::Config(
+                "planner processors must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A database session: one [`Catalog`], one [`Engine`] (fixed worker
+/// pool), one [`Planner`]. Shareable across client threads (`&Database` is
+/// all a client needs); every in-flight query multiplexes onto the same
+/// workers.
+pub struct Database {
+    catalog: Arc<Catalog>,
+    engine: Engine,
+    planner: Planner,
+}
+
+impl Database {
+    /// Opens an empty database. Validates the whole configuration up
+    /// front: zero workers, zero processors, or zero batch/channel sizes
+    /// are [`MjError::Config`], never a panic.
+    pub fn open(config: DbConfig) -> MjResult<Database> {
+        config.validate()?;
+        let catalog = Arc::new(Catalog::new());
+        let engine = Engine::new(catalog.clone(), config.exec)
+            .map_err(|e| MjError::Config(e.to_string()))?;
+        Ok(Database {
+            catalog,
+            engine,
+            planner: Planner::new(config.planner),
+        })
+    }
+
+    /// Registers a relation under `name`. Duplicate names are rejected
+    /// atomically ([`MjError::DuplicateRelation`]); the original stays.
+    pub fn register(&self, name: impl Into<String>, relation: Arc<Relation>) -> MjResult<()> {
+        let name = name.into();
+        self.catalog
+            .register_new(name.clone(), relation)
+            .map_err(|e| match e {
+                // `register_new` only rejects name collisions today; keep
+                // any future failure mode's real cause visible.
+                RelalgError::InvalidPlan(_) => MjError::DuplicateRelation(name),
+                other => MjError::Exec(other),
+            })
+    }
+
+    /// Scans every registered relation and records exact per-column
+    /// distinct counts — what the planner's System-R selectivity formula
+    /// runs on. Call after registration (and after bulk changes).
+    pub fn analyze(&self) -> MjResult<()> {
+        for name in self.catalog.names() {
+            self.catalog.analyze(&name).map_err(MjError::Exec)?;
+        }
+        Ok(())
+    }
+
+    /// The catalog behind this session.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The shared execution engine (worker pool, fragment store).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The planner options this session plans with.
+    pub fn planner_options(&self) -> &PlannerOptions {
+        self.planner.options()
+    }
+
+    /// Parses and binds `text` into a validated [`JoinQuery`] plus the
+    /// requested output columns — the frontend half of [`query`](Self::query),
+    /// exposed for tools that want the bound query without planning it.
+    pub fn bind(&self, text: &str) -> MjResult<(JoinQuery, OutputColumns)> {
+        let ast = parse_query(text)?;
+        bind_ast(&ast, &self.catalog)
+    }
+
+    /// Plans `text` end to end (parse → bind → cost-based planner) without
+    /// executing — what `mj sql --explain` prints.
+    pub fn plan(&self, text: &str) -> MjResult<PlannedQuery> {
+        let (query, output) = self.bind(text)?;
+        self.planner
+            .plan_with_output(&query, output.as_deref())
+            .map_err(MjError::Plan)
+    }
+
+    /// Parses, binds, plans, and submits `text`, returning a cancellable
+    /// [`QueryHandle`] immediately. Results stream through
+    /// [`QueryHandle::stream`] while the query runs on the shared pool.
+    pub fn query(&self, text: &str) -> MjResult<QueryHandle> {
+        let planned = self.plan(text)?;
+        self.engine
+            .submit(&planned.plan, &planned.binding)
+            .map_err(MjError::from)
+    }
+
+    /// Plans and submits an already-validated [`JoinQuery`] (the
+    /// programmatic twin of [`query`](Self::query) for clients that build
+    /// queries directly). Keeps every column of every relation, in
+    /// tree-independent `(relation, column)` order.
+    pub fn query_ast(&self, query: &JoinQuery) -> MjResult<QueryHandle> {
+        let planned = self.planner.plan(query).map_err(MjError::Plan)?;
+        self.engine
+            .submit(&planned.plan, &planned.binding)
+            .map_err(MjError::from)
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Database({} relations, {} workers, {} planner processors)",
+            self.catalog.len(),
+            self.engine.workers(),
+            self.planner.options().processors
+        )
+    }
+}
+
+/// Binds a parsed query against the catalog: resolves relation and column
+/// names (spanned errors), derives selectivities from per-column distinct
+/// counts, and maps the select list to `(relation, column)` output pairs.
+fn bind_ast(ast: &QueryAst, catalog: &Catalog) -> MjResult<(JoinQuery, OutputColumns)> {
+    if ast.joins.is_empty() {
+        return Err(MjError::bind(
+            format!(
+                "the engine evaluates multi-join queries; join `{}` to at least one other \
+                 relation",
+                ast.from.name
+            ),
+            ast.from.span,
+        ));
+    }
+
+    let mut query = JoinQuery::new();
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    for ident in ast.relations() {
+        if index.contains_key(ident.name.as_str()) {
+            return Err(MjError::bind(
+                format!("relation `{}` appears twice in the query", ident.name),
+                ident.span,
+            ));
+        }
+        let stats = catalog
+            .stats(&ident.name)
+            .map_err(|_| MjError::bind(format!("unknown relation `{}`", ident.name), ident.span))?;
+        let schema = catalog
+            .relation(&ident.name)
+            .map_err(|_| MjError::bind(format!("unknown relation `{}`", ident.name), ident.span))?
+            .schema()
+            .clone();
+        let idx = query
+            .add_relation(&ident.name, stats.cardinality, schema)
+            .map_err(|e| MjError::bind(e.to_string(), ident.span))?;
+        index.insert(ident.name.as_str(), idx);
+    }
+
+    // Resolve the join conditions left to right; each ON clause may only
+    // reference relations already in scope (FROM plus earlier/this JOIN).
+    let mut in_scope: Vec<&str> = vec![ast.from.name.as_str()];
+    for clause in &ast.joins {
+        in_scope.push(clause.relation.name.as_str());
+        let (a, ca) = resolve_column(&clause.left, &index, &in_scope, &query)?;
+        let (b, cb) = resolve_column(&clause.right, &index, &in_scope, &query)?;
+        if a == b {
+            return Err(MjError::bind(
+                "a join condition must relate two different relations",
+                clause.on_span,
+            ));
+        }
+        let da = catalog
+            .column_distinct(&query.graph().names()[a], ca)
+            .map_err(MjError::Exec)?
+            .max(1);
+        let db = catalog
+            .column_distinct(&query.graph().names()[b], cb)
+            .map_err(MjError::Exec)?
+            .max(1);
+        let selectivity = 1.0 / da.max(db) as f64;
+        query
+            .add_join(a, b, ca, cb, selectivity)
+            .map_err(|e| MjError::bind(e.to_string(), clause.on_span))?;
+    }
+
+    let output = match &ast.select {
+        SelectList::Star => None,
+        SelectList::Columns(cols) => {
+            let mut out = Vec::with_capacity(cols.len());
+            for col in cols {
+                // Projection may reference any relation of the query.
+                let all: Vec<&str> = index.keys().copied().collect();
+                out.push(resolve_column(col, &index, &all, &query)?);
+            }
+            Some(out)
+        }
+    };
+    Ok((query, output))
+}
+
+/// Resolves `relation.column` to `(relation index, column index)`,
+/// checking the relation is in `scope`.
+fn resolve_column(
+    col: &ColumnRef,
+    index: &HashMap<&str, usize>,
+    scope: &[&str],
+    query: &JoinQuery,
+) -> MjResult<(usize, usize)> {
+    let rel_name = col.relation.name.as_str();
+    let rel = match index.get(rel_name) {
+        Some(&idx) if scope.contains(&rel_name) => idx,
+        Some(_) => {
+            return Err(MjError::bind(
+                format!(
+                    "relation `{rel_name}` is not in scope yet; a join condition may only \
+                     reference relations joined so far"
+                ),
+                col.relation.span,
+            ))
+        }
+        None => {
+            return Err(MjError::bind(
+                format!("relation `{rel_name}` is not part of this query"),
+                col.relation.span,
+            ))
+        }
+    };
+    let schema = query.schema(rel).map_err(MjError::Exec)?;
+    let column = schema.index_of(&col.column.name).map_err(|_| {
+        MjError::bind(
+            format!(
+                "relation `{rel_name}` has no column `{}` (columns: {})",
+                col.column.name,
+                schema
+                    .attrs()
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            col.column.span,
+        )
+    })?;
+    Ok((rel, column))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::{Attribute, Schema, Tuple};
+
+    fn rel(cols: &[&str], rows: usize) -> Arc<Relation> {
+        let schema = Schema::new(cols.iter().map(|c| Attribute::int(*c)).collect()).shared();
+        let arity = cols.len();
+        let tuples = (0..rows as i64)
+            .map(|i| Tuple::from_ints(&vec![i; arity]))
+            .collect();
+        Arc::new(Relation::new_unchecked(schema, tuples))
+    }
+
+    fn small_db() -> Database {
+        let db = Database::open(DbConfig::default()).unwrap();
+        db.register("users", rel(&["id", "team"], 32)).unwrap();
+        db.register("orders", rel(&["user_id", "item"], 32))
+            .unwrap();
+        db.register("items", rel(&["id", "price"], 32)).unwrap();
+        db.analyze().unwrap();
+        db
+    }
+
+    #[test]
+    fn open_rejects_bad_configs() {
+        let mut config = DbConfig::default();
+        config.exec.workers = 0;
+        assert!(matches!(Database::open(config), Err(MjError::Config(_))));
+        let mut config = DbConfig::default();
+        config.planner.processors = 0;
+        assert!(matches!(Database::open(config), Err(MjError::Config(_))));
+        let mut config = DbConfig::default();
+        config.exec.batch_size = 0;
+        assert!(matches!(Database::open(config), Err(MjError::Config(_))));
+        let mut config = DbConfig::default();
+        config.exec.channel_capacity = 0;
+        assert!(matches!(Database::open(config), Err(MjError::Config(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_is_an_error() {
+        let db = small_db();
+        let err = db.register("users", rel(&["id"], 4)).unwrap_err();
+        assert!(
+            matches!(err, MjError::DuplicateRelation(ref n) if n == "users"),
+            "{err}"
+        );
+        // Original relation untouched.
+        assert_eq!(db.catalog().relation("users").unwrap().schema().arity(), 2);
+    }
+
+    #[test]
+    fn query_streams_a_two_way_join() {
+        let db = small_db();
+        let result = db
+            .query("SELECT * FROM users JOIN orders ON users.id = orders.user_id")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(result.len(), 32, "id and user_id are both 0..32");
+        assert_eq!(result.schema().arity(), 4);
+    }
+
+    #[test]
+    fn explicit_projection_controls_output() {
+        let db = small_db();
+        let result = db
+            .query(
+                "SELECT orders.item, users.team FROM users \
+                 JOIN orders ON users.id = orders.user_id",
+            )
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(result.schema().arity(), 2);
+        assert_eq!(result.schema().attr(0).unwrap().name, "item");
+        assert_eq!(result.schema().attr(1).unwrap().name, "team");
+        assert_eq!(result.len(), 32);
+    }
+
+    #[test]
+    fn unknown_relation_is_a_spanned_bind_error() {
+        let db = small_db();
+        let src = "SELECT * FROM users JOIN ghosts ON users.id = ghosts.id";
+        let err = db.query(src).unwrap_err();
+        let span = err.span().expect("bind errors carry a span");
+        assert_eq!(&src[span.start..span.end], "ghosts");
+        assert!(
+            err.to_string().contains("unknown relation `ghosts`"),
+            "{err}"
+        );
+        assert!(err.render(src).contains("^"), "{}", err.render(src));
+    }
+
+    #[test]
+    fn unknown_column_and_out_of_scope_are_bind_errors() {
+        let db = small_db();
+        let src = "SELECT * FROM users JOIN orders ON users.nope = orders.user_id";
+        let err = db.query(src).unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!(&src[span.start..span.end], "nope");
+        assert!(err.to_string().contains("no column `nope`"), "{err}");
+
+        // `items` is referenced before it is joined.
+        let src = "SELECT * FROM users JOIN orders ON users.id = items.id \
+                   JOIN items ON orders.item = items.id";
+        let err = db.query(src).unwrap_err();
+        assert!(err.to_string().contains("not in scope"), "{err}");
+    }
+
+    #[test]
+    fn single_relation_query_is_rejected_with_span() {
+        let db = small_db();
+        let err = db.query("SELECT * FROM users").unwrap_err();
+        assert!(matches!(err, MjError::Bind { .. }), "{err}");
+        assert!(err.to_string().contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_pass_through_with_spans() {
+        let db = small_db();
+        let err = db.query("SELECT * FROM users JOIN").unwrap_err();
+        assert!(matches!(err, MjError::Parse(_)), "{err}");
+        assert_eq!(err.span().unwrap().start, 24);
+    }
+
+    #[test]
+    fn query_ast_runs_a_programmatic_query() {
+        let db = small_db();
+        let (query, _) = db
+            .bind("SELECT * FROM users JOIN orders ON users.id = orders.user_id")
+            .unwrap();
+        let result = db.query_ast(&query).unwrap().collect().unwrap();
+        assert_eq!(result.len(), 32);
+    }
+
+    #[test]
+    fn self_join_condition_is_rejected() {
+        let db = small_db();
+        let err = db
+            .query("SELECT * FROM users JOIN orders ON users.id = users.team")
+            .unwrap_err();
+        assert!(err.to_string().contains("two different relations"), "{err}");
+    }
+}

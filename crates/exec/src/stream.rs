@@ -193,6 +193,156 @@ fn hung_up() -> RelalgError {
     RelalgError::InvalidPlan("consumer hung up".into())
 }
 
+/// Creates the root-result channel of one query: `producers` root-operator
+/// instances all send into one bounded channel the client side
+/// (`ResultStream`) drains. The pool is sized like a redistribution edge
+/// with a single consumer, so steady-state streaming recycles every batch
+/// buffer the client drops.
+pub fn client_channel(
+    producers: usize,
+    capacity: usize,
+) -> (Sender<Msg>, Receiver<Msg>, Arc<BatchPool>) {
+    let (tx, rx) = bounded(capacity);
+    let pool = BatchPool::new(edge_buffer_bound(producers, 1, capacity));
+    (tx, rx, pool)
+}
+
+/// A root instance's sender into the query's result channel: batches tuples
+/// and ships them to the client with the same non-blocking, one-parked-batch
+/// discipline as [`Router`], minus the hash split (all root instances feed
+/// one [`ResultStream`](crate::handle::ResultStream)). Backpressure from a
+/// slow client therefore propagates into the worker pool: a root task whose
+/// send parks yields its worker instead of buffering unboundedly.
+pub struct ClientSink {
+    tx: Sender<Msg>,
+    batch: usize,
+    buffer: Vec<Tuple>,
+    pool: Arc<BatchPool>,
+    sent: u64,
+    /// A batch (or End) that hit the full channel and awaits retry.
+    pending: Option<Msg>,
+    /// Whether `End` has been queued (finish is then complete once
+    /// `pending` clears).
+    end_queued: bool,
+}
+
+impl ClientSink {
+    /// Creates a sink over the query's result sender.
+    pub fn new(tx: Sender<Msg>, batch: usize, pool: Arc<BatchPool>) -> Self {
+        let buffer = pool.take(batch);
+        ClientSink {
+            tx,
+            batch,
+            buffer,
+            pool,
+            sent: 0,
+            pending: None,
+            end_queued: false,
+        }
+    }
+
+    /// Tuples accepted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Attempts to deliver the parked message, if any. `Ok(true)` means the
+    /// sink can accept work; `Ok(false)` means the channel is still full.
+    pub fn poll_unblocked(&mut self) -> Result<bool> {
+        match self.pending.take() {
+            None => Ok(true),
+            Some(msg) => match self.tx.try_send(msg) {
+                Ok(()) => Ok(true),
+                Err(TrySendError::Full(msg)) => {
+                    self.pending = Some(msg);
+                    Ok(false)
+                }
+                Err(TrySendError::Disconnected(_)) => Err(hung_up()),
+            },
+        }
+    }
+
+    fn try_send_or_park(&mut self, msg: Msg) -> Result<()> {
+        debug_assert!(self.pending.is_none(), "parked message not cleared");
+        match self.tx.try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => {
+                self.pending = Some(msg);
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(hung_up()),
+        }
+    }
+
+    /// Non-blocking push: accepts the tuple unless a previously parked batch
+    /// still cannot be delivered, in which case the tuple is handed back
+    /// (`Ok(Some(tuple))`) and the caller should yield its worker.
+    pub fn try_push(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
+        if !self.poll_unblocked()? {
+            return Ok(Some(tuple));
+        }
+        self.buffer.push(tuple);
+        self.sent += 1;
+        if self.buffer.len() >= self.batch {
+            let full = std::mem::replace(&mut self.buffer, self.pool.take(self.batch));
+            self.try_send_or_park(Msg::Batch(Batch::new(full, self.pool.clone())))?;
+        }
+        Ok(None)
+    }
+
+    /// Non-blocking finish: flushes the remaining buffer and queues `End`,
+    /// resumable across backpressure. `Ok(true)` once everything (including
+    /// `End`) has been delivered.
+    pub fn try_finish(&mut self) -> Result<bool> {
+        if !self.poll_unblocked()? {
+            return Ok(false);
+        }
+        if !self.end_queued {
+            if !self.buffer.is_empty() {
+                let full = std::mem::take(&mut self.buffer);
+                self.try_send_or_park(Msg::Batch(Batch::new(full, self.pool.clone())))?;
+                if self.pending.is_some() {
+                    return Ok(false);
+                }
+            }
+            self.end_queued = true;
+            self.try_send_or_park(Msg::End)?;
+        }
+        Ok(self.pending.is_none())
+    }
+
+    /// Blocking push (dedicated-thread path; never call from a pooled task).
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        let mut tuple = tuple;
+        loop {
+            match self.try_push(tuple)? {
+                None => return Ok(()),
+                Some(back) => {
+                    tuple = back;
+                    self.flush_pending_blocking()?;
+                }
+            }
+        }
+    }
+
+    /// Blocking finish (dedicated-thread path).
+    pub fn finish_blocking(&mut self) -> Result<()> {
+        loop {
+            if self.try_finish()? {
+                return Ok(());
+            }
+            self.flush_pending_blocking()?;
+        }
+    }
+
+    fn flush_pending_blocking(&mut self) -> Result<()> {
+        if let Some(msg) = self.pending.take() {
+            self.tx.send(msg).map_err(|_| hung_up())?;
+        }
+        Ok(())
+    }
+}
+
 /// A producer instance's split sender: buffers tuples per destination and
 /// ships batches, reusing buffers from the edge's pool.
 ///
@@ -588,6 +738,67 @@ mod tests {
             "steady-state hit rate {:.3} too low",
             pool.hit_rate()
         );
+    }
+
+    #[test]
+    fn client_sink_batches_and_finishes() {
+        let (tx, rx, pool) = client_channel(2, 8);
+        let mut a = ClientSink::new(tx.clone(), 2, pool.clone());
+        let mut b = ClientSink::new(tx, 2, pool);
+        for k in 0..5i64 {
+            assert!(a.try_push(Tuple::from_ints(&[k])).unwrap().is_none());
+        }
+        b.push(Tuple::from_ints(&[99])).unwrap();
+        assert!(a.try_finish().unwrap());
+        b.finish_blocking().unwrap();
+        assert_eq!(a.sent(), 5);
+        let (mut tuples, mut ends) = (0, 0);
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Batch(bt) => tuples += bt.len(),
+                Msg::End => ends += 1,
+            }
+        }
+        assert_eq!((tuples, ends), (6, 2), "both producers flush and End");
+    }
+
+    #[test]
+    fn client_sink_parks_on_backpressure_and_resumes() {
+        // Capacity 1, batch 1: the second flush parks; draining releases it.
+        let (tx, rx, pool) = client_channel(1, 1);
+        let mut sink = ClientSink::new(tx, 1, pool);
+        assert!(sink.try_push(Tuple::from_ints(&[1])).unwrap().is_none());
+        assert!(sink.try_push(Tuple::from_ints(&[2])).unwrap().is_none());
+        let back = sink.try_push(Tuple::from_ints(&[3])).unwrap();
+        assert_eq!(back.unwrap().int(0).unwrap(), 3);
+        assert!(!sink.poll_unblocked().unwrap());
+        let Msg::Batch(b) = rx.recv().unwrap() else {
+            panic!("expected batch");
+        };
+        drop(b);
+        assert!(sink.poll_unblocked().unwrap());
+        assert!(sink.try_push(Tuple::from_ints(&[3])).unwrap().is_none());
+        // Finish resumes across the still-bounded channel; drain until End.
+        let mut seen = 1usize; // the batch drained above held one tuple
+        loop {
+            match rx.try_recv() {
+                Ok(Msg::Batch(b)) => seen += b.len(),
+                Ok(Msg::End) => break,
+                Err(_) => {
+                    sink.try_finish().unwrap();
+                }
+            }
+        }
+        assert_eq!(seen, 3);
+        assert_eq!(sink.sent(), 3);
+    }
+
+    #[test]
+    fn client_sink_errors_when_stream_dropped() {
+        let (tx, rx, pool) = client_channel(1, 1);
+        drop(rx);
+        let mut sink = ClientSink::new(tx, 1, pool);
+        assert!(sink.try_push(Tuple::from_ints(&[1])).is_err());
     }
 
     #[test]

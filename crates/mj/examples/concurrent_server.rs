@@ -1,24 +1,26 @@
-//! Concurrent query serving on one shared engine.
+//! Concurrent query serving through the session facade.
 //!
 //! ```text
 //! cargo run --release -p multijoin --example concurrent_server
 //! ```
 //!
-//! Builds a catalog of Wisconsin relations, creates one [`Engine`] with a
-//! fixed 4-thread worker pool, and fires queries at it from 8 client
-//! threads at once — the server-style workload the worker-pool scheduler
-//! exists for. Every query's operator instances are multiplexed onto the
-//! same 4 workers; the process never holds more than `workers` execution
-//! threads no matter how many clients are in flight, and every result is
-//! checked against the sequential oracle.
+//! Opens one shared [`Database`] (one catalog, one 4-worker engine, one
+//! planner) and fires **text queries** at it from 8 client threads at once
+//! — the server-style workload the whole stack exists for. Each client
+//! submits `SELECT ... FROM ... JOIN ...` strings of varying length; the
+//! database parses, binds, plans (tree, strategy, allocation), and streams
+//! each result back through a cancellable [`QueryHandle`]. Every query's
+//! operator instances multiplex onto the same 4 workers; the engine never
+//! holds more than `workers` execution threads no matter how many clients
+//! are in flight, and every streamed result is checked against the
+//! sequential oracle.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use multijoin::plan::cardinality::node_cards;
-use multijoin::plan::query::to_xra;
-use multijoin::plan::shapes::build;
+use multijoin::exec::chain_query_sql;
 use multijoin::prelude::*;
+use multijoin::relalg::JoinAlgorithm;
 
 fn main() {
     let relations = 6;
@@ -26,83 +28,87 @@ fn main() {
     let clients = 8;
     let queries_per_client = 3;
 
-    // Shared data: one catalog serves every query.
-    let catalog = Arc::new(Catalog::new());
-    for (name, rel) in WisconsinGenerator::new(n, 7).generate_named("R", relations) {
-        catalog.register(name, rel);
-    }
+    // One shared session: fixed 4-worker engine, 6 logical processors.
+    let mut config = DbConfig::default();
+    config.exec.workers = 4;
+    config.planner = PlannerOptions::new(6);
+    let db = Database::open(config).expect("open database");
 
-    // One engine, one fixed pool of 4 workers, shared by all clients.
-    let config = ExecConfig {
-        workers: 4,
-        ..ExecConfig::default()
-    };
-    let engine = Engine::new(catalog.clone(), config).expect("engine");
+    // Register the data through the front door and analyze statistics.
+    let instance = generate_family(QueryFamily::Chain, relations, n, 7).expect("family");
+    let mut names = instance.catalog.names();
+    names.sort();
+    for name in &names {
+        let rel = instance.catalog.relation(name).expect("relation");
+        db.register(name, rel).expect("register");
+    }
+    db.analyze().expect("analyze");
     println!(
-        "engine up: {} worker threads, serving {clients} clients x {queries_per_client} queries",
-        engine.workers()
+        "database up: {} relations, {} worker threads, serving {clients} clients x \
+         {queries_per_client} text queries",
+        names.len(),
+        db.engine().workers()
     );
 
-    let tree = build(Shape::RightLinear, relations).expect("tree");
-    let binding = QueryBinding::regular(&tree, catalog.as_ref()).expect("binding");
-    let oracle = to_xra(&tree, 3, JoinAlgorithm::Simple)
-        .eval(catalog.as_ref())
-        .expect("oracle");
+    // Clients rotate over chain queries of different lengths; precompute
+    // each query's sequential oracle once.
+    let query_lengths = [relations, relations - 1, relations - 2];
+    let oracles: Vec<(String, Arc<Relation>)> = query_lengths
+        .iter()
+        .map(|&k| {
+            let text = chain_query_sql(k);
+            let planned = db.plan(&text).expect("plan");
+            let oracle = planned
+                .lowered
+                .to_xra(&planned.tree, JoinAlgorithm::Simple)
+                .expect("oracle plan")
+                .eval(db.catalog().as_ref())
+                .expect("oracle eval");
+            (text, Arc::new(oracle))
+        })
+        .collect();
 
     let started = Instant::now();
-    let mut total_tuples = 0u64;
+    let mut total_rows = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
-                let engine = &engine;
-                let binding = &binding;
-                let tree = &tree;
-                let oracle = &oracle;
+                let db = &db;
+                let oracles = &oracles;
                 scope.spawn(move || {
-                    let mut consumed = 0u64;
+                    let mut rows = 0u64;
                     for q in 0..queries_per_client {
-                        // Alternate strategies so pipelined and
-                        // materialized dataflows interleave on the pool.
-                        let strategy = match (client + q) % 3 {
-                            0 => Strategy::FP,
-                            1 => Strategy::RD,
-                            _ => Strategy::SP,
-                        };
-                        let cards = node_cards(tree, &UniformOneToOne { n: n as u64 });
-                        let costs = tree_costs(tree, &cards, &CostModel::default());
-                        let mut input = GeneratorInput::new(tree, &cards, &costs, 3);
-                        input.allow_oversubscribe = true;
-                        let plan = generate(strategy, &input).expect("plan");
-                        let outcome = engine.run(&plan, binding).expect("query");
+                        let (text, oracle) = &oracles[(client + q) % oracles.len()];
+                        // Submit the text query; stream and collect.
+                        let result = db
+                            .query(text)
+                            .expect("submit")
+                            .collect()
+                            .expect("stream + outcome");
                         assert!(
-                            outcome.relation.multiset_eq(oracle),
-                            "client {client} query {q} ({strategy}) diverged"
+                            result.multiset_eq(oracle),
+                            "client {client} query {q} diverged from the oracle"
                         );
-                        consumed += outcome
-                            .metrics
-                            .ops
-                            .iter()
-                            .map(|o| o.tuples_in[0] + o.tuples_in[1])
-                            .sum::<u64>();
+                        rows += result.len() as u64;
                     }
-                    consumed
+                    rows
                 })
             })
             .collect();
         for h in handles {
-            total_tuples += h.join().expect("client thread");
+            total_rows += h.join().expect("client thread");
         }
     });
     let elapsed = started.elapsed().as_secs_f64();
 
     println!(
-        "{} queries ok ({} tuples through operators) in {elapsed:.2}s = {:.0} tuples/s",
+        "{} text queries ok ({} result rows, oracle-checked) in {elapsed:.2}s = {:.0} rows/s",
         clients * queries_per_client,
-        total_tuples,
-        total_tuples as f64 / elapsed
+        total_rows,
+        total_rows as f64 / elapsed
     );
     println!(
         "worker threads at exit: {} (pool is fixed; clients only add tasks)",
-        engine.pool().threads()
+        db.engine().pool().threads()
     );
 }

@@ -1,8 +1,11 @@
-//! Quickstart: the full two-phase pipeline on real threads.
+//! Quickstart: the session facade, then the full two-phase pipeline.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Part 1 is the public API: open a [`Database`], register relations,
+//! stream a text query. Part 2 holds the low-level pieces by hand:
 //!
 //! 1. generate Wisconsin data;
 //! 2. phase 1 — find the minimal-total-cost join tree;
@@ -20,6 +23,35 @@ fn main() {
     let relations = 8usize;
     let n = 2_000usize;
     let processors = 4usize;
+
+    // --- Part 1: the front door. ---
+    let db = Database::open(DbConfig::default()).expect("open");
+    for (name, rel) in WisconsinGenerator::new(n, 42).generate_named("R", 3) {
+        db.register(name, rel).expect("register");
+    }
+    db.analyze().expect("analyze");
+    let mut handle = db
+        .query(
+            "SELECT * FROM R0 JOIN R1 ON R0.unique1 = R1.unique1 \
+             JOIN R2 ON R1.unique1 = R2.unique1",
+        )
+        .expect("submit");
+    let mut stream = handle.stream();
+    let mut rows = 0usize;
+    let mut batches = 0usize;
+    while let Some(batch) = stream.next_batch() {
+        rows += batch.len(); // batches arrive while the query runs
+        batches += 1;
+    }
+    drop(stream);
+    let outcome = handle.outcome().expect("outcome");
+    println!(
+        "session API: {rows} tuples streamed in {batches} batches \
+         ({:.1} ms engine response time)\n",
+        outcome.elapsed.as_secs_f64() * 1e3
+    );
+
+    // --- Part 2: the low-level pipeline, held by hand. ---
 
     // 1. Data: `relations` Wisconsin relations of `n` tuples each, with
     // mutually uncorrelated unique attributes (§4.1 of the paper).

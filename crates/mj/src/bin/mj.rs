@@ -1,6 +1,8 @@
 //! `mj` — command-line front end to the multijoin library.
 //!
 //! ```text
+//! mj sql      "<query>" | -  [--query F --relations K --tuples N --seed X]
+//!             [--procs P --workers W] [--explain] [--limit R]
 //! mj shapes   [--relations K]
 //! mj plan     [--query F] [--strategy auto|ST] [--relations K --tuples N --procs P --seed X]
 //! mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
@@ -12,6 +14,12 @@
 //! mj xra print --shape S [--relations K]
 //! mj xra eval  [FILE] [--relations K --tuples N]   (plan from FILE or stdin)
 //! ```
+//!
+//! `mj sql` is the session front door: it populates a [`Database`] with a
+//! seeded `--query` family (chain/star/skewed), parses and plans the given
+//! text query, and *streams* the result — rows print as batches arrive,
+//! long before the query finishes. `mj sql -` reads the query from stdin;
+//! `--explain` prints the costed plan alternatives instead of executing.
 //!
 //! Without `--shape`, `mj plan` and `mj run` are **planner-driven**: the
 //! cost-based planner picks the join tree, the strategy (unless a concrete
@@ -30,7 +38,8 @@ use std::sync::Arc;
 use multijoin::core::generator::{generate, GeneratorInput};
 use multijoin::core::strategy::Strategy;
 use multijoin::exec::{
-    generate_family, run_plan, ExecConfig, Planner, PlannerOptions, QueryBinding, QueryFamily,
+    generate_family, run_plan, Database, DbConfig, ExecConfig, Planner, PlannerOptions,
+    QueryBinding, QueryFamily,
 };
 use multijoin::plan::cardinality::{node_cards, UniformOneToOne};
 use multijoin::plan::cost::{tree_costs, CostModel};
@@ -41,6 +50,7 @@ use multijoin::plan::optimize::{
 use multijoin::plan::query::to_xra;
 use multijoin::plan::shapes::{build, Shape};
 use multijoin::plan::{render, QueryGraph};
+use multijoin::relalg::RelationProvider;
 use multijoin::relalg::{text, JoinAlgorithm};
 use multijoin::sim::{render_gantt, simulate, SimParams};
 use multijoin::storage::{Catalog, WisconsinGenerator};
@@ -51,6 +61,10 @@ struct Args {
     switches: Vec<String>,
 }
 
+/// Flags that never take a value, so `mj sql --explain "<query>"` does not
+/// swallow the query text as the switch's value.
+const BOOLEAN_SWITCHES: &[&str] = &["explain", "gantt"];
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
@@ -60,7 +74,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let a = &argv[i];
         if let Some(name) = a.strip_prefix("--") {
             // A flag with a value, or a bare switch.
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+            if !BOOLEAN_SWITCHES.contains(&name)
+                && i + 1 < argv.len()
+                && !argv[i + 1].starts_with("--")
+            {
                 flags.insert(name.to_string(), argv[i + 1].clone());
                 i += 2;
             } else {
@@ -149,6 +166,8 @@ impl Args {
 
 fn usage() -> &'static str {
     "usage:
+  mj sql      \"<query>\" | -  [--query chain|star|skewed --relations K
+              --tuples N --seed X --procs P --workers W] [--explain] [--limit R]
   mj shapes   [--relations K]
   mj plan     [--query chain|star|skewed] [--strategy auto|ST]
               [--relations K --tuples N --procs P --seed X]   (planner explain)
@@ -161,6 +180,14 @@ fn usage() -> &'static str {
   mj optimize --query chain|skewed|star [--relations K]
   mj xra print --shape S [--relations K]
   mj xra eval [FILE] [--relations K --tuples N]
+
+`mj sql` opens a Database over a seeded --query family (chain relations
+have columns a, b, id; star has dims R0..R{K-2} (key, payload) and fact
+R{K-1} (fk0.., measure)), then parses, plans, and *streams* the query:
+
+  mj sql \"SELECT * FROM R0 JOIN R1 ON R0.b = R1.a JOIN R2 ON R1.b = R2.a\"
+  echo \"SELECT R0.id, R2.id FROM ...\" | mj sql -
+  mj sql --explain \"SELECT ...\"        (costed alternatives, no execution)
 
 Without --shape, plan/run use the cost-based planner (tree, strategy, and
 processor allocation chosen from catalog statistics); --strategy with a
@@ -213,6 +240,121 @@ fn make_plan(
     input.allow_oversubscribe = procs < tree.join_count();
     let plan = generate(strategy, &input).map_err(|e| e.to_string())?;
     Ok((plan, shape, tuples, procs))
+}
+
+/// `mj sql`: the session front door. Populates a [`Database`] with a
+/// seeded query family, then parses, plans, and streams the given text
+/// query — printing rows incrementally as batches arrive.
+fn cmd_sql(args: &Args) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let text = match args.positional.get(1).map(String::as_str) {
+        None => {
+            return Err("usage: mj sql \"<query>\"  (or `mj sql -` to read stdin)".into());
+        }
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+        Some(q) => q.to_string(),
+    };
+
+    // Data: a seeded family instance registered through the front door.
+    let family = args.family()?;
+    let k: usize = args.num("relations", 4)?;
+    let tuples: usize = args.num("tuples", 2_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let procs: usize = args.num("procs", 8)?;
+    let workers: usize = args.num("workers", ExecConfig::default().workers)?;
+    let limit: usize = args.num("limit", 20)?;
+
+    let instance = generate_family(family, k, tuples, seed).map_err(|e| e.to_string())?;
+    let mut config = DbConfig::default();
+    config.exec.workers = workers;
+    config.planner = PlannerOptions::new(procs);
+    let db = Database::open(config).map_err(|e| e.to_string())?;
+    let mut names = instance.catalog.names();
+    names.sort();
+    for name in &names {
+        let rel = instance.catalog.relation(name).map_err(|e| e.to_string())?;
+        db.register(name, rel).map_err(|e| e.to_string())?;
+    }
+    db.analyze().map_err(|e| e.to_string())?;
+    eprintln!(
+        "data: `{family}` family, {k} relations x {tuples} base tuples (seed {seed}); \
+         {workers} workers, {procs} logical processors"
+    );
+
+    if args.switch("explain") {
+        let planned = db.plan(&text).map_err(|e| e.render(&text))?;
+        println!("chosen join tree:");
+        for line in multijoin::plan::render::render(&planned.tree).lines() {
+            println!("  {line}");
+        }
+        println!("costed alternatives (estimated schedule cost, §4.3 units):");
+        print!("{}", planned.explain());
+        println!(
+            "winner: {} — estimated cost {:.0} (startup {:.0}, coordination {:.0})",
+            planned.strategy(),
+            planned.estimate.makespan,
+            planned.estimate.startup,
+            planned.estimate.coordination,
+        );
+        return Ok(());
+    }
+
+    let started = std::time::Instant::now();
+    let mut handle = db.query(&text).map_err(|e| e.render(&text))?;
+    let mut stream = handle.stream();
+    let schema = stream.schema().clone();
+    println!(
+        "{}",
+        schema
+            .attrs()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    let mut first_batch: Option<std::time::Duration> = None;
+    let mut rows = 0usize;
+    let stdout = std::io::stdout();
+    while let Some(mut batch) = stream.next_batch() {
+        if first_batch.is_none() {
+            first_batch = Some(started.elapsed());
+        }
+        let mut out = stdout.lock();
+        for t in batch.drain() {
+            rows += 1;
+            if limit == 0 || rows <= limit {
+                writeln!(out, "{t}").map_err(|e| e.to_string())?;
+            } else if rows == limit + 1 {
+                writeln!(
+                    out,
+                    "... (further rows counted, not printed; --limit 0 prints all)"
+                )
+                .map_err(|e| e.to_string())?;
+            }
+        }
+        // Flush per batch so the stream is visibly incremental.
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    drop(stream);
+    let outcome = handle.outcome().map_err(|e| e.to_string())?;
+    let total = started.elapsed();
+    eprintln!(
+        "{rows} tuples; first batch after {:.1} ms, drained in {:.1} ms \
+         (engine response time {:.1} ms, {} processes, {} streams)",
+        first_batch.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+        total.as_secs_f64() * 1e3,
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.metrics.processes,
+        outcome.metrics.streams,
+    );
+    Ok(())
 }
 
 fn cmd_shapes(args: &Args) -> Result<(), String> {
@@ -566,6 +708,7 @@ fn main() -> ExitCode {
     };
     let cmd = args.positional.first().map(String::as_str).unwrap_or("");
     let result = match cmd {
+        "sql" => cmd_sql(&args),
         "shapes" => cmd_shapes(&args),
         "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),

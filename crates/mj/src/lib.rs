@@ -13,12 +13,46 @@
 //! | [`relalg`] | `mj-relalg` | schemas, tuples, relations, predicates, XRA logical plans, sequential oracle |
 //! | [`storage`] | `mj-storage` | Wisconsin generator, fragmentation, node-memory store, catalog |
 //! | [`join`] | `mj-join` | simple and pipelining hash joins, custom join table |
-//! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation |
+//! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation, text query parser |
 //! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
-//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, concurrent [`Engine`](exec::Engine) facade, cost-based [`Planner`](exec::Planner) |
+//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, [`Database`](exec::Database) session facade, streaming [`QueryHandle`](exec::QueryHandle)s, cost-based [`Planner`](exec::Planner) |
 //! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
 //!
 //! ## Quickstart
+//!
+//! The session facade is the whole public API: open a [`Database`],
+//! register relations, and issue text queries. The system parses, binds,
+//! plans (tree shape, strategy, processor allocation — §3–§4 of the
+//! paper), and streams the result back:
+//!
+//! ```
+//! use multijoin::prelude::*;
+//!
+//! let db = Database::open(DbConfig::default()).unwrap();
+//! for (name, rel) in WisconsinGenerator::new(1000, 7).generate_named("R", 3) {
+//!     db.register(name, rel).unwrap();
+//! }
+//! db.analyze().unwrap();
+//! let result = db
+//!     .query("SELECT * FROM R0 JOIN R1 ON R0.unique1 = R1.unique1 \
+//!             JOIN R2 ON R1.unique1 = R2.unique1")
+//!     .unwrap()
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(result.len(), 1000);
+//! ```
+//!
+//! Results stream: take the handle's [`ResultStream`](exec::ResultStream)
+//! instead of `collect()` to consume batches while the query runs, poll
+//! [`status()`](exec::QueryHandle::status), or
+//! [`cancel()`](exec::QueryHandle::cancel) mid-flight — the engine
+//! quiesces (every task reports, fragments reclaimed) and stays reusable.
+//!
+//! ## Advanced: the low-level pipeline
+//!
+//! Every stage the facade drives is public, for experiments that need to
+//! hold the pieces (phase-1 tree choice, strategy costing, manual
+//! bindings):
 //!
 //! ```
 //! use multijoin::prelude::*;
@@ -62,14 +96,15 @@ pub mod prelude {
         OperandSource, ParallelPlan, PlanOp, ScheduleModel, Strategy,
     };
     pub use mj_exec::{
-        generate_family, query_from_catalog, run_plan, Engine, ExecConfig, PlannedQuery, Planner,
-        PlannerOptions, QueryBinding, QueryFamily, WorkerPool,
+        generate_family, query_from_catalog, run_plan, Database, DbConfig, Engine, ExecConfig,
+        MjError, MjResult, PlannedQuery, Planner, PlannerOptions, QueryBinding, QueryFamily,
+        QueryHandle, QueryOutcome, QueryStatus, ResultStream, WorkerPool,
     };
     pub use mj_join::{pipelining_hash_join, simple_hash_join};
     pub use mj_plan::cost::tree_costs;
     pub use mj_plan::{
-        greedy_tree, lower, optimize_bushy, optimize_linear, segments, CostModel, JoinQuery,
-        JoinTree, QueryGraph, Shape, UniformOneToOne,
+        greedy_tree, lower, optimize_bushy, optimize_linear, parse_query, segments, CostModel,
+        JoinQuery, JoinTree, ParseError, QueryAst, QueryGraph, Shape, Span, UniformOneToOne,
     };
     pub use mj_relalg::{
         Attribute, DataType, EquiJoin, JoinAlgorithm, Predicate, Projection, Relation,

@@ -18,6 +18,8 @@
 //!   mirror (parts of) a query to make it more right-oriented", §5);
 //! * [`query`]: lowering a tree to the logical XRA plan of the regular
 //!   Wisconsin query;
+//! * [`parse`]: the spanned text frontend (`SELECT ... FROM ... JOIN ... ON
+//!   ...`) producing a syntactic [`QueryAst`] for the session layer to bind;
 //! * [`render`]: ASCII tree rendering (Fig. 8 regeneration).
 
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@
 pub mod cardinality;
 pub mod cost;
 pub mod optimize;
+pub mod parse;
 pub mod query;
 pub mod render;
 pub mod segment;
@@ -39,6 +42,7 @@ pub use optimize::{
     simulated_annealing, AnnealingOptions, IterativeOptions, OptimizedPlan, QueryGraph,
     MAX_DP_RELATIONS, MAX_GRAPH_RELATIONS,
 };
+pub use parse::{parse_query, ParseError, QueryAst, Span};
 pub use query::{lower, JoinQuery, LoweredQuery};
 pub use segment::{segments, Segment, Segmentation};
 pub use shapes::Shape;

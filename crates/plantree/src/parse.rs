@@ -1,0 +1,544 @@
+//! Hand-rolled text frontend for the join-query subset the planner can
+//! execute:
+//!
+//! ```text
+//! SELECT <r.c, ...|*> FROM r1 JOIN r2 ON r1.a = r2.b [JOIN r3 ON ...]*
+//! ```
+//!
+//! The parser produces a purely syntactic [`QueryAst`] — every identifier
+//! carries its byte [`Span`] in the source text, so name-resolution errors
+//! downstream (binding against a catalog, in `mj-exec`'s session layer)
+//! point at the offending token just like [`ParseError`]s do. No external
+//! dependencies; the tokenizer and recursive-descent parser are a few
+//! hundred lines.
+//!
+//! Grammar (keywords case-insensitive, identifiers case-sensitive):
+//!
+//! ```text
+//! query       := SELECT select_list FROM ident join_clause*
+//! select_list := '*' | column (',' column)*
+//! join_clause := JOIN ident ON column '=' column
+//! column      := ident '.' ident
+//! ident       := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+
+use std::fmt;
+
+/// A byte range into the query source text (`start..end`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A parse failure, located at a byte span of the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source text.
+    pub span: Span,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a caret line pointing into `source`:
+    ///
+    /// ```text
+    /// parse error at 14: expected `=`
+    ///   SELECT * FROM r1 JOIN
+    ///                 ^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        render_span(
+            source,
+            self.span,
+            &format!("parse error at {}: {}", self.span.start, self.message),
+        )
+    }
+}
+
+/// Renders `headline` followed by the source line holding `span` and a
+/// caret underline — shared by parse errors and the session layer's bind
+/// errors so every spanned diagnostic looks the same.
+pub fn render_span(source: &str, span: Span, headline: &str) -> String {
+    let mut out = format!("{headline}\n");
+    // Single-line queries dominate; find the line holding the span.
+    let line_start = source[..span.start.min(source.len())]
+        .rfind('\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    let line = &source[line_start..line_end];
+    out.push_str(&format!("  {line}\n  "));
+    let col = span.start.saturating_sub(line_start);
+    let width = (span.end - span.start)
+        .max(1)
+        .min(line.len() + 1 - col.min(line.len()));
+    out.push_str(&" ".repeat(col));
+    out.push_str(&"^".repeat(width.max(1)));
+    out.push('\n');
+    out
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An identifier with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text, as written.
+    pub name: String,
+    /// Its location in the source.
+    pub span: Span,
+}
+
+/// A qualified column reference `relation.column`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// The relation part.
+    pub relation: Ident,
+    /// The column part.
+    pub column: Ident,
+}
+
+impl ColumnRef {
+    /// Span covering `relation.column`.
+    pub fn span(&self) -> Span {
+        self.relation.span.to(self.column.span)
+    }
+}
+
+/// The projection list of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectList {
+    /// `SELECT *`: every column of every relation, in tree-independent
+    /// `(relation, column)` order (the default output of the lowering).
+    Star,
+    /// An explicit ordered column list.
+    Columns(Vec<ColumnRef>),
+}
+
+/// One `JOIN r ON a.x = b.y` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The newly joined relation.
+    pub relation: Ident,
+    /// Left side of the equality.
+    pub left: ColumnRef,
+    /// Right side of the equality.
+    pub right: ColumnRef,
+    /// Span of the whole `ON a.x = b.y` condition.
+    pub on_span: Span,
+}
+
+/// The parsed (but not yet name-resolved) query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAst {
+    /// The projection.
+    pub select: SelectList,
+    /// The first relation (`FROM`).
+    pub from: Ident,
+    /// The join clauses, in source order.
+    pub joins: Vec<JoinClause>,
+}
+
+impl QueryAst {
+    /// All relation identifiers in source order (`FROM` first).
+    pub fn relations(&self) -> Vec<&Ident> {
+        let mut out = Vec::with_capacity(1 + self.joins.len());
+        out.push(&self.from);
+        out.extend(self.joins.iter().map(|j| &j.relation));
+        out
+    }
+}
+
+// --- Tokenizer ---
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Star,
+    Comma,
+    Dot,
+    Eq,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Star => "`*`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Eq => "`=`".into(),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'*' => {
+                toks.push((Tok::Star, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b'.' => {
+                toks.push((Tok::Dot, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((Tok::Eq, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), Span::new(start, i)));
+            }
+            _ => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", &src[i..i + utf8_len(b)]),
+                    Span::new(i, i + utf8_len(b)),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// --- Parser ---
+
+struct Parser {
+    toks: Vec<(Tok, Span)>,
+    pos: usize,
+    /// End of input, for end-of-query spans.
+    eof: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(Tok, Span)> {
+        self.toks.get(self.pos)
+    }
+
+    fn eof_span(&self) -> Span {
+        Span::new(self.eof, self.eof)
+    }
+
+    fn next(&mut self, what: &str) -> Result<(Tok, Span), ParseError> {
+        match self.toks.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            None => Err(ParseError::new(
+                format!("expected {what}, found end of query"),
+                self.eof_span(),
+            )),
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn keyword(&mut self, kw: &str) -> Result<Span, ParseError> {
+        let (tok, span) = self.next(&format!("keyword `{kw}`"))?;
+        match &tok {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(span),
+            other => Err(ParseError::new(
+                format!("expected keyword `{kw}`, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    /// True if the next token is the given keyword (not consumed).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, ParseError> {
+        let (tok, span) = self.next(what)?;
+        match tok {
+            Tok::Ident(name) => {
+                if is_keyword(&name) {
+                    return Err(ParseError::new(
+                        format!("expected {what}, found keyword `{name}`"),
+                        span,
+                    ));
+                }
+                Ok(Ident { name, span })
+            }
+            other => Err(ParseError::new(
+                format!("expected {what}, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Span, ParseError> {
+        let what = tok.describe();
+        let (found, span) = self.next(&what)?;
+        if found == tok {
+            Ok(span)
+        } else {
+            Err(ParseError::new(
+                format!("expected {what}, found {}", found.describe()),
+                span,
+            ))
+        }
+    }
+
+    fn column(&mut self) -> Result<ColumnRef, ParseError> {
+        let relation = self.ident("a `relation.column` reference")?;
+        self.expect(Tok::Dot).map_err(|e| {
+            ParseError::new(
+                format!("columns must be written `relation.column`; {}", e.message),
+                e.span,
+            )
+        })?;
+        let column = self.ident("a column name")?;
+        Ok(ColumnRef { relation, column })
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, ParseError> {
+        if matches!(self.peek(), Some((Tok::Star, _))) {
+            self.pos += 1;
+            return Ok(SelectList::Star);
+        }
+        let mut cols = vec![self.column()?];
+        while matches!(self.peek(), Some((Tok::Comma, _))) {
+            self.pos += 1;
+            cols.push(self.column()?);
+        }
+        Ok(SelectList::Columns(cols))
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause, ParseError> {
+        self.keyword("JOIN")?;
+        let relation = self.ident("a relation name")?;
+        self.keyword("ON")?;
+        let left = self.column()?;
+        self.expect(Tok::Eq)?;
+        let right = self.column()?;
+        let on_span = left.span().to(right.span());
+        Ok(JoinClause {
+            relation,
+            left,
+            right,
+            on_span,
+        })
+    }
+
+    fn query(&mut self) -> Result<QueryAst, ParseError> {
+        self.keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.keyword("FROM")?;
+        let from = self.ident("a relation name")?;
+        let mut joins = Vec::new();
+        while self.at_keyword("JOIN") {
+            joins.push(self.join_clause()?);
+        }
+        if let Some((tok, span)) = self.peek() {
+            return Err(ParseError::new(
+                format!("expected `JOIN` or end of query, found {}", tok.describe()),
+                *span,
+            ));
+        }
+        Ok(QueryAst {
+            select,
+            from,
+            joins,
+        })
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    ["select", "from", "join", "on"]
+        .iter()
+        .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parses a query text into a [`QueryAst`].
+pub fn parse_query(src: &str) -> Result<QueryAst, ParseError> {
+    let toks = tokenize(src)?;
+    if toks.is_empty() {
+        return Err(ParseError::new("empty query", Span::new(0, 0)));
+    }
+    Parser {
+        toks,
+        pos: 0,
+        eof: src.len(),
+    }
+    .query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_query_with_joins() {
+        let q =
+            parse_query("SELECT * FROM r0 JOIN r1 ON r0.b = r1.a JOIN r2 ON r1.b = r2.a").unwrap();
+        assert_eq!(q.select, SelectList::Star);
+        assert_eq!(q.from.name, "r0");
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].relation.name, "r1");
+        assert_eq!(q.joins[0].left.relation.name, "r0");
+        assert_eq!(q.joins[0].left.column.name, "b");
+        assert_eq!(q.joins[1].right.column.name, "a");
+        let names: Vec<&str> = q.relations().iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["r0", "r1", "r2"]);
+    }
+
+    #[test]
+    fn explicit_column_list_and_case_insensitive_keywords() {
+        let q = parse_query("select R0.id, R1.id from R0 join R1 on R0.b = R1.a").unwrap();
+        match &q.select {
+            SelectList::Columns(cols) => {
+                assert_eq!(cols.len(), 2);
+                assert_eq!(cols[0].relation.name, "R0");
+                assert_eq!(cols[1].column.name, "id");
+            }
+            other => panic!("expected columns, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_point_at_tokens() {
+        let src = "SELECT * FROM r0 JOIN r1 ON r0.b = r1.a";
+        let q = parse_query(src).unwrap();
+        assert_eq!(&src[q.from.span.start..q.from.span.end], "r0");
+        let j = &q.joins[0];
+        assert_eq!(&src[j.relation.span.start..j.relation.span.end], "r1");
+        assert_eq!(&src[j.on_span.start..j.on_span.end], "r0.b = r1.a");
+        assert_eq!(&src[j.left.span().start..j.left.span().end], "r0.b");
+    }
+
+    /// Reject table: (source, expected span start, message fragment).
+    #[test]
+    fn reject_table_with_spans() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 0, "empty query"),
+            ("FROM r0", 0, "expected keyword `SELECT`"),
+            ("SELECT FROM r0", 7, "found keyword `FROM`"),
+            ("SELECT * r0", 9, "expected keyword `FROM`"),
+            ("SELECT * FROM", 13, "end of query"),
+            ("SELECT * FROM r0 JOIN", 21, "end of query"),
+            ("SELECT * FROM r0 JOIN r1", 24, "keyword `ON`"),
+            ("SELECT * FROM r0 JOIN r1 ON r0.b r1.a", 33, "expected `=`"),
+            (
+                "SELECT * FROM r0 JOIN r1 ON b = r1.a",
+                30,
+                "relation.column",
+            ),
+            ("SELECT * FROM r0 WHERE x", 17, "expected `JOIN` or end"),
+            (
+                "SELECT * FROM r0 JOIN r1 ON r0.b = r1.a extra",
+                40,
+                "expected `JOIN` or end",
+            ),
+            ("SELECT r0 FROM r0", 10, "relation.column"),
+            ("SELECT * FROM r0 ; drop", 17, "unexpected character `;`"),
+            ("SELECT *, r0.a FROM r0", 8, "expected keyword `FROM`"),
+        ];
+        for (src, start, frag) in cases {
+            let err = parse_query(src).expect_err(src);
+            assert!(
+                err.message.contains(frag),
+                "{src}: message `{}` missing `{frag}`",
+                err.message
+            );
+            assert_eq!(err.span.start, *start, "{src}: span {:?}", err.span);
+        }
+    }
+
+    #[test]
+    fn render_points_a_caret() {
+        let src = "SELECT * FROM r0 JOIN r1 ON r0.b r1.a";
+        let err = parse_query(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains("parse error at 33"), "{rendered}");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1].trim_end(), format!("  {src}"));
+        assert!(lines[2].trim_end().ends_with('^'), "{rendered}");
+        // The caret column matches the span start (+2 for the indent).
+        assert_eq!(lines[2].find('^').unwrap(), 2 + 33);
+    }
+
+    #[test]
+    fn keywords_cannot_be_identifiers() {
+        let err = parse_query("SELECT * FROM select").unwrap_err();
+        assert!(err.message.contains("keyword `select`"), "{err}");
+        assert_eq!(err.span.start, 14);
+    }
+
+    #[test]
+    fn underscore_and_digit_identifiers() {
+        let q = parse_query("SELECT t_1.c2 FROM t_1 JOIN x9 ON t_1.c2 = x9.k").unwrap();
+        assert_eq!(q.from.name, "t_1");
+        assert_eq!(q.joins[0].relation.name, "x9");
+    }
+
+    #[test]
+    fn span_to_merges() {
+        assert_eq!(Span::new(2, 4).to(Span::new(7, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(7, 9).to(Span::new(2, 4)), Span::new(2, 9));
+    }
+}

@@ -30,6 +30,10 @@ pub enum RelalgError {
     /// A partitioning request was invalid (zero partitions, an assignment
     /// outside `0..parts`, unsorted range bounds, too many rows, ...).
     InvalidPartitioning(String),
+    /// The query was cancelled by the client before it completed. Raised by
+    /// operator tasks that observe their query's cancel token and by the
+    /// coordinator once a cancelled query has quiesced.
+    Canceled,
 }
 
 impl fmt::Display for RelalgError {
@@ -46,6 +50,7 @@ impl fmt::Display for RelalgError {
             RelalgError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             RelalgError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             RelalgError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
+            RelalgError::Canceled => write!(f, "query canceled"),
         }
     }
 }

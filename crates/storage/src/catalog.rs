@@ -48,6 +48,23 @@ impl Catalog {
         self.register_with_stats(name, relation, stats);
     }
 
+    /// Registers a relation, erroring if the name is already taken. The
+    /// check-and-insert is atomic under the catalog's write lock, so
+    /// concurrent sessions cannot silently overwrite each other — the
+    /// session front door's duplicate guard.
+    pub fn register_new(&self, name: impl Into<String>, relation: Arc<Relation>) -> Result<()> {
+        let name = name.into();
+        let stats = TableStats::unique_key(relation.len() as u64);
+        let mut entries = self.entries.write();
+        if entries.contains_key(&name) {
+            return Err(RelalgError::InvalidPlan(format!(
+                "relation `{name}` is already registered"
+            )));
+        }
+        entries.insert(name, (relation, stats));
+        Ok(())
+    }
+
     /// Registers a relation with explicit statistics (e.g. skewed keys).
     pub fn register_with_stats(
         &self,
@@ -151,6 +168,16 @@ mod tests {
         assert_eq!(c.stats("R").unwrap().distinct_keys, 10);
         assert!(c.relation("S").is_err());
         assert!(c.stats("S").is_err());
+    }
+
+    #[test]
+    fn register_new_rejects_duplicates() {
+        let c = Catalog::new();
+        c.register_new("R", rel(5)).unwrap();
+        let err = c.register_new("R", rel(7)).unwrap_err();
+        assert!(err.to_string().contains("already registered"), "{err}");
+        // The original registration is untouched.
+        assert_eq!(c.relation("R").unwrap().len(), 5);
     }
 
     #[test]
