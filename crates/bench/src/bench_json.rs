@@ -1101,6 +1101,184 @@ pub fn validate_bench4_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One pushdown mode of the operator benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct PushdownRun {
+    /// Whether the planner pushed the WHERE filter below the joins.
+    pub pushdown: bool,
+    /// Strategy the planner picked in this mode.
+    pub strategy: String,
+    /// Best-of-reps wall-clock seconds for the full query (setup-inclusive:
+    /// pushed filters run during base fragmentation).
+    pub elapsed_s: f64,
+    /// Result tuples (must agree across modes).
+    pub result_tuples: u64,
+}
+
+/// Filter pushdown on a selective chain query: the same WHERE query
+/// planned with pushdown on (filters at the scans, selectivity folded
+/// into every estimate) vs off (a residual `FilterOp` stage above the
+/// root join) — the headline number of the operator-framework PR.
+#[derive(Clone, Debug, Serialize)]
+pub struct OperatorComparison {
+    /// Relations in the chain.
+    pub relations: usize,
+    /// Tuples per base relation.
+    pub tuples_per_relation: u64,
+    /// Worker threads in each engine pool.
+    pub workers: usize,
+    /// The text query (WHERE keeps ~2% of the filtered relation).
+    pub query: String,
+    /// Pushdown enabled (the default planner behaviour).
+    pub pushdown_on: PushdownRun,
+    /// Pushdown disabled (filter runs above the joins).
+    pub pushdown_off: PushdownRun,
+    /// `pushdown_off.elapsed_s / pushdown_on.elapsed_s` (> 1 means the
+    /// pushdown wins; the checked-in baseline must show >= 1.5).
+    pub pushdown_speedup: f64,
+}
+
+/// The whole `BENCH_5.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench5Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// The filter-pushdown scenario.
+    pub operators: OperatorComparison,
+}
+
+/// Measures the selective filtered chain with pushdown on vs off. Both
+/// modes run the *same* text query on identically seeded databases;
+/// elapsed time is wall clock around a materializing run (best of `reps`)
+/// and includes setup, since pushed filters execute during base
+/// fragmentation. Results are checked multiset-equal across modes.
+pub fn operator_comparison(
+    relations: usize,
+    n: usize,
+    workers: usize,
+    reps: usize,
+) -> Result<OperatorComparison> {
+    use mj_exec::{generate_family, Database, DbConfig, QueryFamily};
+    use mj_relalg::RelationProvider;
+
+    let err = |e: mj_exec::MjError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let instance = generate_family(QueryFamily::Chain, relations, n, 42)?;
+    // ~2% of the filtered relation survives.
+    let query = format!(
+        "{} WHERE R0.id < {}",
+        mj_exec::chain_query_sql(relations),
+        (n / 50).max(1)
+    );
+
+    let mut runs: Vec<PushdownRun> = Vec::new();
+    let mut results: Vec<mj_relalg::Relation> = Vec::new();
+    for pushdown in [true, false] {
+        let mut config = DbConfig::default();
+        config.exec.workers = workers;
+        config.planner.pushdown = pushdown;
+        let db = Database::open(config).map_err(err)?;
+        let mut names = instance.catalog.names();
+        names.sort();
+        for name in &names {
+            db.register(name, instance.catalog.relation(name)?)
+                .map_err(err)?;
+        }
+        db.analyze().map_err(err)?;
+        let planned = db.plan(&query).map_err(err)?;
+        // Warm-up run (also captures the result for cross-mode checks).
+        let warm = db.engine().run(&planned.plan, &planned.binding)?;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let started = Instant::now();
+            let outcome = db.engine().run(&planned.plan, &planned.binding)?;
+            best = best.min(started.elapsed().as_secs_f64());
+            debug_assert_eq!(outcome.relation.len(), warm.relation.len());
+        }
+        runs.push(PushdownRun {
+            pushdown,
+            strategy: planned.strategy().label().to_string(),
+            elapsed_s: best,
+            result_tuples: warm.relation.len() as u64,
+        });
+        results.push(warm.relation);
+    }
+    if !results[0].multiset_eq(&results[1]) {
+        return Err(mj_relalg::RelalgError::InvalidPlan(format!(
+            "pushdown changed the result: {} vs {} rows",
+            results[0].len(),
+            results[1].len()
+        )));
+    }
+    let off = runs.pop().expect("two runs");
+    let on = runs.pop().expect("two runs");
+    Ok(OperatorComparison {
+        relations,
+        tuples_per_relation: n as u64,
+        workers,
+        query,
+        pushdown_speedup: off.elapsed_s / on.elapsed_s,
+        pushdown_on: on,
+        pushdown_off: off,
+    })
+}
+
+/// Produces the `BENCH_5.json` report: filter pushdown on a selective
+/// chain query. `quick` shrinks the workload for CI smoke runs.
+pub fn bench5_report(quick: bool) -> Result<Bench5Report> {
+    let (relations, n, reps) = if quick { (4, 4_000, 2) } else { (6, 40_000, 5) };
+    Ok(Bench5Report {
+        bench: 5,
+        quick,
+        operators: operator_comparison(relations, n, 4, reps)?,
+    })
+}
+
+/// Renders a `BENCH_5.json` report as pretty-enough JSON.
+pub fn bench5_to_json(report: &Bench5Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"operators\":{", "\n\"operators\":{\n  ")
+        .replace("\"pushdown_on\":", "\n  \"pushdown_on\":")
+        .replace("\"pushdown_off\":", "\n  \"pushdown_off\":")
+        .replace("\"pushdown_speedup\":", "\n  \"pushdown_speedup\":")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_5.json` (CI smoke run).
+pub fn validate_bench5_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "operators"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let o = v.get("operators").expect("checked");
+    for key in [
+        "relations",
+        "tuples_per_relation",
+        "workers",
+        "query",
+        "pushdown_on",
+        "pushdown_off",
+        "pushdown_speedup",
+    ] {
+        if o.get(key).is_none() {
+            return Err(format!("missing key `operators.{key}`"));
+        }
+    }
+    for mode in ["pushdown_on", "pushdown_off"] {
+        let run = o.get(mode).expect("checked");
+        for key in ["pushdown", "strategy", "elapsed_s", "result_tuples"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `operators.{mode}.{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a

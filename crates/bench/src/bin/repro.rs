@@ -21,9 +21,11 @@
 //!                         (zero-copy) + BENCH_2.json (concurrent queries)
 //!                         + BENCH_3.json (cost-based planner)
 //!                         + BENCH_4.json (session streaming latency)
+//!                         + BENCH_5.json (filter pushdown)
 //!   bench-concurrent      only the concurrent section -> BENCH_2.json
 //!   bench-planner         only the planner section -> BENCH_3.json
 //!   bench-session         only the streaming section -> BENCH_4.json
+//!   bench-operators       only the pushdown section -> BENCH_5.json
 //!
 //! CSV series are written to results/.
 
@@ -33,9 +35,9 @@ use std::time::Instant;
 
 use mj_bench::{
     bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench4_report, bench4_to_json,
-    bench_report, format_table, paper_processor_counts, report_to_json, simulate_tree, sweep,
-    validate_bench2_json, validate_bench3_json, validate_bench4_json, validate_report_json,
-    write_csv, PAPER_SIZES,
+    bench5_report, bench5_to_json, bench_report, format_table, paper_processor_counts,
+    report_to_json, simulate_tree, sweep, validate_bench2_json, validate_bench3_json,
+    validate_bench4_json, validate_bench5_json, validate_report_json, write_csv, PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -109,10 +111,12 @@ fn main() {
                 emit_bench2_json(quick);
                 emit_bench3_json(quick);
                 emit_bench4_json(quick);
+                emit_bench5_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
             "bench-session" => emit_bench4_json(quick),
+            "bench-operators" => emit_bench5_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -827,6 +831,45 @@ fn emit_bench4_json(quick: bool) {
             "WARNING: first batch ({:.2} ms) did not beat full materialization ({:.2} ms)",
             s.streamed.first_batch_s * 1e3,
             s.materialized_s * 1e3,
+        );
+    }
+}
+
+fn emit_bench5_json(quick: bool) {
+    println!(
+        "== BENCH_5.json: filter pushdown on a selective chain ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench5_report(quick).expect("bench5 report");
+    let o = &report.operators;
+    println!(
+        "{}-relation chain (n={}, {} workers), query: {}",
+        o.relations, o.tuples_per_relation, o.workers, o.query
+    );
+    println!(
+        "pushdown on  ({}): {:.2} ms; pushdown off ({}): {:.2} ms -> {:.2}x \
+         ({} result tuples)",
+        o.pushdown_on.strategy,
+        o.pushdown_on.elapsed_s * 1e3,
+        o.pushdown_off.strategy,
+        o.pushdown_off.elapsed_s * 1e3,
+        o.pushdown_speedup,
+        o.pushdown_on.result_tuples,
+    );
+    let json = bench5_to_json(&report);
+    validate_bench5_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_5_quick.json"
+    } else {
+        "BENCH_5.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && o.pushdown_speedup < 1.5 {
+        eprintln!(
+            "WARNING: pushdown speedup {:.2}x below the 1.5x acceptance bar",
+            o.pushdown_speedup
         );
     }
 }

@@ -33,6 +33,6 @@ pub use allocation::{carve, proportional_counts};
 pub use example::{example_tree, example_weights};
 pub use generator::{generate, GeneratorInput};
 pub use plan_ir::{OpId, OperandSource, ParallelPlan, PlanOp, PlanStats, ProcId};
-pub use schedule::{estimate_schedule, ScheduleEstimate, ScheduleModel};
+pub use schedule::{estimate_schedule, stage_tail_cost, ScheduleEstimate, ScheduleModel};
 pub use strategy::Strategy;
 pub use validate::validate_plan;

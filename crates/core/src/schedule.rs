@@ -82,6 +82,27 @@ pub struct ScheduleEstimate {
     pub per_op_finish: Vec<f64>,
 }
 
+/// Estimated extra makespan of one post-join pipeline stage (residual
+/// filter, partitioned aggregation, limit) fed by a live stream from
+/// `producers` instances: the stage's own per-instance work trails the
+/// producer's finish by the pipeline-tail fraction, plus its serial
+/// process startups and per-stream handshakes — the same ingredients the
+/// join schedule is costed from, so filter selectivities folded into
+/// `input_card` flow straight into the planner's objective.
+pub fn stage_tail_cost(
+    input_card: f64,
+    degree: usize,
+    producers: usize,
+    model: &ScheduleModel,
+) -> f64 {
+    let degree = degree.max(1) as f64;
+    let per_instance_work = input_card.max(0.0) / degree;
+    let streams_per_instance = producers as f64;
+    model.pipeline_tail * per_instance_work
+        + streams_per_instance * model.handshake_per_stream
+        + degree * model.startup_per_process
+}
+
 /// Estimates the makespan of `plan` given the per-join work in `costs`
 /// (from [`mj_plan::cost::tree_costs`] over the same tree).
 pub fn estimate_schedule(

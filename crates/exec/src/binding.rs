@@ -1,23 +1,101 @@
-//! Query bindings: the logical join specs and schemas a plan needs to
-//! actually execute.
+//! Query bindings: the logical join specs, schemas, scan filters, and
+//! post-join pipeline stages a plan needs to actually execute.
 //!
 //! The [`mj_core::plan_ir::ParallelPlan`] is purely structural (which join
-//! runs where); the *binding* supplies what each join computes: its
-//! [`EquiJoin`] spec and the schema of every tree node, resolved against a
-//! catalog.
+//! runs where); the *binding* supplies what the query computes: each
+//! join's [`EquiJoin`] spec and node schema, plus the two extensions the
+//! operator framework added — predicates pushed down to base-relation
+//! scans ([`QueryBinding::scan_filter`]) and the chain of
+//! [`PipelineStage`]s (residual filter, partitioned GROUP BY, LIMIT) the
+//! engine appends after the root join.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use mj_plan::query::{regular_join_spec, LoweredQuery};
 use mj_plan::tree::{JoinTree, NodeId, TreeNode};
-use mj_relalg::{EquiJoin, RelalgError, RelationProvider, Result, Schema};
+use mj_relalg::ops::AggSpec;
+use mj_relalg::{EquiJoin, Predicate, Projection, RelalgError, RelationProvider, Result, Schema};
 
-/// Join specs and node schemas for one query tree.
+use crate::metrics::OpMetricsKind;
+
+/// What a post-join pipeline stage computes.
+#[derive(Clone, Debug)]
+pub enum StageKind {
+    /// A residual selection over the join output (predicates the planner
+    /// did not push to scans), with an optional trailing projection that
+    /// drops predicate-only carrier columns.
+    Filter {
+        /// The predicate, over the stage's input schema.
+        predicate: Predicate,
+        /// Projection applied to surviving tuples.
+        projection: Option<Projection>,
+    },
+    /// Partitioned hash GROUP BY.
+    Aggregate {
+        /// Grouping columns of the input schema.
+        group: Vec<usize>,
+        /// Aggregates to compute (input columns of the input schema).
+        aggs: Vec<AggSpec>,
+        /// Projection over the `[group..., aggs...]` layout into the
+        /// SELECT list's order.
+        projection: Option<Projection>,
+    },
+    /// Early-terminating row cap (always degree 1).
+    Limit {
+        /// Maximum rows.
+        k: u64,
+    },
+}
+
+impl StageKind {
+    /// The metrics classification of this stage — the single source the
+    /// explain label ([`name`](Self::name)) and the per-op metrics rows
+    /// both read, so a new operator kind is added in one place.
+    pub fn metrics_kind(&self) -> OpMetricsKind {
+        match self {
+            StageKind::Filter { .. } => OpMetricsKind::Filter,
+            StageKind::Aggregate { .. } => OpMetricsKind::Aggregate,
+            StageKind::Limit { .. } => OpMetricsKind::Limit,
+        }
+    }
+
+    /// Short lower-case name (metrics, explain).
+    pub fn name(&self) -> &'static str {
+        self.metrics_kind().label()
+    }
+}
+
+/// One post-join pipeline stage: the operator, its parallelism, how its
+/// input redistribution is routed, and its derived output schema.
+#[derive(Clone, Debug)]
+pub struct PipelineStage {
+    /// What the stage computes.
+    pub kind: StageKind,
+    /// Instance count. LIMIT and global aggregates run at 1.
+    pub degree: usize,
+    /// Input column the producer-side routers hash on (ignored for
+    /// degree 1).
+    pub partition_col: usize,
+    /// Output schema of the stage.
+    pub schema: Arc<Schema>,
+    /// Planner-estimated output cardinality (rides into the metrics).
+    pub est_out: u64,
+    /// Human-readable description for `explain()`.
+    pub label: String,
+}
+
+/// Join specs, node schemas, scan filters, and pipeline stages for one
+/// query tree.
 #[derive(Clone, Debug)]
 pub struct QueryBinding {
     specs: HashMap<NodeId, EquiJoin>,
     schemas: Vec<Arc<Schema>>,
+    /// Predicates pushed down to base-relation scans, by relation name.
+    scan_filters: HashMap<String, Predicate>,
+    /// Post-join stages, in dataflow order (the last stage feeds the
+    /// client).
+    stages: Vec<PipelineStage>,
 }
 
 impl QueryBinding {
@@ -51,6 +129,8 @@ impl QueryBinding {
                 .into_iter()
                 .map(|s| s.expect("all filled"))
                 .collect(),
+            scan_filters: HashMap::new(),
+            stages: Vec::new(),
         })
     }
 
@@ -88,6 +168,8 @@ impl QueryBinding {
         Ok(QueryBinding {
             specs: lowered.specs().clone(),
             schemas: lowered.schemas().to_vec(),
+            scan_filters: HashMap::new(),
+            stages: Vec::new(),
         })
     }
 
@@ -104,6 +186,60 @@ impl QueryBinding {
             index: node,
             arity: self.schemas.len(),
         })
+    }
+
+    /// Attaches predicates pushed down to base-relation scans: the engine
+    /// filters each named relation (zero-copy index gather) before
+    /// fragmenting it.
+    pub fn with_scan_filters(mut self, filters: HashMap<String, Predicate>) -> Self {
+        self.scan_filters = filters;
+        self
+    }
+
+    /// Appends the post-join pipeline stages, in dataflow order. Each
+    /// stage's input schema is the previous stage's output (the root
+    /// join's schema for the first); stage degrees must be positive and a
+    /// LIMIT stage must run at degree 1.
+    pub fn with_stages(mut self, stages: Vec<PipelineStage>) -> Result<Self> {
+        for stage in &stages {
+            if stage.degree == 0 {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "{} stage has degree 0",
+                    stage.kind.name()
+                )));
+            }
+            if matches!(stage.kind, StageKind::Limit { .. }) && stage.degree != 1 {
+                return Err(RelalgError::InvalidPlan(
+                    "a LIMIT stage must run at degree 1".into(),
+                ));
+            }
+        }
+        self.stages = stages;
+        Ok(self)
+    }
+
+    /// The predicate pushed to the scan of `relation`, if any.
+    pub fn scan_filter(&self, relation: &str) -> Option<&Predicate> {
+        self.scan_filters.get(relation)
+    }
+
+    /// All pushed scan filters by relation name.
+    pub fn scan_filters(&self) -> &HashMap<String, Predicate> {
+        &self.scan_filters
+    }
+
+    /// The post-join pipeline stages, in dataflow order.
+    pub fn stages(&self) -> &[PipelineStage] {
+        &self.stages
+    }
+
+    /// The schema of the query's client-visible result: the last stage's
+    /// output, or the root join's schema when no stages are attached.
+    pub fn result_schema(&self, root: NodeId) -> Result<&Arc<Schema>> {
+        match self.stages.last() {
+            Some(stage) => Ok(&stage.schema),
+            None => self.schema(root),
+        }
     }
 }
 

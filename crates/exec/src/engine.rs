@@ -37,22 +37,27 @@ use crossbeam::channel::{Receiver, Sender};
 use mj_core::plan_ir::{OperandSource, ParallelPlan, PlanOp};
 use mj_core::validate::validate_plan;
 use mj_plan::segment::segments;
+use mj_relalg::ops::filter_gather;
 use mj_relalg::{RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
 
-use crate::binding::QueryBinding;
+use crate::binding::{QueryBinding, StageKind};
 use crate::config::ExecConfig;
 use crate::handle::{QueryCtrl, QueryHandle, QueryOutcome, ResultStream};
 use crate::metrics::Metrics;
-use crate::operator::task::{DoneMsg, JoinTask};
-use crate::operator::OutputPort;
+use crate::operator::task::{DoneMsg, OpTask};
+use crate::operator::{AggregateOp, FilterOp, LimitOp, OutputPort, PhysicalOp};
 use crate::sched::WorkerPool;
 use crate::source::Source;
 use crate::stream::{client_channel, operand_channels, BatchPool, ClientSink, Msg, Router};
 
-/// Producer op id -> (senders to the consumer's instances, consumer key
-/// column, the edge's shared batch-buffer pool).
-type OutStreams = HashMap<usize, (Vec<Sender<Msg>>, usize, Arc<BatchPool>)>;
+/// The producer side of one redistribution edge: senders to the consumer's
+/// instances, the consumer's routing key column, and the edge's shared
+/// batch-buffer pool.
+type OutEdge = (Vec<Sender<Msg>>, usize, Arc<BatchPool>);
+
+/// Producer op id -> its output edge.
+type OutStreams = HashMap<usize, OutEdge>;
 
 /// The endpoints of the query's root-result channel before the root
 /// operation spawns.
@@ -244,13 +249,13 @@ fn open_result_channel(
     config.validate().map_err(RelalgError::InvalidPlan)?;
     validate_plan(plan)?;
     let root = plan.tree.root();
-    let producers = plan
-        .ops
-        .iter()
-        .find(|op| op.join == root)
+    let root_degree = plan
+        .op_for_join(root)
         .map(PlanOp::degree)
         .ok_or_else(|| RelalgError::InvalidPlan("plan has no root operation".into()))?;
-    let schema = binding.schema(root)?.clone();
+    // With pipeline stages attached, the *last stage* feeds the client.
+    let producers = binding.stages().last().map_or(root_degree, |s| s.degree);
+    let schema = binding.result_schema(root)?.clone();
     let (tx, rx, bpool) = client_channel(producers, config.channel_capacity);
     let ctrl = QueryCtrl::new();
     let stream = ResultStream::new(rx, producers, schema, ctrl.clone());
@@ -277,7 +282,13 @@ struct QueryRun<'a> {
     out_stream: OutStreams,
     /// Producer op -> consumer uses materialization.
     out_materialized: Vec<bool>,
-    /// Root-result channel endpoints, taken when the root op spawns;
+    /// Per-stage input receivers (taken when the stages spawn).
+    stage_rx: Vec<Vec<Receiver<Msg>>>,
+    /// Per-stage output senders; `None` for the last stage (it feeds the
+    /// client channel).
+    stage_out: Vec<Option<OutEdge>>,
+    /// Root-result channel endpoints, taken when the sink task spawns
+    /// (the last stage, or the root op when no stages are attached);
     /// dropping the master sender lets the stream observe teardown.
     client: Option<ClientEdge>,
     done_tx: mpsc::Sender<DoneMsg>,
@@ -395,7 +406,7 @@ impl QueryRun<'_> {
                 .fail
                 .map(|f| f.op == op.id && f.instance == i)
                 .unwrap_or(false);
-            let task = JoinTask::with_ctrl(
+            let task = OpTask::join(
                 op.algorithm,
                 spec.clone(),
                 left,
@@ -412,8 +423,102 @@ impl QueryRun<'_> {
             self.pool.submit(self.priorities[op.id], Box::new(task));
             self.spawned_instances += 1;
         }
-        // `client` (the master sender) drops here once the root op has
-        // spawned: from now on only the root instances hold senders.
+        // `client` (the master sender) drops here once the sink op has
+        // spawned: from now on only the sink instances hold senders.
+        Ok(())
+    }
+
+    /// Spawns every post-join pipeline stage (residual filter, partitioned
+    /// aggregate, limit). Stages consume only streams, so they are all
+    /// submitted at query start and simply idle (blocked, yielding their
+    /// worker) until the root join produces.
+    fn spawn_stages(&mut self) -> Result<()> {
+        let n_ops = self.plan.ops.len();
+        let root = self.plan.tree.root();
+        let mut producers = self
+            .plan
+            .op_for_join(root)
+            .map(PlanOp::degree)
+            .ok_or_else(|| RelalgError::InvalidPlan("plan has no root operation".into()))?;
+        for (i, stage) in self.binding.stages().iter().enumerate() {
+            let op_id = n_ops + i;
+            let rxs = std::mem::take(&mut self.stage_rx[i]);
+            if rxs.len() != stage.degree {
+                return Err(RelalgError::InvalidPlan(format!(
+                    "stage {i} expects {} input channels, got {}",
+                    stage.degree,
+                    rxs.len()
+                )));
+            }
+            let out_entry = self.stage_out[i].take();
+            let client = if out_entry.is_none() {
+                Some(self.client.take().ok_or_else(|| {
+                    RelalgError::InvalidPlan("plan has more than one sink operation".into())
+                })?)
+            } else {
+                None
+            };
+            self.metrics.ops[op_id].instances = stage.degree;
+            self.metrics.processes += stage.degree;
+            for (inst, rx) in rxs.iter().enumerate() {
+                let source = Source::Stream {
+                    rx: rx.clone(),
+                    producers,
+                };
+                let output = match &out_entry {
+                    Some((txs, key_col, pool)) => OutputPort::Stream(Router::new(
+                        txs.clone(),
+                        *key_col,
+                        self.config.batch_size,
+                        pool.clone(),
+                    )),
+                    None => {
+                        let (tx, bpool) = client.as_ref().expect("taken above");
+                        OutputPort::Client(ClientSink::new(
+                            tx.clone(),
+                            self.config.batch_size,
+                            bpool.clone(),
+                        ))
+                    }
+                };
+                let op: Box<dyn PhysicalOp> = match &stage.kind {
+                    StageKind::Filter {
+                        predicate,
+                        projection,
+                    } => Box::new(FilterOp::new(predicate.clone(), projection.clone())),
+                    StageKind::Aggregate {
+                        group,
+                        aggs,
+                        projection,
+                    } => Box::new(AggregateOp::new(
+                        group.clone(),
+                        aggs.clone(),
+                        projection.clone(),
+                    )),
+                    StageKind::Limit { k } => Box::new(LimitOp::new(*k)),
+                };
+                let fail = self
+                    .config
+                    .fail
+                    .map(|f| f.op == op_id && f.instance == inst)
+                    .unwrap_or(false);
+                let task = OpTask::new(
+                    op,
+                    vec![source],
+                    output,
+                    self.config.batch_size,
+                    op_id,
+                    inst,
+                    self.done_tx.clone(),
+                    self.config.startup_cost,
+                    fail,
+                    Some(self.ctrl.clone()),
+                );
+                self.pool.submit(self.priorities[op_id], Box::new(task));
+                self.spawned_instances += 1;
+            }
+            producers = stage.degree;
+        }
         Ok(())
     }
 
@@ -422,6 +527,8 @@ impl QueryRun<'_> {
     fn release_unspawned_endpoints(&mut self) {
         self.stream_rx.clear();
         self.out_stream.clear();
+        self.stage_rx.clear();
+        self.stage_out.clear();
         self.client = None;
     }
 }
@@ -446,10 +553,17 @@ fn run_query(
     // Config and plan were validated by `open_result_channel` — both
     // callers go through it before spawning this coordinator.
     let n_ops = plan.ops.len();
+    let n_stages = binding.stages().len();
+    let n_tasks = n_ops + n_stages;
     let ns = format!("q{query_id}:");
     store.ensure_nodes(plan.processors);
 
     // --- Setup (not timed): ideal base fragmentation per §4.1. ---
+    // Pushed-down filters run here, against the base relations themselves:
+    // a zero-copy index gather keeps only the surviving rows (payloads
+    // shared, not copied), so partitioning, streams, and the joins all see
+    // the reduced inputs — the whole point of pushdown.
+    let mut filtered_bases: HashMap<&str, Arc<Relation>> = HashMap::new();
     let mut base_fragments: HashMap<(usize, usize), Vec<Arc<Relation>>> = HashMap::new();
     for op in &plan.ops {
         let spec = binding.spec(op.join)?;
@@ -460,7 +574,18 @@ fn run_query(
                 } else {
                     spec.right_key
                 };
-                let rel = provider.relation(relation)?;
+                let rel = match binding.scan_filter(relation) {
+                    Some(pred) => match filtered_bases.get(relation.as_str()) {
+                        Some(cached) => cached.clone(),
+                        None => {
+                            let base = provider.relation(relation)?;
+                            let filtered = Arc::new(filter_gather(&base, pred)?);
+                            filtered_bases.insert(relation.as_str(), filtered.clone());
+                            filtered
+                        }
+                    },
+                    None => provider.relation(relation)?,
+                };
                 let frags = hash_partition(&rel, op.degree(), key_col)?
                     .into_iter()
                     .map(Arc::new)
@@ -506,13 +631,45 @@ fn run_query(
         }
     }
 
-    // Scheduling priority: the op's right-deep segment wave (§4 order).
+    // Post-join pipeline channels: the root op streams into stage 0, each
+    // stage into the next, and the last stage into the client channel.
+    let mut stage_rx: Vec<Vec<Receiver<Msg>>> = Vec::with_capacity(n_stages);
+    let mut stage_out: Vec<Option<OutEdge>> = (0..n_stages).map(|_| None).collect();
+    let mut stage_streams = 0usize;
+    if n_stages > 0 {
+        let root_op = plan
+            .op_for_join(plan.tree.root())
+            .ok_or_else(|| RelalgError::InvalidPlan("plan has no root operation".into()))?;
+        let mut prev_degree = root_op.degree();
+        for (i, stage) in binding.stages().iter().enumerate() {
+            let (txs, rxs, bpool) =
+                operand_channels(prev_degree, stage.degree, config.channel_capacity);
+            stage_streams += prev_degree * stage.degree;
+            stage_rx.push(rxs);
+            let entry = (txs, stage.partition_col, bpool);
+            if i == 0 {
+                if out_stream.insert(root_op.id, entry).is_some() {
+                    return Err(RelalgError::InvalidPlan(
+                        "root op already has a stream consumer".into(),
+                    ));
+                }
+            } else {
+                stage_out[i - 1] = Some(entry);
+            }
+            prev_degree = stage.degree;
+        }
+    }
+
+    // Scheduling priority: the op's right-deep segment wave (§4 order);
+    // pipeline stages run after the root, in later waves still.
     let node_waves = segments(&plan.tree).node_waves();
-    let priorities: Vec<usize> = plan
+    let mut priorities: Vec<usize> = plan
         .ops
         .iter()
         .map(|op| node_waves.get(op.join).copied().flatten().unwrap_or(0))
         .collect();
+    let stage_base = priorities.iter().copied().max().unwrap_or(0) + 1;
+    priorities.extend((0..n_stages).map(|i| stage_base + i));
 
     // --- Scheduling (timed). ---
     let started = Instant::now();
@@ -526,10 +683,14 @@ fn run_query(
         }
     }
 
-    let mut metrics = Metrics::new(n_ops);
-    metrics.streams = plan.stats().tuple_streams;
+    let mut metrics = Metrics::new(n_tasks);
+    metrics.streams = plan.stats().tuple_streams + stage_streams;
     for op in &plan.ops {
         metrics.ops[op.id].est_out = op.est_out;
+    }
+    for (i, stage) in binding.stages().iter().enumerate() {
+        metrics.ops[n_ops + i].est_out = stage.est_out;
+        metrics.ops[n_ops + i].kind = stage.kind.metrics_kind();
     }
     let mut run = QueryRun {
         plan,
@@ -544,6 +705,8 @@ fn run_query(
         stream_rx,
         out_stream,
         out_materialized,
+        stage_rx,
+        stage_out,
         client: Some(client),
         done_tx,
         spawned: vec![false; n_ops],
@@ -551,14 +714,22 @@ fn run_query(
         metrics,
     };
 
-    let mut instances_left: Vec<usize> = plan.ops.iter().map(|o| o.degree()).collect();
+    let mut instances_left: Vec<usize> = plan
+        .ops
+        .iter()
+        .map(|o| o.degree())
+        .chain(binding.stages().iter().map(|s| s.degree))
+        .collect();
     let mut received = 0usize;
     let mut first_err: Option<RelalgError> = None;
 
     if ctrl.is_canceled() {
         first_err = Some(RelalgError::Canceled);
         run.release_unspawned_endpoints();
-    } else if let Err(e) = run.spawn_ready(&deps_remaining) {
+    } else if let Err(e) = run
+        .spawn_ready(&deps_remaining)
+        .and_then(|()| run.spawn_stages())
+    {
         // Setup failed part-way: any already-submitted tasks unwind via
         // dropped endpoints; keep draining below so the query is quiescent
         // (and the shared store clean) before we return.
@@ -596,7 +767,8 @@ fn run_query(
             }
         }
         instances_left[op_id] -= 1;
-        if instances_left[op_id] == 0 && first_err.is_none() {
+        // Pipeline stages (ids >= n_ops) have no dependents in the plan DAG.
+        if op_id < n_ops && instances_left[op_id] == 0 && first_err.is_none() {
             // Op complete: release dependents.
             for &d in &dependents[op_id].clone() {
                 deps_remaining[d] -= 1;

@@ -52,6 +52,10 @@ const STATE_CANCELED: u8 = 3;
 #[derive(Debug, Default)]
 pub struct QueryCtrl {
     cancel: AtomicBool,
+    /// Graceful early termination: the query's answer is already complete
+    /// (a satisfied LIMIT), so upstream operators should stop producing
+    /// and report success instead of an error.
+    stop: AtomicBool,
     state: AtomicU8,
 }
 
@@ -70,6 +74,19 @@ impl QueryCtrl {
     /// True once cancellation has been requested.
     pub fn is_canceled(&self) -> bool {
         self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Signals that the query's result is complete (a LIMIT was satisfied):
+    /// every other task of this query winds down *successfully* on its next
+    /// scheduling step — the graceful sibling of [`cancel`](Self::cancel),
+    /// raised by the operator framework, not the client.
+    pub fn stop_early(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// True once a downstream operator declared the result complete.
+    pub fn early_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
     }
 
     /// Records the coordinator's terminal result.

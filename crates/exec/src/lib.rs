@@ -51,12 +51,16 @@ pub mod session;
 pub mod source;
 pub mod stream;
 
-pub use binding::QueryBinding;
+pub use binding::{PipelineStage, QueryBinding, StageKind};
 pub use config::{ExecConfig, FailPoint};
 pub use engine::{run_plan, Engine, ExecOutcome};
 pub use families::{chain_query_sql, generate_family, star_query_sql, FamilyInstance, QueryFamily};
 pub use handle::{QueryHandle, QueryOutcome, QueryStatus, ResultStream};
-pub use metrics::{Metrics, OpMetrics};
+pub use metrics::{Metrics, OpMetrics, OpMetricsKind};
+pub use operator::{
+    AggregateOp, FilterOp, InputMode, LimitOp, OpKind, OpTask, PhysicalOp, PipeliningJoinOp,
+    SimpleJoinOp,
+};
 pub use planner::{query_from_catalog, PlanChoice, PlannedQuery, Planner, PlannerOptions};
 pub use sched::WorkerPool;
 pub use session::{Database, DbConfig, MjError, MjResult};

@@ -2,9 +2,47 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What kind of operator a metrics row describes. The join DAG's ops are
+/// [`Join`](OpMetricsKind::Join); the post-join pipeline stages carry
+/// their own kinds so `explain()` and the cardinality report name them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpMetricsKind {
+    /// A hash equi-join of the plan tree.
+    Join,
+    /// A residual selection stage.
+    Filter,
+    /// A partitioned GROUP BY stage.
+    Aggregate,
+    /// A LIMIT stage.
+    Limit,
+}
+
+impl OpMetricsKind {
+    /// Short lower-case label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpMetricsKind::Join => "join",
+            OpMetricsKind::Filter => "filter",
+            OpMetricsKind::Aggregate => "aggregate",
+            OpMetricsKind::Limit => "limit",
+        }
+    }
+}
+
+// Not `#[derive(Default)]`: the offline serde shim's derive cannot parse
+// a `#[default]` attribute inside the enum body.
+#[allow(clippy::derivable_impls)]
+impl Default for OpMetricsKind {
+    fn default() -> Self {
+        OpMetricsKind::Join
+    }
+}
+
 /// Per-operation aggregates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpMetrics {
+    /// What kind of operator this row describes.
+    pub kind: OpMetricsKind,
     /// Operation processes spawned (= plan degree).
     pub instances: usize,
     /// Tuples consumed on the (left, right) operand across instances.

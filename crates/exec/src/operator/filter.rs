@@ -1,0 +1,81 @@
+//! The selection operator: a predicate over the stream, with an optional
+//! output projection.
+//!
+//! Filters pushed below the joins never reach this operator — the engine
+//! evaluates them against base relations during setup (a zero-copy
+//! [`Relation::gather`](mj_relalg::Relation::gather) of the surviving
+//! rows) so partitioning and the joins see fewer tuples. [`FilterOp`] is
+//! the *residual* form: predicates the planner kept above the joins
+//! (pushdown disabled, or benchmark comparisons) run here over the root
+//! join's output stream, and the optional projection drops the predicate's
+//! carrier columns once they have been tested.
+
+use mj_relalg::{Predicate, Projection, Result, Tuple};
+
+use crate::operator::op::{Absorb, OpKind, PhysicalOp};
+
+/// A streaming selection: keep tuples satisfying `predicate`, then apply
+/// the optional projection.
+pub struct FilterOp {
+    predicate: Predicate,
+    projection: Option<Projection>,
+}
+
+impl FilterOp {
+    /// Creates the operator. `projection` (applied *after* the predicate)
+    /// lets a residual filter drop columns that were only carried for its
+    /// own evaluation.
+    pub fn new(predicate: Predicate, projection: Option<Projection>) -> Self {
+        FilterOp {
+            predicate,
+            projection,
+        }
+    }
+}
+
+impl PhysicalOp for FilterOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Filter
+    }
+
+    fn absorb(&mut self, _side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+        if self.predicate.eval(&tuple)? {
+            out.push(match &self.projection {
+                Some(p) => p.apply(&tuple)?,
+                None => tuple,
+            });
+        }
+        Ok(Absorb::Continue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::CmpOp;
+
+    #[test]
+    fn filters_and_projects() {
+        let mut op = FilterOp::new(
+            Predicate::cmp_int(0, CmpOp::Lt, 5),
+            Some(Projection::new(vec![1])),
+        );
+        let mut out = Vec::new();
+        for v in [3i64, 7, 4] {
+            op.absorb(0, Tuple::from_ints(&[v, v * 10]), &mut out)
+                .unwrap();
+        }
+        assert_eq!(out, vec![Tuple::from_ints(&[30]), Tuple::from_ints(&[40])]);
+        assert_eq!(op.kind(), OpKind::Filter);
+        let mut drained = Vec::new();
+        op.finish(&mut drained).unwrap();
+        assert!(drained.is_empty(), "filters hold no state");
+    }
+
+    #[test]
+    fn predicate_errors_propagate() {
+        let mut op = FilterOp::new(Predicate::cmp_int(9, CmpOp::Eq, 0), None);
+        let mut out = Vec::new();
+        assert!(op.absorb(0, Tuple::from_ints(&[1]), &mut out).is_err());
+    }
+}

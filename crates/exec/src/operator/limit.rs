@@ -1,0 +1,93 @@
+//! The LIMIT operator: early-out row capping — the first operator that
+//! *stops* a running pipeline.
+//!
+//! Every other operator consumes its inputs to exhaustion; `LimitOp`
+//! declares [`Absorb::Satisfied`] the moment its quota fills. The driver
+//! then raises the query's early-stop token
+//! ([`QueryCtrl::stop_early`](crate::handle::QueryCtrl::stop_early)):
+//! every upstream task of the query observes the token on its next
+//! scheduling step and winds down *successfully* — reporting its stats
+//! exactly once through the normal completion protocol, so the engine
+//! quiesces (fragments reclaimed, pool reusable) exactly as it does for a
+//! completed query, not through the error path. `LimitOp` always runs at
+//! degree 1: a partitioned limit would need a second coordination round to
+//! agree on who emits how many rows.
+
+use mj_relalg::{Result, Tuple};
+
+use crate::operator::op::{Absorb, OpKind, PhysicalOp};
+
+/// Passes through at most `k` tuples, then stops the pipeline.
+pub struct LimitOp {
+    remaining: u64,
+}
+
+impl LimitOp {
+    /// Creates the operator with a quota of `k` rows.
+    pub fn new(k: u64) -> Self {
+        LimitOp { remaining: k }
+    }
+
+    /// Rows still accepted.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl PhysicalOp for LimitOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Limit
+    }
+
+    fn absorb(&mut self, _side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+        if self.remaining == 0 {
+            // LIMIT 0, or a straggler after satisfaction: drop it.
+            return Ok(Absorb::Satisfied);
+        }
+        out.push(tuple);
+        self.remaining -= 1;
+        Ok(if self.remaining == 0 {
+            Absorb::Satisfied
+        } else {
+            Absorb::Continue
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_and_satisfies() {
+        let mut op = LimitOp::new(2);
+        let mut out = Vec::new();
+        assert_eq!(
+            op.absorb(0, Tuple::from_ints(&[1]), &mut out).unwrap(),
+            Absorb::Continue
+        );
+        assert_eq!(
+            op.absorb(0, Tuple::from_ints(&[2]), &mut out).unwrap(),
+            Absorb::Satisfied
+        );
+        assert_eq!(out.len(), 2);
+        // Stragglers are dropped, not errors.
+        assert_eq!(
+            op.absorb(0, Tuple::from_ints(&[3]), &mut out).unwrap(),
+            Absorb::Satisfied
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(op.remaining(), 0);
+    }
+
+    #[test]
+    fn limit_zero_is_satisfied_immediately() {
+        let mut op = LimitOp::new(0);
+        let mut out = Vec::new();
+        assert_eq!(
+            op.absorb(0, Tuple::from_ints(&[1]), &mut out).unwrap(),
+            Absorb::Satisfied
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! The physical-operator abstraction: what an operation process *computes*,
+//! separated from how it is scheduled.
+//!
+//! PR 2 restructured operator instances as cooperative tasks, but the task
+//! was a *join* task — phases, ports, cancellation, and the hash-join
+//! algorithms were one struct, so the engine could evaluate exactly one
+//! thing: a tree of equi-joins. [`PhysicalOp`] extracts the computational
+//! core: a push-based operator that absorbs tuples from its input sides and
+//! appends results to an output buffer, with optional build and drain
+//! phases. The generic driver ([`OpTask`](crate::operator::task::OpTask))
+//! owns everything schedulable — resumable operand cursors, non-blocking
+//! output, quantum pacing, cancel/early-stop tokens, exactly-once
+//! completion — so a new operator is just this trait, not a new state
+//! machine.
+//!
+//! Both hash-join algorithms are re-expressed here as `PhysicalOp`
+//! implementations; `filter`, `aggregate`, and `limit` (the first operator
+//! that *stops* a running pipeline early) live in their sibling modules.
+
+use std::fmt;
+
+use mj_join::{PipeliningJoinState, SimpleJoinState};
+use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Result, Tuple};
+
+/// What kind of operator an instance runs — for metrics and explain
+/// output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A hash equi-join.
+    Join(JoinAlgorithm),
+    /// A selection (predicate over the stream).
+    Filter,
+    /// Hash GROUP BY aggregation.
+    Aggregate,
+    /// Row-count limit with early termination.
+    Limit,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Join(a) => write!(f, "join[{a}]"),
+            OpKind::Filter => write!(f, "filter"),
+            OpKind::Aggregate => write!(f, "aggregate"),
+            OpKind::Limit => write!(f, "limit"),
+        }
+    }
+}
+
+/// How the driver should feed an operator's input sides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputMode {
+    /// Drain side `build` completely (via [`PhysicalOp::build`], producing
+    /// no output) before feeding the remaining side — the simple hash
+    /// join's two-phase discipline. The build side must be immediate.
+    BuildThenProbe {
+        /// Which side (0 or 1) is the build input.
+        build: usize,
+    },
+    /// Feed whichever side has tuples available, alternating for fairness
+    /// — pipelining joins and every single-input operator.
+    Interleaved,
+}
+
+/// The operator's verdict after absorbing one tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Absorb {
+    /// Keep feeding.
+    Continue,
+    /// The operator's output is already complete (a satisfied LIMIT): the
+    /// driver stops feeding, finishes the output port, and raises the
+    /// query's early-stop token so upstream operators wind down.
+    Satisfied,
+}
+
+/// One physical operator: the pure computation an operation-process
+/// instance performs, driven by the scheduling skeleton in
+/// [`task`](crate::operator::task).
+///
+/// Contract:
+/// * [`absorb`](Self::absorb) is called once per input tuple (per side for
+///   two-input operators) and may append any number of result tuples to
+///   `out`; the driver flushes `out` through the output port between
+///   quanta.
+/// * For [`InputMode::BuildThenProbe`], [`build`](Self::build) receives
+///   every build-side tuple first, then [`finish_build`](Self::finish_build)
+///   is called exactly once before the first `absorb`.
+/// * [`finish`](Self::finish) is called exactly once after every input is
+///   exhausted (or the operator reported [`Absorb::Satisfied`]); operators
+///   with held state (aggregation) emit it there.
+pub trait PhysicalOp: Send {
+    /// What kind of operator this is (metrics, explain).
+    fn kind(&self) -> OpKind;
+
+    /// How the driver should feed the inputs.
+    fn input_mode(&self) -> InputMode {
+        InputMode::Interleaved
+    }
+
+    /// Absorbs one build-side tuple ([`InputMode::BuildThenProbe`] only).
+    fn build(&mut self, _tuple: Tuple) -> Result<()> {
+        Err(RelalgError::InvalidPlan(format!(
+            "operator {} has no build phase",
+            self.kind()
+        )))
+    }
+
+    /// The build side is exhausted ([`InputMode::BuildThenProbe`] only).
+    fn finish_build(&mut self) {}
+
+    /// Absorbs one tuple from input `side`, appending results to `out`.
+    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb>;
+
+    /// Every input is exhausted: emit any held state into `out`.
+    fn finish(&mut self, _out: &mut Vec<Tuple>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Estimated bytes of operator-held state (hash tables), for the
+    /// memory metrics.
+    fn est_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The simple (two-phase build–probe) hash join as a [`PhysicalOp`]
+/// (§2.3.2): side 0 builds, side 1 probes.
+pub struct SimpleJoinOp {
+    state: SimpleJoinState,
+}
+
+impl SimpleJoinOp {
+    /// Creates the operator for one join spec.
+    pub fn new(spec: EquiJoin) -> Self {
+        SimpleJoinOp {
+            state: SimpleJoinState::new(spec),
+        }
+    }
+}
+
+impl PhysicalOp for SimpleJoinOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Join(JoinAlgorithm::Simple)
+    }
+
+    fn input_mode(&self) -> InputMode {
+        InputMode::BuildThenProbe { build: 0 }
+    }
+
+    fn build(&mut self, tuple: Tuple) -> Result<()> {
+        self.state.build(tuple)
+    }
+
+    fn finish_build(&mut self) {
+        self.state.finish_build();
+    }
+
+    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+        debug_assert_eq!(side, 1, "simple join absorbs only its probe side");
+        self.state.probe(&tuple, out)?;
+        Ok(Absorb::Continue)
+    }
+
+    fn est_bytes(&self) -> usize {
+        self.state.est_bytes()
+    }
+}
+
+/// The symmetric pipelining hash join as a [`PhysicalOp`] (\[WiA91\]):
+/// either side may arrive first; both build and both probe.
+pub struct PipeliningJoinOp {
+    state: PipeliningJoinState,
+}
+
+impl PipeliningJoinOp {
+    /// Creates the operator for one join spec.
+    pub fn new(spec: EquiJoin) -> Self {
+        PipeliningJoinOp {
+            state: PipeliningJoinState::new(spec),
+        }
+    }
+}
+
+impl PhysicalOp for PipeliningJoinOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Join(JoinAlgorithm::Pipelining)
+    }
+
+    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+        if side == 0 {
+            self.state.push_left(tuple, out)?;
+        } else {
+            self.state.push_right(tuple, out)?;
+        }
+        Ok(Absorb::Continue)
+    }
+
+    fn est_bytes(&self) -> usize {
+        self.state.est_bytes()
+    }
+}
+
+/// Builds the join operator for `algorithm` over `spec` — the single
+/// construction point the engine and the blocking drivers share.
+pub fn join_op(algorithm: JoinAlgorithm, spec: EquiJoin) -> Box<dyn PhysicalOp> {
+    match algorithm {
+        JoinAlgorithm::Simple => Box::new(SimpleJoinOp::new(spec)),
+        JoinAlgorithm::Pipelining => Box::new(PipeliningJoinOp::new(spec)),
+    }
+}

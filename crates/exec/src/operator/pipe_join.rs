@@ -5,12 +5,12 @@
 use mj_relalg::{EquiJoin, Result};
 
 use crate::metrics::InstanceStats;
-use crate::operator::task::{drive_blocking, JoinTask};
+use crate::operator::task::{drive_blocking, OpTask};
 use crate::operator::OutputPort;
 use crate::source::Source;
 
 /// Runs one pipelining hash-join instance to completion on the current
-/// thread (a blocking driver over the same [`JoinTask`] state machine the
+/// thread (a blocking driver over the same [`OpTask`] state machine the
 /// worker pool schedules).
 ///
 /// The task's feed loop alternates sides whenever both have tuples
@@ -25,7 +25,7 @@ pub fn run_pipelining_instance(
     batch_size: usize,
 ) -> Result<InstanceStats> {
     let (done_tx, done_rx) = std::sync::mpsc::channel();
-    let task = JoinTask::new(
+    let task = OpTask::join(
         mj_relalg::JoinAlgorithm::Pipelining,
         spec,
         left,
@@ -37,6 +37,7 @@ pub fn run_pipelining_instance(
         done_tx,
         None,
         false,
+        None,
     );
     drive_blocking(task);
     done_rx.recv().expect("task reports exactly once").1

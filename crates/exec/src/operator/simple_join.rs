@@ -4,12 +4,12 @@
 use mj_relalg::{EquiJoin, Result};
 
 use crate::metrics::InstanceStats;
-use crate::operator::task::{drive_blocking, JoinTask};
+use crate::operator::task::{drive_blocking, OpTask};
 use crate::operator::OutputPort;
 use crate::source::Source;
 
 /// Runs one simple hash-join instance to completion on the current thread
-/// (a blocking driver over the same [`JoinTask`] state machine the worker
+/// (a blocking driver over the same [`OpTask`] state machine the worker
 /// pool schedules).
 ///
 /// The build (left) source must be immediate (base fragment or materialized
@@ -24,7 +24,7 @@ pub fn run_simple_instance(
     batch_size: usize,
 ) -> Result<InstanceStats> {
     let (done_tx, done_rx) = std::sync::mpsc::channel();
-    let task = JoinTask::new(
+    let task = OpTask::join(
         mj_relalg::JoinAlgorithm::Simple,
         spec,
         left,
@@ -36,6 +36,7 @@ pub fn run_simple_instance(
         done_tx,
         None,
         false,
+        None,
     );
     drive_blocking(task);
     done_rx.recv().expect("task reports exactly once").1

@@ -1,31 +1,44 @@
-//! The join operation process as a cooperative task: one state machine
-//! that both hash-join algorithms run on the shared worker pool.
+//! The generic operation-process driver: one cooperative task that runs
+//! any [`PhysicalOp`] on the shared worker pool.
 //!
 //! The seed's operator loops were straight-line blocking code — fine when
 //! every instance owned an OS thread, fatal on a fixed pool (a blocked
 //! `recv` would park a worker and a handful of stalled instances could
-//! deadlock the whole process). [`JoinTask`] restructures an instance as
-//! an explicit state machine: every channel interaction uses the
-//! non-blocking `try_*` forms, and instead of waiting the task returns
-//! [`Step::Blocked`], yielding its worker to some other instance — of this
-//! query or any other.
+//! deadlock the whole process). PR 2 restructured an instance as an
+//! explicit state machine, but that machine *was* the join: algorithms and
+//! scheduling were fused. [`OpTask`] is the scheduling skeleton alone —
+//! resumable operand cursors, non-blocking output flushing, quantum
+//! pacing, startup/fault injection, cancel and early-stop tokens,
+//! exactly-once completion reporting — parameterized by the operator it
+//! drives. Every channel interaction uses the non-blocking `try_*` forms,
+//! and instead of waiting the task returns [`Step::Blocked`], yielding its
+//! worker to some other instance — of this query or any other.
 //!
 //! Completion (stats or error) is reported exactly once on the query's
 //! done channel, including when the task is dropped mid-flight (pool
 //! shutdown, panic): the `Drop` impl reports non-completion so the query
 //! coordinator can never hang waiting for a vanished instance.
+//!
+//! Two tokens shape teardown. *Cancellation* (client-raised) makes every
+//! task report [`RelalgError::Canceled`]. *Early stop* (raised by a
+//! satisfied [`LimitOp`](crate::operator::limit::LimitOp) through
+//! [`QueryCtrl::stop_early`]) makes every *other* task of the query wind
+//! down successfully — the pipeline stops because the answer is complete,
+//! not because anything failed — while the satisfying task itself finishes
+//! its output port normally so the client still receives the final batch
+//! and `End`.
 
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, TryRecvError};
-use mj_join::{PipeliningJoinState, SimpleJoinState};
 use mj_relalg::hash::bucket_of;
 use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Relation, Result, Tuple};
 
 use crate::handle::QueryCtrl;
 use crate::metrics::InstanceStats;
+use crate::operator::op::{join_op, Absorb, InputMode, PhysicalOp};
 use crate::operator::OutputPort;
 use crate::sched::{Step, Task};
 use crate::source::Source;
@@ -173,41 +186,40 @@ impl Operand {
     }
 }
 
-/// The join algorithm state behind the common feed loop.
-enum Core {
-    Simple(SimpleJoinState),
-    Pipelining(PipeliningJoinState),
-}
-
 /// Execution phase of the instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     /// Startup gate: fault injection and the configured startup cost.
     Start,
-    /// Simple join only: drain the (immediate) build side into the table.
+    /// Build-then-probe operators only: drain the (immediate) build side.
     Build,
-    /// Feed operand tuples through the join, flushing output batches.
+    /// Feed operand tuples through the operator, flushing output batches.
     Feed,
-    /// Flush the output backlog and finalize the output port.
+    /// Drain held state, flush the output backlog, finalize the port.
     Finish,
     /// Completion has been reported; the task is inert.
     Done,
 }
 
-/// One join operation-process instance as a schedulable [`Task`].
-pub struct JoinTask {
-    core: Core,
-    left: Operand,
-    right: Operand,
+/// One operation-process instance as a schedulable [`Task`]: the generic
+/// driver over any [`PhysicalOp`].
+pub struct OpTask {
+    op: Box<dyn PhysicalOp>,
+    operands: Vec<Operand>,
     output: OutputPort,
-    /// Result tuples awaiting emission (shared with the join state).
+    /// Result tuples awaiting emission (shared with the operator).
     out: Vec<Tuple>,
     /// Emission cursor into `out` (for resumable routing).
     out_pos: usize,
     batch: usize,
     phase: Phase,
-    /// Which side the pipelining feed polls first next step (fairness).
+    /// Which side the interleaved feed polls first next step (fairness).
     turn: usize,
+    /// `finish` has been called on the operator (exactly-once guard).
+    drained: bool,
+    /// This task declared its output complete (satisfied LIMIT): it keeps
+    /// finishing even though the early-stop token it raised is set.
+    satisfied: bool,
     stats: InstanceStats,
     op_id: usize,
     instance: usize,
@@ -215,20 +227,19 @@ pub struct JoinTask {
     startup_deadline: Option<Instant>,
     fail: bool,
     reported: bool,
-    /// The query's cancel token; observed at every scheduling step.
+    /// The query's cancel/early-stop tokens; observed at every step.
     ctrl: Option<Arc<QueryCtrl>>,
 }
 
-impl JoinTask {
-    /// Builds the task for one instance. `startup` delays the instance's
-    /// first progress (the paper's per-process startup cost); `fail`
-    /// injects a deterministic fault for teardown tests.
+impl OpTask {
+    /// Builds the task driving `op` over `sources` (one or two operands).
+    /// `startup` delays the instance's first progress (the paper's
+    /// per-process startup cost); `fail` injects a deterministic fault for
+    /// teardown tests.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        algorithm: JoinAlgorithm,
-        spec: EquiJoin,
-        left: Source,
-        right: Source,
+        op: Box<dyn PhysicalOp>,
+        sources: Vec<Source>,
         output: OutputPort,
         batch: usize,
         op_id: usize,
@@ -236,18 +247,38 @@ impl JoinTask {
         done_tx: Sender<DoneMsg>,
         startup: Option<Duration>,
         fail: bool,
-    ) -> JoinTask {
-        Self::with_ctrl(
-            algorithm, spec, left, right, output, batch, op_id, instance, done_tx, startup, fail,
-            None,
-        )
+        ctrl: Option<Arc<QueryCtrl>>,
+    ) -> OpTask {
+        debug_assert!(
+            (1..=2).contains(&sources.len()),
+            "operators take one or two operands"
+        );
+        OpTask {
+            op,
+            operands: sources.into_iter().map(Operand::new).collect(),
+            output,
+            out: Vec::with_capacity(batch),
+            out_pos: 0,
+            batch,
+            phase: Phase::Start,
+            turn: instance, // stagger polling order across instances
+            drained: false,
+            satisfied: false,
+            stats: InstanceStats::default(),
+            op_id,
+            instance,
+            done_tx,
+            startup_deadline: startup.map(|d| Instant::now() + d),
+            fail,
+            reported: false,
+            ctrl,
+        }
     }
 
-    /// [`JoinTask::new`] plus the query's shared control block, so the
-    /// instance aborts (reporting [`RelalgError::Canceled`] exactly once)
-    /// as soon as the client cancels the query.
+    /// Convenience constructor for a hash-join task — the two join
+    /// algorithms expressed through the generic driver.
     #[allow(clippy::too_many_arguments)]
-    pub fn with_ctrl(
+    pub fn join(
         algorithm: JoinAlgorithm,
         spec: EquiJoin,
         left: Source,
@@ -260,30 +291,19 @@ impl JoinTask {
         startup: Option<Duration>,
         fail: bool,
         ctrl: Option<Arc<QueryCtrl>>,
-    ) -> JoinTask {
-        let core = match algorithm {
-            JoinAlgorithm::Simple => Core::Simple(SimpleJoinState::new(spec)),
-            JoinAlgorithm::Pipelining => Core::Pipelining(PipeliningJoinState::new(spec)),
-        };
-        JoinTask {
-            core,
-            left: Operand::new(left),
-            right: Operand::new(right),
+    ) -> OpTask {
+        OpTask::new(
+            join_op(algorithm, spec),
+            vec![left, right],
             output,
-            out: Vec::with_capacity(batch),
-            out_pos: 0,
             batch,
-            phase: Phase::Start,
-            turn: instance, // stagger polling order across instances
-            stats: InstanceStats::default(),
             op_id,
             instance,
             done_tx,
-            startup_deadline: startup.map(|d| Instant::now() + d),
+            startup,
             fail,
-            reported: false,
             ctrl,
-        }
+        )
     }
 
     fn report(&mut self, result: Result<InstanceStats>) {
@@ -302,6 +322,14 @@ impl JoinTask {
         Ok(done)
     }
 
+    /// The build side index, if the operator has a build phase.
+    fn build_side(&self) -> Option<usize> {
+        match self.op.input_mode() {
+            InputMode::BuildThenProbe { build } if self.operands.len() == 2 => Some(build),
+            _ => None,
+        }
+    }
+
     fn step_start(&mut self) -> Result<Step> {
         if self.fail {
             return Err(RelalgError::InvalidPlan(format!(
@@ -314,33 +342,33 @@ impl JoinTask {
                 return Ok(Step::Blocked);
             }
         }
-        self.phase = match self.core {
-            Core::Simple(_) => Phase::Build,
-            Core::Pipelining(_) => Phase::Feed,
+        self.phase = if self.build_side().is_some() {
+            Phase::Build
+        } else {
+            Phase::Feed
         };
         Ok(Step::Progress)
     }
 
-    /// Simple join phase 1: drain the immediate build side into the table.
-    /// No output is produced, so this never blocks — it only paces itself
-    /// by the quantum.
+    /// Build phase: drain the immediate build side into the operator. No
+    /// output is produced, so this never blocks — it only paces itself by
+    /// the quantum.
     fn step_build(&mut self) -> Result<Step> {
-        let Core::Simple(state) = &mut self.core else {
-            unreachable!("build phase is simple-join only");
-        };
-        if self.left.is_stream() {
-            return Err(RelalgError::InvalidPlan(
-                "simple hash join cannot stream its build operand".into(),
-            ));
+        let build = self.build_side().expect("build phase implies a build side");
+        if self.operands[build].is_stream() {
+            return Err(RelalgError::InvalidPlan(format!(
+                "{} cannot stream its build operand",
+                self.op.kind()
+            )));
         }
         for _ in 0..QUANTUM {
-            match self.left.pull()? {
+            match self.operands[build].pull()? {
                 Pulled::Tuple(t) => {
-                    state.build(t)?;
-                    self.stats.tuples_in[0] += 1;
+                    self.op.build(t)?;
+                    self.stats.tuples_in[build] += 1;
                 }
                 Pulled::Exhausted => {
-                    state.finish_build();
+                    self.op.finish_build();
                     self.phase = Phase::Feed;
                     return Ok(Step::Progress);
                 }
@@ -351,19 +379,24 @@ impl JoinTask {
     }
 
     /// The common feed loop: pull from whichever operand has tuples ready,
-    /// push through the join state, and flush full output batches.
+    /// push through the operator, and flush full output batches.
     fn step_feed(&mut self) -> Result<Step> {
         if !self.flush_out()? {
             return Ok(Step::Blocked);
         }
         let mut moved = false;
         for _ in 0..QUANTUM {
-            // The simple join only feeds its probe (right) side here; the
-            // pipelining join alternates sides, preferring `turn` so two
-            // live streams are drained fairly.
-            let sides: [usize; 2] = match self.core {
-                Core::Simple(_) => [1, 1],
-                Core::Pipelining(_) => [self.turn % 2, (self.turn + 1) % 2],
+            // Polling order this iteration: single-input operators and
+            // build-then-probe feeds have exactly one live side; the
+            // interleaved two-input feed alternates, preferring `turn` so
+            // two live streams are drained fairly.
+            let sides: [usize; 2] = if self.operands.len() == 1 {
+                [0, 0]
+            } else {
+                match self.op.input_mode() {
+                    InputMode::BuildThenProbe { build } => [1 - build, 1 - build],
+                    InputMode::Interleaved => [self.turn % 2, (self.turn + 1) % 2],
+                }
             };
             self.turn = self.turn.wrapping_add(1);
             let mut pulled = None;
@@ -373,12 +406,7 @@ impl JoinTask {
             } else {
                 &sides[..]
             } {
-                let operand = if side == 0 {
-                    &mut self.left
-                } else {
-                    &mut self.right
-                };
-                match operand.pull()? {
+                match self.operands[side].pull()? {
                     Pulled::Tuple(t) => {
                         pulled = Some((side, t));
                         break;
@@ -390,18 +418,20 @@ impl JoinTask {
             let tried = if sides[0] == sides[1] { 1 } else { 2 };
             match pulled {
                 Some((side, t)) => {
-                    match &mut self.core {
-                        Core::Simple(state) => state.probe(&t, &mut self.out)?,
-                        Core::Pipelining(state) => {
-                            if side == 0 {
-                                state.push_left(t, &mut self.out)?
-                            } else {
-                                state.push_right(t, &mut self.out)?
-                            }
-                        }
-                    }
+                    let verdict = self.op.absorb(side, t, &mut self.out)?;
                     self.stats.tuples_in[side] += 1;
                     moved = true;
+                    if verdict == Absorb::Satisfied {
+                        // The output is complete: stop feeding, tell the
+                        // rest of the query to wind down, and finish this
+                        // instance's port normally.
+                        self.satisfied = true;
+                        if let Some(ctrl) = &self.ctrl {
+                            ctrl.stop_early();
+                        }
+                        self.phase = Phase::Finish;
+                        return Ok(Step::Progress);
+                    }
                     if self.out.len() >= self.batch && !self.flush_out()? {
                         // Output backpressure mid-quantum: we did move
                         // tuples, so keep our rotation slot as Progress.
@@ -422,16 +452,19 @@ impl JoinTask {
     }
 
     fn step_finish(&mut self) -> Result<Step> {
+        if !self.drained {
+            // Exactly-once drain of held state (aggregation results);
+            // flushing below is resumable across backpressure.
+            self.op.finish(&mut self.out)?;
+            self.drained = true;
+        }
         if !self.flush_out()? {
             return Ok(Step::Blocked);
         }
         if !self.output.try_finish()? {
             return Ok(Step::Blocked);
         }
-        self.stats.table_bytes = match &self.core {
-            Core::Simple(state) => state.est_bytes() as u64,
-            Core::Pipelining(state) => state.est_bytes() as u64,
-        };
+        self.stats.table_bytes = self.op.est_bytes() as u64;
         let stats = self.stats;
         self.report(Ok(stats));
         Ok(Step::Done)
@@ -448,15 +481,27 @@ impl JoinTask {
     }
 }
 
-impl Task for JoinTask {
+impl Task for OpTask {
     fn step(&mut self) -> Step {
         self.stats.steps += 1;
-        // Cancellation preempts whatever phase the instance is in: report
-        // once and become inert, releasing channel endpoints on drop.
-        if self.phase != Phase::Done && self.ctrl.as_ref().map(|c| c.is_canceled()).unwrap_or(false)
-        {
-            self.report(Err(RelalgError::Canceled));
-            return Step::Done;
+        if self.phase != Phase::Done {
+            if let Some(ctrl) = &self.ctrl {
+                // Cancellation preempts whatever phase the instance is in:
+                // report once and become inert, releasing endpoints on
+                // drop.
+                if ctrl.is_canceled() {
+                    self.report(Err(RelalgError::Canceled));
+                    return Step::Done;
+                }
+                // Early stop (a satisfied LIMIT downstream) winds every
+                // *other* task down successfully; the satisfying task
+                // keeps finishing its port so the client sees End.
+                if ctrl.early_stopped() && !self.satisfied {
+                    let stats = self.stats;
+                    self.report(Ok(stats));
+                    return Step::Done;
+                }
+            }
         }
         match self.try_step() {
             Ok(step) => {
@@ -466,17 +511,29 @@ impl Task for JoinTask {
                 step
             }
             Err(e) => {
-                // Reporting drops nothing yet; the scheduler drops the
-                // task right after, releasing its channel endpoints so
-                // upstream and downstream instances unwind too.
-                self.report(Err(e));
+                // After an early stop, teardown races (consumers dropping
+                // receivers mid-send) are expected, not failures.
+                let early = self
+                    .ctrl
+                    .as_ref()
+                    .map(|c| c.early_stopped() && !c.is_canceled())
+                    .unwrap_or(false);
+                if early {
+                    let stats = self.stats;
+                    self.report(Ok(stats));
+                } else {
+                    // Reporting drops nothing yet; the scheduler drops the
+                    // task right after, releasing its channel endpoints so
+                    // upstream and downstream instances unwind too.
+                    self.report(Err(e));
+                }
                 Step::Done
             }
         }
     }
 }
 
-impl Drop for JoinTask {
+impl Drop for OpTask {
     fn drop(&mut self) {
         // Dropped before completion (pool shutdown or a panic inside
         // step): tell the coordinator so it never hangs on a vanished
@@ -494,7 +551,7 @@ impl Drop for JoinTask {
 /// Drives a task to completion on the current thread (the dedicated-thread
 /// path used by unit tests and benches). Yields, then naps, while blocked —
 /// the counterpart of the worker pool's backoff.
-pub fn drive_blocking(mut task: JoinTask) -> Step {
+pub fn drive_blocking(mut task: OpTask) -> Step {
     let mut blocked = 0u32;
     loop {
         match task.step() {

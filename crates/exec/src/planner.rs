@@ -8,7 +8,7 @@
 //! lowered. The planner wires the whole pipeline:
 //!
 //! 1. **Tree** (phase 1): exhaustive bushy DP up to
-//!    [`MAX_DP_RELATIONS`](mj_plan::optimize::MAX_DP_RELATIONS) relations,
+//!    [`MAX_DP_RELATIONS`] relations,
 //!    greedy above — minimal *total* cost, parallelism-blind (§1.2).
 //! 2. **Strategy + allocation** (phase 2): generate an SP/SE/RD/FP plan
 //!    for the tree *and* its free right-oriented mirror (§5), each with
@@ -24,19 +24,27 @@
 //!
 //! [`EquiJoin`]: mj_relalg::EquiJoin
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use mj_core::schedule::{estimate_schedule, ScheduleEstimate, ScheduleModel};
+use mj_core::schedule::{estimate_schedule, stage_tail_cost, ScheduleEstimate, ScheduleModel};
 use mj_core::{generate, GeneratorInput, ParallelPlan, PlanStats, Strategy};
 use mj_plan::cost::{tree_costs, CostModel};
 use mj_plan::optimize::{greedy_tree, optimize_bushy, MAX_DP_RELATIONS};
-use mj_plan::query::{lower, JoinQuery, LoweredQuery};
+use mj_plan::query::{
+    inject_scan_filters, lower, JoinQuery, LoweredQuery, SelectItemSpec, SelectSpec,
+};
 use mj_plan::transform::right_orient;
 use mj_plan::tree::JoinTree;
-use mj_relalg::{RelalgError, RelationProvider, Result};
+use mj_relalg::ops::AggSpec;
+use mj_relalg::{
+    Attribute, DataType, JoinAlgorithm, Predicate, Projection, RelalgError, RelationProvider,
+    Result, Schema, XraNode,
+};
 use mj_storage::Catalog;
 
-use crate::binding::QueryBinding;
+use crate::binding::{PipelineStage, QueryBinding, StageKind};
 
 /// Planner knobs. [`PlannerOptions::new`] gives the defaults: all four
 /// strategies considered, right-orientation tried, oversubscription
@@ -59,6 +67,12 @@ pub struct PlannerOptions {
     /// is smaller than a strategy needs (otherwise such candidates are
     /// simply skipped as infeasible).
     pub allow_oversubscribe: bool,
+    /// Push single-relation WHERE predicates below the joins: filters run
+    /// against base relations at scan time (zero-copy gather) and their
+    /// selectivities fold into every cardinality estimate and schedule
+    /// cost. Off, filters run as a residual pipeline stage above the root
+    /// join — the benchmark baseline pushdown is measured against.
+    pub pushdown: bool,
 }
 
 impl PlannerOptions {
@@ -71,6 +85,7 @@ impl PlannerOptions {
             strategy: None,
             try_right_orient: true,
             allow_oversubscribe: true,
+            pushdown: true,
         }
     }
 }
@@ -146,7 +161,85 @@ impl PlannedQuery {
                 format!("{s}{}", if *mirrored { "+mirror" } else { "" })
             ));
         }
+        let filters = self.binding.scan_filters();
+        if !filters.is_empty() {
+            let mut names: Vec<&String> = filters.keys().collect();
+            names.sort();
+            out.push_str("pushed scan filters:\n");
+            for name in names {
+                out.push_str(&format!("  σ {name}: {}\n", filters[name]));
+            }
+        }
+        if !self.binding.stages().is_empty() {
+            out.push_str("post-join pipeline:\n");
+            for stage in self.binding.stages() {
+                out.push_str(&format!(
+                    "  -> {} [x{}] est {} rows\n",
+                    stage.label, stage.degree, stage.est_out
+                ));
+            }
+        }
         out
+    }
+
+    /// The sequential oracle for this plan: the lowered join tree with the
+    /// pushed scan filters injected beneath the scans and the pipeline
+    /// stages (residual filter, aggregation, final projection) replayed on
+    /// top. A LIMIT stage is *not* represented — the oracle returns the
+    /// full result, and limit tests check the subset/count properties
+    /// instead (which k rows survive is nondeterministic).
+    pub fn oracle_xra(&self, algorithm: JoinAlgorithm) -> Result<XraNode> {
+        let mut node = self.lowered.to_xra(&self.tree, algorithm)?;
+        node = inject_scan_filters(node, self.binding.scan_filters());
+        for stage in self.binding.stages() {
+            node = match &stage.kind {
+                StageKind::Filter {
+                    predicate,
+                    projection,
+                } => {
+                    let selected = XraNode::Select {
+                        input: Box::new(node),
+                        predicate: predicate.clone(),
+                    };
+                    match projection {
+                        Some(p) => XraNode::Project {
+                            input: Box::new(selected),
+                            projection: p.clone(),
+                        },
+                        None => selected,
+                    }
+                }
+                StageKind::Aggregate {
+                    group,
+                    aggs,
+                    projection,
+                } => {
+                    let agg = XraNode::Aggregate {
+                        input: Box::new(node),
+                        group: group.clone(),
+                        aggs: aggs.clone(),
+                    };
+                    match projection {
+                        Some(p) => XraNode::Project {
+                            input: Box::new(agg),
+                            projection: p.clone(),
+                        },
+                        None => agg,
+                    }
+                }
+                StageKind::Limit { .. } => node,
+            };
+        }
+        Ok(node)
+    }
+
+    /// True if this plan contains a LIMIT stage (whose row cap the oracle
+    /// from [`oracle_xra`](Self::oracle_xra) does not apply).
+    pub fn has_limit(&self) -> bool {
+        self.binding
+            .stages()
+            .iter()
+            .any(|s| matches!(s.kind, StageKind::Limit { .. }))
     }
 }
 
@@ -184,13 +277,28 @@ impl Planner {
 
     /// [`plan`](Self::plan) with an explicit output column list: the final
     /// result contains exactly the `(relation, column)` pairs of `output`,
-    /// in order (the session layer's `SELECT` list). `None` keeps every
-    /// column.
+    /// in order (a plain-column `SELECT` list). `None` keeps every column.
     pub fn plan_with_output(
         &self,
         query: &JoinQuery,
         output: Option<&[(usize, usize)]>,
     ) -> Result<PlannedQuery> {
+        let spec = SelectSpec::columns(match output {
+            Some(cols) => cols.to_vec(),
+            None => query.all_columns(),
+        });
+        self.plan_select(query, &spec)
+    }
+
+    /// The full planning entry point: joins from `query` (with any
+    /// attached WHERE filters), projection/grouping/aggregation/limit from
+    /// `spec`. With [`PlannerOptions::pushdown`] on (the default), filters
+    /// become scan predicates and their selectivities fold into every
+    /// phase-1 estimate and schedule cost; off, they run as a residual
+    /// pipeline stage above the root join. Aggregation runs partitioned
+    /// across the root's processors (hash on the first integer grouping
+    /// column), and a LIMIT becomes the degree-1 early-terminating stage.
+    pub fn plan_select(&self, query: &JoinQuery, spec: &SelectSpec) -> Result<PlannedQuery> {
         if self.options.processors == 0 {
             return Err(RelalgError::InvalidPlan(
                 "planner needs at least 1 processor".into(),
@@ -201,11 +309,127 @@ impl Planner {
                 "planner needs at least 2 relations".into(),
             ));
         }
-        // Phase 1: minimal-total-cost tree.
-        let phase1 = if query.len() <= MAX_DP_RELATIONS {
-            optimize_bushy(query.graph(), &self.options.cost_model)?
+        spec.validate(query)?;
+        let pushdown = self.options.pushdown && !query.filters().is_empty();
+        let residual = !pushdown && !query.filters().is_empty();
+        // With pushdown, every estimate downstream — phase-1 tree choice,
+        // System-R intermediates, schedule costs — sees the post-selection
+        // cardinalities.
+        let effective;
+        let planning_query: &JoinQuery = if pushdown {
+            effective = query.with_filtered_cards();
+            &effective
         } else {
-            greedy_tree(query.graph(), &self.options.cost_model)?
+            query
+        };
+
+        // The columns the root join must output: the SELECT columns
+        // directly when nothing runs above the root, otherwise the ordered
+        // dedup of everything the pipeline stages consume (group columns,
+        // aggregate inputs, residual-filter carriers).
+        let select_cols: Vec<(usize, usize)> = spec
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItemSpec::Column(r, c) => Some((*r, *c)),
+                SelectItemSpec::Aggregate { .. } => None,
+            })
+            .collect();
+        let filter_cols: Vec<(usize, usize)> = if residual {
+            query
+                .filters()
+                .iter()
+                .flat_map(|f| {
+                    predicate_cols(&f.predicate)
+                        .into_iter()
+                        .map(move |c| (f.rel, c))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let root_cols: Vec<(usize, usize)> = if spec.needs_aggregate() {
+            let mut cols = Vec::new();
+            for &rc in spec
+                .group_by
+                .iter()
+                .chain(spec.items.iter().filter_map(|i| match i {
+                    SelectItemSpec::Aggregate { input, .. } => input.as_ref(),
+                    SelectItemSpec::Column(..) => None,
+                }))
+                .chain(filter_cols.iter())
+            {
+                if !cols.contains(&rc) {
+                    cols.push(rc);
+                }
+            }
+            if cols.is_empty() {
+                // A global COUNT(*) with nothing else referenced still
+                // needs one carrier column through the join pipeline.
+                cols.push((0, 0));
+            }
+            cols
+        } else if residual {
+            let mut cols = select_cols.clone();
+            for &rc in &filter_cols {
+                if !cols.contains(&rc) {
+                    cols.push(rc);
+                }
+            }
+            cols
+        } else {
+            select_cols.clone()
+        };
+
+        // Residual selectivity and estimated group count, for stage
+        // costing (identical inputs for every candidate; the degree the
+        // candidate's root runs at is not).
+        let resid_sel: f64 = if residual {
+            query.filters().iter().map(|f| f.selectivity).product()
+        } else {
+            1.0
+        };
+        // Whether the residual-filter / aggregate stages can actually run
+        // partitioned: they need an integer routing column, or they fall
+        // back to degree 1 — and must be *costed* at the degree
+        // `build_stages` will really emit (root_cols, and hence the root
+        // schema's column types, are identical across tree variants).
+        let col_is_int = |&(r, c): &(usize, usize)| {
+            matches!(
+                query.schema(r).and_then(|s| s.attr(c)),
+                Ok(a) if a.ty == DataType::Int
+            )
+        };
+        let filter_partitionable = root_cols.iter().any(col_is_int);
+        let agg_partitionable = spec.group_by.iter().any(col_is_int);
+        let stage_extra = |root_degree: usize, root_est: f64| -> f64 {
+            let model = &self.options.schedule_model;
+            let mut extra = 0.0;
+            let mut card = root_est;
+            let mut prev = root_degree;
+            if residual {
+                let degree = if filter_partitionable { root_degree } else { 1 };
+                extra += stage_tail_cost(card, degree, prev, model);
+                card *= resid_sel;
+                prev = degree;
+            }
+            if spec.needs_aggregate() {
+                let degree = if agg_partitionable { root_degree } else { 1 };
+                extra += stage_tail_cost(card, degree, prev, model);
+                card = estimate_groups(spec, card);
+                prev = degree;
+            }
+            if let Some(k) = spec.limit {
+                extra += stage_tail_cost(card.min(k as f64), 1, prev, model);
+            }
+            extra
+        };
+
+        // Phase 1: minimal-total-cost tree.
+        let phase1 = if planning_query.len() <= MAX_DP_RELATIONS {
+            optimize_bushy(planning_query.graph(), &self.options.cost_model)?
+        } else {
+            greedy_tree(planning_query.graph(), &self.options.cost_model)?
         };
 
         // Tree variants: the phase-1 tree and (optionally) its free
@@ -230,8 +454,9 @@ impl Planner {
         let mut lowered_variants = Vec::with_capacity(variants.len());
 
         for (v, (tree, mirrored)) in variants.iter().enumerate() {
-            let lowered = lower(tree, query, output)?;
+            let lowered = lower(tree, planning_query, Some(&root_cols))?;
             let cards = lowered.est_cards().to_vec();
+            let root_est = cards[tree.root()] as f64;
             let costs = tree_costs(tree, &cards, &self.options.cost_model);
             for &strategy in &strategies {
                 let mut input = GeneratorInput::new(tree, &cards, &costs, self.options.processors);
@@ -247,7 +472,11 @@ impl Planner {
                         continue;
                     }
                 };
-                let estimate = estimate_schedule(&plan, &costs, &self.options.schedule_model);
+                let mut estimate = estimate_schedule(&plan, &costs, &self.options.schedule_model);
+                // Fold the post-join pipeline into the objective: its work
+                // scales with this candidate's root degree (`sink()` — the
+                // generator always emits the root op).
+                estimate.makespan += stage_extra(plan.sink().degree(), root_est);
                 all_choices.push(PlanChoice {
                     strategy,
                     right_oriented: *mirrored,
@@ -286,7 +515,36 @@ impl Planner {
         let estimate = all_choices[winner].estimate.clone();
         let tree = variants[variant].0.clone();
         let lowered = lowered_variants.swap_remove(variant);
-        let binding = QueryBinding::from_lowered(&tree, &lowered)?;
+
+        // Assemble the binding: join specs from the lowering, plus scan
+        // filters (pushdown) and the post-join pipeline stages.
+        let root_degree = plan.sink().degree();
+        let root_est = lowered.est_cards()[tree.root()];
+        let scan_filters: HashMap<String, Predicate> = if pushdown {
+            (0..query.len())
+                .filter_map(|rel| {
+                    query
+                        .combined_filter(rel)
+                        .map(|p| (query.graph().names()[rel].clone(), p))
+                })
+                .collect()
+        } else {
+            HashMap::new()
+        };
+        let stages = build_stages(
+            query,
+            spec,
+            &root_cols,
+            &select_cols,
+            lowered.schemas()[tree.root()].clone(),
+            root_est,
+            resid_sel,
+            residual,
+            root_degree,
+        )?;
+        let binding = QueryBinding::from_lowered(&tree, &lowered)?
+            .with_scan_filters(scan_filters)
+            .with_stages(stages)?;
         all_choices.sort_by(|a, b| {
             a.estimate
                 .makespan
@@ -303,6 +561,215 @@ impl Planner {
             infeasible,
         })
     }
+}
+
+/// Attribute indices referenced by a predicate, in first-use order.
+fn predicate_cols(predicate: &Predicate) -> Vec<usize> {
+    let mut out = Vec::new();
+    predicate.for_each_attr(&mut |i| {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    });
+    out
+}
+
+/// Estimated distinct-group count for the aggregate stage.
+fn estimate_groups(spec: &SelectSpec, input_est: f64) -> f64 {
+    if spec.group_by.is_empty() {
+        return 1.0;
+    }
+    let cap = input_est.max(1.0);
+    match spec.group_distinct_hint {
+        Some(d) => (d as f64).clamp(1.0, cap),
+        // Square-root heuristic when no statistics are available.
+        None => cap.sqrt().ceil().clamp(1.0, cap),
+    }
+}
+
+/// First integer column of `schema` — the routing key candidate for a
+/// partitioned stage.
+fn first_int_col(schema: &Schema) -> Option<usize> {
+    (0..schema.arity()).find(|&c| matches!(schema.attr(c), Ok(a) if a.ty == DataType::Int))
+}
+
+/// Builds the post-join pipeline stages for the winning plan.
+#[allow(clippy::too_many_arguments)]
+fn build_stages(
+    query: &JoinQuery,
+    spec: &SelectSpec,
+    root_cols: &[(usize, usize)],
+    select_cols: &[(usize, usize)],
+    root_schema: Arc<Schema>,
+    root_est: u64,
+    resid_sel: f64,
+    residual: bool,
+    root_degree: usize,
+) -> Result<Vec<PipelineStage>> {
+    let pos = |rel: usize, col: usize| -> Result<usize> {
+        root_cols
+            .iter()
+            .position(|&rc| rc == (rel, col))
+            .ok_or_else(|| {
+                RelalgError::InvalidPlan(format!(
+                    "column {rel}.{col} was pruned below the root but a stage needs it"
+                ))
+            })
+    };
+
+    let mut stages: Vec<PipelineStage> = Vec::new();
+    let mut in_schema = root_schema;
+    let mut in_est = root_est as f64;
+
+    if residual {
+        let mut combined: Option<Predicate> = None;
+        for f in query.filters() {
+            let rel = f.rel;
+            let p = f.predicate.map_attrs(&|c| pos(rel, c))?;
+            combined = Some(match combined {
+                None => p,
+                Some(acc) => Predicate::And(Box::new(acc), Box::new(p)),
+            });
+        }
+        let predicate = combined.expect("residual implies filters");
+        // Without a downstream aggregate, the filter also projects the
+        // carrier columns away, restoring the SELECT list's shape.
+        let projection = if spec.needs_aggregate() {
+            None
+        } else {
+            let cols: Vec<usize> = select_cols
+                .iter()
+                .map(|&(r, c)| pos(r, c))
+                .collect::<Result<_>>()?;
+            let identity =
+                cols.len() == in_schema.arity() && cols.iter().copied().eq(0..cols.len());
+            if identity {
+                None
+            } else {
+                Some(Projection::new(cols))
+            }
+        };
+        let schema = match &projection {
+            Some(p) => Arc::new(p.output_schema(&in_schema)?),
+            None => in_schema.clone(),
+        };
+        let (degree, partition_col) = match first_int_col(&in_schema) {
+            Some(c) if root_degree > 1 => (root_degree, c),
+            _ => (1, 0),
+        };
+        in_est *= resid_sel;
+        let label = format!("filter σ({predicate})");
+        stages.push(PipelineStage {
+            kind: StageKind::Filter {
+                predicate,
+                projection,
+            },
+            degree,
+            partition_col,
+            schema: schema.clone(),
+            est_out: in_est.round().max(1.0) as u64,
+            label,
+        });
+        in_schema = schema;
+    }
+
+    if spec.needs_aggregate() {
+        let group: Vec<usize> = spec
+            .group_by
+            .iter()
+            .map(|&(r, c)| pos(r, c))
+            .collect::<Result<_>>()?;
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        for item in &spec.items {
+            if let SelectItemSpec::Aggregate { func, input, name } = item {
+                let col = match input {
+                    Some((r, c)) => pos(*r, *c)?,
+                    None => 0,
+                };
+                aggs.push(AggSpec::new(*func, col, name.clone()));
+            }
+        }
+        // Output layout is [group..., aggs...]; the projection restores
+        // the SELECT list's order.
+        let mut layout_attrs: Vec<Attribute> = Vec::with_capacity(group.len() + aggs.len());
+        for &g in &group {
+            layout_attrs.push(in_schema.attr(g)?.clone());
+        }
+        for a in &aggs {
+            layout_attrs.push(Attribute::int(a.name.clone()));
+        }
+        let layout = Schema::new(layout_attrs);
+        let mut proj_cols = Vec::with_capacity(spec.items.len());
+        let mut agg_seen = 0usize;
+        for item in &spec.items {
+            match item {
+                SelectItemSpec::Column(r, c) => {
+                    let p = pos(*r, *c)?;
+                    let gi = group.iter().position(|&g| g == p).expect("validated");
+                    proj_cols.push(gi);
+                }
+                SelectItemSpec::Aggregate { .. } => {
+                    proj_cols.push(group.len() + agg_seen);
+                    agg_seen += 1;
+                }
+            }
+        }
+        let identity =
+            proj_cols.len() == layout.arity() && proj_cols.iter().copied().eq(0..proj_cols.len());
+        let projection = if identity {
+            None
+        } else {
+            Some(Projection::new(proj_cols))
+        };
+        let schema = Arc::new(match &projection {
+            Some(p) => p.output_schema(&layout)?,
+            None => layout,
+        });
+        // Partition by the first integer grouping column; a global
+        // aggregate (or all-string keys) runs at degree 1.
+        let partition = group
+            .iter()
+            .copied()
+            .find(|&g| matches!(in_schema.attr(g), Ok(a) if a.ty == DataType::Int));
+        let (degree, partition_col) = match partition {
+            Some(c) if root_degree > 1 => (root_degree, c),
+            _ => (1, 0),
+        };
+        in_est = estimate_groups(spec, in_est);
+        let label = format!(
+            "aggregate group={group:?} aggs=[{}]",
+            aggs.iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        stages.push(PipelineStage {
+            kind: StageKind::Aggregate {
+                group,
+                aggs,
+                projection,
+            },
+            degree,
+            partition_col,
+            schema: schema.clone(),
+            est_out: in_est.round().max(1.0) as u64,
+            label,
+        });
+        in_schema = schema;
+    }
+
+    if let Some(k) = spec.limit {
+        stages.push(PipelineStage {
+            kind: StageKind::Limit { k },
+            degree: 1,
+            partition_col: 0,
+            schema: in_schema.clone(),
+            est_out: (in_est.round().max(0.0) as u64).min(k),
+            label: format!("limit {k}"),
+        });
+    }
+
+    Ok(stages)
 }
 
 /// Builds a [`JoinQuery`] from catalog statistics: cardinalities and

@@ -29,9 +29,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use mj_plan::parse::{parse_query, render_span, ColumnRef, ParseError, QueryAst, SelectList, Span};
-use mj_plan::query::JoinQuery;
-use mj_relalg::{RelalgError, Relation, RelationProvider};
+use mj_plan::parse::{
+    parse_query, render_span, ColumnRef, ParseError, QueryAst, Scalar, SelectItem, SelectList, Span,
+};
+use mj_plan::query::{JoinQuery, SelectItemSpec, SelectSpec};
+use mj_relalg::expr::Expr;
+use mj_relalg::ops::AggFunc;
+use mj_relalg::{CmpOp, DataType, Predicate, RelalgError, Relation, RelationProvider, Value};
 use mj_storage::Catalog;
 
 use crate::config::ExecConfig;
@@ -142,10 +146,6 @@ impl From<RelalgError> for MjError {
 /// Result alias of the session API.
 pub type MjResult<T> = std::result::Result<T, MjError>;
 
-/// The output column list of a bound query: ordered `(relation, column)`
-/// pairs, or `None` for every column in tree-independent order.
-pub type OutputColumns = Option<Vec<(usize, usize)>>;
-
 /// Configuration of a [`Database`]: the execution engine's tunables plus
 /// the planner's options (logical processors, cost models, strategy
 /// override).
@@ -245,10 +245,11 @@ impl Database {
         self.planner.options()
     }
 
-    /// Parses and binds `text` into a validated [`JoinQuery`] plus the
-    /// requested output columns — the frontend half of [`query`](Self::query),
+    /// Parses and binds `text` into a validated [`JoinQuery`] (joins plus
+    /// any WHERE filters) and the bound [`SelectSpec`] (output items,
+    /// grouping, limit) — the frontend half of [`query`](Self::query),
     /// exposed for tools that want the bound query without planning it.
-    pub fn bind(&self, text: &str) -> MjResult<(JoinQuery, OutputColumns)> {
+    pub fn bind(&self, text: &str) -> MjResult<(JoinQuery, SelectSpec)> {
         let ast = parse_query(text)?;
         bind_ast(&ast, &self.catalog)
     }
@@ -256,9 +257,9 @@ impl Database {
     /// Plans `text` end to end (parse → bind → cost-based planner) without
     /// executing — what `mj sql --explain` prints.
     pub fn plan(&self, text: &str) -> MjResult<PlannedQuery> {
-        let (query, output) = self.bind(text)?;
+        let (query, spec) = self.bind(text)?;
         self.planner
-            .plan_with_output(&query, output.as_deref())
+            .plan_select(&query, &spec)
             .map_err(MjError::Plan)
     }
 
@@ -297,9 +298,11 @@ impl fmt::Debug for Database {
 }
 
 /// Binds a parsed query against the catalog: resolves relation and column
-/// names (spanned errors), derives selectivities from per-column distinct
-/// counts, and maps the select list to `(relation, column)` output pairs.
-fn bind_ast(ast: &QueryAst, catalog: &Catalog) -> MjResult<(JoinQuery, OutputColumns)> {
+/// names (spanned errors), derives join *and filter* selectivities from
+/// per-column distinct counts, lowers WHERE conjuncts onto their
+/// relations, and maps the select list / GROUP BY / LIMIT into a
+/// [`SelectSpec`].
+fn bind_ast(ast: &QueryAst, catalog: &Catalog) -> MjResult<(JoinQuery, SelectSpec)> {
     if ast.joins.is_empty() {
         return Err(MjError::bind(
             format!(
@@ -361,19 +364,301 @@ fn bind_ast(ast: &QueryAst, catalog: &Catalog) -> MjResult<(JoinQuery, OutputCol
             .map_err(|e| MjError::bind(e.to_string(), clause.on_span))?;
     }
 
-    let output = match &ast.select {
-        SelectList::Star => None,
-        SelectList::Columns(cols) => {
-            let mut out = Vec::with_capacity(cols.len());
-            for col in cols {
-                // Projection may reference any relation of the query.
-                let all: Vec<&str> = index.keys().copied().collect();
-                out.push(resolve_column(col, &index, &all, &query)?);
+    // WHERE: every relation is in scope (the clause sits after all JOINs).
+    let all: Vec<&str> = index.keys().copied().collect();
+    for clause in &ast.where_clauses {
+        bind_where_clause(clause, catalog, &index, &all, &mut query)?;
+    }
+
+    // GROUP BY columns.
+    let mut group_by: Vec<(usize, usize)> = Vec::new();
+    for col in &ast.group_by {
+        let rc = resolve_column(col, &index, &all, &query)?;
+        if !group_by.contains(&rc) {
+            group_by.push(rc);
+        }
+    }
+
+    // Select list.
+    let mut items: Vec<SelectItemSpec> = Vec::new();
+    match &ast.select {
+        SelectList::Star => {
+            if !group_by.is_empty() {
+                return Err(MjError::bind(
+                    "SELECT * cannot be combined with GROUP BY; list the grouped columns \
+                     and aggregates explicitly",
+                    ast.group_by[0].span(),
+                ));
             }
-            Some(out)
+            items.extend(
+                query
+                    .all_columns()
+                    .into_iter()
+                    .map(|(r, c)| SelectItemSpec::Column(r, c)),
+            );
+        }
+        SelectList::Items(list) => {
+            let has_aggregates = list.iter().any(|i| matches!(i, SelectItem::Aggregate(_)));
+            let mut used_names: Vec<String> = Vec::new();
+            for item in list {
+                match item {
+                    SelectItem::Column(col) => {
+                        let rc = resolve_column(col, &index, &all, &query)?;
+                        if (has_aggregates || !group_by.is_empty()) && !group_by.contains(&rc) {
+                            return Err(MjError::bind(
+                                format!(
+                                    "column `{}.{}` must appear in GROUP BY to be selected \
+                                     alongside aggregates",
+                                    col.relation.name, col.column.name
+                                ),
+                                col.span(),
+                            ));
+                        }
+                        items.push(SelectItemSpec::Column(rc.0, rc.1));
+                    }
+                    SelectItem::Aggregate(call) => {
+                        let input = match &call.arg {
+                            Some(col) => {
+                                let rc = resolve_column(col, &index, &all, &query)?;
+                                if call.func != AggFunc::Count {
+                                    let attr = query
+                                        .schema(rc.0)
+                                        .map_err(MjError::Exec)?
+                                        .attr(rc.1)
+                                        .map_err(MjError::Exec)?;
+                                    if attr.ty != DataType::Int {
+                                        return Err(MjError::bind(
+                                            format!(
+                                                "{:?} needs an integer column, `{}.{}` is {}",
+                                                call.func,
+                                                col.relation.name,
+                                                col.column.name,
+                                                attr.ty
+                                            ),
+                                            col.span(),
+                                        ));
+                                    }
+                                }
+                                Some(rc)
+                            }
+                            None => None,
+                        };
+                        let base = agg_output_name(call.func, call.arg.as_ref());
+                        let mut name = base.clone();
+                        let mut suffix = 2;
+                        while used_names.contains(&name) {
+                            name = format!("{base}_{suffix}");
+                            suffix += 1;
+                        }
+                        used_names.push(name.clone());
+                        items.push(SelectItemSpec::Aggregate {
+                            func: call.func,
+                            input,
+                            name,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // (`GROUP BY` with only plain columns is grouped-distinct output —
+    // every selected column was already checked to be a group column.)
+
+    // Estimated distinct-group count from catalog statistics (product of
+    // per-column distincts, saturating).
+    let group_distinct_hint = if group_by.is_empty() {
+        None
+    } else {
+        let mut product: u64 = 1;
+        for &(r, c) in &group_by {
+            let d = catalog
+                .column_distinct(&query.graph().names()[r], c)
+                .map_err(MjError::Exec)?
+                .max(1);
+            product = product.saturating_mul(d);
+        }
+        Some(product)
+    };
+
+    let spec = SelectSpec {
+        items,
+        group_by,
+        limit: ast.limit.map(|l| l.rows),
+        group_distinct_hint,
+    };
+    Ok((query, spec))
+}
+
+/// Output attribute name for an aggregate call: `count` for `COUNT(*)`,
+/// `sum_<col>` style otherwise.
+fn agg_output_name(func: AggFunc, arg: Option<&ColumnRef>) -> String {
+    let prefix = match func {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    match arg {
+        Some(col) => format!("{prefix}_{}", col.column.name),
+        None => prefix.to_string(),
+    }
+}
+
+/// Binds one WHERE conjunct onto its relation as a pushed-down filter:
+/// classifies the two sides (column vs literal), checks types, derives a
+/// System-R-style selectivity from the catalog's distinct counts, and
+/// attaches the predicate to the [`JoinQuery`].
+fn bind_where_clause(
+    clause: &mj_plan::parse::WhereClause,
+    catalog: &Catalog,
+    index: &HashMap<&str, usize>,
+    scope: &[&str],
+    query: &mut JoinQuery,
+) -> MjResult<()> {
+    let bind_side = |s: &Scalar| -> MjResult<BoundScalar> {
+        match s {
+            Scalar::Column(col) => {
+                let (r, c) = resolve_column(col, index, scope, query)?;
+                Ok(BoundScalar::Column(r, c))
+            }
+            Scalar::Int(v, _) => Ok(BoundScalar::Int(*v)),
         }
     };
-    Ok((query, output))
+    let left = bind_side(&clause.left)?;
+    let right = bind_side(&clause.right)?;
+
+    let (rel, predicate, selectivity) = match (left, right) {
+        (BoundScalar::Column(r, c), BoundScalar::Int(v)) => {
+            check_int_column(query, r, c, &clause.left)?;
+            (
+                r,
+                Predicate::Cmp {
+                    left: Expr::Attr(c),
+                    op: clause.op,
+                    right: Expr::Lit(Value::Int(v)),
+                },
+                literal_selectivity(catalog, query, r, c, clause.op)?,
+            )
+        }
+        (BoundScalar::Int(v), BoundScalar::Column(r, c)) => {
+            check_int_column(query, r, c, &clause.right)?;
+            // `5 < r.a` is `r.a > 5`: flip so the attribute leads.
+            (
+                r,
+                Predicate::Cmp {
+                    left: Expr::Attr(c),
+                    op: flip_cmp(clause.op),
+                    right: Expr::Lit(Value::Int(v)),
+                },
+                literal_selectivity(catalog, query, r, c, flip_cmp(clause.op))?,
+            )
+        }
+        (BoundScalar::Column(ra, ca), BoundScalar::Column(rb, cb)) => {
+            if ra != rb {
+                return Err(MjError::bind(
+                    "a WHERE predicate may reference only one relation; cross-relation \
+                     conditions belong in a JOIN ... ON clause",
+                    clause.span,
+                ));
+            }
+            let ta = query
+                .schema(ra)
+                .map_err(MjError::Exec)?
+                .attr(ca)
+                .map_err(MjError::Exec)?
+                .ty;
+            let tb = query
+                .schema(rb)
+                .map_err(MjError::Exec)?
+                .attr(cb)
+                .map_err(MjError::Exec)?
+                .ty;
+            if ta != tb {
+                return Err(MjError::bind(
+                    format!("cannot compare a {ta} column with a {tb} column"),
+                    clause.span,
+                ));
+            }
+            (
+                ra,
+                Predicate::Cmp {
+                    left: Expr::Attr(ca),
+                    op: clause.op,
+                    right: Expr::Attr(cb),
+                },
+                // Same-relation column comparison: the classic 1/10 guess.
+                0.1,
+            )
+        }
+        (BoundScalar::Int(_), BoundScalar::Int(_)) => {
+            return Err(MjError::bind(
+                "a WHERE predicate must reference a column",
+                clause.span,
+            ));
+        }
+    };
+    query
+        .add_filter(rel, predicate, selectivity)
+        .map_err(|e| MjError::bind(e.to_string(), clause.span))
+}
+
+enum BoundScalar {
+    Column(usize, usize),
+    Int(i64),
+}
+
+/// The mirrored comparison (operands swapped).
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Rejects string columns in integer-literal comparisons, pointing at the
+/// column reference.
+fn check_int_column(query: &JoinQuery, rel: usize, col: usize, side: &Scalar) -> MjResult<()> {
+    let attr = query
+        .schema(rel)
+        .map_err(MjError::Exec)?
+        .attr(col)
+        .map_err(MjError::Exec)?;
+    if attr.ty != DataType::Int {
+        return Err(MjError::bind(
+            format!(
+                "cannot compare {} column `{}` with an integer literal",
+                attr.ty, attr.name
+            ),
+            side.span(),
+        ));
+    }
+    Ok(())
+}
+
+/// System-R-style selectivity of `col op literal` from the catalog's
+/// distinct counts: `1/d` for equality, `1 - 1/d` for inequality, the
+/// classic 1/3 for ranges. Clamped into `(0, 1]`.
+fn literal_selectivity(
+    catalog: &Catalog,
+    query: &JoinQuery,
+    rel: usize,
+    col: usize,
+    op: CmpOp,
+) -> MjResult<f64> {
+    let d = catalog
+        .column_distinct(&query.graph().names()[rel], col)
+        .map_err(MjError::Exec)?
+        .max(1) as f64;
+    let sel = match op {
+        CmpOp::Eq => 1.0 / d,
+        CmpOp::Ne => 1.0 - 1.0 / d,
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => 1.0 / 3.0,
+    };
+    Ok(sel.clamp(1e-3, 1.0))
 }
 
 /// Resolves `relation.column` to `(relation index, column index)`,

@@ -443,8 +443,14 @@ impl Router {
         if !self.poll_unblocked()? {
             return Ok(Some(tuple));
         }
-        let key = tuple.int(self.key_col)?;
-        let dest = bucket_of(key, self.senders.len());
+        // A single destination needs no key: this also lets degree-1
+        // consumers (LIMIT, global aggregates) receive schemas whose
+        // routing column is not an integer.
+        let dest = if self.senders.len() == 1 {
+            0
+        } else {
+            bucket_of(tuple.int(self.key_col)?, self.senders.len())
+        };
         self.buffers[dest].push(tuple);
         self.sent += 1;
         if self.buffers[dest].len() >= self.batch {

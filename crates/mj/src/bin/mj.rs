@@ -51,7 +51,7 @@ use multijoin::plan::query::to_xra;
 use multijoin::plan::shapes::{build, Shape};
 use multijoin::plan::{render, QueryGraph};
 use multijoin::relalg::RelationProvider;
-use multijoin::relalg::{text, JoinAlgorithm};
+use multijoin::relalg::{text, JoinAlgorithm, Value};
 use multijoin::sim::{render_gantt, simulate, SimParams};
 use multijoin::storage::{Catalog, WisconsinGenerator};
 
@@ -167,7 +167,8 @@ impl Args {
 fn usage() -> &'static str {
     "usage:
   mj sql      \"<query>\" | -  [--query chain|star|skewed --relations K
-              --tuples N --seed X --procs P --workers W] [--explain] [--limit R]
+              --tuples N --seed X --procs P --workers W] [--explain]
+              [--limit R] [--format table|csv|json]
   mj shapes   [--relations K]
   mj plan     [--query chain|star|skewed] [--strategy auto|ST]
               [--relations K --tuples N --procs P --seed X]   (planner explain)
@@ -186,7 +187,9 @@ have columns a, b, id; star has dims R0..R{K-2} (key, payload) and fact
 R{K-1} (fk0.., measure)), then parses, plans, and *streams* the query:
 
   mj sql \"SELECT * FROM R0 JOIN R1 ON R0.b = R1.a JOIN R2 ON R1.b = R2.a\"
-  echo \"SELECT R0.id, R2.id FROM ...\" | mj sql -
+  mj sql \"SELECT R0.b, COUNT(*) FROM R0 JOIN R1 ON R0.b = R1.a
+          WHERE R1.id < 500 GROUP BY R0.b LIMIT 10\"
+  echo \"SELECT R0.id, R2.id FROM ...\" | mj sql -    (newlines + -- comments ok)
   mj sql --explain \"SELECT ...\"        (costed alternatives, no execution)
 
 Without --shape, plan/run use the cost-based planner (tree, strategy, and
@@ -242,6 +245,67 @@ fn make_plan(
     Ok((plan, shape, tuples, procs))
 }
 
+/// Output modes of the streaming row printer.
+#[derive(Clone, Copy, PartialEq)]
+enum OutFormat {
+    Table,
+    Csv,
+    Json,
+}
+
+impl OutFormat {
+    fn parse(s: &str) -> Result<OutFormat, String> {
+        match s {
+            "table" => Ok(OutFormat::Table),
+            "csv" => Ok(OutFormat::Csv),
+            "json" => Ok(OutFormat::Json),
+            other => Err(format!(
+                "unknown format `{other}` (expected table, csv, json)"
+            )),
+        }
+    }
+}
+
+/// One value as a CSV field (RFC-4180-style quoting).
+fn csv_field(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+    }
+}
+
+/// One value as a JSON literal.
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => json_string(s),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// `mj sql`: the session front door. Populates a [`Database`] with a
 /// seeded query family, then parses, plans, and streams the given text
 /// query — printing rows incrementally as batches arrive.
@@ -270,6 +334,12 @@ fn cmd_sql(args: &Args) -> Result<(), String> {
     let procs: usize = args.num("procs", 8)?;
     let workers: usize = args.num("workers", ExecConfig::default().workers)?;
     let limit: usize = args.num("limit", 20)?;
+    let format = OutFormat::parse(
+        args.flags
+            .get("format")
+            .map(String::as_str)
+            .unwrap_or("table"),
+    )?;
 
     let instance = generate_family(family, k, tuples, seed).map_err(|e| e.to_string())?;
     let mut config = DbConfig::default();
@@ -310,15 +380,27 @@ fn cmd_sql(args: &Args) -> Result<(), String> {
     let mut handle = db.query(&text).map_err(|e| e.render(&text))?;
     let mut stream = handle.stream();
     let schema = stream.schema().clone();
-    println!(
-        "{}",
-        schema
-            .attrs()
-            .iter()
-            .map(|a| a.name.as_str())
-            .collect::<Vec<_>>()
-            .join(" | ")
-    );
+    let names: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+    // JSON object keys must be unique; columns selected from different
+    // relations can share a name (R0.id, R2.id), so suffix duplicates.
+    let json_keys: Vec<String> = {
+        let mut used: Vec<String> = Vec::with_capacity(names.len());
+        for &n in &names {
+            let mut key = n.to_string();
+            let mut suffix = 2;
+            while used.contains(&key) {
+                key = format!("{n}_{suffix}");
+                suffix += 1;
+            }
+            used.push(key);
+        }
+        used
+    };
+    match format {
+        OutFormat::Table => println!("{}", names.join(" | ")),
+        OutFormat::Csv => println!("{}", names.join(",")),
+        OutFormat::Json => {} // every JSON line is self-describing
+    }
     let mut first_batch: Option<std::time::Duration> = None;
     let mut rows = 0usize;
     let stdout = std::io::stdout();
@@ -330,13 +412,35 @@ fn cmd_sql(args: &Args) -> Result<(), String> {
         for t in batch.drain() {
             rows += 1;
             if limit == 0 || rows <= limit {
-                writeln!(out, "{t}").map_err(|e| e.to_string())?;
+                match format {
+                    OutFormat::Table => writeln!(out, "{t}").map_err(|e| e.to_string())?,
+                    OutFormat::Csv => {
+                        let line = t
+                            .values()
+                            .iter()
+                            .map(csv_field)
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                    }
+                    OutFormat::Json => {
+                        let line = json_keys
+                            .iter()
+                            .zip(t.values())
+                            .map(|(n, v)| format!("{}:{}", json_string(n), json_value(v)))
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        writeln!(out, "{{{line}}}").map_err(|e| e.to_string())?;
+                    }
+                }
             } else if rows == limit + 1 {
-                writeln!(
-                    out,
-                    "... (further rows counted, not printed; --limit 0 prints all)"
-                )
-                .map_err(|e| e.to_string())?;
+                // Keep machine-readable formats clean: the truncation
+                // notice goes to stderr for csv/json.
+                let note = "... (further rows counted, not printed; --limit 0 prints all)";
+                match format {
+                    OutFormat::Table => writeln!(out, "{note}").map_err(|e| e.to_string())?,
+                    OutFormat::Csv | OutFormat::Json => eprintln!("{note}"),
+                }
             }
         }
         // Flush per batch so the stream is visibly incremental.

@@ -15,15 +15,17 @@
 //! | [`join`] | `mj-join` | simple and pipelining hash joins, custom join table |
 //! | [`plan`] | `mj-plan` | join trees, Fig. 8 shapes, the paper's cost model, phase-1 optimizers, right-deep segmentation, text query parser |
 //! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
-//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, cooperative operator tasks, tuple streams, [`Database`](exec::Database) session facade, streaming [`QueryHandle`](exec::QueryHandle)s, cost-based [`Planner`](exec::Planner) |
+//! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, generic [`PhysicalOp`](exec::PhysicalOp) operator framework (joins, filter, aggregate, limit), tuple streams, [`Database`](exec::Database) session facade, streaming [`QueryHandle`](exec::QueryHandle)s, cost-based [`Planner`](exec::Planner) with filter pushdown |
 //! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
 //!
 //! ## Quickstart
 //!
-//! The session facade is the whole public API: open a [`Database`],
-//! register relations, and issue text queries. The system parses, binds,
-//! plans (tree shape, strategy, processor allocation — §3–§4 of the
-//! paper), and streams the result back:
+//! The session facade is the whole public API: open a
+//! [`Database`](exec::Database), register relations, and issue text
+//! queries — selections, grouped aggregates, and limits around the
+//! parallel join pipeline. The system parses, binds, plans (tree shape,
+//! strategy, processor allocation, filter pushdown — §3–§4 of the paper),
+//! and streams the result back:
 //!
 //! ```
 //! use multijoin::prelude::*;
@@ -33,6 +35,8 @@
 //!     db.register(name, rel).unwrap();
 //! }
 //! db.analyze().unwrap();
+//!
+//! // A plain multi-join: every row survives (unique1 is a key).
 //! let result = db
 //!     .query("SELECT * FROM R0 JOIN R1 ON R0.unique1 = R1.unique1 \
 //!             JOIN R2 ON R1.unique1 = R2.unique1")
@@ -40,6 +44,20 @@
 //!     .collect()
 //!     .unwrap();
 //! assert_eq!(result.len(), 1000);
+//!
+//! // WHERE pushes below the joins (scan-side filtering), GROUP BY runs
+//! // as a partitioned hash aggregate above them:
+//! let grouped = db
+//!     .query("SELECT R0.unique2, COUNT(*), MAX(R2.unique2) \
+//!             FROM R0 JOIN R1 ON R0.unique1 = R1.unique1 \
+//!             JOIN R2 ON R1.unique1 = R2.unique1 \
+//!             WHERE R0.unique2 < 5 GROUP BY R0.unique2")
+//!     .unwrap()
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(grouped.len(), 5, "unique2 values 0..5 survive the filter");
+//! assert_eq!(grouped.schema().attr(1).unwrap().name, "count");
+//! assert!(grouped.iter().all(|t| t.int(1).unwrap() == 1), "unique2 is a key");
 //! ```
 //!
 //! Results stream: take the handle's [`ResultStream`](exec::ResultStream)
@@ -47,6 +65,9 @@
 //! [`status()`](exec::QueryHandle::status), or
 //! [`cancel()`](exec::QueryHandle::cancel) mid-flight — the engine
 //! quiesces (every task reports, fragments reclaimed) and stays reusable.
+//! A `LIMIT` ends the whole pipeline early through the same machinery:
+//! the satisfied limit operator raises the query's early-stop token and
+//! every upstream task winds down successfully.
 //!
 //! ## Advanced: the low-level pipeline
 //!
@@ -97,8 +118,9 @@ pub mod prelude {
     };
     pub use mj_exec::{
         generate_family, query_from_catalog, run_plan, Database, DbConfig, Engine, ExecConfig,
-        MjError, MjResult, PlannedQuery, Planner, PlannerOptions, QueryBinding, QueryFamily,
-        QueryHandle, QueryOutcome, QueryStatus, ResultStream, WorkerPool,
+        MjError, MjResult, PhysicalOp, PipelineStage, PlannedQuery, Planner, PlannerOptions,
+        QueryBinding, QueryFamily, QueryHandle, QueryOutcome, QueryStatus, ResultStream, StageKind,
+        WorkerPool,
     };
     pub use mj_join::{pipelining_hash_join, simple_hash_join};
     pub use mj_plan::cost::tree_costs;

@@ -43,7 +43,9 @@ pub use optimize::{
     MAX_DP_RELATIONS, MAX_GRAPH_RELATIONS,
 };
 pub use parse::{parse_query, ParseError, QueryAst, Span};
-pub use query::{lower, JoinQuery, LoweredQuery};
+pub use query::{
+    inject_scan_filters, lower, JoinQuery, LoweredQuery, RelFilter, SelectItemSpec, SelectSpec,
+};
 pub use segment::{segments, Segment, Segmentation};
 pub use shapes::Shape;
 pub use transform::{mirror, right_orient};

@@ -139,6 +139,22 @@ impl QueryGraph {
         &self.cards
     }
 
+    /// Overrides the cardinality of relation `i` — the hook the planner
+    /// uses to fold pushed-down filter selectivities into the estimates
+    /// every phase-1 optimizer and schedule cost reads. The effective
+    /// cardinality is clamped to at least 1 so downstream selectivity
+    /// arithmetic never divides by zero.
+    pub fn set_card(&mut self, i: usize, card: u64) -> Result<()> {
+        if i >= self.cards.len() {
+            return Err(RelalgError::IndexOutOfBounds {
+                index: i,
+                arity: self.cards.len(),
+            });
+        }
+        self.cards[i] = card.max(1);
+        Ok(())
+    }
+
     /// All edges as `(a, b, selectivity)` with `a < b`.
     pub fn edges(&self) -> &[(usize, usize, f64)] {
         &self.edges

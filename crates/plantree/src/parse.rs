@@ -1,8 +1,9 @@
-//! Hand-rolled text frontend for the join-query subset the planner can
+//! Hand-rolled text frontend for the query subset the planner can
 //! execute:
 //!
 //! ```text
-//! SELECT <r.c, ...|*> FROM r1 JOIN r2 ON r1.a = r2.b [JOIN r3 ON ...]*
+//! SELECT <items|*> FROM r1 JOIN r2 ON r1.a = r2.b [JOIN ...]*
+//!     [WHERE pred [AND pred]*] [GROUP BY r.c, ...] [LIMIT n]
 //! ```
 //!
 //! The parser produces a purely syntactic [`QueryAst`] — every identifier
@@ -12,17 +13,31 @@
 //! dependencies; the tokenizer and recursive-descent parser are a few
 //! hundred lines.
 //!
-//! Grammar (keywords case-insensitive, identifiers case-sensitive):
+//! Grammar (keywords case-insensitive, identifiers case-sensitive;
+//! `--` starts a comment that runs to end of line; newlines are
+//! whitespace):
 //!
 //! ```text
 //! query       := SELECT select_list FROM ident join_clause*
-//! select_list := '*' | column (',' column)*
+//!                [WHERE predicate (AND predicate)*]
+//!                [GROUP BY column (',' column)*]
+//!                [LIMIT int]
+//! select_list := '*' | item (',' item)*
+//! item        := column | agg '(' ('*' | column) ')'
+//! agg         := COUNT | SUM | MIN | MAX        (soft keywords)
 //! join_clause := JOIN ident ON column '=' column
+//! predicate   := scalar cmp scalar
+//! scalar      := column | int
+//! cmp         := '=' | '<>' | '<' | '<=' | '>' | '>='
 //! column      := ident '.' ident
 //! ident       := [A-Za-z_][A-Za-z0-9_]*
+//! int         := '-'? [0-9]+
 //! ```
 
 use std::fmt;
+
+use mj_relalg::ops::AggFunc;
+use mj_relalg::CmpOp;
 
 /// A byte range into the query source text (`start..end`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,10 +104,12 @@ impl ParseError {
 
 /// Renders `headline` followed by the source line holding `span` and a
 /// caret underline — shared by parse errors and the session layer's bind
-/// errors so every spanned diagnostic looks the same.
+/// errors so every spanned diagnostic looks the same. Multi-line sources
+/// (stdin queries with newlines and `--` comments) underline the line that
+/// actually holds the span.
 pub fn render_span(source: &str, span: Span, headline: &str) -> String {
     let mut out = format!("{headline}\n");
-    // Single-line queries dominate; find the line holding the span.
+    // Find the line holding the span.
     let line_start = source[..span.start.min(source.len())]
         .rfind('\n')
         .map(|i| i + 1)
@@ -146,14 +163,86 @@ impl ColumnRef {
     }
 }
 
+/// An aggregate call in the select list: `COUNT(*)`, `SUM(r.c)`,
+/// `MIN(r.c)`, `MAX(r.c)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument column; `None` is `COUNT(*)`.
+    pub arg: Option<ColumnRef>,
+    /// Span of the whole call, `COUNT(...)`.
+    pub span: Span,
+}
+
+/// One item of an explicit select list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(ColumnRef),
+    /// An aggregate call.
+    Aggregate(AggCall),
+}
+
+impl SelectItem {
+    /// Source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            SelectItem::Column(c) => c.span(),
+            SelectItem::Aggregate(a) => a.span,
+        }
+    }
+}
+
 /// The projection list of a query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SelectList {
     /// `SELECT *`: every column of every relation, in tree-independent
     /// `(relation, column)` order (the default output of the lowering).
     Star,
-    /// An explicit ordered column list.
-    Columns(Vec<ColumnRef>),
+    /// An explicit ordered item list (columns and/or aggregate calls).
+    Items(Vec<SelectItem>),
+}
+
+/// One side of a WHERE comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scalar {
+    /// A qualified column.
+    Column(ColumnRef),
+    /// An integer literal.
+    Int(i64, Span),
+}
+
+impl Scalar {
+    /// Source span of the scalar.
+    pub fn span(&self) -> Span {
+        match self {
+            Scalar::Column(c) => c.span(),
+            Scalar::Int(_, span) => *span,
+        }
+    }
+}
+
+/// One WHERE conjunct: `scalar cmp scalar`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhereClause {
+    /// Left-hand side.
+    pub left: Scalar,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub right: Scalar,
+    /// Span of the whole comparison.
+    pub span: Span,
+}
+
+/// A `LIMIT n` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LimitClause {
+    /// Maximum number of result rows.
+    pub rows: u64,
+    /// Span of the count literal.
+    pub span: Span,
 }
 
 /// One `JOIN r ON a.x = b.y` clause.
@@ -170,7 +259,7 @@ pub struct JoinClause {
 }
 
 /// The parsed (but not yet name-resolved) query.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryAst {
     /// The projection.
     pub select: SelectList,
@@ -178,6 +267,12 @@ pub struct QueryAst {
     pub from: Ident,
     /// The join clauses, in source order.
     pub joins: Vec<JoinClause>,
+    /// The WHERE conjuncts, in source order (empty = no WHERE).
+    pub where_clauses: Vec<WhereClause>,
+    /// The GROUP BY columns, in source order (empty = no grouping).
+    pub group_by: Vec<ColumnRef>,
+    /// The LIMIT clause, if any.
+    pub limit: Option<LimitClause>,
 }
 
 impl QueryAst {
@@ -195,20 +290,36 @@ impl QueryAst {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
     Ident(String),
+    Int(i64),
     Star,
     Comma,
     Dot,
+    LParen,
+    RParen,
     Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
 }
 
 impl Tok {
     fn describe(&self) -> String {
         match self {
             Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("`{v}`"),
             Tok::Star => "`*`".into(),
             Tok::Comma => "`,`".into(),
             Tok::Dot => "`.`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
             Tok::Eq => "`=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
         }
     }
 }
@@ -233,9 +344,65 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
                 toks.push((Tok::Dot, Span::new(i, i + 1)));
                 i += 1;
             }
+            b'(' => {
+                toks.push((Tok::LParen, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, Span::new(i, i + 1)));
+                i += 1;
+            }
             b'=' => {
                 toks.push((Tok::Eq, Span::new(i, i + 1)));
                 i += 1;
+            }
+            b'<' => {
+                // `<=`, `<>`, or `<`.
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        toks.push((Tok::Le, Span::new(i, i + 2)));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        toks.push((Tok::Ne, Span::new(i, i + 2)));
+                        i += 2;
+                    }
+                    _ => {
+                        toks.push((Tok::Lt, Span::new(i, i + 1)));
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, Span::new(i, i + 2)));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, Span::new(i, i + 1)));
+                    i += 1;
+                }
+            }
+            b'-' => {
+                // `--` comment to end of line, or a negative int literal.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (tok, span) = lex_int(src, i, i + 1)?;
+                    i = span.end;
+                    toks.push((tok, span));
+                } else {
+                    return Err(ParseError::new(
+                        "unexpected character `-` (use `--` for comments)",
+                        Span::new(i, i + 1),
+                    ));
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, span) = lex_int(src, i, i)?;
+                i = span.end;
+                toks.push((tok, span));
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
@@ -253,6 +420,21 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
         }
     }
     Ok(toks)
+}
+
+/// Lexes an integer literal starting at `start` whose digits begin at
+/// `digits` (one past a leading `-`).
+fn lex_int(src: &str, start: usize, digits: usize) -> Result<(Tok, Span), ParseError> {
+    let bytes = src.as_bytes();
+    let mut i = digits;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let span = Span::new(start, i);
+    let v: i64 = src[start..i]
+        .parse()
+        .map_err(|_| ParseError::new(format!("integer `{}` out of range", &src[start..i]), span))?;
+    Ok((Tok::Int(v), span))
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -276,6 +458,10 @@ struct Parser {
 impl Parser {
     fn peek(&self) -> Option<&(Tok, Span)> {
         self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&(Tok, Span)> {
+        self.toks.get(self.pos + 1)
     }
 
     fn eof_span(&self) -> Span {
@@ -356,17 +542,62 @@ impl Parser {
         Ok(ColumnRef { relation, column })
     }
 
+    /// The aggregate function named by the next token, if the token after
+    /// it opens a call — `COUNT`/`SUM`/`MIN`/`MAX` are *soft* keywords, so
+    /// columns with those names stay valid.
+    fn at_agg_call(&self) -> Option<AggFunc> {
+        let (Tok::Ident(name), _) = self.peek()? else {
+            return None;
+        };
+        if !matches!(self.peek2(), Some((Tok::LParen, _))) {
+            return None;
+        }
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if let Some(func) = self.at_agg_call() {
+            let (_, name_span) = self.next("an aggregate")?;
+            self.expect(Tok::LParen)?;
+            let arg = if matches!(self.peek(), Some((Tok::Star, _))) {
+                let (_, star_span) = self.next("`*`")?;
+                if func != AggFunc::Count {
+                    return Err(ParseError::new(
+                        "only COUNT accepts `*`; SUM/MIN/MAX need a `relation.column` argument",
+                        star_span,
+                    ));
+                }
+                None
+            } else {
+                Some(self.column()?)
+            };
+            let close = self.expect(Tok::RParen)?;
+            return Ok(SelectItem::Aggregate(AggCall {
+                func,
+                arg,
+                span: name_span.to(close),
+            }));
+        }
+        Ok(SelectItem::Column(self.column()?))
+    }
+
     fn select_list(&mut self) -> Result<SelectList, ParseError> {
         if matches!(self.peek(), Some((Tok::Star, _))) {
             self.pos += 1;
             return Ok(SelectList::Star);
         }
-        let mut cols = vec![self.column()?];
+        let mut items = vec![self.select_item()?];
         while matches!(self.peek(), Some((Tok::Comma, _))) {
             self.pos += 1;
-            cols.push(self.column()?);
+            items.push(self.select_item()?);
         }
-        Ok(SelectList::Columns(cols))
+        Ok(SelectList::Items(items))
     }
 
     fn join_clause(&mut self) -> Result<JoinClause, ParseError> {
@@ -385,6 +616,65 @@ impl Parser {
         })
     }
 
+    fn scalar(&mut self) -> Result<Scalar, ParseError> {
+        if let Some((Tok::Int(v), span)) = self.peek() {
+            let (v, span) = (*v, *span);
+            self.pos += 1;
+            return Ok(Scalar::Int(v, span));
+        }
+        Ok(Scalar::Column(self.column()?))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let (tok, span) = self.next("a comparison operator (`=`, `<>`, `<`, `<=`, `>`, `>=`)")?;
+        match tok {
+            Tok::Eq => Ok(CmpOp::Eq),
+            Tok::Ne => Ok(CmpOp::Ne),
+            Tok::Lt => Ok(CmpOp::Lt),
+            Tok::Le => Ok(CmpOp::Le),
+            Tok::Gt => Ok(CmpOp::Gt),
+            Tok::Ge => Ok(CmpOp::Ge),
+            other => Err(ParseError::new(
+                format!(
+                    "expected a comparison operator (`=`, `<>`, `<`, `<=`, `>`, `>=`), found {}",
+                    other.describe()
+                ),
+                span,
+            )),
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<WhereClause, ParseError> {
+        let left = self.scalar()?;
+        let op = self.cmp_op()?;
+        let right = self.scalar()?;
+        let span = left.span().to(right.span());
+        Ok(WhereClause {
+            left,
+            op,
+            right,
+            span,
+        })
+    }
+
+    fn limit_clause(&mut self) -> Result<LimitClause, ParseError> {
+        let (tok, span) = self.next("a row count")?;
+        match tok {
+            Tok::Int(v) if v >= 0 => Ok(LimitClause {
+                rows: v as u64,
+                span,
+            }),
+            Tok::Int(v) => Err(ParseError::new(
+                format!("LIMIT must be non-negative, got {v}"),
+                span,
+            )),
+            other => Err(ParseError::new(
+                format!("expected a row count, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
     fn query(&mut self) -> Result<QueryAst, ParseError> {
         self.keyword("SELECT")?;
         let select = self.select_list()?;
@@ -394,9 +684,37 @@ impl Parser {
         while self.at_keyword("JOIN") {
             joins.push(self.join_clause()?);
         }
+        let mut where_clauses = Vec::new();
+        if self.at_keyword("WHERE") {
+            self.pos += 1;
+            where_clauses.push(self.where_clause()?);
+            while self.at_keyword("AND") {
+                self.pos += 1;
+                where_clauses.push(self.where_clause()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.at_keyword("GROUP") {
+            self.pos += 1;
+            self.keyword("BY")?;
+            group_by.push(self.column()?);
+            while matches!(self.peek(), Some((Tok::Comma, _))) {
+                self.pos += 1;
+                group_by.push(self.column()?);
+            }
+        }
+        let limit = if self.at_keyword("LIMIT") {
+            self.pos += 1;
+            Some(self.limit_clause()?)
+        } else {
+            None
+        };
         if let Some((tok, span)) = self.peek() {
             return Err(ParseError::new(
-                format!("expected `JOIN` or end of query, found {}", tok.describe()),
+                format!(
+                    "expected `JOIN`, `WHERE`, `GROUP BY`, `LIMIT`, or end of query, found {}",
+                    tok.describe()
+                ),
                 *span,
             ));
         }
@@ -404,14 +722,19 @@ impl Parser {
             select,
             from,
             joins,
+            where_clauses,
+            group_by,
+            limit,
         })
     }
 }
 
 fn is_keyword(s: &str) -> bool {
-    ["select", "from", "join", "on"]
-        .iter()
-        .any(|k| s.eq_ignore_ascii_case(k))
+    [
+        "select", "from", "join", "on", "where", "group", "by", "limit", "and",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
 }
 
 /// Parses a query text into a [`QueryAst`].
@@ -443,6 +766,9 @@ mod tests {
         assert_eq!(q.joins[0].left.relation.name, "r0");
         assert_eq!(q.joins[0].left.column.name, "b");
         assert_eq!(q.joins[1].right.column.name, "a");
+        assert!(q.where_clauses.is_empty());
+        assert!(q.group_by.is_empty());
+        assert!(q.limit.is_none());
         let names: Vec<&str> = q.relations().iter().map(|i| i.name.as_str()).collect();
         assert_eq!(names, ["r0", "r1", "r2"]);
     }
@@ -451,13 +777,79 @@ mod tests {
     fn explicit_column_list_and_case_insensitive_keywords() {
         let q = parse_query("select R0.id, R1.id from R0 join R1 on R0.b = R1.a").unwrap();
         match &q.select {
-            SelectList::Columns(cols) => {
-                assert_eq!(cols.len(), 2);
-                assert_eq!(cols[0].relation.name, "R0");
-                assert_eq!(cols[1].column.name, "id");
+            SelectList::Items(items) => {
+                assert_eq!(items.len(), 2);
+                let SelectItem::Column(c0) = &items[0] else {
+                    panic!("expected column");
+                };
+                assert_eq!(c0.relation.name, "R0");
             }
-            other => panic!("expected columns, got {other:?}"),
+            other => panic!("expected items, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn where_group_by_limit_full_query() {
+        let src = "SELECT r0.g, COUNT(*), SUM(r1.v) FROM r0 JOIN r1 ON r0.b = r1.a \
+                   WHERE r0.a < 100 AND r1.v >= -5 GROUP BY r0.g LIMIT 10";
+        let q = parse_query(src).unwrap();
+        let SelectList::Items(items) = &q.select else {
+            panic!("expected items");
+        };
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[0], SelectItem::Column(_)));
+        let SelectItem::Aggregate(count) = &items[1] else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(count.func, AggFunc::Count);
+        assert!(count.arg.is_none());
+        let SelectItem::Aggregate(sum) = &items[2] else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(sum.func, AggFunc::Sum);
+        assert_eq!(sum.arg.as_ref().unwrap().column.name, "v");
+
+        assert_eq!(q.where_clauses.len(), 2);
+        let w0 = &q.where_clauses[0];
+        assert!(matches!(w0.left, Scalar::Column(_)));
+        assert_eq!(w0.op, CmpOp::Lt);
+        assert!(matches!(w0.right, Scalar::Int(100, _)));
+        assert!(matches!(q.where_clauses[1].right, Scalar::Int(-5, _)));
+        assert_eq!(q.where_clauses[1].op, CmpOp::Ge);
+
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.group_by[0].column.name, "g");
+        assert_eq!(q.limit.unwrap().rows, 10);
+    }
+
+    #[test]
+    fn newlines_and_comments_preserve_spans() {
+        let src = "SELECT * FROM r0 -- pick everything\n\
+                   JOIN r1 ON r0.b = r1.a\n\
+                   -- a full-line comment\n\
+                   WHERE r0.a = 7\n\
+                   LIMIT 3";
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.where_clauses.len(), 1);
+        assert_eq!(q.limit.unwrap().rows, 3);
+        // Spans still index the original source, comments included.
+        let j = &q.joins[0];
+        assert_eq!(&src[j.relation.span.start..j.relation.span.end], "r1");
+        let w = &q.where_clauses[0];
+        assert_eq!(&src[w.span.start..w.span.end], "r0.a = 7");
+        // An error *after* comments points at the right byte.
+        let bad = "SELECT * FROM r0 -- c\nJOIN r1 ON r0.b r1.a";
+        let err = parse_query(bad).unwrap_err();
+        assert_eq!(&bad[err.span.start..err.span.end], "r1");
+        let rendered = err.render(bad);
+        assert!(rendered.contains("JOIN r1 ON r0.b r1.a"), "{rendered}");
+    }
+
+    #[test]
+    fn comment_only_input_is_empty() {
+        let err = parse_query("-- nothing here\n  -- still nothing").unwrap_err();
+        assert!(err.message.contains("empty query"), "{err}");
     }
 
     #[test]
@@ -488,15 +880,37 @@ mod tests {
                 30,
                 "relation.column",
             ),
-            ("SELECT * FROM r0 WHERE x", 17, "expected `JOIN` or end"),
+            ("SELECT * FROM r0 HAVING x", 17, "expected `JOIN`"),
             (
                 "SELECT * FROM r0 JOIN r1 ON r0.b = r1.a extra",
                 40,
-                "expected `JOIN` or end",
+                "expected `JOIN`",
             ),
             ("SELECT r0 FROM r0", 10, "relation.column"),
             ("SELECT * FROM r0 ; drop", 17, "unexpected character `;`"),
             ("SELECT *, r0.a FROM r0", 8, "expected keyword `FROM`"),
+            ("SELECT * FROM r0 WHERE", 22, "end of query"),
+            ("SELECT * FROM r0 WHERE r0.a", 27, "comparison operator"),
+            ("SELECT * FROM r0 WHERE r0.a = ", 30, "end of query"),
+            ("SELECT * FROM r0 WHERE r0.a < 5 AND", 35, "end of query"),
+            ("SELECT * FROM r0 GROUP r0.a", 23, "keyword `BY`"),
+            ("SELECT * FROM r0 GROUP BY", 25, "end of query"),
+            ("SELECT * FROM r0 LIMIT", 22, "end of query"),
+            ("SELECT * FROM r0 LIMIT r0.a", 23, "expected a row count"),
+            ("SELECT * FROM r0 LIMIT -3", 23, "non-negative"),
+            ("SELECT SUM(*) FROM r0", 11, "only COUNT accepts `*`"),
+            ("SELECT COUNT( FROM r0", 14, "found keyword `FROM`"),
+            ("SELECT COUNT(r0.a FROM r0", 18, "expected `)`"),
+            (
+                "SELECT * FROM r0 WHERE r0.a ! 5",
+                28,
+                "unexpected character",
+            ),
+            (
+                "SELECT * FROM r0 LIMIT 5 WHERE r0.a = 1",
+                25,
+                "end of query",
+            ),
         ];
         for (src, start, frag) in cases {
             let err = parse_query(src).expect_err(src);
@@ -523,10 +937,47 @@ mod tests {
     }
 
     #[test]
+    fn render_multiline_points_into_the_right_line() {
+        let src = "SELECT *\nFROM r0\nJOIN r1 ON r0.b r1.a";
+        let err = parse_query(src).unwrap_err();
+        let rendered = err.render(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  JOIN r1 ON r0.b r1.a");
+        // Caret at column of `r1.a` within its own line.
+        let line_start = src.rfind('\n').unwrap() + 1;
+        assert_eq!(
+            lines[2].find('^').unwrap(),
+            2 + (err.span.start - line_start)
+        );
+    }
+
+    #[test]
     fn keywords_cannot_be_identifiers() {
         let err = parse_query("SELECT * FROM select").unwrap_err();
         assert!(err.message.contains("keyword `select`"), "{err}");
         assert_eq!(err.span.start, 14);
+        // The new keywords are reserved too.
+        let err = parse_query("SELECT * FROM where").unwrap_err();
+        assert!(err.message.contains("keyword `where`"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_names_are_soft_keywords() {
+        // A column named `count` parses as a plain column...
+        let q = parse_query("SELECT r0.count FROM r0 JOIN r1 ON r0.b = r1.a").unwrap();
+        let SelectList::Items(items) = &q.select else {
+            panic!();
+        };
+        assert!(matches!(&items[0], SelectItem::Column(c) if c.column.name == "count"));
+        // ...while `count(` opens an aggregate call, case-insensitively.
+        let q = parse_query("SELECT Count(*) FROM r0 JOIN r1 ON r0.b = r1.a").unwrap();
+        let SelectList::Items(items) = &q.select else {
+            panic!();
+        };
+        assert!(matches!(
+            &items[0],
+            SelectItem::Aggregate(a) if a.func == AggFunc::Count
+        ));
     }
 
     #[test]
@@ -534,6 +985,20 @@ mod tests {
         let q = parse_query("SELECT t_1.c2 FROM t_1 JOIN x9 ON t_1.c2 = x9.k").unwrap();
         assert_eq!(q.from.name, "t_1");
         assert_eq!(q.joins[0].relation.name, "x9");
+    }
+
+    #[test]
+    fn int_literal_edge_cases() {
+        let q = parse_query("SELECT * FROM r0 WHERE r0.a = 0 LIMIT 0").unwrap();
+        assert!(matches!(q.where_clauses[0].right, Scalar::Int(0, _)));
+        assert_eq!(q.limit.unwrap().rows, 0);
+        // Literal-vs-literal parses (binding rejects it later).
+        let q = parse_query("SELECT * FROM r0 WHERE 1 = 1").unwrap();
+        assert!(matches!(q.where_clauses[0].left, Scalar::Int(1, _)));
+        // Out-of-range integers are a spanned lex error.
+        let err = parse_query("SELECT * FROM r0 LIMIT 99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        assert_eq!(err.span.start, 23);
     }
 
     #[test]

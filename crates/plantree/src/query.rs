@@ -21,7 +21,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mj_relalg::{EquiJoin, JoinAlgorithm, Projection, RelalgError, Result, Schema, XraNode};
+use mj_relalg::ops::AggFunc;
+use mj_relalg::{
+    EquiJoin, JoinAlgorithm, Predicate, Projection, RelalgError, Result, Schema, XraNode,
+};
 
 use crate::optimize::QueryGraph;
 use crate::tree::{JoinTree, NodeId, TreeNode};
@@ -59,10 +62,25 @@ fn build_node(tree: &JoinTree, id: NodeId, arity: usize, algorithm: JoinAlgorith
     }
 }
 
+/// A single-relation selection predicate attached to a [`JoinQuery`]:
+/// the bound form of one WHERE conjunct, ready for pushdown below the
+/// joins. The predicate's attribute indices refer to the relation's own
+/// schema.
+#[derive(Clone, Debug)]
+pub struct RelFilter {
+    /// The relation the predicate selects on.
+    pub rel: usize,
+    /// The predicate over that relation's tuples.
+    pub predicate: Predicate,
+    /// Estimated fraction of tuples surviving, in `(0, 1]`.
+    pub selectivity: f64,
+}
+
 /// An arbitrary equi-join query: a [`QueryGraph`] (cardinalities and
 /// selectivities for the phase-1 optimizers) enriched with per-relation
-/// schemas and per-edge join columns, so a chosen tree can be lowered to
-/// executable join specs instead of the fixed [`regular_join_spec`].
+/// schemas, per-edge join columns, and per-relation selection filters, so
+/// a chosen tree can be lowered to executable join specs instead of the
+/// fixed [`regular_join_spec`].
 #[derive(Clone, Debug)]
 pub struct JoinQuery {
     graph: QueryGraph,
@@ -70,6 +88,8 @@ pub struct JoinQuery {
     /// Join columns per graph edge, aligned with `graph.edges()` (whose
     /// endpoints are normalized to `a < b`): `(col in a, col in b)`.
     edge_cols: Vec<(usize, usize)>,
+    /// Single-relation selection conjuncts (WHERE clauses after binding).
+    filters: Vec<RelFilter>,
 }
 
 impl JoinQuery {
@@ -79,6 +99,7 @@ impl JoinQuery {
             graph: QueryGraph::new(),
             schemas: Vec::new(),
             edge_cols: Vec::new(),
+            filters: Vec::new(),
         }
     }
 
@@ -180,6 +201,239 @@ impl JoinQuery {
             }
         }
         cols
+    }
+
+    /// Attaches a selection conjunct to relation `rel` with the given
+    /// estimated `selectivity` in `(0, 1]`. The predicate's attribute
+    /// indices are validated against the relation's schema; several
+    /// conjuncts on one relation compose as a conjunction.
+    pub fn add_filter(&mut self, rel: usize, predicate: Predicate, selectivity: f64) -> Result<()> {
+        let schema = self.schema(rel)?.clone();
+        validate_predicate_attrs(&predicate, &schema)?;
+        if !(selectivity > 0.0 && selectivity <= 1.0) {
+            return Err(RelalgError::InvalidPlan(format!(
+                "filter selectivity {selectivity} outside (0, 1]"
+            )));
+        }
+        self.filters.push(RelFilter {
+            rel,
+            predicate,
+            selectivity,
+        });
+        Ok(())
+    }
+
+    /// All attached filters, in insertion order.
+    pub fn filters(&self) -> &[RelFilter] {
+        &self.filters
+    }
+
+    /// The conjunction of every filter on relation `rel`, or `None` if the
+    /// relation is unfiltered.
+    pub fn combined_filter(&self, rel: usize) -> Option<Predicate> {
+        let mut out: Option<Predicate> = None;
+        for f in self.filters.iter().filter(|f| f.rel == rel) {
+            out = Some(match out {
+                None => f.predicate.clone(),
+                Some(p) => Predicate::And(Box::new(p), Box::new(f.predicate.clone())),
+            });
+        }
+        out
+    }
+
+    /// The combined estimated selectivity of every filter on relation
+    /// `rel` (1.0 when unfiltered) — independence assumed, System-R style.
+    pub fn filter_selectivity(&self, rel: usize) -> f64 {
+        self.filters
+            .iter()
+            .filter(|f| f.rel == rel)
+            .map(|f| f.selectivity)
+            .product()
+    }
+
+    /// A copy of this query whose graph cardinalities have the attached
+    /// filter selectivities folded in — what the planner optimizes and
+    /// costs when it pushes the filters below the joins: every phase-1
+    /// tree choice, System-R intermediate estimate, and schedule cost then
+    /// sees the post-selection sizes.
+    pub fn with_filtered_cards(&self) -> JoinQuery {
+        let mut out = self.clone();
+        for rel in 0..out.len() {
+            let sel = out.filter_selectivity(rel);
+            if sel < 1.0 {
+                let card = (out.graph.cards()[rel] as f64 * sel).round() as u64;
+                out.graph
+                    .set_card(rel, card.max(1))
+                    .expect("relation index in range");
+            }
+        }
+        out
+    }
+}
+
+/// Validates that every attribute reference of `predicate` is inside
+/// `schema`.
+fn validate_predicate_attrs(predicate: &Predicate, schema: &Schema) -> Result<()> {
+    let mut out_of_range: Option<usize> = None;
+    predicate.for_each_attr(&mut |i| {
+        if i >= schema.arity() && out_of_range.is_none() {
+            out_of_range = Some(i);
+        }
+    });
+    match out_of_range {
+        Some(i) => schema.attr(i).map(|_| ()),
+        None => Ok(()),
+    }
+}
+
+/// One output item of a [`SelectSpec`]: a plain column or an aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectItemSpec {
+    /// `(relation, column)` of the query.
+    Column(usize, usize),
+    /// An aggregate over the (joined, filtered) rows.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Input `(relation, column)`; `None` is `COUNT(*)`.
+        input: Option<(usize, usize)>,
+        /// Output attribute name.
+        name: String,
+    },
+}
+
+/// The bound SELECT clause of a query beyond its joins: the ordered output
+/// items, grouping columns, and row limit. [`SelectSpec::validate`] checks
+/// it against a [`JoinQuery`]; the planner turns it into post-join
+/// pipeline stages (filter residue, partitioned aggregation, limit).
+#[derive(Clone, Debug, Default)]
+pub struct SelectSpec {
+    /// Ordered output items.
+    pub items: Vec<SelectItemSpec>,
+    /// GROUP BY columns as `(relation, column)` pairs (empty = no
+    /// grouping; with aggregates present that means one global group).
+    pub group_by: Vec<(usize, usize)>,
+    /// `LIMIT n`, if any.
+    pub limit: Option<u64>,
+    /// Estimated number of distinct groups (from catalog statistics), used
+    /// to size the aggregate stage estimate. `None` falls back to a
+    /// heuristic.
+    pub group_distinct_hint: Option<u64>,
+}
+
+impl SelectSpec {
+    /// A plain column projection (no aggregates, grouping, or limit).
+    pub fn columns(cols: Vec<(usize, usize)>) -> Self {
+        SelectSpec {
+            items: cols
+                .into_iter()
+                .map(|(r, c)| SelectItemSpec::Column(r, c))
+                .collect(),
+            ..SelectSpec::default()
+        }
+    }
+
+    /// True if any item is an aggregate call.
+    pub fn has_aggregates(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItemSpec::Aggregate { .. }))
+    }
+
+    /// True if the query needs an aggregation stage (aggregates or
+    /// grouped-distinct output).
+    pub fn needs_aggregate(&self) -> bool {
+        self.has_aggregates() || !self.group_by.is_empty()
+    }
+
+    /// Validates items, grouping, and aggregate inputs against `query`:
+    /// every referenced column must exist, SUM/MIN/MAX inputs must be
+    /// integers, and with grouping (or aggregates) present every plain
+    /// column item must be one of the GROUP BY columns.
+    pub fn validate(&self, query: &JoinQuery) -> Result<()> {
+        if self.items.is_empty() {
+            return Err(RelalgError::InvalidPlan("empty select list".into()));
+        }
+        for &(r, c) in &self.group_by {
+            query.schema(r)?.attr(c)?;
+        }
+        for item in &self.items {
+            match item {
+                SelectItemSpec::Column(r, c) => {
+                    query.schema(*r)?.attr(*c)?;
+                    if self.needs_aggregate() && !self.group_by.contains(&(*r, *c)) {
+                        return Err(RelalgError::InvalidPlan(format!(
+                            "column {}.{c} must appear in GROUP BY to be selected \
+                             alongside aggregates",
+                            query.graph().names()[*r]
+                        )));
+                    }
+                }
+                SelectItemSpec::Aggregate { func, input, .. } => {
+                    if let Some((r, c)) = input {
+                        let attr = query.schema(*r)?.attr(*c)?;
+                        if *func != AggFunc::Count && attr.ty != mj_relalg::DataType::Int {
+                            return Err(RelalgError::InvalidPlan(format!(
+                                "{func:?} needs an integer column, {}.{} is {}",
+                                query.graph().names()[*r],
+                                attr.name,
+                                attr.ty
+                            )));
+                        }
+                    } else if *func != AggFunc::Count {
+                        return Err(RelalgError::InvalidPlan(
+                            "only COUNT may omit its input column".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites an XRA plan so every `Scan` of a relation in `filters` runs
+/// beneath a `Select` with that predicate — how the sequential oracle
+/// mirrors the engine's filter pushdown to scans.
+pub fn inject_scan_filters(node: XraNode, filters: &HashMap<String, Predicate>) -> XraNode {
+    match node {
+        XraNode::Scan { relation } => match filters.get(&relation) {
+            Some(p) => XraNode::Select {
+                input: Box::new(XraNode::Scan { relation }),
+                predicate: p.clone(),
+            },
+            None => XraNode::Scan { relation },
+        },
+        XraNode::Select { input, predicate } => XraNode::Select {
+            input: Box::new(inject_scan_filters(*input, filters)),
+            predicate,
+        },
+        XraNode::Project { input, projection } => XraNode::Project {
+            input: Box::new(inject_scan_filters(*input, filters)),
+            projection,
+        },
+        XraNode::HashJoin {
+            left,
+            right,
+            join,
+            algorithm,
+        } => XraNode::HashJoin {
+            left: Box::new(inject_scan_filters(*left, filters)),
+            right: Box::new(inject_scan_filters(*right, filters)),
+            join,
+            algorithm,
+        },
+        XraNode::UnionAll { inputs } => XraNode::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|n| inject_scan_filters(n, filters))
+                .collect(),
+        },
+        XraNode::Aggregate { input, group, aggs } => XraNode::Aggregate {
+            input: Box::new(inject_scan_filters(*input, filters)),
+            group,
+            aggs,
+        },
     }
 }
 
@@ -675,6 +929,127 @@ mod tests {
             lower(&tree3, &q3, Some(&[(0, 99)])).is_err(),
             "bad output column"
         );
+    }
+
+    // --- Filters and SelectSpec ---
+
+    use mj_relalg::CmpOp;
+
+    #[test]
+    fn filters_validate_and_fold_into_cards() {
+        let mut q = chain_query(3, 100);
+        // Bad attr index, bad selectivity.
+        assert!(q
+            .add_filter(0, Predicate::cmp_int(9, CmpOp::Lt, 5), 0.5)
+            .is_err());
+        assert!(q
+            .add_filter(0, Predicate::cmp_int(0, CmpOp::Lt, 5), 0.0)
+            .is_err());
+        assert!(q.add_filter(3, Predicate::True, 0.5).is_err(), "bad rel");
+        q.add_filter(1, Predicate::cmp_int(0, CmpOp::Lt, 5), 0.25)
+            .unwrap();
+        q.add_filter(1, Predicate::cmp_int(2, CmpOp::Ge, 0), 0.5)
+            .unwrap();
+        assert_eq!(q.filters().len(), 2);
+        assert!((q.filter_selectivity(1) - 0.125).abs() < 1e-12);
+        assert!((q.filter_selectivity(0) - 1.0).abs() < 1e-12);
+        assert!(q.combined_filter(0).is_none());
+        let both = q.combined_filter(1).unwrap();
+        assert!(matches!(both, Predicate::And(_, _)));
+        // Folded cards: R1 shrinks to 100 * 0.125 = 13 (rounded), floor 1.
+        let folded = q.with_filtered_cards();
+        assert_eq!(folded.graph().cards(), &[100, 13, 100]);
+        // The original is untouched.
+        assert_eq!(q.graph().cards(), &[100, 100, 100]);
+    }
+
+    #[test]
+    fn filtered_cards_never_reach_zero() {
+        let mut q = chain_query(2, 10);
+        q.add_filter(0, Predicate::cmp_int(0, CmpOp::Eq, 1), 0.001)
+            .unwrap();
+        assert_eq!(q.with_filtered_cards().graph().cards()[0], 1);
+    }
+
+    #[test]
+    fn select_spec_validates_grouping_rules() {
+        let q = chain_query(3, 50);
+        // Plain columns, no grouping: fine.
+        SelectSpec::columns(vec![(0, 0), (2, 2)])
+            .validate(&q)
+            .unwrap();
+        // Unknown column.
+        assert!(SelectSpec::columns(vec![(0, 9)]).validate(&q).is_err());
+        // Aggregate + plain column not in GROUP BY: rejected.
+        let mut spec = SelectSpec {
+            items: vec![
+                SelectItemSpec::Column(0, 0),
+                SelectItemSpec::Aggregate {
+                    func: AggFunc::Count,
+                    input: None,
+                    name: "n".into(),
+                },
+            ],
+            ..SelectSpec::default()
+        };
+        assert!(spec.validate(&q).is_err());
+        // With the column in GROUP BY: accepted.
+        spec.group_by = vec![(0, 0)];
+        spec.validate(&q).unwrap();
+        assert!(spec.has_aggregates());
+        assert!(spec.needs_aggregate());
+        // SUM over a string column: rejected.
+        let mut q2 = JoinQuery::new();
+        q2.add_relation(
+            "S",
+            10,
+            Arc::new(mj_relalg::Schema::new(vec![
+                mj_relalg::Attribute::int("k"),
+                mj_relalg::Attribute::str("s"),
+            ])),
+        )
+        .unwrap();
+        q2.add_relation("T", 10, int_schema(&["k"])).unwrap();
+        q2.add_join(0, 1, 0, 0, 0.1).unwrap();
+        let bad = SelectSpec {
+            items: vec![SelectItemSpec::Aggregate {
+                func: AggFunc::Sum,
+                input: Some((0, 1)),
+                name: "s".into(),
+            }],
+            ..SelectSpec::default()
+        };
+        assert!(bad.validate(&q2).is_err());
+        // SUM without an input column: rejected; COUNT(*) fine.
+        let bad = SelectSpec {
+            items: vec![SelectItemSpec::Aggregate {
+                func: AggFunc::Sum,
+                input: None,
+                name: "s".into(),
+            }],
+            ..SelectSpec::default()
+        };
+        assert!(bad.validate(&q).is_err());
+        // Empty select list: rejected.
+        assert!(SelectSpec::default().validate(&q).is_err());
+    }
+
+    #[test]
+    fn inject_scan_filters_wraps_only_named_scans() {
+        let plan = XraNode::join(
+            XraNode::scan("r"),
+            XraNode::scan("s"),
+            EquiJoin::new(0, 0, Projection::new(vec![0])),
+            JoinAlgorithm::Simple,
+        );
+        let mut filters = HashMap::new();
+        filters.insert("r".to_string(), Predicate::cmp_int(0, CmpOp::Lt, 5));
+        let wrapped = inject_scan_filters(plan, &filters);
+        let XraNode::HashJoin { left, right, .. } = &wrapped else {
+            panic!("join preserved");
+        };
+        assert!(matches!(**left, XraNode::Select { .. }));
+        assert!(matches!(**right, XraNode::Scan { .. }));
     }
 
     use crate::tree::JoinTree;

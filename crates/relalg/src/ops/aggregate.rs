@@ -47,7 +47,12 @@ impl AggSpec {
     }
 }
 
-struct AggState {
+/// Incremental accumulator behind one aggregate of one group. Public so
+/// the parallel aggregation operator in `mj-exec` shares the exact
+/// semantics (wrapping sums, empty-group MIN/MAX errors) of the sequential
+/// oracle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggState {
     count: i64,
     sum: i64,
     min: Option<i64>,
@@ -55,7 +60,8 @@ struct AggState {
 }
 
 impl AggState {
-    fn new() -> Self {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
         AggState {
             count: 0,
             sum: 0,
@@ -64,14 +70,17 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: i64) {
+    /// Folds one input value in (COUNT callers pass any value).
+    pub fn update(&mut self, v: i64) {
         self.count += 1;
         self.sum = self.sum.wrapping_add(v);
         self.min = Some(self.min.map_or(v, |m| m.min(v)));
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
 
-    fn finish(&self, func: AggFunc) -> Result<i64> {
+    /// The final value under `func`. MIN/MAX over an empty accumulator is
+    /// an error (there is no value to return), matching the oracle.
+    pub fn finish(&self, func: AggFunc) -> Result<i64> {
         match func {
             AggFunc::Count => Ok(self.count),
             AggFunc::Sum => Ok(self.sum),

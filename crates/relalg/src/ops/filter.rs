@@ -1,6 +1,6 @@
 //! Selection (σ).
 
-use crate::error::Result;
+use crate::error::{RelalgError, Result};
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 
@@ -13,6 +13,26 @@ pub fn filter(input: &Relation, predicate: &Predicate) -> Result<Relation> {
         }
     }
     Ok(Relation::new_unchecked(input.schema().clone(), out))
+}
+
+/// Selection as a two-pass index gather: evaluate the predicate, then
+/// [`Relation::gather`] the surviving rows — the zero-copy form the engine
+/// uses to push filters down to base-relation scans (gathered rows share
+/// tuple payloads with the original relation).
+pub fn filter_gather(input: &Relation, predicate: &Predicate) -> Result<Relation> {
+    if input.len() > u32::MAX as usize {
+        return Err(RelalgError::InvalidPlan(format!(
+            "relation of {} rows exceeds the u32 row-index cap",
+            input.len()
+        )));
+    }
+    let mut indices: Vec<u32> = Vec::new();
+    for (i, t) in input.iter().enumerate() {
+        if predicate.eval(t)? {
+            indices.push(i as u32);
+        }
+    }
+    input.gather(&indices)
 }
 
 #[cfg(test)]

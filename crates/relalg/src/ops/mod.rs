@@ -13,8 +13,8 @@ pub mod project;
 pub mod sort;
 pub mod union;
 
-pub use aggregate::{aggregate, AggFunc, AggSpec};
-pub use filter::filter;
+pub use aggregate::{aggregate, AggFunc, AggSpec, AggState};
+pub use filter::{filter, filter_gather};
 pub use nested_loop::nested_loop_join;
 pub use project::project;
 pub use sort::sort_by_cols;

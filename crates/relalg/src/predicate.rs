@@ -95,6 +95,66 @@ impl Predicate {
         }
     }
 
+    /// Invokes `f` on every attribute index the predicate references
+    /// (duplicates included, in syntactic order) — the shared traversal
+    /// behind validation and column-collection passes.
+    pub fn for_each_attr(&self, f: &mut impl FnMut(usize)) {
+        fn walk_expr(e: &Expr, f: &mut impl FnMut(usize)) {
+            match e {
+                Expr::Attr(i) => f(*i),
+                Expr::Lit(_) => {}
+                Expr::Arith(l, _, r) => {
+                    walk_expr(l, f);
+                    walk_expr(r, f);
+                }
+            }
+        }
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { left, right, .. } => {
+                walk_expr(left, f);
+                walk_expr(right, f);
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.for_each_attr(f);
+                b.for_each_attr(f);
+            }
+            Predicate::Not(p) => p.for_each_attr(f),
+        }
+    }
+
+    /// Rebuilds the predicate with every attribute index passed through
+    /// `map` — how a relation-local predicate is rebased onto a wider
+    /// schema (e.g. a join output) whose columns live at other positions.
+    pub fn map_attrs(&self, map: &impl Fn(usize) -> Result<usize>) -> Result<Predicate> {
+        fn map_expr(e: &Expr, map: &impl Fn(usize) -> Result<usize>) -> Result<Expr> {
+            Ok(match e {
+                Expr::Attr(i) => Expr::Attr(map(*i)?),
+                Expr::Lit(v) => Expr::Lit(v.clone()),
+                Expr::Arith(l, op, r) => Expr::Arith(
+                    Box::new(map_expr(l, map)?),
+                    *op,
+                    Box::new(map_expr(r, map)?),
+                ),
+            })
+        }
+        Ok(match self {
+            Predicate::True => Predicate::True,
+            Predicate::Cmp { left, op, right } => Predicate::Cmp {
+                left: map_expr(left, map)?,
+                op: *op,
+                right: map_expr(right, map)?,
+            },
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.map_attrs(map)?), Box::new(b.map_attrs(map)?))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.map_attrs(map)?), Box::new(b.map_attrs(map)?))
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.map_attrs(map)?)),
+        })
+    }
+
     /// Evaluates the predicate against `tuple`.
     pub fn eval(&self, tuple: &Tuple) -> Result<bool> {
         match self {
