@@ -1279,6 +1279,425 @@ pub fn validate_bench5_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One guardrail mode of the overhead benchmark.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GuardrailRun {
+    /// Best-of-reps wall-clock seconds for the join workload.
+    pub elapsed_s: f64,
+    /// Operator-consumed tuples per second at that best time.
+    pub tuples_per_sec: f64,
+}
+
+/// Guardrails-on vs guardrails-off on the BENCH_1 join hot path.
+///
+/// Both modes run the identical FP right-linear chain on engines over the
+/// same catalog; the *on* engine additionally carries a (generous)
+/// deadline, a stall watchdog, a memory budget, and admission control, so
+/// the ratio isolates the per-step limit checks, the coordinator's
+/// watchdog tick, the budget sync, and the admission handshake. The
+/// acceptance bar is `overhead_ratio <= 1.05`.
+#[derive(Clone, Debug, Serialize)]
+pub struct OverheadComparison {
+    /// Relations in the chain query.
+    pub relations: usize,
+    /// Tuples per base relation.
+    pub tuples_per_relation: u64,
+    /// Worker threads in each engine pool.
+    pub workers: usize,
+    /// The strategy both modes run (FP: the pipelining hot path).
+    pub strategy: String,
+    /// No deadline, no stall watchdog, no budget cap, no admission —
+    /// `ExecConfig::default()`, the pre-guardrail engine.
+    pub guardrails_off: GuardrailRun,
+    /// Every guardrail armed with limits the workload never reaches.
+    pub guardrails_on: GuardrailRun,
+    /// `guardrails_on.elapsed_s / guardrails_off.elapsed_s` (1.0 = free;
+    /// the checked-in baseline must stay <= 1.05).
+    pub overhead_ratio: f64,
+}
+
+/// Latency distribution of the well-behaved queries in one admission mode.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NoisyNeighborRun {
+    /// p99 (with 8 samples per rep: the worst latency) in seconds,
+    /// best-of-reps.
+    pub p99_s: f64,
+    /// Mean latency in seconds over all samples of the best rep.
+    pub mean_s: f64,
+    /// Light-query latency samples per repetition.
+    pub samples: u64,
+}
+
+/// Well-behaved query latency under budget-busting noisy neighbors, with
+/// the guardrail layer on vs off.
+///
+/// Four noisy chain queries large enough to monopolize the pool are
+/// launched, then eight small "well-behaved" queries are timed submit to
+/// drain. *Unprotected*, everything shares the pool and the small queries
+/// inherit the neighbors' runtime. *Protected*, admission control bounds
+/// in-flight queries (FIFO queue, no rejection at this depth) and each
+/// noisy query carries a memory budget it immediately busts, so the
+/// guardrails abort it with `ResourceExhausted` and the slot frees for the
+/// well-behaved traffic. The acceptance bar is `p99_improvement >= 1.5`.
+#[derive(Clone, Debug, Serialize)]
+pub struct AdmissionComparison {
+    /// Worker threads in each engine pool.
+    pub workers: usize,
+    /// Well-behaved queries timed per repetition.
+    pub light_queries: usize,
+    /// Noisy-neighbor queries launched per repetition.
+    pub noisy_queries: usize,
+    /// Tuples per relation of the well-behaved chain.
+    pub light_tuples: u64,
+    /// Tuples per relation of the noisy chain.
+    pub noisy_tuples: u64,
+    /// `ExecConfig::max_concurrent` in the protected engine.
+    pub max_concurrent: usize,
+    /// Per-query memory budget (bytes) given to noisy queries in the
+    /// protected engine — sized so they bust it within a few steps.
+    pub noisy_budget_bytes: u64,
+    /// No admission control, no budgets: everyone shares the pool.
+    pub unprotected: NoisyNeighborRun,
+    /// Admission control + noisy budgets: the guardrail layer at work.
+    pub protected: NoisyNeighborRun,
+    /// Budget aborts recorded by the protected engine (at least
+    /// `noisy_queries * reps`: every noisy query must have been shed).
+    pub noisy_budget_aborts: u64,
+    /// `unprotected.p99_s / protected.p99_s` (> 1 means the guardrails
+    /// protect the well-behaved tenants; the checked-in baseline must
+    /// show >= 1.5).
+    pub p99_improvement: f64,
+}
+
+/// The whole `BENCH_6.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench6Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// Guardrails-on vs off on the join hot path.
+    pub overhead: OverheadComparison,
+    /// Noisy-neighbor p99 with vs without the guardrail layer.
+    pub admission: AdmissionComparison,
+}
+
+/// Warm-up once, then best-of-`reps` on one engine.
+fn guardrail_run(
+    engine: &Engine,
+    plan: &ParallelPlan,
+    binding: &QueryBinding,
+    reps: usize,
+) -> Result<GuardrailRun> {
+    consumed_tuples(&engine.run(plan, binding)?);
+    let mut best: Option<GuardrailRun> = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let tuples = consumed_tuples(&engine.run(plan, binding)?);
+        let elapsed = started.elapsed().as_secs_f64();
+        if best.map(|b| elapsed < b.elapsed_s).unwrap_or(true) {
+            best = Some(GuardrailRun {
+                elapsed_s: elapsed,
+                tuples_per_sec: tuples as f64 / elapsed,
+            });
+        }
+    }
+    Ok(best.expect("at least one rep"))
+}
+
+/// Measures the guardrail layer's overhead on the BENCH_1-style join
+/// workload: the same FP chain plan on a bare engine vs one with every
+/// guardrail armed (at limits the workload never reaches, so the cost is
+/// pure bookkeeping).
+pub fn overhead_comparison(
+    relations: usize,
+    n: usize,
+    workers: usize,
+    reps: usize,
+) -> Result<OverheadComparison> {
+    let catalog = Arc::new(Catalog::new());
+    for (name, rel) in WisconsinGenerator::new(n, 42).generate_named("R", relations) {
+        catalog.register(name, rel);
+    }
+    let tree = build(Shape::RightLinear, relations).expect("tree shape");
+    let cards = node_cards(&tree, &UniformOneToOne { n: n as u64 });
+    let costs = tree_costs(&tree, &cards, &CostModel::default());
+    let binding = QueryBinding::regular(&tree, catalog.as_ref())?;
+    let mut input = GeneratorInput::new(&tree, &cards, &costs, workers);
+    input.allow_oversubscribe = workers < tree.join_count();
+    let plan = generate(Strategy::FP, &input)?;
+
+    let off_cfg = ExecConfig {
+        workers,
+        ..ExecConfig::default()
+    };
+    let on_cfg = ExecConfig {
+        workers,
+        deadline: Some(std::time::Duration::from_secs(300)),
+        stall_timeout: Some(std::time::Duration::from_secs(30)),
+        memory_budget: Some(4 << 30),
+        max_concurrent: Some(8),
+        ..ExecConfig::default()
+    };
+    let off_engine = Engine::new(catalog.clone(), off_cfg)?;
+    let on_engine = Engine::new(catalog.clone(), on_cfg)?;
+    // Interleave the repetitions (same discipline as BENCH_3): host
+    // jitter and thermal drift then hit both modes alike instead of
+    // biasing whichever ran last.
+    let mut off: Option<GuardrailRun> = None;
+    let mut on: Option<GuardrailRun> = None;
+    for _ in 0..reps.max(1) {
+        let o = guardrail_run(&off_engine, &plan, &binding, 1)?;
+        if off.map(|b| o.elapsed_s < b.elapsed_s).unwrap_or(true) {
+            off = Some(o);
+        }
+        let o = guardrail_run(&on_engine, &plan, &binding, 1)?;
+        if on.map(|b| o.elapsed_s < b.elapsed_s).unwrap_or(true) {
+            on = Some(o);
+        }
+    }
+    let off = off.expect("at least one rep");
+    let on = on.expect("at least one rep");
+
+    Ok(OverheadComparison {
+        relations,
+        tuples_per_relation: n as u64,
+        workers,
+        strategy: Strategy::FP.label().to_string(),
+        overhead_ratio: on.elapsed_s / off.elapsed_s,
+        guardrails_off: off,
+        guardrails_on: on,
+    })
+}
+
+/// The chain-family SQL with relations registered under `prefix{i}`
+/// instead of `R{i}` (so light and noisy relation sets coexist in one
+/// catalog).
+fn prefixed_chain_sql(prefix: &str, k: usize) -> String {
+    let mut q = format!("SELECT * FROM {prefix}0");
+    for i in 1..k {
+        q.push_str(&format!(
+            " JOIN {prefix}{i} ON {prefix}{}.b = {prefix}{i}.a",
+            i - 1
+        ));
+    }
+    q
+}
+
+/// Measures light-query p99 under noisy neighbors with the guardrail
+/// layer off (`protect = false`: plain shared pool) and on (`protect =
+/// true`: admission control bounds in-flight queries and every noisy
+/// query carries a budget it busts).
+pub fn admission_comparison(
+    light_k: usize,
+    light_n: usize,
+    noisy_k: usize,
+    noisy_n: usize,
+    workers: usize,
+    reps: usize,
+) -> Result<AdmissionComparison> {
+    use mj_exec::{generate_family, Database, DbConfig, QueryFamily, QueryOptions};
+    use mj_relalg::RelationProvider;
+
+    const NOISY: usize = 4;
+    const LIGHT: usize = 8;
+    const MAX_CONCURRENT: usize = 2;
+    const NOISY_BUDGET: u64 = 128 * 1024;
+
+    let err = |e: mj_exec::MjError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let lights = generate_family(QueryFamily::Chain, light_k, light_n, 5)?;
+    let noisy = generate_family(QueryFamily::Chain, noisy_k, noisy_n, 6)?;
+    let light_sql = prefixed_chain_sql("L", light_k);
+    let noisy_sql = prefixed_chain_sql("N", noisy_k);
+
+    let open_db = |protect: bool| -> Result<Database> {
+        let mut config = DbConfig::default();
+        config.exec.workers = workers;
+        if protect {
+            config.exec.max_concurrent = Some(MAX_CONCURRENT);
+        }
+        let db = Database::open(config).map_err(err)?;
+        for i in 0..light_k {
+            db.register(format!("L{i}"), lights.catalog.relation(&format!("R{i}"))?)
+                .map_err(err)?;
+        }
+        for i in 0..noisy_k {
+            db.register(format!("N{i}"), noisy.catalog.relation(&format!("R{i}"))?)
+                .map_err(err)?;
+        }
+        db.analyze().map_err(err)?;
+        Ok(db)
+    };
+
+    let run_mode = |db: &Database, protect: bool| -> Result<NoisyNeighborRun> {
+        // Warm-up: allocator and page caches, and the light plan itself.
+        db.query(&light_sql).map_err(err)?.collect()?;
+        let mut best: Option<NoisyNeighborRun> = None;
+        for _ in 0..reps.max(1) {
+            let latencies: Vec<f64> = std::thread::scope(|scope| -> Result<Vec<f64>> {
+                // Noisy neighbors first, so they are established by the
+                // time the well-behaved queries arrive. Protected, each
+                // carries a budget it busts within a few quanta —
+                // `ResourceExhausted` here is the guardrail working, so
+                // only submission errors are real failures.
+                let noisy_handles: Vec<_> = (0..NOISY)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let opts = if protect {
+                                QueryOptions::new().with_memory_budget(NOISY_BUDGET)
+                            } else {
+                                QueryOptions::default()
+                            };
+                            db.query_with(&noisy_sql, opts).map(|h| {
+                                let _ = h.collect();
+                            })
+                        })
+                    })
+                    .collect();
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let light_handles: Vec<_> = (0..LIGHT)
+                    .map(|_| {
+                        scope.spawn(|| -> Result<f64> {
+                            let started = Instant::now();
+                            db.query(&light_sql).map_err(err)?.collect()?;
+                            Ok(started.elapsed().as_secs_f64())
+                        })
+                    })
+                    .collect();
+                let mut latencies = Vec::with_capacity(LIGHT);
+                for h in light_handles {
+                    latencies.push(h.join().expect("light client thread")?);
+                }
+                for h in noisy_handles {
+                    h.join().expect("noisy client thread").map_err(err)?;
+                }
+                Ok(latencies)
+            })?;
+            let p99 = latencies.iter().copied().fold(0.0f64, f64::max);
+            let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+            if best.map(|b| p99 < b.p99_s).unwrap_or(true) {
+                best = Some(NoisyNeighborRun {
+                    p99_s: p99,
+                    mean_s: mean,
+                    samples: latencies.len() as u64,
+                });
+            }
+        }
+        Ok(best.expect("at least one rep"))
+    };
+
+    let unprotected_db = open_db(false)?;
+    let protected_db = open_db(true)?;
+    let unprotected = run_mode(&unprotected_db, false)?;
+    let protected = run_mode(&protected_db, true)?;
+    let noisy_budget_aborts = protected_db.stats().budget_aborts;
+
+    Ok(AdmissionComparison {
+        workers,
+        light_queries: LIGHT,
+        noisy_queries: NOISY,
+        light_tuples: light_n as u64,
+        noisy_tuples: noisy_n as u64,
+        max_concurrent: MAX_CONCURRENT,
+        noisy_budget_bytes: NOISY_BUDGET,
+        p99_improvement: unprotected.p99_s / protected.p99_s,
+        unprotected,
+        protected,
+        noisy_budget_aborts,
+    })
+}
+
+/// Produces the `BENCH_6.json` report: guardrail overhead on the join hot
+/// path plus noisy-neighbor p99 with vs without the guardrail layer.
+/// `quick` shrinks the workload for CI smoke runs.
+pub fn bench6_report(quick: bool) -> Result<Bench6Report> {
+    let (relations, n, reps) = if quick { (4, 2_000, 2) } else { (6, 20_000, 5) };
+    let (light_n, noisy_n, adm_reps) = if quick {
+        (500, 4_000, 1)
+    } else {
+        (1_000, 8_000, 3)
+    };
+    Ok(Bench6Report {
+        bench: 6,
+        quick,
+        overhead: overhead_comparison(relations, n, 4, reps)?,
+        admission: admission_comparison(3, light_n, 4, noisy_n, 4, adm_reps)?,
+    })
+}
+
+/// Renders a `BENCH_6.json` report as pretty-enough JSON.
+pub fn bench6_to_json(report: &Bench6Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"overhead\":{", "\n\"overhead\":{\n  ")
+        .replace("\"guardrails_off\":", "\n  \"guardrails_off\":")
+        .replace("\"guardrails_on\":", "\n  \"guardrails_on\":")
+        .replace("\"admission\":{", "\n\"admission\":{\n  ")
+        .replace("\"unprotected\":", "\n  \"unprotected\":")
+        .replace("\"protected\":", "\n  \"protected\":")
+        .replace("\"p99_improvement\":", "\n  \"p99_improvement\":")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_6.json` (CI smoke run).
+pub fn validate_bench6_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "overhead", "admission"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let o = v.get("overhead").expect("checked");
+    for key in [
+        "relations",
+        "tuples_per_relation",
+        "workers",
+        "strategy",
+        "guardrails_off",
+        "guardrails_on",
+        "overhead_ratio",
+    ] {
+        if o.get(key).is_none() {
+            return Err(format!("missing key `overhead.{key}`"));
+        }
+    }
+    for mode in ["guardrails_off", "guardrails_on"] {
+        let run = o.get(mode).expect("checked");
+        for key in ["elapsed_s", "tuples_per_sec"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `overhead.{mode}.{key}`"));
+            }
+        }
+    }
+    let a = v.get("admission").expect("checked");
+    for key in [
+        "workers",
+        "light_queries",
+        "noisy_queries",
+        "light_tuples",
+        "noisy_tuples",
+        "max_concurrent",
+        "noisy_budget_bytes",
+        "unprotected",
+        "protected",
+        "noisy_budget_aborts",
+        "p99_improvement",
+    ] {
+        if a.get(key).is_none() {
+            return Err(format!("missing key `admission.{key}`"));
+        }
+    }
+    for mode in ["unprotected", "protected"] {
+        let run = a.get(mode).expect("checked");
+        for key in ["p99_s", "mean_s", "samples"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `admission.{mode}.{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -1442,6 +1861,33 @@ mod tests {
         validate_bench4_json(&json).unwrap();
         assert!(validate_bench4_json("{}").is_err());
         assert!(validate_bench4_json("{\"bench\":4,\"quick\":true}").is_err());
+    }
+
+    #[test]
+    fn bench6_runs_and_validates_on_a_tiny_workload() {
+        let overhead = overhead_comparison(3, 300, 2, 1).unwrap();
+        assert!(overhead.guardrails_off.elapsed_s > 0.0);
+        assert!(overhead.guardrails_on.elapsed_s > 0.0);
+        assert!(overhead.overhead_ratio > 0.0);
+        let admission = admission_comparison(3, 200, 3, 600, 2, 1).unwrap();
+        assert_eq!(admission.unprotected.samples, 8);
+        assert_eq!(admission.protected.samples, 8);
+        assert!(admission.protected.p99_s > 0.0);
+        assert!(
+            admission.noisy_budget_aborts >= admission.noisy_queries as u64,
+            "every noisy query must bust its budget (got {})",
+            admission.noisy_budget_aborts
+        );
+        let report = Bench6Report {
+            bench: 6,
+            quick: true,
+            overhead,
+            admission,
+        };
+        let json = bench6_to_json(&report);
+        validate_bench6_json(&json).unwrap();
+        assert!(validate_bench6_json("{}").is_err());
+        assert!(validate_bench6_json("{\"bench\":6,\"quick\":true}").is_err());
     }
 
     #[test]

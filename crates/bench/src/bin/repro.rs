@@ -26,6 +26,8 @@
 //!   bench-planner         only the planner section -> BENCH_3.json
 //!   bench-session         only the streaming section -> BENCH_4.json
 //!   bench-operators       only the pushdown section -> BENCH_5.json
+//!   bench-robustness      guardrail overhead + noisy-neighbor p99
+//!                         -> BENCH_6.json
 //!
 //! CSV series are written to results/.
 
@@ -35,9 +37,10 @@ use std::time::Instant;
 
 use mj_bench::{
     bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench4_report, bench4_to_json,
-    bench5_report, bench5_to_json, bench_report, format_table, paper_processor_counts,
-    report_to_json, simulate_tree, sweep, validate_bench2_json, validate_bench3_json,
-    validate_bench4_json, validate_bench5_json, validate_report_json, write_csv, PAPER_SIZES,
+    bench5_report, bench5_to_json, bench6_report, bench6_to_json, bench_report, format_table,
+    paper_processor_counts, report_to_json, simulate_tree, sweep, validate_bench2_json,
+    validate_bench3_json, validate_bench4_json, validate_bench5_json, validate_bench6_json,
+    validate_report_json, write_csv, PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -112,11 +115,13 @@ fn main() {
                 emit_bench3_json(quick);
                 emit_bench4_json(quick);
                 emit_bench5_json(quick);
+                emit_bench6_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
             "bench-session" => emit_bench4_json(quick),
             "bench-operators" => emit_bench5_json(quick),
+            "bench-robustness" => emit_bench6_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -870,6 +875,67 @@ fn emit_bench5_json(quick: bool) {
         eprintln!(
             "WARNING: pushdown speedup {:.2}x below the 1.5x acceptance bar",
             o.pushdown_speedup
+        );
+    }
+}
+
+fn emit_bench6_json(quick: bool) {
+    println!(
+        "== BENCH_6.json: robustness guardrails ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench6_report(quick).expect("bench6 report");
+    let o = &report.overhead;
+    println!(
+        "{}-relation {} chain (n={}, {} workers): guardrails off {:.2} ms, \
+         on {:.2} ms -> overhead {:.3}x",
+        o.relations,
+        o.strategy,
+        o.tuples_per_relation,
+        o.workers,
+        o.guardrails_off.elapsed_s * 1e3,
+        o.guardrails_on.elapsed_s * 1e3,
+        o.overhead_ratio,
+    );
+    let a = &report.admission;
+    println!(
+        "{} light (n={}) vs {} noisy (n={}) queries, max_concurrent={}, \
+         noisy budget {} KB:",
+        a.light_queries,
+        a.light_tuples,
+        a.noisy_queries,
+        a.noisy_tuples,
+        a.max_concurrent,
+        a.noisy_budget_bytes / 1024,
+    );
+    println!(
+        "light p99 unprotected {:.2} ms -> protected {:.2} ms ({:.2}x better, \
+         {} noisy queries shed by budget)",
+        a.unprotected.p99_s * 1e3,
+        a.protected.p99_s * 1e3,
+        a.p99_improvement,
+        a.noisy_budget_aborts,
+    );
+    let json = bench6_to_json(&report);
+    validate_bench6_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_6_quick.json"
+    } else {
+        "BENCH_6.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && report.overhead.overhead_ratio > 1.05 {
+        eprintln!(
+            "WARNING: guardrail overhead {:.3}x above the 1.05x acceptance cap",
+            report.overhead.overhead_ratio
+        );
+    }
+    if !quick && a.p99_improvement < 1.5 {
+        eprintln!(
+            "WARNING: noisy-neighbor p99 improvement {:.2}x below the 1.5x acceptance floor",
+            a.p99_improvement
         );
     }
 }

@@ -1,0 +1,168 @@
+//! Per-query memory accounting.
+//!
+//! §5 of the paper frames pipelining as a memory/performance trade-off:
+//! hash tables for *every* join in the tree must be resident at once. The
+//! planner reasons about that cost from estimates; [`MemoryBudget`] is the
+//! runtime enforcement point. Every query gets one budget (shared by all of
+//! its operator instances, batch pools and materialized fragments); when
+//! charges exceed the cap the query — and only that query — is aborted with
+//! [`RelalgError::ResourceExhausted`] instead of OOM-killing the process.
+//!
+//! Charging is advisory-atomic: `charge` never blocks and never fails, it
+//! just records the high-water mark and reports whether the cap is now
+//! exceeded. The *reaction* (aborting the query) happens on the cooperative
+//! scheduling path, where operator tasks poll [`MemoryBudget::is_exhausted`]
+//! once per quantum — the same cadence as cancellation.
+
+use mj_relalg::RelalgError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic byte-accounting for one query.
+///
+/// Cheap to clone behind an [`Arc`]; all methods are lock-free.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    /// Cap in bytes; `u64::MAX` means unlimited.
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        MemoryBudget {
+            limit: u64::MAX,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MemoryBudget {
+    /// An unlimited budget: still tracks usage and peak, never trips.
+    pub fn unlimited() -> Arc<Self> {
+        Arc::new(MemoryBudget::default())
+    }
+
+    /// A budget capped at `bytes`.
+    pub fn with_limit(bytes: u64) -> Arc<Self> {
+        Arc::new(MemoryBudget {
+            limit: bytes,
+            ..MemoryBudget::default()
+        })
+    }
+
+    /// The configured cap, or `None` for an unlimited budget.
+    pub fn limit(&self) -> Option<u64> {
+        (self.limit != u64::MAX).then_some(self.limit)
+    }
+
+    /// Records `bytes` of new usage. Returns `true` when the budget is
+    /// still within its cap, `false` once it is exceeded. Never blocks.
+    pub fn charge(&self, bytes: u64) -> bool {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        now <= self.limit
+    }
+
+    /// Returns `bytes` of usage (saturating at zero so that shutdown-order
+    /// races can never underflow the counter).
+    pub fn credit(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes over the budget's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Whether current usage exceeds the cap.
+    pub fn is_exhausted(&self) -> bool {
+        self.used() > self.limit
+    }
+
+    /// The typed error describing the current overrun (usable even when
+    /// usage has since dropped back under the cap — reports the peak).
+    pub fn exhausted_error(&self) -> RelalgError {
+        RelalgError::ResourceExhausted {
+            used: self.used().max(self.peak()),
+            budget: self.limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.charge(u64::MAX / 2));
+        assert!(!b.is_exhausted());
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn charge_credit_and_peak() {
+        let b = MemoryBudget::with_limit(100);
+        assert_eq!(b.limit(), Some(100));
+        assert!(b.charge(60));
+        assert!(b.charge(40)); // exactly at the cap is still fine
+        assert!(!b.is_exhausted());
+        assert!(!b.charge(1));
+        assert!(b.is_exhausted());
+        assert_eq!(b.peak(), 101);
+        b.credit(101);
+        assert_eq!(b.used(), 0);
+        assert!(!b.is_exhausted());
+        assert_eq!(b.peak(), 101, "peak is a high-water mark");
+        b.credit(10);
+        assert_eq!(b.used(), 0, "credit saturates at zero");
+    }
+
+    #[test]
+    fn exhausted_error_reports_numbers() {
+        let b = MemoryBudget::with_limit(10);
+        b.charge(25);
+        match b.exhausted_error() {
+            RelalgError::ResourceExhausted { used, budget } => {
+                assert_eq!(used, 25);
+                assert_eq!(budget, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_charges_are_atomic() {
+        let b = MemoryBudget::with_limit(u64::MAX - 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        b.charge(3);
+                        b.credit(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 4 * 1000 * 2);
+    }
+}

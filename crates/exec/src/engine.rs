@@ -29,8 +29,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::sync::{mpsc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
@@ -42,9 +42,11 @@ use mj_relalg::{RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
 
 use crate::binding::{QueryBinding, StageKind};
-use crate::config::ExecConfig;
+use crate::budget::MemoryBudget;
+use crate::config::{ExecConfig, QueryOptions};
 use crate::handle::{QueryCtrl, QueryHandle, QueryOutcome, ResultStream};
-use crate::metrics::Metrics;
+use crate::metrics::counters::EngineCounters;
+use crate::metrics::{EngineStats, Metrics};
 use crate::operator::task::{DoneMsg, OpTask};
 use crate::operator::{AggregateOp, FilterOp, LimitOp, OutputPort, PhysicalOp};
 use crate::sched::WorkerPool;
@@ -101,6 +103,93 @@ pub struct Engine {
     pool: Arc<WorkerPool>,
     store: Arc<FragmentStore>,
     next_query: AtomicU64,
+    admission: Option<Arc<Admission>>,
+    counters: Arc<EngineCounters>,
+}
+
+/// Admission control: a counting gate of `max` concurrently running
+/// queries fronted by a bounded FIFO ticket queue. Submissions beyond the
+/// queue bound are rejected with [`RelalgError::Overloaded`].
+struct Admission {
+    max: usize,
+    queue_limit: usize,
+    state: Mutex<AdmissionState>,
+    ready: Condvar,
+}
+
+struct AdmissionState {
+    /// Queries currently holding a run slot.
+    active: usize,
+    /// Next ticket to hand out to a waiter.
+    next_ticket: u64,
+    /// Ticket currently at the head of the FIFO queue.
+    serving: u64,
+}
+
+impl Admission {
+    fn new(max: usize, queue_limit: usize) -> Arc<Self> {
+        Arc::new(Admission {
+            max,
+            queue_limit,
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                next_ticket: 0,
+                serving: 0,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Takes a run slot, waiting FIFO behind earlier submissions if the
+    /// engine is saturated; errors with `Overloaded` when the wait queue
+    /// is full. The returned permit releases the slot on drop.
+    fn acquire(self: &Arc<Self>, counters: &EngineCounters) -> Result<AdmissionPermit> {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let waiting = (s.next_ticket - s.serving) as usize;
+        if s.active < self.max && waiting == 0 {
+            s.active += 1;
+            return Ok(AdmissionPermit {
+                admission: self.clone(),
+            });
+        }
+        if waiting >= self.queue_limit {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(RelalgError::Overloaded);
+        }
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        while !(s.serving == ticket && s.active < self.max) {
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        s.serving += 1;
+        s.active += 1;
+        drop(s);
+        // The next waiter's ticket may already be serviceable (several
+        // slots freed at once); make sure it rechecks.
+        self.ready.notify_all();
+        Ok(AdmissionPermit {
+            admission: self.clone(),
+        })
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.active -= 1;
+        drop(s);
+        self.ready.notify_all();
+    }
+}
+
+/// RAII run slot: held by the query's coordinator for the query's whole
+/// lifetime, released (waking FIFO waiters) when the coordinator finishes.
+struct AdmissionPermit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
 }
 
 impl Engine {
@@ -117,7 +206,17 @@ impl Engine {
             pool: WorkerPool::new(config.workers),
             store: Arc::new(FragmentStore::new(0)),
             next_query: AtomicU64::new(0),
+            admission: config
+                .max_concurrent
+                .map(|max| Admission::new(max, config.admission_queue)),
+            counters: Arc::new(EngineCounters::default()),
         })
+    }
+
+    /// Engine-lifetime robustness counters: completions, rejections,
+    /// timeouts, stalls, budget aborts, contained panics, peak bytes.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
     }
 
     /// The engine configuration.
@@ -146,7 +245,29 @@ impl Engine {
     /// gets its own handle, stream, metrics, and cancel token while all of
     /// them share the engine's fixed worker pool.
     pub fn submit(&self, plan: &ParallelPlan, binding: &QueryBinding) -> Result<QueryHandle> {
-        let (client, stream, ctrl) = open_result_channel(plan, binding, &self.config)?;
+        self.submit_with(plan, binding, QueryOptions::default())
+    }
+
+    /// [`submit`](Engine::submit) with per-query [`QueryOptions`]
+    /// (deadline, memory budget, fault plan). Per-query options override
+    /// the engine-wide [`ExecConfig`] defaults.
+    ///
+    /// When `max_concurrent` admission control is configured, this call
+    /// blocks FIFO behind earlier submissions while the engine is
+    /// saturated, and returns [`RelalgError::Overloaded`] once the wait
+    /// queue is also full.
+    pub fn submit_with(
+        &self,
+        plan: &ParallelPlan,
+        binding: &QueryBinding,
+        opts: QueryOptions,
+    ) -> Result<QueryHandle> {
+        let permit = match &self.admission {
+            Some(admission) => Some(admission.acquire(&self.counters)?),
+            None => None,
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let (client, stream, ctrl) = open_result_channel(plan, binding, &self.config, &opts)?;
 
         let plan = plan.clone();
         let binding = binding.clone();
@@ -156,6 +277,7 @@ impl Engine {
         let store = self.store.clone();
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
         let coord_ctrl = ctrl.clone();
+        let counters = self.counters.clone();
         let coordinator = std::thread::Builder::new()
             .name("mj-coordinator".into())
             .spawn(move || {
@@ -164,6 +286,7 @@ impl Engine {
                     &binding,
                     provider.as_ref(),
                     &config,
+                    &opts,
                     &pool,
                     &store,
                     query_id,
@@ -171,6 +294,11 @@ impl Engine {
                     &coord_ctrl,
                 );
                 coord_ctrl.finish(&result);
+                counters.record(&result, coord_ctrl.panics(), coord_ctrl.budget().peak());
+                // Release the admission slot only after the query has
+                // fully quiesced and its fragments are reclaimed, so the
+                // concurrency cap bounds actual resource use.
+                drop(permit);
                 result
             })
             .map_err(|e| RelalgError::InvalidPlan(format!("cannot spawn coordinator: {e}")))?;
@@ -209,7 +337,8 @@ pub fn run_plan(
     provider: &(dyn RelationProvider + Sync),
     config: &ExecConfig,
 ) -> Result<ExecOutcome> {
-    let (client, mut stream, ctrl) = open_result_channel(plan, binding, config)?;
+    let opts = QueryOptions::default();
+    let (client, mut stream, ctrl) = open_result_channel(plan, binding, config, &opts)?;
     let schema = stream.schema().clone();
     let pool = WorkerPool::new(config.workers);
     let store = Arc::new(FragmentStore::new(plan.processors));
@@ -218,16 +347,19 @@ pub fn run_plan(
         let pool = &pool;
         let store = &store;
         let ctrl_ref = &ctrl;
+        let opts_ref = &opts;
         let coordinator = scope.spawn(move || {
             run_query(
-                plan, binding, provider, config, pool, store, 0, client, ctrl_ref,
+                plan, binding, provider, config, opts_ref, pool, store, 0, client, ctrl_ref,
             )
         });
         let mut tuples: Vec<Tuple> = Vec::new();
         while let Some(mut batch) = stream.next_batch() {
             tuples.extend(batch.drain());
         }
-        let outcome = coordinator.join().expect("coordinator thread")?;
+        let outcome = coordinator
+            .join()
+            .map_err(|_| RelalgError::Internal("coordinator thread panicked".into()))??;
         Ok(ExecOutcome {
             relation: Relation::new_unchecked(schema.clone(), tuples),
             elapsed: outcome.elapsed,
@@ -245,6 +377,7 @@ fn open_result_channel(
     plan: &ParallelPlan,
     binding: &QueryBinding,
     config: &ExecConfig,
+    opts: &QueryOptions,
 ) -> Result<(ClientEdge, ResultStream, Arc<QueryCtrl>)> {
     config.validate().map_err(RelalgError::InvalidPlan)?;
     validate_plan(plan)?;
@@ -257,7 +390,17 @@ fn open_result_channel(
     let producers = binding.stages().last().map_or(root_degree, |s| s.degree);
     let schema = binding.result_schema(root)?.clone();
     let (tx, rx, bpool) = client_channel(producers, config.channel_capacity);
-    let ctrl = QueryCtrl::new();
+    // Per-query limits override engine-wide defaults.
+    let deadline = opts
+        .deadline()
+        .or(config.deadline)
+        .map(|d| Instant::now() + d);
+    let budget = match opts.memory_budget().or(config.memory_budget) {
+        Some(limit) => MemoryBudget::with_limit(limit),
+        None => MemoryBudget::unlimited(),
+    };
+    bpool.set_budget(budget.clone());
+    let ctrl = QueryCtrl::with_limits(deadline, budget);
     let stream = ResultStream::new(rx, producers, schema, ctrl.clone());
     Ok(((tx, bpool), stream, ctrl))
 }
@@ -295,6 +438,9 @@ struct QueryRun<'a> {
     spawned: Vec<bool>,
     spawned_instances: usize,
     metrics: Metrics,
+    /// Deterministic fault-injection plan (test harness only).
+    #[cfg(feature = "faults")]
+    fault_plan: Option<crate::faults::FaultPlan>,
 }
 
 impl QueryRun<'_> {
@@ -390,6 +536,7 @@ impl QueryRun<'_> {
                     name: format!("{}op{}", self.ns, op.id),
                     schema: self.binding.schema(op.join)?.clone(),
                     buffer: Vec::new(),
+                    budget: Some(self.ctrl.budget().clone()),
                 },
                 None => {
                     let (tx, bpool) = client.as_ref().expect("taken above");
@@ -406,7 +553,8 @@ impl QueryRun<'_> {
                 .fail
                 .map(|f| f.op == op.id && f.instance == i)
                 .unwrap_or(false);
-            let task = OpTask::join(
+            #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+            let mut task = OpTask::join(
                 op.algorithm,
                 spec.clone(),
                 left,
@@ -420,6 +568,10 @@ impl QueryRun<'_> {
                 fail,
                 Some(self.ctrl.clone()),
             );
+            #[cfg(feature = "faults")]
+            if let Some(plan) = &self.fault_plan {
+                task.arm_fault(plan.arm("join", op.id, i));
+            }
             self.pool.submit(self.priorities[op.id], Box::new(task));
             self.spawned_instances += 1;
         }
@@ -502,7 +654,8 @@ impl QueryRun<'_> {
                     .fail
                     .map(|f| f.op == op_id && f.instance == inst)
                     .unwrap_or(false);
-                let task = OpTask::new(
+                #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+                let mut task = OpTask::new(
                     op,
                     vec![source],
                     output,
@@ -514,6 +667,15 @@ impl QueryRun<'_> {
                     fail,
                     Some(self.ctrl.clone()),
                 );
+                #[cfg(feature = "faults")]
+                if let Some(plan) = &self.fault_plan {
+                    let label = match &stage.kind {
+                        StageKind::Filter { .. } => "filter",
+                        StageKind::Aggregate { .. } => "aggregate",
+                        StageKind::Limit { .. } => "limit",
+                    };
+                    task.arm_fault(plan.arm(label, op_id, inst));
+                }
                 self.pool.submit(self.priorities[op_id], Box::new(task));
                 self.spawned_instances += 1;
             }
@@ -544,14 +706,17 @@ fn run_query(
     binding: &QueryBinding,
     provider: &dyn RelationProvider,
     config: &ExecConfig,
+    opts: &QueryOptions,
     pool: &WorkerPool,
     store: &Arc<FragmentStore>,
     query_id: u64,
     client: ClientEdge,
     ctrl: &Arc<QueryCtrl>,
 ) -> Result<QueryOutcome> {
-    // Config and plan were validated by `open_result_channel` — both
-    // callers go through it before spawning this coordinator.
+    #[cfg(not(feature = "faults"))]
+    let _ = opts; // options beyond deadline/budget are resolved upstream
+                  // Config and plan were validated by `open_result_channel` — both
+                  // callers go through it before spawning this coordinator.
     let n_ops = plan.ops.len();
     let n_stages = binding.stages().len();
     let n_tasks = n_ops + n_stages;
@@ -616,6 +781,7 @@ fn run_query(
                         op.degree(),
                         config.channel_capacity,
                     );
+                    pool.set_budget(ctrl.budget().clone());
                     stream_rx.insert((op.id, side), rxs);
                     if out_stream.insert(*from, (txs, key_col, pool)).is_some() {
                         return Err(RelalgError::InvalidPlan(format!(
@@ -644,6 +810,7 @@ fn run_query(
         for (i, stage) in binding.stages().iter().enumerate() {
             let (txs, rxs, bpool) =
                 operand_channels(prev_degree, stage.degree, config.channel_capacity);
+            bpool.set_budget(ctrl.budget().clone());
             stage_streams += prev_degree * stage.degree;
             stage_rx.push(rxs);
             let entry = (txs, stage.partition_col, bpool);
@@ -712,6 +879,8 @@ fn run_query(
         spawned: vec![false; n_ops],
         spawned_instances: 0,
         metrics,
+        #[cfg(feature = "faults")]
+        fault_plan: opts.fault_plan().cloned(),
     };
 
     let mut instances_left: Vec<usize> = plan
@@ -737,11 +906,52 @@ fn run_query(
         run.release_unspawned_endpoints();
     }
 
+    // Coordinator watchdog: with a deadline or stall timeout configured,
+    // poll for completions on a short tick so limits are enforced even
+    // when every task is parked (e.g. wedged on a dead peer). Without
+    // limits, block exactly as before — zero overhead on the happy path.
+    let watchdog_tick = Duration::from_millis(5);
+    let watchdog = ctrl.deadline().is_some() || config.stall_timeout.is_some();
+    let mut last_progress = (ctrl.progress(), Instant::now());
+
     while received < run.spawned_instances {
-        let (op_id, res) = done_rx
-            .recv()
-            .map_err(|_| RelalgError::InvalidPlan("scheduler channel broke".into()))?;
+        let msg = if watchdog {
+            match done_rx.recv_timeout(watchdog_tick) {
+                Ok(msg) => Some(msg),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(RelalgError::Internal("scheduler channel broke".into()));
+                }
+            }
+        } else {
+            Some(
+                done_rx
+                    .recv()
+                    .map_err(|_| RelalgError::Internal("scheduler channel broke".into()))?,
+            )
+        };
+        let Some((op_id, res)) = msg else {
+            // Watchdog tick: enforce the deadline centrally (tasks also
+            // check it per step) and detect stalled pipelines.
+            if !ctrl.is_aborted() && !ctrl.is_canceled() {
+                if ctrl.deadline_exceeded() {
+                    ctrl.abort(RelalgError::DeadlineExceeded);
+                } else if let Some(timeout) = config.stall_timeout {
+                    let progress = ctrl.progress();
+                    if progress != last_progress.0 {
+                        last_progress = (progress, Instant::now());
+                    } else if last_progress.1.elapsed() >= timeout {
+                        let dump = progress_dump(plan, binding, &instances_left, &run.metrics);
+                        ctrl.abort(RelalgError::Stalled(dump));
+                    }
+                }
+            }
+            continue;
+        };
         received += 1;
+        // Completions are progress too: don't let a long-running final
+        // drain that makes no per-step progress look like a stall.
+        last_progress = (ctrl.progress(), Instant::now());
         if ctrl.is_canceled() && first_err.is_none() {
             // Cancellation arrived while tasks were in flight: stop
             // spawning new waves and let running tasks observe the token.
@@ -782,17 +992,33 @@ fn run_query(
     let elapsed = started.elapsed();
 
     // The query is quiescent: every submitted instance has reported.
-    // Reclaim its namespace in the shared store.
-    store.remove_prefix(&ns);
+    // Reclaim its namespace in the shared store, crediting the freed
+    // fragment bytes back to the query's budget.
+    let freed = store.remove_prefix(&ns);
+    ctrl.budget().credit(freed as u64);
+    run.metrics.peak_bytes = ctrl.budget().peak();
+    run.metrics.panics_contained = ctrl.panics();
 
     if let Some(e) = first_err {
         // A cancelled query reports `Canceled` even when teardown surfaced
-        // racing stream errors first.
+        // racing stream errors first; likewise an aborted query reports
+        // its typed abort reason (deadline / budget / stall / contained
+        // panic), not whichever secondary teardown error arrived first.
         return Err(if ctrl.is_canceled() {
             RelalgError::Canceled
+        } else if let Some(abort) = ctrl.abort_error() {
+            abort
         } else {
             e
         });
+    }
+    // A guardrail can trip on the very last step of the last instance
+    // (e.g. an allocation pushes past the budget while that instance
+    // completes): the abort slot is set but no task is left running to
+    // observe it, so every completion arrived `Ok`. The typed abort still
+    // wins over an otherwise clean finish.
+    if let Some(abort) = ctrl.abort_error() {
+        return Err(abort);
     }
     if run.spawned.iter().any(|s| !s) {
         return Err(RelalgError::InvalidPlan(
@@ -804,6 +1030,32 @@ fn run_query(
         elapsed,
         metrics: run.metrics,
     })
+}
+
+/// Renders one line per operation for [`RelalgError::Stalled`]: the op's
+/// kind and how many of its instances have finished, so a stall dump shows
+/// where the pipeline wedged.
+fn progress_dump(
+    plan: &ParallelPlan,
+    binding: &QueryBinding,
+    instances_left: &[usize],
+    metrics: &Metrics,
+) -> String {
+    let degrees: Vec<usize> = plan
+        .ops
+        .iter()
+        .map(PlanOp::degree)
+        .chain(binding.stages().iter().map(|s| s.degree))
+        .collect();
+    degrees
+        .iter()
+        .enumerate()
+        .map(|(op, degree)| {
+            let done = degree - instances_left.get(op).copied().unwrap_or(0);
+            format!("op{op}[{}] {done}/{degree}", metrics.ops[op].kind.label())
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -1205,5 +1457,181 @@ mod tests {
         }
         assert_eq!(handle.status(), QueryStatus::Finished);
         handle.outcome().unwrap();
+    }
+
+    // --- Guardrails: deadlines, budgets, admission control ---
+
+    #[test]
+    fn expired_deadline_aborts_with_typed_error_and_reclaims() {
+        let (catalog, n) = setup(5, 2_000);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::SP, n, 4);
+        // A zero-remaining deadline: every task sees it expired on its
+        // first step, so the query aborts deterministically.
+        let opts = QueryOptions::new().with_deadline(Duration::from_nanos(1));
+        let err = engine
+            .submit_with(&plan, &binding, opts)
+            .unwrap()
+            .collect()
+            .expect_err("expired deadline must abort");
+        assert!(matches!(err, RelalgError::DeadlineExceeded), "got {err}");
+        assert_eq!(engine.store().total_bytes(), 0, "fragments reclaimed");
+        // Engine unaffected: the same plan completes without a deadline.
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert_eq!(outcome.relation.len(), 2_000);
+        let stats = engine.stats();
+        assert_eq!(stats.queries_timed_out, 1);
+        assert_eq!(stats.queries_completed, 1);
+    }
+
+    #[test]
+    fn tiny_memory_budget_aborts_with_resource_exhausted() {
+        let (catalog, n) = setup(5, 2_000);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        // SP materializes intermediates and builds hash tables: plenty of
+        // charged bytes against a 1-byte budget.
+        let plan = plan_for(&tree, Strategy::SP, n, 4);
+        let opts = QueryOptions::new().with_memory_budget(1);
+        let err = engine
+            .submit_with(&plan, &binding, opts)
+            .unwrap()
+            .collect()
+            .expect_err("1-byte budget must trip");
+        match err {
+            RelalgError::ResourceExhausted { used, budget } => {
+                assert_eq!(budget, 1);
+                assert!(used > 1, "reported usage exceeds the budget: {used}");
+            }
+            other => panic!("expected ResourceExhausted, got {other}"),
+        }
+        assert_eq!(engine.store().total_bytes(), 0, "fragments reclaimed");
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert_eq!(outcome.relation.len(), 2_000, "engine intact after abort");
+        assert_eq!(engine.stats().budget_aborts, 1);
+    }
+
+    #[test]
+    fn generous_budget_does_not_disturb_results_and_reports_peak() {
+        let (catalog, n) = setup(4, 256);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 4).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::SP, n, 3);
+        let opts = QueryOptions::new().with_memory_budget(1 << 30);
+        let mut handle = engine.submit_with(&plan, &binding, opts).unwrap();
+        let relation = handle.stream().collect_relation();
+        assert_eq!(relation.len(), 256);
+        let outcome = handle.outcome().unwrap();
+        assert!(
+            outcome.metrics.peak_bytes > 0,
+            "SP plans charge materialized fragments and hash tables"
+        );
+        assert_eq!(outcome.metrics.panics_contained, 0);
+        assert_eq!(engine.stats().peak_bytes, outcome.metrics.peak_bytes);
+    }
+
+    #[test]
+    fn admission_rejects_beyond_queue_and_recovers() {
+        let (catalog, n) = setup(5, 4_000);
+        let config = ExecConfig {
+            workers: 2,
+            batch_size: 16,
+            channel_capacity: 1,
+            max_concurrent: Some(1),
+            admission_queue: 0, // pure queue-or-reject: no waiting at all
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        // First query holds the only slot (it blocks on client
+        // backpressure, so it stays in flight until we drain it).
+        let mut first = engine.submit(&plan, &binding).unwrap();
+        let mut stream = first.stream();
+        assert!(stream.next_batch().is_some());
+        let err = engine
+            .submit(&plan, &binding)
+            .expect_err("second query must be rejected");
+        assert!(matches!(err, RelalgError::Overloaded), "got {err}");
+        // Drain the first; its slot frees and the engine admits again.
+        while stream.next_batch().is_some() {}
+        drop(stream);
+        first.outcome().unwrap();
+        let outcome = engine.run(&plan, &binding).unwrap();
+        assert_eq!(outcome.relation.len(), 4_000);
+        let stats = engine.stats();
+        assert_eq!(stats.queries_rejected, 1);
+        assert_eq!(stats.queries_completed, 2);
+    }
+
+    #[test]
+    fn admission_queue_serves_waiters_fifo() {
+        let (catalog, n) = setup(4, 512);
+        let config = ExecConfig {
+            workers: 2,
+            max_concurrent: Some(1),
+            admission_queue: 8,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 4).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 3);
+        // Four threads submit through a 1-slot gate; all must complete.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let plan = &plan;
+                let binding = &binding;
+                scope.spawn(move || {
+                    let outcome = engine.run(plan, binding).unwrap();
+                    assert_eq!(outcome.relation.len(), 512);
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.queries_completed, 4);
+        assert_eq!(stats.queries_rejected, 0);
+        assert_eq!(engine.store().total_bytes(), 0);
+    }
+
+    #[test]
+    fn stall_watchdog_aborts_an_undrained_stream() {
+        let (catalog, n) = setup(5, 4_000);
+        // Opt-in stall detection: an idle client IS a stall under this
+        // config, which is exactly what this test exploits.
+        let config = ExecConfig {
+            workers: 2,
+            batch_size: 16,
+            channel_capacity: 1,
+            stall_timeout: Some(Duration::from_millis(100)),
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 5).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 4);
+        let mut handle = engine.submit(&plan, &binding).unwrap();
+        let mut stream = handle.stream();
+        // Pull one batch, then stop draining: the pipeline wedges on
+        // client backpressure and the watchdog must fire.
+        assert!(stream.next_batch().is_some());
+        std::thread::sleep(Duration::from_millis(300));
+        while stream.next_batch().is_some() {}
+        drop(stream);
+        let err = handle.outcome().expect_err("stall must abort");
+        match err {
+            RelalgError::Stalled(dump) => {
+                assert!(dump.contains("op0[join]"), "dump names ops: {dump}")
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+        assert_eq!(engine.store().total_bytes(), 0);
+        assert_eq!(engine.stats().queries_stalled, 1);
     }
 }

@@ -18,14 +18,15 @@
 //! namespace before [`QueryHandle::outcome`] returns. The engine is
 //! immediately reusable.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Receiver;
 use mj_relalg::{RelalgError, Relation, Result, Schema, Tuple};
 
+use crate::budget::MemoryBudget;
 use crate::metrics::Metrics;
 use crate::stream::{Batch, Msg};
 
@@ -48,7 +49,9 @@ const STATE_FAILED: u8 = 2;
 const STATE_CANCELED: u8 = 3;
 
 /// Shared control block of one submitted query: the cancel token the
-/// operator tasks poll and the terminal state the coordinator records.
+/// operator tasks poll, the terminal state the coordinator records, and the
+/// guardrail state (deadline, memory budget, abort reason, progress and
+/// contained-panic counters) added by the robustness layer.
 #[derive(Debug, Default)]
 pub struct QueryCtrl {
     cancel: AtomicBool,
@@ -57,12 +60,36 @@ pub struct QueryCtrl {
     /// and report success instead of an error.
     stop: AtomicBool,
     state: AtomicU8,
+    /// Guardrail abort: like `cancel`, but carries a typed reason (deadline,
+    /// budget, contained panic, stall). First reason wins; every task of the
+    /// query observes it on its next scheduling step and reports it.
+    aborted: AtomicBool,
+    abort: Mutex<Option<RelalgError>>,
+    /// Monotone count of productive task steps, sampled by the coordinator
+    /// watchdog to detect stalled pipelines.
+    progress: AtomicU64,
+    /// Panics contained (converted to `Internal`) within this query.
+    panics: AtomicU64,
+    /// Wall-clock instant after which the query is aborted; `None` = none.
+    deadline: Option<Instant>,
+    /// The query's memory budget (unlimited when no cap was configured).
+    budget: Arc<MemoryBudget>,
 }
 
 impl QueryCtrl {
-    /// Creates a control block in the `Running` state.
+    /// Creates a control block in the `Running` state with no deadline and
+    /// an unlimited budget.
     pub fn new() -> Arc<Self> {
         Arc::new(QueryCtrl::default())
+    }
+
+    /// Creates a control block with guardrails attached.
+    pub fn with_limits(deadline: Option<Instant>, budget: Arc<MemoryBudget>) -> Arc<Self> {
+        Arc::new(QueryCtrl {
+            deadline,
+            budget,
+            ..QueryCtrl::default()
+        })
     }
 
     /// Requests cancellation. Idempotent; observed by every task on its
@@ -87,6 +114,71 @@ impl QueryCtrl {
     /// True once a downstream operator declared the result complete.
     pub fn early_stopped(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Aborts the query with a typed guardrail reason. The first reason
+    /// wins (idempotent for followers); every task observes the abort on
+    /// its next scheduling step, reports the reason exactly once through
+    /// the completion protocol, and the coordinator surfaces it from
+    /// `outcome()` after the usual quiesce/reclaim.
+    pub fn abort(&self, reason: RelalgError) {
+        let mut slot = self.abort.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(reason);
+            drop(slot);
+            self.aborted.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once a guardrail abort has been raised.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// The abort reason, if one has been raised.
+    pub fn abort_error(&self) -> Option<RelalgError> {
+        if !self.is_aborted() {
+            return None;
+        }
+        self.abort
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The query's wall-clock deadline, if one was configured.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once the configured deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The query's memory budget (unlimited when no cap was configured).
+    pub fn budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
+    }
+
+    /// Records one productive task step (watchdog heartbeat).
+    pub fn note_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total productive task steps so far.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Records one contained panic within this query.
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Panics contained within this query so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Records the coordinator's terminal result.

@@ -37,11 +37,15 @@
 //! `QueryGraph`/`generate`/`QueryBinding` assembly in user code.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod binding;
+pub mod budget;
 pub mod config;
 pub mod engine;
 pub mod families;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod handle;
 pub mod metrics;
 pub mod operator;
@@ -52,11 +56,14 @@ pub mod source;
 pub mod stream;
 
 pub use binding::{PipelineStage, QueryBinding, StageKind};
-pub use config::{ExecConfig, FailPoint};
+pub use budget::MemoryBudget;
+pub use config::{ExecConfig, FailPoint, QueryOptions, DEFAULT_ADMISSION_QUEUE};
 pub use engine::{run_plan, Engine, ExecOutcome};
 pub use families::{chain_query_sql, generate_family, star_query_sql, FamilyInstance, QueryFamily};
+#[cfg(feature = "faults")]
+pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use handle::{QueryHandle, QueryOutcome, QueryStatus, ResultStream};
-pub use metrics::{Metrics, OpMetrics, OpMetricsKind};
+pub use metrics::{EngineStats, Metrics, OpMetrics, OpMetricsKind};
 pub use operator::{
     AggregateOp, FilterOp, InputMode, LimitOp, OpKind, OpTask, PhysicalOp, PipeliningJoinOp,
     SimpleJoinOp,

@@ -89,6 +89,12 @@ pub struct Metrics {
     /// Steps that could not progress (channel empty/full) and yielded the
     /// worker instead of parking a thread.
     pub sched_blocked: u64,
+    /// Peak bytes charged against this query's memory budget (hash-build
+    /// state, pooled batch buffers, materialized fragments).
+    pub peak_bytes: u64,
+    /// Operator-task panics contained (converted into a query-scoped typed
+    /// error) while this query ran.
+    pub panics_contained: u64,
 }
 
 impl Metrics {
@@ -100,6 +106,8 @@ impl Metrics {
             streams: 0,
             sched_steps: 0,
             sched_blocked: 0,
+            peak_bytes: 0,
+            panics_contained: 0,
         }
     }
 
@@ -138,6 +146,91 @@ pub struct InstanceStats {
     pub steps: u64,
     /// Steps that ended blocked (yielded the worker without progress).
     pub blocked: u64,
+}
+
+/// Engine-lifetime robustness counters, snapshotted by `Engine::stats()` /
+/// `Database::stats()`. Every count is cumulative since the engine opened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Queries accepted by admission control (includes still-running ones).
+    pub queries_submitted: u64,
+    /// Queries that completed successfully.
+    pub queries_completed: u64,
+    /// Queries that ended in client cancellation.
+    pub queries_canceled: u64,
+    /// Queries that failed with an execution error not counted elsewhere.
+    pub queries_failed: u64,
+    /// Queries rejected by admission control (`Overloaded`).
+    pub queries_rejected: u64,
+    /// Queries aborted for exceeding their deadline (`DeadlineExceeded`).
+    pub queries_timed_out: u64,
+    /// Queries aborted by the stall watchdog (`Stalled`).
+    pub queries_stalled: u64,
+    /// Queries aborted for exceeding their memory budget
+    /// (`ResourceExhausted`).
+    pub budget_aborts: u64,
+    /// Operator-task panics contained across all queries.
+    pub panics_contained: u64,
+    /// Largest per-query peak of budget-charged bytes observed.
+    pub peak_bytes: u64,
+}
+
+pub(crate) mod counters {
+    //! Atomic backing store for [`EngineStats`](super::EngineStats).
+
+    use super::EngineStats;
+    use crate::handle::QueryOutcome;
+    use mj_relalg::{RelalgError, Result};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Shared atomic counters owned by the engine; coordinator threads
+    /// record into them as queries finish.
+    #[derive(Debug, Default)]
+    pub struct EngineCounters {
+        pub submitted: AtomicU64,
+        pub completed: AtomicU64,
+        pub canceled: AtomicU64,
+        pub failed: AtomicU64,
+        pub rejected: AtomicU64,
+        pub timed_out: AtomicU64,
+        pub stalled: AtomicU64,
+        pub budget_aborts: AtomicU64,
+        pub panics_contained: AtomicU64,
+        pub peak_bytes: AtomicU64,
+    }
+
+    impl EngineCounters {
+        /// Classifies one finished query's result into the counters.
+        pub fn record(&self, result: &Result<QueryOutcome>, panics: u64, peak: u64) {
+            self.panics_contained.fetch_add(panics, Ordering::Relaxed);
+            self.peak_bytes.fetch_max(peak, Ordering::Relaxed);
+            let bucket = match result {
+                Ok(_) => &self.completed,
+                Err(RelalgError::Canceled) => &self.canceled,
+                Err(RelalgError::DeadlineExceeded) => &self.timed_out,
+                Err(RelalgError::Stalled(_)) => &self.stalled,
+                Err(RelalgError::ResourceExhausted { .. }) => &self.budget_aborts,
+                Err(_) => &self.failed,
+            };
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// A consistent-enough snapshot for reporting.
+        pub fn snapshot(&self) -> EngineStats {
+            EngineStats {
+                queries_submitted: self.submitted.load(Ordering::Relaxed),
+                queries_completed: self.completed.load(Ordering::Relaxed),
+                queries_canceled: self.canceled.load(Ordering::Relaxed),
+                queries_failed: self.failed.load(Ordering::Relaxed),
+                queries_rejected: self.rejected.load(Ordering::Relaxed),
+                queries_timed_out: self.timed_out.load(Ordering::Relaxed),
+                queries_stalled: self.stalled.load(Ordering::Relaxed),
+                budget_aborts: self.budget_aborts.load(Ordering::Relaxed),
+                panics_contained: self.panics_contained.load(Ordering::Relaxed),
+                peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,10 @@ pub enum OutputPort {
         schema: Arc<Schema>,
         /// Accumulated tuples.
         buffer: Vec<Tuple>,
+        /// The owning query's memory budget: the stored fragment's bytes
+        /// are charged on write and credited back when the coordinator
+        /// reclaims the query's namespace.
+        budget: Option<Arc<crate::budget::MemoryBudget>>,
     },
     /// The root of a submitted query: batches stream to the client's
     /// [`ResultStream`](crate::handle::ResultStream) through a bounded
@@ -129,15 +133,19 @@ impl OutputPort {
                 name,
                 schema,
                 buffer,
+                budget,
             } => {
-                store.put(
-                    *proc,
-                    name.clone(),
-                    Arc::new(Relation::new_unchecked(
-                        schema.clone(),
-                        std::mem::take(buffer),
-                    )),
-                )?;
+                let fragment = Arc::new(Relation::new_unchecked(
+                    schema.clone(),
+                    std::mem::take(buffer),
+                ));
+                if let Some(budget) = budget {
+                    // Charge unconditionally; enforcement happens at the
+                    // consuming tasks' next budget poll. The coordinator
+                    // credits these bytes back via `remove_prefix`.
+                    budget.charge(fragment.est_bytes() as u64);
+                }
+                store.put(*proc, name.clone(), fragment)?;
                 Ok(true)
             }
             OutputPort::Sink { collected, buffer } => {
@@ -194,11 +202,33 @@ mod tests {
             name: "op0".into(),
             schema: schema(),
             buffer: Vec::new(),
+            budget: None,
         };
         port.emit(&mut vec![Tuple::from_ints(&[7])]).unwrap();
         port.finish().unwrap();
         assert_eq!(store.get(1, "op0").unwrap().len(), 1);
         assert!(store.get(0, "op0").is_err());
+    }
+
+    #[test]
+    fn materialize_charges_budget_for_stored_fragment() {
+        let store = Arc::new(FragmentStore::new(1));
+        let budget = crate::budget::MemoryBudget::unlimited();
+        let mut port = OutputPort::Materialize {
+            store: store.clone(),
+            proc: 0,
+            name: "q1:op0".into(),
+            schema: schema(),
+            buffer: Vec::new(),
+            budget: Some(budget.clone()),
+        };
+        port.emit(&mut vec![Tuple::from_ints(&[7]), Tuple::from_ints(&[8])])
+            .unwrap();
+        port.finish().unwrap();
+        let stored = store.get(0, "q1:op0").unwrap().est_bytes() as u64;
+        assert_eq!(budget.used(), stored);
+        let freed = store.remove_prefix("q1:") as u64;
+        assert_eq!(freed, stored, "reclamation reports the bytes to credit");
     }
 
     #[test]

@@ -227,8 +227,19 @@ pub struct OpTask {
     startup_deadline: Option<Instant>,
     fail: bool,
     reported: bool,
-    /// The query's cancel/early-stop tokens; observed at every step.
+    /// The query's cancel/early-stop/abort tokens; observed at every step.
     ctrl: Option<Arc<QueryCtrl>>,
+    /// Bytes of operator state currently charged against the query's
+    /// memory budget (synced to `op.est_bytes()` after every step,
+    /// credited back on completion).
+    charged: u64,
+    /// Bytes charged by an injected allocation spike (credited back on
+    /// completion so sibling queries see clean global accounting).
+    #[cfg(feature = "faults")]
+    spiked: u64,
+    /// Armed fault-injection point, if any (test harness).
+    #[cfg(feature = "faults")]
+    fault: Option<crate::faults::ArmedFault>,
 }
 
 impl OpTask {
@@ -272,7 +283,19 @@ impl OpTask {
             fail,
             reported: false,
             ctrl,
+            charged: 0,
+            #[cfg(feature = "faults")]
+            spiked: 0,
+            #[cfg(feature = "faults")]
+            fault: None,
         }
+    }
+
+    /// Arms a resolved fault-injection point on this task (test harness;
+    /// only available with the `faults` cargo feature).
+    #[cfg(feature = "faults")]
+    pub fn arm_fault(&mut self, fault: Option<crate::faults::ArmedFault>) {
+        self.fault = fault;
     }
 
     /// Convenience constructor for a hash-join task — the two join
@@ -310,8 +333,47 @@ impl OpTask {
         if !self.reported {
             self.reported = true;
             self.phase = Phase::Done;
+            self.release_budget();
             let _ = self.done_tx.send((self.op_id, result));
         }
+    }
+
+    /// Returns every byte this instance charged against the query's memory
+    /// budget (operator state plus injected spikes). Called exactly once,
+    /// from `report`.
+    fn release_budget(&mut self) {
+        if let Some(ctrl) = &self.ctrl {
+            #[allow(unused_mut)]
+            let mut total = self.charged;
+            #[cfg(feature = "faults")]
+            {
+                total += self.spiked;
+                self.spiked = 0;
+            }
+            if total > 0 {
+                ctrl.budget().credit(total);
+            }
+        }
+        self.charged = 0;
+    }
+
+    /// Syncs the budget charge to the operator's current state size and
+    /// reports whether the query's budget is now exhausted.
+    fn sync_budget(&mut self) -> bool {
+        let Some(ctrl) = &self.ctrl else {
+            return false;
+        };
+        let budget = ctrl.budget();
+        let held = self.op.est_bytes() as u64;
+        match held.cmp(&self.charged) {
+            std::cmp::Ordering::Greater => {
+                budget.charge(held - self.charged);
+            }
+            std::cmp::Ordering::Less => budget.credit(self.charged - held),
+            std::cmp::Ordering::Equal => {}
+        }
+        self.charged = held;
+        budget.is_exhausted()
     }
 
     /// Emits `out[out_pos..]`; `Ok(false)` means the output is
@@ -471,6 +533,31 @@ impl OpTask {
     }
 
     fn try_step(&mut self) -> Result<Step> {
+        #[cfg(feature = "faults")]
+        if let Some(fault) = self.fault.as_mut() {
+            if fault.stalling() {
+                return Ok(Step::Blocked);
+            }
+            match fault.fire(self.stats.steps) {
+                Some(crate::faults::FaultKind::Panic) => panic!(
+                    "injected panic at op {} instance {}",
+                    self.op_id, self.instance
+                ),
+                Some(crate::faults::FaultKind::AllocSpike { bytes }) => {
+                    if let Some(ctrl) = &self.ctrl {
+                        // Raise the abort immediately: the spike may land on
+                        // this task's final step, after which no poll of the
+                        // budget would run before the query completes.
+                        if !ctrl.budget().charge(bytes) {
+                            ctrl.abort(ctrl.budget().exhausted_error());
+                        }
+                        self.spiked += bytes;
+                    }
+                }
+                Some(crate::faults::FaultKind::Stall) => return Ok(Step::Blocked),
+                None => {}
+            }
+        }
         match self.phase {
             Phase::Start => self.step_start(),
             Phase::Build => self.step_build(),
@@ -501,12 +588,61 @@ impl Task for OpTask {
                     self.report(Ok(stats));
                     return Step::Done;
                 }
+                // A guardrail abort (deadline, budget, contained panic,
+                // stall) is a cancel with a typed reason: every task of
+                // the query reports that reason and winds down.
+                if let Some(reason) = ctrl.abort_error() {
+                    self.report(Err(reason));
+                    return Step::Done;
+                }
+                // Deadline enforcement at quantum granularity: the first
+                // instance past the deadline raises the abort for the
+                // whole query.
+                if ctrl.deadline_exceeded() {
+                    ctrl.abort(RelalgError::DeadlineExceeded);
+                    self.report(Err(RelalgError::DeadlineExceeded));
+                    return Step::Done;
+                }
             }
         }
-        match self.try_step() {
+        // Contain panics at the task boundary: a panicking operator must
+        // unwind its own query, not the worker thread or the process.
+        // `AssertUnwindSafe` is sound here because on panic the task is
+        // immediately made inert (reported + `Phase::Done`), so its
+        // possibly broken operator state is never touched again.
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.try_step()));
+        let stepped = match stepped {
+            Ok(result) => result,
+            Err(payload) => {
+                let reason = RelalgError::Internal(panic_message(payload.as_ref()));
+                if let Some(ctrl) = &self.ctrl {
+                    ctrl.note_panic();
+                    ctrl.abort(reason.clone());
+                }
+                self.report(Err(reason));
+                return Step::Done;
+            }
+        };
+        match stepped {
             Ok(step) => {
                 if step == Step::Blocked {
                     self.stats.blocked += 1;
+                } else if step == Step::Progress {
+                    if let Some(ctrl) = &self.ctrl {
+                        ctrl.note_progress();
+                    }
+                }
+                // Memory guardrail: keep the budget synced to the
+                // operator's held state (hash tables, aggregation groups)
+                // and abort this query — engine intact — once its cap is
+                // crossed.
+                if self.phase != Phase::Done && self.sync_budget() {
+                    if let Some(ctrl) = &self.ctrl {
+                        let reason = ctrl.budget().exhausted_error();
+                        ctrl.abort(reason.clone());
+                        self.report(Err(reason));
+                        return Step::Done;
+                    }
                 }
                 step
             }
@@ -530,6 +666,17 @@ impl Task for OpTask {
                 Step::Done
             }
         }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
     }
 }
 

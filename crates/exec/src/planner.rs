@@ -546,10 +546,12 @@ impl Planner {
             .with_scan_filters(scan_filters)
             .with_stages(stages)?;
         all_choices.sort_by(|a, b| {
+            // NaN-tolerant: a cost model returning NaN sorts last instead
+            // of panicking the planning thread.
             a.estimate
                 .makespan
                 .partial_cmp(&b.estimate.makespan)
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         Ok(PlannedQuery {
             tree,

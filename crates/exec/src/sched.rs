@@ -31,9 +31,18 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Locks a std mutex, tolerating poison: the pool's queue state is a plain
+/// `VecDeque` that is never left half-mutated by the panicking code paths
+/// (task panics are contained *outside* the lock), so recovering the inner
+/// guard is always sound — and a single panicked thread must not take the
+/// whole scheduler down with `PoisonError` panics on every other worker.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The outcome of one cooperative scheduling step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +119,10 @@ struct Shared {
     submitted: AtomicU64,
     /// Steps executed across all workers (diagnostics).
     steps: AtomicU64,
+    /// Task panics the pool's backstop `catch_unwind` contained
+    /// (diagnostics; the task layer normally contains its own panics
+    /// before they ever reach the worker loop).
+    panics: AtomicU64,
 }
 
 /// Worker threads ever spawned by any pool in this process — lets tests
@@ -152,6 +165,7 @@ impl WorkerPool {
             ready: Condvar::new(),
             submitted: AtomicU64::new(0),
             steps: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -178,14 +192,14 @@ impl WorkerPool {
     /// Worker threads currently owned by this pool — constant from
     /// construction to shutdown, however many tasks are submitted.
     pub fn threads(&self) -> usize {
-        self.handles.lock().expect("handles lock").len()
+        lock(&self.handles).len()
     }
 
     /// Enqueues a task at `priority` (lower waves start first; see the
     /// module docs for the rotation discipline).
     pub fn submit(&self, priority: usize, task: Box<dyn Task>) {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        let mut queue = self.shared.queue.lock().expect("queue lock");
+        let mut queue = lock(&self.shared.queue);
         queue.admit(Queued { task, priority });
         drop(queue);
         self.shared.ready.notify_one();
@@ -203,18 +217,24 @@ impl WorkerPool {
 
     /// Tasks currently queued (excluding those mid-step on a worker).
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").len()
+        lock(&self.shared.queue).len()
+    }
+
+    /// Task panics contained by the pool's backstop `catch_unwind` (the
+    /// worker thread survived each one).
+    pub fn panics_contained(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock(&self.shared.queue);
             queue.shutdown = true;
         }
         self.shared.ready.notify_all();
-        for h in self.handles.lock().expect("handles lock").drain(..) {
+        for h in lock(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -226,7 +246,7 @@ fn worker_loop(shared: &Shared) {
     let mut blocked_streak = 0usize;
     loop {
         let (queued, queue_len) = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = lock(&shared.queue);
             loop {
                 if queue.shutdown {
                     // Drop still-queued tasks: their Drop impls release
@@ -239,7 +259,10 @@ fn worker_loop(shared: &Shared) {
                 if let Some(q) = queue.pop() {
                     break (q, queue.len());
                 }
-                queue = shared.ready.wait(queue).expect("queue lock");
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
 
@@ -249,14 +272,14 @@ fn worker_loop(shared: &Shared) {
         match step {
             Ok(Step::Progress) => {
                 blocked_streak = 0;
-                let mut queue = shared.queue.lock().expect("queue lock");
+                let mut queue = lock(&shared.queue);
                 queue.requeue(queued);
                 drop(queue);
                 shared.ready.notify_one();
             }
             Ok(Step::Blocked) => {
                 blocked_streak += 1;
-                let mut queue = shared.queue.lock().expect("queue lock");
+                let mut queue = lock(&shared.queue);
                 queue.requeue(queued);
                 drop(queue);
                 // Everyone this worker has seen lately is blocked: back off
@@ -275,6 +298,7 @@ fn worker_loop(shared: &Shared) {
             Err(_panic) => {
                 // A panicking task is dropped (its Drop reports the
                 // failure to its query); the worker itself survives.
+                shared.panics.fetch_add(1, Ordering::Relaxed);
                 blocked_streak = 0;
                 drop(queued);
             }
@@ -486,5 +510,6 @@ mod tests {
             }),
         );
         wait_for(&counter, 5);
+        assert_eq!(pool.panics_contained(), 1, "backstop counter ticks");
     }
 }

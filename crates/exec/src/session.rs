@@ -38,9 +38,10 @@ use mj_relalg::ops::AggFunc;
 use mj_relalg::{CmpOp, DataType, Predicate, RelalgError, Relation, RelationProvider, Value};
 use mj_storage::Catalog;
 
-use crate::config::ExecConfig;
+use crate::config::{ExecConfig, QueryOptions};
 use crate::engine::Engine;
 use crate::handle::QueryHandle;
+use crate::metrics::EngineStats;
 use crate::planner::{PlannedQuery, Planner, PlannerOptions};
 
 /// The top-level error of the session API, unifying the per-crate error
@@ -69,6 +70,25 @@ pub enum MjError {
     Exec(RelalgError),
     /// The query was cancelled before it completed.
     Canceled,
+    /// The query ran past its deadline and was aborted.
+    DeadlineExceeded,
+    /// The query exceeded its memory budget and was aborted; the engine
+    /// and its sibling queries are unaffected.
+    ResourceExhausted {
+        /// Bytes the query had charged when the budget tripped.
+        used: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// The pipeline made no progress for the configured stall timeout;
+    /// the payload is a per-operator progress dump.
+    Stalled(String),
+    /// A worker task panicked; the panic was contained to this query and
+    /// converted into this error (the payload is the panic message).
+    Internal(String),
+    /// The engine's concurrent-query limit and admission wait queue are
+    /// both full; the submission was rejected without running.
+    Overloaded,
 }
 
 impl MjError {
@@ -114,6 +134,17 @@ impl fmt::Display for MjError {
             MjError::Plan(e) => write!(f, "planning failed: {e}"),
             MjError::Exec(e) => write!(f, "execution failed: {e}"),
             MjError::Canceled => write!(f, "query canceled"),
+            MjError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            MjError::ResourceExhausted { used, budget } => write!(
+                f,
+                "query memory budget exhausted: {used} bytes used of {budget} allowed"
+            ),
+            MjError::Stalled(dump) => write!(f, "query stalled: {dump}"),
+            MjError::Internal(msg) => write!(f, "internal error (contained panic): {msg}"),
+            MjError::Overloaded => write!(
+                f,
+                "engine overloaded: concurrent query limit and wait queue are full"
+            ),
         }
     }
 }
@@ -138,6 +169,13 @@ impl From<RelalgError> for MjError {
     fn from(e: RelalgError) -> Self {
         match e {
             RelalgError::Canceled => MjError::Canceled,
+            RelalgError::DeadlineExceeded => MjError::DeadlineExceeded,
+            RelalgError::ResourceExhausted { used, budget } => {
+                MjError::ResourceExhausted { used, budget }
+            }
+            RelalgError::Stalled(dump) => MjError::Stalled(dump),
+            RelalgError::Internal(msg) => MjError::Internal(msg),
+            RelalgError::Overloaded => MjError::Overloaded,
             other => MjError::Exec(other),
         }
     }
@@ -267,10 +305,26 @@ impl Database {
     /// [`QueryHandle`] immediately. Results stream through
     /// [`QueryHandle::stream`] while the query runs on the shared pool.
     pub fn query(&self, text: &str) -> MjResult<QueryHandle> {
+        self.query_with(text, QueryOptions::default())
+    }
+
+    /// [`query`](Self::query) with per-query [`QueryOptions`]: a deadline
+    /// and/or memory budget that override the session-wide defaults in
+    /// [`ExecConfig`]. Limit violations surface as typed errors on the
+    /// handle ([`MjError::DeadlineExceeded`], [`MjError::ResourceExhausted`])
+    /// — never as a process abort — and leave the session reusable.
+    pub fn query_with(&self, text: &str, opts: QueryOptions) -> MjResult<QueryHandle> {
         let planned = self.plan(text)?;
         self.engine
-            .submit(&planned.plan, &planned.binding)
+            .submit_with(&planned.plan, &planned.binding, opts)
             .map_err(MjError::from)
+    }
+
+    /// Engine-lifetime robustness counters: completions, cancellations,
+    /// timeouts, budget aborts, contained panics, admission rejections,
+    /// peak charged bytes.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// Plans and submits an already-validated [`JoinQuery`] (the

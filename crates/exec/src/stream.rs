@@ -30,6 +30,16 @@ pub struct BatchPool {
     limit: usize,
     takes: AtomicU64,
     misses: AtomicU64,
+    /// The owning query's memory budget, when one is attached: allocating
+    /// takes charge it, dropped buffers credit it, and the remainder is
+    /// credited when the pool itself drops at query teardown.
+    budget: Mutex<Option<Arc<crate::budget::MemoryBudget>>>,
+    charged: AtomicU64,
+}
+
+/// Budget bytes attributed to one pooled buffer of `capacity` tuples.
+fn buffer_bytes(capacity: usize) -> u64 {
+    (capacity * std::mem::size_of::<Tuple>()) as u64
 }
 
 impl BatchPool {
@@ -40,7 +50,15 @@ impl BatchPool {
             limit: limit.max(1),
             takes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            budget: Mutex::new(None),
+            charged: AtomicU64::new(0),
         })
+    }
+
+    /// Attaches the owning query's memory budget: every buffer this pool
+    /// allocates from here on is charged against it.
+    pub fn set_budget(&self, budget: Arc<crate::budget::MemoryBudget>) {
+        *self.budget.lock() = Some(budget);
     }
 
     /// Takes a spare buffer, or allocates one of `capacity`.
@@ -50,6 +68,11 @@ impl BatchPool {
             Some(buf) => buf,
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(budget) = self.budget.lock().as_ref() {
+                    budget.charge(buffer_bytes(capacity));
+                    self.charged
+                        .fetch_add(buffer_bytes(capacity), Ordering::Relaxed);
+                }
                 Vec::with_capacity(capacity)
             }
         }
@@ -58,9 +81,44 @@ impl BatchPool {
     /// Returns an emptied buffer for reuse (dropped if the pool is full).
     pub fn put(&self, mut buf: Vec<Tuple>) {
         buf.clear();
-        let mut free = self.free.lock();
-        if free.len() < self.limit {
-            free.push(buf);
+        let capacity = buf.capacity();
+        let dropped = {
+            let mut free = self.free.lock();
+            if free.len() < self.limit {
+                free.push(buf);
+                false
+            } else {
+                true
+            }
+        };
+        if dropped {
+            self.credit(buffer_bytes(capacity));
+        }
+    }
+
+    /// Credits up to `bytes` back to the attached budget (bounded by what
+    /// this pool actually charged, so shared edges never over-credit).
+    fn credit(&self, bytes: u64) {
+        if let Some(budget) = self.budget.lock().as_ref() {
+            let mut charged = self.charged.load(Ordering::Relaxed);
+            loop {
+                let credit = bytes.min(charged);
+                if credit == 0 {
+                    return;
+                }
+                match self.charged.compare_exchange_weak(
+                    charged,
+                    charged - credit,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        budget.credit(credit);
+                        return;
+                    }
+                    Err(seen) => charged = seen,
+                }
+            }
         }
     }
 
@@ -89,6 +147,19 @@ impl BatchPool {
             return 1.0;
         }
         1.0 - self.misses() as f64 / takes as f64
+    }
+}
+
+impl Drop for BatchPool {
+    fn drop(&mut self) {
+        // Query teardown: return whatever the edge still holds (pooled
+        // spares and in-flight buffers) to the budget.
+        let remaining = self.charged.load(Ordering::Relaxed);
+        if remaining > 0 {
+            if let Some(budget) = self.budget.lock().as_ref() {
+                budget.credit(remaining);
+            }
+        }
     }
 }
 
@@ -713,6 +784,23 @@ mod tests {
         assert_eq!(pool.takes(), 2);
         assert_eq!(pool.misses(), 1);
         assert!((pool.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_charges_and_credits_attached_budget() {
+        let budget = crate::budget::MemoryBudget::unlimited();
+        let pool = BatchPool::new(1);
+        pool.set_budget(budget.clone());
+        let per = (4 * std::mem::size_of::<Tuple>()) as u64;
+        let a = pool.take(4);
+        let b = pool.take(4);
+        assert_eq!(budget.used(), 2 * per, "allocating takes charge");
+        pool.put(a);
+        assert_eq!(budget.used(), 2 * per, "pooled spares stay charged");
+        pool.put(b);
+        assert_eq!(budget.used(), per, "overflow drops credit back");
+        drop(pool);
+        assert_eq!(budget.used(), 0, "pool teardown returns the remainder");
     }
 
     #[test]

@@ -34,6 +34,28 @@ pub enum RelalgError {
     /// operator tasks that observe their query's cancel token and by the
     /// coordinator once a cancelled query has quiesced.
     Canceled,
+    /// The query ran past its wall-clock deadline and was aborted by the
+    /// guardrail layer (per-step deadline checks plus the coordinator
+    /// watchdog).
+    DeadlineExceeded,
+    /// The query charged more bytes against its memory budget than the
+    /// configured cap and was aborted before it could endanger the process.
+    ResourceExhausted {
+        /// Bytes charged at the moment the budget trip was observed.
+        used: u64,
+        /// The configured budget cap in bytes.
+        budget: u64,
+    },
+    /// The coordinator watchdog saw no task progress for the configured
+    /// stall window; the payload is a per-operator progress dump.
+    Stalled(String),
+    /// An operator task panicked; the panic was contained by the worker
+    /// pool and converted into this query-scoped error. The payload is the
+    /// panic message.
+    Internal(String),
+    /// Admission control rejected the query: the engine is already running
+    /// `max_concurrent` queries and the FIFO wait queue is full.
+    Overloaded,
 }
 
 impl fmt::Display for RelalgError {
@@ -51,6 +73,21 @@ impl fmt::Display for RelalgError {
             RelalgError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             RelalgError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
             RelalgError::Canceled => write!(f, "query canceled"),
+            RelalgError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            RelalgError::ResourceExhausted { used, budget } => {
+                write!(
+                    f,
+                    "query memory budget exhausted: {used} bytes used of {budget} allowed"
+                )
+            }
+            RelalgError::Stalled(dump) => write!(f, "query stalled: {dump}"),
+            RelalgError::Internal(msg) => write!(f, "internal error (contained panic): {msg}"),
+            RelalgError::Overloaded => {
+                write!(
+                    f,
+                    "engine overloaded: concurrent query limit and wait queue are full"
+                )
+            }
         }
     }
 }

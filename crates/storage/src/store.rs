@@ -103,10 +103,20 @@ impl FragmentStore {
 
     /// Drops every fragment whose name starts with `prefix` on all nodes —
     /// the reclamation hook for per-query namespaces in a shared store.
-    pub fn remove_prefix(&self, prefix: &str) {
+    /// Returns the estimated bytes freed, so the caller can credit them
+    /// back to the owning query's memory budget.
+    pub fn remove_prefix(&self, prefix: &str) -> usize {
+        let mut freed = 0usize;
         for n in self.snapshot() {
-            n.write().retain(|name, _| !name.starts_with(prefix));
+            n.write().retain(|name, rel| {
+                let keep = !name.starts_with(prefix);
+                if !keep {
+                    freed += rel.est_bytes();
+                }
+                keep
+            });
         }
+        freed
     }
 
     /// Approximate bytes resident at `node`.
@@ -203,7 +213,10 @@ mod tests {
         s.put(3, "q1:op0", rel(1)).unwrap();
         s.put(0, "q1:op1", rel(2)).unwrap();
         s.put(0, "q2:op0", rel(3)).unwrap();
-        s.remove_prefix("q1:");
+        let before = s.total_bytes();
+        let freed = s.remove_prefix("q1:");
+        assert_eq!(freed, before - s.total_bytes(), "freed bytes reported");
+        assert!(freed > 0);
         assert!(s.collect("q1:op0").is_empty());
         assert!(s.collect("q1:op1").is_empty());
         assert_eq!(s.collect("q2:op0").len(), 1, "other queries untouched");
