@@ -110,7 +110,12 @@ fn assert_batch_pool_hit_rate() {
     const BATCH: usize = 64;
     const TUPLES: i64 = 100_000;
 
-    let (txs, rxs, pool) = operand_channels(PRODUCERS, CONSUMERS, CAPACITY);
+    let (txs, rxs, pool) = operand_channels(
+        PRODUCERS,
+        CONSUMERS,
+        CAPACITY,
+        mj_relalg::column::ColumnLayout::ints(1),
+    );
     let consumers: Vec<_> = rxs
         .into_iter()
         .map(|rx| {

@@ -31,6 +31,7 @@ use mj_plan::cardinality::{node_cards, UniformOneToOne};
 use mj_plan::cost::{tree_costs, CostModel};
 use mj_plan::query::regular_join_spec;
 use mj_plan::shapes::{build, Shape};
+use mj_relalg::column::ColumnLayout;
 use mj_relalg::{Result, Tuple};
 use mj_storage::{Catalog, WisconsinGenerator};
 use serde::{JsonValue, Serialize};
@@ -149,8 +150,12 @@ fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> 
         });
     }
 
-    let (txs, rxs, pool) =
-        operand_channels(workers, workers, ExecConfig::default().channel_capacity);
+    let (txs, rxs, pool) = operand_channels(
+        workers,
+        workers,
+        ExecConfig::default().channel_capacity,
+        ColumnLayout::ints(6),
+    );
     let batch = ExecConfig::default().batch_size;
 
     // Consumers: one pipelining-join instance per worker; the build side
@@ -205,7 +210,7 @@ fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> 
                         while remaining > 0 {
                             match rx.recv() {
                                 Ok(Msg::Batch(b)) => {
-                                    for t in b.tuples() {
+                                    for t in &b.to_tuples() {
                                         seen += 1;
                                         let key = t.int(spec.right_key)?;
                                         for l in left_table.probe(key) {
@@ -266,7 +271,7 @@ fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> 
                                     Vec::with_capacity(batch),
                                 );
                                 txs[dest]
-                                    .send(Msg::Batch(mj_exec::stream::Batch::unpooled(full)))
+                                    .send(Msg::Batch(mj_exec::stream::Batch::from_tuples(&full)?))
                                     .map_err(|_| {
                                         mj_relalg::RelalgError::InvalidPlan(
                                             "consumer hung up".into(),
@@ -277,7 +282,7 @@ fn hot_path(n: usize, workers: usize, movement: Movement) -> Result<HotPathRun> 
                         for (dest, buf) in buffers.into_iter().enumerate() {
                             if !buf.is_empty() {
                                 txs[dest]
-                                    .send(Msg::Batch(mj_exec::stream::Batch::unpooled(buf)))
+                                    .send(Msg::Batch(mj_exec::stream::Batch::from_tuples(&buf)?))
                                     .map_err(|_| {
                                         mj_relalg::RelalgError::InvalidPlan(
                                             "consumer hung up".into(),
@@ -1698,6 +1703,248 @@ pub fn validate_bench6_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One timed kernel mode of the columnar-vs-row benchmark.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct KernelRun {
+    /// Probe rows pushed through the kernel.
+    pub rows: u64,
+    /// Join matches produced (must agree across modes).
+    pub matches: u64,
+    /// Best-of-reps wall-clock seconds (build + probe + output assembly).
+    pub elapsed_s: f64,
+    /// Probe rows per second at that best time.
+    pub rows_per_sec: f64,
+}
+
+/// The BENCH_1 join hot path re-measured kernel-for-kernel: the retained
+/// row-at-a-time join ([`SimpleJoinState`](mj_join::SimpleJoinState):
+/// per-`Tuple` build, per-`Tuple` probe, one output `Tuple` per match)
+/// against the columnar kernel ([`ColumnarTable`](mj_join::ColumnarTable):
+/// batch build over a dense key column, `probe_into` match-pair vectors,
+/// `append_concat_gather` output assembly). Both consume the same
+/// relations in the same batch rhythm and must produce the same match
+/// count. The checked-in baseline must show `speedup >= 1.3`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct JoinKernelComparison {
+    /// Rows per relation.
+    pub rows: u64,
+    /// Probe-batch granularity (the engine's default batch size).
+    pub batch_rows: usize,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// The seed's per-tuple kernel.
+    pub row_path: KernelRun,
+    /// The vectorized kernel.
+    pub columnar: KernelRun,
+    /// `row_path.elapsed_s / columnar.elapsed_s` (> 1 means the columnar
+    /// kernel wins).
+    pub speedup: f64,
+}
+
+/// The whole `BENCH_7.json` document: the columnar flip measured three
+/// ways — the join kernel in isolation, and the BENCH_5 pushdown chain
+/// plus the BENCH_6 guardrail-overhead scenario re-run end-to-end on the
+/// columnar engine (CI gates the latter two against the row-era
+/// baselines: no more than 5% regression).
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench7Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// Columnar vs row-path join kernels.
+    pub join_kernels: JoinKernelComparison,
+    /// The BENCH_5 selective pushdown chain on the columnar engine.
+    pub pushdown: OperatorComparison,
+    /// The BENCH_6 guardrails-on/off chain on the columnar engine.
+    pub guardrail_overhead: OverheadComparison,
+}
+
+/// Measures the row-path and columnar join kernels over identical data:
+/// `n`-row build and probe relations in the Wisconsin shape
+/// (`unique1, unique2, filler`), joined on a permutation key (every probe
+/// row matches exactly once), output projected to three columns. Probes
+/// arrive in `batch_rows` chunks and the output buffer is drained per
+/// chunk — the engine's flush rhythm — so neither mode gets to amortize
+/// into one giant allocation.
+pub fn join_kernel_comparison(n: usize, reps: usize) -> Result<JoinKernelComparison> {
+    use mj_relalg::column::ColumnBatch;
+    use mj_relalg::{EquiJoin, Projection};
+
+    const BATCH_ROWS: usize = 1024;
+    let mut rels = WisconsinGenerator::new(n, 7).generate_named("J", 2);
+    let (_, probe_rel) = rels.pop().expect("two relations");
+    let (_, build_rel) = rels.pop().expect("two relations");
+    // Join on unique1 = unique1, keep (build.unique2, key, probe.unique2).
+    let spec = EquiJoin::new(0, 0, Projection::new(vec![1, 0, 4]));
+
+    // Row path: the seed's per-tuple kernel, kept in mj-join.
+    let mut row = KernelRun {
+        rows: n as u64,
+        matches: 0,
+        elapsed_s: f64::INFINITY,
+        rows_per_sec: 0.0,
+    };
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let mut state = mj_join::SimpleJoinState::with_capacity(spec.clone(), n);
+        for t in build_rel.tuples() {
+            state.build(t.clone())?;
+        }
+        state.finish_build();
+        let mut matches = 0u64;
+        let mut out: Vec<Tuple> = Vec::new();
+        for chunk in probe_rel.tuples().chunks(BATCH_ROWS) {
+            for t in chunk {
+                state.probe(t, &mut out)?;
+            }
+            matches += out.len() as u64;
+            out.clear(); // flushed downstream
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed < row.elapsed_s {
+            row.elapsed_s = elapsed;
+            row.rows_per_sec = n as f64 / elapsed;
+        }
+        row.matches = matches;
+    }
+
+    // Columnar path: batch build, vectorized probe, gathered output.
+    let mut col = KernelRun {
+        rows: n as u64,
+        matches: 0,
+        elapsed_s: f64::INFINITY,
+        rows_per_sec: 0.0,
+    };
+    let build_cols = ColumnBatch::from_relation(&build_rel)?;
+    let probe_cols = ColumnBatch::from_relation(&probe_rel)?;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let mut table = mj_join::ColumnarTable::with_capacity(n);
+        table.insert_batch(&build_cols, spec.left_key, 0..build_cols.rows())?;
+        let keys = probe_cols.int_col(spec.right_key)?;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut out = ColumnBatch::shapeless();
+        let mut matches = 0u64;
+        let mut start = 0;
+        while start < probe_cols.rows() {
+            let end = (start + BATCH_ROWS).min(probe_cols.rows());
+            pairs.clear();
+            table.probe_into(keys, start..end, &mut pairs);
+            out.append_concat_gather(table.rows(), &probe_cols, spec.projection.cols(), &pairs)?;
+            matches += out.rows() as u64;
+            out.clear(); // flushed downstream (buffer recycled)
+            start = end;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed < col.elapsed_s {
+            col.elapsed_s = elapsed;
+            col.rows_per_sec = n as f64 / elapsed;
+        }
+        col.matches = matches;
+    }
+
+    if row.matches != col.matches {
+        return Err(mj_relalg::RelalgError::InvalidPlan(format!(
+            "kernel disagreement: row path {} matches, columnar {}",
+            row.matches, col.matches
+        )));
+    }
+    Ok(JoinKernelComparison {
+        rows: n as u64,
+        batch_rows: BATCH_ROWS,
+        reps: reps.max(1),
+        speedup: row.elapsed_s / col.elapsed_s,
+        row_path: row,
+        columnar: col,
+    })
+}
+
+/// Produces the `BENCH_7.json` report. `quick` shrinks the workload for
+/// CI smoke runs; the checked-in baseline uses the full size.
+pub fn bench7_report(quick: bool) -> Result<Bench7Report> {
+    let (kernel_n, kernel_reps) = if quick { (50_000, 2) } else { (400_000, 5) };
+    // Same workload shapes as the BENCH_5 / BENCH_6 baselines so the
+    // end-to-end numbers are directly comparable across the flip.
+    let (p_relations, p_n, p_reps) = if quick { (4, 4_000, 2) } else { (6, 40_000, 5) };
+    let (o_relations, o_n, o_reps) = if quick { (4, 2_000, 2) } else { (6, 20_000, 5) };
+    Ok(Bench7Report {
+        bench: 7,
+        quick,
+        join_kernels: join_kernel_comparison(kernel_n, kernel_reps)?,
+        pushdown: operator_comparison(p_relations, p_n, 4, p_reps)?,
+        guardrail_overhead: overhead_comparison(o_relations, o_n, 4, o_reps)?,
+    })
+}
+
+/// Renders a `BENCH_7.json` report as pretty-enough JSON.
+pub fn bench7_to_json(report: &Bench7Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"join_kernels\":{", "\n\"join_kernels\":{\n  ")
+        .replace("\"row_path\":", "\n  \"row_path\":")
+        .replace("\"columnar\":", "\n  \"columnar\":")
+        .replace("\"speedup\":", "\n  \"speedup\":")
+        .replace("\"pushdown\":{", "\n\"pushdown\":{\n  ")
+        .replace("\"pushdown_on\":", "\n  \"pushdown_on\":")
+        .replace("\"pushdown_off\":", "\n  \"pushdown_off\":")
+        .replace("\"pushdown_speedup\":", "\n  \"pushdown_speedup\":")
+        .replace("\"guardrail_overhead\":{", "\n\"guardrail_overhead\":{\n  ")
+        .replace("\"guardrails_off\":", "\n  \"guardrails_off\":")
+        .replace("\"guardrails_on\":", "\n  \"guardrails_on\":")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_7.json` (CI smoke run).
+pub fn validate_bench7_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in [
+        "bench",
+        "quick",
+        "join_kernels",
+        "pushdown",
+        "guardrail_overhead",
+    ] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let k = v.get("join_kernels").expect("checked");
+    for key in [
+        "rows",
+        "batch_rows",
+        "reps",
+        "row_path",
+        "columnar",
+        "speedup",
+    ] {
+        if k.get(key).is_none() {
+            return Err(format!("missing key `join_kernels.{key}`"));
+        }
+    }
+    for mode in ["row_path", "columnar"] {
+        let run = k.get(mode).expect("checked");
+        for key in ["rows", "matches", "elapsed_s", "rows_per_sec"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `join_kernels.{mode}.{key}`"));
+            }
+        }
+    }
+    let p = v.get("pushdown").expect("checked");
+    for key in ["pushdown_on", "pushdown_off", "pushdown_speedup"] {
+        if p.get(key).is_none() {
+            return Err(format!("missing key `pushdown.{key}`"));
+        }
+    }
+    let o = v.get("guardrail_overhead").expect("checked");
+    for key in ["guardrails_off", "guardrails_on", "overhead_ratio"] {
+        if o.get(key).is_none() {
+            return Err(format!("missing key `guardrail_overhead.{key}`"));
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -1787,6 +2034,25 @@ mod tests {
             c.worker_threads_spawned, 2,
             "query count must not grow the pool"
         );
+    }
+
+    #[test]
+    fn bench7_runs_and_validates_on_a_tiny_workload() {
+        let k = join_kernel_comparison(2_000, 1).unwrap();
+        assert_eq!(k.row_path.matches, k.columnar.matches);
+        assert_eq!(k.row_path.matches, 2_000, "permutation join: 1:1 matches");
+        assert!(k.speedup > 0.0);
+        let report = Bench7Report {
+            bench: 7,
+            quick: true,
+            join_kernels: k,
+            pushdown: operator_comparison(3, 400, 2, 1).unwrap(),
+            guardrail_overhead: overhead_comparison(3, 300, 2, 1).unwrap(),
+        };
+        let json = bench7_to_json(&report);
+        validate_bench7_json(&json).unwrap();
+        assert!(validate_bench7_json("{}").is_err());
+        assert!(validate_bench7_json("{\"bench\":7,\"quick\":true}").is_err());
     }
 
     #[test]

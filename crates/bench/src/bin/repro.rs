@@ -28,6 +28,9 @@
 //!   bench-operators       only the pushdown section -> BENCH_5.json
 //!   bench-robustness      guardrail overhead + noisy-neighbor p99
 //!                         -> BENCH_6.json
+//!   bench-columnar        columnar vs row-path join kernels + the
+//!                         BENCH_5/BENCH_6 scenarios on the columnar
+//!                         engine -> BENCH_7.json
 //!
 //! CSV series are written to results/.
 
@@ -37,10 +40,10 @@ use std::time::Instant;
 
 use mj_bench::{
     bench2_report, bench2_to_json, bench3_report, bench3_to_json, bench4_report, bench4_to_json,
-    bench5_report, bench5_to_json, bench6_report, bench6_to_json, bench_report, format_table,
-    paper_processor_counts, report_to_json, simulate_tree, sweep, validate_bench2_json,
-    validate_bench3_json, validate_bench4_json, validate_bench5_json, validate_bench6_json,
-    validate_report_json, write_csv, PAPER_SIZES,
+    bench5_report, bench5_to_json, bench6_report, bench6_to_json, bench7_report, bench7_to_json,
+    bench_report, format_table, paper_processor_counts, report_to_json, simulate_tree, sweep,
+    validate_bench2_json, validate_bench3_json, validate_bench4_json, validate_bench5_json,
+    validate_bench6_json, validate_bench7_json, validate_report_json, write_csv, PAPER_SIZES,
 };
 use mj_core::example::{example_cards, example_tree, example_weights};
 use mj_core::generator::{generate, GeneratorInput};
@@ -116,12 +119,14 @@ fn main() {
                 emit_bench4_json(quick);
                 emit_bench5_json(quick);
                 emit_bench6_json(quick);
+                emit_bench7_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
             "bench-session" => emit_bench4_json(quick),
             "bench-operators" => emit_bench5_json(quick),
             "bench-robustness" => emit_bench6_json(quick),
+            "bench-columnar" => emit_bench7_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -936,6 +941,68 @@ fn emit_bench6_json(quick: bool) {
         eprintln!(
             "WARNING: noisy-neighbor p99 improvement {:.2}x below the 1.5x acceptance floor",
             a.p99_improvement
+        );
+    }
+}
+
+fn emit_bench7_json(quick: bool) {
+    println!(
+        "== BENCH_7.json: columnar vs row-path kernels ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench7_report(quick).expect("bench7 report");
+    let k = &report.join_kernels;
+    println!(
+        "join kernel, n={} ({}-row batches, best of {}): row path {:.2} ms, \
+         columnar {:.2} ms -> {:.2}x ({} matches both)",
+        k.rows,
+        k.batch_rows,
+        k.reps,
+        k.row_path.elapsed_s * 1e3,
+        k.columnar.elapsed_s * 1e3,
+        k.speedup,
+        k.row_path.matches,
+    );
+    let p = &report.pushdown;
+    println!(
+        "pushdown chain on the columnar engine: on {:.2} ms, off {:.2} ms -> {:.2}x",
+        p.pushdown_on.elapsed_s * 1e3,
+        p.pushdown_off.elapsed_s * 1e3,
+        p.pushdown_speedup,
+    );
+    let o = &report.guardrail_overhead;
+    println!(
+        "guardrails on the columnar engine: off {:.2} ms, on {:.2} ms -> overhead {:.3}x",
+        o.guardrails_off.elapsed_s * 1e3,
+        o.guardrails_on.elapsed_s * 1e3,
+        o.overhead_ratio,
+    );
+    let json = bench7_to_json(&report);
+    validate_bench7_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_7_quick.json"
+    } else {
+        "BENCH_7.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick && k.speedup < 1.3 {
+        eprintln!(
+            "WARNING: columnar kernel speedup {:.2}x below the 1.3x acceptance floor",
+            k.speedup
+        );
+    }
+    if !quick && p.pushdown_speedup < 1.5 {
+        eprintln!(
+            "WARNING: pushdown speedup {:.2}x below the 1.5x acceptance bar",
+            p.pushdown_speedup
+        );
+    }
+    if !quick && o.overhead_ratio > 1.05 {
+        eprintln!(
+            "WARNING: guardrail overhead {:.3}x above the 1.05x acceptance cap",
+            o.overhead_ratio
         );
     }
 }

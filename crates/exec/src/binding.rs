@@ -15,7 +15,10 @@ use std::sync::Arc;
 use mj_plan::query::{regular_join_spec, LoweredQuery};
 use mj_plan::tree::{JoinTree, NodeId, TreeNode};
 use mj_relalg::ops::AggSpec;
-use mj_relalg::{EquiJoin, Predicate, Projection, RelalgError, RelationProvider, Result, Schema};
+use mj_relalg::{
+    columnar_row_bytes, EquiJoin, Predicate, Projection, RelalgError, RelationProvider, Result,
+    Schema,
+};
 
 use crate::metrics::OpMetricsKind;
 
@@ -83,6 +86,19 @@ pub struct PipelineStage {
     pub est_out: u64,
     /// Human-readable description for `explain()`.
     pub label: String,
+}
+
+impl PipelineStage {
+    /// Planner-estimated output size in bytes under the columnar batch
+    /// layout: `est_out` rows times the per-row cost of this stage's
+    /// schema ([`columnar_row_bytes`]) — 8 bytes per dense `i64` column,
+    /// a boxed [`Value`](mj_relalg::Value) slot otherwise. This is the
+    /// same accounting [`BatchPool`](crate::stream::BatchPool) charges
+    /// against the memory budget at runtime, so explain output and
+    /// observed `peak_bytes` are directly comparable.
+    pub fn est_bytes(&self) -> u64 {
+        self.est_out * columnar_row_bytes(&self.schema) as u64
+    }
 }
 
 /// Join specs, node schemas, scan filters, and pipeline stages for one
@@ -310,5 +326,27 @@ mod tests {
         let b = QueryBinding::regular(&tree, &p).unwrap();
         assert!(b.spec(0).is_err(), "leaves have no spec");
         assert!(b.schema(999).is_err());
+    }
+
+    #[test]
+    fn stage_est_bytes_uses_columnar_row_cost() {
+        let schema = Schema::new(vec![
+            mj_relalg::Attribute::int("a"),
+            mj_relalg::Attribute::int("b"),
+        ])
+        .shared();
+        let stage = PipelineStage {
+            kind: StageKind::Limit { k: 10 },
+            degree: 1,
+            partition_col: 0,
+            schema: schema.clone(),
+            est_out: 100,
+            label: "limit 10".into(),
+        };
+        assert_eq!(
+            stage.est_bytes(),
+            100 * columnar_row_bytes(&schema) as u64,
+            "sizing follows the columnar layout, not Tuple overhead"
+        );
     }
 }

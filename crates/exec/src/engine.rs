@@ -37,6 +37,7 @@ use crossbeam::channel::{Receiver, Sender};
 use mj_core::plan_ir::{OperandSource, ParallelPlan, PlanOp};
 use mj_core::validate::validate_plan;
 use mj_plan::segment::segments;
+use mj_relalg::column::ColumnLayout;
 use mj_relalg::ops::filter_gather;
 use mj_relalg::{RelalgError, Relation, RelationProvider, Result, Tuple};
 use mj_storage::{hash_partition, FragmentStore};
@@ -389,7 +390,13 @@ fn open_result_channel(
     // With pipeline stages attached, the *last stage* feeds the client.
     let producers = binding.stages().last().map_or(root_degree, |s| s.degree);
     let schema = binding.result_schema(root)?.clone();
-    let (tx, rx, bpool) = client_channel(producers, config.channel_capacity);
+    // The client edge's buffer pool is typed with the result's column
+    // layout so its budget accounting charges real columnar bytes.
+    let (tx, rx, bpool) = client_channel(
+        producers,
+        config.channel_capacity,
+        ColumnLayout::of(&schema),
+    );
     // Per-query limits override engine-wide defaults.
     let deadline = opts
         .deadline()
@@ -776,10 +783,14 @@ fn run_query(
             };
             match operand {
                 OperandSource::Stream { from } => {
+                    // The edge carries the producer op's output rows; its
+                    // pool is typed with that schema's column layout.
+                    let layout = ColumnLayout::of(binding.schema(plan.ops[*from].join)?);
                     let (txs, rxs, pool) = operand_channels(
                         plan.ops[*from].degree(),
                         op.degree(),
                         config.channel_capacity,
+                        layout,
                     );
                     pool.set_budget(ctrl.budget().clone());
                     stream_rx.insert((op.id, side), rxs);
@@ -808,8 +819,19 @@ fn run_query(
             .ok_or_else(|| RelalgError::InvalidPlan("plan has no root operation".into()))?;
         let mut prev_degree = root_op.degree();
         for (i, stage) in binding.stages().iter().enumerate() {
-            let (txs, rxs, bpool) =
-                operand_channels(prev_degree, stage.degree, config.channel_capacity);
+            // Edge i carries the previous producer's output: the root
+            // join's schema for stage 0, else the prior stage's.
+            let in_schema = if i == 0 {
+                binding.schema(root_op.join)?
+            } else {
+                &binding.stages()[i - 1].schema
+            };
+            let (txs, rxs, bpool) = operand_channels(
+                prev_degree,
+                stage.degree,
+                config.channel_capacity,
+                ColumnLayout::of(in_schema),
+            );
             bpool.set_budget(ctrl.budget().clone());
             stage_streams += prev_degree * stage.degree;
             stage_rx.push(rxs);

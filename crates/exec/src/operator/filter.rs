@@ -2,23 +2,32 @@
 //! output projection.
 //!
 //! Filters pushed below the joins never reach this operator — the engine
-//! evaluates them against base relations during setup (a zero-copy
-//! [`Relation::gather`](mj_relalg::Relation::gather) of the surviving
-//! rows) so partitioning and the joins see fewer tuples. [`FilterOp`] is
-//! the *residual* form: predicates the planner kept above the joins
-//! (pushdown disabled, or benchmark comparisons) run here over the root
-//! join's output stream, and the optional projection drops the predicate's
-//! carrier columns once they have been tested.
+//! evaluates them against base relations during setup (a selection-vector
+//! scan, [`filter_selection`](mj_relalg::ops::filter_selection)) so
+//! partitioning and the joins see fewer tuples. [`FilterOp`] is the
+//! *residual* form: predicates the planner kept above the joins (pushdown
+//! disabled, or benchmark comparisons) run here over the root join's
+//! output stream. Each batch is evaluated by the branch-free columnar
+//! kernels in [`mj_relalg::column`]: whole key columns compare into a
+//! selection vector, and the survivors are gathered column-wise —
+//! optionally through the projection that drops the predicate's carrier
+//! columns — without touching rejected rows.
 
-use mj_relalg::{Predicate, Projection, Result, Tuple};
+use std::ops::Range;
+
+use mj_relalg::column::{self, ColumnBatch};
+use mj_relalg::{Predicate, Projection, Result};
 
 use crate::operator::op::{Absorb, OpKind, PhysicalOp};
 
-/// A streaming selection: keep tuples satisfying `predicate`, then apply
-/// the optional projection.
+/// A streaming selection: keep rows satisfying `predicate`, then apply
+/// the optional projection. Operates on selection vectors — surviving
+/// rows are gathered column-wise, never copied one by one.
 pub struct FilterOp {
     predicate: Predicate,
     projection: Option<Projection>,
+    /// Selection-vector scratch, reused across batches.
+    sel: Vec<u32>,
 }
 
 impl FilterOp {
@@ -29,6 +38,7 @@ impl FilterOp {
         FilterOp {
             predicate,
             projection,
+            sel: Vec::new(),
         }
     }
 }
@@ -38,12 +48,18 @@ impl PhysicalOp for FilterOp {
         OpKind::Filter
     }
 
-    fn absorb(&mut self, _side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
-        if self.predicate.eval(&tuple)? {
-            out.push(match &self.projection {
-                Some(p) => p.apply(&tuple)?,
-                None => tuple,
-            });
+    fn absorb_batch(
+        &mut self,
+        _side: usize,
+        cols: &ColumnBatch,
+        range: Range<usize>,
+        out: &mut ColumnBatch,
+    ) -> Result<Absorb> {
+        self.sel.clear();
+        column::select(&self.predicate, cols, range, &mut self.sel)?;
+        match &self.projection {
+            Some(p) => out.append_project_gather(cols, p.cols(), &self.sel)?,
+            None => out.append_gather(cols, &self.sel)?,
         }
         Ok(Absorb::Continue)
     }
@@ -52,7 +68,16 @@ impl PhysicalOp for FilterOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mj_relalg::CmpOp;
+    use mj_relalg::column::ColumnLayout;
+    use mj_relalg::{CmpOp, Tuple};
+
+    fn batch(rows: &[[i64; 2]]) -> ColumnBatch {
+        let mut b = ColumnBatch::with_capacity(&ColumnLayout::ints(2), rows.len());
+        for r in rows {
+            b.push_tuple(&Tuple::from_ints(r)).unwrap();
+        }
+        b
+    }
 
     #[test]
     fn filters_and_projects() {
@@ -60,22 +85,33 @@ mod tests {
             Predicate::cmp_int(0, CmpOp::Lt, 5),
             Some(Projection::new(vec![1])),
         );
-        let mut out = Vec::new();
-        for v in [3i64, 7, 4] {
-            op.absorb(0, Tuple::from_ints(&[v, v * 10]), &mut out)
-                .unwrap();
-        }
-        assert_eq!(out, vec![Tuple::from_ints(&[30]), Tuple::from_ints(&[40])]);
+        let input = batch(&[[3, 30], [7, 70], [4, 40]]);
+        let mut out = ColumnBatch::shapeless();
+        op.absorb_batch(0, &input, 0..input.rows(), &mut out)
+            .unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.int_col(0).unwrap(), &[30, 40]);
         assert_eq!(op.kind(), OpKind::Filter);
-        let mut drained = Vec::new();
+        let mut drained = ColumnBatch::shapeless();
         op.finish(&mut drained).unwrap();
         assert!(drained.is_empty(), "filters hold no state");
     }
 
     #[test]
+    fn subranges_respect_offsets() {
+        let mut op = FilterOp::new(Predicate::cmp_int(0, CmpOp::Ge, 5), None);
+        let input = batch(&[[9, 90], [1, 10], [6, 60], [8, 80]]);
+        let mut out = ColumnBatch::shapeless();
+        // Skip row 0 entirely: only rows 1..4 are considered.
+        op.absorb_batch(0, &input, 1..4, &mut out).unwrap();
+        assert_eq!(out.int_col(0).unwrap(), &[6, 8]);
+    }
+
+    #[test]
     fn predicate_errors_propagate() {
         let mut op = FilterOp::new(Predicate::cmp_int(9, CmpOp::Eq, 0), None);
-        let mut out = Vec::new();
-        assert!(op.absorb(0, Tuple::from_ints(&[1]), &mut out).is_err());
+        let input = batch(&[[1, 2]]);
+        let mut out = ColumnBatch::shapeless();
+        assert!(op.absorb_batch(0, &input, 0..1, &mut out).is_err());
     }
 }

@@ -1,26 +1,28 @@
 //! The physical-operator abstraction: what an operation process *computes*,
 //! separated from how it is scheduled.
 //!
-//! PR 2 restructured operator instances as cooperative tasks, but the task
-//! was a *join* task — phases, ports, cancellation, and the hash-join
-//! algorithms were one struct, so the engine could evaluate exactly one
-//! thing: a tree of equi-joins. [`PhysicalOp`] extracts the computational
-//! core: a push-based operator that absorbs tuples from its input sides and
-//! appends results to an output buffer, with optional build and drain
-//! phases. The generic driver ([`OpTask`](crate::operator::task::OpTask))
-//! owns everything schedulable — resumable operand cursors, non-blocking
-//! output, quantum pacing, cancel/early-stop tokens, exactly-once
-//! completion — so a new operator is just this trait, not a new state
-//! machine.
+//! Since the columnar refactor the interface is batch-oriented: the driver
+//! ([`OpTask`](crate::operator::task::OpTask)) hands each operator row
+//! *ranges* of columnar chunks ([`ColumnBatch`]) and the operator appends
+//! its results column-wise to a shared output batch. There is no per-tuple
+//! entry point — vectorized kernels (selection vectors, bulk hash-table
+//! inserts, gather-based output assembly) are the only path, and rows are
+//! materialized only at the client boundary.
 //!
-//! Both hash-join algorithms are re-expressed here as `PhysicalOp`
-//! implementations; `filter`, `aggregate`, and `limit` (the first operator
-//! that *stops* a running pipeline early) live in their sibling modules.
+//! Both hash-join algorithms are expressed here over the columnar join
+//! table ([`ColumnarTable`]): `SimpleJoinOp` is the classical two-phase
+//! build–probe join (\[ScD89\]), `PipeliningJoinOp` the symmetric
+//! one-phase join of \[WiA91\] that tables *both* operands and emits
+//! matches as early as possible. `filter`, `aggregate`, and `limit` (the
+//! first operator that *stops* a running pipeline early) live in their
+//! sibling modules.
 
 use std::fmt;
+use std::ops::Range;
 
-use mj_join::{PipeliningJoinState, SimpleJoinState};
-use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Result, Tuple};
+use mj_join::ColumnarTable;
+use mj_relalg::column::ColumnBatch;
+use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Result};
 
 /// What kind of operator an instance runs — for metrics and explain
 /// output.
@@ -50,19 +52,19 @@ impl fmt::Display for OpKind {
 /// How the driver should feed an operator's input sides.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InputMode {
-    /// Drain side `build` completely (via [`PhysicalOp::build`], producing
-    /// no output) before feeding the remaining side — the simple hash
-    /// join's two-phase discipline. The build side must be immediate.
+    /// Drain side `build` completely (via [`PhysicalOp::build_batch`],
+    /// producing no output) before feeding the remaining side — the simple
+    /// hash join's two-phase discipline. The build side must be immediate.
     BuildThenProbe {
         /// Which side (0 or 1) is the build input.
         build: usize,
     },
-    /// Feed whichever side has tuples available, alternating for fairness
-    /// — pipelining joins and every single-input operator.
+    /// Feed whichever side has rows available, alternating for fairness —
+    /// pipelining joins and every single-input operator.
     Interleaved,
 }
 
-/// The operator's verdict after absorbing one tuple.
+/// The operator's verdict after absorbing a batch of rows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Absorb {
     /// Keep feeding.
@@ -73,18 +75,20 @@ pub enum Absorb {
     Satisfied,
 }
 
-/// One physical operator: the pure computation an operation-process
-/// instance performs, driven by the scheduling skeleton in
-/// [`task`](crate::operator::task).
+/// One physical operator: the pure vectorized computation an
+/// operation-process instance performs, driven by the scheduling skeleton
+/// in [`task`](crate::operator::task).
 ///
 /// Contract:
-/// * [`absorb`](Self::absorb) is called once per input tuple (per side for
-///   two-input operators) and may append any number of result tuples to
+/// * [`absorb_batch`](Self::absorb_batch) is called with consecutive,
+///   non-overlapping row ranges of each input chunk (per side for
+///   two-input operators) and may append any number of result rows to
 ///   `out`; the driver flushes `out` through the output port between
 ///   quanta.
-/// * For [`InputMode::BuildThenProbe`], [`build`](Self::build) receives
-///   every build-side tuple first, then [`finish_build`](Self::finish_build)
-///   is called exactly once before the first `absorb`.
+/// * For [`InputMode::BuildThenProbe`], [`build_batch`](Self::build_batch)
+///   receives every build-side row first, then
+///   [`finish_build`](Self::finish_build) is called exactly once before
+///   the first `absorb_batch`.
 /// * [`finish`](Self::finish) is called exactly once after every input is
 ///   exhausted (or the operator reported [`Absorb::Satisfied`]); operators
 ///   with held state (aggregation) emit it there.
@@ -97,8 +101,10 @@ pub trait PhysicalOp: Send {
         InputMode::Interleaved
     }
 
-    /// Absorbs one build-side tuple ([`InputMode::BuildThenProbe`] only).
-    fn build(&mut self, _tuple: Tuple) -> Result<()> {
+    /// Absorbs build-side rows `range` of `cols`
+    /// ([`InputMode::BuildThenProbe`] only).
+    fn build_batch(&mut self, cols: &ColumnBatch, range: Range<usize>) -> Result<()> {
+        let _ = (cols, range);
         Err(RelalgError::InvalidPlan(format!(
             "operator {} has no build phase",
             self.kind()
@@ -108,11 +114,19 @@ pub trait PhysicalOp: Send {
     /// The build side is exhausted ([`InputMode::BuildThenProbe`] only).
     fn finish_build(&mut self) {}
 
-    /// Absorbs one tuple from input `side`, appending results to `out`.
-    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb>;
+    /// Absorbs rows `range` of `cols` arriving on input `side`, appending
+    /// result rows to `out` column-wise.
+    fn absorb_batch(
+        &mut self,
+        side: usize,
+        cols: &ColumnBatch,
+        range: Range<usize>,
+        out: &mut ColumnBatch,
+    ) -> Result<Absorb>;
 
     /// Every input is exhausted: emit any held state into `out`.
-    fn finish(&mut self, _out: &mut Vec<Tuple>) -> Result<()> {
+    fn finish(&mut self, out: &mut ColumnBatch) -> Result<()> {
+        let _ = out;
         Ok(())
     }
 
@@ -124,17 +138,30 @@ pub trait PhysicalOp: Send {
 }
 
 /// The simple (two-phase build–probe) hash join as a [`PhysicalOp`]
-/// (§2.3.2): side 0 builds, side 1 probes.
+/// (§2.3.2): side 0 builds, side 1 probes. Build batches are bulk-inserted
+/// into a [`ColumnarTable`]; each probe batch hashes its whole key column,
+/// collects `(build_row, probe_row)` match pairs, and assembles the output
+/// with one column-wise gather.
 pub struct SimpleJoinOp {
-    state: SimpleJoinState,
+    spec: EquiJoin,
+    table: ColumnarTable,
+    /// Match-pair scratch, reused across probe batches.
+    pairs: Vec<(u32, u32)>,
 }
 
 impl SimpleJoinOp {
     /// Creates the operator for one join spec.
     pub fn new(spec: EquiJoin) -> Self {
         SimpleJoinOp {
-            state: SimpleJoinState::new(spec),
+            spec,
+            table: ColumnarTable::new(),
+            pairs: Vec::new(),
         }
+    }
+
+    /// Build rows tabled so far (tests).
+    pub fn build_len(&self) -> usize {
+        self.table.len()
     }
 }
 
@@ -147,37 +174,61 @@ impl PhysicalOp for SimpleJoinOp {
         InputMode::BuildThenProbe { build: 0 }
     }
 
-    fn build(&mut self, tuple: Tuple) -> Result<()> {
-        self.state.build(tuple)
+    fn build_batch(&mut self, cols: &ColumnBatch, range: Range<usize>) -> Result<()> {
+        self.table.insert_batch(cols, self.spec.left_key, range)
     }
 
-    fn finish_build(&mut self) {
-        self.state.finish_build();
-    }
-
-    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+    fn absorb_batch(
+        &mut self,
+        side: usize,
+        cols: &ColumnBatch,
+        range: Range<usize>,
+        out: &mut ColumnBatch,
+    ) -> Result<Absorb> {
         debug_assert_eq!(side, 1, "simple join absorbs only its probe side");
-        self.state.probe(&tuple, out)?;
+        let keys = cols.int_col(self.spec.right_key)?;
+        self.pairs.clear();
+        self.table.probe_into(keys, range, &mut self.pairs);
+        out.append_concat_gather(
+            self.table.rows(),
+            cols,
+            self.spec.projection.cols(),
+            &self.pairs,
+        )?;
         Ok(Absorb::Continue)
     }
 
     fn est_bytes(&self) -> usize {
-        self.state.est_bytes()
+        self.table.est_bytes()
     }
 }
 
 /// The symmetric pipelining hash join as a [`PhysicalOp`] (\[WiA91\]):
-/// either side may arrive first; both build and both probe.
+/// either side may arrive first; both sides build and both probe. Each
+/// arriving batch first probes the *other* operand's partial table
+/// (emitting matches) and is then bulk-inserted into its own.
 pub struct PipeliningJoinOp {
-    state: PipeliningJoinState,
+    spec: EquiJoin,
+    left: ColumnarTable,
+    right: ColumnarTable,
+    /// Match-pair scratch, reused across batches.
+    pairs: Vec<(u32, u32)>,
 }
 
 impl PipeliningJoinOp {
     /// Creates the operator for one join spec.
     pub fn new(spec: EquiJoin) -> Self {
         PipeliningJoinOp {
-            state: PipeliningJoinState::new(spec),
+            spec,
+            left: ColumnarTable::new(),
+            right: ColumnarTable::new(),
+            pairs: Vec::new(),
         }
+    }
+
+    /// Rows tabled so far on (left, right) (tests).
+    pub fn table_lens(&self) -> (usize, usize) {
+        (self.left.len(), self.right.len())
     }
 }
 
@@ -186,17 +237,37 @@ impl PhysicalOp for PipeliningJoinOp {
         OpKind::Join(JoinAlgorithm::Pipelining)
     }
 
-    fn absorb(&mut self, side: usize, tuple: Tuple, out: &mut Vec<Tuple>) -> Result<Absorb> {
+    fn absorb_batch(
+        &mut self,
+        side: usize,
+        cols: &ColumnBatch,
+        range: Range<usize>,
+        out: &mut ColumnBatch,
+    ) -> Result<Absorb> {
+        let proj = self.spec.projection.cols();
+        self.pairs.clear();
         if side == 0 {
-            self.state.push_left(tuple, out)?;
+            // Probe the right table with our keys. `probe_into` yields
+            // (tabled_row, arriving_row); the arriving rows are the *left*
+            // source of the concatenation, so swap each pair.
+            let keys = cols.int_col(self.spec.left_key)?;
+            self.right.probe_into(keys, range.clone(), &mut self.pairs);
+            for p in &mut self.pairs {
+                *p = (p.1, p.0);
+            }
+            out.append_concat_gather(cols, self.right.rows(), proj, &self.pairs)?;
+            self.left.insert_batch(cols, self.spec.left_key, range)?;
         } else {
-            self.state.push_right(tuple, out)?;
+            let keys = cols.int_col(self.spec.right_key)?;
+            self.left.probe_into(keys, range.clone(), &mut self.pairs);
+            out.append_concat_gather(self.left.rows(), cols, proj, &self.pairs)?;
+            self.right.insert_batch(cols, self.spec.right_key, range)?;
         }
         Ok(Absorb::Continue)
     }
 
     fn est_bytes(&self) -> usize {
-        self.state.est_bytes()
+        self.left.est_bytes() + self.right.est_bytes()
     }
 }
 
@@ -206,5 +277,122 @@ pub fn join_op(algorithm: JoinAlgorithm, spec: EquiJoin) -> Box<dyn PhysicalOp> 
     match algorithm {
         JoinAlgorithm::Simple => Box::new(SimpleJoinOp::new(spec)),
         JoinAlgorithm::Pipelining => Box::new(PipeliningJoinOp::new(spec)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mj_relalg::column::ColumnLayout;
+    use mj_relalg::{Projection, Tuple};
+
+    fn batch(rows: &[[i64; 2]]) -> ColumnBatch {
+        let mut b = ColumnBatch::with_capacity(&ColumnLayout::ints(2), rows.len());
+        for r in rows {
+            b.push_tuple(&Tuple::from_ints(r)).unwrap();
+        }
+        b
+    }
+
+    fn spec() -> EquiJoin {
+        // R(a, k) ⋈ S(k, b) on R.k = S.k, keeping [a, k, b].
+        EquiJoin::new(1, 0, Projection::new(vec![0, 1, 3]))
+    }
+
+    fn sorted_rows(out: &ColumnBatch) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = (0..out.rows()).map(|r| out.row(r).unwrap()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn simple_join_builds_then_probes() {
+        let mut op = SimpleJoinOp::new(spec());
+        assert_eq!(op.input_mode(), InputMode::BuildThenProbe { build: 0 });
+        let build = batch(&[[10, 1], [20, 2], [11, 1]]);
+        op.build_batch(&build, 0..build.rows()).unwrap();
+        op.finish_build();
+        assert_eq!(op.build_len(), 3);
+        assert!(op.est_bytes() > 0);
+
+        let probe = batch(&[[1, 100], [3, 300], [2, 200]]);
+        let mut out = ColumnBatch::shapeless();
+        assert_eq!(
+            op.absorb_batch(1, &probe, 0..probe.rows(), &mut out)
+                .unwrap(),
+            Absorb::Continue
+        );
+        assert_eq!(
+            sorted_rows(&out),
+            vec![
+                Tuple::from_ints(&[10, 1, 100]),
+                Tuple::from_ints(&[11, 1, 100]),
+                Tuple::from_ints(&[20, 2, 200]),
+            ]
+        );
+        assert_eq!(op.kind().to_string(), "join[simple]");
+    }
+
+    #[test]
+    fn pipelining_join_emits_early_from_both_sides() {
+        let mut op = PipeliningJoinOp::new(spec());
+        assert_eq!(op.input_mode(), InputMode::Interleaved);
+        let mut out = ColumnBatch::shapeless();
+
+        let l1 = batch(&[[10, 1], [20, 2]]);
+        op.absorb_batch(0, &l1, 0..2, &mut out).unwrap();
+        assert_eq!(out.rows(), 0, "no right rows tabled yet");
+
+        let r1 = batch(&[[1, 100]]);
+        op.absorb_batch(1, &r1, 0..1, &mut out).unwrap();
+        assert_eq!(sorted_rows(&out), vec![Tuple::from_ints(&[10, 1, 100])]);
+
+        // A later left arrival matches the already-tabled right row.
+        let l2 = batch(&[[11, 1]]);
+        op.absorb_batch(0, &l2, 0..1, &mut out).unwrap();
+        assert_eq!(op.table_lens(), (3, 1));
+        assert_eq!(
+            sorted_rows(&out),
+            vec![
+                Tuple::from_ints(&[10, 1, 100]),
+                Tuple::from_ints(&[11, 1, 100])
+            ]
+        );
+        assert!(op.est_bytes() > 0);
+    }
+
+    #[test]
+    fn pipelining_matches_simple_on_same_input() {
+        let left = batch(&[[1, 5], [2, 5], [3, 7], [4, 9]]);
+        let right = batch(&[[5, 50], [7, 70], [5, 51]]);
+
+        let mut simple = SimpleJoinOp::new(spec());
+        simple.build_batch(&left, 0..left.rows()).unwrap();
+        simple.finish_build();
+        let mut s_out = ColumnBatch::shapeless();
+        simple
+            .absorb_batch(1, &right, 0..right.rows(), &mut s_out)
+            .unwrap();
+
+        let mut pipe = PipeliningJoinOp::new(spec());
+        let mut p_out = ColumnBatch::shapeless();
+        pipe.absorb_batch(0, &left, 0..left.rows(), &mut p_out)
+            .unwrap();
+        pipe.absorb_batch(1, &right, 0..right.rows(), &mut p_out)
+            .unwrap();
+
+        assert_eq!(sorted_rows(&s_out), sorted_rows(&p_out));
+        // Keys 5×(5,5) and 7×7 match: 2·2 + 1 = 5 result rows.
+        assert_eq!(s_out.rows(), 5);
+    }
+
+    #[test]
+    fn factory_picks_algorithm() {
+        let op = join_op(JoinAlgorithm::Simple, spec());
+        assert_eq!(op.kind(), OpKind::Join(JoinAlgorithm::Simple));
+        let mut op = join_op(JoinAlgorithm::Pipelining, spec());
+        assert_eq!(op.kind(), OpKind::Join(JoinAlgorithm::Pipelining));
+        // Interleaved operators reject the build phase.
+        assert!(op.build_batch(&ColumnBatch::shapeless(), 0..0).is_err());
     }
 }

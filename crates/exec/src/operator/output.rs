@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use mj_core::plan_ir::ProcId;
+use mj_relalg::column::ColumnBatch;
 use mj_relalg::{Relation, Result, Schema, Tuple};
 use mj_storage::FragmentStore;
 use parking_lot::Mutex;
@@ -68,54 +69,29 @@ impl OutputPort {
         Ok(())
     }
 
-    /// Non-blocking emit of `out[*pos..]` (worker-pool path). Returns the
-    /// number of tuples emitted and whether the backlog fully drained; on
-    /// a full drain `out` is cleared and `pos` reset so the buffer can be
-    /// refilled. `Ok((_, false))` means stream backpressure — the caller
-    /// should yield and call again with the same arguments.
-    pub fn try_emit(&mut self, out: &mut Vec<Tuple>, pos: &mut usize) -> Result<(u64, bool)> {
-        let mut emitted = 0u64;
-        match self {
-            OutputPort::Stream(router) => {
-                while *pos < out.len() {
-                    // Take the tuple out of its slot (an empty inline
-                    // tuple costs nothing); hand it back on rejection.
-                    let t = std::mem::replace(&mut out[*pos], Tuple::from_ints(&[]));
-                    match router.try_route(t)? {
-                        None => {
-                            *pos += 1;
-                            emitted += 1;
-                        }
-                        Some(t) => {
-                            out[*pos] = t;
-                            return Ok((emitted, false));
-                        }
-                    }
-                }
-            }
-            OutputPort::Client(sink) => {
-                while *pos < out.len() {
-                    let t = std::mem::replace(&mut out[*pos], Tuple::from_ints(&[]));
-                    match sink.try_push(t)? {
-                        None => {
-                            *pos += 1;
-                            emitted += 1;
-                        }
-                        Some(t) => {
-                            out[*pos] = t;
-                            return Ok((emitted, false));
-                        }
-                    }
-                }
-            }
+    /// Non-blocking columnar emit of rows `*pos..` of `out` (worker-pool
+    /// path). Returns the number of rows emitted and whether the backlog
+    /// fully drained; on a full drain `out` is cleared (keeping its column
+    /// layout and capacity) and `pos` reset so the operator can refill it.
+    /// `Ok((_, false))` means stream backpressure — the caller should
+    /// yield and call again with the same arguments.
+    pub fn try_emit(&mut self, out: &mut ColumnBatch, pos: &mut usize) -> Result<(u64, bool)> {
+        let (emitted, done) = match self {
+            OutputPort::Stream(router) => router.try_route_batch(out, pos)?,
+            OutputPort::Client(sink) => sink.try_append_batch(out, pos)?,
             OutputPort::Materialize { buffer, .. } | OutputPort::Sink { buffer, .. } => {
-                emitted = (out.len() - *pos) as u64;
-                buffer.extend(out.drain(*pos..));
+                let n = out.rows() - *pos;
+                // Row materialization happens here — at the store/sink
+                // boundary, not inside the operators.
+                out.rows_into(*pos..out.rows(), buffer)?;
+                (n as u64, true)
             }
+        };
+        if done {
+            out.clear();
+            *pos = 0;
         }
-        out.clear();
-        *pos = 0;
-        Ok((emitted, true))
+        Ok((emitted, done))
     }
 
     /// Non-blocking finalize (worker-pool path): resumable stream
@@ -174,6 +150,7 @@ impl OutputPort {
 mod tests {
     use super::*;
     use crate::stream::{operand_channels, Msg};
+    use mj_relalg::column::ColumnLayout;
     use mj_relalg::Attribute;
 
     fn schema() -> Arc<Schema> {
@@ -189,6 +166,24 @@ mod tests {
         };
         port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])])
             .unwrap();
+        port.finish().unwrap();
+        assert_eq!(collected.lock().len(), 2);
+    }
+
+    #[test]
+    fn sink_materializes_columnar_emits() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let mut port = OutputPort::Sink {
+            collected: collected.clone(),
+            buffer: Vec::new(),
+        };
+        let mut out = ColumnBatch::shapeless();
+        out.push_tuple(&Tuple::from_ints(&[5])).unwrap();
+        out.push_tuple(&Tuple::from_ints(&[6])).unwrap();
+        let mut pos = 0;
+        let (n, done) = port.try_emit(&mut out, &mut pos).unwrap();
+        assert_eq!((n, done, pos), (2, true, 0));
+        assert!(out.is_empty(), "drained emit clears the batch");
         port.finish().unwrap();
         assert_eq!(collected.lock().len(), 2);
     }
@@ -233,11 +228,15 @@ mod tests {
 
     #[test]
     fn stream_forwards_and_ends() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8, ColumnLayout::ints(1));
         let mut port = OutputPort::Stream(Router::new(txs, 0, 2, pool));
-        port.emit(&mut vec![Tuple::from_ints(&[1]), Tuple::from_ints(&[2])])
-            .unwrap();
-        port.finish().unwrap();
+        let mut out = ColumnBatch::shapeless();
+        out.push_tuple(&Tuple::from_ints(&[1])).unwrap();
+        out.push_tuple(&Tuple::from_ints(&[2])).unwrap();
+        let mut pos = 0;
+        let (n, done) = port.try_emit(&mut out, &mut pos).unwrap();
+        assert_eq!((n, done), (2, true));
+        while !port.try_finish().unwrap() {}
         let mut tuples = 0;
         let mut ends = 0;
         while let Ok(msg) = rxs[0].recv() {

@@ -47,6 +47,7 @@ pub fn run_pipelining_instance(
 mod tests {
     use super::*;
     use crate::stream::{operand_channels, Router};
+    use mj_relalg::column::ColumnLayout;
     use mj_relalg::{Attribute, Projection, Relation, Schema, Tuple};
     use parking_lot::Mutex;
     use std::sync::Arc;
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn local_left_streamed_right() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 4);
+        let (txs, rxs, pool) = operand_channels(1, 1, 4, ColumnLayout::ints(2));
         let collected = Arc::new(Mutex::new(Vec::new()));
         let producer = std::thread::spawn(move || {
             let mut router = Router::new(txs, 0, 2, pool);
@@ -113,8 +114,8 @@ mod tests {
 
     #[test]
     fn two_streams_from_concurrent_producers() {
-        let (ltxs, lrxs, lpool) = operand_channels(1, 1, 4);
-        let (rtxs, rrxs, rpool) = operand_channels(1, 1, 4);
+        let (ltxs, lrxs, lpool) = operand_channels(1, 1, 4, ColumnLayout::ints(2));
+        let (rtxs, rrxs, rpool) = operand_channels(1, 1, 4, ColumnLayout::ints(2));
         let collected = Arc::new(Mutex::new(Vec::new()));
         let lp = std::thread::spawn(move || {
             let mut router = Router::new(ltxs, 0, 2, lpool);

@@ -46,6 +46,7 @@ pub fn run_simple_instance(
 mod tests {
     use super::*;
     use crate::stream::{operand_channels, Router};
+    use mj_relalg::column::ColumnLayout;
     use mj_relalg::{Attribute, Projection, Relation, Schema, Tuple};
     use parking_lot::Mutex;
     use std::sync::Arc;
@@ -84,7 +85,7 @@ mod tests {
 
     #[test]
     fn streamed_probe() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8, ColumnLayout::ints(2));
         let collected = Arc::new(Mutex::new(Vec::new()));
         // Producer thread: sends 5 probe tuples then End.
         let producer = std::thread::spawn(move || {
@@ -115,7 +116,7 @@ mod tests {
 
     #[test]
     fn streamed_build_is_rejected() {
-        let (_txs, rxs, _pool) = operand_channels(1, 1, 1);
+        let (_txs, rxs, _pool) = operand_channels(1, 1, 1, ColumnLayout::ints(2));
         let collected = Arc::new(Mutex::new(Vec::new()));
         let r = run_simple_instance(
             spec(),

@@ -33,8 +33,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, TryRecvError};
-use mj_relalg::hash::bucket_of;
-use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Relation, Result, Tuple};
+use mj_relalg::column::ColumnBatch;
+use mj_relalg::{EquiJoin, JoinAlgorithm, RelalgError, Relation, Result};
+use mj_storage::scan_bucket_columns;
 
 use crate::handle::QueryCtrl;
 use crate::metrics::InstanceStats;
@@ -44,32 +45,42 @@ use crate::sched::{Step, Task};
 use crate::source::Source;
 use crate::stream::{Batch, Msg};
 
-/// Tuples processed per scheduling step: long enough to amortize queue
+/// Rows processed per scheduling step: long enough to amortize queue
 /// round-trips, short enough that concurrent queries interleave finely.
 const QUANTUM: usize = 512;
 
 /// What a completed (or failed) instance sends to its query coordinator.
 pub type DoneMsg = (usize, Result<InstanceStats>);
 
-/// A resumable operand: the task-side view of a [`Source`], holding an
-/// explicit cursor so a blocked instance can pick up exactly where it
-/// stopped.
+/// A resumable operand: the task-side view of a [`Source`], holding the
+/// current columnar chunk plus an explicit row cursor so a blocked
+/// instance picks up exactly where it stopped.
+///
+/// `Local` and `Filtered` operands convert their fragments to columns
+/// *lazily on the worker thread* — one [`ColumnBatch`] per fragment, built
+/// the first time the chunk is needed — so conversion cost lands on the
+/// instance that consumes the data, not on query setup.
 enum Operand {
-    /// A processor-local fragment; read by index.
+    /// A processor-local fragment, scanned into columns on first touch.
     Local {
         rel: std::sync::Arc<Relation>,
+        cols: Option<ColumnBatch>,
         pos: usize,
+        done: bool,
     },
-    /// Materialized producer fragments filtered to this instance's bucket.
+    /// Materialized producer fragments filtered to this instance's bucket:
+    /// each fragment is bucket-scanned ([`scan_bucket_columns`]) into one
+    /// columnar chunk holding exactly the surviving rows.
     Filtered {
         fragments: Vec<std::sync::Arc<Relation>>,
         key_col: usize,
         bucket: usize,
         of: usize,
         frag: usize,
+        cols: Option<ColumnBatch>,
         pos: usize,
     },
-    /// A live stream; `current` is a partially consumed batch.
+    /// A live stream; `current` is a partially consumed in-flight batch.
     Stream {
         rx: Receiver<Msg>,
         remaining: usize,
@@ -78,10 +89,12 @@ enum Operand {
     },
 }
 
-/// One pull on an operand.
-enum Pulled {
-    /// A tuple is available now.
-    Tuple(Tuple),
+/// The state of an operand after [`Operand::ready`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Feed {
+    /// A chunk with unconsumed rows is loaded ([`Operand::chunk`] is
+    /// valid).
+    Ready,
     /// A stream operand has nothing queued right now; yield and retry.
     Pending,
     /// The operand is fully consumed.
@@ -91,7 +104,12 @@ enum Pulled {
 impl Operand {
     fn new(source: Source) -> Operand {
         match source {
-            Source::Local(rel) => Operand::Local { rel, pos: 0 },
+            Source::Local(rel) => Operand::Local {
+                rel,
+                cols: None,
+                pos: 0,
+                done: false,
+            },
             Source::Filtered {
                 fragments,
                 key_col,
@@ -103,6 +121,7 @@ impl Operand {
                 bucket,
                 of,
                 frag: 0,
+                cols: None,
                 pos: 0,
             },
             Source::Stream { rx, producers } => Operand::Stream {
@@ -118,16 +137,29 @@ impl Operand {
         matches!(self, Operand::Stream { .. })
     }
 
-    /// Pulls the next tuple without ever blocking.
-    fn pull(&mut self) -> Result<Pulled> {
+    /// Ensures a chunk with unconsumed rows is loaded, without ever
+    /// blocking. Spent chunks are released here (stream buffers return to
+    /// their pool; scanned fragments free their columns).
+    fn ready(&mut self) -> Result<Feed> {
         match self {
-            Operand::Local { rel, pos } => {
-                if *pos >= rel.len() {
-                    return Ok(Pulled::Exhausted);
+            Operand::Local {
+                rel,
+                cols,
+                pos,
+                done,
+            } => {
+                if *done {
+                    return Ok(Feed::Exhausted);
                 }
-                let t = rel.tuples()[*pos].clone();
-                *pos += 1;
-                Ok(Pulled::Tuple(t))
+                if cols.is_none() {
+                    *cols = Some(ColumnBatch::from_relation(rel)?);
+                }
+                if *pos >= cols.as_ref().map_or(0, ColumnBatch::rows) {
+                    *cols = None;
+                    *done = true;
+                    return Ok(Feed::Exhausted);
+                }
+                Ok(Feed::Ready)
             }
             Operand::Filtered {
                 fragments,
@@ -135,22 +167,27 @@ impl Operand {
                 bucket,
                 of,
                 frag,
+                cols,
                 pos,
-            } => {
-                while *frag < fragments.len() {
-                    let tuples = fragments[*frag].tuples();
-                    while *pos < tuples.len() {
-                        let t = &tuples[*pos];
-                        *pos += 1;
-                        if bucket_of(t.int(*key_col)?, *of) == *bucket {
-                            return Ok(Pulled::Tuple(t.clone()));
-                        }
+            } => loop {
+                if let Some(c) = cols {
+                    if *pos < c.rows() {
+                        return Ok(Feed::Ready);
                     }
-                    *frag += 1;
+                    *cols = None;
                     *pos = 0;
                 }
-                Ok(Pulled::Exhausted)
-            }
+                if *frag >= fragments.len() {
+                    return Ok(Feed::Exhausted);
+                }
+                *cols = Some(scan_bucket_columns(
+                    &fragments[*frag],
+                    *key_col,
+                    *bucket,
+                    *of,
+                )?);
+                *frag += 1;
+            },
             Operand::Stream {
                 rx,
                 remaining,
@@ -159,16 +196,14 @@ impl Operand {
             } => loop {
                 if let Some(batch) = current {
                     if *pos < batch.len() {
-                        let t = batch.tuples()[*pos].clone();
-                        *pos += 1;
-                        return Ok(Pulled::Tuple(t));
+                        return Ok(Feed::Ready);
                     }
-                    // Dropping the batch returns its buffer to the pool.
+                    // Dropping the batch returns its buffers to the pool.
                     *current = None;
                     *pos = 0;
                 }
                 if *remaining == 0 {
-                    return Ok(Pulled::Exhausted);
+                    return Ok(Feed::Exhausted);
                 }
                 match rx.try_recv() {
                     Ok(Msg::Batch(b)) => {
@@ -176,12 +211,34 @@ impl Operand {
                         *pos = 0;
                     }
                     Ok(Msg::End) => *remaining -= 1,
-                    Err(TryRecvError::Empty) => return Ok(Pulled::Pending),
+                    Err(TryRecvError::Empty) => return Ok(Feed::Pending),
                     Err(TryRecvError::Disconnected) => {
                         return Err(RelalgError::InvalidPlan("stream closed before End".into()))
                     }
                 }
             },
+        }
+    }
+
+    /// The current chunk and its cursor. Only valid directly after
+    /// [`ready`](Self::ready) returned [`Feed::Ready`].
+    fn chunk(&self) -> (&ColumnBatch, usize) {
+        match self {
+            Operand::Local { cols, pos, .. } | Operand::Filtered { cols, pos, .. } => {
+                (cols.as_ref().expect("ready chunk"), *pos)
+            }
+            Operand::Stream { current, pos, .. } => {
+                (current.as_ref().expect("ready chunk").columns(), *pos)
+            }
+        }
+    }
+
+    /// Advances the cursor past `n` consumed rows.
+    fn consume(&mut self, n: usize) {
+        match self {
+            Operand::Local { pos, .. }
+            | Operand::Filtered { pos, .. }
+            | Operand::Stream { pos, .. } => *pos += n,
         }
     }
 }
@@ -207,8 +264,9 @@ pub struct OpTask {
     op: Box<dyn PhysicalOp>,
     operands: Vec<Operand>,
     output: OutputPort,
-    /// Result tuples awaiting emission (shared with the operator).
-    out: Vec<Tuple>,
+    /// Result rows awaiting emission, column-wise (shared with the
+    /// operator, which appends; the port drains).
+    out: ColumnBatch,
     /// Emission cursor into `out` (for resumable routing).
     out_pos: usize,
     batch: usize,
@@ -268,7 +326,7 @@ impl OpTask {
             op,
             operands: sources.into_iter().map(Operand::new).collect(),
             output,
-            out: Vec::with_capacity(batch),
+            out: ColumnBatch::shapeless(),
             out_pos: 0,
             batch,
             phase: Phase::Start,
@@ -376,8 +434,11 @@ impl OpTask {
         budget.is_exhausted()
     }
 
-    /// Emits `out[out_pos..]`; `Ok(false)` means the output is
-    /// backpressured and the task should yield.
+    /// Emits rows `out_pos..` of `out`; `Ok(false)` means the output is
+    /// backpressured and the task should yield. `tuples_out` counts rows
+    /// here — *after* the operator's selection vectors dropped
+    /// non-qualifying rows — so the metric reports rows actually produced,
+    /// not rows scanned.
     fn flush_out(&mut self) -> Result<bool> {
         let (emitted, done) = self.output.try_emit(&mut self.out, &mut self.out_pos)?;
         self.stats.tuples_out += emitted;
@@ -412,9 +473,9 @@ impl OpTask {
         Ok(Step::Progress)
     }
 
-    /// Build phase: drain the immediate build side into the operator. No
-    /// output is produced, so this never blocks — it only paces itself by
-    /// the quantum.
+    /// Build phase: drain the immediate build side into the operator in
+    /// chunk-sized bulk inserts. No output is produced, so this never
+    /// blocks — it only paces itself by the quantum.
     fn step_build(&mut self) -> Result<Step> {
         let build = self.build_side().expect("build phase implies a build side");
         if self.operands[build].is_stream() {
@@ -423,31 +484,41 @@ impl OpTask {
                 self.op.kind()
             )));
         }
-        for _ in 0..QUANTUM {
-            match self.operands[build].pull()? {
-                Pulled::Tuple(t) => {
-                    self.op.build(t)?;
-                    self.stats.tuples_in[build] += 1;
+        let mut budget = QUANTUM;
+        while budget > 0 {
+            match self.operands[build].ready()? {
+                Feed::Ready => {
+                    let take;
+                    {
+                        let (cols, pos) = self.operands[build].chunk();
+                        let end = (pos + budget).min(cols.rows());
+                        take = end - pos;
+                        self.op.build_batch(cols, pos..end)?;
+                    }
+                    self.operands[build].consume(take);
+                    self.stats.tuples_in[build] += take as u64;
+                    budget -= take;
                 }
-                Pulled::Exhausted => {
+                Feed::Exhausted => {
                     self.op.finish_build();
                     self.phase = Phase::Feed;
                     return Ok(Step::Progress);
                 }
-                Pulled::Pending => unreachable!("immediate operands never pend"),
+                Feed::Pending => unreachable!("immediate operands never pend"),
             }
         }
         Ok(Step::Progress)
     }
 
-    /// The common feed loop: pull from whichever operand has tuples ready,
-    /// push through the operator, and flush full output batches.
+    /// The common feed loop: absorb a chunk range from whichever operand
+    /// has rows ready, and flush full output batches.
     fn step_feed(&mut self) -> Result<Step> {
         if !self.flush_out()? {
             return Ok(Step::Blocked);
         }
         let mut moved = false;
-        for _ in 0..QUANTUM {
+        let mut budget = QUANTUM;
+        while budget > 0 {
             // Polling order this iteration: single-input operators and
             // build-then-probe feeds have exactly one live side; the
             // interleaved two-input feed alternates, preferring `turn` so
@@ -461,27 +532,36 @@ impl OpTask {
                 }
             };
             self.turn = self.turn.wrapping_add(1);
-            let mut pulled = None;
+            let mut chosen = None;
             let mut exhausted = 0usize;
             for &side in if sides[0] == sides[1] {
                 &sides[..1]
             } else {
                 &sides[..]
             } {
-                match self.operands[side].pull()? {
-                    Pulled::Tuple(t) => {
-                        pulled = Some((side, t));
+                match self.operands[side].ready()? {
+                    Feed::Ready => {
+                        chosen = Some(side);
                         break;
                     }
-                    Pulled::Exhausted => exhausted += 1,
-                    Pulled::Pending => {}
+                    Feed::Exhausted => exhausted += 1,
+                    Feed::Pending => {}
                 }
             }
             let tried = if sides[0] == sides[1] { 1 } else { 2 };
-            match pulled {
-                Some((side, t)) => {
-                    let verdict = self.op.absorb(side, t, &mut self.out)?;
-                    self.stats.tuples_in[side] += 1;
+            match chosen {
+                Some(side) => {
+                    let take;
+                    let verdict;
+                    {
+                        let (cols, pos) = self.operands[side].chunk();
+                        let end = (pos + budget).min(cols.rows());
+                        take = end - pos;
+                        verdict = self.op.absorb_batch(side, cols, pos..end, &mut self.out)?;
+                    }
+                    self.operands[side].consume(take);
+                    self.stats.tuples_in[side] += take as u64;
+                    budget -= take;
                     moved = true;
                     if verdict == Absorb::Satisfied {
                         // The output is complete: stop feeding, tell the
@@ -494,9 +574,9 @@ impl OpTask {
                         self.phase = Phase::Finish;
                         return Ok(Step::Progress);
                     }
-                    if self.out.len() >= self.batch && !self.flush_out()? {
+                    if self.out.rows() >= self.batch && !self.flush_out()? {
                         // Output backpressure mid-quantum: we did move
-                        // tuples, so keep our rotation slot as Progress.
+                        // rows, so keep our rotation slot as Progress.
                         return Ok(Step::Progress);
                     }
                 }

@@ -174,8 +174,11 @@ impl PlannedQuery {
             out.push_str("post-join pipeline:\n");
             for stage in self.binding.stages() {
                 out.push_str(&format!(
-                    "  -> {} [x{}] est {} rows\n",
-                    stage.label, stage.degree, stage.est_out
+                    "  -> {} [x{}] est {} rows (~{} B columnar)\n",
+                    stage.label,
+                    stage.degree,
+                    stage.est_out,
+                    stage.est_bytes()
                 ));
             }
         }

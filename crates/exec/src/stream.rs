@@ -1,33 +1,47 @@
-//! Tuple streams: bounded channels plus the hash-split router.
+//! Columnar batch streams: bounded channels plus the hash-split router.
 //!
 //! A redistribution between an n-instance producer and an m-instance
 //! consumer opens n×m logical streams (§3.5): each producer instance holds
-//! a sender to each consumer instance and routes every tuple by hashing
-//! the consumer's key column — the same hash that fragments base relations,
+//! a sender to each consumer instance and routes every row by hashing the
+//! consumer's key column — the same hash that fragments base relations,
 //! so co-partitioned operands stay aligned.
 //!
-//! Batch buffers are pooled per redistribution edge: a consumer that
-//! finishes a [`Batch`] returns the emptied `Vec` to the shared
-//! [`BatchPool`], and producers reuse it for the next flush. The pool is
+//! Batches travel **column-wise** ([`ColumnBatch`]): one `i64` buffer per
+//! integer column, a `Value` fallback column otherwise. The router splits
+//! a whole batch at a time — hash the key column into a destination vector
+//! ([`bucket_keys`]), then gather each destination's rows column-at-a-time
+//! — instead of dispatching per tuple. Rows ([`Tuple`]) are materialized
+//! only at the client boundary ([`ClientSink`] / [`Batch::drain`]).
+//!
+//! Column buffers are pooled per redistribution edge: a consumer that
+//! finishes a [`Batch`] returns the emptied buffers to the shared
+//! [`BatchPool`], and producers reuse them for the next flush. The pool is
+//! created with the edge's [`ColumnLayout`], so takes/misses and the
+//! attached memory budget account **real columnar bytes** (8 bytes per
+//! pooled `i64` slot, one `Value` slot per fallback column — see
+//! [`ColumnLayout::row_bytes`]), not a per-row struct guess. The pool is
 //! sized from **both** endpoint counts ([`edge_buffer_bound`]): every
 //! in-flight channel slot plus every producer-side fill buffer can be
-//! pooled, so in steady state the edge moves tuples with **zero** buffer
-//! allocations — the only per-tuple cost is the (cheap, shared-payload)
-//! tuple move itself. The pool counts takes and misses so benches can
-//! assert the hit rate.
+//! pooled, so in steady state the edge moves rows with **zero** buffer
+//! allocations. The pool counts takes and misses so benches can assert the
+//! hit rate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use mj_relalg::hash::bucket_of;
+use mj_relalg::column::{bucket_keys, ColumnBatch, ColumnLayout};
 use mj_relalg::{RelalgError, Result, Tuple};
 use parking_lot::Mutex;
 
-/// A bounded recycler of batch buffers shared by one redistribution edge.
+/// A bounded recycler of column-batch buffers shared by one
+/// redistribution edge. Layout-aware: every pooled buffer has the edge's
+/// column types, and budget accounting charges the buffers' real
+/// allocated bytes.
 pub struct BatchPool {
-    free: Mutex<Vec<Vec<Tuple>>>,
+    free: Mutex<Vec<ColumnBatch>>,
     limit: usize,
+    layout: ColumnLayout,
     takes: AtomicU64,
     misses: AtomicU64,
     /// The owning query's memory budget, when one is attached: allocating
@@ -37,22 +51,24 @@ pub struct BatchPool {
     charged: AtomicU64,
 }
 
-/// Budget bytes attributed to one pooled buffer of `capacity` tuples.
-fn buffer_bytes(capacity: usize) -> u64 {
-    (capacity * std::mem::size_of::<Tuple>()) as u64
-}
-
 impl BatchPool {
-    /// Creates a pool retaining at most `limit` spare buffers.
-    pub fn new(limit: usize) -> Arc<Self> {
+    /// Creates a pool retaining at most `limit` spare buffers of the given
+    /// column layout.
+    pub fn new(limit: usize, layout: ColumnLayout) -> Arc<Self> {
         Arc::new(BatchPool {
             free: Mutex::new(Vec::new()),
             limit: limit.max(1),
+            layout,
             takes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             budget: Mutex::new(None),
             charged: AtomicU64::new(0),
         })
+    }
+
+    /// The column layout of this pool's buffers.
+    pub fn layout(&self) -> &ColumnLayout {
+        &self.layout
     }
 
     /// Attaches the owning query's memory budget: every buffer this pool
@@ -61,30 +77,37 @@ impl BatchPool {
         *self.budget.lock() = Some(budget);
     }
 
-    /// Takes a spare buffer, or allocates one of `capacity`.
-    pub fn take(&self, capacity: usize) -> Vec<Tuple> {
+    /// Takes a spare buffer, or allocates one with room for `capacity`
+    /// rows. Allocations charge the attached budget with the buffer's
+    /// actual columnar bytes.
+    pub fn take(&self, capacity: usize) -> ColumnBatch {
         self.takes.fetch_add(1, Ordering::Relaxed);
         match self.free.lock().pop() {
             Some(buf) => buf,
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                if let Some(budget) = self.budget.lock().as_ref() {
-                    budget.charge(buffer_bytes(capacity));
-                    self.charged
-                        .fetch_add(buffer_bytes(capacity), Ordering::Relaxed);
+                let buf = ColumnBatch::with_capacity(&self.layout, capacity);
+                let bytes = buf.capacity_bytes();
+                if bytes > 0 {
+                    if let Some(budget) = self.budget.lock().as_ref() {
+                        budget.charge(bytes);
+                        self.charged.fetch_add(bytes, Ordering::Relaxed);
+                    }
                 }
-                Vec::with_capacity(capacity)
+                buf
             }
         }
     }
 
-    /// Returns an emptied buffer for reuse (dropped if the pool is full).
-    pub fn put(&self, mut buf: Vec<Tuple>) {
+    /// Returns an emptied buffer for reuse (dropped — and its bytes
+    /// credited back — if the pool is full or the buffer has a foreign
+    /// layout).
+    pub fn put(&self, mut buf: ColumnBatch) {
         buf.clear();
-        let capacity = buf.capacity();
+        let bytes = buf.capacity_bytes();
         let dropped = {
             let mut free = self.free.lock();
-            if free.len() < self.limit {
+            if free.len() < self.limit && buf.layout() == self.layout {
                 free.push(buf);
                 false
             } else {
@@ -92,7 +115,7 @@ impl BatchPool {
             }
         };
         if dropped {
-            self.credit(buffer_bytes(capacity));
+            self.credit(bytes);
         }
     }
 
@@ -163,67 +186,105 @@ impl Drop for BatchPool {
     }
 }
 
-/// A batch of tuples in flight. Dropping the batch returns its buffer to
-/// the owning pool — consumers just drain and drop.
+/// A columnar batch of rows in flight. Dropping the batch returns its
+/// column buffers to the owning pool — consumers read (or drain) and drop.
 pub struct Batch {
-    tuples: Vec<Tuple>,
+    cols: ColumnBatch,
     pool: Option<Arc<BatchPool>>,
 }
 
 impl Batch {
-    /// Wraps a full buffer for sending; `pool` receives the buffer back
+    /// Wraps a full buffer for sending; `pool` receives the buffers back
     /// when the batch is dropped.
-    pub fn new(tuples: Vec<Tuple>, pool: Arc<BatchPool>) -> Self {
+    pub fn new(cols: ColumnBatch, pool: Arc<BatchPool>) -> Self {
         Batch {
-            tuples,
+            cols,
             pool: Some(pool),
         }
     }
 
     /// A pool-less batch (tests and ad-hoc streams).
-    pub fn unpooled(tuples: Vec<Tuple>) -> Self {
-        Batch { tuples, pool: None }
+    pub fn unpooled(cols: ColumnBatch) -> Self {
+        Batch { cols, pool: None }
     }
 
-    /// Number of tuples in the batch.
+    /// A pool-less batch built from rows (tests).
+    pub fn from_tuples(tuples: &[Tuple]) -> Result<Self> {
+        let mut cols = ColumnBatch::shapeless();
+        for t in tuples {
+            cols.push_tuple(t)?;
+        }
+        Ok(Batch::unpooled(cols))
+    }
+
+    /// Number of rows in the batch.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.cols.rows()
     }
 
-    /// True if the batch holds no tuples.
+    /// True if the batch holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.cols.is_empty()
     }
 
-    /// The tuples, borrowed.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The columns, borrowed (the zero-copy consumer path).
+    pub fn columns(&self) -> &ColumnBatch {
+        &self.cols
     }
 
-    /// Consumes the tuples, leaving the buffer to be recycled on drop.
-    pub fn drain(&mut self) -> std::vec::Drain<'_, Tuple> {
-        self.tuples.drain(..)
+    /// Logical bytes of the rows held.
+    pub fn est_bytes(&self) -> u64 {
+        self.cols.est_bytes()
+    }
+
+    /// Materializes row `i` as a [`Tuple`] (client boundary).
+    pub fn row(&self, i: usize) -> Result<Tuple> {
+        self.cols.row(i)
+    }
+
+    /// Materializes all rows (client boundary / tests).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.cols.rows());
+        for i in 0..self.cols.rows() {
+            // Rows of a well-formed batch always materialize.
+            out.push(self.cols.row(i).expect("batch row within bounds"));
+        }
+        out
+    }
+
+    /// Materializes and consumes the rows, leaving the emptied column
+    /// buffers to be recycled on drop. This is where the columnar world
+    /// turns back into [`Tuple`]s for the client.
+    pub fn drain(&mut self) -> std::vec::IntoIter<Tuple> {
+        let tuples = self.to_tuples();
+        self.cols.clear();
+        tuples.into_iter()
     }
 }
 
 impl Drop for Batch {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
-            pool.put(std::mem::take(&mut self.tuples));
+            pool.put(std::mem::take(&mut self.cols));
         }
     }
 }
 
 impl std::fmt::Debug for Batch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Batch({} tuples)", self.tuples.len())
+        write!(
+            f,
+            "Batch({} rows x {} cols)",
+            self.cols.rows(),
+            self.cols.arity()
+        )
     }
 }
 
-/// A message on a tuple stream.
+/// A message on a batch stream.
 #[derive(Debug)]
 pub enum Msg {
-    /// A batch of tuples.
+    /// A columnar batch of rows.
     Batch(Batch),
     /// The sending producer instance is done.
     End,
@@ -241,13 +302,15 @@ pub fn edge_buffer_bound(producers: usize, consumers: usize, capacity: usize) ->
 /// Creates the channels for one redistributed operand between a
 /// `producers`-instance producer and a `consumers`-instance consumer:
 /// `consumers` receivers, each of capacity `capacity` batches, plus the
-/// edge's shared buffer pool, sized from **both** endpoint counts (each
-/// producer instance holds `consumers` fill buffers on top of the
-/// in-flight slots, so a consumer-only bound would thrash the pool).
+/// edge's shared buffer pool (typed with the operand's column `layout`),
+/// sized from **both** endpoint counts (each producer instance holds
+/// `consumers` fill buffers on top of the in-flight slots, so a
+/// consumer-only bound would thrash the pool).
 pub fn operand_channels(
     producers: usize,
     consumers: usize,
     capacity: usize,
+    layout: ColumnLayout,
 ) -> (Vec<Sender<Msg>>, Vec<Receiver<Msg>>, Arc<BatchPool>) {
     let mut txs = Vec::with_capacity(consumers);
     let mut rxs = Vec::with_capacity(consumers);
@@ -256,7 +319,7 @@ pub fn operand_channels(
         txs.push(tx);
         rxs.push(rx);
     }
-    let pool = BatchPool::new(edge_buffer_bound(producers, consumers, capacity));
+    let pool = BatchPool::new(edge_buffer_bound(producers, consumers, capacity), layout);
     (txs, rxs, pool)
 }
 
@@ -272,22 +335,24 @@ fn hung_up() -> RelalgError {
 pub fn client_channel(
     producers: usize,
     capacity: usize,
+    layout: ColumnLayout,
 ) -> (Sender<Msg>, Receiver<Msg>, Arc<BatchPool>) {
     let (tx, rx) = bounded(capacity);
-    let pool = BatchPool::new(edge_buffer_bound(producers, 1, capacity));
+    let pool = BatchPool::new(edge_buffer_bound(producers, 1, capacity), layout);
     (tx, rx, pool)
 }
 
-/// A root instance's sender into the query's result channel: batches tuples
-/// and ships them to the client with the same non-blocking, one-parked-batch
-/// discipline as [`Router`], minus the hash split (all root instances feed
-/// one [`ResultStream`](crate::handle::ResultStream)). Backpressure from a
-/// slow client therefore propagates into the worker pool: a root task whose
-/// send parks yields its worker instead of buffering unboundedly.
+/// A root instance's sender into the query's result channel: buffers rows
+/// column-wise and ships them to the client with the same non-blocking,
+/// one-parked-batch discipline as [`Router`], minus the hash split (all
+/// root instances feed one [`ResultStream`](crate::handle::ResultStream)).
+/// Backpressure from a slow client therefore propagates into the worker
+/// pool: a root task whose send parks yields its worker instead of
+/// buffering unboundedly.
 pub struct ClientSink {
     tx: Sender<Msg>,
     batch: usize,
-    buffer: Vec<Tuple>,
+    buffer: ColumnBatch,
     pool: Arc<BatchPool>,
     sent: u64,
     /// A batch (or End) that hit the full channel and awaits retry.
@@ -312,7 +377,7 @@ impl ClientSink {
         }
     }
 
-    /// Tuples accepted so far.
+    /// Rows accepted so far.
     pub fn sent(&self) -> u64 {
         self.sent
     }
@@ -345,20 +410,48 @@ impl ClientSink {
         }
     }
 
-    /// Non-blocking push: accepts the tuple unless a previously parked batch
-    /// still cannot be delivered, in which case the tuple is handed back
-    /// (`Ok(Some(tuple))`) and the caller should yield its worker.
+    fn flush_buffer(&mut self) -> Result<()> {
+        let full = std::mem::replace(&mut self.buffer, self.pool.take(self.batch));
+        self.try_send_or_park(Msg::Batch(Batch::new(full, self.pool.clone())))
+    }
+
+    /// Non-blocking row push: accepts the tuple unless a previously parked
+    /// batch still cannot be delivered, in which case the tuple is handed
+    /// back (`Ok(Some(tuple))`) and the caller should yield its worker.
     pub fn try_push(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
         if !self.poll_unblocked()? {
             return Ok(Some(tuple));
         }
-        self.buffer.push(tuple);
+        self.buffer.push_tuple(&tuple)?;
         self.sent += 1;
-        if self.buffer.len() >= self.batch {
-            let full = std::mem::replace(&mut self.buffer, self.pool.take(self.batch));
-            self.try_send_or_park(Msg::Batch(Batch::new(full, self.pool.clone())))?;
+        if self.buffer.rows() >= self.batch {
+            self.flush_buffer()?;
         }
         Ok(None)
+    }
+
+    /// Non-blocking columnar append: moves rows `*pos..` of `cols` into
+    /// the sink, flushing full buffers. Returns the rows accepted this
+    /// call and whether the input was fully consumed (`false` means the
+    /// channel is applying backpressure — yield and retry). `*pos` is
+    /// advanced past the accepted rows.
+    pub fn try_append_batch(&mut self, cols: &ColumnBatch, pos: &mut usize) -> Result<(u64, bool)> {
+        let mut emitted = 0u64;
+        while *pos < cols.rows() {
+            if !self.poll_unblocked()? {
+                return Ok((emitted, false));
+            }
+            let room = self.batch.saturating_sub(self.buffer.rows()).max(1);
+            let take = room.min(cols.rows() - *pos);
+            self.buffer.append_rows(cols, *pos..*pos + take)?;
+            *pos += take;
+            emitted += take as u64;
+            self.sent += take as u64;
+            if self.buffer.rows() >= self.batch {
+                self.flush_buffer()?;
+            }
+        }
+        Ok((emitted, true))
     }
 
     /// Non-blocking finish: flushes the remaining buffer and queues `End`,
@@ -414,8 +507,15 @@ impl ClientSink {
     }
 }
 
-/// A producer instance's split sender: buffers tuples per destination and
-/// ships batches, reusing buffers from the edge's pool.
+/// A producer instance's split sender: buffers rows per destination
+/// (column-wise) and ships batches, reusing buffers from the edge's pool.
+///
+/// The columnar path ([`try_route_batch`](Router::try_route_batch)) splits
+/// a whole batch at a time: hash the key column into a destination vector,
+/// build one selection vector per destination, and gather each
+/// destination's rows column-at-a-time — per-row dispatch happens only in
+/// the row-compat [`try_route`](Router::try_route) used by tests and
+/// blocking drivers.
 ///
 /// The router exposes two interfaces over one state machine:
 ///
@@ -430,18 +530,22 @@ pub struct Router {
     senders: Vec<Sender<Msg>>,
     key_col: usize,
     batch: usize,
-    buffers: Vec<Vec<Tuple>>,
+    buffers: Vec<ColumnBatch>,
     pool: Arc<BatchPool>,
     sent: u64,
     /// A batch (or End) that hit a full channel and awaits retry.
     pending: Option<(usize, Msg)>,
     /// Destinations fully finished (flushed + End queued) so far.
     finish_pos: usize,
+    /// Scratch: per-row destination of the batch being split.
+    dest_scratch: Vec<u32>,
+    /// Scratch: per-destination selection vectors for the gather.
+    sel_scratch: Vec<Vec<u32>>,
 }
 
 impl Router {
     /// Creates a router over the destination senders, splitting on
-    /// `key_col` of the routed tuples.
+    /// `key_col` of the routed rows.
     pub fn new(
         senders: Vec<Sender<Msg>>,
         key_col: usize,
@@ -450,6 +554,7 @@ impl Router {
     ) -> Self {
         assert!(!senders.is_empty(), "router needs at least one destination");
         let buffers = senders.iter().map(|_| pool.take(batch)).collect();
+        let sel_scratch = senders.iter().map(|_| Vec::new()).collect();
         Router {
             senders,
             key_col,
@@ -459,6 +564,8 @@ impl Router {
             sent: 0,
             pending: None,
             finish_pos: 0,
+            dest_scratch: Vec::new(),
+            sel_scratch,
         }
     }
 
@@ -467,7 +574,7 @@ impl Router {
         self.senders.len()
     }
 
-    /// Tuples routed so far.
+    /// Rows routed so far.
     pub fn sent(&self) -> u64 {
         self.sent
     }
@@ -503,13 +610,33 @@ impl Router {
         }
     }
 
-    /// Non-blocking route: accepts the tuple unless a previously parked
-    /// batch still cannot be delivered, in which case the tuple is handed
-    /// back (`Ok(Some(tuple))`) and the caller should yield. A full
-    /// destination buffer is flushed with `try_send`; on backpressure the
-    /// flushed batch parks (the tuple itself is still accepted). The
-    /// replacement buffer comes from the pool (take-and-swap), so steady
-    /// state allocates nothing.
+    fn flush_dest(&mut self, dest: usize) -> Result<bool> {
+        let full = std::mem::replace(&mut self.buffers[dest], self.pool.take(self.batch));
+        self.try_send_or_park(dest, Msg::Batch(Batch::new(full, self.pool.clone())))
+    }
+
+    /// Flushes every destination buffer at or over the batch threshold,
+    /// stopping at the first park.
+    fn flush_full(&mut self) -> Result<()> {
+        for dest in 0..self.senders.len() {
+            if self.pending.is_some() {
+                return Ok(());
+            }
+            if self.buffers[dest].rows() >= self.batch {
+                self.flush_dest(dest)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking row route (row-compat path for tests and blocking
+    /// drivers): accepts the tuple unless a previously parked batch still
+    /// cannot be delivered, in which case the tuple is handed back
+    /// (`Ok(Some(tuple))`) and the caller should yield. A full destination
+    /// buffer is flushed with `try_send`; on backpressure the flushed batch
+    /// parks (the tuple itself is still accepted). The replacement buffer
+    /// comes from the pool (take-and-swap), so steady state allocates
+    /// nothing.
     pub fn try_route(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
         if !self.poll_unblocked()? {
             return Ok(Some(tuple));
@@ -520,15 +647,54 @@ impl Router {
         let dest = if self.senders.len() == 1 {
             0
         } else {
-            bucket_of(tuple.int(self.key_col)?, self.senders.len())
+            mj_relalg::hash::bucket_of(tuple.int(self.key_col)?, self.senders.len())
         };
-        self.buffers[dest].push(tuple);
+        self.buffers[dest].push_tuple(&tuple)?;
         self.sent += 1;
-        if self.buffers[dest].len() >= self.batch {
-            let full = std::mem::replace(&mut self.buffers[dest], self.pool.take(self.batch));
-            self.try_send_or_park(dest, Msg::Batch(Batch::new(full, self.pool.clone())))?;
+        if self.buffers[dest].rows() >= self.batch {
+            self.flush_dest(dest)?;
         }
         Ok(None)
+    }
+
+    /// Non-blocking columnar route: splits rows `*pos..` of `cols` across
+    /// the destinations in one vectorized pass (hash the key column, then
+    /// gather per destination) and flushes full buffers. Returns the rows
+    /// accepted and whether the input was fully consumed (`false` means a
+    /// previously parked batch still blocks the router — yield and retry).
+    /// `*pos` is advanced past the accepted rows.
+    pub fn try_route_batch(&mut self, cols: &ColumnBatch, pos: &mut usize) -> Result<(u64, bool)> {
+        if *pos >= cols.rows() {
+            self.flush_full()?;
+            return Ok((0, true));
+        }
+        if !self.poll_unblocked()? {
+            return Ok((0, false));
+        }
+        let n = cols.rows() - *pos;
+        if self.senders.len() == 1 {
+            self.buffers[0].append_rows(cols, *pos..cols.rows())?;
+        } else {
+            let keys = cols.int_col(self.key_col)?;
+            bucket_keys(&keys[*pos..], self.senders.len(), &mut self.dest_scratch);
+            for sel in &mut self.sel_scratch {
+                sel.clear();
+            }
+            for (i, &d) in self.dest_scratch.iter().enumerate() {
+                self.sel_scratch[d as usize].push((*pos + i) as u32);
+            }
+            for dest in 0..self.senders.len() {
+                let sel = std::mem::take(&mut self.sel_scratch[dest]);
+                if !sel.is_empty() {
+                    self.buffers[dest].append_gather(cols, &sel)?;
+                }
+                self.sel_scratch[dest] = sel;
+            }
+        }
+        *pos = cols.rows();
+        self.sent += n as u64;
+        self.flush_full()?;
+        Ok((n as u64, true))
     }
 
     /// Non-blocking finish: flushes every buffer and queues `End` to every
@@ -588,13 +754,14 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mj_relalg::hash::bucket_of;
 
     #[test]
     fn routes_by_key_and_flushes_on_finish() {
-        let (txs, rxs, pool) = operand_channels(1, 3, 8);
+        let (txs, rxs, pool) = operand_channels(1, 3, 8, ColumnLayout::ints(2));
         // Consume concurrently: the channels are bounded, so routing 100
-        // tuples before draining anything would block on backpressure once
-        // one destination exceeds capacity x batch tuples.
+        // rows before draining anything would block on backpressure once
+        // one destination exceeds capacity x batch rows.
         let consumers: Vec<_> = rxs
             .into_iter()
             .enumerate()
@@ -605,11 +772,11 @@ mod tests {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Msg::Batch(batch) => {
-                                for t in batch.tuples() {
+                                for &k in batch.columns().int_col(0).unwrap() {
                                     assert_eq!(
-                                        bucket_of(t.int(0).unwrap(), 3),
+                                        bucket_of(k, 3),
                                         dest,
-                                        "tuple routed to wrong destination"
+                                        "row routed to wrong destination"
                                     );
                                 }
                                 n += batch.len();
@@ -637,10 +804,40 @@ mod tests {
     }
 
     #[test]
+    fn batch_route_splits_like_row_route() {
+        let (txs, rxs, pool) = operand_channels(1, 4, 64, ColumnLayout::ints(2));
+        let mut router = Router::new(txs, 0, 16, pool);
+        let mut cols = ColumnBatch::with_capacity(&ColumnLayout::ints(2), 100);
+        for k in 0..100i64 {
+            cols.push_tuple(&Tuple::from_ints(&[k, k * 2])).unwrap();
+        }
+        let mut pos = 0;
+        let (n, done) = router.try_route_batch(&cols, &mut pos).unwrap();
+        assert_eq!((n, done, pos), (100, true, 100));
+        assert!(router.try_finish().unwrap());
+        let mut total = 0usize;
+        for (dest, rx) in rxs.into_iter().enumerate() {
+            loop {
+                match rx.try_recv() {
+                    Ok(Msg::Batch(b)) => {
+                        for &k in b.columns().int_col(0).unwrap() {
+                            assert_eq!(bucket_of(k, 4), dest);
+                        }
+                        total += b.len();
+                    }
+                    Ok(Msg::End) => break,
+                    Err(_) => panic!("destination {dest} missing End"),
+                }
+            }
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
     fn single_destination_gets_everything() {
-        // 10 tuples at batch 2 = 5 batches + End; capacity must cover them
+        // 10 rows at batch 2 = 5 batches + End; capacity must cover them
         // because this test drains only after finish().
-        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8, ColumnLayout::ints(1));
         let mut router = Router::new(txs, 0, 2, pool);
         for k in 0..10i64 {
             router.route(Tuple::from_ints(&[k])).unwrap();
@@ -657,7 +854,7 @@ mod tests {
     fn backpressure_blocks_until_drained() {
         // A full bounded channel must stall route() rather than drop or
         // error; draining one message releases exactly one send.
-        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1, ColumnLayout::ints(1));
         let rx = rxs.into_iter().next().unwrap();
         let producer = std::thread::spawn(move || {
             let mut router = Router::new(txs, 0, 1, pool);
@@ -681,7 +878,7 @@ mod tests {
 
     #[test]
     fn hung_up_consumer_is_an_error() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1, ColumnLayout::ints(1));
         drop(rxs);
         let mut router = Router::new(txs, 0, 1, pool);
         // The first route triggers a batch send into a closed channel.
@@ -691,7 +888,7 @@ mod tests {
 
     #[test]
     fn dropped_batches_recycle_their_buffers() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8, ColumnLayout::ints(1));
         let mut router = Router::new(txs, 0, 2, pool.clone());
         for k in 0..8i64 {
             router.route(Tuple::from_ints(&[k])).unwrap();
@@ -712,7 +909,7 @@ mod tests {
         assert_eq!(pool.spares(), 4, "all four flushed buffers returned");
 
         // A new router on the same pool reuses those buffers.
-        let (txs2, _rxs2, _) = operand_channels(1, 1, 8);
+        let (txs2, _rxs2, _) = operand_channels(1, 1, 8, ColumnLayout::ints(1));
         let _router2 = Router::new(txs2, 0, 2, pool.clone());
         assert_eq!(pool.spares(), 3, "router took a pooled buffer");
     }
@@ -722,7 +919,7 @@ mod tests {
         // capacity 1, batch 1: the second flush cannot be delivered until
         // the consumer drains. try_route must park it and keep accepting
         // (bounded by one parked batch), then hand tuples back.
-        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1, ColumnLayout::ints(1));
         let mut router = Router::new(txs, 0, 1, pool);
         assert!(router.try_route(Tuple::from_ints(&[1])).unwrap().is_none());
         // Second tuple is accepted; its flush parks (channel full).
@@ -744,7 +941,7 @@ mod tests {
 
     #[test]
     fn try_finish_resumes_across_backpressure() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1, ColumnLayout::ints(1));
         let mut router = Router::new(txs, 0, 8, pool);
         for k in 0..5i64 {
             assert!(router.try_route(Tuple::from_ints(&[k])).unwrap().is_none());
@@ -752,10 +949,10 @@ mod tests {
         // First try_finish flushes the batch into the single slot; the End
         // then parks, so finish is not yet complete.
         assert!(!router.try_finish().unwrap());
-        let mut tuples = 0;
+        let mut rows = 0;
         loop {
             match rxs[0].try_recv() {
-                Ok(Msg::Batch(b)) => tuples += b.len(),
+                Ok(Msg::Batch(b)) => rows += b.len(),
                 Ok(Msg::End) => break,
                 Err(_) => {
                     // Everything queued? Keep draining until End arrives.
@@ -763,13 +960,13 @@ mod tests {
                 }
             }
         }
-        assert_eq!(tuples, 5);
+        assert_eq!(rows, 5);
         assert!(router.try_finish().unwrap(), "finish is idempotent");
     }
 
     #[test]
     fn hung_up_consumer_errors_in_try_path() {
-        let (txs, rxs, pool) = operand_channels(1, 1, 1);
+        let (txs, rxs, pool) = operand_channels(1, 1, 1, ColumnLayout::ints(1));
         drop(rxs);
         let mut router = Router::new(txs, 0, 1, pool);
         assert!(router.try_route(Tuple::from_ints(&[1])).is_err());
@@ -777,7 +974,7 @@ mod tests {
 
     #[test]
     fn pool_counts_takes_and_misses() {
-        let pool = BatchPool::new(8);
+        let pool = BatchPool::new(8, ColumnLayout::ints(1));
         let a = pool.take(4); // miss: pool starts empty
         pool.put(a);
         let _b = pool.take(4); // hit
@@ -787,11 +984,15 @@ mod tests {
     }
 
     #[test]
-    fn pool_charges_and_credits_attached_budget() {
+    fn pool_charges_and_credits_real_columnar_bytes() {
         let budget = crate::budget::MemoryBudget::unlimited();
-        let pool = BatchPool::new(1);
+        let layout = ColumnLayout::ints(2);
+        let pool = BatchPool::new(1, layout.clone());
         pool.set_budget(budget.clone());
-        let per = (4 * std::mem::size_of::<Tuple>()) as u64;
+        // Columnar accounting: a 4-row buffer of two i64 columns is
+        // exactly 4 x 16 bytes — not 4 x size_of::<Tuple>().
+        let per = (4 * layout.row_bytes()) as u64;
+        assert_eq!(per, 64);
         let a = pool.take(4);
         let b = pool.take(4);
         assert_eq!(budget.used(), 2 * per, "allocating takes charge");
@@ -807,7 +1008,7 @@ mod tests {
     fn steady_state_routing_reuses_pooled_buffers() {
         // Producer/consumer in lockstep on one edge: after the cold-start
         // allocations, every take must be served from the pool.
-        let (txs, rxs, pool) = operand_channels(1, 1, 8);
+        let (txs, rxs, pool) = operand_channels(1, 1, 8, ColumnLayout::ints(1));
         let mut router = Router::new(txs, 0, 2, pool.clone());
         let mut drained = 0usize;
         for k in 0..1000i64 {
@@ -836,7 +1037,7 @@ mod tests {
 
     #[test]
     fn client_sink_batches_and_finishes() {
-        let (tx, rx, pool) = client_channel(2, 8);
+        let (tx, rx, pool) = client_channel(2, 8, ColumnLayout::ints(1));
         let mut a = ClientSink::new(tx.clone(), 2, pool.clone());
         let mut b = ClientSink::new(tx, 2, pool);
         for k in 0..5i64 {
@@ -846,20 +1047,44 @@ mod tests {
         assert!(a.try_finish().unwrap());
         b.finish_blocking().unwrap();
         assert_eq!(a.sent(), 5);
-        let (mut tuples, mut ends) = (0, 0);
+        let (mut rows, mut ends) = (0, 0);
         while let Ok(msg) = rx.try_recv() {
             match msg {
-                Msg::Batch(bt) => tuples += bt.len(),
+                Msg::Batch(bt) => rows += bt.len(),
                 Msg::End => ends += 1,
             }
         }
-        assert_eq!((tuples, ends), (6, 2), "both producers flush and End");
+        assert_eq!((rows, ends), (6, 2), "both producers flush and End");
+    }
+
+    #[test]
+    fn client_sink_appends_batches_columnar() {
+        let (tx, rx, pool) = client_channel(1, 16, ColumnLayout::ints(2));
+        let mut sink = ClientSink::new(tx, 4, pool);
+        let mut cols = ColumnBatch::with_capacity(&ColumnLayout::ints(2), 10);
+        for k in 0..10i64 {
+            cols.push_tuple(&Tuple::from_ints(&[k, -k])).unwrap();
+        }
+        let mut pos = 0;
+        let (n, done) = sink.try_append_batch(&cols, &mut pos).unwrap();
+        assert_eq!((n, done), (10, true));
+        assert!(sink.try_finish().unwrap());
+        let mut got = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(Msg::Batch(mut b)) => got.extend(b.drain()),
+                Ok(Msg::End) => break,
+                Err(_) => panic!("missing End"),
+            }
+        }
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[3], Tuple::from_ints(&[3, -3]));
     }
 
     #[test]
     fn client_sink_parks_on_backpressure_and_resumes() {
         // Capacity 1, batch 1: the second flush parks; draining releases it.
-        let (tx, rx, pool) = client_channel(1, 1);
+        let (tx, rx, pool) = client_channel(1, 1, ColumnLayout::ints(1));
         let mut sink = ClientSink::new(tx, 1, pool);
         assert!(sink.try_push(Tuple::from_ints(&[1])).unwrap().is_none());
         assert!(sink.try_push(Tuple::from_ints(&[2])).unwrap().is_none());
@@ -873,7 +1098,7 @@ mod tests {
         assert!(sink.poll_unblocked().unwrap());
         assert!(sink.try_push(Tuple::from_ints(&[3])).unwrap().is_none());
         // Finish resumes across the still-bounded channel; drain until End.
-        let mut seen = 1usize; // the batch drained above held one tuple
+        let mut seen = 1usize; // the batch drained above held one row
         loop {
             match rx.try_recv() {
                 Ok(Msg::Batch(b)) => seen += b.len(),
@@ -889,7 +1114,7 @@ mod tests {
 
     #[test]
     fn client_sink_errors_when_stream_dropped() {
-        let (tx, rx, pool) = client_channel(1, 1);
+        let (tx, rx, pool) = client_channel(1, 1, ColumnLayout::ints(1));
         drop(rx);
         let mut sink = ClientSink::new(tx, 1, pool);
         assert!(sink.try_push(Tuple::from_ints(&[1])).is_err());
@@ -897,13 +1122,14 @@ mod tests {
 
     #[test]
     fn pool_respects_limit() {
-        let pool = BatchPool::new(2);
+        let layout = ColumnLayout::ints(1);
+        let pool = BatchPool::new(2, layout.clone());
         for _ in 0..5 {
-            pool.put(Vec::with_capacity(4));
+            pool.put(ColumnBatch::with_capacity(&layout, 4));
         }
         assert_eq!(pool.spares(), 2);
         let a = pool.take(4);
-        assert_eq!(a.capacity(), 4);
+        assert!(a.capacity_bytes() >= 32, "reused buffer keeps its columns");
         assert_eq!(pool.spares(), 1);
     }
 }

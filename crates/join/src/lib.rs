@@ -19,12 +19,14 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod hash_table;
 pub mod partitioned;
 pub mod pipelining;
 pub mod simple;
 pub mod stats;
 
+pub use columnar::ColumnarTable;
 pub use hash_table::JoinTable;
 pub use partitioned::partitioned_parallel_join;
 pub use pipelining::{pipelining_hash_join, PipeliningJoinState};

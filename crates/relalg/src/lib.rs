@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod error;
 pub mod expr;
 pub mod hash;
@@ -28,6 +29,7 @@ pub mod tuple;
 pub mod value;
 pub mod xra;
 
+pub use column::{columnar_row_bytes, Column, ColumnBatch, ColumnLayout};
 pub use error::{RelalgError, Result};
 pub use predicate::{CmpOp, Predicate};
 pub use projection::Projection;

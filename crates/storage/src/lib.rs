@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columnar;
 pub mod fragment;
 pub mod generator;
 pub mod partition;
@@ -17,6 +18,7 @@ pub mod store;
 pub mod wisconsin;
 
 pub use catalog::{Catalog, TableStats};
+pub use columnar::{scan_bucket_columns, scan_columns};
 pub use fragment::{FragmentedRelation, PartitionScheme};
 pub use generator::{PayloadMode, WisconsinGenerator};
 pub use partition::{
