@@ -31,6 +31,9 @@
 //!   bench-columnar        columnar vs row-path join kernels + the
 //!                         BENCH_5/BENCH_6 scenarios on the columnar
 //!                         engine -> BENCH_7.json
+//!   bench-simd            scalar vs SIMD kernel microbenchmarks +
+//!                         late-vs-eager wide chain + BENCH_5/6/7
+//!                         regression re-runs -> BENCH_8.json
 //!
 //! CSV series are written to results/.
 
@@ -120,6 +123,7 @@ fn main() {
                 emit_bench5_json(quick);
                 emit_bench6_json(quick);
                 emit_bench7_json(quick);
+                emit_bench8_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
@@ -127,6 +131,7 @@ fn main() {
             "bench-operators" => emit_bench5_json(quick),
             "bench-robustness" => emit_bench6_json(quick),
             "bench-columnar" => emit_bench7_json(quick),
+            "bench-simd" => emit_bench8_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -942,6 +947,96 @@ fn emit_bench6_json(quick: bool) {
             "WARNING: noisy-neighbor p99 improvement {:.2}x below the 1.5x acceptance floor",
             a.p99_improvement
         );
+    }
+}
+
+fn emit_bench8_json(quick: bool) {
+    println!(
+        "== BENCH_8.json: SIMD kernels + late materialization ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = mj_bench::bench8_report(quick).expect("bench8 report");
+    let s = &report.simd_kernels;
+    println!(
+        "simd kernels over {} elements (x{} passes, best of {}, avx2 {}):",
+        s.elements,
+        s.passes,
+        s.reps,
+        if s.simd_enabled { "on" } else { "off" },
+    );
+    for k in &s.kernels {
+        println!(
+            "  {:<12} scalar {:>8.3} ms, simd {:>8.3} ms -> {:.2}x (ships {})",
+            k.name,
+            k.scalar_s * 1e3,
+            k.simd_s * 1e3,
+            k.speedup,
+            k.shipped,
+        );
+    }
+    let l = &report.late_materialization;
+    println!(
+        "late materialization, {}-relation chain x {} rows ({} payload cols): \
+         eager {:.2} ms, late {:.2} ms -> {:.2}x ({} rows both)",
+        l.relations,
+        l.tuples_per_relation,
+        l.payload_cols,
+        l.eager.elapsed_s * 1e3,
+        l.late.elapsed_s * 1e3,
+        l.late_speedup,
+        l.late.result_tuples,
+    );
+    let r = &report.reruns;
+    println!(
+        "regression re-runs: pushdown {:.2}x, guardrail overhead {:.3}x, join kernel {:.2}x",
+        r.pushdown.pushdown_speedup, r.guardrail_overhead.overhead_ratio, r.join_kernels.speedup,
+    );
+    let json = mj_bench::bench8_to_json(&report);
+    mj_bench::validate_bench8_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_8_quick.json"
+    } else {
+        "BENCH_8.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick {
+        if l.late_speedup < 1.3 {
+            eprintln!(
+                "WARNING: late-materialization speedup {:.2}x below the 1.3x acceptance floor",
+                l.late_speedup
+            );
+        }
+        if s.simd_enabled {
+            for k in &s.kernels {
+                if k.shipped == "simd" && k.speedup < 1.0 {
+                    eprintln!(
+                        "WARNING: shipped SIMD kernel `{}` at {:.2}x, below scalar",
+                        k.name, k.speedup
+                    );
+                }
+            }
+        }
+        // Within 5% of the BENCH_5/6/7 acceptance bars.
+        if r.pushdown.pushdown_speedup < 1.5 * 0.95 {
+            eprintln!(
+                "WARNING: pushdown re-run {:.2}x regressed past the 5% band",
+                r.pushdown.pushdown_speedup
+            );
+        }
+        if r.guardrail_overhead.overhead_ratio > 1.05 / 0.95 {
+            eprintln!(
+                "WARNING: guardrail overhead re-run {:.3}x regressed past the 5% band",
+                r.guardrail_overhead.overhead_ratio
+            );
+        }
+        if r.join_kernels.speedup < 1.3 * 0.95 {
+            eprintln!(
+                "WARNING: join kernel re-run {:.2}x regressed past the 5% band",
+                r.join_kernels.speedup
+            );
+        }
     }
 }
 

@@ -234,6 +234,24 @@ impl QueryBinding {
         Ok(self)
     }
 
+    /// Rebuilds this binding with rewritten join specs and node schemas —
+    /// the late-materialization narrowing. Pipeline stages are kept (they
+    /// run over the *resolved* root output, whose schema is unchanged);
+    /// scan filters are dropped because the rewrite pre-applies them while
+    /// narrowing the leaves.
+    pub(crate) fn narrowed(
+        &self,
+        specs: HashMap<NodeId, EquiJoin>,
+        schemas: Vec<Arc<Schema>>,
+    ) -> Self {
+        QueryBinding {
+            specs,
+            schemas,
+            scan_filters: HashMap::new(),
+            stages: self.stages.clone(),
+        }
+    }
+
     /// The predicate pushed to the scan of `relation`, if any.
     pub fn scan_filter(&self, relation: &str) -> Option<&Predicate> {
         self.scan_filters.get(relation)

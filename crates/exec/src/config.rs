@@ -28,6 +28,25 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 16;
 /// in-flight queries are multiplexed onto.
 pub const DEFAULT_WORKERS: usize = 4;
 
+/// When a query runs with late materialization: base payload columns are
+/// replaced by one packed row-reference column per leaf, joins move only
+/// join keys plus refs, and the full-width rows are gathered once at the
+/// pipeline root (see the `late` module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LateMode {
+    /// Use late materialization when it is estimated to pay: the plan has
+    /// at least two joins and the narrowed root row is at most 80% the
+    /// width of the original root row. The default.
+    #[default]
+    Auto,
+    /// Always rewrite eligible plans (at least one payload column to
+    /// strip), regardless of estimated benefit. Differential tests use
+    /// this to force ref-carrying pipelines.
+    Always,
+    /// Never rewrite: every join materializes its full output eagerly.
+    Never,
+}
+
 /// Tunables of the threaded engine.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
@@ -73,6 +92,8 @@ pub struct ExecConfig {
     /// submissions beyond the queue bound are rejected with a typed
     /// `Overloaded` error. Ignored unless `max_concurrent` is set.
     pub admission_queue: usize,
+    /// Late-materialization policy for join pipelines (see [`LateMode`]).
+    pub late: LateMode,
 }
 
 /// Default [`ExecConfig::admission_queue`] depth.
@@ -91,6 +112,7 @@ impl Default for ExecConfig {
             memory_budget: None,
             max_concurrent: None,
             admission_queue: DEFAULT_ADMISSION_QUEUE,
+            late: LateMode::Auto,
         }
     }
 }

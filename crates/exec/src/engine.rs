@@ -415,6 +415,8 @@ fn open_result_channel(
 /// Per-query coordinator state while its tasks run on the pool.
 struct QueryRun<'a> {
     plan: &'a ParallelPlan,
+    /// The binding operators are wired from: the narrow rewrite of a
+    /// late-materialized query, otherwise the original.
     binding: &'a QueryBinding,
     config: &'a ExecConfig,
     pool: &'a WorkerPool,
@@ -445,6 +447,8 @@ struct QueryRun<'a> {
     spawned: Vec<bool>,
     spawned_instances: usize,
     metrics: Metrics,
+    /// Late-materialization resolver, attached to the root join's tasks.
+    resolver: Option<Arc<crate::late::Resolver>>,
     /// Deterministic fault-injection plan (test harness only).
     #[cfg(feature = "faults")]
     fault_plan: Option<crate::faults::FaultPlan>,
@@ -575,6 +579,11 @@ impl QueryRun<'_> {
                 fail,
                 Some(self.ctrl.clone()),
             );
+            if op.join == root_join {
+                if let Some(resolver) = &self.resolver {
+                    task.set_resolver(resolver.clone());
+                }
+            }
             #[cfg(feature = "faults")]
             if let Some(plan) = &self.fault_plan {
                 task.arm_fault(plan.arm("join", op.id, i));
@@ -730,6 +739,19 @@ fn run_query(
     let ns = format!("q{query_id}:");
     store.ensure_nodes(plan.processors);
 
+    // --- Late materialization (planning-time rewrite). When eligible,
+    // the join pipeline runs on narrow ref-carrying relations bound by
+    // `late.narrow`, the full-width payloads stay pinned in the rewrite's
+    // registry (charged to the budget below), and the root join's tasks
+    // resolve refs back to the original schema — so everything from the
+    // root's output port on (stages, client channel) is untouched.
+    let late = crate::late::plan_late(plan, binding, provider, config.late)?;
+    let exec_binding: &QueryBinding = late.as_ref().map_or(binding, |l| &l.narrow);
+    let pinned_bytes = late.as_ref().map_or(0, |l| l.pinned_bytes);
+    if pinned_bytes > 0 && !ctrl.budget().charge(pinned_bytes) {
+        ctrl.abort(ctrl.budget().exhausted_error());
+    }
+
     // --- Setup (not timed): ideal base fragmentation per §4.1. ---
     // Pushed-down filters run here, against the base relations themselves:
     // a zero-copy index gather keeps only the surviving rows (payloads
@@ -738,7 +760,7 @@ fn run_query(
     let mut filtered_bases: HashMap<&str, Arc<Relation>> = HashMap::new();
     let mut base_fragments: HashMap<(usize, usize), Vec<Arc<Relation>>> = HashMap::new();
     for op in &plan.ops {
-        let spec = binding.spec(op.join)?;
+        let spec = exec_binding.spec(op.join)?;
         for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
             if let OperandSource::Base { relation } = operand {
                 let key_col = if side == 0 {
@@ -746,17 +768,25 @@ fn run_query(
                 } else {
                     spec.right_key
                 };
-                let rel = match binding.scan_filter(relation) {
-                    Some(pred) => match filtered_bases.get(relation.as_str()) {
-                        Some(cached) => cached.clone(),
-                        None => {
-                            let base = provider.relation(relation)?;
-                            let filtered = Arc::new(filter_gather(&base, pred)?);
-                            filtered_bases.insert(relation.as_str(), filtered.clone());
-                            filtered
-                        }
+                // A late plan scans the synthesized narrow relations
+                // (scan filters already applied, in original leaf
+                // coordinates, when they were built).
+                let rel = match &late {
+                    Some(l) => l.relations.get(relation).cloned().ok_or_else(|| {
+                        RelalgError::InvalidPlan(format!("late plan lost relation {relation}"))
+                    })?,
+                    None => match binding.scan_filter(relation) {
+                        Some(pred) => match filtered_bases.get(relation.as_str()) {
+                            Some(cached) => cached.clone(),
+                            None => {
+                                let base = provider.relation(relation)?;
+                                let filtered = Arc::new(filter_gather(&base, pred)?);
+                                filtered_bases.insert(relation.as_str(), filtered.clone());
+                                filtered
+                            }
+                        },
+                        None => provider.relation(relation)?,
                     },
-                    None => provider.relation(relation)?,
                 };
                 let frags = hash_partition(&rel, op.degree(), key_col)?
                     .into_iter()
@@ -774,7 +804,7 @@ fn run_query(
     let mut out_stream: OutStreams = HashMap::new();
     let mut out_materialized: Vec<bool> = vec![false; n_ops];
     for op in &plan.ops {
-        let spec = binding.spec(op.join)?;
+        let spec = exec_binding.spec(op.join)?;
         for (side, operand) in [(0usize, &op.left), (1usize, &op.right)] {
             let key_col = if side == 0 {
                 spec.left_key
@@ -785,7 +815,7 @@ fn run_query(
                 OperandSource::Stream { from } => {
                     // The edge carries the producer op's output rows; its
                     // pool is typed with that schema's column layout.
-                    let layout = ColumnLayout::of(binding.schema(plan.ops[*from].join)?);
+                    let layout = ColumnLayout::of(exec_binding.schema(plan.ops[*from].join)?);
                     let (txs, rxs, pool) = operand_channels(
                         plan.ops[*from].degree(),
                         op.degree(),
@@ -883,7 +913,7 @@ fn run_query(
     }
     let mut run = QueryRun {
         plan,
-        binding,
+        binding: exec_binding,
         config,
         pool,
         store,
@@ -901,6 +931,7 @@ fn run_query(
         spawned: vec![false; n_ops],
         spawned_instances: 0,
         metrics,
+        resolver: late.as_ref().map(|l| l.resolver.clone()),
         #[cfg(feature = "faults")]
         fault_plan: opts.fault_plan().cloned(),
     };
@@ -1018,6 +1049,11 @@ fn run_query(
     // fragment bytes back to the query's budget.
     let freed = store.remove_prefix(&ns);
     ctrl.budget().credit(freed as u64);
+    // The pinned payload registry dies with the query (the resolver Arcs
+    // dropped as the tasks completed); return its charge too.
+    if pinned_bytes > 0 {
+        ctrl.budget().credit(pinned_bytes);
+    }
     run.metrics.peak_bytes = ctrl.budget().peak();
     run.metrics.panics_contained = ctrl.panics();
 

@@ -173,6 +173,18 @@ pub struct EngineStats {
     pub panics_contained: u64,
     /// Largest per-query peak of budget-charged bytes observed.
     pub peak_bytes: u64,
+    /// Batch-pool buffer takes across every redistribution edge (process
+    /// lifetime; pair with `batch_pool_misses` for the pool hit rate).
+    pub batch_pool_takes: u64,
+    /// Batch-pool takes that had to allocate because the pool was empty.
+    pub batch_pool_misses: u64,
+    /// Join output rows materialized by gather emission. Late
+    /// materialization exists to shrink this: ref-carrying joins gather
+    /// key+ref rows instead of full payloads.
+    pub gather_rows: u64,
+    /// Hot-path kernel calls dispatched to an explicit SIMD body (scalar
+    /// fallbacks are not counted).
+    pub simd_kernel_dispatches: u64,
 }
 
 pub(crate) mod counters {
@@ -228,6 +240,10 @@ pub(crate) mod counters {
                 budget_aborts: self.budget_aborts.load(Ordering::Relaxed),
                 panics_contained: self.panics_contained.load(Ordering::Relaxed),
                 peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+                batch_pool_takes: crate::stream::pool_takes(),
+                batch_pool_misses: crate::stream::pool_misses(),
+                gather_rows: mj_join::gather_rows(),
+                simd_kernel_dispatches: mj_relalg::simd::kernel_dispatches(),
             }
         }
     }

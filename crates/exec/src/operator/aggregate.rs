@@ -97,6 +97,22 @@ impl PhysicalOp for AggregateOp {
                 Some(cols.int_col(spec.col)?)
             });
         }
+        // Global aggregate: no key assembly at all — fold each input
+        // column's whole range through the SIMD slice kernels.
+        if self.group_cols.is_empty() {
+            let states = self
+                .groups
+                .entry(Vec::new())
+                .or_insert_with(|| vec![AggState::new(); self.aggs.len()]);
+            for (input, state) in agg_inputs.iter().zip(states.iter_mut()) {
+                match input {
+                    Some(col) => state.update_slice(&col[range.clone()]),
+                    None => state.update_repeat(0, range.len()),
+                }
+            }
+            self.refresh_bytes();
+            return Ok(Absorb::Continue);
+        }
         for r in range {
             self.key_scratch.clear();
             for &c in &self.group_cols {

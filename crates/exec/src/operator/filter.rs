@@ -63,6 +63,12 @@ impl PhysicalOp for FilterOp {
         }
         Ok(Absorb::Continue)
     }
+
+    fn est_bytes(&self) -> usize {
+        // The selection-vector scratch is this operator's only held state;
+        // report its real allocation so the memory guardrail sees it.
+        self.sel.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +111,24 @@ mod tests {
         // Skip row 0 entirely: only rows 1..4 are considered.
         op.absorb_batch(0, &input, 1..4, &mut out).unwrap();
         assert_eq!(out.int_col(0).unwrap(), &[6, 8]);
+    }
+
+    #[test]
+    fn est_bytes_reports_selection_vector_allocation() {
+        // Regression: the selection scratch used to be invisible to the
+        // budget charge site (`OpTask::sync_budget` reads `est_bytes`).
+        let mut op = FilterOp::new(Predicate::cmp_int(0, CmpOp::Ge, 0), None);
+        assert_eq!(op.est_bytes(), 0, "no scratch before the first batch");
+        let rows: Vec<[i64; 2]> = (0..100).map(|k| [k, k]).collect();
+        let input = batch(&rows);
+        let mut out = ColumnBatch::shapeless();
+        op.absorb_batch(0, &input, 0..input.rows(), &mut out)
+            .unwrap();
+        assert!(
+            op.est_bytes() >= 100 * std::mem::size_of::<u32>(),
+            "selection vector capacity must be charged, got {}",
+            op.est_bytes()
+        );
     }
 
     #[test]

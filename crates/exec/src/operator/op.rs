@@ -189,12 +189,8 @@ impl PhysicalOp for SimpleJoinOp {
         let keys = cols.int_col(self.spec.right_key)?;
         self.pairs.clear();
         self.table.probe_into(keys, range, &mut self.pairs);
-        out.append_concat_gather(
-            self.table.rows(),
-            cols,
-            self.spec.projection.cols(),
-            &self.pairs,
-        )?;
+        self.table
+            .emit_matches(cols, self.spec.projection.cols(), &self.pairs, true, out)?;
         Ok(Absorb::Continue)
     }
 
@@ -255,12 +251,13 @@ impl PhysicalOp for PipeliningJoinOp {
             for p in &mut self.pairs {
                 *p = (p.1, p.0);
             }
-            out.append_concat_gather(cols, self.right.rows(), proj, &self.pairs)?;
+            self.right
+                .emit_matches(cols, proj, &self.pairs, false, out)?;
             self.left.insert_batch(cols, self.spec.left_key, range)?;
         } else {
             let keys = cols.int_col(self.spec.right_key)?;
             self.left.probe_into(keys, range.clone(), &mut self.pairs);
-            out.append_concat_gather(self.left.rows(), cols, proj, &self.pairs)?;
+            self.left.emit_matches(cols, proj, &self.pairs, true, out)?;
             self.right.insert_batch(cols, self.spec.right_key, range)?;
         }
         Ok(Absorb::Continue)

@@ -267,8 +267,18 @@ pub struct OpTask {
     /// Result rows awaiting emission, column-wise (shared with the
     /// operator, which appends; the port drains).
     out: ColumnBatch,
-    /// Emission cursor into `out` (for resumable routing).
+    /// Emission cursor into `out` (or `resolved`, when a resolver is
+    /// attached) for resumable routing.
     out_pos: usize,
+    /// Late-materialization resolver: set only on the root join's tasks
+    /// of a late plan. When present, `out` holds narrow (ref-carrying)
+    /// rows which are resolved into `resolved` before emission, so the
+    /// output port only ever sees the original root schema.
+    resolver: Option<Arc<crate::late::Resolver>>,
+    /// Resolved rows awaiting emission (original root schema).
+    resolved: ColumnBatch,
+    /// Per-ref-column row-index scratch for the resolver.
+    ref_scratch: Vec<Vec<u32>>,
     batch: usize,
     phase: Phase,
     /// Which side the interleaved feed polls first next step (fairness).
@@ -328,6 +338,9 @@ impl OpTask {
             output,
             out: ColumnBatch::shapeless(),
             out_pos: 0,
+            resolver: None,
+            resolved: ColumnBatch::shapeless(),
+            ref_scratch: Vec::new(),
             batch,
             phase: Phase::Start,
             turn: instance, // stagger polling order across instances
@@ -347,6 +360,15 @@ impl OpTask {
             #[cfg(feature = "faults")]
             fault: None,
         }
+    }
+
+    /// Attaches the late-materialization resolver (root join tasks of a
+    /// late plan only): every batch is resolved to the original root
+    /// schema before it reaches the output port.
+    pub(crate) fn set_resolver(&mut self, resolver: Arc<crate::late::Resolver>) {
+        self.resolved = ColumnBatch::with_capacity(resolver.layout(), self.batch);
+        self.ref_scratch = vec![Vec::new(); resolver.scratch_slots()];
+        self.resolver = Some(resolver);
     }
 
     /// Arms a resolved fault-injection point on this task (test harness;
@@ -440,6 +462,22 @@ impl OpTask {
     /// non-qualifying rows — so the metric reports rows actually produced,
     /// not rows scanned.
     fn flush_out(&mut self) -> Result<bool> {
+        if let Some(resolver) = &self.resolver {
+            // Late materialization: resolve the narrow backlog into the
+            // original schema, then emit the resolved batch. `out` is
+            // always fully absorbed here, so between flushes at most one
+            // quantum of narrow rows accumulates — memory stays bounded
+            // even under backpressure.
+            if !self.out.is_empty() {
+                resolver.resolve_into(&self.out, &mut self.ref_scratch, &mut self.resolved)?;
+                self.out.clear();
+            }
+            let (emitted, done) = self
+                .output
+                .try_emit(&mut self.resolved, &mut self.out_pos)?;
+            self.stats.tuples_out += emitted;
+            return Ok(done);
+        }
         let (emitted, done) = self.output.try_emit(&mut self.out, &mut self.out_pos)?;
         self.stats.tuples_out += emitted;
         Ok(done)

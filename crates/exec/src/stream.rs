@@ -34,6 +34,23 @@ use mj_relalg::column::{bucket_keys, ColumnBatch, ColumnLayout};
 use mj_relalg::{RelalgError, Result, Tuple};
 use parking_lot::Mutex;
 
+/// Process-wide batch-pool take count, summed across every edge pool (the
+/// per-pool counters die with their query; these feed `EngineStats`).
+static POOL_TAKES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide batch-pool miss count (takes that had to allocate).
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Buffer takes served by all batch pools since process start.
+pub fn pool_takes() -> u64 {
+    POOL_TAKES.load(Ordering::Relaxed)
+}
+
+/// Buffer takes that missed (allocated) across all batch pools since
+/// process start.
+pub fn pool_misses() -> u64 {
+    POOL_MISSES.load(Ordering::Relaxed)
+}
+
 /// A bounded recycler of column-batch buffers shared by one
 /// redistribution edge. Layout-aware: every pooled buffer has the edge's
 /// column types, and budget accounting charges the buffers' real
@@ -82,10 +99,12 @@ impl BatchPool {
     /// actual columnar bytes.
     pub fn take(&self, capacity: usize) -> ColumnBatch {
         self.takes.fetch_add(1, Ordering::Relaxed);
+        POOL_TAKES.fetch_add(1, Ordering::Relaxed);
         match self.free.lock().pop() {
             Some(buf) => buf,
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                POOL_MISSES.fetch_add(1, Ordering::Relaxed);
                 let buf = ColumnBatch::with_capacity(&self.layout, capacity);
                 let bytes = buf.capacity_bytes();
                 if bytes > 0 {

@@ -12,9 +12,22 @@
 //! concatenation — the vectorized hot path of `SimpleJoinOp` and
 //! `PipeliningJoinOp`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mj_relalg::column::ColumnBatch;
 use mj_relalg::hash::mix_key;
 use mj_relalg::{Result, Tuple};
+
+/// Process-wide count of join output rows materialized by gather emission
+/// ([`ColumnarTable::emit_matches`]) — the observable cost late
+/// materialization shrinks.
+static GATHER_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Join output rows gathered (build+probe payload materialization) since
+/// process start.
+pub fn gather_rows() -> u64 {
+    GATHER_ROWS.load(Ordering::Relaxed)
+}
 
 const EMPTY: u32 = u32::MAX;
 /// Grow when entries exceed buckets * LOAD_NUM / LOAD_DEN.
@@ -155,6 +168,34 @@ impl ColumnarTable {
                 pairs.push((idx, probe_row));
             }
             idx = self.next[i];
+        }
+    }
+
+    /// Emits the matched join rows: for every pair, the projected
+    /// concatenation of a stored build row and a `probe` row, gathered
+    /// column-at-a-time. This is the **single** gather-emission point of
+    /// the join operators (CI greps forbid direct
+    /// [`ColumnBatch::append_concat_gather`] calls in operator internals),
+    /// so the process-wide [`gather_rows`] counter sees every materialized
+    /// join row.
+    ///
+    /// `build_left` states which operand of the projection's virtual
+    /// concatenation the build side is; `pairs` must already be in
+    /// `(left_row, right_row)` orientation (callers probing a *right*
+    /// build table swap the `(build, probe)` pairs first).
+    pub fn emit_matches(
+        &self,
+        probe: &ColumnBatch,
+        cols: &[usize],
+        pairs: &[(u32, u32)],
+        build_left: bool,
+        out: &mut ColumnBatch,
+    ) -> Result<()> {
+        GATHER_ROWS.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        if build_left {
+            out.append_concat_gather(&self.rows, probe, cols, pairs)
+        } else {
+            out.append_concat_gather(probe, &self.rows, cols, pairs)
         }
     }
 

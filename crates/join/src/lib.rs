@@ -26,7 +26,7 @@ pub mod pipelining;
 pub mod simple;
 pub mod stats;
 
-pub use columnar::ColumnarTable;
+pub use columnar::{gather_rows, ColumnarTable};
 pub use hash_table::JoinTable;
 pub use partitioned::partitioned_parallel_join;
 pub use pipelining::{pipelining_hash_join, PipeliningJoinState};

@@ -24,10 +24,10 @@ use std::ops::Range;
 
 use crate::error::{RelalgError, Result};
 use crate::expr::Expr;
-use crate::hash::bucket_of;
 use crate::predicate::{CmpOp, Predicate};
 use crate::relation::Relation;
 use crate::schema::{DataType, Schema};
+use crate::simd;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
@@ -42,6 +42,10 @@ pub enum Column {
     Int(Vec<i64>),
     /// Fallback column of boxed values (strings / mixed workloads).
     Val(Vec<Value>),
+    /// Packed row references `(fragment_id << 32) | row_idx` carried by
+    /// late-materialized plans instead of gathered payload columns. At row
+    /// boundaries a ref bit-casts through [`Value::Int`].
+    Ref(Vec<u64>),
 }
 
 impl Column {
@@ -50,6 +54,7 @@ impl Column {
         match ty {
             DataType::Int => Column::Int(Vec::with_capacity(capacity)),
             DataType::Str => Column::Val(Vec::with_capacity(capacity)),
+            DataType::Ref => Column::Ref(Vec::with_capacity(capacity)),
         }
     }
 
@@ -58,6 +63,7 @@ impl Column {
         match self {
             Column::Int(_) => DataType::Int,
             Column::Val(_) => DataType::Str,
+            Column::Ref(_) => DataType::Ref,
         }
     }
 
@@ -66,6 +72,7 @@ impl Column {
         match self {
             Column::Int(v) => v.len(),
             Column::Val(v) => v.len(),
+            Column::Ref(v) => v.len(),
         }
     }
 
@@ -79,6 +86,7 @@ impl Column {
         match self {
             Column::Int(v) => v.clear(),
             Column::Val(v) => v.clear(),
+            Column::Ref(v) => v.clear(),
         }
     }
 
@@ -86,15 +94,25 @@ impl Column {
     pub fn as_ints(&self) -> Option<&[i64]> {
         match self {
             Column::Int(v) => Some(v),
-            Column::Val(_) => None,
+            _ => None,
         }
     }
 
-    /// The value at row `r` (clones; bounds-checked).
+    /// The packed row-reference slice, if this is a [`Column::Ref`] column.
+    pub fn as_refs(&self) -> Option<&[u64]> {
+        match self {
+            Column::Ref(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value at row `r` (clones; bounds-checked). Refs surface as
+    /// bit-cast [`Value::Int`]s.
     pub fn value(&self, r: usize) -> Result<Value> {
         match self {
             Column::Int(v) => v.get(r).map(|&x| Value::Int(x)),
             Column::Val(v) => v.get(r).cloned(),
+            Column::Ref(v) => v.get(r).map(|&x| Value::Int(x as i64)),
         }
         .ok_or(RelalgError::IndexOutOfBounds {
             index: r,
@@ -102,14 +120,16 @@ impl Column {
         })
     }
 
-    /// Appends one value, enforcing the column type.
+    /// Appends one value, enforcing the column type. A ref column accepts
+    /// [`Value::Int`] (the bit-cast row-boundary form of a ref).
     pub fn push_value(&mut self, v: &Value) -> Result<()> {
         match (self, v) {
             (Column::Int(col), Value::Int(x)) => col.push(*x),
+            (Column::Ref(col), Value::Int(x)) => col.push(*x as u64),
             (Column::Val(col), v) => col.push(v.clone()),
-            (Column::Int(_), Value::Str(_)) => {
+            (Column::Int(_), Value::Str(_)) | (Column::Ref(_), Value::Str(_)) => {
                 return Err(RelalgError::TypeMismatch {
-                    expected: "Int for an integer column",
+                    expected: "Int for a dense column",
                     found: "Str",
                 })
             }
@@ -122,28 +142,29 @@ impl Column {
         match (self, src) {
             (Column::Int(dst), Column::Int(s)) => dst.extend_from_slice(&s[range]),
             (Column::Val(dst), Column::Val(s)) => dst.extend_from_slice(&s[range]),
+            (Column::Ref(dst), Column::Ref(s)) => dst.extend_from_slice(&s[range]),
             (Column::Val(dst), Column::Int(s)) => {
                 dst.extend(s[range].iter().map(|&x| Value::Int(x)))
             }
-            (Column::Int(_), Column::Val(_)) => {
+            (Column::Val(dst), Column::Ref(s)) => {
+                dst.extend(s[range].iter().map(|&x| Value::Int(x as i64)))
+            }
+            _ => {
                 return Err(RelalgError::TypeMismatch {
-                    expected: "Int column source",
-                    found: "Val column",
+                    expected: "matching column source",
+                    found: "mismatched column",
                 })
             }
         }
         Ok(())
     }
 
-    /// Appends the rows of `src` selected by `sel` (gather).
+    /// Appends the rows of `src` selected by `sel` (gather). Dense columns
+    /// run the SIMD gather kernel when the host supports it.
     pub fn append_gather(&mut self, src: &Column, sel: &[u32]) -> Result<()> {
         match (self, src) {
-            (Column::Int(dst), Column::Int(s)) => {
-                dst.reserve(sel.len());
-                for &i in sel {
-                    dst.push(s[i as usize]);
-                }
-            }
+            (Column::Int(dst), Column::Int(s)) => simd::gather_i64(s, sel, dst),
+            (Column::Ref(dst), Column::Ref(s)) => simd::gather_u64(s, sel, dst),
             (Column::Val(dst), Column::Val(s)) => {
                 dst.reserve(sel.len());
                 for &i in sel {
@@ -156,10 +177,44 @@ impl Column {
                     dst.push(Value::Int(s[i as usize]));
                 }
             }
-            (Column::Int(_), Column::Val(_)) => {
+            (Column::Val(dst), Column::Ref(s)) => {
+                dst.reserve(sel.len());
+                for &i in sel {
+                    dst.push(Value::Int(s[i as usize] as i64));
+                }
+            }
+            _ => {
                 return Err(RelalgError::TypeMismatch {
-                    expected: "Int column source",
-                    found: "Val column",
+                    expected: "matching column source",
+                    found: "mismatched column",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `src[pick(pair)]` for every join match pair, where `left`
+    /// picks the build-row (`.0`) or probe-row (`.1`) index — the single
+    /// gather-emission primitive of join output assembly.
+    pub fn append_pair_gather(
+        &mut self,
+        src: &Column,
+        pairs: &[(u32, u32)],
+        left: bool,
+    ) -> Result<()> {
+        match (self, src) {
+            (Column::Int(dst), Column::Int(s)) => simd::gather_pairs_i64(s, pairs, left, dst),
+            (Column::Ref(dst), Column::Ref(s)) => simd::gather_pairs_u64(s, pairs, left, dst),
+            (Column::Val(dst), s) => {
+                dst.reserve(pairs.len());
+                for &(l, r) in pairs {
+                    dst.push(s.value(if left { l } else { r } as usize)?);
+                }
+            }
+            _ => {
+                return Err(RelalgError::TypeMismatch {
+                    expected: "matching column source",
+                    found: "mismatched column",
                 })
             }
         }
@@ -170,16 +225,19 @@ impl Column {
     /// actually allocates per row of capacity).
     pub fn slot_bytes(ty: DataType) -> usize {
         match ty {
-            DataType::Int => std::mem::size_of::<i64>(),
+            DataType::Int | DataType::Ref => std::mem::size_of::<i64>(),
             DataType::Str => std::mem::size_of::<Value>(),
         }
     }
 
-    /// Allocated buffer bytes (capacity, not length).
+    /// Allocated buffer bytes (capacity, not length). Ref columns count
+    /// their full 8-byte slots so memory budgets never undercount
+    /// late-materialized batches.
     pub fn capacity_bytes(&self) -> usize {
         match self {
             Column::Int(v) => v.capacity() * std::mem::size_of::<i64>(),
             Column::Val(v) => v.capacity() * std::mem::size_of::<Value>(),
+            Column::Ref(v) => v.capacity() * std::mem::size_of::<u64>(),
         }
     }
 
@@ -189,6 +247,7 @@ impl Column {
         match self {
             Column::Int(v) => v.len() * std::mem::size_of::<i64>(),
             Column::Val(v) => v.iter().map(|x| x.est_bytes() + 8).sum(),
+            Column::Ref(v) => v.len() * std::mem::size_of::<u64>(),
         }
     }
 }
@@ -404,6 +463,29 @@ impl ColumnBatch {
         Ok(())
     }
 
+    /// Appends `n` rows assembled column-by-column: `fill` is called once
+    /// per column with `(column_index, &mut column)` and must append
+    /// exactly `n` values to it. This is the late-materialization
+    /// resolver's assembly point — each output column is either a dense
+    /// copy or a registry gather, decided per column rather than per row.
+    pub fn append_with(
+        &mut self,
+        n: usize,
+        mut fill: impl FnMut(usize, &mut Column) -> Result<()>,
+    ) -> Result<()> {
+        for (i, col) in self.columns.iter_mut().enumerate() {
+            let before = col.len();
+            fill(i, col)?;
+            debug_assert_eq!(
+                col.len(),
+                before + n,
+                "append_with fill must add exactly n values to column {i}"
+            );
+        }
+        self.rows += n;
+        Ok(())
+    }
+
     /// Appends the rows of `src` selected by `sel` (column-wise gather).
     pub fn append_gather(&mut self, src: &ColumnBatch, sel: &[u32]) -> Result<()> {
         self.ensure_layout(src.columns.iter().map(Column::data_type));
@@ -475,49 +557,9 @@ impl ColumnBatch {
         self.check_arity(cols.len())?;
         for (dst, &c) in self.columns.iter_mut().zip(cols) {
             if c < left.arity() {
-                let src = left.column(c)?;
-                match (dst, src) {
-                    (Column::Int(d), Column::Int(s)) => {
-                        d.reserve(pairs.len());
-                        for &(l, _) in pairs {
-                            d.push(s[l as usize]);
-                        }
-                    }
-                    (Column::Val(d), s) => {
-                        d.reserve(pairs.len());
-                        for &(l, _) in pairs {
-                            d.push(s.value(l as usize)?);
-                        }
-                    }
-                    (Column::Int(_), Column::Val(_)) => {
-                        return Err(RelalgError::TypeMismatch {
-                            expected: "Int column source",
-                            found: "Val column",
-                        })
-                    }
-                }
+                dst.append_pair_gather(left.column(c)?, pairs, true)?;
             } else {
-                let src = right.column(c - left.arity())?;
-                match (dst, src) {
-                    (Column::Int(d), Column::Int(s)) => {
-                        d.reserve(pairs.len());
-                        for &(_, r) in pairs {
-                            d.push(s[r as usize]);
-                        }
-                    }
-                    (Column::Val(d), s) => {
-                        d.reserve(pairs.len());
-                        for &(_, r) in pairs {
-                            d.push(s.value(r as usize)?);
-                        }
-                    }
-                    (Column::Int(_), Column::Val(_)) => {
-                        return Err(RelalgError::TypeMismatch {
-                            expected: "Int column source",
-                            found: "Val column",
-                        })
-                    }
-                }
+                dst.append_pair_gather(right.column(c - left.arity())?, pairs, false)?;
             }
         }
         self.rows += pairs.len();
@@ -539,41 +581,32 @@ impl ColumnBatch {
 
 /// Branch-free compare-into-selection over a dense integer column: appends
 /// to `out` the indices `i` (restricted to `sel` when given) where
-/// `keys[i] op lit`. The inner loop writes the candidate index
-/// unconditionally and advances the cursor by the comparison result, so it
-/// contains no data-dependent branch.
+/// `keys[i] op lit`. The dense (no `sel`) form dispatches to the explicit
+/// SIMD kernel ([`simd::select_cmp`]) when the host supports it; the
+/// selective form stays a scalar branch-free loop (unconditional store,
+/// advance by the comparison result).
 pub fn select_cmp_i64(keys: &[i64], op: CmpOp, lit: i64, sel: Option<&[u32]>, out: &mut Vec<u32>) {
     #[inline]
-    fn run(keys: &[i64], sel: Option<&[u32]>, out: &mut Vec<u32>, f: impl Fn(i64) -> bool) {
+    fn run(keys: &[i64], sel: &[u32], out: &mut Vec<u32>, f: impl Fn(i64) -> bool) {
         let base = out.len();
-        match sel {
-            None => {
-                out.resize(base + keys.len(), 0);
-                let mut k = base;
-                for (i, &v) in keys.iter().enumerate() {
-                    out[k] = i as u32;
-                    k += f(v) as usize;
-                }
-                out.truncate(k);
-            }
-            Some(sel) => {
-                out.resize(base + sel.len(), 0);
-                let mut k = base;
-                for &i in sel {
-                    out[k] = i;
-                    k += f(keys[i as usize]) as usize;
-                }
-                out.truncate(k);
-            }
+        out.resize(base + sel.len(), 0);
+        let mut k = base;
+        for &i in sel {
+            out[k] = i;
+            k += f(keys[i as usize]) as usize;
         }
+        out.truncate(k);
     }
-    match op {
-        CmpOp::Eq => run(keys, sel, out, |v| v == lit),
-        CmpOp::Ne => run(keys, sel, out, |v| v != lit),
-        CmpOp::Lt => run(keys, sel, out, |v| v < lit),
-        CmpOp::Le => run(keys, sel, out, |v| v <= lit),
-        CmpOp::Gt => run(keys, sel, out, |v| v > lit),
-        CmpOp::Ge => run(keys, sel, out, |v| v >= lit),
+    match sel {
+        None => simd::select_cmp(keys, op, lit, out),
+        Some(sel) => match op {
+            CmpOp::Eq => run(keys, sel, out, |v| v == lit),
+            CmpOp::Ne => run(keys, sel, out, |v| v != lit),
+            CmpOp::Lt => run(keys, sel, out, |v| v < lit),
+            CmpOp::Le => run(keys, sel, out, |v| v <= lit),
+            CmpOp::Gt => run(keys, sel, out, |v| v > lit),
+            CmpOp::Ge => run(keys, sel, out, |v| v >= lit),
+        },
     }
 }
 
@@ -780,16 +813,17 @@ pub fn select(
 
 /// Hashes a whole key column into partition buckets: `out[i]` is the
 /// destination of row `i` among `parts` consumers. The redistribution
-/// router's vectorized split.
+/// router's vectorized split. Dispatches through [`simd::bucket_keys`],
+/// which currently ships the scalar body (the AVX2 form measured slower —
+/// see [`simd::BUCKET_HASH_SIMD`]).
 pub fn bucket_keys(keys: &[i64], parts: usize, out: &mut Vec<u32>) {
-    out.clear();
-    out.reserve(keys.len());
-    out.extend(keys.iter().map(|&k| bucket_of(k, parts) as u32));
+    simd::bucket_keys(keys, parts, out);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::bucket_of;
     use crate::schema::Attribute;
 
     fn batch(rows: &[[i64; 2]]) -> ColumnBatch {
@@ -964,5 +998,49 @@ mod tests {
         let b = batch(&[[1, 2], [3, 4]]);
         assert_eq!(b.est_bytes(), 32, "2 rows x 2 int columns x 8 bytes");
         assert!(b.capacity_bytes() >= b.est_bytes());
+    }
+
+    #[test]
+    fn ref_columns_roundtrip_through_tuples_and_gathers() {
+        let schema = Schema::new(vec![Attribute::int("k"), Attribute::rowref("@r")]).shared();
+        let layout = ColumnLayout::of(&schema);
+        assert_eq!(layout.row_bytes(), 16, "a ref slot is 8 bytes");
+        let mut b = ColumnBatch::with_capacity(&layout, 4);
+        // Refs with the high bit set must survive the i64 bit-cast.
+        let refs: [u64; 3] = [(7u64 << 32) | 3, u64::MAX - 5, 0];
+        for (i, &r) in refs.iter().enumerate() {
+            b.push_tuple(&Tuple::from_ints(&[i as i64, r as i64]))
+                .unwrap();
+        }
+        assert_eq!(b.column(1).unwrap().as_refs().unwrap(), &refs);
+        assert_eq!(
+            b.row(1).unwrap(),
+            Tuple::from_ints(&[1, (u64::MAX - 5) as i64])
+        );
+
+        // Gather and pair-gather preserve refs bit-exactly; shapeless
+        // destinations adopt the Ref layout.
+        let mut g = ColumnBatch::shapeless();
+        g.append_gather(&b, &[2, 0]).unwrap();
+        assert_eq!(g.column(1).unwrap().as_refs().unwrap(), &[0, refs[0]]);
+        let mut out = ColumnBatch::shapeless();
+        out.append_concat_gather(&b, &g, &[1, 3], &[(1, 0), (2, 1)])
+            .unwrap();
+        assert_eq!(
+            out.column(0).unwrap().as_refs().unwrap(),
+            &[refs[1], refs[2]]
+        );
+        assert_eq!(out.column(1).unwrap().as_refs().unwrap(), &[0, refs[0]]);
+    }
+
+    #[test]
+    fn capacity_bytes_counts_ref_columns() {
+        // Regression for the memory-budget charge site: a pooled buffer
+        // with a ref column must charge its 8-byte slots like ints.
+        let layout = ColumnLayout {
+            types: vec![DataType::Int, DataType::Ref],
+        };
+        let b = ColumnBatch::with_capacity(&layout, 8);
+        assert_eq!(b.capacity_bytes(), 2 * 8 * 8);
     }
 }

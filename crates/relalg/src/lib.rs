@@ -24,6 +24,7 @@ pub mod predicate;
 pub mod projection;
 pub mod relation;
 pub mod schema;
+pub mod simd;
 pub mod text;
 pub mod tuple;
 pub mod value;

@@ -78,6 +78,37 @@ impl AggState {
         self.max = Some(self.max.map_or(v, |m| m.max(v)));
     }
 
+    /// Folds a whole slice in — equivalent to [`update`](Self::update) per
+    /// element (including wrapping-sum semantics) but runs the SIMD slice
+    /// kernels ([`sum_i64`](crate::simd::sum_i64) and friends). The bulk
+    /// path of the global-aggregate operator in `mj-exec`.
+    pub fn update_slice(&mut self, vs: &[i64]) {
+        if vs.is_empty() {
+            return;
+        }
+        self.count += vs.len() as i64;
+        self.sum = self.sum.wrapping_add(crate::simd::sum_i64(vs));
+        if let Some(lo) = crate::simd::min_i64(vs) {
+            self.min = Some(self.min.map_or(lo, |m| m.min(lo)));
+        }
+        if let Some(hi) = crate::simd::max_i64(vs) {
+            self.max = Some(self.max.map_or(hi, |m| m.max(hi)));
+        }
+    }
+
+    /// Folds the value `v` in `n` times without materializing a slice —
+    /// equivalent to `n` calls to [`update`](Self::update). COUNT's bulk
+    /// path (`v = 0`).
+    pub fn update_repeat(&mut self, v: i64, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.count += n as i64;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n as i64));
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
     /// The final value under `func`. MIN/MAX over an empty accumulator is
     /// an error (there is no value to return), matching the oracle.
     pub fn finish(&self, func: AggFunc) -> Result<i64> {

@@ -14,6 +14,13 @@ pub enum DataType {
     Int,
     /// Variable-length string.
     Str,
+    /// A packed row reference `(fragment_id << 32) | row_idx` used by
+    /// late-materialized plans: the column carries *where* a payload row
+    /// lives instead of the payload itself, and a final gather resolves it.
+    /// At row ([`Tuple`]) boundaries a ref travels bit-cast inside a
+    /// [`Value::Int`](crate::Value::Int), so ref-carrying intermediates can
+    /// be materialized and rescanned like any relation.
+    Ref,
 }
 
 impl fmt::Display for DataType {
@@ -21,6 +28,7 @@ impl fmt::Display for DataType {
         match self {
             DataType::Int => write!(f, "int"),
             DataType::Str => write!(f, "str"),
+            DataType::Ref => write!(f, "ref"),
         }
     }
 }
@@ -52,6 +60,12 @@ impl Attribute {
     /// Shorthand for a string attribute.
     pub fn str(name: impl Into<String>) -> Self {
         Attribute::new(name, DataType::Str)
+    }
+
+    /// Shorthand for a packed row-reference attribute (late
+    /// materialization).
+    pub fn rowref(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Ref)
     }
 }
 
@@ -131,6 +145,11 @@ impl Schema {
         }
         for (i, attr) in self.attrs.iter().enumerate() {
             let v = tuple.get(i)?;
+            // Refs travel bit-cast inside `Value::Int` at row boundaries, so
+            // a ref attribute accepts integer values.
+            if attr.ty == DataType::Ref && v.data_type() == DataType::Int {
+                continue;
+            }
             if v.data_type() != attr.ty {
                 return Err(RelalgError::SchemaMismatch(format!(
                     "attribute {i} (`{}`): expected {}, found {}",

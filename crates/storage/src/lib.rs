@@ -13,6 +13,7 @@ pub mod columnar;
 pub mod fragment;
 pub mod generator;
 pub mod partition;
+pub mod registry;
 pub mod skew;
 pub mod store;
 pub mod wisconsin;
@@ -24,4 +25,5 @@ pub use generator::{PayloadMode, WisconsinGenerator};
 pub use partition::{
     hash_key, hash_partition, partition_indices, range_partition, round_robin_partition,
 };
+pub use registry::{pack_ref, ref_leaf, ref_row, FragmentRegistry};
 pub use store::FragmentStore;
