@@ -2392,6 +2392,460 @@ pub fn validate_bench8_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_9: the query server — wire throughput, concurrency, noisy
+// neighbors over the wire, and a guardrail-overhead rerun proving the
+// metrics registry costs < 5%.
+// ---------------------------------------------------------------------------
+
+/// One timed server workload: some clients each running some queries
+/// against one shared served engine.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ServerRun {
+    /// Concurrent wire clients.
+    pub clients: u64,
+    /// Total queries completed across all clients.
+    pub queries: u64,
+    /// Wall-clock seconds from first send to last reply.
+    pub elapsed_s: f64,
+    /// Sustained queries per second over that wall-clock window.
+    pub qps: f64,
+    /// Median per-query wire latency (send to terminal frame) in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile per-query wire latency in ms.
+    pub p99_ms: f64,
+}
+
+/// The noisy-neighbor section, measured over the wire: a paced light
+/// client sampled while budget-shedding noisy clients hammer the same
+/// server.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NoisyServerRun {
+    /// Continuously querying noisy clients.
+    pub noisy_clients: u64,
+    /// Per-noisy-query memory budget (bytes) sent as a wire option; the
+    /// noisy query busts it, so the engine sheds the load with typed
+    /// `resource_exhausted` errors.
+    pub noisy_budget_bytes: u64,
+    /// Light-query latency samples taken.
+    pub samples: u64,
+    /// Light p50 under noise, ms.
+    pub light_p50_ms: f64,
+    /// Light p99 under noise, ms.
+    pub light_p99_ms: f64,
+    /// Idle p50 (the back-to-back section's p50), ms.
+    pub idle_p50_ms: f64,
+    /// The headline gate: light p99 under noise over idle p50.
+    pub p99_vs_idle_p50: f64,
+    /// Noisy queries the engine aborted for busting their budget —
+    /// nonzero proves the shedding actually engaged.
+    pub noisy_budget_aborts: u64,
+}
+
+/// Liveness accounting after the concurrent hammer.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ServerLiveness {
+    /// Engine worker threads configured.
+    pub engine_workers: u64,
+    /// Engine worker threads alive after the load (must equal
+    /// `engine_workers`).
+    pub engine_workers_alive: u64,
+    /// Connection workers configured.
+    pub conn_workers: u64,
+    /// Fresh post-load probe connections that answered (one per
+    /// connection worker, dealt round-robin — must equal `conn_workers`).
+    pub post_load_probes_ok: u64,
+    /// Operator-task panics the engine contained during the whole bench.
+    pub panics_contained: u64,
+}
+
+/// The `BENCH_9.json` report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench9Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// Chain length of the benchmark query.
+    pub relations: u64,
+    /// Base tuples per light relation.
+    pub tuples_per_relation: u64,
+    /// The paper's per-process startup cost (ms) configured on the
+    /// engine — the latency that concurrency must overlap to win.
+    pub startup_cost_ms: u64,
+    /// One client, back-to-back queries: the sequential wire baseline.
+    pub back_to_back: ServerRun,
+    /// Many clients on one shared engine.
+    pub concurrent: ServerRun,
+    /// `concurrent.qps / back_to_back.qps` — the headline gate (≥ 1.5:
+    /// overlapped startup + pipelined connections must beat sequential).
+    pub concurrency_speedup: f64,
+    /// Light-query latency under budget-shedding noisy wire clients.
+    pub noisy: NoisyServerRun,
+    /// Worker-thread liveness after the hammer.
+    pub liveness: ServerLiveness,
+    /// BENCH_6's guardrail-overhead workload, re-run with the metrics
+    /// registry wired in — bands against the checked-in BENCH_6 prove
+    /// the metrics cost stays under 5%.
+    pub guardrail_rerun: OverheadComparison,
+}
+
+/// Percentile over unsorted latency samples (nearest-rank).
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1] * 1e3
+}
+
+/// Builds the served database for the wire benchmark: a light chain
+/// family `R0..` and a heavier noisy chain `N0..` in one catalog, with
+/// the paper's startup cost configured.
+fn bench9_db(
+    relations: usize,
+    n: usize,
+    noisy_n: usize,
+    startup_ms: u64,
+    workers: usize,
+) -> Result<Arc<mj_exec::Database>> {
+    use mj_exec::{generate_family, Database, DbConfig, QueryFamily};
+    use mj_relalg::RelationProvider;
+
+    let err = |e: mj_exec::MjError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let light = generate_family(QueryFamily::Chain, relations, n, 5)?;
+    let noisy = generate_family(QueryFamily::Chain, relations + 1, noisy_n, 6)?;
+    let mut config = DbConfig::default();
+    config.exec.workers = workers;
+    config.exec.startup_cost = Some(std::time::Duration::from_millis(startup_ms));
+    let db = Database::open(config).map_err(err)?;
+    for i in 0..relations {
+        db.register(format!("R{i}"), light.catalog.relation(&format!("R{i}"))?)
+            .map_err(err)?;
+    }
+    for i in 0..relations + 1 {
+        db.register(format!("N{i}"), noisy.catalog.relation(&format!("R{i}"))?)
+            .map_err(err)?;
+    }
+    db.analyze().map_err(err)?;
+    Ok(Arc::new(db))
+}
+
+/// Runs `clients` wire clients, each issuing `per_client` queries
+/// back-to-back, all against `addr`. Clients connect first, then start
+/// together off a barrier so the wall-clock window measures sustained
+/// concurrent load, not connection setup.
+fn server_hammer(
+    addr: std::net::SocketAddr,
+    query: &str,
+    clients: usize,
+    per_client: usize,
+) -> Result<ServerRun> {
+    use mj_server::Client;
+    use std::sync::Barrier;
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let query = Arc::new(query.to_string());
+    let wire_err = |e: mj_server::ClientError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let started = std::thread::scope(|scope| -> Result<Instant> {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let query = query.clone();
+                scope.spawn(
+                    move || -> std::result::Result<Vec<f64>, mj_server::ClientError> {
+                        // Connect before the barrier: setup is excluded from
+                        // the measured window.
+                        let mut client =
+                            Client::connect_timeout(addr, std::time::Duration::from_secs(30))?;
+                        barrier.wait();
+                        let mut lats = Vec::with_capacity(per_client);
+                        for _ in 0..per_client {
+                            let sent = Instant::now();
+                            let reply = client.query(&query)?;
+                            debug_assert!(!reply.rows.is_empty());
+                            lats.push(sent.elapsed().as_secs_f64());
+                        }
+                        Ok(lats)
+                    },
+                )
+            })
+            .collect();
+        let started = Instant::now();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread").map_err(wire_err)?);
+        }
+        Ok(started)
+    })?;
+    // `started` is captured after spawning (threads hold at the barrier
+    // until all are connected); elapsed covers barrier release to last
+    // reply, minus a negligible connect tail.
+    let elapsed = started.elapsed().as_secs_f64();
+    let queries = latencies.len() as u64;
+    let p50 = percentile_ms(&mut latencies, 0.50);
+    let p99 = percentile_ms(&mut latencies, 0.99);
+    Ok(ServerRun {
+        clients: clients as u64,
+        queries,
+        elapsed_s: elapsed,
+        qps: queries as f64 / elapsed,
+        p50_ms: p50,
+        p99_ms: p99,
+    })
+}
+
+/// The noisy-neighbor section: `noisy_clients` wire clients loop a
+/// heavier query carrying a memory budget it busts (typed
+/// `resource_exhausted` shedding), while one light client takes paced
+/// latency samples. Best-of-`reps` by p99, same discipline as BENCH_6.
+#[allow(clippy::too_many_arguments)]
+fn noisy_server_run(
+    addr: std::net::SocketAddr,
+    db: &mj_exec::Database,
+    light_query: &str,
+    noisy_query: &str,
+    noisy_clients: usize,
+    noisy_budget: u64,
+    samples: usize,
+    idle_p50_ms: f64,
+    reps: usize,
+) -> Result<NoisyServerRun> {
+    use mj_server::{Client, ClientError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let wire_err = |e: ClientError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let mut best: Option<(f64, f64)> = None; // (p99_ms, p50_ms)
+    for _ in 0..reps.max(1) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let light = std::thread::scope(|scope| -> Result<Vec<f64>> {
+            let noisy_handles: Vec<_> = (0..noisy_clients)
+                .map(|_| {
+                    let stop = stop.clone();
+                    scope.spawn(move || -> std::result::Result<(), ClientError> {
+                        let mut client =
+                            Client::connect_timeout(addr, std::time::Duration::from_secs(30))?;
+                        while !stop.load(Ordering::Relaxed) {
+                            client.send_query_with(noisy_query, None, Some(noisy_budget))?;
+                            match client.collect_reply() {
+                                // The budget doing its job is not a failure.
+                                Ok(_) | Err(ClientError::Server(_)) => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            // Let the noise establish itself.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let mut client = Client::connect_timeout(addr, std::time::Duration::from_secs(30))
+                .map_err(wire_err)?;
+            let mut lats = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let sent = Instant::now();
+                client.query(light_query).map_err(wire_err)?;
+                lats.push(sent.elapsed().as_secs_f64());
+                std::thread::sleep(std::time::Duration::from_millis(15));
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in noisy_handles {
+                h.join().expect("noisy client thread").map_err(wire_err)?;
+            }
+            Ok(lats)
+        })?;
+        let mut lats = light;
+        let p50 = percentile_ms(&mut lats, 0.50);
+        let p99 = percentile_ms(&mut lats, 0.99);
+        if best.map(|(b, _)| p99 < b).unwrap_or(true) {
+            best = Some((p99, p50));
+        }
+    }
+    let (p99, p50) = best.expect("at least one rep");
+    Ok(NoisyServerRun {
+        noisy_clients: noisy_clients as u64,
+        noisy_budget_bytes: noisy_budget,
+        samples: samples as u64,
+        light_p50_ms: p50,
+        light_p99_ms: p99,
+        idle_p50_ms,
+        p99_vs_idle_p50: p99 / idle_p50_ms,
+        noisy_budget_aborts: db.stats().budget_aborts,
+    })
+}
+
+/// Produces the `BENCH_9.json` report: wire throughput back-to-back vs
+/// ~1k concurrent clients on one shared engine, noisy-neighbor latency
+/// over the wire, post-load worker liveness, and the BENCH_6 guardrail
+/// rerun. `quick` shrinks the workload for CI smoke runs.
+pub fn bench9_report(quick: bool) -> Result<Bench9Report> {
+    use mj_server::{Client, MetricsFormat, Server, ServerConfig};
+
+    const RELATIONS: usize = 3;
+    const STARTUP_MS: u64 = 12;
+    const ENGINE_WORKERS: usize = 2;
+    const CONN_WORKERS: usize = 4;
+
+    let (n, noisy_n) = if quick { (300, 2_000) } else { (400, 4_000) };
+    let (b2b_queries, clients, per_client) = if quick { (30, 64, 3) } else { (120, 1_000, 5) };
+    let (noisy_clients, noisy_samples, noisy_reps) = if quick { (2, 15, 1) } else { (4, 40, 3) };
+    let (o_relations, o_n, o_reps) = if quick { (4, 2_000, 2) } else { (6, 20_000, 5) };
+
+    // The guardrail rerun goes first, before the wire hammer churns the
+    // allocator: it is banded against BENCH_6, which also measured on a
+    // fresh process.
+    let guardrail_rerun = overhead_comparison(o_relations, o_n, 4, o_reps)?;
+
+    let db = bench9_db(RELATIONS, n, noisy_n, STARTUP_MS, ENGINE_WORKERS)?;
+    let server = Server::start(
+        db.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_workers: CONN_WORKERS,
+            // Headroom above the concurrent fleet plus probes.
+            max_clients: clients + 64,
+        },
+    )
+    .map_err(|e| mj_relalg::RelalgError::InvalidPlan(format!("server start: {e}")))?;
+    let addr = server.local_addr();
+    let light_query = prefixed_chain_sql("R", RELATIONS);
+    let noisy_query = prefixed_chain_sql("N", RELATIONS + 1);
+
+    // Warm up the planner and allocator out of band.
+    server_hammer(addr, &light_query, 1, 5)?;
+
+    let back_to_back = server_hammer(addr, &light_query, 1, b2b_queries)?;
+    let concurrent = server_hammer(addr, &light_query, clients, per_client)?;
+
+    // Liveness after the hammer: the engine pool is intact and every
+    // connection worker still answers a fresh probe (probes are dealt
+    // round-robin, so `conn_workers` consecutive connects cover the pool).
+    let stats = db.stats();
+    let mut probes_ok = 0u64;
+    for _ in 0..CONN_WORKERS {
+        let mut probe = Client::connect_timeout(addr, std::time::Duration::from_secs(10))
+            .map_err(|e| mj_relalg::RelalgError::InvalidPlan(e.to_string()))?;
+        if probe.metrics(MetricsFormat::Json).is_ok() {
+            probes_ok += 1;
+        }
+    }
+    let liveness = ServerLiveness {
+        engine_workers: ENGINE_WORKERS as u64,
+        engine_workers_alive: stats.workers_total,
+        conn_workers: CONN_WORKERS as u64,
+        post_load_probes_ok: probes_ok,
+        panics_contained: stats.panics_contained,
+    };
+
+    let noisy = noisy_server_run(
+        addr,
+        &db,
+        &light_query,
+        &noisy_query,
+        noisy_clients,
+        128 * 1024,
+        noisy_samples,
+        back_to_back.p50_ms,
+        noisy_reps,
+    )?;
+    server.shutdown();
+
+    Ok(Bench9Report {
+        bench: 9,
+        quick,
+        relations: RELATIONS as u64,
+        tuples_per_relation: n as u64,
+        startup_cost_ms: STARTUP_MS,
+        concurrency_speedup: concurrent.qps / back_to_back.qps,
+        back_to_back,
+        concurrent,
+        noisy,
+        liveness,
+        guardrail_rerun,
+    })
+}
+
+/// Renders a `BENCH_9.json` report as pretty-enough JSON.
+pub fn bench9_to_json(report: &Bench9Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace("\"back_to_back\":{", "\n\"back_to_back\":{")
+        .replace("\"concurrent\":{", "\n\"concurrent\":{")
+        .replace("\"concurrency_speedup\":", "\n\"concurrency_speedup\":")
+        .replace("\"noisy\":{", "\n\"noisy\":{")
+        .replace("\"liveness\":{", "\n\"liveness\":{")
+        .replace("\"guardrail_rerun\":{", "\n\"guardrail_rerun\":{\n  ")
+        .replace("\"guardrails_off\":", "\n  \"guardrails_off\":")
+        .replace("\"guardrails_on\":", "\n  \"guardrails_on\":")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_9.json` (CI smoke run).
+pub fn validate_bench9_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in [
+        "bench",
+        "quick",
+        "relations",
+        "tuples_per_relation",
+        "startup_cost_ms",
+        "back_to_back",
+        "concurrent",
+        "concurrency_speedup",
+        "noisy",
+        "liveness",
+        "guardrail_rerun",
+    ] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    for section in ["back_to_back", "concurrent"] {
+        let run = v.get(section).expect("checked");
+        for key in ["clients", "queries", "elapsed_s", "qps", "p50_ms", "p99_ms"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `{section}.{key}`"));
+            }
+        }
+    }
+    let n = v.get("noisy").expect("checked");
+    for key in [
+        "noisy_clients",
+        "noisy_budget_bytes",
+        "samples",
+        "light_p50_ms",
+        "light_p99_ms",
+        "idle_p50_ms",
+        "p99_vs_idle_p50",
+        "noisy_budget_aborts",
+    ] {
+        if n.get(key).is_none() {
+            return Err(format!("missing key `noisy.{key}`"));
+        }
+    }
+    let l = v.get("liveness").expect("checked");
+    for key in [
+        "engine_workers",
+        "engine_workers_alive",
+        "conn_workers",
+        "post_load_probes_ok",
+        "panics_contained",
+    ] {
+        if l.get(key).is_none() {
+            return Err(format!("missing key `liveness.{key}`"));
+        }
+    }
+    let g = v.get("guardrail_rerun").expect("checked");
+    for key in ["overhead_ratio", "guardrails_off", "guardrails_on"] {
+        if g.get(key).is_none() {
+            return Err(format!("missing key `guardrail_rerun.{key}`"));
+        }
+    }
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a

@@ -34,6 +34,11 @@
 //!   bench-simd            scalar vs SIMD kernel microbenchmarks +
 //!                         late-vs-eager wide chain + BENCH_5/6/7
 //!                         regression re-runs -> BENCH_8.json
+//!   bench-server          query-server wire throughput (back-to-back vs
+//!                         ~1k concurrent clients), noisy neighbors over
+//!                         the wire, worker liveness, and the BENCH_6
+//!                         guardrail-overhead re-run with metrics wired
+//!                         in -> BENCH_9.json
 //!
 //! CSV series are written to results/.
 
@@ -124,6 +129,7 @@ fn main() {
                 emit_bench6_json(quick);
                 emit_bench7_json(quick);
                 emit_bench8_json(quick);
+                emit_bench9_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
@@ -132,6 +138,7 @@ fn main() {
             "bench-robustness" => emit_bench6_json(quick),
             "bench-columnar" => emit_bench7_json(quick),
             "bench-simd" => emit_bench8_json(quick),
+            "bench-server" => emit_bench9_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -1036,6 +1043,119 @@ fn emit_bench8_json(quick: bool) {
                 "WARNING: join kernel re-run {:.2}x regressed past the 5% band",
                 r.join_kernels.speedup
             );
+        }
+    }
+}
+
+fn emit_bench9_json(quick: bool) {
+    println!(
+        "== BENCH_9.json: query server over the wire ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = mj_bench::bench9_report(quick).expect("bench9 report");
+    println!(
+        "{}-relation chain (n={}), startup cost {} ms per process:",
+        report.relations, report.tuples_per_relation, report.startup_cost_ms,
+    );
+    let b = &report.back_to_back;
+    println!(
+        "back-to-back: {} queries over 1 connection in {:.2}s -> {:.1} qps \
+         (p50 {:.1} ms, p99 {:.1} ms)",
+        b.queries, b.elapsed_s, b.qps, b.p50_ms, b.p99_ms,
+    );
+    let c = &report.concurrent;
+    println!(
+        "concurrent: {} clients x {} queries in {:.2}s -> {:.1} qps \
+         (p50 {:.1} ms, p99 {:.1} ms) -> {:.2}x over back-to-back",
+        c.clients,
+        c.queries / c.clients.max(1),
+        c.elapsed_s,
+        c.qps,
+        c.p50_ms,
+        c.p99_ms,
+        report.concurrency_speedup,
+    );
+    let n = &report.noisy;
+    println!(
+        "noisy wire neighbors: {} clients at {} KB budget, light p99 {:.1} ms \
+         vs idle p50 {:.1} ms -> {:.2}x ({} noisy queries shed)",
+        n.noisy_clients,
+        n.noisy_budget_bytes / 1024,
+        n.light_p99_ms,
+        n.idle_p50_ms,
+        n.p99_vs_idle_p50,
+        n.noisy_budget_aborts,
+    );
+    let l = &report.liveness;
+    println!(
+        "liveness: {}/{} engine workers alive, {}/{} conn-worker probes answered, \
+         {} panics contained",
+        l.engine_workers_alive,
+        l.engine_workers,
+        l.post_load_probes_ok,
+        l.conn_workers,
+        l.panics_contained,
+    );
+    let g = &report.guardrail_rerun;
+    // The metrics layer proves its cost against BENCH_6's checked-in
+    // guardrail baseline: the re-run ratio must stay within 1.05x of it.
+    let bench6_baseline = std::fs::read_to_string("BENCH_6.json")
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .and_then(|v: serde::JsonValue| {
+            match v.get("overhead").and_then(|o| o.get("overhead_ratio")) {
+                Some(serde::JsonValue::Float(f)) => Some(*f),
+                Some(serde::JsonValue::Int(i)) => Some(*i as f64),
+                _ => None,
+            }
+        });
+    match bench6_baseline {
+        Some(baseline) => println!(
+            "guardrail overhead re-run (metrics wired in): {:.3}x vs BENCH_6 \
+             baseline {:.3}x -> {:.3}x the baseline",
+            g.overhead_ratio,
+            baseline,
+            g.overhead_ratio / baseline,
+        ),
+        None => println!(
+            "guardrail overhead re-run (metrics wired in): {:.3}x \
+             (no BENCH_6.json baseline in cwd)",
+            g.overhead_ratio
+        ),
+    }
+    let json = mj_bench::bench9_to_json(&report);
+    mj_bench::validate_bench9_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_9_quick.json"
+    } else {
+        "BENCH_9.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick {
+        if report.concurrency_speedup < 1.5 {
+            eprintln!(
+                "WARNING: concurrent qps only {:.2}x back-to-back, below the 1.5x floor",
+                report.concurrency_speedup
+            );
+        }
+        if n.p99_vs_idle_p50 > 2.0 {
+            eprintln!(
+                "WARNING: light p99 under noise {:.2}x idle p50, above the 2x ceiling",
+                n.p99_vs_idle_p50
+            );
+        }
+        let baseline = bench6_baseline.unwrap_or(1.0);
+        if g.overhead_ratio > baseline * 1.05 {
+            eprintln!(
+                "WARNING: guardrail+metrics overhead {:.3}x exceeds 1.05x the \
+                 BENCH_6 baseline ({:.3}x)",
+                g.overhead_ratio, baseline
+            );
+        }
+        if l.engine_workers_alive != l.engine_workers || l.post_load_probes_ok != l.conn_workers {
+            eprintln!("WARNING: worker liveness check failed after the concurrent hammer");
         }
     }
 }

@@ -47,7 +47,7 @@ use crate::budget::MemoryBudget;
 use crate::config::{ExecConfig, QueryOptions};
 use crate::handle::{QueryCtrl, QueryHandle, QueryOutcome, ResultStream};
 use crate::metrics::counters::EngineCounters;
-use crate::metrics::{EngineStats, Metrics};
+use crate::metrics::{EngineStats, Metrics, MetricsSnapshot};
 use crate::operator::task::{DoneMsg, OpTask};
 use crate::operator::{AggregateOp, FilterOp, LimitOp, OutputPort, PhysicalOp};
 use crate::sched::WorkerPool;
@@ -78,6 +78,9 @@ pub struct ExecOutcome {
     /// (the paper's metric; initial data fragmentation is setup, not
     /// response time, matching §4.1's pre-fragmented starting state).
     pub elapsed: Duration,
+    /// End-to-end time from submission to the first result batch reaching
+    /// the draining client; `None` when the query produced no batches.
+    pub time_to_first_batch: Option<Duration>,
     /// Execution metrics.
     pub metrics: Metrics,
 }
@@ -154,8 +157,10 @@ impl Admission {
             });
         }
         if waiting >= self.queue_limit {
-            counters.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(RelalgError::Overloaded);
+            counters.note_rejected();
+            return Err(RelalgError::Overloaded {
+                queue_depth: waiting,
+            });
         }
         let ticket = s.next_ticket;
         s.next_ticket += 1;
@@ -215,9 +220,22 @@ impl Engine {
     }
 
     /// Engine-lifetime robustness counters: completions, rejections,
-    /// timeouts, stalls, budget aborts, contained panics, peak bytes.
+    /// timeouts, stalls, budget aborts, contained panics, peak bytes,
+    /// latency histograms — one atomically consistent snapshot (all
+    /// per-query counters read under a single lock), overlaid with the
+    /// worker pool's live busy/idle gauges.
     pub fn stats(&self) -> EngineStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        stats.workers_total = self.pool.workers() as u64;
+        stats.workers_busy = self.pool.busy().min(stats.workers_total);
+        stats
+    }
+
+    /// The accept-listed metrics export built from [`stats`](Self::stats):
+    /// only the series in [`crate::metrics::METRICS_ACCEPT_LIST`], ready
+    /// to render as Prometheus text or JSON.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::from_stats(&self.stats())
     }
 
     /// The engine configuration.
@@ -263,12 +281,26 @@ impl Engine {
         binding: &QueryBinding,
         opts: QueryOptions,
     ) -> Result<QueryHandle> {
+        // Submission instant: anchors both the duration histogram and the
+        // client-side time-to-first-batch measurement.
+        let submitted_at = Instant::now();
+        // Count the submission before admission control so rejected
+        // submissions are included in `queries_submitted` — that is what
+        // keeps every terminal-outcome counter summing to at most it.
+        self.counters.note_submitted();
         let permit = match &self.admission {
             Some(admission) => Some(admission.acquire(&self.counters)?),
             None => None,
         };
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        let (client, stream, ctrl) = open_result_channel(plan, binding, &self.config, &opts)?;
+        let (client, stream, ctrl) = open_result_channel(
+            plan,
+            binding,
+            &self.config,
+            &opts,
+            submitted_at,
+            Some(self.counters.clone()),
+        )?;
+        self.counters.note_started();
 
         let plan = plan.clone();
         let binding = binding.clone();
@@ -295,14 +327,28 @@ impl Engine {
                     &coord_ctrl,
                 );
                 coord_ctrl.finish(&result);
-                counters.record(&result, coord_ctrl.panics(), coord_ctrl.budget().peak());
+                counters.record(
+                    &result,
+                    coord_ctrl.panics(),
+                    coord_ctrl.budget().peak(),
+                    submitted_at.elapsed(),
+                );
                 // Release the admission slot only after the query has
                 // fully quiesced and its fragments are reclaimed, so the
                 // concurrency cap bounds actual resource use.
                 drop(permit);
                 result
             })
-            .map_err(|e| RelalgError::InvalidPlan(format!("cannot spawn coordinator: {e}")))?;
+            .map_err(|e| {
+                // The query was counted active but its coordinator never
+                // ran; record the failure here so the gauge and terminal
+                // counters stay consistent.
+                let err: Result<QueryOutcome> = Err(RelalgError::InvalidPlan(format!(
+                    "cannot spawn coordinator: {e}"
+                )));
+                self.counters.record(&err, 0, 0, submitted_at.elapsed());
+                RelalgError::InvalidPlan(format!("cannot spawn coordinator: {e}"))
+            })?;
         Ok(QueryHandle::new(stream, ctrl, coordinator))
     }
 
@@ -322,6 +368,7 @@ impl Engine {
         Ok(ExecOutcome {
             relation: Relation::new_unchecked(schema, tuples),
             elapsed: outcome.elapsed,
+            time_to_first_batch: outcome.time_to_first_batch,
             metrics: outcome.metrics,
         })
     }
@@ -339,7 +386,8 @@ pub fn run_plan(
     config: &ExecConfig,
 ) -> Result<ExecOutcome> {
     let opts = QueryOptions::default();
-    let (client, mut stream, ctrl) = open_result_channel(plan, binding, config, &opts)?;
+    let (client, mut stream, ctrl) =
+        open_result_channel(plan, binding, config, &opts, Instant::now(), None)?;
     let schema = stream.schema().clone();
     let pool = WorkerPool::new(config.workers);
     let store = Arc::new(FragmentStore::new(plan.processors));
@@ -364,6 +412,7 @@ pub fn run_plan(
         Ok(ExecOutcome {
             relation: Relation::new_unchecked(schema.clone(), tuples),
             elapsed: outcome.elapsed,
+            time_to_first_batch: ctrl.time_to_first_batch(),
             metrics: outcome.metrics,
         })
     })
@@ -379,6 +428,8 @@ fn open_result_channel(
     binding: &QueryBinding,
     config: &ExecConfig,
     opts: &QueryOptions,
+    submitted_at: Instant,
+    counters: Option<Arc<EngineCounters>>,
 ) -> Result<(ClientEdge, ResultStream, Arc<QueryCtrl>)> {
     config.validate().map_err(RelalgError::InvalidPlan)?;
     validate_plan(plan)?;
@@ -408,7 +459,7 @@ fn open_result_channel(
     };
     bpool.set_budget(budget.clone());
     let ctrl = QueryCtrl::with_limits(deadline, budget);
-    let stream = ResultStream::new(rx, producers, schema, ctrl.clone());
+    let stream = ResultStream::new(rx, producers, schema, ctrl.clone(), submitted_at, counters);
     Ok(((tx, bpool), stream, ctrl))
 }
 
@@ -1086,6 +1137,9 @@ fn run_query(
 
     Ok(QueryOutcome {
         elapsed,
+        // Recorded client-side by the stream; `QueryHandle::wait` patches
+        // it in after the coordinator returns.
+        time_to_first_batch: None,
         metrics: run.metrics,
     })
 }
@@ -1615,7 +1669,7 @@ mod tests {
         let err = engine
             .submit(&plan, &binding)
             .expect_err("second query must be rejected");
-        assert!(matches!(err, RelalgError::Overloaded), "got {err}");
+        assert!(matches!(err, RelalgError::Overloaded { .. }), "got {err}");
         // Drain the first; its slot frees and the engine admits again.
         while stream.next_batch().is_some() {}
         drop(stream);
@@ -1656,6 +1710,112 @@ mod tests {
         assert_eq!(stats.queries_completed, 4);
         assert_eq!(stats.queries_rejected, 0);
         assert_eq!(engine.store().total_bytes(), 0);
+    }
+
+    #[test]
+    fn duration_histogram_buckets_sum_to_queries_total() {
+        let (catalog, n) = setup(4, 256);
+        let engine = Engine::new(catalog.clone(), ExecConfig::default()).unwrap();
+        let tree = build(Shape::RightLinear, 4).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 3);
+        for _ in 0..3 {
+            let outcome = engine.run(&plan, &binding).unwrap();
+            // TTFB is end-to-end (submission to client pull), so it can
+            // exceed `elapsed` (which excludes teardown) only by the
+            // drain gap; it must at least exist for a non-empty result.
+            assert!(outcome.time_to_first_batch.is_some());
+        }
+        // One canceled query also reaches a terminal state and must be
+        // observed by the duration histogram.
+        let handle = engine.submit(&plan, &binding).unwrap();
+        handle.cancel();
+        let _ = handle.outcome();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.queries_total(),
+            stats.queries_completed + stats.queries_canceled
+        );
+        assert_eq!(stats.query_duration.count, stats.queries_total());
+        assert_eq!(
+            stats.query_duration.buckets.iter().sum::<u64>(),
+            stats.queries_total(),
+            "histogram buckets must sum to queries_total"
+        );
+        assert!(stats.time_to_first_batch.count >= 3);
+        assert_eq!(
+            stats.time_to_first_batch.buckets.iter().sum::<u64>(),
+            stats.time_to_first_batch.count
+        );
+        assert!(stats.query_duration.sum_us > 0);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_while_hammered() {
+        // Regression test for the racy field-by-field snapshot: N threads
+        // hammer queries (some admitted, some rejected) while a poller
+        // reads stats. Every snapshot must satisfy
+        //   terminal outcomes + rejected <= submitted
+        // which only holds if all counters are read consistently.
+        let (catalog, n) = setup(3, 96);
+        let config = ExecConfig {
+            workers: 2,
+            max_concurrent: Some(1),
+            admission_queue: 1,
+            ..ExecConfig::default()
+        };
+        let engine = Engine::new(catalog.clone(), config).unwrap();
+        let tree = build(Shape::RightLinear, 3).unwrap();
+        let binding = QueryBinding::regular(&tree, catalog.as_ref()).unwrap();
+        let plan = plan_for(&tree, Strategy::FP, n, 2);
+        let done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let plan = &plan;
+                let binding = &binding;
+                let done = &done;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        match engine.submit(plan, binding) {
+                            Ok(handle) => {
+                                let _ = handle.collect();
+                            }
+                            Err(RelalgError::Overloaded { queue_depth }) => {
+                                assert_eq!(queue_depth, 1);
+                            }
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let engine = &engine;
+            let done = &done;
+            scope.spawn(move || {
+                let mut polls = 0u64;
+                while done.load(Ordering::Relaxed) < 4 || polls == 0 {
+                    let s = engine.stats();
+                    let terminal = s.queries_total();
+                    assert!(
+                        terminal + s.queries_rejected <= s.queries_submitted,
+                        "inconsistent snapshot: {terminal} terminal + {} rejected > {} submitted",
+                        s.queries_rejected,
+                        s.queries_submitted
+                    );
+                    assert!(s.queries_active <= 2, "active beyond max_concurrent+queue");
+                    assert_eq!(s.query_duration.count, terminal);
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Quiesced: every submission is accounted for exactly once.
+        let s = engine.stats();
+        assert_eq!(s.queries_submitted, 32);
+        assert_eq!(s.queries_total() + s.queries_rejected, 32);
+        assert_eq!(s.queries_active, 0);
+        assert_eq!(s.query_duration.count, s.queries_total());
     }
 
     #[test]

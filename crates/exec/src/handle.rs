@@ -23,10 +23,11 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, TryRecvError};
 use mj_relalg::{RelalgError, Relation, Result, Schema, Tuple};
 
 use crate::budget::MemoryBudget;
+use crate::metrics::counters::EngineCounters;
 use crate::metrics::Metrics;
 use crate::stream::{Batch, Msg};
 
@@ -70,6 +71,10 @@ pub struct QueryCtrl {
     progress: AtomicU64,
     /// Panics contained (converted to `Internal`) within this query.
     panics: AtomicU64,
+    /// End-to-end time to first batch in microseconds, recorded once by
+    /// the [`ResultStream`] when the client pulls its first batch
+    /// (stored `+1` so 0 keeps meaning "no batch delivered yet").
+    first_batch_us: AtomicU64,
     /// Wall-clock instant after which the query is aborted; `None` = none.
     deadline: Option<Instant>,
     /// The query's memory budget (unlimited when no cap was configured).
@@ -181,6 +186,24 @@ impl QueryCtrl {
         self.panics.load(Ordering::Relaxed)
     }
 
+    /// Records the client pulling the first result batch `ttfb` after
+    /// submission. First call wins; later calls are no-ops.
+    pub(crate) fn note_first_batch(&self, ttfb: Duration) {
+        let us = ttfb.as_micros().min(u64::MAX as u128 - 1) as u64;
+        let _ =
+            self.first_batch_us
+                .compare_exchange(0, us + 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// End-to-end time from submission to the client pulling the first
+    /// result batch; `None` while (or if) no batch was ever delivered.
+    pub fn time_to_first_batch(&self) -> Option<Duration> {
+        match self.first_batch_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us - 1)),
+        }
+    }
+
     /// Records the coordinator's terminal result.
     pub(crate) fn finish(&self, result: &Result<QueryOutcome>) {
         let state = match result {
@@ -210,8 +233,26 @@ pub struct QueryOutcome {
     /// Response time: scheduling start to last operation-process exit (the
     /// paper's metric; base fragmentation is setup, not response time).
     pub elapsed: Duration,
+    /// End-to-end time from submission to the client pulling the first
+    /// result batch off the stream; `None` when no batch was delivered
+    /// (empty result, or the query failed before producing output).
+    pub time_to_first_batch: Option<Duration>,
     /// Execution metrics.
     pub metrics: Metrics,
+}
+
+/// The result of one non-blocking poll of a [`ResultStream`]
+/// ([`ResultStream::poll_next_batch`]).
+#[derive(Debug)]
+pub enum BatchPoll {
+    /// A result batch is ready.
+    Batch(Batch),
+    /// No batch buffered right now, but producers are still live — poll
+    /// again later (the stream never blocks the caller).
+    Pending,
+    /// The stream is exhausted: every producer finished or unwound.
+    /// Terminal status/errors surface from [`QueryHandle::outcome`].
+    Done,
 }
 
 /// A pull-based iterator over the query's result [`Batch`]es, fed directly
@@ -227,6 +268,13 @@ pub struct ResultStream {
     schema: Arc<Schema>,
     ctrl: Arc<QueryCtrl>,
     ended: bool,
+    /// Submission instant, for end-to-end time-to-first-batch.
+    started: Instant,
+    /// Whether the first batch has been delivered (TTFB recorded).
+    first_seen: bool,
+    /// Engine counters to feed the time-to-first-batch histogram
+    /// (`None` for transient single-query engines like `run_plan`).
+    counters: Option<Arc<EngineCounters>>,
 }
 
 impl ResultStream {
@@ -235,6 +283,8 @@ impl ResultStream {
         producers: usize,
         schema: Arc<Schema>,
         ctrl: Arc<QueryCtrl>,
+        started: Instant,
+        counters: Option<Arc<EngineCounters>>,
     ) -> Self {
         ResultStream {
             rx,
@@ -242,12 +292,31 @@ impl ResultStream {
             schema,
             ctrl,
             ended: producers == 0,
+            started,
+            first_seen: false,
+            counters,
         }
     }
 
     /// The schema of the streamed tuples.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// Records time-to-first-batch on the first delivered batch: into the
+    /// query's control block (surfaced by `QueryOutcome`) and the engine's
+    /// TTFB histogram. Measured here, client-side, so it is genuinely
+    /// end-to-end — submission to the client holding result tuples.
+    fn note_first_batch(&mut self) {
+        if self.first_seen {
+            return;
+        }
+        self.first_seen = true;
+        let ttfb = self.started.elapsed();
+        self.ctrl.note_first_batch(ttfb);
+        if let Some(counters) = &self.counters {
+            counters.note_first_batch(ttfb);
+        }
     }
 
     /// Blocks for the next batch. `None` once every root instance has
@@ -257,7 +326,10 @@ impl ResultStream {
     pub fn next_batch(&mut self) -> Option<Batch> {
         while !self.ended {
             match self.rx.recv() {
-                Ok(Msg::Batch(batch)) => return Some(batch),
+                Ok(Msg::Batch(batch)) => {
+                    self.note_first_batch();
+                    return Some(batch);
+                }
                 Ok(Msg::End) => {
                     self.remaining -= 1;
                     if self.remaining == 0 {
@@ -270,6 +342,31 @@ impl ResultStream {
             }
         }
         None
+    }
+
+    /// Non-blocking sibling of [`next_batch`](Self::next_batch): returns
+    /// [`BatchPoll::Pending`] instead of parking the caller when no batch
+    /// is buffered. This is what lets one connection-worker thread
+    /// multiplex many clients' streams — poll each stream in turn, never
+    /// sleeping inside any single query.
+    pub fn poll_next_batch(&mut self) -> BatchPoll {
+        while !self.ended {
+            match self.rx.try_recv() {
+                Ok(Msg::Batch(batch)) => {
+                    self.note_first_batch();
+                    return BatchPoll::Batch(batch);
+                }
+                Ok(Msg::End) => {
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        self.ended = true;
+                    }
+                }
+                Err(TryRecvError::Empty) => return BatchPoll::Pending,
+                Err(TryRecvError::Disconnected) => self.ended = true,
+            }
+        }
+        BatchPoll::Done
     }
 
     /// Drains the stream into a materialized [`Relation`] (convenience for
@@ -399,9 +496,17 @@ impl QueryHandle {
             while stream.next_batch().is_some() {}
         }
         match self.coordinator.take() {
-            Some(handle) => handle
-                .join()
-                .map_err(|_| RelalgError::InvalidPlan("query coordinator panicked".into()))?,
+            Some(handle) => {
+                let mut result = handle
+                    .join()
+                    .map_err(|_| RelalgError::InvalidPlan("query coordinator panicked".into()))?;
+                // TTFB is recorded client-side by the stream; the
+                // coordinator cannot know it, so patch it in here.
+                if let Ok(outcome) = &mut result {
+                    outcome.time_to_first_batch = self.ctrl.time_to_first_batch();
+                }
+                result
+            }
             None => Err(RelalgError::InvalidPlan(
                 "query outcome already taken".into(),
             )),

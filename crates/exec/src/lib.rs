@@ -63,8 +63,11 @@ pub use engine::{run_plan, Engine, ExecOutcome};
 pub use families::{chain_query_sql, generate_family, star_query_sql, FamilyInstance, QueryFamily};
 #[cfg(feature = "faults")]
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
-pub use handle::{QueryHandle, QueryOutcome, QueryStatus, ResultStream};
-pub use metrics::{EngineStats, Metrics, OpMetrics, OpMetricsKind};
+pub use handle::{BatchPoll, QueryHandle, QueryOutcome, QueryStatus, ResultStream};
+pub use metrics::{
+    EngineStats, HistogramSnapshot, LatencyHistogram, MetricDef, MetricKind, Metrics,
+    MetricsSnapshot, OpMetrics, OpMetricsKind, LATENCY_BUCKET_BOUNDS_MS, METRICS_ACCEPT_LIST,
+};
 pub use operator::{
     AggregateOp, FilterOp, InputMode, LimitOp, OpKind, OpTask, PhysicalOp, PipeliningJoinOp,
     SimpleJoinOp,

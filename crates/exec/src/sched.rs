@@ -119,6 +119,9 @@ struct Shared {
     submitted: AtomicU64,
     /// Steps executed across all workers (diagnostics).
     steps: AtomicU64,
+    /// Workers currently inside a task step (the `mj_worker_busy` gauge;
+    /// workers waiting on the queue condvar or requeueing are idle).
+    busy: AtomicU64,
     /// Task panics the pool's backstop `catch_unwind` contained
     /// (diagnostics; the task layer normally contains its own panics
     /// before they ever reach the worker loop).
@@ -165,6 +168,7 @@ impl WorkerPool {
             ready: Condvar::new(),
             submitted: AtomicU64::new(0),
             steps: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
             panics: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -213,6 +217,13 @@ impl WorkerPool {
     /// Scheduling steps executed so far.
     pub fn steps(&self) -> u64 {
         self.shared.steps.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently executing a task step (the rest are idle —
+    /// waiting for work or shuffling the run queue). A point-in-time
+    /// gauge: any value in `0..=workers()`.
+    pub fn busy(&self) -> u64 {
+        self.shared.busy.load(Ordering::Relaxed)
     }
 
     /// Tasks currently queued (excluding those mid-step on a worker).
@@ -267,7 +278,9 @@ fn worker_loop(shared: &Shared) {
         };
 
         let mut queued = queued;
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| queued.task.step()));
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
         shared.steps.fetch_add(1, Ordering::Relaxed);
         match step {
             Ok(Step::Progress) => {

@@ -41,7 +41,7 @@ use mj_storage::Catalog;
 use crate::config::{ExecConfig, QueryOptions};
 use crate::engine::Engine;
 use crate::handle::QueryHandle;
-use crate::metrics::EngineStats;
+use crate::metrics::{EngineStats, MetricsSnapshot};
 use crate::planner::{PlannedQuery, Planner, PlannerOptions};
 
 /// The top-level error of the session API, unifying the per-crate error
@@ -87,8 +87,14 @@ pub enum MjError {
     /// converted into this error (the payload is the panic message).
     Internal(String),
     /// The engine's concurrent-query limit and admission wait queue are
-    /// both full; the submission was rejected without running.
-    Overloaded,
+    /// both full; the submission was rejected without running. Carries the
+    /// wait-queue depth at rejection so clients can back off
+    /// proportionally (the query server forwards it on the wire).
+    Overloaded {
+        /// Submissions waiting in the admission queue when this one was
+        /// rejected.
+        queue_depth: usize,
+    },
 }
 
 impl MjError {
@@ -141,9 +147,10 @@ impl fmt::Display for MjError {
             ),
             MjError::Stalled(dump) => write!(f, "query stalled: {dump}"),
             MjError::Internal(msg) => write!(f, "internal error (contained panic): {msg}"),
-            MjError::Overloaded => write!(
+            MjError::Overloaded { queue_depth } => write!(
                 f,
-                "engine overloaded: concurrent query limit and wait queue are full"
+                "engine overloaded: concurrent query limit and wait queue \
+                 ({queue_depth} deep) are full"
             ),
         }
     }
@@ -175,7 +182,7 @@ impl From<RelalgError> for MjError {
             }
             RelalgError::Stalled(dump) => MjError::Stalled(dump),
             RelalgError::Internal(msg) => MjError::Internal(msg),
-            RelalgError::Overloaded => MjError::Overloaded,
+            RelalgError::Overloaded { queue_depth } => MjError::Overloaded { queue_depth },
             other => MjError::Exec(other),
         }
     }
@@ -322,9 +329,22 @@ impl Database {
 
     /// Engine-lifetime robustness counters: completions, cancellations,
     /// timeouts, budget aborts, contained panics, admission rejections,
-    /// peak charged bytes.
+    /// peak charged bytes, and the query-latency histograms — one
+    /// atomically consistent snapshot (every per-query counter is read
+    /// under a single lock), so `queries_completed + queries_failed +
+    /// queries_canceled + queries_timed_out + queries_stalled +
+    /// budget_aborts + queries_rejected <= queries_submitted` holds even
+    /// when polled concurrently with running queries.
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// The accept-listed metrics export ([`crate::metrics::METRICS_ACCEPT_LIST`])
+    /// built from one consistent [`stats`](Self::stats) snapshot — what
+    /// the query server serves as `GET /metrics` (Prometheus text via
+    /// [`MetricsSnapshot::to_prometheus`]) and as JSON (serde).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.engine.metrics_snapshot()
     }
 
     /// Plans and submits an already-validated [`JoinQuery`] (the

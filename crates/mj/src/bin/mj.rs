@@ -3,6 +3,8 @@
 //! ```text
 //! mj sql      "<query>" | -  [--query F --relations K --tuples N --seed X]
 //!             [--procs P --workers W] [--explain] [--limit R]
+//! mj serve    [--addr A --workers W --conn-workers C --max-clients M]
+//!             [--query F --relations K --tuples N --seed X --procs P]
 //! mj shapes   [--relations K]
 //! mj plan     [--query F] [--strategy auto|ST] [--relations K --tuples N --procs P --seed X]
 //! mj plan     --shape S --strategy ST [--relations K --tuples N --procs P]
@@ -169,6 +171,9 @@ fn usage() -> &'static str {
   mj sql      \"<query>\" | -  [--query chain|star|skewed --relations K
               --tuples N --seed X --procs P --workers W] [--explain]
               [--limit R] [--format table|csv|json]
+  mj serve    [--addr HOST:PORT] [--workers W --conn-workers C
+              --max-clients M] [--query chain|star|skewed --relations K
+              --tuples N --seed X --procs P]
   mj shapes   [--relations K]
   mj plan     [--query chain|star|skewed] [--strategy auto|ST]
               [--relations K --tuples N --procs P --seed X]   (planner explain)
@@ -458,6 +463,83 @@ fn cmd_sql(args: &Args) -> Result<(), String> {
         outcome.metrics.processes,
         outcome.metrics.streams,
     );
+    Ok(())
+}
+
+/// `mj serve`: expose a seeded-family [`Database`] over TCP with the
+/// line-delimited JSON protocol of [`multijoin::server`]. Runs until
+/// stdin closes or a `quit` line arrives, then drains gracefully
+/// (in-flight queries finish; new requests get a typed `overloaded`
+/// error; the listener closes).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use multijoin::server::{Server, ServerConfig};
+
+    let family = args.family()?;
+    let k: usize = args.num("relations", 4)?;
+    let tuples: usize = args.num("tuples", 2_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let procs: usize = args.num("procs", 8)?;
+    let workers: usize = args.num("workers", ExecConfig::default().workers)?;
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let conn_workers: usize = args.num("conn-workers", ServerConfig::default().conn_workers)?;
+    let max_clients: usize = args.num("max-clients", ServerConfig::default().max_clients)?;
+
+    let instance = generate_family(family, k, tuples, seed).map_err(|e| e.to_string())?;
+    let mut config = DbConfig::default();
+    config.exec.workers = workers;
+    config.planner = PlannerOptions::new(procs);
+    let db = Database::open(config).map_err(|e| e.to_string())?;
+    let mut names = instance.catalog.names();
+    names.sort();
+    for name in &names {
+        let rel = instance.catalog.relation(name).map_err(|e| e.to_string())?;
+        db.register(name, rel).map_err(|e| e.to_string())?;
+    }
+    db.analyze().map_err(|e| e.to_string())?;
+
+    let server = Server::start(
+        Arc::new(db),
+        ServerConfig {
+            addr,
+            conn_workers,
+            max_clients,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving `{family}` family ({k} relations x {tuples} tuples, seed {seed}) \
+         on {} — {} engine workers, {} connection workers, {} clients max",
+        server.local_addr(),
+        workers,
+        conn_workers,
+        max_clients,
+    );
+    eprintln!(
+        "protocol: one JSON object per line — {{\"query\": \"SELECT ...\"}} or \
+         {{\"metrics\": \"json\"|\"prometheus\"}}; HTTP scrapers may GET /metrics. \
+         Type `quit` (or close stdin) to drain and stop."
+    );
+
+    // Block on stdin: `quit` or EOF triggers the graceful drain. This is
+    // the shutdown path — no signal handling needed.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("draining: in-flight queries finish, new requests are rejected ...");
+    server.shutdown();
+    eprintln!("stopped.");
     Ok(())
 }
 
@@ -813,6 +895,7 @@ fn main() -> ExitCode {
     let cmd = args.positional.first().map(String::as_str).unwrap_or("");
     let result = match cmd {
         "sql" => cmd_sql(&args),
+        "serve" => cmd_serve(&args),
         "shapes" => cmd_shapes(&args),
         "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),

@@ -17,6 +17,7 @@
 //! | [`core`] | `mj-core` | the four strategies, proportional allocation, parallel plan IR, plan generator |
 //! | [`exec`] | `mj-exec` | execution engine: fixed worker pool, generic [`PhysicalOp`](exec::PhysicalOp) operator framework (joins, filter, aggregate, limit), tuple streams, [`Database`](exec::Database) session facade, streaming [`QueryHandle`](exec::QueryHandle)s, cost-based [`Planner`](exec::Planner) with filter pushdown |
 //! | [`sim`] | `mj-sim` | discrete-event simulator reproducing the 20–80-processor experiments |
+//! | [`server`] | `mj-server` | query server: line-delimited JSON protocol over TCP, fixed acceptor/connection-worker pool, metrics exposition (`mj serve`) |
 //!
 //! ## Quickstart
 //!
@@ -107,6 +108,7 @@ pub use mj_exec as exec;
 pub use mj_join as join;
 pub use mj_plan as plan;
 pub use mj_relalg as relalg;
+pub use mj_server as server;
 pub use mj_sim as sim;
 pub use mj_storage as storage;
 

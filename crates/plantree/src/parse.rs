@@ -38,9 +38,14 @@ use std::fmt;
 
 use mj_relalg::ops::AggFunc;
 use mj_relalg::CmpOp;
+use serde::{Deserialize, Serialize};
 
 /// A byte range into the query source text (`start..end`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Serializable so spanned diagnostics travel over the wire intact: the
+/// query server's error frames carry the span, and a remote client can
+/// render the same caret line a local one would.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,
@@ -70,7 +75,9 @@ impl fmt::Display for Span {
 }
 
 /// A parse failure, located at a byte span of the source.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Serializable for the same reason as [`Span`]: the query server maps it
+/// into a typed wire error without losing the location.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,

@@ -54,8 +54,14 @@ pub enum RelalgError {
     /// panic message.
     Internal(String),
     /// Admission control rejected the query: the engine is already running
-    /// `max_concurrent` queries and the FIFO wait queue is full.
-    Overloaded,
+    /// `max_concurrent` queries and the FIFO wait queue is full. Carries
+    /// the wait-queue depth at rejection so clients can back off
+    /// proportionally.
+    Overloaded {
+        /// Submissions waiting in the admission queue when this one was
+        /// rejected (= the configured queue bound).
+        queue_depth: usize,
+    },
 }
 
 impl fmt::Display for RelalgError {
@@ -82,10 +88,11 @@ impl fmt::Display for RelalgError {
             }
             RelalgError::Stalled(dump) => write!(f, "query stalled: {dump}"),
             RelalgError::Internal(msg) => write!(f, "internal error (contained panic): {msg}"),
-            RelalgError::Overloaded => {
+            RelalgError::Overloaded { queue_depth } => {
                 write!(
                     f,
-                    "engine overloaded: concurrent query limit and wait queue are full"
+                    "engine overloaded: concurrent query limit and wait queue \
+                     ({queue_depth} deep) are full"
                 )
             }
         }

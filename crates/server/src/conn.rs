@@ -1,0 +1,347 @@
+//! Per-connection state machine.
+//!
+//! One [`Conn`] wraps one non-blocking client socket. A connection
+//! worker thread owns many `Conn`s and calls [`Conn::tick`] on each in
+//! a round-robin loop; a tick never blocks — it reads whatever bytes
+//! are available, parses complete request lines, advances the active
+//! query by polling its [`ResultStream`], and flushes whatever the
+//! socket will take.
+//!
+//! Pipelining falls out of the design: requests parsed ahead of the
+//! active query queue up in arrival order and responses are emitted
+//! strictly in that order. Cancellation on disconnect falls out too —
+//! dropping the `Conn` drops the active query's stream and handle,
+//! which cancels the query in the engine.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mj_exec::{BatchPoll, Database, MjError, QueryHandle, ResultStream};
+use mj_relalg::Tuple;
+
+use crate::protocol::{
+    batch_frame, done_frame, http_metrics_request, http_metrics_response, metrics_frame,
+    parse_request, Request, WireError, MAX_LINE_BYTES,
+};
+
+/// Stop polling the active query's stream once this many response bytes
+/// are buffered for the socket: a slow reader backpressures its own
+/// query instead of ballooning server memory.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Per-tick read chunk.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What a [`Conn::tick`] did — the worker uses this to decide whether
+/// to nap between sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Tick {
+    /// Bytes moved or a query advanced; sweep again immediately.
+    Progress,
+    /// Nothing to do right now.
+    Idle,
+    /// The connection is finished (disconnect, fatal socket error, or a
+    /// one-shot HTTP response fully flushed). Drop the `Conn`.
+    Closed,
+}
+
+/// A query in flight on this connection.
+struct ActiveQuery {
+    handle: QueryHandle,
+    stream: ResultStream,
+    rows: u64,
+}
+
+/// One client connection: socket, buffers, parsed-but-unstarted
+/// requests, and at most one active query.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Offset of the first unwritten byte in `write_buf`.
+    write_pos: usize,
+    /// Inside an oversized line: discard bytes until the next newline.
+    discarding: bool,
+    /// Parsed requests — and already-decided rejections — in arrival
+    /// order. Rejections ride the same queue so every request's response
+    /// (including its error) is emitted strictly in request order.
+    pending: VecDeque<Result<Request, WireError>>,
+    active: Option<ActiveQuery>,
+    /// Peer closed its read side or an HTTP one-shot finished: flush
+    /// `write_buf` and close.
+    closing: bool,
+    /// Set once any line has been parsed; an HTTP `GET /metrics` is only
+    /// honoured as the first line of a connection.
+    saw_line: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            discarding: false,
+            pending: VecDeque::new(),
+            active: None,
+            closing: false,
+            saw_line: false,
+        })
+    }
+
+    fn push_line(&mut self, line: String) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    fn write_buffered(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// True when the connection has nothing in flight and nothing
+    /// buffered — the state in which a draining server may close it.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.active.is_none()
+            && self.pending.is_empty()
+            && self.write_buffered() == 0
+            && self.read_buf.is_empty()
+    }
+
+    /// One non-blocking sweep: read, parse, advance, flush.
+    ///
+    /// `draining` is the server's graceful-shutdown flag: in-flight and
+    /// already-pipelined work completes, but *newly arriving* query and
+    /// metrics requests are rejected with `overloaded`.
+    pub(crate) fn tick(&mut self, db: &Arc<Database>, draining: bool) -> Tick {
+        let mut progress = false;
+
+        match self.fill_read_buf() {
+            Ok(moved) => progress |= moved,
+            Err(()) => {
+                // Peer gone. Dropping `self.active` cancels the query via
+                // the stream/handle drops; nothing further to deliver.
+                return Tick::Closed;
+            }
+        }
+
+        progress |= self.parse_lines(db, draining);
+        progress |= self.advance_active(db);
+        if self.flush().is_err() {
+            return Tick::Closed;
+        }
+        if self.closing && self.write_buffered() == 0 {
+            return Tick::Closed;
+        }
+        if progress {
+            Tick::Progress
+        } else {
+            Tick::Idle
+        }
+    }
+
+    /// Reads available bytes. `Err(())` means the connection is dead
+    /// (EOF or a fatal socket error).
+    fn fill_read_buf(&mut self) -> Result<bool, ()> {
+        if self.closing {
+            return Ok(false);
+        }
+        let mut moved = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    moved = true;
+                    if self.discarding {
+                        // Keep only what follows the newline that ends
+                        // the oversized line, if it has arrived.
+                        if let Some(pos) = chunk[..n].iter().position(|&b| b == b'\n') {
+                            self.discarding = false;
+                            self.read_buf.extend_from_slice(&chunk[pos + 1..n]);
+                        }
+                    } else {
+                        self.read_buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        // A partial line (no newline yet) that already exceeds the cap is
+        // rejected now, without waiting for — or buffering — the rest of
+        // it; its remaining bytes are drained as they come. Complete
+        // oversized lines are rejected by length in `parse_lines`.
+        if !self.discarding {
+            let tail = self
+                .read_buf
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+            if self.read_buf.len() - tail > MAX_LINE_BYTES {
+                self.pending.push_back(Err(WireError::oversized()));
+                self.read_buf.truncate(tail);
+                self.discarding = true;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Splits complete lines off `read_buf` and parses each.
+    fn parse_lines(&mut self, db: &Arc<Database>, draining: bool) -> bool {
+        let mut progress = false;
+        while let Some(pos) = self.read_buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.read_buf.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            progress = true;
+
+            if !self.saw_line {
+                self.saw_line = true;
+                if let Some(format) = http_metrics_request(&line) {
+                    let response = http_metrics_response(&db.metrics_snapshot(), format);
+                    self.write_buf.extend_from_slice(response.as_bytes());
+                    self.closing = true;
+                    self.read_buf.clear();
+                    return true;
+                }
+            }
+            if self.closing {
+                break;
+            }
+            if line.len() > MAX_LINE_BYTES {
+                self.pending.push_back(Err(WireError::oversized()));
+                continue;
+            }
+            if line.is_empty() {
+                // Bare keep-alive newline: ignore rather than error, so
+                // `printf '\n'` probes don't pollute the response stream.
+                continue;
+            }
+            match parse_request(&line) {
+                Ok(_) if draining => {
+                    let depth = self.pending.len() as u64;
+                    self.pending
+                        .push_back(Err(WireError::overloaded("server is shutting down", depth)));
+                }
+                Ok(req) => self.pending.push_back(Ok(req)),
+                Err(err) => self.pending.push_back(Err(err)),
+            }
+        }
+        progress
+    }
+
+    /// Starts queued requests and polls the active query's stream.
+    fn advance_active(&mut self, db: &Arc<Database>) -> bool {
+        let mut progress = false;
+        loop {
+            // Start the next pipelined request when nothing is active.
+            if self.active.is_none() {
+                match self.pending.pop_front() {
+                    None => break,
+                    Some(Err(err)) => {
+                        self.push_line(err.to_frame());
+                        progress = true;
+                        continue;
+                    }
+                    Some(Ok(Request::Metrics(format))) => {
+                        self.push_line(metrics_frame(&db.metrics_snapshot(), format));
+                        progress = true;
+                        continue;
+                    }
+                    Some(Ok(Request::Query { query, options })) => {
+                        progress = true;
+                        match db.query_with(&query, options) {
+                            Ok(mut handle) => {
+                                let stream = handle.stream();
+                                self.active = Some(ActiveQuery {
+                                    handle,
+                                    stream,
+                                    rows: 0,
+                                });
+                            }
+                            Err(e) => {
+                                self.push_line(WireError::from_mj(&e).to_frame());
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Poll the active stream until it yields nothing, finishes,
+            // or the write buffer backs up.
+            let active = self.active.as_mut().expect("active query set above");
+            let mut finished = false;
+            while self.write_buf.len() - self.write_pos < WRITE_HIGH_WATER {
+                match active.stream.poll_next_batch() {
+                    BatchPoll::Batch(mut batch) => {
+                        progress = true;
+                        let tuples: Vec<Tuple> = batch.drain().collect();
+                        active.rows += tuples.len() as u64;
+                        let frame = batch_frame(tuples.iter().map(|t| t.values()));
+                        self.write_buf.extend_from_slice(frame.as_bytes());
+                        self.write_buf.push(b'\n');
+                    }
+                    BatchPoll::Pending => break,
+                    BatchPoll::Done => {
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+            if !finished {
+                break;
+            }
+
+            // Terminal frame: join the coordinator (near-instant once the
+            // stream has ended) and report the outcome in request order.
+            progress = true;
+            let ActiveQuery {
+                handle,
+                stream,
+                rows,
+            } = self.active.take().expect("active query set above");
+            drop(stream); // fully drained: dropping does not cancel
+            match handle.outcome() {
+                Ok(outcome) => self.push_line(done_frame(
+                    rows,
+                    outcome.elapsed,
+                    outcome.time_to_first_batch,
+                )),
+                Err(e) => self.push_line(WireError::from_mj(&MjError::from(e)).to_frame()),
+            }
+        }
+        progress
+    }
+
+    /// Writes as much of `write_buf` as the socket will take.
+    fn flush(&mut self) -> Result<(), ()> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > WRITE_HIGH_WATER {
+            // Compact occasionally so a long-lived slow reader does not
+            // pin an ever-growing buffer.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,36 @@
+//! `mj_server` — the query server subsystem.
+//!
+//! Exposes a shared [`mj_exec::Database`] over TCP with a line-delimited
+//! JSON protocol: clients send `{"query": "...", "options": {...}}`
+//! lines and receive streamed `{"batch": [...]}` frames followed by one
+//! terminal `{"done": ...}` or typed `{"error": ...}` frame. Metrics are
+//! served both in-protocol (`{"metrics": "json"|"prometheus"}`) and to
+//! plain HTTP scrapers (`GET /metrics`).
+//!
+//! Three layers:
+//!
+//! - [`protocol`] — frame grammar, request parsing with strict
+//!   unknown-field rejection, and the total [`MjError`] →
+//!   [`protocol::WireError`] code mapping (`Overloaded` carries its
+//!   admission queue depth onto the wire).
+//! - `conn` (private) + [`server`] — a non-blocking acceptor and a
+//!   small fixed pool of connection workers, each multiplexing many
+//!   client sockets over [`mj_exec::ResultStream::poll_next_batch`]. No
+//!   async runtime anywhere; disconnecting a client cancels its query
+//!   by dropping the stream and handle.
+//! - [`client`] — a deliberately simple blocking client used by the
+//!   integration tests, the oracle differential harness, and
+//!   `repro bench-server`.
+//!
+//! [`MjError`]: mj_exec::MjError
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryReply, ServerError};
+pub use protocol::{MetricsFormat, Request, WireError, MAX_LINE_BYTES};
+pub use server::{Server, ServerConfig};

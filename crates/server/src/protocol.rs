@@ -1,0 +1,546 @@
+//! The wire protocol: line-delimited JSON frames, both directions.
+//!
+//! Requests (client → server), one JSON object per line:
+//!
+//! ```text
+//! {"query": "SELECT * FROM R0 JOIN R1 ON R0.id = R1.id"}
+//! {"query": "...", "options": {"deadline_ms": 5000, "memory_budget_bytes": 1048576}}
+//! {"metrics": "json"}
+//! {"metrics": "prometheus"}
+//! ```
+//!
+//! Responses (server → client), one JSON object per line:
+//!
+//! ```text
+//! {"batch": [[1, 10], [2, 20]]}                     // zero or more, streamed
+//! {"done": {"rows": 2, "elapsed_ms": 3.4, "time_to_first_batch_ms": 1.1}}
+//! {"error": {"code": "parse", "message": "...", "span": {"start": 7, "end": 9}}}
+//! {"error": {"code": "overloaded", "message": "...", "span": null, "queue_depth": 16}}
+//! {"metrics": { ...accept-listed snapshot... }}     // answer to {"metrics":"json"}
+//! {"metrics_text": "# HELP mj_queries_total ..."}   // answer to {"metrics":"prometheus"}
+//! ```
+//!
+//! Every request gets exactly one terminal frame (`done`, `error`,
+//! `metrics`, or `metrics_text`); responses to pipelined requests arrive
+//! strictly in request order. A malformed request frame produces a typed
+//! `error` frame with code `protocol` and the connection **survives** —
+//! only a client disconnect (or server shutdown) closes it.
+//!
+//! As a convenience for scrapers, a line starting with `GET /metrics`
+//! (an HTTP/1.x request line) switches the connection to one-shot HTTP:
+//! the server answers with a minimal `200 OK` carrying the Prometheus
+//! text exposition (or the JSON snapshot for `GET /metrics.json`) and
+//! closes. See [`http_metrics_request`].
+
+use std::time::Duration;
+
+use mj_exec::{MjError, QueryOptions};
+use mj_plan::parse::Span;
+use mj_relalg::Value;
+use serde::{JsonValue, Serialize};
+
+/// Hard cap on one request line (bytes, newline included). Longer lines
+/// are rejected with an `oversized_frame` error; the connection survives
+/// by discarding input until the next newline.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How the client wants the metrics snapshot rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The accept-listed snapshot as a JSON object (`{"metrics": {...}}`).
+    Json,
+    /// Prometheus text exposition, JSON-escaped (`{"metrics_text": "..."}`).
+    Prometheus,
+}
+
+/// One parsed request frame.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Execute a query and stream its result batches back.
+    Query {
+        /// The query text (the SQL subset `mj_plan::parse` accepts).
+        query: String,
+        /// Per-query limits (deadline, memory budget).
+        options: QueryOptions,
+    },
+    /// Report the engine's accept-listed metrics snapshot.
+    Metrics(MetricsFormat),
+}
+
+/// A typed wire-level error, rendered as an `error` frame. Every
+/// [`MjError`] variant maps onto a stable `code` string; protocol-level
+/// rejections (malformed JSON, oversized lines, unknown fields, bad
+/// UTF-8) use the `protocol` / `oversized_frame` codes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Source span for parse/bind diagnostics.
+    pub span: Option<Span>,
+    /// Admission queue depth, present only for `overloaded` so clients
+    /// can back off proportionally.
+    pub queue_depth: Option<u64>,
+}
+
+impl WireError {
+    /// A protocol-level rejection (malformed frame, unknown field, ...).
+    pub fn protocol(message: impl Into<String>) -> Self {
+        WireError {
+            code: "protocol",
+            message: message.into(),
+            span: None,
+            queue_depth: None,
+        }
+    }
+
+    /// The rejection for a request line longer than [`MAX_LINE_BYTES`].
+    pub fn oversized() -> Self {
+        WireError {
+            code: "oversized_frame",
+            message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            span: None,
+            queue_depth: None,
+        }
+    }
+
+    /// The rejection for new work during graceful shutdown or above the
+    /// connection cap — the same back-off signal as engine admission.
+    pub fn overloaded(message: impl Into<String>, queue_depth: u64) -> Self {
+        WireError {
+            code: "overloaded",
+            message: message.into(),
+            span: None,
+            queue_depth: Some(queue_depth),
+        }
+    }
+
+    /// Maps a session error onto its wire code. Total over [`MjError`]:
+    /// adding a variant upstream breaks this match at compile time.
+    pub fn from_mj(e: &MjError) -> Self {
+        let (code, span, queue_depth) = match e {
+            MjError::Parse(p) => ("parse", Some(p.span), None),
+            MjError::Bind { span, .. } => ("bind", Some(*span), None),
+            MjError::DuplicateRelation(_) => ("duplicate_relation", None, None),
+            MjError::Config(_) => ("config", None, None),
+            MjError::Plan(_) => ("plan", None, None),
+            MjError::Exec(_) => ("exec", None, None),
+            MjError::Canceled => ("canceled", None, None),
+            MjError::DeadlineExceeded => ("deadline_exceeded", None, None),
+            MjError::ResourceExhausted { .. } => ("resource_exhausted", None, None),
+            MjError::Stalled(_) => ("stalled", None, None),
+            MjError::Internal(_) => ("internal", None, None),
+            MjError::Overloaded { queue_depth } => ("overloaded", None, Some(*queue_depth as u64)),
+        };
+        WireError {
+            code,
+            message: e.to_string(),
+            span,
+            queue_depth,
+        }
+    }
+
+    /// Renders the `error` frame (no trailing newline).
+    pub fn to_frame(&self) -> String {
+        let mut obj = vec![
+            ("code".to_string(), JsonValue::Str(self.code.to_string())),
+            ("message".to_string(), JsonValue::Str(self.message.clone())),
+            (
+                "span".to_string(),
+                match self.span {
+                    Some(s) => s.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ];
+        if let Some(depth) = self.queue_depth {
+            obj.push(("queue_depth".to_string(), JsonValue::Int(depth as i64)));
+        }
+        let frame = JsonValue::Obj(vec![("error".to_string(), JsonValue::Obj(obj))]);
+        to_line(&frame)
+    }
+}
+
+/// Serializes a frame value to its wire line (without the newline; the
+/// connection layer appends it).
+fn to_line(v: &JsonValue) -> String {
+    serde_json::to_string(v).expect("frame serialization is infallible")
+}
+
+/// Parses one request line (arbitrary bytes between newlines). Rejects
+/// bad UTF-8, non-object frames, unknown fields, and ill-typed options —
+/// each with a typed [`WireError`] the caller turns into an `error` frame.
+pub fn parse_request(line: &[u8]) -> Result<Request, WireError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|e| WireError::protocol(format!("request is not valid UTF-8: {e}")))?;
+    let value: JsonValue = serde_json::from_str(text)
+        .map_err(|e| WireError::protocol(format!("malformed JSON frame: {e}")))?;
+    let pairs = match &value {
+        JsonValue::Obj(pairs) => pairs,
+        other => {
+            return Err(WireError::protocol(format!(
+                "request frame must be a JSON object, found {}",
+                kind_name(other)
+            )))
+        }
+    };
+    for (key, _) in pairs {
+        if !matches!(key.as_str(), "query" | "options" | "metrics") {
+            return Err(WireError::protocol(format!(
+                "unknown request field `{key}`"
+            )));
+        }
+    }
+    match (value.get("query"), value.get("metrics")) {
+        (Some(_), Some(_)) => Err(WireError::protocol(
+            "request cannot carry both `query` and `metrics`",
+        )),
+        (Some(q), None) => {
+            let query = match q {
+                JsonValue::Str(s) => s.clone(),
+                other => {
+                    return Err(WireError::protocol(format!(
+                        "`query` must be a string, found {}",
+                        kind_name(other)
+                    )))
+                }
+            };
+            let options = match value.get("options") {
+                None | Some(JsonValue::Null) => QueryOptions::new(),
+                Some(o) => parse_options(o)?,
+            };
+            Ok(Request::Query { query, options })
+        }
+        (None, Some(m)) => {
+            if value.get("options").is_some() {
+                return Err(WireError::protocol(
+                    "`options` applies to `query` requests only",
+                ));
+            }
+            match m {
+                JsonValue::Str(s) if s == "json" => Ok(Request::Metrics(MetricsFormat::Json)),
+                JsonValue::Str(s) if s == "prometheus" => {
+                    Ok(Request::Metrics(MetricsFormat::Prometheus))
+                }
+                other => Err(WireError::protocol(format!(
+                    "`metrics` must be \"json\" or \"prometheus\", found {}",
+                    render_short(other)
+                ))),
+            }
+        }
+        (None, None) => Err(WireError::protocol(
+            "request must carry `query` or `metrics`",
+        )),
+    }
+}
+
+/// Parses the `options` object of a query request.
+fn parse_options(v: &JsonValue) -> Result<QueryOptions, WireError> {
+    let pairs = match v {
+        JsonValue::Obj(pairs) => pairs,
+        other => {
+            return Err(WireError::protocol(format!(
+                "`options` must be an object, found {}",
+                kind_name(other)
+            )))
+        }
+    };
+    let mut opts = QueryOptions::new();
+    for (key, val) in pairs {
+        match key.as_str() {
+            "deadline_ms" => {
+                let ms = as_u64(val).ok_or_else(|| {
+                    WireError::protocol("`deadline_ms` must be a non-negative integer")
+                })?;
+                opts = opts.with_deadline(Duration::from_millis(ms));
+            }
+            "memory_budget_bytes" => {
+                let bytes = as_u64(val).ok_or_else(|| {
+                    WireError::protocol("`memory_budget_bytes` must be a non-negative integer")
+                })?;
+                opts = opts.with_memory_budget(bytes);
+            }
+            other => {
+                return Err(WireError::protocol(format!(
+                    "unknown option field `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn as_u64(v: &JsonValue) -> Option<u64> {
+    match v {
+        JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+        JsonValue::UInt(u) => Some(*u),
+        _ => None,
+    }
+}
+
+fn kind_name(v: &JsonValue) -> &'static str {
+    match v {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "a boolean",
+        JsonValue::Int(_) | JsonValue::UInt(_) | JsonValue::Float(_) => "a number",
+        JsonValue::Str(_) => "a string",
+        JsonValue::Arr(_) => "an array",
+        JsonValue::Obj(_) => "an object",
+    }
+}
+
+fn render_short(v: &JsonValue) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<unrenderable>".to_string())
+}
+
+/// Renders a `batch` frame from result rows (no trailing newline).
+pub fn batch_frame<'a>(rows: impl Iterator<Item = &'a [Value]>) -> String {
+    let rows: Vec<JsonValue> = rows
+        .map(|row| JsonValue::Arr(row.iter().map(value_to_json).collect()))
+        .collect();
+    to_line(&JsonValue::Obj(vec![(
+        "batch".to_string(),
+        JsonValue::Arr(rows),
+    )]))
+}
+
+fn value_to_json(v: &Value) -> JsonValue {
+    match v {
+        Value::Int(i) => JsonValue::Int(*i),
+        Value::Str(s) => JsonValue::Str(s.to_string()),
+    }
+}
+
+/// Renders the terminal `done` frame of a successful query.
+pub fn done_frame(rows: u64, elapsed: Duration, time_to_first_batch: Option<Duration>) -> String {
+    let obj = vec![
+        ("rows".to_string(), JsonValue::Int(rows as i64)),
+        (
+            "elapsed_ms".to_string(),
+            JsonValue::Float(elapsed.as_secs_f64() * 1e3),
+        ),
+        (
+            "time_to_first_batch_ms".to_string(),
+            match time_to_first_batch {
+                Some(d) => JsonValue::Float(d.as_secs_f64() * 1e3),
+                None => JsonValue::Null,
+            },
+        ),
+    ];
+    to_line(&JsonValue::Obj(vec![(
+        "done".to_string(),
+        JsonValue::Obj(obj),
+    )]))
+}
+
+/// Renders the `metrics` / `metrics_text` reply frame.
+pub fn metrics_frame(snapshot: &mj_exec::MetricsSnapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Json => to_line(&JsonValue::Obj(vec![(
+            "metrics".to_string(),
+            snapshot.to_json(),
+        )])),
+        MetricsFormat::Prometheus => to_line(&JsonValue::Obj(vec![(
+            "metrics_text".to_string(),
+            JsonValue::Str(snapshot.to_prometheus()),
+        )])),
+    }
+}
+
+/// Detects an HTTP `GET /metrics` request line; returns the format the
+/// scraper asked for. `GET /metrics` serves Prometheus text, and
+/// `GET /metrics.json` the JSON snapshot — both as one-shot HTTP
+/// responses after which the connection closes.
+pub fn http_metrics_request(line: &[u8]) -> Option<MetricsFormat> {
+    let text = std::str::from_utf8(line).ok()?;
+    let mut parts = text.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    match parts.next()? {
+        "/metrics" => Some(MetricsFormat::Prometheus),
+        "/metrics.json" => Some(MetricsFormat::Json),
+        _ => None,
+    }
+}
+
+/// Renders a minimal HTTP/1.0 response carrying the metrics exposition.
+pub fn http_metrics_response(snapshot: &mj_exec::MetricsSnapshot, format: MetricsFormat) -> String {
+    let (content_type, body) = match format {
+        MetricsFormat::Prometheus => ("text/plain; version=0.0.4", snapshot.to_prometheus()),
+        MetricsFormat::Json => (
+            "application/json",
+            serde_json::to_string(snapshot).expect("snapshot serialization is infallible"),
+        ),
+    };
+    format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plain_query() {
+        let req = parse_request(br#"{"query": "SELECT * FROM t"}"#).unwrap();
+        match req {
+            Request::Query { query, options } => {
+                assert_eq!(query, "SELECT * FROM t");
+                assert!(options.deadline().is_none());
+                assert!(options.memory_budget().is_none());
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_options() {
+        let req = parse_request(
+            br#"{"query": "q", "options": {"deadline_ms": 250, "memory_budget_bytes": 4096}}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Query { options, .. } => {
+                assert_eq!(options.deadline(), Some(Duration::from_millis(250)));
+                assert_eq!(options.memory_budget(), Some(4096));
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics_requests() {
+        assert!(matches!(
+            parse_request(br#"{"metrics": "json"}"#),
+            Ok(Request::Metrics(MetricsFormat::Json))
+        ));
+        assert!(matches!(
+            parse_request(br#"{"metrics": "prometheus"}"#),
+            Ok(Request::Metrics(MetricsFormat::Prometheus))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_typed_errors() {
+        // The accept/reject table of the wire protocol: every rejected
+        // frame gets a `protocol` error (the connection layer keeps the
+        // socket open).
+        let reject = [
+            &br#"{"query": "q""#[..],                             // truncated JSON
+            br#"{"query": 42}"#,                                  // ill-typed query
+            br#"{"q": "SELECT"}"#,                                // unknown field
+            br#"{"query": "q", "qquery": "r"}"#,                  // unknown extra field
+            br#"{"query": "q", "options": {"deadlin": 1}}"#,      // unknown option
+            br#"{"query": "q", "options": {"deadline_ms": -5}}"#, // negative
+            br#"{"query": "q", "options": 7}"#,                   // ill-typed options
+            br#"{"metrics": "xml"}"#,                             // unknown format
+            br#"{"metrics": "json", "options": {}}"#,             // options on metrics
+            br#"{"query": "q", "metrics": "json"}"#,              // both
+            br#"[1, 2]"#,                                         // non-object
+            br#""#,                                               // empty line
+            b"\xff\xfe{}",                                        // bad UTF-8
+        ];
+        for line in reject {
+            let err = parse_request(line)
+                .expect_err(&format!("must reject {:?}", String::from_utf8_lossy(line)));
+            assert_eq!(err.code, "protocol");
+            // Every rejection renders as a parseable error frame.
+            let frame = err.to_frame();
+            let v: JsonValue = serde_json::from_str(&frame).unwrap();
+            assert!(v.get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn error_frames_carry_span_and_queue_depth() {
+        let parse_err = WireError {
+            code: "parse",
+            message: "expected FROM".to_string(),
+            span: Some(Span::new(7, 11)),
+            queue_depth: None,
+        };
+        let frame = parse_err.to_frame();
+        let v: JsonValue = serde_json::from_str(&frame).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code"), Some(&JsonValue::Str("parse".into())));
+        assert_eq!(
+            err.get("span").unwrap().get("start"),
+            Some(&JsonValue::Int(7))
+        );
+
+        let over = WireError::overloaded("busy", 16);
+        let v: JsonValue = serde_json::from_str(&over.to_frame()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("queue_depth"),
+            Some(&JsonValue::Int(16))
+        );
+    }
+
+    #[test]
+    fn every_mj_error_variant_maps_to_a_distinct_code() {
+        use mj_plan::parse::ParseError;
+        let errors: Vec<MjError> = vec![
+            MjError::Parse(ParseError {
+                message: "x".into(),
+                span: Span::new(0, 1),
+            }),
+            MjError::bind("x", Span::new(0, 1)),
+            MjError::DuplicateRelation("r".into()),
+            MjError::Config("c".into()),
+            MjError::Plan(mj_relalg::RelalgError::InvalidPlan("p".into())),
+            MjError::Exec(mj_relalg::RelalgError::InvalidPlan("e".into())),
+            MjError::Canceled,
+            MjError::DeadlineExceeded,
+            MjError::ResourceExhausted { used: 1, budget: 2 },
+            MjError::Stalled("s".into()),
+            MjError::Internal("i".into()),
+            MjError::Overloaded { queue_depth: 3 },
+        ];
+        let codes: Vec<&str> = errors.iter().map(|e| WireError::from_mj(e).code).collect();
+        let mut unique = codes.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            codes.len(),
+            "codes must be distinct: {codes:?}"
+        );
+        let over = WireError::from_mj(&MjError::Overloaded { queue_depth: 3 });
+        assert_eq!(over.queue_depth, Some(3));
+    }
+
+    #[test]
+    fn batch_and_done_frames_render() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+        ];
+        let frame = batch_frame(rows.iter().map(|r| r.as_slice()));
+        let v: JsonValue = serde_json::from_str(&frame).unwrap();
+        match v.get("batch").unwrap() {
+            JsonValue::Arr(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        let done = done_frame(2, Duration::from_millis(3), Some(Duration::from_millis(1)));
+        let v: JsonValue = serde_json::from_str(&done).unwrap();
+        assert_eq!(v.get("done").unwrap().get("rows"), Some(&JsonValue::Int(2)));
+    }
+
+    #[test]
+    fn http_metrics_detection() {
+        assert_eq!(
+            http_metrics_request(b"GET /metrics HTTP/1.1"),
+            Some(MetricsFormat::Prometheus)
+        );
+        assert_eq!(
+            http_metrics_request(b"GET /metrics.json HTTP/1.1"),
+            Some(MetricsFormat::Json)
+        );
+        assert_eq!(http_metrics_request(b"GET /other HTTP/1.1"), None);
+        assert_eq!(http_metrics_request(br#"{"query": "q"}"#), None);
+    }
+}
