@@ -2846,6 +2846,417 @@ pub fn validate_bench9_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// One single-client payload-throughput run of the wide-result query —
+/// the unit of the BENCH_10 JSON-vs-binary comparison. Throughput is
+/// measured client-side: rows fully decoded per wall-clock second.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PayloadRun {
+    /// Queries issued back-to-back over one connection.
+    pub queries: u64,
+    /// Total rows decoded across all queries.
+    pub rows: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Client-side decoded-row throughput.
+    pub rows_per_s: f64,
+}
+
+/// The prepared-statement section of BENCH_10: a short-query hammer
+/// where planning dominates execution, ad-hoc (re-plan every time) vs
+/// prepare-once + execute (shared plan cache + parameter binding).
+#[derive(Clone, Debug, Serialize)]
+pub struct PreparedBench {
+    /// Chain length of the hammered query.
+    pub relations: u64,
+    /// Tuples per relation (tiny on purpose: execution is the noise
+    /// floor, planning is the signal).
+    pub tuples_per_relation: u64,
+    /// Every query sent as fresh text: parse + bind + plan per request.
+    pub adhoc: ServerRun,
+    /// One `prepare` per client, then parameterized `execute`s.
+    pub prepared: ServerRun,
+    /// `prepared.qps / adhoc.qps` — the headline gate (≥ 2.0).
+    pub speedup: f64,
+    /// Plan-cache hits observed during this section.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses observed during this section.
+    pub plan_cache_misses: u64,
+    /// Plan-cache evictions observed during this section.
+    pub plan_cache_evictions: u64,
+}
+
+/// The wire-format section of BENCH_10: the same wide result streamed
+/// as row-pivoted JSON vs binary columnar frames.
+#[derive(Clone, Debug, Serialize)]
+pub struct WireFormatBench {
+    /// Chain length of the payload query (short: payload dominates).
+    pub relations: u64,
+    /// Tuples per relation.
+    pub tuples_per_relation: u64,
+    /// Result rows per query (measured).
+    pub rows_per_query: u64,
+    /// Row-pivoted JSON `batch` lines.
+    pub json: PayloadRun,
+    /// Length-prefixed binary columnar frames.
+    pub bin: PayloadRun,
+    /// `bin.rows_per_s / json.rows_per_s` — the headline gate (≥ 1.5).
+    pub bin_speedup: f64,
+}
+
+/// The `BENCH_10.json` report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Bench10Report {
+    /// Monotone bench index (`BENCH_<bench>.json`).
+    pub bench: u32,
+    /// True for a shrunken `--quick` smoke run.
+    pub quick: bool,
+    /// Prepared statements + shared plan cache vs ad-hoc re-planning.
+    pub prepared: PreparedBench,
+    /// Binary columnar vs JSON result encoding.
+    pub wire_format: WireFormatBench,
+    /// The full BENCH_9 wire benchmark re-run with the plan cache and
+    /// binary encoder compiled in — its gates must still pass, and CI
+    /// bands its concurrency speedup against the checked-in BENCH_9.
+    pub bench9_rerun: Bench9Report,
+}
+
+/// Builds a served chain-family database for the BENCH_10 sections.
+fn bench10_db(
+    relations: usize,
+    n: usize,
+    seed: u64,
+    workers: usize,
+) -> Result<Arc<mj_exec::Database>> {
+    use mj_exec::{generate_family, Database, DbConfig, QueryFamily};
+    use mj_relalg::RelationProvider;
+
+    let err = |e: mj_exec::MjError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let instance = generate_family(QueryFamily::Chain, relations, n, seed)?;
+    let mut config = DbConfig::default();
+    config.exec.workers = workers;
+    let db = Database::open(config).map_err(err)?;
+    for i in 0..relations {
+        db.register(
+            format!("R{i}"),
+            instance.catalog.relation(&format!("R{i}"))?,
+        )
+        .map_err(err)?;
+    }
+    db.analyze().map_err(err)?;
+    Ok(Arc::new(db))
+}
+
+/// Runs `clients` wire clients issuing `per_client` filtered chain
+/// queries each, either as fresh ad-hoc text (`prepared = false`, a full
+/// parse/bind/plan per request) or through one prepared statement per
+/// client (`prepared = true`). The filter argument rotates through
+/// `0..arg_mod` so both modes sweep the same literals; prepare and
+/// connect both happen before the barrier, so the measured window is
+/// pure request throughput.
+fn prepared_hammer(
+    addr: std::net::SocketAddr,
+    base: &str,
+    filter_col: &str,
+    arg_mod: usize,
+    clients: usize,
+    per_client: usize,
+    prepared: bool,
+) -> Result<ServerRun> {
+    use mj_server::Client;
+    use std::sync::Barrier;
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let base = Arc::new(base.to_string());
+    let filter_col = Arc::new(filter_col.to_string());
+    let wire_err = |e: mj_server::ClientError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(clients * per_client);
+    let started = std::thread::scope(|scope| -> Result<Instant> {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let base = base.clone();
+                let filter_col = filter_col.clone();
+                scope.spawn(
+                    move || -> std::result::Result<Vec<f64>, mj_server::ClientError> {
+                        let mut client =
+                            Client::connect_timeout(addr, std::time::Duration::from_secs(30))?;
+                        let stmt = if prepared {
+                            Some(client.prepare(&format!("{base} WHERE {filter_col} < ?1"))?)
+                        } else {
+                            None
+                        };
+                        barrier.wait();
+                        let mut lats = Vec::with_capacity(per_client);
+                        for i in 0..per_client {
+                            let arg = (i % arg_mod) as i64;
+                            let sent = Instant::now();
+                            match &stmt {
+                                Some(s) => {
+                                    client.execute(s.id, &[arg])?;
+                                }
+                                None => {
+                                    client.query(&format!("{base} WHERE {filter_col} < {arg}"))?;
+                                }
+                            }
+                            lats.push(sent.elapsed().as_secs_f64());
+                        }
+                        Ok(lats)
+                    },
+                )
+            })
+            .collect();
+        let started = Instant::now();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread").map_err(wire_err)?);
+        }
+        Ok(started)
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let queries = latencies.len() as u64;
+    let p50 = percentile_ms(&mut latencies, 0.50);
+    let p99 = percentile_ms(&mut latencies, 0.99);
+    Ok(ServerRun {
+        clients: clients as u64,
+        queries,
+        elapsed_s: elapsed,
+        qps: queries as f64 / elapsed,
+        p50_ms: p50,
+        p99_ms: p99,
+    })
+}
+
+/// One client, `queries` wide-payload queries back-to-back, decoding
+/// every row — `bin` switches the result stream to binary columnar
+/// frames.
+fn payload_run(
+    addr: std::net::SocketAddr,
+    query: &str,
+    queries: usize,
+    bin: bool,
+) -> Result<PayloadRun> {
+    use mj_server::Client;
+
+    let wire_err = |e: mj_server::ClientError| mj_relalg::RelalgError::InvalidPlan(e.to_string());
+    let mut client =
+        Client::connect_timeout(addr, std::time::Duration::from_secs(30)).map_err(wire_err)?;
+    let started = Instant::now();
+    let mut rows = 0u64;
+    for _ in 0..queries {
+        if bin {
+            let reply = client.query_bin(query).map_err(wire_err)?;
+            // The decode is already typed; touch the columns so the
+            // compiler cannot elide it.
+            let decoded: usize = reply.batches.iter().map(|b| b.row_count).sum();
+            assert_eq!(decoded as u64, reply.rows, "bin decode row count");
+            rows += reply.rows;
+        } else {
+            let reply = client.query(query).map_err(wire_err)?;
+            rows += reply.rows.len() as u64;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(PayloadRun {
+        queries: queries as u64,
+        rows,
+        elapsed_s: elapsed,
+        rows_per_s: rows as f64 / elapsed,
+    })
+}
+
+/// Produces the `BENCH_10.json` report: prepared statements + the shared
+/// plan cache vs ad-hoc re-planning on a short-query hammer, binary
+/// columnar vs JSON encoding on a wide-payload stream, and the full
+/// BENCH_9 wire benchmark re-run on the new serving path. `quick`
+/// shrinks every section for CI smoke runs.
+pub fn bench10_report(quick: bool) -> Result<Bench10Report> {
+    use mj_exec::chain_query_sql;
+    use mj_server::{Server, ServerConfig};
+
+    let server_err =
+        |e: std::io::Error| mj_relalg::RelalgError::InvalidPlan(format!("server start: {e}"));
+
+    // --- Prepared section: planning is the signal, execution the noise
+    // floor. A 14-relation chain over tiny relations puts the cost-based
+    // planner's join-order search squarely in the request path (~ms)
+    // while execution stays ~100 µs — the workload prepared statements
+    // exist for.
+    const P_RELATIONS: usize = 14;
+    const P_TUPLES: usize = 50;
+    let (p_clients, p_per_client) = if quick { (4, 25) } else { (8, 150) };
+
+    let db = bench10_db(P_RELATIONS, P_TUPLES, 41, 2)?;
+    let server = Server::start(
+        db.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_workers: 4,
+            max_clients: 256,
+        },
+    )
+    .map_err(server_err)?;
+    let addr = server.local_addr();
+    let base = chain_query_sql(P_RELATIONS);
+
+    // Warm both paths out of band.
+    prepared_hammer(addr, &base, "R1.id", P_TUPLES, 1, 5, false)?;
+    prepared_hammer(addr, &base, "R1.id", P_TUPLES, 1, 5, true)?;
+
+    let before = db.stats();
+    let adhoc = prepared_hammer(
+        addr,
+        &base,
+        "R1.id",
+        P_TUPLES,
+        p_clients,
+        p_per_client,
+        false,
+    )?;
+    let prepared_run = prepared_hammer(
+        addr,
+        &base,
+        "R1.id",
+        P_TUPLES,
+        p_clients,
+        p_per_client,
+        true,
+    )?;
+    let after = db.stats();
+    server.shutdown();
+    let prepared = PreparedBench {
+        relations: P_RELATIONS as u64,
+        tuples_per_relation: P_TUPLES as u64,
+        speedup: prepared_run.qps / adhoc.qps,
+        adhoc,
+        prepared: prepared_run,
+        plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
+        plan_cache_misses: after.plan_cache_misses - before.plan_cache_misses,
+        plan_cache_evictions: after.plan_cache_evictions - before.plan_cache_evictions,
+    };
+
+    // --- Wire-format section: payload is the signal (short chain, many
+    // rows, every row decoded client-side).
+    const W_RELATIONS: usize = 2;
+    let w_n = if quick { 4_000 } else { 30_000 };
+    let w_queries = if quick { 4 } else { 10 };
+
+    let db = bench10_db(W_RELATIONS, w_n, 43, 2)?;
+    let server = Server::start(
+        db.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_workers: 2,
+            max_clients: 16,
+        },
+    )
+    .map_err(server_err)?;
+    let addr = server.local_addr();
+    let wide = chain_query_sql(W_RELATIONS);
+    payload_run(addr, &wide, 1, false)?;
+    payload_run(addr, &wide, 1, true)?;
+    let json = payload_run(addr, &wide, w_queries, false)?;
+    let bin = payload_run(addr, &wide, w_queries, true)?;
+    server.shutdown();
+    let wire_format = WireFormatBench {
+        relations: W_RELATIONS as u64,
+        tuples_per_relation: w_n as u64,
+        rows_per_query: json.rows / json.queries.max(1),
+        bin_speedup: bin.rows_per_s / json.rows_per_s,
+        json,
+        bin,
+    };
+
+    // --- BENCH_9 rerun: the previous wire benchmark, unchanged, on the
+    // serving path that now carries the plan cache and binary encoder.
+    let bench9_rerun = bench9_report(quick)?;
+
+    Ok(Bench10Report {
+        bench: 10,
+        quick,
+        prepared,
+        wire_format,
+        bench9_rerun,
+    })
+}
+
+/// Renders a `BENCH_10.json` report as pretty-enough JSON.
+pub fn bench10_to_json(report: &Bench10Report) -> String {
+    let json = serde_json::to_string(&report.to_json()).expect("serialization is total");
+    json.replace("{\"bench\"", "{\n\"bench\"")
+        .replace(
+            "\"prepared\":{\"relations\"",
+            "\n\"prepared\":{\n  \"relations\"",
+        )
+        .replace("\"adhoc\":{", "\n  \"adhoc\":{")
+        .replace("\"prepared\":{\"clients\"", "\n  \"prepared\":{\"clients\"")
+        .replace("\"speedup\":", "\n  \"speedup\":")
+        .replace("\"wire_format\":{", "\n\"wire_format\":{\n  ")
+        .replace("\"json\":{", "\n  \"json\":{")
+        .replace("\"bin\":{", "\n  \"bin\":{")
+        .replace("\"bin_speedup\":", "\n  \"bin_speedup\":")
+        .replace("\"bench9_rerun\":{", "\n\"bench9_rerun\":{\n  ")
+        .replace("}}", "}\n}")
+}
+
+/// Validates the schema of an emitted `BENCH_10.json` (CI smoke run).
+pub fn validate_bench10_json(text: &str) -> std::result::Result<(), String> {
+    let v: JsonValue = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    for key in ["bench", "quick", "prepared", "wire_format", "bench9_rerun"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key `{key}`"));
+        }
+    }
+    let p = v.get("prepared").expect("checked");
+    for key in [
+        "relations",
+        "tuples_per_relation",
+        "adhoc",
+        "prepared",
+        "speedup",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "plan_cache_evictions",
+    ] {
+        if p.get(key).is_none() {
+            return Err(format!("missing key `prepared.{key}`"));
+        }
+    }
+    for section in ["adhoc", "prepared"] {
+        let run = p.get(section).expect("checked");
+        for key in ["clients", "queries", "elapsed_s", "qps", "p50_ms", "p99_ms"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `prepared.{section}.{key}`"));
+            }
+        }
+    }
+    let w = v.get("wire_format").expect("checked");
+    for key in [
+        "relations",
+        "tuples_per_relation",
+        "rows_per_query",
+        "json",
+        "bin",
+        "bin_speedup",
+    ] {
+        if w.get(key).is_none() {
+            return Err(format!("missing key `wire_format.{key}`"));
+        }
+    }
+    for section in ["json", "bin"] {
+        let run = w.get(section).expect("checked");
+        for key in ["queries", "rows", "elapsed_s", "rows_per_s"] {
+            if run.get(key).is_none() {
+                return Err(format!("missing key `wire_format.{section}.{key}`"));
+            }
+        }
+    }
+    // The rerun must carry the full BENCH_9 schema.
+    let rerun = serde_json::to_string(v.get("bench9_rerun").expect("checked"))
+        .map_err(|e| e.to_string())?;
+    validate_bench9_json(&rerun).map_err(|e| format!("bench9_rerun: {e}"))?;
+    Ok(())
+}
+
 /// Renders a report as pretty-enough JSON (one strategy per line).
 pub fn report_to_json(report: &BenchReport) -> String {
     // The shim's serializer is compact; expand the two top-level arrays a
@@ -3055,6 +3466,50 @@ mod tests {
         validate_bench6_json(&json).unwrap();
         assert!(validate_bench6_json("{}").is_err());
         assert!(validate_bench6_json("{\"bench\":6,\"quick\":true}").is_err());
+    }
+
+    #[test]
+    fn bench10_measurement_plumbing_works_on_a_tiny_server() {
+        // Tiny workload: correctness of the hammer/payload plumbing, not
+        // performance — the speedup gates run under `repro bench-wire`.
+        use mj_server::{Server, ServerConfig};
+        let db = bench10_db(3, 40, 99, 1).unwrap();
+        let server = Server::start(
+            db.clone(),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                conn_workers: 2,
+                max_clients: 8,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let base = mj_exec::chain_query_sql(3);
+
+        let adhoc = prepared_hammer(addr, &base, "R1.id", 40, 2, 3, false).unwrap();
+        let prepared = prepared_hammer(addr, &base, "R1.id", 40, 2, 3, true).unwrap();
+        assert_eq!(adhoc.queries, 6);
+        assert_eq!(prepared.queries, 6);
+        assert!(adhoc.qps > 0.0 && prepared.qps > 0.0);
+        assert!(prepared.p50_ms >= 0.0 && prepared.p99_ms >= prepared.p50_ms);
+        let stats = db.stats();
+        assert!(
+            stats.plan_cache_hits > 0,
+            "two prepared clients on one text must share the plan cache"
+        );
+
+        let json = payload_run(addr, &base, 2, false).unwrap();
+        let bin = payload_run(addr, &base, 2, true).unwrap();
+        assert_eq!(json.queries, 2);
+        assert_eq!(
+            json.rows, bin.rows,
+            "both formats must deliver the same row count"
+        );
+        assert!(json.rows_per_s > 0.0 && bin.rows_per_s > 0.0);
+        server.shutdown();
+
+        assert!(validate_bench10_json("{}").is_err());
+        assert!(validate_bench10_json("{\"bench\":10,\"quick\":true}").is_err());
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //!                         the wire, worker liveness, and the BENCH_6
 //!                         guardrail-overhead re-run with metrics wired
 //!                         in -> BENCH_9.json
+//!   bench-wire            prepared statements + shared plan cache vs
+//!                         ad-hoc re-planning, binary columnar vs JSON
+//!                         result frames, and the BENCH_9 wire benchmark
+//!                         re-run on the new serving path -> BENCH_10.json
 //!
 //! CSV series are written to results/.
 
@@ -130,6 +134,7 @@ fn main() {
                 emit_bench7_json(quick);
                 emit_bench8_json(quick);
                 emit_bench9_json(quick);
+                emit_bench10_json(quick);
             }
             "bench-concurrent" => emit_bench2_json(quick),
             "bench-planner" => emit_bench3_json(quick),
@@ -139,6 +144,7 @@ fn main() {
             "bench-columnar" => emit_bench7_json(quick),
             "bench-simd" => emit_bench8_json(quick),
             "bench-server" => emit_bench9_json(quick),
+            "bench-wire" => emit_bench10_json(quick),
             other => eprintln!("unknown experiment `{other}` (see --help text in the source)"),
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -1156,6 +1162,71 @@ fn emit_bench9_json(quick: bool) {
         }
         if l.engine_workers_alive != l.engine_workers || l.post_load_probes_ok != l.conn_workers {
             eprintln!("WARNING: worker liveness check failed after the concurrent hammer");
+        }
+    }
+}
+
+fn emit_bench10_json(quick: bool) {
+    println!(
+        "== BENCH_10.json: prepared statements + binary wire format ({}) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let report = mj_bench::bench10_report(quick).expect("bench10 report");
+    let p = &report.prepared;
+    println!(
+        "prepared vs ad-hoc, {}-relation chain (n={}): ad-hoc {:.1} qps \
+         (p50 {:.2} ms), prepared {:.1} qps (p50 {:.2} ms) -> {:.2}x \
+         ({} cache hits, {} misses, {} evictions)",
+        p.relations,
+        p.tuples_per_relation,
+        p.adhoc.qps,
+        p.adhoc.p50_ms,
+        p.prepared.qps,
+        p.prepared.p50_ms,
+        p.speedup,
+        p.plan_cache_hits,
+        p.plan_cache_misses,
+        p.plan_cache_evictions,
+    );
+    let w = &report.wire_format;
+    println!(
+        "json vs binary frames, {}-relation chain (n={}, ~{} rows/query): \
+         json {:.0} rows/s, bin {:.0} rows/s -> {:.2}x",
+        w.relations,
+        w.tuples_per_relation,
+        w.rows_per_query,
+        w.json.rows_per_s,
+        w.bin.rows_per_s,
+        w.bin_speedup,
+    );
+    let r = &report.bench9_rerun;
+    println!(
+        "BENCH_9 rerun on the new serving path: back-to-back {:.1} qps, \
+         concurrent {:.1} qps -> {:.2}x, light p99 under noise {:.2}x idle p50",
+        r.back_to_back.qps, r.concurrent.qps, r.concurrency_speedup, r.noisy.p99_vs_idle_p50,
+    );
+    let json = mj_bench::bench10_to_json(&report);
+    mj_bench::validate_bench10_json(&json).expect("schema");
+    // Quick smoke runs must never clobber the checked-in full baseline.
+    let path = if quick {
+        "BENCH_10_quick.json"
+    } else {
+        "BENCH_10.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("[baseline written to {path}]");
+    if !quick {
+        if p.speedup < 2.0 {
+            eprintln!(
+                "WARNING: prepared execution only {:.2}x ad-hoc, below the 2.0x floor",
+                p.speedup
+            );
+        }
+        if w.bin_speedup < 1.5 {
+            eprintln!(
+                "WARNING: binary frames only {:.2}x JSON throughput, below the 1.5x floor",
+                w.bin_speedup
+            );
         }
     }
 }

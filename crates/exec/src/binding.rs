@@ -14,10 +14,11 @@ use std::sync::Arc;
 
 use mj_plan::query::{regular_join_spec, LoweredQuery};
 use mj_plan::tree::{JoinTree, NodeId, TreeNode};
+use mj_relalg::expr::Expr;
 use mj_relalg::ops::AggSpec;
 use mj_relalg::{
     columnar_row_bytes, EquiJoin, Predicate, Projection, RelalgError, RelationProvider, Result,
-    Schema,
+    Schema, Value,
 };
 
 use crate::metrics::OpMetricsKind;
@@ -92,7 +93,7 @@ impl PipelineStage {
     /// Planner-estimated output size in bytes under the columnar batch
     /// layout: `est_out` rows times the per-row cost of this stage's
     /// schema ([`columnar_row_bytes`]) — 8 bytes per dense `i64` column,
-    /// a boxed [`Value`](mj_relalg::Value) slot otherwise. This is the
+    /// a boxed [`Value`] slot otherwise. This is the
     /// same accounting [`BatchPool`](crate::stream::BatchPool) charges
     /// against the memory budget at runtime, so explain output and
     /// observed `peak_bytes` are directly comparable.
@@ -250,6 +251,65 @@ impl QueryBinding {
             scan_filters: HashMap::new(),
             stages: self.stages.clone(),
         }
+    }
+
+    /// Rebuilds the binding with every [`Expr::Param`] placeholder in its
+    /// predicates replaced by the corresponding literal from `args`
+    /// (1-based: `?1` reads `args[0]`). Scan filters and residual
+    /// [`StageKind::Filter`] stages are the only places a lowered plan
+    /// holds predicates, so this covers the whole plan; join specs,
+    /// schemas, and non-filter stages are shared/cloned untouched. Errors
+    /// if a placeholder's index exceeds `args` (the session layer
+    /// validates arity first, so this is a backstop).
+    pub fn bind_params(&self, args: &[i64]) -> Result<Self> {
+        let subst = |e: &Expr| -> Result<Expr> {
+            Ok(match e {
+                Expr::Param(n) => {
+                    let v = (*n as usize)
+                        .checked_sub(1)
+                        .and_then(|i| args.get(i))
+                        .ok_or_else(|| {
+                            RelalgError::InvalidPlan(format!(
+                                "parameter ?{n} out of range for {} argument(s)",
+                                args.len()
+                            ))
+                        })?;
+                    Expr::Lit(Value::Int(*v))
+                }
+                other => other.clone(),
+            })
+        };
+        let scan_filters = self
+            .scan_filters
+            .iter()
+            .map(|(rel, p)| Ok((rel.clone(), p.map_exprs(&subst)?)))
+            .collect::<Result<HashMap<_, _>>>()?;
+        let stages = self
+            .stages
+            .iter()
+            .map(|stage| {
+                let kind = match &stage.kind {
+                    StageKind::Filter {
+                        predicate,
+                        projection,
+                    } => StageKind::Filter {
+                        predicate: predicate.map_exprs(&subst)?,
+                        projection: projection.clone(),
+                    },
+                    other => other.clone(),
+                };
+                Ok(PipelineStage {
+                    kind,
+                    ..stage.clone()
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(QueryBinding {
+            specs: self.specs.clone(),
+            schemas: self.schemas.clone(),
+            scan_filters,
+            stages,
+        })
     }
 
     /// The predicate pushed to the scan of `relation`, if any.

@@ -74,4 +74,4 @@ pub use operator::{
 };
 pub use planner::{query_from_catalog, PlanChoice, PlannedQuery, Planner, PlannerOptions};
 pub use sched::WorkerPool;
-pub use session::{Database, DbConfig, MjError, MjResult};
+pub use session::{Database, DbConfig, MjError, MjResult, PreparedStatement, PLAN_CACHE_CAPACITY};

@@ -293,6 +293,15 @@ pub struct EngineStats {
     /// Hot-path kernel calls dispatched to an explicit SIMD body (scalar
     /// fallbacks are not counted).
     pub simd_kernel_dispatches: u64,
+    /// Prepared-statement plan-cache lookups served from the cache
+    /// (process lifetime; pair with `plan_cache_misses` for the hit rate).
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that had to re-plan: cold entries, capacity
+    /// evictions, and catalog-generation invalidations all land here.
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries evicted (LRU capacity pressure or staleness
+    /// replacement after a catalog mutation).
+    pub plan_cache_evictions: u64,
 }
 
 impl EngineStats {
@@ -454,6 +463,21 @@ pub const METRICS_ACCEPT_LIST: &[MetricDef] = &[
         help: "Hot-path kernel calls dispatched to a SIMD body",
     },
     MetricDef {
+        name: "mj_plan_cache_hits_total",
+        kind: MetricKind::Counter,
+        help: "Prepared-statement plan-cache lookups served from cache",
+    },
+    MetricDef {
+        name: "mj_plan_cache_misses_total",
+        kind: MetricKind::Counter,
+        help: "Plan-cache lookups that re-planned (cold, evicted, or stale)",
+    },
+    MetricDef {
+        name: "mj_plan_cache_evictions_total",
+        kind: MetricKind::Counter,
+        help: "Plan-cache entries evicted (LRU capacity or staleness)",
+    },
+    MetricDef {
         name: "mj_panics_contained_total",
         kind: MetricKind::Counter,
         help: "Operator-task panics contained across all queries",
@@ -537,6 +561,12 @@ pub struct MetricsSnapshot {
     pub gather_rows: u64,
     /// `mj_simd_kernel_dispatches_total`.
     pub simd_kernel_dispatches: u64,
+    /// `mj_plan_cache_hits_total`.
+    pub plan_cache_hits: u64,
+    /// `mj_plan_cache_misses_total`.
+    pub plan_cache_misses: u64,
+    /// `mj_plan_cache_evictions_total`.
+    pub plan_cache_evictions: u64,
     /// `mj_panics_contained_total`.
     pub panics_contained: u64,
     /// `mj_peak_bytes`.
@@ -566,6 +596,9 @@ impl MetricsSnapshot {
             batch_pool_misses: stats.batch_pool_misses,
             gather_rows: stats.gather_rows,
             simd_kernel_dispatches: stats.simd_kernel_dispatches,
+            plan_cache_hits: stats.plan_cache_hits,
+            plan_cache_misses: stats.plan_cache_misses,
+            plan_cache_evictions: stats.plan_cache_evictions,
             panics_contained: stats.panics_contained,
             peak_bytes: stats.peak_bytes,
         }
@@ -592,6 +625,9 @@ impl MetricsSnapshot {
             "mj_batch_pool_misses_total" => self.batch_pool_misses as f64,
             "mj_gather_rows_total" => self.gather_rows as f64,
             "mj_simd_kernel_dispatches_total" => self.simd_kernel_dispatches as f64,
+            "mj_plan_cache_hits_total" => self.plan_cache_hits as f64,
+            "mj_plan_cache_misses_total" => self.plan_cache_misses as f64,
+            "mj_plan_cache_evictions_total" => self.plan_cache_evictions as f64,
             "mj_panics_contained_total" => self.panics_contained as f64,
             "mj_peak_bytes" => self.peak_bytes as f64,
             _ => return None,
@@ -779,6 +815,9 @@ pub(crate) mod counters {
                 batch_pool_misses: crate::stream::pool_misses(),
                 gather_rows: mj_join::gather_rows(),
                 simd_kernel_dispatches: mj_relalg::simd::kernel_dispatches(),
+                plan_cache_hits: crate::session::plan_cache_hits(),
+                plan_cache_misses: crate::session::plan_cache_misses(),
+                plan_cache_evictions: crate::session::plan_cache_evictions(),
             }
         }
     }

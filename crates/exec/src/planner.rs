@@ -132,6 +132,22 @@ impl PlannedQuery {
         self.plan.strategy
     }
 
+    /// Rebuilds the planned query with every `?N` placeholder in its
+    /// predicates bound to the corresponding literal from `args`
+    /// (1-based: `?1` reads `args[0]`) — the execute-time half of a
+    /// prepared statement. Only the binding's predicates are rewritten
+    /// ([`QueryBinding::bind_params`]); the join tree, parallel plan,
+    /// allocation, and cost estimates are reused untouched, which is the
+    /// whole point: literal *values* never influenced them (selectivity
+    /// estimation is value-independent for literal comparisons), so
+    /// substituting params cannot invalidate the plan.
+    pub fn bind_params(&self, args: &[i64]) -> Result<PlannedQuery> {
+        Ok(PlannedQuery {
+            binding: self.binding.bind_params(args)?,
+            ..self.clone()
+        })
+    }
+
     /// Human-readable comparison of every costed alternative — what
     /// `mj plan` prints.
     pub fn explain(&self) -> String {

@@ -27,7 +27,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mj_plan::parse::{
     parse_query, render_span, ColumnRef, ParseError, QueryAst, Scalar, SelectItem, SelectList, Span,
@@ -95,6 +96,12 @@ pub enum MjError {
         /// rejected.
         queue_depth: usize,
     },
+    /// A prepared-statement call failed before planning or execution:
+    /// argument arity mismatch, an execute against an unknown or closed
+    /// statement id, or a malformed argument. Unlike [`MjError::Bind`]
+    /// there is no query-text span — the failure is in the *call*, not
+    /// the statement text.
+    Params(String),
 }
 
 impl MjError {
@@ -152,6 +159,7 @@ impl fmt::Display for MjError {
                 "engine overloaded: concurrent query limit and wait queue \
                  ({queue_depth} deep) are full"
             ),
+            MjError::Params(msg) => write!(f, "prepared-statement error: {msg}"),
         }
     }
 }
@@ -190,6 +198,253 @@ impl From<RelalgError> for MjError {
 
 /// Result alias of the session API.
 pub type MjResult<T> = std::result::Result<T, MjError>;
+
+// Process-global plan-cache tallies, following the relaxed-atomics pattern
+// of the batch-pool counters: the cache records hits/misses/evictions here
+// and `EngineStats` folds them in at snapshot time.
+static PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn plan_cache_hits() -> u64 {
+    PLAN_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn plan_cache_misses() -> u64 {
+    PLAN_CACHE_MISSES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn plan_cache_evictions() -> u64 {
+    PLAN_CACHE_EVICTIONS.load(Ordering::Relaxed)
+}
+
+/// Default capacity of a [`Database`]'s prepared-statement plan cache.
+pub const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// A prepared statement: the parsed, bound, and cost-planned form of a
+/// parameterized query, reusable across executions without re-planning.
+///
+/// Produced by [`Database::prepare`] (which consults the session's shared
+/// plan cache) and executed by [`Database::execute_prepared`], which
+/// substitutes the `?N` placeholders with literal arguments in a
+/// clone-and-rewrite of the cached plan's predicates — the tree, parallel
+/// allocation, and estimates are reused as-is.
+pub struct PreparedStatement {
+    /// Original statement text (re-prepared verbatim on staleness).
+    text: String,
+    /// Number of `?N` placeholders (contiguous from `?1`).
+    params: u32,
+    /// Result column names, in output order.
+    columns: Vec<String>,
+    /// The bound output spec (select list, grouping, limit).
+    spec: SelectSpec,
+    /// The cached cost-based plan, predicates still holding `?N` leaves.
+    planned: PlannedQuery,
+    /// Catalog generation the plan was built against.
+    generation: u64,
+}
+
+impl PreparedStatement {
+    /// The statement text as given to [`Database::prepare`].
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of `?N` placeholders the statement expects (contiguous from
+    /// `?1`, so this is also the required argument count).
+    pub fn params(&self) -> u32 {
+        self.params
+    }
+
+    /// Result column names, in output order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The bound select spec (output items, grouping, limit).
+    pub fn spec(&self) -> &SelectSpec {
+        &self.spec
+    }
+
+    /// The cached plan, with `?N` placeholders still unbound. Useful for
+    /// explain output and oracle-based differential tests
+    /// ([`PlannedQuery::bind_params`] produces the executable form).
+    pub fn planned(&self) -> &PlannedQuery {
+        &self.planned
+    }
+
+    /// The catalog generation this plan was built against. When the live
+    /// catalog has moved past it, the plan is stale and
+    /// [`Database::execute_prepared`] transparently re-prepares.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl fmt::Debug for PreparedStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PreparedStatement({:?}, {} params, gen {})",
+            self.text, self.params, self.generation
+        )
+    }
+}
+
+/// A bounded LRU cache of prepared plans, keyed by whitespace-normalized
+/// statement text and shared by every connection of a [`Database`].
+///
+/// Entries carry the catalog generation they were planned against; a
+/// lookup whose entry is stale counts as a miss (and the refreshed plan
+/// replaces the stale entry, counting an eviction). Eviction under
+/// capacity pressure removes the least-recently-used entry.
+struct PlanCache {
+    capacity: usize,
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    entries: HashMap<String, PlanCacheSlot>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+}
+
+struct PlanCacheSlot {
+    stmt: Arc<PreparedStatement>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PlanCacheInner::default()),
+        }
+    }
+
+    /// Looks up `key`, requiring the entry's generation to match
+    /// `generation`. A fresh entry is a hit; a stale or absent entry is a
+    /// miss (stale entries are left in place — `insert` replaces them).
+    fn get(&self, key: &str, generation: u64) -> Option<Arc<PreparedStatement>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(slot) if slot.stmt.generation == generation => {
+                slot.last_used = tick;
+                PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                Some(slot.stmt.clone())
+            }
+            _ => {
+                PLAN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly planned statement, evicting the LRU entry if the
+    /// cache is full (replacing a stale entry under the same key also
+    /// counts as an eviction).
+    fn insert(&self, key: String, stmt: Arc<PreparedStatement>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.entries.get_mut(&key) {
+            PLAN_CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            slot.stmt = stmt;
+            slot.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&lru);
+                PLAN_CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            key,
+            PlanCacheSlot {
+                stmt,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+}
+
+/// Collapses whitespace runs to single spaces — the plan-cache key, so
+/// re-formatted but identical statements share one cached plan. (Comments
+/// are left in place: they only split tokens, never change them, so two
+/// texts with different comments simply occupy different cache keys.)
+fn normalize_query_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_ws = true;
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(ch);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Every `?N` placeholder of the AST with its span, in syntactic order.
+fn collect_params(ast: &QueryAst) -> Vec<(u32, Span)> {
+    let mut out = Vec::new();
+    for clause in &ast.where_clauses {
+        for side in [&clause.left, &clause.right] {
+            if let Scalar::Param(n, span) = side {
+                out.push((*n, *span));
+            }
+        }
+    }
+    out
+}
+
+/// Validates that the AST's placeholders are numbered contiguously from
+/// `?1` and returns the parameter count (0 when the query has none).
+fn validate_params(ast: &QueryAst) -> MjResult<u32> {
+    let seen = collect_params(ast);
+    let max = seen.iter().map(|(n, _)| *n).max().unwrap_or(0);
+    for wanted in 1..=max {
+        if !seen.iter().any(|(n, _)| *n == wanted) {
+            let (_, span) = seen
+                .iter()
+                .find(|(n, _)| *n == max)
+                .copied()
+                .expect("max came from seen");
+            return Err(MjError::bind(
+                format!(
+                    "parameters must be numbered contiguously from ?1: \
+                     ?{max} is used but ?{wanted} is not"
+                ),
+                span,
+            ));
+        }
+    }
+    Ok(max)
+}
 
 /// Configuration of a [`Database`]: the execution engine's tunables plus
 /// the planner's options (logical processors, cost models, strategy
@@ -233,6 +488,9 @@ pub struct Database {
     catalog: Arc<Catalog>,
     engine: Engine,
     planner: Planner,
+    /// Shared prepared-statement plan cache (bounded LRU, generation-
+    /// validated against the catalog).
+    plan_cache: PlanCache,
 }
 
 impl Database {
@@ -248,6 +506,7 @@ impl Database {
             catalog,
             engine,
             planner: Planner::new(config.planner),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
         })
     }
 
@@ -296,6 +555,15 @@ impl Database {
     /// exposed for tools that want the bound query without planning it.
     pub fn bind(&self, text: &str) -> MjResult<(JoinQuery, SelectSpec)> {
         let ast = parse_query(text)?;
+        if let Some((n, span)) = collect_params(&ast).first().copied() {
+            return Err(MjError::bind(
+                format!(
+                    "placeholder ?{n} requires a prepared statement; \
+                     use prepare/execute instead of an ad-hoc query"
+                ),
+                span,
+            ));
+        }
         bind_ast(&ast, &self.catalog)
     }
 
@@ -325,6 +593,102 @@ impl Database {
         self.engine
             .submit_with(&planned.plan, &planned.binding, opts)
             .map_err(MjError::from)
+    }
+
+    /// Prepares `text` as a reusable statement: parse → validate `?N`
+    /// placeholders (contiguous from `?1`) → bind → cost-based plan, all
+    /// through the session's shared bounded-LRU plan cache. A repeated
+    /// prepare of the same (whitespace-normalized) text against an
+    /// unchanged catalog is a cache hit and skips every one of those
+    /// steps; any catalog mutation (`register`, `analyze`, statistics
+    /// updates) bumps the generation and forces a re-plan on the next
+    /// prepare — a stale plan never runs against a changed catalog.
+    pub fn prepare(&self, text: &str) -> MjResult<Arc<PreparedStatement>> {
+        let key = normalize_query_text(text);
+        let generation = self.catalog.generation();
+        if let Some(stmt) = self.plan_cache.get(&key, generation) {
+            return Ok(stmt);
+        }
+        let ast = parse_query(text)?;
+        let params = validate_params(&ast)?;
+        let (query, spec) = bind_ast(&ast, &self.catalog)?;
+        let planned = self
+            .planner
+            .plan_select(&query, &spec)
+            .map_err(MjError::Plan)?;
+        let columns = planned
+            .binding
+            .result_schema(planned.plan.tree.root())
+            .map_err(MjError::Plan)?
+            .attrs()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let stmt = Arc::new(PreparedStatement {
+            text: text.to_string(),
+            params,
+            columns,
+            spec,
+            planned,
+            generation,
+        });
+        self.plan_cache.insert(key, stmt.clone());
+        Ok(stmt)
+    }
+
+    /// Executes a prepared statement with the given placeholder arguments
+    /// (`args[0]` binds `?1`). See
+    /// [`execute_prepared_with`](Self::execute_prepared_with).
+    pub fn execute_prepared(
+        &self,
+        stmt: &Arc<PreparedStatement>,
+        args: &[i64],
+    ) -> MjResult<QueryHandle> {
+        self.execute_prepared_with(stmt, args, QueryOptions::default())
+    }
+
+    /// Executes a prepared statement with per-query [`QueryOptions`]:
+    /// checks argument arity ([`MjError::Params`] on mismatch), re-prepares
+    /// transparently through the shared cache if the catalog has mutated
+    /// since the statement was planned, substitutes the `?N` placeholders
+    /// into the plan's predicates without re-planning
+    /// ([`PlannedQuery::bind_params`]), and submits to the engine.
+    pub fn execute_prepared_with(
+        &self,
+        stmt: &Arc<PreparedStatement>,
+        args: &[i64],
+        opts: QueryOptions,
+    ) -> MjResult<QueryHandle> {
+        if args.len() != stmt.params as usize {
+            return Err(MjError::Params(format!(
+                "statement expects {} argument(s), got {}",
+                stmt.params,
+                args.len()
+            )));
+        }
+        // Staleness check: a catalog mutation since planning means the
+        // cached tree/estimates may no longer be valid — re-prepare (a
+        // cache miss) rather than run a stale plan.
+        let current = if stmt.generation == self.catalog.generation() {
+            stmt.clone()
+        } else {
+            self.prepare(&stmt.text)?
+        };
+        if args.is_empty() {
+            return self
+                .engine
+                .submit_with(&current.planned.plan, &current.planned.binding, opts)
+                .map_err(MjError::from);
+        }
+        let bound = current.planned.bind_params(args).map_err(MjError::Plan)?;
+        self.engine
+            .submit_with(&bound.plan, &bound.binding, opts)
+            .map_err(MjError::from)
+    }
+
+    /// Number of plans currently resident in the shared plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Engine-lifetime robustness counters: completions, cancellations,
@@ -596,6 +960,7 @@ fn bind_where_clause(
                 Ok(BoundScalar::Column(r, c))
             }
             Scalar::Int(v, _) => Ok(BoundScalar::Int(*v)),
+            Scalar::Param(n, _) => Ok(BoundScalar::Param(*n)),
         }
     };
     let left = bind_side(&clause.left)?;
@@ -664,7 +1029,38 @@ fn bind_where_clause(
                 0.1,
             )
         }
-        (BoundScalar::Int(_), BoundScalar::Int(_)) => {
+        (BoundScalar::Column(r, c), BoundScalar::Param(n)) => {
+            check_int_column(query, r, c, &clause.left)?;
+            // Placeholders plan exactly like literals: selectivity of a
+            // literal comparison never depends on the literal's value, so
+            // the cached plan is valid for every argument binding.
+            (
+                r,
+                Predicate::Cmp {
+                    left: Expr::Attr(c),
+                    op: clause.op,
+                    right: Expr::Param(n),
+                },
+                literal_selectivity(catalog, query, r, c, clause.op)?,
+            )
+        }
+        (BoundScalar::Param(n), BoundScalar::Column(r, c)) => {
+            check_int_column(query, r, c, &clause.right)?;
+            // `?1 < r.a` is `r.a > ?1`: flip so the attribute leads.
+            (
+                r,
+                Predicate::Cmp {
+                    left: Expr::Attr(c),
+                    op: flip_cmp(clause.op),
+                    right: Expr::Param(n),
+                },
+                literal_selectivity(catalog, query, r, c, flip_cmp(clause.op))?,
+            )
+        }
+        (
+            BoundScalar::Int(_) | BoundScalar::Param(_),
+            BoundScalar::Int(_) | BoundScalar::Param(_),
+        ) => {
             return Err(MjError::bind(
                 "a WHERE predicate must reference a column",
                 clause.span,
@@ -679,6 +1075,7 @@ fn bind_where_clause(
 enum BoundScalar {
     Column(usize, usize),
     Int(i64),
+    Param(u32),
 }
 
 /// The mirrored comparison (operands swapped).
@@ -925,5 +1322,143 @@ mod tests {
             .query("SELECT * FROM users JOIN orders ON users.id = users.team")
             .unwrap_err();
         assert!(err.to_string().contains("two different relations"), "{err}");
+    }
+
+    const PREPARED_TEXT: &str = "SELECT * FROM users JOIN orders \
+                                 ON users.id = orders.user_id WHERE users.id < ?1";
+
+    #[test]
+    fn prepared_execute_matches_adhoc_literals() {
+        let db = small_db();
+        let stmt = db.prepare(PREPARED_TEXT).unwrap();
+        assert_eq!(stmt.params(), 1);
+        assert_eq!(stmt.columns().len(), 4);
+        // Boundary-hugging arguments: below, at, and past the key range.
+        for k in [0i64, 1, 7, 31, 32, 100] {
+            let got = db.execute_prepared(&stmt, &[k]).unwrap().collect().unwrap();
+            let adhoc = db
+                .query(&format!(
+                    "SELECT * FROM users JOIN orders \
+                     ON users.id = orders.user_id WHERE users.id < {k}"
+                ))
+                .unwrap()
+                .collect()
+                .unwrap();
+            assert_eq!(got.len(), adhoc.len(), "arg {k}");
+            assert_eq!(got.len() as i64, k.clamp(0, 32), "arg {k}");
+        }
+    }
+
+    #[test]
+    fn params_lead_and_flip_like_literals() {
+        let db = small_db();
+        // `?1 <= users.id` must flip into `users.id >= ?1`.
+        let stmt = db
+            .prepare(
+                "SELECT * FROM users JOIN orders \
+                 ON users.id = orders.user_id WHERE ?1 <= users.id",
+            )
+            .unwrap();
+        let got = db
+            .execute_prepared(&stmt, &[30])
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(got.len(), 2, "ids 30 and 31 remain");
+    }
+
+    #[test]
+    fn plan_cache_hits_and_catalog_invalidation() {
+        let db = small_db();
+        let before = db.stats();
+        let s1 = db.prepare(PREPARED_TEXT).unwrap();
+        // Same statement, different whitespace: one shared cache entry.
+        let s2 = db
+            .prepare(
+                "SELECT *  FROM users  JOIN orders \
+                 ON users.id = orders.user_id\nWHERE users.id < ?1",
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "whitespace variants share the plan");
+        let mid = db.stats();
+        assert!(mid.plan_cache_hits > before.plan_cache_hits);
+        assert!(mid.plan_cache_misses > before.plan_cache_misses);
+
+        // `register` bumps the catalog generation: next prepare re-plans.
+        db.register("extra", rel(&["id"], 4)).unwrap();
+        let s3 = db.prepare(PREPARED_TEXT).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3), "stale plan must be replaced");
+        let after_register = db.stats();
+        assert!(after_register.plan_cache_misses > mid.plan_cache_misses);
+
+        // `analyze` is a statistics write: it invalidates too.
+        db.analyze().unwrap();
+        let s4 = db.prepare(PREPARED_TEXT).unwrap();
+        assert!(!Arc::ptr_eq(&s3, &s4));
+        assert!(db.stats().plan_cache_misses > after_register.plan_cache_misses);
+    }
+
+    #[test]
+    fn stale_statement_reprepares_transparently() {
+        let db = small_db();
+        let stmt = db.prepare(PREPARED_TEXT).unwrap();
+        // Mutate the catalog between prepare and execute.
+        db.register("latecomer", rel(&["id"], 4)).unwrap();
+        db.analyze().unwrap();
+        let got = db
+            .execute_prepared(&stmt, &[10])
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(got.len(), 10, "stale handle still answers correctly");
+    }
+
+    #[test]
+    fn prepared_argument_arity_is_checked() {
+        let db = small_db();
+        let stmt = db.prepare(PREPARED_TEXT).unwrap();
+        for bad in [&[][..], &[1, 2][..]] {
+            let err = db.execute_prepared(&stmt, bad).unwrap_err();
+            assert!(matches!(err, MjError::Params(_)), "{err}");
+            assert!(err.to_string().contains("expects 1 argument"), "{err}");
+        }
+    }
+
+    #[test]
+    fn adhoc_query_rejects_placeholders() {
+        let db = small_db();
+        let err = db.query(PREPARED_TEXT).unwrap_err();
+        assert!(matches!(err, MjError::Bind { .. }), "{err}");
+        assert!(err.to_string().contains("prepared statement"), "{err}");
+        let span = err.span().unwrap();
+        assert_eq!(&PREPARED_TEXT[span.start..span.end], "?1");
+    }
+
+    #[test]
+    fn param_numbering_must_be_contiguous() {
+        let db = small_db();
+        let src = "SELECT * FROM users JOIN orders \
+                   ON users.id = orders.user_id WHERE users.id < ?2";
+        let err = db.prepare(src).unwrap_err();
+        assert!(err.to_string().contains("contiguously"), "{err}");
+        assert_eq!(
+            &src[err.span().unwrap().start..err.span().unwrap().end],
+            "?2"
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_with_lru_eviction() {
+        let db = small_db();
+        let evictions_before = db.stats().plan_cache_evictions;
+        for i in 0..(PLAN_CACHE_CAPACITY + 8) {
+            db.prepare(&format!(
+                "SELECT * FROM users JOIN orders \
+                 ON users.id = orders.user_id WHERE users.id < {i}"
+            ))
+            .unwrap();
+        }
+        assert!(db.plan_cache_len() <= PLAN_CACHE_CAPACITY);
+        assert!(db.stats().plan_cache_evictions >= evictions_before + 8);
     }
 }

@@ -501,8 +501,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     db.analyze().map_err(|e| e.to_string())?;
 
+    let db = Arc::new(db);
     let server = Server::start(
-        Arc::new(db),
+        db.clone(),
         ServerConfig {
             addr,
             conn_workers,
@@ -519,9 +520,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_clients,
     );
     eprintln!(
-        "protocol: one JSON object per line — {{\"query\": \"SELECT ...\"}} or \
-         {{\"metrics\": \"json\"|\"prometheus\"}}; HTTP scrapers may GET /metrics. \
-         Type `quit` (or close stdin) to drain and stop."
+        "protocol: one JSON object per line — {{\"query\": \"SELECT ...\"}}, \
+         {{\"prepare\": {{\"query\": \"... ?1 ...\"}}}} / {{\"execute\": {{\"id\": N, \
+         \"args\": [...]}}}} / {{\"close\": {{\"id\": N}}}} (add \"format\": \"bin\" \
+         for binary columnar batches), or {{\"metrics\": \"json\"|\"prometheus\"}}; \
+         HTTP scrapers may GET /metrics. Type `quit` (or close stdin) to drain and stop."
     );
 
     // Block on stdin: `quit` or EOF triggers the graceful drain. This is
@@ -539,6 +542,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     eprintln!("draining: in-flight queries finish, new requests are rejected ...");
     server.shutdown();
+    let stats = db.stats();
+    eprintln!(
+        "plan cache: {} hits, {} misses, {} evictions ({} queries served)",
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.plan_cache_evictions,
+        stats.queries_completed,
+    );
     eprintln!("stopped.");
     Ok(())
 }

@@ -27,12 +27,18 @@
 //! agg         := COUNT | SUM | MIN | MAX        (soft keywords)
 //! join_clause := JOIN ident ON column '=' column
 //! predicate   := scalar cmp scalar
-//! scalar      := column | int
+//! scalar      := column | int | param
 //! cmp         := '=' | '<>' | '<' | '<=' | '>' | '>='
 //! column      := ident '.' ident
 //! ident       := [A-Za-z_][A-Za-z0-9_]*
 //! int         := '-'? [0-9]+
+//! param       := '?' [1-9][0-9]*
 //! ```
+//!
+//! `?N` placeholders (1-based) are only legal where an integer literal
+//! could appear in a WHERE comparison; they parse into
+//! [`Scalar::Param`] and are bound to concrete values at execute time
+//! by the prepared-statement layer.
 
 use std::fmt;
 
@@ -218,6 +224,8 @@ pub enum Scalar {
     Column(ColumnRef),
     /// An integer literal.
     Int(i64, Span),
+    /// A 1-based prepared-statement placeholder, `?N`.
+    Param(u32, Span),
 }
 
 impl Scalar {
@@ -226,6 +234,7 @@ impl Scalar {
         match self {
             Scalar::Column(c) => c.span(),
             Scalar::Int(_, span) => *span,
+            Scalar::Param(_, span) => *span,
         }
     }
 }
@@ -298,6 +307,7 @@ impl QueryAst {
 enum Tok {
     Ident(String),
     Int(i64),
+    Param(u32),
     Star,
     Comma,
     Dot,
@@ -316,6 +326,7 @@ impl Tok {
         match self {
             Tok::Ident(s) => format!("`{s}`"),
             Tok::Int(v) => format!("`{v}`"),
+            Tok::Param(n) => format!("`?{n}`"),
             Tok::Star => "`*`".into(),
             Tok::Comma => "`,`".into(),
             Tok::Dot => "`.`".into(),
@@ -405,6 +416,35 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
                         Span::new(i, i + 1),
                     ));
                 }
+            }
+            b'?' => {
+                // `?N` prepared-statement placeholder, 1-based.
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let span = Span::new(start, j);
+                if j == i + 1 {
+                    return Err(ParseError::new(
+                        "expected a parameter number after `?` (placeholders are `?1`, `?2`, ...)",
+                        span,
+                    ));
+                }
+                let n: u32 = src[i + 1..j].parse().map_err(|_| {
+                    ParseError::new(
+                        format!("parameter number `{}` out of range", &src[i + 1..j]),
+                        span,
+                    )
+                })?;
+                if n == 0 {
+                    return Err(ParseError::new(
+                        "parameter numbers are 1-based; `?0` is not a placeholder",
+                        span,
+                    ));
+                }
+                toks.push((Tok::Param(n), span));
+                i = j;
             }
             b'0'..=b'9' => {
                 let (tok, span) = lex_int(src, i, i)?;
@@ -628,6 +668,11 @@ impl Parser {
             let (v, span) = (*v, *span);
             self.pos += 1;
             return Ok(Scalar::Int(v, span));
+        }
+        if let Some((Tok::Param(n), span)) = self.peek() {
+            let (n, span) = (*n, *span);
+            self.pos += 1;
+            return Ok(Scalar::Param(n, span));
         }
         Ok(Scalar::Column(self.column()?))
     }
@@ -914,6 +959,18 @@ mod tests {
                 "unexpected character",
             ),
             (
+                "SELECT * FROM r0 WHERE r0.a = ?",
+                30,
+                "expected a parameter number",
+            ),
+            ("SELECT * FROM r0 WHERE r0.a = ?0", 30, "1-based"),
+            (
+                "SELECT * FROM r0 WHERE r0.a = ?99999999999",
+                30,
+                "out of range",
+            ),
+            ("SELECT * FROM r0 LIMIT ?1", 23, "expected a row count"),
+            (
                 "SELECT * FROM r0 LIMIT 5 WHERE r0.a = 1",
                 25,
                 "end of query",
@@ -1006,6 +1063,22 @@ mod tests {
         let err = parse_query("SELECT * FROM r0 LIMIT 99999999999999999999").unwrap_err();
         assert!(err.message.contains("out of range"), "{err}");
         assert_eq!(err.span.start, 23);
+    }
+
+    #[test]
+    fn param_placeholders() {
+        let src = "SELECT * FROM r0 WHERE r0.a < ?1 AND ?2 <= r0.b";
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.where_clauses.len(), 2);
+        let w0 = &q.where_clauses[0];
+        assert!(matches!(w0.right, Scalar::Param(1, _)));
+        let span = w0.right.span();
+        assert_eq!(&src[span.start..span.end], "?1");
+        // Params can lead a comparison too.
+        assert!(matches!(q.where_clauses[1].left, Scalar::Param(2, _)));
+        // Multi-digit parameter numbers lex as one token.
+        let q = parse_query("SELECT * FROM r0 WHERE r0.a = ?12").unwrap();
+        assert!(matches!(q.where_clauses[0].right, Scalar::Param(12, _)));
     }
 
     #[test]

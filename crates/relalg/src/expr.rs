@@ -33,6 +33,11 @@ pub enum Expr {
     Attr(usize),
     /// A literal value.
     Lit(Value),
+    /// A 1-based prepared-statement placeholder (`?N`). Plans containing
+    /// params are templates: evaluating one is an error until the
+    /// prepared-statement layer substitutes each occurrence with a
+    /// [`Expr::Lit`] at execute time.
+    Param(u32),
     /// Integer arithmetic over two sub-expressions.
     Arith(Box<Expr>, ArithOp, Box<Expr>),
 }
@@ -53,6 +58,9 @@ impl Expr {
         match self {
             Expr::Attr(i) => Ok(tuple.get(*i)?.clone()),
             Expr::Lit(v) => Ok(v.clone()),
+            Expr::Param(n) => Err(RelalgError::InvalidPlan(format!(
+                "unbound parameter ?{n} (prepared plans must bind args before execution)"
+            ))),
             Expr::Arith(l, op, r) => {
                 let l = l.eval(tuple)?.as_int()?;
                 let r = r.eval(tuple)?.as_int()?;
@@ -78,6 +86,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Attr(i) => write!(f, "#{i}"),
             Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Param(n) => write!(f, "?{n}"),
             Expr::Arith(l, op, r) => {
                 let sym = match op {
                     ArithOp::Add => "+",
@@ -134,6 +143,15 @@ mod tests {
             Box::new(Expr::lit_int(1)),
         );
         assert_eq!(e.to_string(), "(#0 + 1)");
+    }
+
+    #[test]
+    fn unbound_param_errors() {
+        let t = Tuple::from_ints(&[1]);
+        let e = Expr::Param(3);
+        let err = e.eval(&t).unwrap_err();
+        assert!(err.to_string().contains("unbound parameter ?3"), "{err}");
+        assert_eq!(e.to_string(), "?3");
     }
 
     #[test]

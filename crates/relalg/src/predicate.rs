@@ -102,7 +102,7 @@ impl Predicate {
         fn walk_expr(e: &Expr, f: &mut impl FnMut(usize)) {
             match e {
                 Expr::Attr(i) => f(*i),
-                Expr::Lit(_) => {}
+                Expr::Lit(_) | Expr::Param(_) => {}
                 Expr::Arith(l, _, r) => {
                     walk_expr(l, f);
                     walk_expr(r, f);
@@ -131,6 +131,7 @@ impl Predicate {
             Ok(match e {
                 Expr::Attr(i) => Expr::Attr(map(*i)?),
                 Expr::Lit(v) => Expr::Lit(v.clone()),
+                Expr::Param(n) => Expr::Param(*n),
                 Expr::Arith(l, op, r) => Expr::Arith(
                     Box::new(map_expr(l, map)?),
                     *op,
@@ -152,6 +153,39 @@ impl Predicate {
                 Predicate::Or(Box::new(a.map_attrs(map)?), Box::new(b.map_attrs(map)?))
             }
             Predicate::Not(p) => Predicate::Not(Box::new(p.map_attrs(map)?)),
+        })
+    }
+
+    /// Rebuilds the predicate with every leaf expression passed through
+    /// `map` — the general form of [`Predicate::map_attrs`], used by the
+    /// prepared-statement layer to substitute [`Expr::Param`] leaves with
+    /// literals at execute time. Interior [`Expr::Arith`] nodes are
+    /// rebuilt from mapped children; only leaves reach `map`.
+    pub fn map_exprs(&self, map: &impl Fn(&Expr) -> Result<Expr>) -> Result<Predicate> {
+        fn map_expr(e: &Expr, map: &impl Fn(&Expr) -> Result<Expr>) -> Result<Expr> {
+            Ok(match e {
+                Expr::Arith(l, op, r) => Expr::Arith(
+                    Box::new(map_expr(l, map)?),
+                    *op,
+                    Box::new(map_expr(r, map)?),
+                ),
+                leaf => map(leaf)?,
+            })
+        }
+        Ok(match self {
+            Predicate::True => Predicate::True,
+            Predicate::Cmp { left, op, right } => Predicate::Cmp {
+                left: map_expr(left, map)?,
+                op: *op,
+                right: map_expr(right, map)?,
+            },
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.map_exprs(map)?), Box::new(b.map_exprs(map)?))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.map_exprs(map)?), Box::new(b.map_exprs(map)?))
+            }
+            Predicate::Not(p) => Predicate::Not(Box::new(p.map_exprs(map)?)),
         })
     }
 
@@ -247,5 +281,39 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Predicate::cmp_int(0, CmpOp::Le, 3).to_string(), "#0 <= 3");
+    }
+
+    #[test]
+    fn map_exprs_substitutes_params() {
+        let p = Predicate::And(
+            Box::new(Predicate::Cmp {
+                left: Expr::Attr(0),
+                op: CmpOp::Lt,
+                right: Expr::Param(1),
+            }),
+            Box::new(Predicate::Cmp {
+                left: Expr::Arith(
+                    Box::new(Expr::Attr(1)),
+                    crate::expr::ArithOp::Add,
+                    Box::new(Expr::Param(2)),
+                ),
+                op: CmpOp::Eq,
+                right: Expr::Lit(Value::Int(9)),
+            }),
+        );
+        // Unbound params fail at eval time.
+        assert!(p.eval(&Tuple::from_ints(&[1, 2])).is_err());
+        let bound = p
+            .map_exprs(&|e| {
+                Ok(match e {
+                    Expr::Param(n) => Expr::Lit(Value::Int(*n as i64 + 4)),
+                    other => other.clone(),
+                })
+            })
+            .unwrap();
+        // ?1 -> 5, ?2 -> 6: `#0 < 5 AND (#1 + 6) = 9`.
+        assert!(bound.eval(&Tuple::from_ints(&[4, 3])).unwrap());
+        assert!(!bound.eval(&Tuple::from_ints(&[5, 3])).unwrap());
+        assert_eq!(bound.to_string(), "(#0 < 5 AND (#1 + 6) = 9)");
     }
 }

@@ -180,6 +180,9 @@ fn print_expr(e: &Expr, out: &mut String) {
             // Single-quoted, with quote doubling for embedded quotes.
             let _ = write!(out, "'{}'", s.replace('\'', "''"));
         }
+        Expr::Param(n) => {
+            let _ = write!(out, "?{n}");
+        }
         Expr::Arith(l, op, r) => {
             let sym = match op {
                 ArithOp::Add => "+",

@@ -13,18 +13,27 @@
 //! dropping the `Conn` drops the active query's stream and handle,
 //! which cancels the query in the engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
-use mj_exec::{BatchPoll, Database, MjError, QueryHandle, ResultStream};
-use mj_relalg::Tuple;
+use mj_exec::{BatchPoll, Database, MjError, PreparedStatement, QueryHandle, ResultStream};
 
 use crate::protocol::{
-    batch_frame, done_frame, http_metrics_request, http_metrics_response, metrics_frame,
-    parse_request, Request, WireError, MAX_LINE_BYTES,
+    batch_frame_bin_into, batch_frame_into, closed_frame, done_frame, http_metrics_request,
+    http_metrics_response, metrics_frame, parse_request, prepared_frame, Request, ResultFormat,
+    WireError, MAX_LINE_BYTES,
 };
+
+/// The typed rejection for an `execute`/`close` naming a statement id
+/// this connection never prepared (or already closed). Routed through
+/// [`MjError::Params`] so it shares the stable `params` wire code.
+fn unknown_statement(id: u64) -> MjError {
+    MjError::Params(format!(
+        "unknown prepared statement id {id} (never prepared on this connection, or already closed)"
+    ))
+}
 
 /// Stop polling the active query's stream once this many response bytes
 /// are buffered for the socket: a slow reader backpressures its own
@@ -52,6 +61,8 @@ struct ActiveQuery {
     handle: QueryHandle,
     stream: ResultStream,
     rows: u64,
+    /// How this query's result batches are encoded on the wire.
+    format: ResultFormat,
 }
 
 /// One client connection: socket, buffers, parsed-but-unstarted
@@ -69,6 +80,17 @@ pub(crate) struct Conn {
     /// (including its error) is emitted strictly in request order.
     pending: VecDeque<Result<Request, WireError>>,
     active: Option<ActiveQuery>,
+    /// Prepared statements this client opened: wire id → the (possibly
+    /// cross-connection-shared) cached statement. Ids are per-connection;
+    /// the plans behind them live in the database's shared plan cache.
+    stmts: HashMap<u64, Arc<PreparedStatement>>,
+    /// Next statement id to hand out.
+    next_stmt_id: u64,
+    /// Reusable JSON batch-frame scratch: steady-state frames reuse one
+    /// allocation instead of building a fresh `String` per batch.
+    json_scratch: String,
+    /// Reusable binary batch-frame scratch.
+    bin_scratch: Vec<u8>,
     /// Peer closed its read side or an HTTP one-shot finished: flush
     /// `write_buf` and close.
     closing: bool,
@@ -89,6 +111,10 @@ impl Conn {
             discarding: false,
             pending: VecDeque::new(),
             active: None,
+            stmts: HashMap::new(),
+            next_stmt_id: 1,
+            json_scratch: String::new(),
+            bin_scratch: Vec::new(),
             closing: false,
             saw_line: false,
         })
@@ -256,7 +282,61 @@ impl Conn {
                         progress = true;
                         continue;
                     }
-                    Some(Ok(Request::Query { query, options })) => {
+                    Some(Ok(Request::Prepare { query })) => {
+                        progress = true;
+                        match db.prepare(&query) {
+                            Ok(stmt) => {
+                                let id = self.next_stmt_id;
+                                self.next_stmt_id += 1;
+                                let frame = prepared_frame(id, stmt.params(), stmt.columns());
+                                self.stmts.insert(id, stmt);
+                                self.push_line(frame);
+                            }
+                            Err(e) => self.push_line(WireError::from_mj(&e).to_frame()),
+                        }
+                        continue;
+                    }
+                    Some(Ok(Request::Close { id })) => {
+                        progress = true;
+                        match self.stmts.remove(&id) {
+                            Some(_) => self.push_line(closed_frame(id)),
+                            None => self
+                                .push_line(WireError::from_mj(&unknown_statement(id)).to_frame()),
+                        }
+                        continue;
+                    }
+                    Some(Ok(Request::Execute {
+                        id,
+                        args,
+                        options,
+                        format,
+                    })) => {
+                        progress = true;
+                        let Some(stmt) = self.stmts.get(&id).cloned() else {
+                            self.push_line(WireError::from_mj(&unknown_statement(id)).to_frame());
+                            continue;
+                        };
+                        match db.execute_prepared_with(&stmt, &args, options) {
+                            Ok(mut handle) => {
+                                let stream = handle.stream();
+                                self.active = Some(ActiveQuery {
+                                    handle,
+                                    stream,
+                                    rows: 0,
+                                    format,
+                                });
+                            }
+                            Err(e) => {
+                                self.push_line(WireError::from_mj(&e).to_frame());
+                                continue;
+                            }
+                        }
+                    }
+                    Some(Ok(Request::Query {
+                        query,
+                        options,
+                        format,
+                    })) => {
                         progress = true;
                         match db.query_with(&query, options) {
                             Ok(mut handle) => {
@@ -265,6 +345,7 @@ impl Conn {
                                     handle,
                                     stream,
                                     rows: 0,
+                                    format,
                                 });
                             }
                             Err(e) => {
@@ -280,15 +361,41 @@ impl Conn {
             // or the write buffer backs up.
             let active = self.active.as_mut().expect("active query set above");
             let mut finished = false;
+            let mut encode_failed = false;
             while self.write_buf.len() - self.write_pos < WRITE_HIGH_WATER {
                 match active.stream.poll_next_batch() {
-                    BatchPoll::Batch(mut batch) => {
+                    BatchPoll::Batch(batch) => {
                         progress = true;
-                        let tuples: Vec<Tuple> = batch.drain().collect();
-                        active.rows += tuples.len() as u64;
-                        let frame = batch_frame(tuples.iter().map(|t| t.values()));
-                        self.write_buf.extend_from_slice(frame.as_bytes());
-                        self.write_buf.push(b'\n');
+                        // Serialize straight from the columnar buffers
+                        // into the per-connection scratch — no row pivot,
+                        // no per-frame allocation at steady state. Binary
+                        // frames are length-prefixed, so no newline.
+                        let encoded = match active.format {
+                            ResultFormat::Json => batch_frame_into(&batch, &mut self.json_scratch)
+                                .map(|()| {
+                                    self.write_buf
+                                        .extend_from_slice(self.json_scratch.as_bytes());
+                                    self.write_buf.push(b'\n');
+                                }),
+                            ResultFormat::Bin => {
+                                batch_frame_bin_into(&batch, &mut self.bin_scratch).map(|()| {
+                                    self.write_buf.extend_from_slice(&self.bin_scratch);
+                                })
+                            }
+                        };
+                        match encoded {
+                            Ok(()) => active.rows += batch.len() as u64,
+                            Err(err) => {
+                                // A ragged batch cannot reach the sink;
+                                // if it somehow does, the error frame is
+                                // this query's terminal frame.
+                                let frame = err.to_frame();
+                                self.write_buf.extend_from_slice(frame.as_bytes());
+                                self.write_buf.push(b'\n');
+                                encode_failed = true;
+                                break;
+                            }
+                        }
                     }
                     BatchPoll::Pending => break,
                     BatchPoll::Done => {
@@ -296,6 +403,11 @@ impl Conn {
                         break;
                     }
                 }
+            }
+            if encode_failed {
+                // Dropping the stream + handle cancels the query.
+                self.active = None;
+                continue;
             }
             if !finished {
                 break;
@@ -308,6 +420,7 @@ impl Conn {
                 handle,
                 stream,
                 rows,
+                format: _,
             } = self.active.take().expect("active query set above");
             drop(stream); // fully drained: dropping does not cancel
             match handle.outcome() {

@@ -3,24 +3,32 @@
 //! Exposes a shared [`mj_exec::Database`] over TCP with a line-delimited
 //! JSON protocol: clients send `{"query": "...", "options": {...}}`
 //! lines and receive streamed `{"batch": [...]}` frames followed by one
-//! terminal `{"done": ...}` or typed `{"error": ...}` frame. Metrics are
-//! served both in-protocol (`{"metrics": "json"|"prometheus"}`) and to
-//! plain HTTP scrapers (`GET /metrics`).
+//! terminal `{"done": ...}` or typed `{"error": ...}` frame. Queries with
+//! `?N` placeholders are planned once via `{"prepare": ...}` and re-run
+//! with `{"execute": ...}` against the database's shared plan cache; a
+//! `"format": "bin"` request switches result batches to length-prefixed
+//! binary columnar frames serialized straight from the engine's column
+//! buffers. Metrics are served both in-protocol
+//! (`{"metrics": "json"|"prometheus"}`) and to plain HTTP scrapers
+//! (`GET /metrics`).
 //!
 //! Three layers:
 //!
-//! - [`protocol`] — frame grammar, request parsing with strict
-//!   unknown-field rejection, and the total [`MjError`] →
-//!   [`protocol::WireError`] code mapping (`Overloaded` carries its
-//!   admission queue depth onto the wire).
+//! - [`protocol`] — frame grammar (JSON lines and binary batch frames),
+//!   request parsing with strict unknown-field rejection, and the total
+//!   [`MjError`] → [`protocol::WireError`] code mapping (`Overloaded`
+//!   carries its admission queue depth onto the wire).
 //! - `conn` (private) + [`server`] — a non-blocking acceptor and a
 //!   small fixed pool of connection workers, each multiplexing many
 //!   client sockets over [`mj_exec::ResultStream::poll_next_batch`]. No
 //!   async runtime anywhere; disconnecting a client cancels its query
-//!   by dropping the stream and handle.
+//!   by dropping the stream and handle. Each connection owns a prepared
+//!   statement id table and reusable batch-serialization scratch
+//!   buffers.
 //! - [`client`] — a deliberately simple blocking client used by the
 //!   integration tests, the oracle differential harness, and
-//!   `repro bench-server`.
+//!   `repro bench-wire` — including a typed columnar decode of binary
+//!   batch frames.
 //!
 //! [`MjError`]: mj_exec::MjError
 
@@ -31,6 +39,9 @@ mod conn;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryReply, ServerError};
-pub use protocol::{MetricsFormat, Request, WireError, MAX_LINE_BYTES};
+pub use client::{Client, ClientError, ColumnarReply, Prepared, QueryReply, ServerError};
+pub use protocol::{
+    MetricsFormat, Request, ResultFormat, WireBatch, WireColumn, WireError, BIN_FRAME_MAGIC,
+    MAX_LINE_BYTES,
+};
 pub use server::{Server, ServerConfig};

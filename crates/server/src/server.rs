@@ -26,11 +26,34 @@ use mj_exec::Database;
 use crate::conn::{Conn, Tick};
 use crate::protocol::WireError;
 
-/// How long an idle connection worker naps between sweeps. Small enough
-/// that time-to-first-byte stays in the low milliseconds; large enough
-/// that a thousand idle connections do not saturate one core with
-/// speculative `read(2)`s.
-const IDLE_NAP: Duration = Duration::from_millis(2);
+/// The deepest nap an idle connection worker takes between sweeps.
+/// Workers back off to this only after a sustained idle streak (see
+/// [`idle_pause`]), so a thousand idle connections do not saturate one
+/// core with speculative `read(2)`s — while a request that arrives
+/// mid-conversation is noticed in microseconds, not milliseconds.
+const IDLE_NAP_MAX: Duration = Duration::from_millis(2);
+
+/// Empty sweeps a worker burns as plain `yield_now` before it starts
+/// sleeping. An engine round trip on a warm query is ~100 µs; yielding
+/// through it keeps wire latency at the same scale instead of rounding
+/// every round trip up to a multi-millisecond nap.
+const IDLE_SPIN_SWEEPS: u32 = 64;
+
+/// The first real nap after the spin phase; doubles every empty sweep
+/// until [`IDLE_NAP_MAX`].
+const IDLE_NAP_FLOOR: Duration = Duration::from_micros(20);
+
+/// Progressive idle pause: yield for the first [`IDLE_SPIN_SWEEPS`]
+/// empty sweeps, then sleep with exponential backoff from
+/// [`IDLE_NAP_FLOOR`] up to [`IDLE_NAP_MAX`].
+fn idle_pause(idle_streak: u32) {
+    if idle_streak <= IDLE_SPIN_SWEEPS {
+        std::thread::yield_now();
+        return;
+    }
+    let exp = (idle_streak - IDLE_SPIN_SWEEPS - 1).min(10);
+    std::thread::sleep((IDLE_NAP_FLOOR * 2u32.pow(exp)).min(IDLE_NAP_MAX));
+}
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -232,6 +255,7 @@ fn worker_loop(
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut acceptor_gone = false;
+    let mut idle_streak: u32 = 0;
     loop {
         loop {
             match rx.try_recv() {
@@ -268,8 +292,11 @@ fn worker_loop(
         if acceptor_gone && conns.is_empty() && drain_now {
             break;
         }
-        if !progress {
-            std::thread::sleep(IDLE_NAP);
+        if progress {
+            idle_streak = 0;
+        } else {
+            idle_streak = idle_streak.saturating_add(1);
+            idle_pause(idle_streak);
         }
     }
 }

@@ -3,6 +3,7 @@
 use mj_relalg::{RelalgError, Relation, RelationProvider, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Optimizer-visible statistics for a base relation.
@@ -34,12 +35,29 @@ pub struct Catalog {
     /// selectivity formula `1 / max(d_left, d_right)` runs on. Columns
     /// without an entry fall back to [`TableStats`].
     column_distinct: RwLock<HashMap<(String, usize), u64>>,
+    /// Monotonic mutation counter: bumped by every write path
+    /// (`register*`, `set_column_distinct`, `analyze`). Cached query
+    /// plans record the generation they were built against and must be
+    /// re-validated when it moves — a stale plan never runs against a
+    /// changed catalog.
+    generation: AtomicU64,
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// The current mutation generation. Any catalog write (registration,
+    /// statistics update, `analyze`) advances it; plan caches compare
+    /// generations to detect staleness.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Registers a relation, deriving unique-key statistics from its size.
@@ -62,6 +80,8 @@ impl Catalog {
             )));
         }
         entries.insert(name, (relation, stats));
+        drop(entries);
+        self.bump_generation();
         Ok(())
     }
 
@@ -73,6 +93,7 @@ impl Catalog {
         stats: TableStats,
     ) {
         self.entries.write().insert(name.into(), (relation, stats));
+        self.bump_generation();
     }
 
     /// The statistics recorded for `name`.
@@ -89,6 +110,7 @@ impl Catalog {
         self.column_distinct
             .write()
             .insert((name.into(), column), distinct);
+        self.bump_generation();
     }
 
     /// Scans the relation and records exact distinct counts for every
@@ -215,6 +237,32 @@ mod tests {
         c.analyze("S").unwrap();
         assert_eq!(c.column_distinct("S", 0).unwrap(), 3);
         assert_eq!(c.column_distinct("S", 1).unwrap(), 12);
+    }
+
+    #[test]
+    fn generation_tracks_every_write_path() {
+        let c = Catalog::new();
+        let g0 = c.generation();
+        c.register("R", rel(4));
+        let g1 = c.generation();
+        assert!(g1 > g0, "register bumps");
+        c.register_new("S", rel(4)).unwrap();
+        let g2 = c.generation();
+        assert!(g2 > g1, "register_new bumps");
+        // A *failed* register_new leaves the generation alone.
+        assert!(c.register_new("S", rel(9)).is_err());
+        assert_eq!(c.generation(), g2, "failed registration is not a write");
+        c.set_column_distinct("R", 0, 2);
+        let g3 = c.generation();
+        assert!(g3 > g2, "stat update bumps");
+        c.analyze("R").unwrap();
+        assert!(c.generation() > g3, "analyze bumps");
+        // Reads never move it.
+        let g = c.generation();
+        let _ = c.stats("R").unwrap();
+        let _ = c.column_distinct("R", 0).unwrap();
+        let _ = c.names();
+        assert_eq!(c.generation(), g);
     }
 
     #[test]
